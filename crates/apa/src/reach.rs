@@ -1,0 +1,614 @@
+//! Reachability graphs (Definition 3: the behaviour of an APA).
+//!
+//! States are interned global states; edges are labelled `(t, i)` with
+//! the elementary automaton `t` and interpretation `i`. The SH tool
+//! prints states as `M-1`, `M-2`, …; [`ReachGraph::state_label`] follows
+//! that convention so reproduced outputs match the paper's listings.
+
+use crate::error::ApaError;
+use crate::model::{Apa, GlobalState};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Options for [`Apa::reachability`].
+#[derive(Debug, Clone)]
+pub struct ReachOptions {
+    /// Abort exploration beyond this many states.
+    pub max_states: usize,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        ReachOptions {
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// An edge label `(t, i)`: elementary automaton plus interpretation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionLabel {
+    /// Name of the elementary automaton that fired.
+    pub automaton: String,
+    /// The interpretation `i ∈ Φ_t` (rendered).
+    pub interpretation: String,
+}
+
+/// The reachability graph of an APA.
+#[derive(Debug, Clone)]
+pub struct ReachGraph {
+    states: Vec<GlobalState>,
+    /// Edges `(from, label, to)`, in discovery order.
+    edges: Vec<(usize, TransitionLabel, usize)>,
+    /// Outgoing edge indices per state.
+    out: Vec<Vec<usize>>,
+    component_names: Vec<String>,
+}
+
+impl Apa {
+    /// Computes the reachability graph by breadth-first exploration from
+    /// the initial state.
+    ///
+    /// # Errors
+    ///
+    /// * [`ApaError::StateLimitExceeded`] if more than
+    ///   `options.max_states` states are reachable.
+    /// * [`ApaError::MalformedSuccessor`] if a transition rule
+    ///   misbehaves.
+    pub fn reachability(&self, options: &ReachOptions) -> Result<ReachGraph, ApaError> {
+        let mut index: HashMap<GlobalState, usize> = HashMap::new();
+        let mut states: Vec<GlobalState> = Vec::new();
+        let mut edges: Vec<(usize, TransitionLabel, usize)> = Vec::new();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut queue = VecDeque::new();
+
+        let q0 = self.initial_state().clone();
+        index.insert(q0.clone(), 0);
+        states.push(q0);
+        out.push(Vec::new());
+        queue.push_back(0usize);
+
+        while let Some(s) = queue.pop_front() {
+            let succs = self.successors(&states[s])?;
+            for (aut, interp, next) in succs {
+                let t = match index.get(&next) {
+                    Some(&t) => t,
+                    None => {
+                        if states.len() >= options.max_states {
+                            return Err(ApaError::StateLimitExceeded {
+                                limit: options.max_states,
+                            });
+                        }
+                        let t = states.len();
+                        index.insert(next.clone(), t);
+                        states.push(next);
+                        out.push(Vec::new());
+                        queue.push_back(t);
+                        t
+                    }
+                };
+                let label = TransitionLabel {
+                    automaton: self.automaton_name(aut).to_owned(),
+                    interpretation: interp,
+                };
+                out[s].push(edges.len());
+                edges.push((s, label, t));
+            }
+        }
+        Ok(ReachGraph {
+            states,
+            edges,
+            out,
+            component_names: self.component_names.clone(),
+        })
+    }
+}
+
+impl Apa {
+    /// Computes the reachability graph with layer-synchronous parallel
+    /// successor expansion.
+    ///
+    /// Produces a graph identical to [`Apa::reachability`] (same state
+    /// numbering, same edge order): each BFS layer's successor sets are
+    /// computed in parallel, then merged in deterministic state order.
+    /// `threads == 0` or `1` falls back to the sequential algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Apa::reachability`].
+    pub fn reachability_parallel(
+        &self,
+        options: &ReachOptions,
+        threads: usize,
+    ) -> Result<ReachGraph, ApaError> {
+        if threads <= 1 {
+            return self.reachability(options);
+        }
+        let mut index: HashMap<GlobalState, usize> = HashMap::new();
+        let mut states: Vec<GlobalState> = Vec::new();
+        let mut edges: Vec<(usize, TransitionLabel, usize)> = Vec::new();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+
+        let q0 = self.initial_state().clone();
+        index.insert(q0.clone(), 0);
+        states.push(q0);
+        out.push(Vec::new());
+        let mut layer: Vec<usize> = vec![0];
+
+        while !layer.is_empty() {
+            // Parallel expansion: one result slot per layer state.
+            let chunk = layer.len().div_ceil(threads);
+            let mut results: Vec<Result<Vec<_>, ApaError>> = Vec::with_capacity(layer.len());
+            {
+                let states_ref = &states;
+                let layer_ref = &layer;
+                let mut collected: Vec<(usize, Result<Vec<_>, ApaError>)> =
+                    std::thread::scope(|scope| {
+                        let mut handles = Vec::new();
+                        for (c, chunk_states) in layer_ref.chunks(chunk).enumerate() {
+                            handles.push(scope.spawn(move || {
+                                let mut local = Vec::with_capacity(chunk_states.len());
+                                for &s in chunk_states {
+                                    local.push(self.successors(&states_ref[s]));
+                                }
+                                (c, local)
+                            }));
+                        }
+                        let mut parts: Vec<(usize, Vec<Result<Vec<_>, ApaError>>)> = handles
+                            .into_iter()
+                            .map(|h| h.join().expect("expansion worker panicked"))
+                            .collect();
+                        parts.sort_by_key(|(c, _)| *c);
+                        parts
+                            .into_iter()
+                            .flat_map(|(c, rs)| {
+                                rs.into_iter()
+                                    .enumerate()
+                                    .map(move |(i, r)| (c * chunk + i, r))
+                            })
+                            .collect()
+                    });
+                collected.sort_by_key(|(i, _)| *i);
+                results.extend(collected.into_iter().map(|(_, r)| r));
+            }
+            // Deterministic sequential merge.
+            let mut next_layer = Vec::new();
+            for (pos, result) in results.into_iter().enumerate() {
+                let s = layer[pos];
+                for (aut, interp, next) in result? {
+                    let t = match index.get(&next) {
+                        Some(&t) => t,
+                        None => {
+                            if states.len() >= options.max_states {
+                                return Err(ApaError::StateLimitExceeded {
+                                    limit: options.max_states,
+                                });
+                            }
+                            let t = states.len();
+                            index.insert(next.clone(), t);
+                            states.push(next);
+                            out.push(Vec::new());
+                            next_layer.push(t);
+                            t
+                        }
+                    };
+                    let label = TransitionLabel {
+                        automaton: self.automaton_name(aut).to_owned(),
+                        interpretation: interp,
+                    };
+                    out[s].push(edges.len());
+                    edges.push((s, label, t));
+                }
+            }
+            layer = next_layer;
+        }
+        Ok(ReachGraph {
+            states,
+            edges,
+            out,
+            component_names: self.component_names.clone(),
+        })
+    }
+}
+
+impl ReachGraph {
+    /// Number of reachable states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The global state with index `i` (0 is the initial state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn state(&self, i: usize) -> &GlobalState {
+        &self.states[i]
+    }
+
+    /// The SH-tool style name of state `i`: `M-1` for the initial state,
+    /// `M-2`, … in discovery order.
+    pub fn state_label(&self, i: usize) -> String {
+        format!("M-{}", i + 1)
+    }
+
+    /// Iterates over all edges `(from, label, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, &TransitionLabel, usize)> {
+        self.edges.iter().map(|(f, l, t)| (*f, l, *t))
+    }
+
+    /// Outgoing edges of state `i`.
+    pub fn outgoing(&self, i: usize) -> impl Iterator<Item = (usize, &TransitionLabel, usize)> {
+        self.out[i].iter().map(move |&e| {
+            let (f, l, t) = &self.edges[e];
+            (*f, l, *t)
+        })
+    }
+
+    /// States without outgoing transitions — the SH tool's *dead* states.
+    pub fn dead_states(&self) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| self.out[i].is_empty())
+            .collect()
+    }
+
+    /// The *minima* of the functional-dependence order: the automata
+    /// labelling edges that leave the initial state. §5.4: "Every action
+    /// that leaves the initial state on any of the traces is obviously a
+    /// minimum, because it does not functionally depend on any other
+    /// action to have occurred before."
+    pub fn minima(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self
+            .outgoing(0)
+            .map(|(_, l, _)| l.automaton.clone())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The *maxima*: the automata labelling edges into dead states.
+    /// §5.4: "In order to identify the maxima we investigate those
+    /// actions leading to the dead state from any trace. These actions
+    /// do not trigger any further action after they have been performed."
+    pub fn maxima(&self) -> Vec<String> {
+        let dead: BTreeSet<usize> = self.dead_states().into_iter().collect();
+        let set: BTreeSet<String> = self
+            .edges()
+            .filter(|(_, _, t)| dead.contains(t))
+            .map(|(_, l, _)| l.automaton.clone())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Renders the minima/maxima listing in the style of the paper's
+    /// Example 6 output.
+    pub fn min_max_listing(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "The minima of this analysis:");
+        for (_, l, t) in self.outgoing(0) {
+            let _ = writeln!(s, "  {} {}", l.automaton, self.state_label(t));
+        }
+        let _ = writeln!(s, "The corresponding maxima:");
+        let dead: BTreeSet<usize> = self.dead_states().into_iter().collect();
+        for (f, l, t) in self.edges() {
+            if dead.contains(&t) {
+                let _ = writeln!(s, "  {} {}", self.state_label(f), l.automaton);
+            }
+        }
+        for d in self.dead_states() {
+            let _ = writeln!(s, "  {}+\n  +++ dead +++", self.state_label(d));
+        }
+        s
+    }
+
+    /// Converts the behaviour to an NFA over *automaton names*: every
+    /// state accepting (the language is the prefix-closed set of action
+    /// sequences), initial state `M-1`.
+    ///
+    /// This is the input to the homomorphism-based abstraction of §5.5.
+    pub fn to_nfa(&self) -> automata::Nfa {
+        let mut b = automata::Nfa::builder();
+        let states: Vec<_> = (0..self.state_count()).map(|_| b.state(true)).collect();
+        if !states.is_empty() {
+            b.initial(states[0]);
+        }
+        for (f, l, t) in self.edges() {
+            let sym = b.symbol(&l.automaton);
+            b.edge(states[f], Some(sym), states[t]);
+        }
+        b.build()
+    }
+
+    /// Converts the graph structure to a [`fsa_graph::DiGraph`] whose
+    /// payloads are the `M-i` state labels (edge labels are dropped).
+    pub fn to_digraph(&self) -> fsa_graph::DiGraph<String> {
+        let mut g = fsa_graph::DiGraph::with_capacity(self.state_count());
+        let ids: Vec<_> = (0..self.state_count())
+            .map(|i| g.add_node(self.state_label(i)))
+            .collect();
+        for (f, _, t) in self.edges() {
+            g.add_edge(ids[f], ids[t]);
+        }
+        g
+    }
+
+    /// Renders the reachability graph to Graphviz DOT with `(t, i)` edge
+    /// labels — the analogue of the paper's Figs. 7 and 9.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut s = String::new();
+        let clean: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let _ = writeln!(s, "digraph {} {{", if clean.is_empty() { "g" } else { &clean });
+        let _ = writeln!(s, "  rankdir=TB;");
+        let _ = writeln!(s, "  node [shape=circle, fontsize=10];");
+        for i in 0..self.state_count() {
+            let _ = writeln!(s, "  q{} [label=\"{}\"];", i, self.state_label(i));
+        }
+        for (f, l, t) in self.edges() {
+            let _ = writeln!(
+                s,
+                "  q{} -> q{} [label=\"{} ({})\"];",
+                f,
+                t,
+                l.automaton,
+                l.interpretation.replace('"', "'")
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Checks a state invariant over the whole reachable state space
+    /// (the SH tool's "exhaustive validation"). Returns `None` if every
+    /// reachable state satisfies `invariant`, otherwise the first
+    /// violating state (in discovery order) together with a shortest
+    /// transition sequence leading to it from the initial state.
+    pub fn check_invariant(
+        &self,
+        invariant: impl Fn(&GlobalState) -> bool,
+    ) -> Option<(usize, Vec<TransitionLabel>)> {
+        let violating = (0..self.state_count()).find(|&i| !invariant(&self.states[i]))?;
+        Some((violating, self.trace_to(violating)))
+    }
+
+    /// A shortest transition sequence from the initial state to state
+    /// `target` (empty for the initial state itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn trace_to(&self, target: usize) -> Vec<TransitionLabel> {
+        assert!(target < self.state_count(), "state out of range");
+        // BFS with parent edges.
+        let mut parent: Vec<Option<usize>> = vec![None; self.state_count()]; // edge index
+        let mut seen = vec![false; self.state_count()];
+        seen[0] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(0usize);
+        while let Some(s) = queue.pop_front() {
+            if s == target {
+                break;
+            }
+            for &e in &self.out[s] {
+                let (_, _, t) = &self.edges[e];
+                if !seen[*t] {
+                    seen[*t] = true;
+                    parent[*t] = Some(e);
+                    queue.push_back(*t);
+                }
+            }
+        }
+        let mut trace = Vec::new();
+        let mut cur = target;
+        while let Some(e) = parent[cur] {
+            let (f, label, _) = &self.edges[e];
+            trace.push(label.clone());
+            cur = *f;
+        }
+        trace.reverse();
+        trace
+    }
+
+    /// Pretty-prints one global state, e.g. for inspecting the tool's
+    /// `M-k` states.
+    pub fn format_state(&self, i: usize) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{}:", self.state_label(i));
+        for (c, set) in self.states[i].iter().enumerate() {
+            if set.is_empty() {
+                continue;
+            }
+            let items: Vec<String> = set.iter().map(|v| v.to_string()).collect();
+            let _ = write!(s, " {}={{{}}}", self.component_names[c], items.join(","));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ApaBuilder;
+    use crate::rule;
+    use crate::value::Value;
+
+    /// Two independent one-shot moves: a 4-state diamond.
+    fn diamond_apa() -> Apa {
+        let mut b = ApaBuilder::new();
+        let a_src = b.component("a_src", [Value::atom("x")]);
+        let a_dst = b.component("a_dst", []);
+        let b_src = b.component("b_src", [Value::atom("y")]);
+        let b_dst = b.component("b_dst", []);
+        b.automaton("move_a", [a_src, a_dst], rule::move_any(0, 1));
+        b.automaton("move_b", [b_src, b_dst], rule::move_any(0, 1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_reachability() {
+        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.dead_states().len(), 1);
+        assert_eq!(g.minima(), vec!["move_a".to_owned(), "move_b".to_owned()]);
+        assert_eq!(g.maxima(), vec!["move_a".to_owned(), "move_b".to_owned()]);
+    }
+
+    #[test]
+    fn chain_reachability() {
+        let mut b = ApaBuilder::new();
+        let c0 = b.component("c0", [Value::atom("x")]);
+        let c1 = b.component("c1", []);
+        let c2 = b.component("c2", []);
+        b.automaton("first", [c0, c1], rule::move_any(0, 1));
+        b.automaton("second", [c1, c2], rule::move_any(0, 1));
+        let g = b.build().unwrap().reachability(&ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 3);
+        assert_eq!(g.minima(), vec!["first".to_owned()]);
+        assert_eq!(g.maxima(), vec!["second".to_owned()]);
+        assert_eq!(g.state_label(0), "M-1");
+        assert!(g.format_state(0).contains("c0={x}"));
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let apa = diamond_apa();
+        let err = apa
+            .reachability(&ReachOptions { max_states: 2 })
+            .unwrap_err();
+        assert_eq!(err, ApaError::StateLimitExceeded { limit: 2 });
+    }
+
+    #[test]
+    fn to_nfa_language() {
+        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let nfa = g.to_nfa();
+        assert!(nfa.all_accepting());
+        assert!(nfa.accepts(["move_a", "move_b"]));
+        assert!(nfa.accepts(["move_b", "move_a"]));
+        assert!(nfa.accepts(["move_a"]));
+        assert!(!nfa.accepts(["move_a", "move_a"]));
+    }
+
+    #[test]
+    fn to_digraph_shape() {
+        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let dg = g.to_digraph();
+        assert_eq!(dg.node_count(), 4);
+        assert_eq!(dg.edge_count(), 4);
+        assert_eq!(dg.sources().len(), 1);
+        assert_eq!(dg.sinks().len(), 1);
+        assert_eq!(dg.payload(dg.sources()[0]), "M-1");
+    }
+
+    #[test]
+    fn dot_and_listing_render() {
+        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let dot = g.to_dot("fig 7");
+        assert!(dot.starts_with("digraph fig7 {"));
+        assert!(dot.contains("move_a"));
+        let listing = g.min_max_listing();
+        assert!(listing.contains("minima"));
+        assert!(listing.contains("+++ dead +++"));
+    }
+
+    #[test]
+    fn invariant_holding_everywhere() {
+        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        // Total token count is conserved (always 2).
+        let verdict = g.check_invariant(|state| {
+            state.iter().map(|set| set.len()).sum::<usize>() == 2
+        });
+        assert_eq!(verdict, None);
+    }
+
+    #[test]
+    fn invariant_violation_with_shortest_trace() {
+        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        // "a_dst never filled" is violated; shortest witness is one step.
+        let (state, trace) = g
+            .check_invariant(|s| s[1].is_empty()) // a_dst is component 1
+            .expect("violated");
+        assert!(!g.state(state)[1].is_empty());
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].automaton, "move_a");
+    }
+
+    #[test]
+    fn trace_to_initial_is_empty() {
+        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        assert!(g.trace_to(0).is_empty());
+    }
+
+    #[test]
+    fn trace_to_dead_state_has_all_moves() {
+        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let dead = g.dead_states()[0];
+        let trace = g.trace_to(dead);
+        assert_eq!(trace.len(), 2);
+        let mut names: Vec<&str> = trace.iter().map(|l| l.automaton.as_str()).collect();
+        names.sort();
+        assert_eq!(names, vec!["move_a", "move_b"]);
+    }
+
+    #[test]
+    fn parallel_reachability_identical_to_sequential() {
+        // A wider model: 4 independent movers → 16 states.
+        let mut b = ApaBuilder::new();
+        for k in 0..4 {
+            let src = b.component(&format!("src{k}"), [Value::atom("x")]);
+            let dst = b.component(&format!("dst{k}"), []);
+            b.automaton(&format!("move{k}"), [src, dst], rule::move_any(0, 1));
+        }
+        let apa = b.build().unwrap();
+        let seq = apa.reachability(&ReachOptions::default()).unwrap();
+        for threads in [2, 3, 8] {
+            let par = apa
+                .reachability_parallel(&ReachOptions::default(), threads)
+                .unwrap();
+            assert_eq!(par.state_count(), seq.state_count());
+            assert_eq!(par.edge_count(), seq.edge_count());
+            let seq_edges: Vec<_> = seq.edges().map(|(f, l, t)| (f, l.clone(), t)).collect();
+            let par_edges: Vec<_> = par.edges().map(|(f, l, t)| (f, l.clone(), t)).collect();
+            assert_eq!(par_edges, seq_edges, "threads = {threads}");
+            for i in 0..seq.state_count() {
+                assert_eq!(par.state(i), seq.state(i), "state {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_one_thread_falls_back() {
+        let apa = diamond_apa();
+        let g = apa.reachability_parallel(&ReachOptions::default(), 1).unwrap();
+        assert_eq!(g.state_count(), 4);
+    }
+
+    #[test]
+    fn parallel_respects_state_limit() {
+        let apa = diamond_apa();
+        let err = apa
+            .reachability_parallel(&ReachOptions { max_states: 2 }, 4)
+            .unwrap_err();
+        assert_eq!(err, ApaError::StateLimitExceeded { limit: 2 });
+    }
+
+    #[test]
+    fn cyclic_behaviour_has_no_dead_state() {
+        let mut b = ApaBuilder::new();
+        let ping = b.component("ping", [Value::atom("t")]);
+        let pong = b.component("pong", []);
+        b.automaton("serve", [ping, pong], rule::move_any(0, 1));
+        b.automaton("return", [pong, ping], rule::move_any(0, 1));
+        let g = b.build().unwrap().reachability(&ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 2);
+        assert!(g.dead_states().is_empty());
+        assert!(g.maxima().is_empty());
+    }
+}

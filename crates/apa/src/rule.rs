@@ -1,0 +1,149 @@
+//! Transition rules of elementary automata.
+//!
+//! A [`TransitionRule`] is the `Δ_t` of Definition 2, restricted to the
+//! automaton's neighbourhood: given the current values of the
+//! neighbourhood components (in declaration order) it returns every
+//! enabled interpretation together with the successor values.
+//!
+//! Besides implementing the trait directly, common shapes can be built
+//! with [`move_any`], [`move_matching`] and [`FnRule`].
+
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// Local state of a neighbourhood: one value set per component, in the
+/// order the components were given to
+/// [`ApaBuilder::automaton`](crate::ApaBuilder::automaton).
+pub type LocalState = Vec<BTreeSet<Value>>;
+
+/// A firing offered by a rule: the interpretation `i ∈ Φ_t` (rendered as
+/// a string, e.g. `"sW"`) and the successor neighbourhood values.
+pub type Firing = (String, LocalState);
+
+/// The transition relation `Δ_t` of one elementary automaton.
+pub trait TransitionRule: Send + Sync {
+    /// Enumerates all enabled firings in `local` (deterministically).
+    fn fire(&self, local: &LocalState) -> Vec<Firing>;
+}
+
+/// A rule given as a closure.
+///
+/// # Examples
+///
+/// ```
+/// use apa::rule::{FnRule, TransitionRule};
+/// use apa::Value;
+/// use std::collections::BTreeSet;
+///
+/// // Consume any atom from slot 0 and drop it (a "sink" rule).
+/// let rule = FnRule::new(|local: &Vec<BTreeSet<apa::Value>>| {
+///     local[0]
+///         .iter()
+///         .map(|v| {
+///             let mut next = local.clone();
+///             next[0].remove(v);
+///             (v.to_string(), next)
+///         })
+///         .collect()
+/// });
+/// let state = vec![BTreeSet::from([Value::atom("x")])];
+/// assert_eq!(rule.fire(&state).len(), 1);
+/// ```
+pub struct FnRule<F>(F);
+
+impl<F> FnRule<F>
+where
+    F: Fn(&LocalState) -> Vec<Firing> + Send + Sync,
+{
+    /// Wraps a closure as a rule.
+    pub fn new(f: F) -> Self {
+        FnRule(f)
+    }
+}
+
+impl<F> TransitionRule for FnRule<F>
+where
+    F: Fn(&LocalState) -> Vec<Firing> + Send + Sync,
+{
+    fn fire(&self, local: &LocalState) -> Vec<Firing> {
+        (self.0)(local)
+    }
+}
+
+/// Moves any single value from neighbourhood slot `from` to slot `to`.
+///
+/// This is the shape of the paper's `sense`, `pos` and `show` automata:
+/// e.g. `Δ_{V_i_sense}` moves a pending measurement from `esp_i` to
+/// `bus_i`.
+pub fn move_any(from: usize, to: usize) -> Box<dyn TransitionRule> {
+    move_matching(from, to, |_| true)
+}
+
+/// Moves any single value satisfying `pred` from slot `from` to `to`.
+pub fn move_matching(
+    from: usize,
+    to: usize,
+    pred: impl Fn(&Value) -> bool + Send + Sync + 'static,
+) -> Box<dyn TransitionRule> {
+    Box::new(FnRule::new(move |local: &LocalState| {
+        local[from]
+            .iter()
+            .filter(|v| pred(v))
+            .map(|v| {
+                let mut next = local.clone();
+                next[from].remove(v);
+                next[to].insert(v.clone());
+                (v.to_string(), next)
+            })
+            .collect()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local(sets: &[&[Value]]) -> LocalState {
+        sets.iter()
+            .map(|s| s.iter().cloned().collect())
+            .collect()
+    }
+
+    #[test]
+    fn move_any_moves_each_value() {
+        let rule = move_any(0, 1);
+        let state = local(&[&[Value::atom("a"), Value::atom("b")], &[]]);
+        let firings = rule.fire(&state);
+        assert_eq!(firings.len(), 2);
+        let (label, next) = &firings[0];
+        assert_eq!(label, "a");
+        assert!(!next[0].contains(&Value::atom("a")));
+        assert!(next[1].contains(&Value::atom("a")));
+        assert!(next[0].contains(&Value::atom("b")), "other value untouched");
+    }
+
+    #[test]
+    fn move_any_disabled_on_empty_slot() {
+        let rule = move_any(0, 1);
+        let state = local(&[&[], &[Value::atom("x")]]);
+        assert!(rule.fire(&state).is_empty());
+    }
+
+    #[test]
+    fn move_matching_filters() {
+        let rule = move_matching(0, 1, |v| v.has_tag("cam"));
+        let msg = Value::tuple([Value::atom("cam"), Value::atom("pos1")]);
+        let state = local(&[&[msg.clone(), Value::atom("noise")], &[]]);
+        let firings = rule.fire(&state);
+        assert_eq!(firings.len(), 1);
+        assert!(firings[0].1[1].contains(&msg));
+    }
+
+    #[test]
+    fn firings_are_deterministic_order() {
+        let rule = move_any(0, 1);
+        let state = local(&[&[Value::atom("b"), Value::atom("a")], &[]]);
+        let labels: Vec<String> = rule.fire(&state).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["a", "b"], "BTreeSet order");
+    }
+}

@@ -1,0 +1,141 @@
+//! Graphviz DOT export for automata.
+//!
+//! Renders the minimal automata of Figs. 10 and 11 (and any other
+//! automaton) with labelled edges, an entry arrow for the initial state
+//! and double circles for accepting states.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use std::fmt::Write as _;
+
+/// Renders a DFA to DOT.
+///
+/// # Examples
+///
+/// ```
+/// use automata::{Nfa, ops, dot};
+///
+/// let mut b = Nfa::builder();
+/// let a = b.symbol("V1_sense");
+/// let s0 = b.state(true);
+/// let s1 = b.state(true);
+/// b.initial(s0);
+/// b.edge(s0, Some(a), s1);
+/// let dfa = ops::determinize(&b.build());
+/// let rendered = dot::dfa_to_dot(&dfa, "fig10");
+/// assert!(rendered.contains("V1_sense"));
+/// assert!(rendered.contains("doublecircle"));
+/// ```
+pub fn dfa_to_dot(dfa: &Dfa, name: &str) -> String {
+    let mut s = header(name);
+    for i in 0..dfa.state_count() {
+        let shape = if dfa.is_accepting(crate::nfa::StateId::new(i)) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(s, "  q{i} [shape={shape}, label=\"{i}\"];");
+    }
+    if dfa.state_count() > 0 {
+        let _ = writeln!(s, "  entry -> q{};", dfa.initial_state().index());
+    }
+    for (from, sym, to) in dfa.transitions() {
+        let _ = writeln!(
+            s,
+            "  q{} -> q{} [label=\"{}\"];",
+            from.index(),
+            to.index(),
+            escape(dfa.alphabet().name(sym))
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders an NFA to DOT (ε-transitions labelled `ε`).
+pub fn nfa_to_dot(nfa: &Nfa, name: &str) -> String {
+    let mut s = header(name);
+    for i in 0..nfa.state_count() {
+        let shape = if nfa.is_accepting(crate::nfa::StateId::new(i)) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(s, "  q{i} [shape={shape}, label=\"{i}\"];");
+    }
+    for init in nfa.initial_states() {
+        let _ = writeln!(s, "  entry -> q{};", init.index());
+    }
+    for (from, label, to) in nfa.transitions() {
+        let text = match label {
+            Some(sym) => escape(nfa.alphabet().name(sym)),
+            None => "ε".to_owned(),
+        };
+        let _ = writeln!(s, "  q{} -> q{} [label=\"{text}\"];", from.index(), to.index());
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn header(name: &str) -> String {
+    let clean: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "digraph {} {{",
+        if clean.is_empty() { "automaton" } else { &clean }
+    );
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  entry [shape=point];");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::determinize;
+
+    fn sample_nfa() -> Nfa {
+        let mut b = Nfa::builder();
+        let a = b.symbol("a");
+        let s0 = b.state(false);
+        let s1 = b.state(true);
+        b.initial(s0);
+        b.edge(s0, Some(a), s1);
+        b.edge(s0, None, s1);
+        b.build()
+    }
+
+    #[test]
+    fn dfa_dot_structure() {
+        let dfa = determinize(&sample_nfa());
+        let dot = dfa_to_dot(&dfa, "m");
+        assert!(dot.starts_with("digraph m {"));
+        assert!(dot.contains("entry ->"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn nfa_dot_epsilon_labels() {
+        let dot = nfa_to_dot(&sample_nfa(), "n");
+        assert!(dot.contains("label=\"ε\""));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("shape=circle"));
+    }
+
+    #[test]
+    fn name_sanitised() {
+        let dot = nfa_to_dot(&sample_nfa(), "fig 10!");
+        assert!(dot.starts_with("digraph fig10 {"));
+        let dot = nfa_to_dot(&sample_nfa(), "");
+        assert!(dot.starts_with("digraph automaton {"));
+    }
+}

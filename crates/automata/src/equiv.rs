@@ -1,0 +1,186 @@
+//! Language equivalence of DFAs.
+//!
+//! Symbols are aligned *by name*, so the two automata may use different
+//! [`crate::Alphabet`] instances. Missing transitions are treated as an
+//! implicit non-accepting sink.
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// A product state: `None` is the implicit sink.
+type Pair = (Option<StateId>, Option<StateId>);
+
+/// Decides whether two DFAs accept the same language.
+///
+/// Runs a breadth-first product exploration; a discrepancy in acceptance
+/// of any reachable pair refutes equivalence.
+///
+/// # Examples
+///
+/// ```
+/// use automata::{Nfa, ops, language_equivalent};
+///
+/// let mut b1 = Nfa::builder();
+/// let a = b1.symbol("a");
+/// let s0 = b1.state(true);
+/// b1.initial(s0);
+/// b1.edge(s0, Some(a), s0);
+///
+/// let mut b2 = Nfa::builder();
+/// let a2 = b2.symbol("a");
+/// let t0 = b2.state(true);
+/// let t1 = b2.state(true);
+/// b2.initial(t0);
+/// b2.edge(t0, Some(a2), t1);
+/// b2.edge(t1, Some(a2), t0);
+///
+/// let d1 = ops::determinize(&b1.build());
+/// let d2 = ops::determinize(&b2.build());
+/// assert!(language_equivalent(&d1, &d2)); // both accept a*
+/// ```
+pub fn language_equivalent(a: &Dfa, b: &Dfa) -> bool {
+    counterexample(a, b).is_none()
+}
+
+/// Like [`language_equivalent`], but returns a shortest distinguishing
+/// word (as symbol names) if the languages differ.
+pub fn counterexample(a: &Dfa, b: &Dfa) -> Option<Vec<String>> {
+    // Union alphabet by name.
+    let names: BTreeSet<&str> = a
+        .alphabet()
+        .iter()
+        .map(|(_, n)| n)
+        .chain(b.alphabet().iter().map(|(_, n)| n))
+        .collect();
+
+    let accepting = |d: &Dfa, s: Option<StateId>| s.is_some_and(|q| d.is_accepting(q));
+    let step = |d: &Dfa, s: Option<StateId>, name: &str| s.and_then(|q| d.step_name(q, name));
+
+    let start: Pair = (
+        (a.state_count() > 0).then(|| a.initial_state()),
+        (b.state_count() > 0).then(|| b.initial_state()),
+    );
+    let mut seen: HashSet<Pair> = HashSet::new();
+    let mut queue: VecDeque<(Pair, Vec<String>)> = VecDeque::new();
+    seen.insert(start);
+    queue.push_back((start, Vec::new()));
+    while let Some(((sa, sb), word)) = queue.pop_front() {
+        if accepting(a, sa) != accepting(b, sb) {
+            return Some(word);
+        }
+        for name in &names {
+            let next = (step(a, sa, name), step(b, sb, name));
+            if next == (None, None) {
+                continue; // both in sink forever: no discrepancy below
+            }
+            if seen.insert(next) {
+                let mut w = word.clone();
+                w.push((*name).to_owned());
+                queue.push_back((next, w));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::ops::determinize;
+
+    fn dfa_of(build: impl FnOnce(&mut crate::nfa::NfaBuilder)) -> Dfa {
+        let mut b = Nfa::builder();
+        build(&mut b);
+        determinize(&b.build())
+    }
+
+    #[test]
+    fn equal_languages_different_shapes() {
+        let d1 = dfa_of(|b| {
+            let a = b.symbol("a");
+            let s0 = b.state(true);
+            b.initial(s0);
+            b.edge(s0, Some(a), s0);
+        });
+        let d2 = dfa_of(|b| {
+            let a = b.symbol("a");
+            let s0 = b.state(true);
+            let s1 = b.state(true);
+            b.initial(s0);
+            b.edge(s0, Some(a), s1);
+            b.edge(s1, Some(a), s0);
+        });
+        assert!(language_equivalent(&d1, &d2));
+    }
+
+    #[test]
+    fn different_languages_counterexample() {
+        let d1 = dfa_of(|b| {
+            let a = b.symbol("a");
+            let s0 = b.state(true);
+            let s1 = b.state(true);
+            b.initial(s0);
+            b.edge(s0, Some(a), s1);
+        });
+        let d2 = dfa_of(|b| {
+            let a = b.symbol("a");
+            let s0 = b.state(true);
+            b.initial(s0);
+            b.edge(s0, Some(a), s0);
+        });
+        // d2 accepts "aa", d1 does not.
+        let cex = counterexample(&d1, &d2).expect("languages differ");
+        assert_eq!(cex, vec!["a", "a"]);
+    }
+
+    #[test]
+    fn disjoint_alphabets_compared_by_name() {
+        let d1 = dfa_of(|b| {
+            let x = b.symbol("x");
+            let s0 = b.state(true);
+            let s1 = b.state(true);
+            b.initial(s0);
+            b.edge(s0, Some(x), s1);
+        });
+        let d2 = dfa_of(|b| {
+            let y = b.symbol("y");
+            let s0 = b.state(true);
+            let s1 = b.state(true);
+            b.initial(s0);
+            b.edge(s0, Some(y), s1);
+        });
+        assert!(!language_equivalent(&d1, &d2));
+        assert_eq!(counterexample(&d1, &d2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_vs_epsilon() {
+        let empty = dfa_of(|b| {
+            let s0 = b.state(false);
+            b.initial(s0);
+        });
+        let eps = dfa_of(|b| {
+            let s0 = b.state(true);
+            b.initial(s0);
+        });
+        assert!(!language_equivalent(&empty, &eps));
+        assert_eq!(counterexample(&empty, &eps).unwrap(), Vec::<String>::new());
+        assert!(language_equivalent(&empty, &empty));
+    }
+
+    #[test]
+    fn reflexive() {
+        let d = dfa_of(|b| {
+            let a = b.symbol("a");
+            let c = b.symbol("c");
+            let s0 = b.state(true);
+            let s1 = b.state(false);
+            b.initial(s0);
+            b.edge(s0, Some(a), s1);
+            b.edge(s1, Some(c), s0);
+        });
+        assert!(language_equivalent(&d, &d));
+    }
+}

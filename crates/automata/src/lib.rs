@@ -1,0 +1,71 @@
+//! Finite automata, alphabetic language homomorphisms and abstraction.
+//!
+//! This crate re-implements the automata-theoretic subset of the
+//! SH verification tool that the paper's tool-assisted method (§5)
+//! relies on:
+//!
+//! * [`Nfa`] / [`Dfa`] — finite automata over interned action alphabets.
+//!   The behaviour of an APA (its reachability graph, Def. 3) is an NFA
+//!   in which every state is accepting: its language is the prefix-closed
+//!   set of action sequences the system can perform.
+//! * [`determinize`](ops::determinize) / [`minimize`](ops::minimize) —
+//!   subset construction and Hopcroft minimisation; the paper's
+//!   "minimal automaton of the homomorphic image" (Figs. 10, 11).
+//! * [`Homomorphism`] — alphabetic language homomorphisms
+//!   `h: Σ* → Σ'*` that rename some actions and erase others
+//!   (`h(Σ) ⊆ Σ' ∪ {ε}`), the abstraction mechanism of §5.5.
+//! * [`simple`] — the *simple homomorphism* check of
+//!   Ochsenschläger's abstraction theory (approximate satisfaction).
+//! * [`temporal`] — precedence / guarantee properties on behaviours,
+//!   the direct decision procedure for functional dependence.
+//!
+//! # Examples
+//!
+//! Abstract a behaviour onto two actions and decide dependence:
+//!
+//! ```
+//! use automata::{Nfa, Homomorphism, ops, temporal};
+//!
+//! // A tiny behaviour: sense → send → show.
+//! let mut nfa = Nfa::builder();
+//! let sense = nfa.symbol("sense");
+//! let send = nfa.symbol("send");
+//! let show = nfa.symbol("show");
+//! let s0 = nfa.state(true);
+//! let s1 = nfa.state(true);
+//! let s2 = nfa.state(true);
+//! let s3 = nfa.state(true);
+//! nfa.initial(s0);
+//! nfa.edge(s0, Some(sense), s1);
+//! nfa.edge(s1, Some(send), s2);
+//! nfa.edge(s2, Some(show), s3);
+//! let nfa = nfa.build();
+//!
+//! let h = Homomorphism::erase_all_except(["sense", "show"]);
+//! let image = h.apply(&nfa);
+//! let minimal = ops::minimize(&ops::determinize(&image));
+//! assert_eq!(minimal.state_count(), 3); // chain: ·-sense→·-show→·
+//! assert!(temporal::precedes(&nfa, "sense", "show"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod dfa;
+pub mod dot;
+pub mod equiv;
+pub mod hom;
+pub mod monitor;
+pub mod nfa;
+pub mod ops;
+pub mod setops;
+pub mod shuffle;
+pub mod simple;
+pub mod temporal;
+
+pub use alphabet::{Alphabet, SymId};
+pub use dfa::Dfa;
+pub use equiv::language_equivalent;
+pub use hom::Homomorphism;
+pub use nfa::{Nfa, NfaBuilder, StateId};

@@ -1,0 +1,189 @@
+//! Property monitors and language inclusion.
+//!
+//! A *monitor* is a DFA accepting exactly the words satisfying a
+//! property; a behaviour satisfies the property iff its language is
+//! *included* in the monitor's. This gives a third decision procedure
+//! for functional dependence (besides homomorphic abstraction and the
+//! direct precedence check), and the inclusion checker doubles as a
+//! generic requirement-verification engine with counterexample traces.
+
+use crate::alphabet::Alphabet;
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, StateId};
+use crate::ops::determinize;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// The monitor for the precedence property "`b` never occurs before the
+/// first `a`" over the given alphabet: a 2-state DFA (all states
+/// accepting; the violating move simply has no transition).
+///
+/// # Examples
+///
+/// ```
+/// use automata::monitor::precedence_monitor;
+///
+/// let m = precedence_monitor(["sense", "send", "show"], "sense", "show");
+/// assert!(m.accepts(["sense", "show"]));
+/// assert!(m.accepts(["send", "sense", "show"]));
+/// assert!(!m.accepts(["show"]), "show before sense violates");
+/// ```
+pub fn precedence_monitor<'a>(
+    symbols: impl IntoIterator<Item = &'a str>,
+    a: &str,
+    b: &str,
+) -> Dfa {
+    let mut alphabet = Alphabet::new();
+    let mut names: BTreeSet<&str> = symbols.into_iter().collect();
+    names.insert(a);
+    names.insert(b);
+    for n in &names {
+        alphabet.intern(n);
+    }
+    let sym_a = alphabet.get(a).expect("a interned");
+    let sym_b = alphabet.get(b).expect("b interned");
+    // State 0: a not yet seen (b forbidden). State 1: a seen (anything).
+    let mut t0 = std::collections::BTreeMap::new();
+    let mut t1 = std::collections::BTreeMap::new();
+    for (sym, _) in alphabet.iter() {
+        if sym == sym_a {
+            t0.insert(sym, StateId::new(1));
+        } else if sym != sym_b {
+            t0.insert(sym, StateId::new(0));
+        }
+        t1.insert(sym, StateId::new(1));
+    }
+    Dfa::new(alphabet, vec![true, true], StateId::new(0), vec![t0, t1])
+}
+
+/// Checks language inclusion `L(behaviour) ⊆ L(monitor)`, returning a
+/// shortest violating word if inclusion fails.
+///
+/// Symbols are matched by name; a behaviour symbol missing from the
+/// monitor's alphabet is treated as universally allowed only if the
+/// monitor accepts staying put — here, conservatively, it is treated as
+/// a violation (the monitor doesn't know the action).
+pub fn inclusion_counterexample(behaviour: &Nfa, monitor: &Dfa) -> Option<Vec<String>> {
+    let dfa = determinize(behaviour);
+    // Product BFS over (behaviour DFA state, monitor state).
+    let start = (dfa.initial_state(), Some(monitor.initial_state()));
+    type ProductState = (StateId, Option<StateId>);
+    let mut seen: HashSet<ProductState> = HashSet::new();
+    let mut queue: VecDeque<(ProductState, Vec<String>)> = VecDeque::new();
+    seen.insert(start);
+    queue.push_back((start, Vec::new()));
+    while let Some(((qb, qm), word)) = queue.pop_front() {
+        let behaviour_accepts = dfa.is_accepting(qb);
+        let monitor_accepts = qm.is_some_and(|m| monitor.is_accepting(m));
+        if behaviour_accepts && !monitor_accepts {
+            return Some(word);
+        }
+        for (from, sym, to) in dfa.transitions() {
+            if from != qb {
+                continue;
+            }
+            let name = dfa.alphabet().name(sym);
+            let m_next = qm.and_then(|m| monitor.step_name(m, name));
+            let next = (to, m_next);
+            if seen.insert(next) {
+                let mut w = word.clone();
+                w.push(name.to_owned());
+                queue.push_back((next, w));
+            }
+        }
+    }
+    None
+}
+
+/// Returns `true` if every word of `behaviour` satisfies the monitor.
+pub fn satisfies(behaviour: &Nfa, monitor: &Dfa) -> bool {
+    inclusion_counterexample(behaviour, monitor).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(names: &[&str]) -> Nfa {
+        let mut b = Nfa::builder();
+        let mut prev = b.state(true);
+        b.initial(prev);
+        for n in names {
+            let sym = b.symbol(n);
+            let next = b.state(true);
+            b.edge(prev, Some(sym), next);
+            prev = next;
+        }
+        b.build()
+    }
+
+    #[test]
+    fn monitor_accepts_and_rejects() {
+        let m = precedence_monitor(["x"], "a", "b");
+        assert!(m.accepts([""; 0]));
+        assert!(m.accepts(["x", "a", "b", "b"]));
+        assert!(!m.accepts(["x", "b"]));
+        assert!(m.accepts(["a", "x", "b"]));
+    }
+
+    #[test]
+    fn inclusion_holds_for_ordered_chain() {
+        let behaviour = chain(&["sense", "send", "show"]);
+        let m = precedence_monitor(["sense", "send", "show"], "sense", "show");
+        assert!(satisfies(&behaviour, &m));
+    }
+
+    #[test]
+    fn inclusion_fails_with_shortest_witness() {
+        // Behaviour allows show before sense via a second branch.
+        let mut b = Nfa::builder();
+        let sense = b.symbol("sense");
+        let show = b.symbol("show");
+        let s0 = b.state(true);
+        let s1 = b.state(true);
+        let s2 = b.state(true);
+        b.initial(s0);
+        b.edge(s0, Some(show), s1); // violation: show first
+        b.edge(s0, Some(sense), s2);
+        b.edge(s2, Some(show), s1);
+        let behaviour = b.build();
+        let m = precedence_monitor(["sense", "show"], "sense", "show");
+        let witness = inclusion_counterexample(&behaviour, &m).expect("violation");
+        assert_eq!(witness, vec!["show"]);
+    }
+
+    #[test]
+    fn unknown_action_is_a_violation() {
+        let behaviour = chain(&["mystery"]);
+        let m = precedence_monitor(["a", "b"], "a", "b");
+        assert!(!satisfies(&behaviour, &m));
+    }
+
+    #[test]
+    fn monitor_agrees_with_temporal_precedes() {
+        // Diamond behaviour: a and x independent, then b.
+        let mut bld = Nfa::builder();
+        let a = bld.symbol("a");
+        let x = bld.symbol("x");
+        let bb = bld.symbol("b");
+        let s00 = bld.state(true);
+        let s10 = bld.state(true);
+        let s01 = bld.state(true);
+        let s11 = bld.state(true);
+        let end = bld.state(true);
+        bld.initial(s00);
+        bld.edge(s00, Some(a), s10);
+        bld.edge(s00, Some(x), s01);
+        bld.edge(s10, Some(x), s11);
+        bld.edge(s01, Some(a), s11);
+        bld.edge(s11, Some(bb), end);
+        let behaviour = bld.build();
+        for (lo, hi) in [("a", "b"), ("x", "b"), ("a", "x"), ("b", "a")] {
+            let m = precedence_monitor(["a", "x", "b"], lo, hi);
+            assert_eq!(
+                satisfies(&behaviour, &m),
+                crate::temporal::precedes(&behaviour, lo, hi),
+                "pair ({lo}, {hi})"
+            );
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Determinization and minimisation.
+//!
+//! The paper's §5.5 computes "minimal automata for the homomorphic
+//! images" of a system behaviour. [`determinize`] performs the subset
+//! construction (with ε-closures, as homomorphic erasure produces
+//! ε-transitions) and [`minimize`] implements Hopcroft's partition
+//! refinement.
+
+use crate::alphabet::SymId;
+#[cfg(test)]
+use crate::alphabet::Alphabet;
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, StateId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Subset construction: converts an NFA (possibly with ε-transitions)
+/// into a language-equivalent DFA.
+///
+/// The result is *partial*: subsets that would be empty are represented
+/// by missing transitions rather than a sink state.
+///
+/// # Examples
+///
+/// ```
+/// use automata::{Nfa, ops::determinize};
+///
+/// let mut b = Nfa::builder();
+/// let a = b.symbol("a");
+/// let s0 = b.state(false);
+/// let s1 = b.state(true);
+/// let s2 = b.state(true);
+/// b.initial(s0);
+/// b.edge(s0, Some(a), s1);
+/// b.edge(s0, Some(a), s2); // nondeterministic
+/// let dfa = determinize(&b.build());
+/// assert!(dfa.accepts(["a"]));
+/// assert_eq!(dfa.state_count(), 2);
+/// ```
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    let alphabet = nfa.alphabet().clone();
+    if nfa.state_count() == 0 {
+        // Empty language: one non-accepting state, no transitions.
+        return Dfa::new(alphabet, vec![false], StateId::new(0), vec![BTreeMap::new()]);
+    }
+    let start = nfa.epsilon_closure(nfa.initial_states());
+    let mut index: HashMap<BTreeSet<StateId>, StateId> = HashMap::new();
+    let mut subsets: Vec<BTreeSet<StateId>> = Vec::new();
+    let mut trans: Vec<BTreeMap<SymId, StateId>> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let mut queue = VecDeque::new();
+
+    let s0 = StateId::new(0);
+    index.insert(start.clone(), s0);
+    accepting.push(start.iter().any(|s| nfa.is_accepting(*s)));
+    subsets.push(start.clone());
+    trans.push(BTreeMap::new());
+    queue.push_back(s0);
+
+    let syms: Vec<SymId> = alphabet.iter().map(|(id, _)| id).collect();
+    while let Some(d) = queue.pop_front() {
+        let subset = subsets[d.index()].clone();
+        for &sym in &syms {
+            let mut tgt = BTreeSet::new();
+            for s in &subset {
+                tgt.extend(nfa.step(*s, Some(sym)));
+            }
+            if tgt.is_empty() {
+                continue;
+            }
+            let tgt = nfa.epsilon_closure(&tgt);
+            let next = *index.entry(tgt.clone()).or_insert_with(|| {
+                let id = StateId::new(subsets.len());
+                accepting.push(tgt.iter().any(|s| nfa.is_accepting(*s)));
+                subsets.push(tgt.clone());
+                trans.push(BTreeMap::new());
+                queue.push_back(id);
+                id
+            });
+            trans[d.index()].insert(sym, next);
+        }
+    }
+    Dfa::new(alphabet, accepting, s0, trans)
+}
+
+/// Hopcroft minimisation.
+///
+/// Returns the unique (up to renaming) minimal partial DFA for the
+/// language of `dfa`: unreachable states are dropped, language-equivalent
+/// states merged, and dead states (empty continuation language) removed
+/// again so the result stays partial. The result is in canonical (BFS)
+/// state order, so two equivalent minimal DFAs over the same used
+/// alphabet compare equal with `==` after [`Dfa::canonical`].
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    // 1. Trim unreachable states (canonical also renumbers BFS).
+    let dfa = dfa.canonical();
+    let n = dfa.state_count();
+    if n == 0 {
+        return dfa;
+    }
+    let alpha_len = dfa.alphabet().len();
+
+    // 2. Complete with a sink at index n.
+    let total = n + 1;
+    let mut delta = vec![vec![n; alpha_len]; total]; // default: sink
+    for (from, sym, to) in dfa.transitions() {
+        delta[from.index()][sym.index()] = to.index();
+    }
+    let mut accepting: Vec<bool> = (0..n).map(|i| dfa.is_accepting(StateId::new(i))).collect();
+    accepting.push(false); // sink
+
+    // 3. Hopcroft partition refinement.
+    let class = hopcroft(total, alpha_len, &delta, &accepting);
+
+    // 4. Identify dead classes: class cannot reach an accepting state.
+    let n_classes = class.iter().max().map_or(0, |m| m + 1);
+    let mut class_accepting = vec![false; n_classes];
+    for (s, &c) in class.iter().enumerate() {
+        if accepting[s] {
+            class_accepting[c] = true;
+        }
+    }
+    // Quotient transitions.
+    let mut q_delta: Vec<Vec<usize>> = vec![vec![0; alpha_len]; n_classes];
+    for (s, row) in delta.iter().enumerate() {
+        for (a, &t) in row.iter().enumerate() {
+            q_delta[class[s]][a] = class[t];
+        }
+    }
+    // Liveness: backward reachability from accepting classes.
+    let mut live = class_accepting.clone();
+    loop {
+        let mut changed = false;
+        for c in 0..n_classes {
+            if !live[c] && q_delta[c].iter().any(|&t| live[t]) {
+                live[c] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 5. Rebuild a partial DFA over live classes only.
+    let init_class = class[dfa.initial_state().index()];
+    if !live[init_class] {
+        // Empty language.
+        return Dfa::new(
+            dfa.alphabet().clone(),
+            vec![false],
+            StateId::new(0),
+            vec![BTreeMap::new()],
+        );
+    }
+    let live_ids: Vec<usize> = (0..n_classes).filter(|&c| live[c]).collect();
+    let renum: HashMap<usize, StateId> = live_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, StateId::new(i)))
+        .collect();
+    let mut trans: Vec<BTreeMap<SymId, StateId>> = vec![BTreeMap::new(); live_ids.len()];
+    for &c in &live_ids {
+        for (a, &t) in q_delta[c].iter().enumerate() {
+            if live[t] {
+                trans[renum[&c].index()].insert(SymId::new(a), renum[&t]);
+            }
+        }
+    }
+    let acc: Vec<bool> = live_ids.iter().map(|&c| class_accepting[c]).collect();
+    Dfa::new(dfa.alphabet().clone(), acc, renum[&init_class], trans).canonical()
+}
+
+/// Hopcroft's algorithm on a complete DFA given as `delta[state][symbol]`.
+/// Returns the equivalence class of every state.
+fn hopcroft(n: usize, alpha_len: usize, delta: &[Vec<usize>], accepting: &[bool]) -> Vec<usize> {
+    // Reverse transitions: rev[a][t] = sources.
+    let mut rev: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; alpha_len];
+    for (s, row) in delta.iter().enumerate() {
+        for (a, &t) in row.iter().enumerate() {
+            rev[a][t].push(s);
+        }
+    }
+
+    // Partition as a vector of blocks.
+    let mut block_of = vec![0usize; n];
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    let finals: Vec<usize> = (0..n).filter(|&s| accepting[s]).collect();
+    let non_finals: Vec<usize> = (0..n).filter(|&s| !accepting[s]).collect();
+    for set in [finals, non_finals] {
+        if !set.is_empty() {
+            let b = blocks.len();
+            for &s in &set {
+                block_of[s] = b;
+            }
+            blocks.push(set);
+        }
+    }
+
+    // Worklist of (block index, symbol).
+    let mut worklist: VecDeque<(usize, usize)> = VecDeque::new();
+    for b in 0..blocks.len() {
+        for a in 0..alpha_len {
+            worklist.push_back((b, a));
+        }
+    }
+
+    while let Some((splitter, a)) = worklist.pop_front() {
+        // X = states with delta(s, a) ∈ splitter block.
+        let mut x: Vec<usize> = Vec::new();
+        for &t in &blocks[splitter] {
+            x.extend(rev[a][t].iter().copied());
+        }
+        if x.is_empty() {
+            continue;
+        }
+        let in_x: std::collections::HashSet<usize> = x.iter().copied().collect();
+        // Blocks touched by X.
+        let mut touched: Vec<usize> = x.iter().map(|&s| block_of[s]).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for b in touched {
+            let (inside, outside): (Vec<usize>, Vec<usize>) =
+                blocks[b].iter().partition(|s| in_x.contains(s));
+            if inside.is_empty() || outside.is_empty() {
+                continue;
+            }
+            // Split block b into inside / outside; keep larger in place.
+            let new_b = blocks.len();
+            let (stay, moved) = if inside.len() <= outside.len() {
+                (outside, inside)
+            } else {
+                (inside, outside)
+            };
+            blocks[b] = stay;
+            for &s in &moved {
+                block_of[s] = new_b;
+            }
+            blocks.push(moved);
+            // Re-enqueue both halves: correct (if conservative) splitter
+            // management; entries are bounded by the number of splits.
+            for aa in 0..alpha_len {
+                worklist.push_back((b, aa));
+                worklist.push_back((new_b, aa));
+            }
+        }
+    }
+    block_of
+}
+
+impl Dfa {
+    /// Returns `true` if every state is accepting.
+    pub fn all_states_accepting(&self) -> bool {
+        (0..self.state_count()).all(|i| self.is_accepting(StateId::new(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::language_equivalent;
+
+    fn behaviour_nfa() -> Nfa {
+        // Interleaving of two independent actions a, b then c.
+        let mut bld = Nfa::builder();
+        let a = bld.symbol("a");
+        let b = bld.symbol("b");
+        let c = bld.symbol("c");
+        let s00 = bld.state(true);
+        let s10 = bld.state(true);
+        let s01 = bld.state(true);
+        let s11 = bld.state(true);
+        let end = bld.state(true);
+        bld.initial(s00);
+        bld.edge(s00, Some(a), s10);
+        bld.edge(s00, Some(b), s01);
+        bld.edge(s10, Some(b), s11);
+        bld.edge(s01, Some(a), s11);
+        bld.edge(s11, Some(c), end);
+        bld.build()
+    }
+
+    #[test]
+    fn determinize_preserves_language_samples() {
+        let n = behaviour_nfa();
+        let d = determinize(&n);
+        for w in n.words_up_to(3) {
+            assert!(d.accepts(w.iter().map(String::as_str)), "missing {w:?}");
+        }
+        assert!(!d.accepts(["c"]));
+        assert!(!d.accepts(["a", "a"]));
+    }
+
+    #[test]
+    fn determinize_epsilon() {
+        let mut b = Nfa::builder();
+        let a = b.symbol("a");
+        let s0 = b.state(false);
+        let s1 = b.state(false);
+        let s2 = b.state(true);
+        b.initial(s0);
+        b.edge(s0, None, s1);
+        b.edge(s1, Some(a), s2);
+        b.edge(s2, None, s0);
+        let d = determinize(&b.build());
+        assert!(d.accepts(["a"]));
+        assert!(d.accepts(["a", "a"]));
+        assert!(!d.accepts([""; 0]));
+    }
+
+    #[test]
+    fn minimize_merges_equivalent_states() {
+        // Two redundant accepting chains for the same language {a}.
+        let mut b = Nfa::builder();
+        let a = b.symbol("a");
+        let s0 = b.state(false);
+        let s1 = b.state(true);
+        let s2 = b.state(true);
+        b.initial(s0);
+        b.edge(s0, Some(a), s1);
+        b.edge(s0, Some(a), s2);
+        let d = determinize(&b.build());
+        let m = minimize(&d);
+        assert_eq!(m.state_count(), 2);
+        assert!(m.accepts(["a"]));
+        assert!(!m.accepts(["a", "a"]));
+    }
+
+    #[test]
+    fn minimize_removes_dead_states() {
+        use std::collections::BTreeMap;
+        let mut alphabet = Alphabet::new();
+        let a = alphabet.intern("a");
+        let b = alphabet.intern("b");
+        // 0 -a-> 1 (accepting), 0 -b-> 2 (dead trap)
+        let trans = vec![
+            BTreeMap::from([(a, StateId::new(1)), (b, StateId::new(2))]),
+            BTreeMap::new(),
+            BTreeMap::from([(a, StateId::new(2))]),
+        ];
+        let d = Dfa::new(alphabet, vec![false, true, false], StateId::new(0), trans);
+        let m = minimize(&d);
+        assert_eq!(m.state_count(), 2, "dead trap removed");
+        assert!(m.accepts(["a"]));
+        assert!(!m.accepts(["b"]));
+    }
+
+    #[test]
+    fn minimize_idempotent() {
+        let d = determinize(&behaviour_nfa());
+        let m1 = minimize(&d);
+        let m2 = minimize(&m1);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn minimize_preserves_language() {
+        let n = behaviour_nfa();
+        let d = determinize(&n);
+        let m = minimize(&d);
+        assert!(language_equivalent(&d, &m));
+    }
+
+    #[test]
+    fn minimize_classic_example() {
+        use std::collections::BTreeMap;
+        // Language: words over {a} of even length. 4-state redundant DFA.
+        let mut alphabet = Alphabet::new();
+        let a = alphabet.intern("a");
+        let t = |i: usize| StateId::new(i);
+        let trans = vec![
+            BTreeMap::from([(a, t(1))]),
+            BTreeMap::from([(a, t(2))]),
+            BTreeMap::from([(a, t(3))]),
+            BTreeMap::from([(a, t(0))]),
+        ];
+        let d = Dfa::new(alphabet, vec![true, false, true, false], t(0), trans);
+        let m = minimize(&d);
+        assert_eq!(m.state_count(), 2);
+        assert!(m.accepts([""; 0]));
+        assert!(!m.accepts(["a"]));
+        assert!(m.accepts(["a", "a"]));
+    }
+
+    #[test]
+    fn minimize_empty_language() {
+        use std::collections::BTreeMap;
+        let alphabet = Alphabet::new();
+        let d = Dfa::new(alphabet, vec![false], StateId::new(0), vec![BTreeMap::new()]);
+        let m = minimize(&d);
+        assert_eq!(m.state_count(), 1);
+        assert!(!m.accepts([""; 0]));
+    }
+
+    #[test]
+    fn minimal_dfa_of_prefix_closed_behaviour() {
+        // The diamond interleaving minimises to the 5-state diamond + end:
+        // its Nerode classes are {00},{10},{01},{11},{end}.
+        let m = minimize(&determinize(&behaviour_nfa()));
+        assert_eq!(m.state_count(), 5);
+        assert!(m.all_states_accepting());
+    }
+
+    #[test]
+    fn canonical_forms_equal_for_equivalent_dfas() {
+        let n = behaviour_nfa();
+        let d1 = minimize(&determinize(&n));
+        // Build the same behaviour with different state numbering.
+        let mut bld = Nfa::builder();
+        let b = bld.symbol("b");
+        let a = bld.symbol("a");
+        let c = bld.symbol("c");
+        let s11 = bld.state(true);
+        let end = bld.state(true);
+        let s01 = bld.state(true);
+        let s10 = bld.state(true);
+        let s00 = bld.state(true);
+        bld.initial(s00);
+        bld.edge(s00, Some(a), s10);
+        bld.edge(s00, Some(b), s01);
+        bld.edge(s10, Some(b), s11);
+        bld.edge(s01, Some(a), s11);
+        bld.edge(s11, Some(c), end);
+        let d2 = minimize(&determinize(&bld.build()));
+        assert_eq!(d1.canonical().state_count(), d2.canonical().state_count());
+        assert!(language_equivalent(&d1, &d2));
+    }
+}

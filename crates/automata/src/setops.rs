@@ -1,0 +1,296 @@
+//! Boolean set operations on regular languages.
+//!
+//! Product constructions over *name-aligned* alphabets (two automata
+//! never need to share an [`crate::Alphabet`] instance). Together with
+//! [`crate::equiv`] and [`crate::monitor`] these make the crate a
+//! self-contained toolbox for the language reasoning the SH tool's
+//! methodology relies on: property monitors are intersected with
+//! behaviours, violations are non-empty differences.
+
+use crate::alphabet::Alphabet;
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// How to combine acceptance in a product construction.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Intersection,
+    Union,
+    Difference,
+}
+
+/// `L(a) ∩ L(b)`.
+pub fn intersection(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, Mode::Intersection)
+}
+
+/// `L(a) ∪ L(b)`.
+pub fn union(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, Mode::Union)
+}
+
+/// `L(a) \ L(b)`.
+pub fn difference(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, Mode::Difference)
+}
+
+/// The complement of `L(dfa)` **relative to the given symbol universe**
+/// (complement is only meaningful against an explicit alphabet; pass
+/// the union of all action names under discussion).
+pub fn complement<'a>(dfa: &Dfa, universe: impl IntoIterator<Item = &'a str>) -> Dfa {
+    // Complete the DFA over the universe with a sink, then flip
+    // acceptance.
+    let mut alphabet = Alphabet::new();
+    let mut names: BTreeSet<&str> = universe.into_iter().collect();
+    for (_, n) in dfa.alphabet().iter() {
+        names.insert(n);
+    }
+    for n in &names {
+        alphabet.intern(n);
+    }
+    let n_states = dfa.state_count();
+    let sink = StateId::new(n_states);
+    let mut accepting: Vec<bool> = (0..n_states)
+        .map(|i| !dfa.is_accepting(StateId::new(i)))
+        .collect();
+    accepting.push(true); // sink accepts in the complement
+    let mut trans: Vec<BTreeMap<crate::alphabet::SymId, StateId>> =
+        vec![BTreeMap::new(); n_states + 1];
+    for (i, row) in trans.iter_mut().enumerate() {
+        for name in &names {
+            let sym = alphabet.get(name).expect("interned");
+            let target = if i == n_states {
+                sink
+            } else {
+                dfa.step_name(StateId::new(i), name).unwrap_or(sink)
+            };
+            row.insert(sym, target);
+        }
+    }
+    let initial = if n_states == 0 { sink } else { dfa.initial_state() };
+    Dfa::new(alphabet, accepting, initial, trans)
+}
+
+/// Returns a shortest accepted word, or `None` if the language is
+/// empty.
+pub fn shortest_member(dfa: &Dfa) -> Option<Vec<String>> {
+    let mut seen = vec![false; dfa.state_count()];
+    let mut queue: VecDeque<(StateId, Vec<String>)> = VecDeque::new();
+    if dfa.state_count() == 0 {
+        return None;
+    }
+    seen[dfa.initial_state().index()] = true;
+    queue.push_back((dfa.initial_state(), Vec::new()));
+    while let Some((s, word)) = queue.pop_front() {
+        if dfa.is_accepting(s) {
+            return Some(word);
+        }
+        for (from, sym, to) in dfa.transitions() {
+            if from != s || seen[to.index()] {
+                continue;
+            }
+            seen[to.index()] = true;
+            let mut w = word.clone();
+            w.push(dfa.alphabet().name(sym).to_owned());
+            queue.push_back((to, w));
+        }
+    }
+    None
+}
+
+/// Returns `true` if the language is empty.
+pub fn is_empty(dfa: &Dfa) -> bool {
+    shortest_member(dfa).is_none()
+}
+
+/// `L(a) ⊆ L(b)` — decided as emptiness of `L(a) \ L(b)`.
+pub fn is_subset(a: &Dfa, b: &Dfa) -> bool {
+    is_empty(&difference(a, b))
+}
+
+fn product(a: &Dfa, b: &Dfa, mode: Mode) -> Dfa {
+    // Union alphabet by name.
+    let mut alphabet = Alphabet::new();
+    let names: BTreeSet<&str> = a
+        .alphabet()
+        .iter()
+        .map(|(_, n)| n)
+        .chain(b.alphabet().iter().map(|(_, n)| n))
+        .collect();
+    for n in &names {
+        alphabet.intern(n);
+    }
+
+    type Pair = (Option<StateId>, Option<StateId>);
+    let accepting_pair = |a_dfa: &Dfa, b_dfa: &Dfa, (sa, sb): Pair| -> bool {
+        let in_a = sa.is_some_and(|s| a_dfa.is_accepting(s));
+        let in_b = sb.is_some_and(|s| b_dfa.is_accepting(s));
+        match mode {
+            Mode::Intersection => in_a && in_b,
+            Mode::Union => in_a || in_b,
+            Mode::Difference => in_a && !in_b,
+        }
+    };
+
+    let start: Pair = (
+        (a.state_count() > 0).then(|| a.initial_state()),
+        (b.state_count() > 0).then(|| b.initial_state()),
+    );
+    let mut index: HashMap<Pair, StateId> = HashMap::new();
+    let mut accepting = Vec::new();
+    let mut trans: Vec<BTreeMap<crate::alphabet::SymId, StateId>> = Vec::new();
+    let mut queue = VecDeque::new();
+    index.insert(start, StateId::new(0));
+    accepting.push(accepting_pair(a, b, start));
+    trans.push(BTreeMap::new());
+    queue.push_back(start);
+    while let Some(pair) = queue.pop_front() {
+        let here = index[&pair];
+        for name in &names {
+            let next: Pair = (
+                pair.0.and_then(|s| a.step_name(s, name)),
+                pair.1.and_then(|s| b.step_name(s, name)),
+            );
+            if next == (None, None) {
+                continue; // joint sink: never accepting in any mode that matters
+            }
+            let id = *index.entry(next).or_insert_with(|| {
+                let id = StateId::new(accepting.len());
+                accepting.push(accepting_pair(a, b, next));
+                trans.push(BTreeMap::new());
+                queue.push_back(next);
+                id
+            });
+            let sym = alphabet.get(name).expect("interned");
+            trans[here.index()].insert(sym, id);
+        }
+    }
+    Dfa::new(alphabet, accepting, StateId::new(0), trans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::ops::determinize;
+
+    /// pref(a·b) over {a, b}.
+    fn ab() -> Dfa {
+        let mut bld = Nfa::builder();
+        let a = bld.symbol("a");
+        let b = bld.symbol("b");
+        let s0 = bld.state(true);
+        let s1 = bld.state(true);
+        let s2 = bld.state(true);
+        bld.initial(s0);
+        bld.edge(s0, Some(a), s1);
+        bld.edge(s1, Some(b), s2);
+        determinize(&bld.build())
+    }
+
+    /// pref(a·c) over {a, c}.
+    fn ac() -> Dfa {
+        let mut bld = Nfa::builder();
+        let a = bld.symbol("a");
+        let c = bld.symbol("c");
+        let s0 = bld.state(true);
+        let s1 = bld.state(true);
+        let s2 = bld.state(true);
+        bld.initial(s0);
+        bld.edge(s0, Some(a), s1);
+        bld.edge(s1, Some(c), s2);
+        determinize(&bld.build())
+    }
+
+    #[test]
+    fn intersection_is_common_prefixes() {
+        let i = intersection(&ab(), &ac());
+        assert!(i.accepts([""; 0]));
+        assert!(i.accepts(["a"]));
+        assert!(!i.accepts(["a", "b"]));
+        assert!(!i.accepts(["a", "c"]));
+    }
+
+    #[test]
+    fn union_accepts_both() {
+        let u = union(&ab(), &ac());
+        assert!(u.accepts(["a", "b"]));
+        assert!(u.accepts(["a", "c"]));
+        assert!(!u.accepts(["b"]));
+    }
+
+    #[test]
+    fn difference_keeps_only_left() {
+        let d = difference(&ab(), &ac());
+        assert!(d.accepts(["a", "b"]));
+        assert!(!d.accepts(["a"]), "a is in both");
+        assert!(!d.accepts(["a", "c"]));
+        assert!(!is_empty(&d));
+        assert_eq!(shortest_member(&d), Some(vec!["a".into(), "b".into()]));
+    }
+
+    #[test]
+    fn difference_with_self_is_empty() {
+        let d = difference(&ab(), &ab());
+        assert!(is_empty(&d));
+        assert_eq!(shortest_member(&d), None);
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let c = complement(&ab(), ["a", "b", "c"]);
+        assert!(!c.accepts([""; 0]));
+        assert!(!c.accepts(["a", "b"]));
+        assert!(c.accepts(["b"]));
+        assert!(c.accepts(["a", "c"]), "c outside ab's alphabet");
+        assert!(c.accepts(["a", "b", "a"]));
+    }
+
+    #[test]
+    fn double_complement_restores_language() {
+        let universe = ["a", "b", "c"];
+        let cc = complement(&complement(&ab(), universe), universe);
+        assert!(crate::equiv::language_equivalent(&cc, &ab()));
+    }
+
+    #[test]
+    fn subset_checks() {
+        let i = intersection(&ab(), &ac());
+        assert!(is_subset(&i, &ab()));
+        assert!(is_subset(&i, &ac()));
+        assert!(!is_subset(&ab(), &ac()));
+        assert!(is_subset(&ab(), &union(&ab(), &ac())));
+    }
+
+    #[test]
+    fn subset_agrees_with_monitor_inclusion() {
+        // is_subset(behaviour, monitor) must agree with
+        // monitor::satisfies for a prefix-closed behaviour.
+        let behaviour_dfa = ab();
+        let behaviour_nfa = behaviour_dfa.to_nfa();
+        let m = crate::monitor::precedence_monitor(["a", "b"], "a", "b");
+        assert_eq!(
+            is_subset(&behaviour_dfa, &m),
+            crate::monitor::satisfies(&behaviour_nfa, &m)
+        );
+        let m_bad = crate::monitor::precedence_monitor(["a", "b"], "b", "a");
+        assert_eq!(
+            is_subset(&behaviour_dfa, &m_bad),
+            crate::monitor::satisfies(&behaviour_nfa, &m_bad)
+        );
+    }
+
+    #[test]
+    fn empty_automaton_operations() {
+        let empty = Dfa::new(
+            Alphabet::new(),
+            vec![false],
+            StateId::new(0),
+            vec![BTreeMap::new()],
+        );
+        assert!(is_empty(&intersection(&empty, &ab())));
+        assert!(crate::equiv::language_equivalent(&union(&empty, &ab()), &ab()));
+        assert!(is_empty(&difference(&empty, &ab())));
+    }
+}

@@ -1,0 +1,163 @@
+//! Shuffle (interleaving) product of behaviours.
+//!
+//! Two systems that share no state components run independently; the
+//! behaviour of their union is the *shuffle* of their behaviours — all
+//! interleavings of one word from each. This is the formal content of
+//! the paper's four-vehicle observation (Fig. 9): two radio-disjoint
+//! vehicle pairs yield a product state space (13² = 169 in the tool,
+//! 12² = 144 under the printed Δ-relations). The identity
+//!
+//! ```text
+//!   L(A ∥ B) = shuffle(L(A), L(B))
+//! ```
+//!
+//! for component-disjoint APA compositions is validated in the
+//! integration suite using [`shuffle_product`].
+
+use crate::nfa::{Nfa, StateId};
+use std::collections::HashMap;
+
+/// Builds an NFA accepting the shuffle of the two languages: every
+/// interleaving of a word of `a` with a word of `b`. State space is the
+/// product of the inputs'.
+///
+/// Symbols are matched by *name*; overlapping alphabets are allowed
+/// (the shuffle then contains words whose common symbols could have
+/// come from either side).
+///
+/// # Examples
+///
+/// ```
+/// use automata::{Nfa, shuffle::shuffle_product};
+///
+/// let mut a = Nfa::builder();
+/// let x = a.symbol("x");
+/// let a0 = a.state(true);
+/// let a1 = a.state(true);
+/// a.initial(a0);
+/// a.edge(a0, Some(x), a1);
+///
+/// let mut b = Nfa::builder();
+/// let y = b.symbol("y");
+/// let b0 = b.state(true);
+/// let b1 = b.state(true);
+/// b.initial(b0);
+/// b.edge(b0, Some(y), b1);
+///
+/// let s = shuffle_product(&a.build(), &b.build());
+/// assert!(s.accepts(["x", "y"]));
+/// assert!(s.accepts(["y", "x"]));
+/// assert!(!s.accepts(["x", "x"]));
+/// ```
+pub fn shuffle_product(a: &Nfa, b: &Nfa) -> Nfa {
+    let mut builder = Nfa::builder();
+    // Product states, lazily… sizes are small, so build eagerly.
+    let mut ids: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    for i in 0..a.state_count() {
+        for j in 0..b.state_count() {
+            let (sa, sb) = (StateId::new(i), StateId::new(j));
+            let accepting = a.is_accepting(sa) && b.is_accepting(sb);
+            ids.insert((sa, sb), builder.state(accepting));
+        }
+    }
+    for &ia in a.initial_states() {
+        for &ib in b.initial_states() {
+            builder.initial(ids[&(ia, ib)]);
+        }
+    }
+    // a moves, b stays.
+    for (from, label, to) in a.transitions() {
+        let sym = label.map(|s| builder.symbol(a.alphabet().name(s)));
+        for j in 0..b.state_count() {
+            let sb = StateId::new(j);
+            builder.edge(ids[&(from, sb)], sym, ids[&(to, sb)]);
+        }
+    }
+    // b moves, a stays.
+    for (from, label, to) in b.transitions() {
+        let sym = label.map(|s| builder.symbol(b.alphabet().name(s)));
+        for i in 0..a.state_count() {
+            let sa = StateId::new(i);
+            builder.edge(ids[&(sa, from)], sym, ids[&(sa, to)]);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::language_equivalent;
+    use crate::ops::determinize;
+
+    fn word_nfa(word: &[&str]) -> Nfa {
+        let mut b = Nfa::builder();
+        let mut prev = b.state(word.is_empty());
+        b.initial(prev);
+        for (i, w) in word.iter().enumerate() {
+            let sym = b.symbol(w);
+            let next = b.state(i + 1 == word.len());
+            b.edge(prev, Some(sym), next);
+            prev = next;
+        }
+        b.build()
+    }
+
+    #[test]
+    fn shuffle_of_two_letters() {
+        let s = shuffle_product(&word_nfa(&["x"]), &word_nfa(&["y"]));
+        assert!(s.accepts(["x", "y"]));
+        assert!(s.accepts(["y", "x"]));
+        assert!(!s.accepts(["x"]), "both words must complete");
+        assert!(!s.accepts(["y", "y"]));
+    }
+
+    #[test]
+    fn shuffle_counts_interleavings() {
+        // |shuffle(ab, cd)| = C(4,2) = 6 words of length 4.
+        let s = shuffle_product(&word_nfa(&["a", "b"]), &word_nfa(&["c", "d"]));
+        let words = s.words_up_to(4);
+        assert_eq!(words.len(), 6);
+        assert!(words.contains(&vec![
+            "c".to_owned(),
+            "a".to_owned(),
+            "d".to_owned(),
+            "b".to_owned()
+        ]));
+    }
+
+    #[test]
+    fn shuffle_with_epsilon_language_is_identity() {
+        let a = word_nfa(&["p", "q"]);
+        let eps = word_nfa(&[]);
+        let s = shuffle_product(&a, &eps);
+        assert!(language_equivalent(&determinize(&s), &determinize(&a)));
+    }
+
+    #[test]
+    fn shuffle_is_commutative() {
+        let a = word_nfa(&["a"]);
+        let b = word_nfa(&["b", "c"]);
+        let ab = shuffle_product(&a, &b);
+        let ba = shuffle_product(&b, &a);
+        assert!(language_equivalent(&determinize(&ab), &determinize(&ba)));
+    }
+
+    #[test]
+    fn prefix_closed_inputs_give_prefix_closed_shuffle() {
+        // All-accepting inputs → all-accepting product.
+        let mut b1 = Nfa::builder();
+        let x = b1.symbol("x");
+        let s0 = b1.state(true);
+        let s1 = b1.state(true);
+        b1.initial(s0);
+        b1.edge(s0, Some(x), s1);
+        let n1 = b1.build();
+        let s = shuffle_product(&n1, &n1.clone());
+        assert!(s.all_accepting());
+        assert!(s.accepts([""; 0]));
+        assert!(s.accepts(["x"]));
+        assert!(s.accepts(["x", "x"]));
+        assert!(!s.accepts(["x", "x", "x"]));
+    }
+}

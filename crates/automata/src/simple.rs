@@ -1,0 +1,225 @@
+//! The *simple homomorphism* check.
+//!
+//! In Ochsenschläger's abstraction theory (used by the SH verification
+//! tool, reference 20 of the paper) a homomorphism `h` is *simple* on a
+//! prefix-closed behaviour `L` if abstraction does not lose continuation
+//! information: for every word `w ∈ L`, the abstract continuations of
+//! `h(w)` are exactly the images of the concrete continuations of `w`,
+//!
+//! ```text
+//!   h(w⁻¹ L) = h(w)⁻¹ h(L)     for all w ∈ L.
+//! ```
+//!
+//! Under a simple homomorphism, (approximately satisfied) properties
+//! verified on the abstract behaviour carry over to the concrete system,
+//! which is what makes the tool's "check temporal logic on the abstract
+//! behaviour" methodology sound.
+//!
+//! The check here is exact for the finite-state behaviours this crate
+//! handles: it explores all synchronous state pairs `(q, r)` of the
+//! concrete minimal DFA `A` and the abstract minimal DFA `B` that are
+//! reachable via some `(w, h(w))`, and verifies for each pair that the
+//! image of `q`'s continuation language equals `r`'s continuation
+//! language.
+
+use crate::equiv::language_equivalent;
+use crate::hom::Homomorphism;
+use crate::nfa::{Nfa, StateId};
+use crate::ops::{determinize, minimize};
+use std::collections::{HashSet, VecDeque};
+
+/// Result of a [`check`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Simplicity {
+    /// The homomorphism is simple on the given behaviour.
+    Simple,
+    /// Not simple; carries a witnessing word `w ∈ L` for which
+    /// `h(w⁻¹L) ≠ h(w)⁻¹h(L)`.
+    NotSimple {
+        /// A word of the concrete behaviour witnessing the violation.
+        witness: Vec<String>,
+    },
+}
+
+impl Simplicity {
+    /// Returns `true` for [`Simplicity::Simple`].
+    pub fn is_simple(&self) -> bool {
+        matches!(self, Simplicity::Simple)
+    }
+}
+
+/// Checks whether `h` is simple on the (prefix-closed) behaviour of
+/// `nfa`.
+///
+/// # Examples
+///
+/// Erasing an action that only ever happens *after* the preserved ones
+/// is simple; erasing a *choice point* is not:
+///
+/// ```
+/// use automata::{Nfa, Homomorphism, simple};
+///
+/// // Behaviour: a·b | c — erase c.
+/// let mut bld = Nfa::builder();
+/// let a = bld.symbol("a");
+/// let b = bld.symbol("b");
+/// let c = bld.symbol("c");
+/// let s0 = bld.state(true);
+/// let s1 = bld.state(true);
+/// let s2 = bld.state(true);
+/// let s3 = bld.state(true);
+/// bld.initial(s0);
+/// bld.edge(s0, Some(a), s1);
+/// bld.edge(s1, Some(b), s2);
+/// bld.edge(s0, Some(c), s3);
+/// let nfa = bld.build();
+///
+/// // After erasing c, the abstract behaviour still offers "a·b" from the
+/// // empty word, but concretely, once c happened, a is impossible:
+/// let h = Homomorphism::erase_all_except(["a", "b"]);
+/// assert!(!simple::check(&nfa, &h).is_simple());
+/// ```
+pub fn check(nfa: &Nfa, h: &Homomorphism) -> Simplicity {
+    let concrete = minimize(&determinize(nfa));
+    let abstracted = minimize(&determinize(&h.apply(nfa)));
+
+    if concrete.state_count() == 0 {
+        return Simplicity::Simple;
+    }
+
+    // Synchronous exploration of (concrete state, abstract state) via
+    // (w, h(w)).
+    let start = (concrete.initial_state(), abstracted.initial_state());
+    let mut seen: HashSet<(StateId, StateId)> = HashSet::new();
+    let mut queue: VecDeque<((StateId, StateId), Vec<String>)> = VecDeque::new();
+    seen.insert(start);
+    queue.push_back((start, Vec::new()));
+
+    while let Some(((q, r), word)) = queue.pop_front() {
+        // Check: h(L_q(A)) == L_r(B).
+        let cont_image = h.apply(&concrete.rerooted(q).to_nfa());
+        let cont_image = minimize(&determinize(&cont_image));
+        let abstract_cont = minimize(&determinize(&abstracted.rerooted(r).to_nfa()));
+        if !language_equivalent(&cont_image, &abstract_cont) {
+            return Simplicity::NotSimple { witness: word };
+        }
+        // Explore successors.
+        for (_, sym, to) in concrete
+            .transitions()
+            .filter(|(from, _, _)| *from == q)
+        {
+            let name = concrete.alphabet().name(sym).to_owned();
+            let r_next = match h.map_name(&name) {
+                None => r, // erased: abstract state unchanged
+                Some(image_name) => match abstracted.step_name(r, &image_name) {
+                    Some(r2) => r2,
+                    // h(w·s) ∉ pref(h(L)) is impossible for prefix-closed
+                    // behaviours; treat defensively as a violation.
+                    None => {
+                        let mut w = word.clone();
+                        w.push(name);
+                        return Simplicity::NotSimple { witness: w };
+                    }
+                },
+            };
+            if seen.insert((to, r_next)) {
+                let mut w = word.clone();
+                w.push(name);
+                queue.push_back(((to, r_next), w));
+            }
+        }
+    }
+    Simplicity::Simple
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(names: &[&str]) -> Nfa {
+        let mut b = Nfa::builder();
+        let mut prev = b.state(true);
+        b.initial(prev);
+        for n in names {
+            let sym = b.symbol(n);
+            let next = b.state(true);
+            b.edge(prev, Some(sym), next);
+            prev = next;
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identity_is_simple() {
+        let n = chain(&["a", "b", "c"]);
+        assert!(check(&n, &Homomorphism::identity()).is_simple());
+    }
+
+    #[test]
+    fn erasing_tail_of_chain_is_simple() {
+        // L = pref(a·b·c); erasing c keeps continuations consistent.
+        let n = chain(&["a", "b", "c"]);
+        let h = Homomorphism::erase_all_except(["a", "b"]);
+        assert!(check(&n, &h).is_simple());
+    }
+
+    #[test]
+    fn erasing_middle_of_chain_is_simple() {
+        let n = chain(&["a", "b", "c"]);
+        let h = Homomorphism::erase_all_except(["a", "c"]);
+        assert!(check(&n, &h).is_simple());
+    }
+
+    #[test]
+    fn erased_choice_is_not_simple() {
+        // L = pref(a·b | c): after the (erased) c, "a·b" is gone
+        // concretely but still offered abstractly.
+        let mut bld = Nfa::builder();
+        let a = bld.symbol("a");
+        let b = bld.symbol("b");
+        let c = bld.symbol("c");
+        let s0 = bld.state(true);
+        let s1 = bld.state(true);
+        let s2 = bld.state(true);
+        let s3 = bld.state(true);
+        bld.initial(s0);
+        bld.edge(s0, Some(a), s1);
+        bld.edge(s1, Some(b), s2);
+        bld.edge(s0, Some(c), s3);
+        let n = bld.build();
+        let h = Homomorphism::erase_all_except(["a", "b"]);
+        match check(&n, &h) {
+            Simplicity::NotSimple { witness } => {
+                assert_eq!(witness, vec!["c"], "c is the misleading prefix");
+            }
+            Simplicity::Simple => panic!("expected violation"),
+        }
+    }
+
+    #[test]
+    fn independent_interleaving_is_simple() {
+        // L = pref(shuffle of a and x): erase x. Abstractly pref(a);
+        // concretely a is available before and after x → simple.
+        let mut bld = Nfa::builder();
+        let a = bld.symbol("a");
+        let x = bld.symbol("x");
+        let s00 = bld.state(true);
+        let s10 = bld.state(true);
+        let s01 = bld.state(true);
+        let s11 = bld.state(true);
+        bld.initial(s00);
+        bld.edge(s00, Some(a), s10);
+        bld.edge(s00, Some(x), s01);
+        bld.edge(s10, Some(x), s11);
+        bld.edge(s01, Some(a), s11);
+        let n = bld.build();
+        let h = Homomorphism::erase_all_except(["a"]);
+        assert!(check(&n, &h).is_simple());
+    }
+
+    #[test]
+    fn empty_behaviour_is_simple() {
+        let n = Nfa::builder().build();
+        assert!(check(&n, &Homomorphism::erase_all_except([])).is_simple());
+    }
+}

@@ -1,0 +1,75 @@
+//! The MANET-architect baseline: data-origin authentication per
+//! transmission channel.
+//!
+//! "In order to design a secure … vehicular communication system, an
+//! architect with a background in Mobile Adhoc Networks (MANETs) would
+//! probably first define the data origin authentication of the
+//! transmitted message" (§2). Operationally: every functional flow that
+//! crosses a component-ownership boundary is a transmission, and gets a
+//! hop requirement `auth(sender-action, receiver-action, stakeholder)`.
+//! Flows internal to one component are implicitly trusted.
+
+use crate::BaselineSet;
+use fsa_core::instance::SosInstance;
+use fsa_core::requirements::AuthRequirement;
+
+/// Derives the channel-authentication baseline for `instance`.
+pub fn channel_baseline(instance: &SosInstance) -> BaselineSet {
+    let g = instance.graph();
+    let requirements = g
+        .edges()
+        .filter(|&(a, b)| instance.owner(a) != instance.owner(b))
+        .map(|(a, b)| {
+            AuthRequirement::new(
+                instance.action(a).clone(),
+                instance.action(b).clone(),
+                instance.stakeholder(b).clone(),
+            )
+        })
+        .collect();
+    BaselineSet {
+        name: "channel authentication (MANET architect)".to_owned(),
+        requirements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_one_transmission() {
+        let inst = vanet::instances::two_vehicle_warning();
+        let baseline = channel_baseline(&inst);
+        let reqs: Vec<String> = baseline.requirements.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            reqs,
+            vec!["auth(send(CU_1,cam(pos)), rec(CU_w,cam(pos)), D_w)"],
+            "only the radio hop crosses ownership"
+        );
+    }
+
+    #[test]
+    fn forwarding_chain_has_one_hop_per_link() {
+        let inst = vanet::instances::forwarding_chain(2);
+        let baseline = channel_baseline(&inst);
+        // V1→V2, V2→V3, V3→Vw: three radio hops.
+        assert_eq!(baseline.requirements.len(), 3);
+        assert!(baseline
+            .requirements
+            .iter()
+            .all(|r| r.antecedent.name() == "send" || r.antecedent.name() == "fwd"));
+    }
+
+    #[test]
+    fn single_component_instance_yields_nothing() {
+        use fsa_core::action::Action;
+        use fsa_core::instance::SosInstanceBuilder;
+        let mut b = SosInstanceBuilder::new("solo");
+        let x = b.action_owned(Action::parse("a"), "P", "C");
+        let y = b.action_owned(Action::parse("b"), "P", "C");
+        b.flow(x, y);
+        let baseline = channel_baseline(&b.build());
+        assert!(baseline.requirements.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Baseline security-requirement derivation approaches.
+//!
+//! §2 of the paper sketches how architects with different backgrounds
+//! would secure the vehicular scenario — and why each leaves attack
+//! vectors open:
+//!
+//! > "an architect with a background in Mobile Adhoc Networks … would
+//! > probably first define the data origin authentication of the
+//! > transmitted message" — the [`channel`] baseline;
+//!
+//! > "A distributed software architect may first start to define the
+//! > trust zones. … Results may be the timestamped signing of the
+//! > sensor data and a composition of these data at the receiving
+//! > vehicle" — the [`trust_zone`] baseline;
+//!
+//! > "Some of these leave attack vectors open, such as the manipulation
+//! > of the sending or receiving vehicle's internal communication and
+//! > computation."
+//!
+//! The [`compare`] module quantifies that last sentence: it checks
+//! which of the requirements elicited by functional security analysis
+//! are *entailed* by a baseline's requirement set, under an explicit
+//! assumption about which component internals the architect trusted.
+//! With all internals trusted the baselines look complete; drop the
+//! assumption (the EVITA threat model includes in-vehicle attackers)
+//! and their coverage collapses — which is exactly the paper's argument
+//! for deriving requirements from the functional flow itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod compare;
+pub mod trust_zone;
+
+pub use compare::{coverage, entails, Coverage, TrustAssumption};
+
+use fsa_core::requirements::RequirementSet;
+
+/// A named requirement set produced by one baseline approach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineSet {
+    /// The approach's name (for reports).
+    pub name: String,
+    /// The derived requirements.
+    pub requirements: RequirementSet,
+}

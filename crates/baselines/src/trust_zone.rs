@@ -1,0 +1,98 @@
+//! The distributed-software-architect baseline: trust zones with
+//! end-to-end sensor signing.
+//!
+//! "A distributed software architect may first start to define the
+//! trust zones. … Results may be the timestamped signing of the sensor
+//! data and a composition of these data at the receiving vehicle" (§2).
+//! Operationally: component owners are grouped into zones by a
+//! caller-supplied function (default: each owner is its own zone);
+//! every *origin* action (a source of the flow graph) signs its data,
+//! and a requirement binds it to each action in a *different* zone that
+//! consumes it across the zone boundary — the composition points.
+//! Dependencies that never leave a zone are implicitly trusted.
+
+use crate::BaselineSet;
+use fsa_core::instance::SosInstance;
+use fsa_core::requirements::AuthRequirement;
+use fsa_graph::closure::reflexive_transitive_closure;
+
+/// Derives the trust-zone baseline with each owner as its own zone.
+pub fn trust_zone_baseline(instance: &SosInstance) -> BaselineSet {
+    trust_zone_baseline_with(instance, |owner| owner.to_owned())
+}
+
+/// Derives the trust-zone baseline with an explicit zone assignment.
+pub fn trust_zone_baseline_with(
+    instance: &SosInstance,
+    zone_of: impl Fn(&str) -> String,
+) -> BaselineSet {
+    let g = instance.graph();
+    let closure = reflexive_transitive_closure(g);
+    let mut requirements = fsa_core::requirements::RequirementSet::new();
+    for origin in g.sources() {
+        let origin_zone = zone_of(instance.owner(origin));
+        // Composition points: the first action in a *different* zone
+        // that the signed data reaches, i.e. targets of zone-crossing
+        // flows reachable from the origin.
+        for (u, v) in g.edges() {
+            if zone_of(instance.owner(u)) != zone_of(instance.owner(v))
+                && zone_of(instance.owner(v)) != origin_zone
+                && closure.contains(origin, u)
+            {
+                requirements.insert(AuthRequirement::new(
+                    instance.action(origin).clone(),
+                    instance.action(v).clone(),
+                    instance.stakeholder(v).clone(),
+                ));
+            }
+        }
+    }
+    BaselineSet {
+        name: "trust zones with sensor signing (software architect)".to_owned(),
+        requirements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_binds_origins_to_composition_point() {
+        let inst = vanet::instances::two_vehicle_warning();
+        let baseline = trust_zone_baseline_with(&inst, |owner| {
+            // Each vehicle is one zone.
+            owner.to_owned()
+        });
+        let reqs: Vec<String> = baseline.requirements.iter().map(ToString::to_string).collect();
+        // V1's origins (sense, pos) are bound to Vw's rec — but Vw's own
+        // pos never crosses a zone, so it is (unsafely) trusted.
+        assert_eq!(
+            reqs,
+            vec![
+                "auth(pos(GPS_1,pos), rec(CU_w,cam(pos)), D_w)",
+                "auth(sense(ESP_1,sW), rec(CU_w,cam(pos)), D_w)",
+            ]
+        );
+    }
+
+    #[test]
+    fn one_big_zone_yields_nothing() {
+        let inst = vanet::instances::two_vehicle_warning();
+        let baseline = trust_zone_baseline_with(&inst, |_| "everything".to_owned());
+        assert!(baseline.requirements.is_empty());
+    }
+
+    #[test]
+    fn per_unit_zones_on_evita_model() {
+        let inst = vanet::evita::onboard_instance();
+        let baseline = trust_zone_baseline(&inst);
+        assert!(!baseline.requirements.is_empty());
+        // Origins only: all antecedents are sources of the flow graph.
+        let sources: Vec<_> = inst.graph().sources();
+        for r in &baseline.requirements {
+            let n = inst.find(&r.antecedent).unwrap();
+            assert!(sources.contains(&n), "{}", r.antecedent);
+        }
+    }
+}

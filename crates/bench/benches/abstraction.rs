@@ -1,0 +1,71 @@
+//! Experiment S3 (ablation) / Figs. 10-11: the two dependence decision
+//! procedures — homomorphic abstraction + minimal automaton vs. direct
+//! precedence check — on the four-vehicle behaviour.
+
+use apa::ReachOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsa_core::assisted::{dependence_by_abstraction, dependence_by_precedence};
+use std::hint::black_box;
+use vanet::apa_model::four_vehicle_apa;
+use vanet::semantics::ApaSemantics;
+
+fn bench_dependence(c: &mut Criterion) {
+    let graph = four_vehicle_apa(ApaSemantics::PAPER)
+        .expect("valid model")
+        .reachability(&ReachOptions::default())
+        .expect("bounded");
+    let behaviour = graph.to_nfa();
+
+    let mut group = c.benchmark_group("dependence");
+    group.bench_function("abstraction_dependent_pair", |b| {
+        b.iter(|| {
+            black_box(dependence_by_abstraction(
+                black_box(&behaviour),
+                "V1_sense",
+                "V2_show",
+            ))
+        })
+    });
+    group.bench_function("abstraction_independent_pair", |b| {
+        b.iter(|| {
+            black_box(dependence_by_abstraction(
+                black_box(&behaviour),
+                "V1_sense",
+                "V4_show",
+            ))
+        })
+    });
+    group.bench_function("precedence_dependent_pair", |b| {
+        b.iter(|| {
+            black_box(dependence_by_precedence(
+                black_box(&behaviour),
+                "V1_sense",
+                "V2_show",
+            ))
+        })
+    });
+    group.bench_function("precedence_independent_pair", |b| {
+        b.iter(|| {
+            black_box(dependence_by_precedence(
+                black_box(&behaviour),
+                "V1_sense",
+                "V4_show",
+            ))
+        })
+    });
+    group.finish();
+
+    // The full minimisation pipeline on the homomorphic image.
+    let mut group = c.benchmark_group("abstraction_pipeline");
+    group.bench_function("determinize_minimize_image", |b| {
+        let h = automata::Homomorphism::erase_all_except(["V1_sense", "V2_show"]);
+        b.iter(|| {
+            let image = h.apply(black_box(&behaviour));
+            black_box(automata::ops::minimize(&automata::ops::determinize(&image)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dependence);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Experiment S2 (ablation): DAG-aware transitive closure vs.
+//! Floyd–Warshall, on layered functional models of growing size.
+
+use bench::layered_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsa_graph::closure::{closure_dag, closure_warshall};
+use std::hint::black_box;
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure");
+    for (layers, width) in [(4, 4), (8, 8), (16, 16)] {
+        let inst = layered_instance(layers, width);
+        let g = inst.graph();
+        let nodes = g.node_count();
+        group.bench_with_input(BenchmarkId::new("dag", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(closure_dag(black_box(g))))
+        });
+        group.bench_with_input(BenchmarkId::new("warshall", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(closure_warshall(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

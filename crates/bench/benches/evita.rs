@@ -1,0 +1,28 @@
+//! Experiment EVITA: end-to-end elicitation at the scale reported in
+//! §4.4 (38 component boundary actions → 29 requirements).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsa_core::boundary::boundary_stats;
+use fsa_core::manual::elicit;
+use std::hint::black_box;
+use vanet::evita::onboard_instance;
+
+fn bench_evita(c: &mut Criterion) {
+    let inst = onboard_instance();
+    assert_eq!(elicit(&inst).expect("loop-free").requirements().len(), 29);
+
+    let mut group = c.benchmark_group("evita");
+    group.bench_function("elicit_onboard", |b| {
+        b.iter(|| black_box(elicit(black_box(&inst)).expect("loop-free")))
+    });
+    group.bench_function("boundary_stats", |b| {
+        b.iter(|| black_box(boundary_stats(black_box(&inst))))
+    });
+    group.bench_function("build_model", |b| {
+        b.iter(|| black_box(onboard_instance()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evita);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Experiment S5: instance-space enumeration (§4.2) — cost of
+//! generating, de-duplicating and analysing all structurally different
+//! compositions of the scenario's component models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsa_core::explore::{union_requirements_loop_free, ExploreOptions};
+use std::hint::black_box;
+use vanet::exploration::enumerate_scenario_instances;
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exploration");
+    group.sample_size(10);
+    for max_vehicles in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("enumerate", max_vehicles),
+            &max_vehicles,
+            |b, &mv| {
+                b.iter(|| {
+                    black_box(
+                        enumerate_scenario_instances(mv, &ExploreOptions::default())
+                            .expect("bounded"),
+                    )
+                })
+            },
+        );
+    }
+    let instances =
+        enumerate_scenario_instances(2, &ExploreOptions::default()).expect("bounded");
+    group.bench_function("union_requirements_2v", |b| {
+        b.iter(|| black_box(union_requirements_loop_free(black_box(&instances))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Experiment F4: elicitation on growing forwarding chains — |χᵢ| grows
+//! linearly in the number of forwarders (the §4.4 recurrence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsa_core::manual::elicit;
+use std::hint::black_box;
+use vanet::instances::forwarding_chain;
+
+fn bench_forward_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_chain");
+    for forwarders in [0usize, 4, 16, 64] {
+        let inst = forwarding_chain(forwarders);
+        // Shape assertion: |χ| = 3 + forwarders.
+        assert_eq!(
+            elicit(&inst).expect("loop-free").requirements().len(),
+            3 + forwarders
+        );
+        group.bench_with_input(
+            BenchmarkId::new("elicit", forwarders),
+            &forwarders,
+            |b, _| b.iter(|| black_box(elicit(black_box(&inst)).expect("loop-free"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_chain);
+criterion_main!(benches);

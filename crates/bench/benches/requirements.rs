@@ -1,0 +1,54 @@
+//! Scaling of the manual pipeline (closure → χ → requirements) on
+//! layered synthetic models, plus parameterisation cost.
+
+use bench::layered_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsa_core::manual::elicit;
+use fsa_core::param::parameterise;
+use std::hint::black_box;
+
+fn bench_elicit_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elicit_layered");
+    for (layers, width) in [(4, 4), (8, 8), (12, 12)] {
+        let inst = layered_instance(layers, width);
+        group.bench_with_input(
+            BenchmarkId::new("elicit", inst.action_count()),
+            &inst,
+            |b, inst| b.iter(|| black_box(elicit(black_box(inst)).expect("loop-free"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_random_traffic(c: &mut Criterion) {
+    // Experiment S7: elicitation on randomly generated V2V topologies.
+    use vanet::generator::{random_traffic_instance, TrafficConfig};
+    let mut group = c.benchmark_group("elicit_random_traffic");
+    group.sample_size(10);
+    for vehicles in [50usize, 200, 500] {
+        let inst = random_traffic_instance(
+            &TrafficConfig {
+                vehicles,
+                ..Default::default()
+            },
+            42,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vehicles", vehicles),
+            &inst,
+            |b, inst| b.iter(|| black_box(elicit(black_box(inst)).expect("loop-free"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_parameterise(c: &mut Criterion) {
+    let inst = vanet::instances::forwarding_chain(64);
+    let set = elicit(&inst).expect("loop-free").requirement_set();
+    c.bench_function("parameterise_64_forwarders", |b| {
+        b.iter(|| black_box(parameterise(black_box(&set), 2)))
+    });
+}
+
+criterion_group!(benches, bench_elicit_scaling, bench_random_traffic, bench_parameterise);
+criterion_main!(benches);

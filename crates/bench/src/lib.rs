@@ -1,0 +1,55 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+
+use fsa_core::action::{Action, Agent};
+use fsa_core::instance::{SosInstance, SosInstanceBuilder};
+
+/// A layered synthetic functional model for scaling benches: `layers`
+/// layers of `width` actions, each action feeding every action of the
+/// next layer. Sources are the first layer, sinks the last.
+pub fn layered_instance(layers: usize, width: usize) -> SosInstance {
+    let mut b = SosInstanceBuilder::new(&format!("layered {layers}x{width}"));
+    let mut previous = Vec::new();
+    for layer in 0..layers {
+        let current: Vec<_> = (0..width)
+            .map(|i| {
+                b.action(
+                    Action::parse(&format!("act(L{layer}_{i},data)")),
+                    &format!("P_{layer}"),
+                )
+            })
+            .collect();
+        for &p in &previous {
+            for &c in &current {
+                b.flow(p, c);
+            }
+        }
+        previous = current;
+    }
+    b.build()
+}
+
+/// Stakeholder resolver for vanet automaton names (`V2_show ↦ D_2`).
+pub fn vanet_stakeholder(name: &str) -> Agent {
+    vanet::apa_model::stakeholder_of(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_core::manual::elicit;
+
+    #[test]
+    fn layered_instance_shape() {
+        let inst = layered_instance(3, 2);
+        assert_eq!(inst.action_count(), 6);
+        let report = elicit(&inst).unwrap();
+        assert_eq!(report.minima().len(), 2);
+        assert_eq!(report.maxima().len(), 2);
+        assert_eq!(report.requirements().len(), 4);
+    }
+
+    #[test]
+    fn stakeholder_resolver() {
+        assert_eq!(vanet_stakeholder("V3_show").name(), "D_3");
+    }
+}

@@ -1,0 +1,88 @@
+//! Golden tests: the `repro` binary's output for the key experiments is
+//! pinned, so regressions in the reproduction itself fail CI.
+
+use std::process::Command;
+
+fn repro(experiment: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg(experiment)
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "{experiment}: {out:?}");
+    String::from_utf8(out.stdout).expect("utf8")
+}
+
+#[test]
+fn f3_pins_example_3() {
+    let out = repro("f3");
+    for expected in [
+        "zeta (direct functional flows): 5 pairs",
+        "zeta* (reflexive transitive closure): 16 pairs",
+        "auth(sense(ESP_1,sW), show(HMI_w,warn), D_w)   [safety]",
+        "auth(pos(GPS_1,pos), show(HMI_w,warn), D_w)   [safety]",
+        "auth(pos(GPS_w,pos), show(HMI_w,warn), D_w)   [safety]",
+    ] {
+        assert!(out.contains(expected), "missing `{expected}` in:\n{out}");
+    }
+}
+
+#[test]
+fn f7_pins_reachability_and_example_6() {
+    let out = repro("f7");
+    for expected in [
+        "12 states, 17 transitions",
+        "minima: V1_pos, V1_sense, V2_pos",
+        "maxima: V2_show",
+        "auth(V1_sense, V2_show, D_2)",
+        "dependent (3-state minimal automaton)",
+    ] {
+        assert!(out.contains(expected), "missing `{expected}` in:\n{out}");
+    }
+}
+
+#[test]
+fn f9_pins_squaring_law() {
+    let out = repro("f9");
+    assert!(out.contains("144 states = 12^2"), "{out}");
+}
+
+#[test]
+fn f10_pins_example_7() {
+    let out = repro("f10");
+    for expected in [
+        "dependent — minimal automaton 3 states",
+        "independent — minimal automaton 4 states",
+        "auth(V3_sense, V4_show, D_4)",
+    ] {
+        assert!(out.contains(expected), "missing `{expected}` in:\n{out}");
+    }
+}
+
+#[test]
+fn evita_pins_statistics() {
+    let out = repro("evita");
+    for expected in [
+        "component boundary actions: 38 vs 38",
+        "system boundary actions:    16 vs 16",
+        "maximal / minimal:          9/7 vs 9/7",
+        "authenticity requirements:  29 vs 29",
+    ] {
+        assert!(out.contains(expected), "missing `{expected}` in:\n{out}");
+    }
+}
+
+#[test]
+fn ablation_pins_semantics_table() {
+    let out = repro("ablation");
+    assert!(out.contains("msg=consume/gps=consume:  12 states /   144 states"));
+    assert!(out.contains("msg=retain/gps=retain:  13 states /   169 states"));
+}
+
+#[test]
+fn unknown_experiment_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("nope")
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success());
+}

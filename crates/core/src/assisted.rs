@@ -1,0 +1,249 @@
+//! The tool-assisted elicitation pipeline (§5 of the paper).
+//!
+//! "The tool-assisted approach will proceed in reverse order. First we
+//! will identify the maxima and minima of the partial order – without
+//! deriving the actual partial order – and then we will identify
+//! combinations of maxima and minima that are related by functional
+//! dependence."
+//!
+//! Inputs are an APA reachability graph ([`apa::ReachGraph`]) and a
+//! stakeholder assignment for the output actions. Minima and maxima are
+//! read off the graph (§5.4); each (maximum, minimum) pair is then
+//! tested for functional dependence, either
+//!
+//! * by **abstraction** (§5.5): apply the alphabetic homomorphism that
+//!   erases every other action, compute the minimal automaton of the
+//!   image, and check whether the maximum can occur without the minimum
+//!   (Figs. 10/11), or
+//! * by a direct **precedence check** on the behaviour — an equivalent
+//!   decision procedure offered for cross-validation and benchmarking.
+
+use crate::action::{Action, Agent};
+use crate::requirements::{AuthRequirement, RequirementSet};
+use apa::ReachGraph;
+use automata::{ops, temporal, Dfa, Homomorphism, Nfa};
+
+/// The decision procedure for functional dependence of a (max, min)
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependenceMethod {
+    /// Homomorphic abstraction + minimal automaton (the paper's §5.5).
+    Abstraction,
+    /// Direct precedence check on the full behaviour.
+    Precedence,
+}
+
+/// The verdict for one (minimum, maximum) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairVerdict {
+    /// The minimum (incoming boundary action).
+    pub minimum: String,
+    /// The maximum (outgoing boundary action).
+    pub maximum: String,
+    /// Whether the maximum functionally depends on the minimum.
+    pub dependent: bool,
+    /// States of the minimal automaton of the homomorphic image
+    /// (present when [`DependenceMethod::Abstraction`] was used) —
+    /// 3 for the chain of Fig. 10, 4 for the diamond of Fig. 11.
+    pub minimal_automaton_states: Option<usize>,
+}
+
+/// The result of one tool-assisted elicitation run.
+#[derive(Debug, Clone)]
+pub struct AssistedReport {
+    /// Number of states of the reachability graph.
+    pub state_count: usize,
+    /// Number of transitions of the reachability graph.
+    pub edge_count: usize,
+    /// The minima (actions leaving the initial state).
+    pub minima: Vec<String>,
+    /// The maxima (actions entering dead states).
+    pub maxima: Vec<String>,
+    /// The dependence verdict for every (minimum, maximum) pair.
+    pub verdicts: Vec<PairVerdict>,
+    /// The elicited requirements.
+    pub requirements: RequirementSet,
+}
+
+/// Decides dependence of (`minimum`, `maximum`) by homomorphic
+/// abstraction, returning the verdict together with the minimal
+/// automaton of the image (the paper's Figs. 10/11).
+///
+/// The pair is *dependent* iff in the abstract behaviour the maximum
+/// cannot occur before the minimum has occurred.
+pub fn dependence_by_abstraction(behaviour: &Nfa, minimum: &str, maximum: &str) -> (bool, Dfa) {
+    let h = Homomorphism::erase_all_except([minimum, maximum]);
+    let minimal = ops::minimize(&ops::determinize(&h.apply(behaviour)));
+    let dependent = temporal::precedes(&minimal.to_nfa(), minimum, maximum);
+    (dependent, minimal)
+}
+
+/// Decides dependence of (`minimum`, `maximum`) by a precedence check on
+/// the full behaviour (no abstraction).
+pub fn dependence_by_precedence(behaviour: &Nfa, minimum: &str, maximum: &str) -> bool {
+    temporal::precedes(behaviour, minimum, maximum)
+}
+
+/// Runs the tool-assisted pipeline on a reachability graph.
+///
+/// `stakeholder` assigns the responsible agent to each *maximum* action
+/// name (e.g. `V2_show ↦ D_2`).
+pub fn elicit_from_graph(
+    graph: &ReachGraph,
+    method: DependenceMethod,
+    stakeholder: impl Fn(&str) -> Agent,
+) -> AssistedReport {
+    let behaviour = graph.to_nfa();
+    let minima = graph.minima();
+    let maxima = graph.maxima();
+    let mut verdicts = Vec::with_capacity(minima.len() * maxima.len());
+    let mut requirements = RequirementSet::new();
+    for maximum in &maxima {
+        for minimum in &minima {
+            if minimum == maximum {
+                continue;
+            }
+            let (dependent, automaton_states) = match method {
+                DependenceMethod::Abstraction => {
+                    let (dep, minimal) = dependence_by_abstraction(&behaviour, minimum, maximum);
+                    (dep, Some(minimal.state_count()))
+                }
+                DependenceMethod::Precedence => {
+                    (dependence_by_precedence(&behaviour, minimum, maximum), None)
+                }
+            };
+            if dependent {
+                requirements.insert(AuthRequirement::new(
+                    Action::parse(minimum),
+                    Action::parse(maximum),
+                    stakeholder(maximum),
+                ));
+            }
+            verdicts.push(PairVerdict {
+                minimum: minimum.clone(),
+                maximum: maximum.clone(),
+                dependent,
+                minimal_automaton_states: automaton_states,
+            });
+        }
+    }
+    AssistedReport {
+        state_count: graph.state_count(),
+        edge_count: graph.edge_count(),
+        minima,
+        maxima,
+        verdicts,
+        requirements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa::{rule, ApaBuilder, ReachOptions, Value};
+
+    /// A two-stage pipeline APA: `in_a`/`in_b` feed `combine`, which
+    /// feeds `out`; `noise` is independent.
+    fn pipeline_graph() -> ReachGraph {
+        let mut b = ApaBuilder::new();
+        let src_a = b.component("src_a", [Value::atom("x")]);
+        let src_b = b.component("src_b", [Value::atom("y")]);
+        let mid = b.component("mid", []);
+        let dst = b.component("dst", []);
+        let n_src = b.component("n_src", [Value::atom("n")]);
+        let n_dst = b.component("n_dst", []);
+        b.automaton("in_a", [src_a, mid], rule::move_any(0, 1));
+        b.automaton("in_b", [src_b, mid], rule::move_any(0, 1));
+        b.automaton(
+            "combine",
+            [mid, dst],
+            Box::new(rule::FnRule::new(|local: &Vec<_>| {
+                let (x, y) = (Value::atom("x"), Value::atom("y"));
+                if local[0].contains(&x) && local[0].contains(&y) {
+                    let mut next = local.clone();
+                    next[0].remove(&x);
+                    next[0].remove(&y);
+                    next[1].insert(Value::atom("z"));
+                    vec![("xy".to_owned(), next)]
+                } else {
+                    vec![]
+                }
+            })),
+        );
+        b.automaton("out", [dst, n_dst], rule::move_matching(0, 1, |v| v == &Value::atom("z")));
+        b.automaton("noise", [n_src, n_dst], rule::move_any(0, 1));
+        b.build()
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn minima_and_maxima_read_off_graph() {
+        let g = pipeline_graph();
+        assert_eq!(g.minima(), vec!["in_a", "in_b", "noise"]);
+        assert_eq!(g.maxima(), vec!["noise", "out"]);
+    }
+
+    #[test]
+    fn abstraction_decides_dependence() {
+        let g = pipeline_graph();
+        let behaviour = g.to_nfa();
+        let (dep, minimal) = dependence_by_abstraction(&behaviour, "in_a", "out");
+        assert!(dep);
+        assert_eq!(minimal.state_count(), 3, "chain shape (Fig. 10)");
+        let (dep, minimal) = dependence_by_abstraction(&behaviour, "noise", "out");
+        assert!(!dep);
+        assert_eq!(minimal.state_count(), 4, "diamond shape (Fig. 11)");
+    }
+
+    #[test]
+    fn both_methods_agree() {
+        let g = pipeline_graph();
+        let behaviour = g.to_nfa();
+        for minimum in g.minima() {
+            for maximum in g.maxima() {
+                if minimum == maximum {
+                    continue;
+                }
+                let (by_abs, _) = dependence_by_abstraction(&behaviour, &minimum, &maximum);
+                let by_prec = dependence_by_precedence(&behaviour, &minimum, &maximum);
+                assert_eq!(by_abs, by_prec, "({minimum}, {maximum})");
+            }
+        }
+    }
+
+    #[test]
+    fn elicit_from_graph_produces_requirements() {
+        let g = pipeline_graph();
+        let report = elicit_from_graph(&g, DependenceMethod::Abstraction, |name| {
+            Agent::new(&format!("stakeholder_of_{name}"))
+        });
+        // out depends on in_a and in_b; noise on nothing; out not on noise.
+        let reqs: Vec<String> = report.requirements.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            reqs,
+            vec![
+                "auth(in_a, out, stakeholder_of_out)",
+                "auth(in_b, out, stakeholder_of_out)",
+            ]
+        );
+        // verdicts cover all pairs except (noise, noise).
+        assert_eq!(report.verdicts.len(), 3 * 2 - 1);
+        assert!(report
+            .verdicts
+            .iter()
+            .all(|v| v.minimal_automaton_states.is_some()));
+    }
+
+    #[test]
+    fn precedence_method_omits_automaton_sizes() {
+        let g = pipeline_graph();
+        let report = elicit_from_graph(&g, DependenceMethod::Precedence, |_| Agent::new("P"));
+        assert!(report
+            .verdicts
+            .iter()
+            .all(|v| v.minimal_automaton_states.is_none()));
+        assert_eq!(report.requirements.len(), 2);
+    }
+}

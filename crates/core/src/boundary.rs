@@ -1,0 +1,162 @@
+//! Boundary actions and boundary statistics.
+//!
+//! §4.3: "Let the term *boundary action* refer to the actions that form
+//! the interaction of the internals of the system with the outside
+//! world. These are actions that are either triggered by occurrences
+//! outside of the system or actions that involve changes to the outside
+//! of the system."
+//!
+//! Two boundary notions are distinguished, matching the statistics
+//! reported at the end of §4.4 for the EVITA application ("a system
+//! model comprising 38 *component boundary actions* with 16 *system
+//! boundary actions* comprising 9 maximal and 7 minimal elements"):
+//!
+//! * **system boundary actions** — sources and sinks of the composed SoS
+//!   flow graph: the minimal (incoming) and maximal (outgoing) elements
+//!   of the dependency order;
+//! * **component boundary actions** — actions at a *component* boundary:
+//!   they either participate in a flow that crosses component ownership
+//!   or interact with the environment (i.e. are system boundary
+//!   actions).
+
+use crate::instance::SosInstance;
+use fsa_graph::NodeId;
+
+/// Boundary statistics of one SoS instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryStats {
+    /// Incoming system boundary actions (sources / minimal elements).
+    pub minimal: Vec<NodeId>,
+    /// Outgoing system boundary actions (sinks / maximal elements).
+    pub maximal: Vec<NodeId>,
+    /// Actions at a component boundary (see module docs).
+    pub component_boundary: Vec<NodeId>,
+}
+
+impl BoundaryStats {
+    /// Number of system boundary actions (`minimal ∪ maximal`; an
+    /// isolated action counts once).
+    pub fn system_boundary_count(&self) -> usize {
+        let mut all: Vec<NodeId> = self
+            .minimal
+            .iter()
+            .chain(self.maximal.iter())
+            .copied()
+            .collect();
+        all.sort();
+        all.dedup();
+        all.len()
+    }
+
+    /// Number of component boundary actions.
+    pub fn component_boundary_count(&self) -> usize {
+        self.component_boundary.len()
+    }
+}
+
+/// Computes the boundary statistics of `instance`.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_core::action::Action;
+/// use fsa_core::boundary::boundary_stats;
+/// use fsa_core::instance::SosInstanceBuilder;
+///
+/// let mut b = SosInstanceBuilder::new("t");
+/// let x = b.action_owned(Action::parse("in"), "P", "A");
+/// let y = b.action_owned(Action::parse("mid"), "P", "A");
+/// let z = b.action_owned(Action::parse("out"), "Q", "B");
+/// b.flow(x, y);
+/// b.flow(y, z);
+/// let inst = b.build();
+/// let stats = boundary_stats(&inst);
+/// assert_eq!(stats.minimal, vec![x]);
+/// assert_eq!(stats.maximal, vec![z]);
+/// // x and z touch the environment; y and z share a cross-component flow.
+/// assert_eq!(stats.component_boundary_count(), 3);
+/// ```
+pub fn boundary_stats(instance: &SosInstance) -> BoundaryStats {
+    let g = instance.graph();
+    let minimal = g.sources();
+    let maximal = g.sinks();
+    let mut component_boundary: Vec<NodeId> = Vec::new();
+    for id in g.node_ids() {
+        let crosses = g
+            .successors(id)
+            .any(|s| instance.owner(s) != instance.owner(id))
+            || g.predecessors(id)
+                .any(|p| instance.owner(p) != instance.owner(id));
+        let env = g.in_degree(id) == 0 || g.out_degree(id) == 0;
+        if crosses || env {
+            component_boundary.push(id);
+        }
+    }
+    BoundaryStats {
+        minimal,
+        maximal,
+        component_boundary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::instance::SosInstanceBuilder;
+
+    /// Fig. 3: V1 warns Vw.
+    fn fig3() -> SosInstance {
+        let mut b = SosInstanceBuilder::new("fig3");
+        let sense = b.action_owned(Action::parse("sense(ESP_1,sW)"), "D_1", "V1");
+        let pos1 = b.action_owned(Action::parse("pos(GPS_1,pos)"), "D_1", "V1");
+        let send = b.action_owned(Action::parse("send(CU_1,cam(pos))"), "D_1", "V1");
+        let rec = b.action_owned(Action::parse("rec(CU_w,cam(pos))"), "D_w", "Vw");
+        let posw = b.action_owned(Action::parse("pos(GPS_w,pos)"), "D_w", "Vw");
+        let show = b.action_owned(Action::parse("show(HMI_w,warn)"), "D_w", "Vw");
+        b.flow(sense, send);
+        b.flow(pos1, send);
+        b.flow(send, rec);
+        b.flow(rec, show);
+        b.flow(posw, show);
+        b.build()
+    }
+
+    #[test]
+    fn fig3_system_boundary() {
+        let stats = boundary_stats(&fig3());
+        assert_eq!(stats.minimal.len(), 3, "sense, pos_1, pos_w");
+        assert_eq!(stats.maximal.len(), 1, "show");
+        assert_eq!(stats.system_boundary_count(), 4);
+    }
+
+    #[test]
+    fn fig3_component_boundary() {
+        let stats = boundary_stats(&fig3());
+        // sense, pos_1, pos_w, show touch the environment;
+        // send and rec share the cross-component flow.
+        assert_eq!(stats.component_boundary_count(), 6);
+    }
+
+    #[test]
+    fn isolated_action_counts_once_in_system_boundary() {
+        let mut b = SosInstanceBuilder::new("t");
+        b.action(Action::parse("lonely"), "P");
+        let stats = boundary_stats(&b.build());
+        assert_eq!(stats.minimal.len(), 1);
+        assert_eq!(stats.maximal.len(), 1);
+        assert_eq!(stats.system_boundary_count(), 1);
+    }
+
+    #[test]
+    fn purely_internal_action_not_component_boundary() {
+        let mut b = SosInstanceBuilder::new("t");
+        let a = b.action_owned(Action::parse("a"), "P", "A");
+        let m = b.action_owned(Action::parse("m"), "P", "A");
+        let z = b.action_owned(Action::parse("z"), "P", "A");
+        b.flow(a, m);
+        b.flow(m, z);
+        let stats = boundary_stats(&b.build());
+        assert_eq!(stats.component_boundary_count(), 2, "only a and z");
+    }
+}

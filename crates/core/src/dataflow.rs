@@ -1,0 +1,178 @@
+//! Deriving an operational APA from a functional model.
+//!
+//! The manual method (§4) analyses the functional flow graph directly;
+//! the tool-assisted method (§5) analyses an operational APA model. This
+//! module connects the two: [`dataflow_apa`] builds an APA whose
+//! behaviour realises exactly the functional dependencies of an
+//! [`SosInstance`] —
+//!
+//! * every action becomes a one-shot elementary automaton,
+//! * every flow `a → b` becomes a token buffer filled by `a` and
+//!   required (and consumed) by `b`,
+//! * source actions are enabled initially.
+//!
+//! The reachability graph of the result enumerates the linear
+//! extensions (prefixes) of the dependency partial order, so:
+//! its minima are the instance's sources, its maxima its sinks, and an
+//! action `y` can occur before `x` iff `x` does not reach `y` in the
+//! flow graph. Consequently the tool-assisted pipeline on
+//! `dataflow_apa(inst)` elicits exactly the requirements of the manual
+//! pipeline on `inst` — the cross-validation property tested in the
+//! integration suite.
+
+use crate::error::FsaError;
+use crate::instance::SosInstance;
+use apa::rule::{FnRule, LocalState};
+use apa::{Apa, ApaBuilder, Value};
+
+/// Builds the dataflow APA of an instance (see module docs).
+///
+/// Automaton names are the rendered action terms, so reports from
+/// [`crate::assisted`] can be compared against [`crate::manual`] output
+/// directly.
+///
+/// # Errors
+///
+/// Returns [`FsaError::Apa`] if the instance contains duplicate action
+/// terms (APA automaton names must be unique).
+#[allow(clippy::needless_range_loop)] // neighbourhood slots are parallel index ranges
+pub fn dataflow_apa(instance: &SosInstance) -> Result<Apa, FsaError> {
+    let g = instance.graph();
+    let mut b = ApaBuilder::new();
+
+    // One "ready" component per action (one-shot guard), one buffer per
+    // flow edge.
+    let ready: Vec<_> = g
+        .node_ids()
+        .map(|id| {
+            b.component(
+                &format!("ready_{}", id.index()),
+                [Value::atom("go")],
+            )
+        })
+        .collect();
+    let mut in_buffers: Vec<Vec<apa::ComponentId>> = vec![Vec::new(); g.node_count()];
+    let mut out_buffers: Vec<Vec<apa::ComponentId>> = vec![Vec::new(); g.node_count()];
+    for (from, to) in g.edges() {
+        let buf = b.component(&format!("flow_{}_{}", from.index(), to.index()), []);
+        out_buffers[from.index()].push(buf);
+        in_buffers[to.index()].push(buf);
+    }
+
+    for id in g.node_ids() {
+        // Neighbourhood: [ready, in-buffers…, out-buffers…].
+        let ins = in_buffers[id.index()].clone();
+        let outs = out_buffers[id.index()].clone();
+        let n_in = ins.len();
+        let n_out = outs.len();
+        let neighbourhood: Vec<apa::ComponentId> = std::iter::once(ready[id.index()])
+            .chain(ins)
+            .chain(outs)
+            .collect();
+        b.automaton(
+            &instance.action(id).to_string(),
+            neighbourhood,
+            Box::new(FnRule::new(move |local: &LocalState| {
+                let go = Value::atom("go");
+                if !local[0].contains(&go) {
+                    return vec![]; // already fired
+                }
+                let token = Value::atom("tok");
+                if !(1..=n_in).all(|slot| local[slot].contains(&token)) {
+                    return vec![]; // an input is missing
+                }
+                let mut next = local.clone();
+                next[0].remove(&go);
+                for slot in 1..=n_in {
+                    next[slot].remove(&token);
+                }
+                for slot in (1 + n_in)..(1 + n_in + n_out) {
+                    next[slot].insert(token.clone());
+                }
+                vec![(String::new(), next)]
+            })),
+        );
+    }
+    b.build().map_err(FsaError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::assisted::{elicit_from_graph, DependenceMethod};
+    use crate::instance::SosInstanceBuilder;
+    use crate::manual::elicit;
+    use apa::ReachOptions;
+
+    fn fig3() -> SosInstance {
+        let mut b = SosInstanceBuilder::new("fig3");
+        let sense = b.action(Action::parse("sense(ESP_1,sW)"), "D_1");
+        let pos1 = b.action(Action::parse("pos(GPS_1,pos)"), "D_1");
+        let send = b.action(Action::parse("send(CU_1,cam(pos))"), "D_1");
+        let rec = b.action(Action::parse("rec(CU_w,cam(pos))"), "D_w");
+        let posw = b.action(Action::parse("pos(GPS_w,pos)"), "D_w");
+        let show = b.action(Action::parse("show(HMI_w,warn)"), "D_w");
+        b.flow(sense, send);
+        b.flow(pos1, send);
+        b.flow(send, rec);
+        b.flow(rec, show);
+        b.flow(posw, show);
+        b.build()
+    }
+
+    #[test]
+    fn dataflow_apa_shape() {
+        let inst = fig3();
+        let apa = dataflow_apa(&inst).unwrap();
+        assert_eq!(apa.automaton_count(), 6);
+        assert_eq!(apa.component_count(), 6 + 5, "ready per action + buffer per flow");
+    }
+
+    #[test]
+    fn reachability_enumerates_linear_extensions() {
+        let apa = dataflow_apa(&fig3()).unwrap();
+        let g = apa.reachability(&ReachOptions::default()).unwrap();
+        // Minima = sources, maxima = sinks of the flow graph.
+        assert_eq!(
+            g.minima(),
+            vec!["pos(GPS_1,pos)", "pos(GPS_w,pos)", "sense(ESP_1,sW)"]
+        );
+        assert_eq!(g.maxima(), vec!["show(HMI_w,warn)"]);
+        assert_eq!(g.dead_states().len(), 1);
+    }
+
+    #[test]
+    fn assisted_on_dataflow_equals_manual() {
+        let inst = fig3();
+        let manual = elicit(&inst).unwrap().requirement_set();
+        let apa = dataflow_apa(&inst).unwrap();
+        let graph = apa.reachability(&ReachOptions::default()).unwrap();
+        let assisted = elicit_from_graph(&graph, DependenceMethod::Precedence, |name| {
+            let action = Action::parse(name);
+            let node = inst.find(&action).expect("known action");
+            inst.stakeholder(node).clone()
+        });
+        assert_eq!(assisted.requirements, manual);
+    }
+
+    #[test]
+    fn duplicate_actions_rejected() {
+        let mut b = SosInstanceBuilder::new("dup");
+        b.action(Action::parse("same"), "P");
+        b.action(Action::parse("same"), "P");
+        assert!(matches!(
+            dataflow_apa(&b.build()),
+            Err(FsaError::Apa(apa::ApaError::DuplicateAutomaton { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_instance_gives_empty_behaviour() {
+        let inst = SosInstanceBuilder::new("empty").build();
+        let apa = dataflow_apa(&inst).unwrap();
+        let g = apa.reachability(&ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 1);
+        assert!(g.minima().is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type of the elicitation pipelines.
+
+use crate::action::Action;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by functional security analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsaError {
+    /// The functional flow contains a circular dependency. The paper:
+    /// "an infinite loop among actions in the system would indicate that
+    /// the system described will not terminate".
+    CircularDependency {
+        /// Two actions that transitively depend on each other.
+        first: Action,
+        /// See `first`.
+        second: Action,
+    },
+    /// An action referenced by a flow or query is not in the instance.
+    UnknownAction(String),
+    /// A component model referenced an action index out of range.
+    InvalidComponentModel {
+        /// Explanation.
+        reason: String,
+    },
+    /// The underlying APA analysis failed.
+    Apa(apa::ApaError),
+}
+
+impl fmt::Display for FsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsaError::CircularDependency { first, second } => write!(
+                f,
+                "circular functional dependency between `{first}` and `{second}`"
+            ),
+            FsaError::UnknownAction(name) => write!(f, "unknown action `{name}`"),
+            FsaError::InvalidComponentModel { reason } => {
+                write!(f, "invalid component model: {reason}")
+            }
+            FsaError::Apa(e) => write!(f, "APA analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for FsaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FsaError::Apa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<apa::ApaError> for FsaError {
+    fn from(e: apa::ApaError) -> Self {
+        FsaError::Apa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FsaError::CircularDependency {
+            first: Action::parse("a"),
+            second: Action::parse("b"),
+        };
+        assert!(e.to_string().contains("circular"));
+        let e = FsaError::Apa(apa::ApaError::StateLimitExceeded { limit: 5 });
+        assert!(e.to_string().contains("APA"));
+        assert!(e.source().is_some());
+        let e = FsaError::UnknownAction("x".into());
+        assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FsaError>();
+    }
+}

@@ -1,0 +1,440 @@
+//! Enumeration of SoS instances from component models.
+//!
+//! §4.2 of the paper: "In order to model instances of the global system
+//! of systems, all structurally different combinations of component
+//! instances shall be considered. Isomorphic combinations can be
+//! neglected." And §4.4: "the union of all these requirements for the
+//! different instances poses the set of requirements for the whole
+//! system."
+//!
+//! [`enumerate_instances`] generates every composition of component
+//! instances (up to per-model multiplicity bounds) and every subset of
+//! the external flows allowed by the [`ConnectionRule`]s, de-duplicates
+//! the results up to isomorphism of their shape graphs, and optionally
+//! keeps only weakly connected compositions. [`union_requirements`]
+//! elicits and unions the requirement sets.
+
+use crate::component_model::{ComponentModel, TemplateActionId};
+use crate::error::FsaError;
+use crate::instance::{SosInstance, SosInstanceBuilder};
+use crate::manual::elicit;
+use crate::requirements::RequirementSet;
+use fsa_graph::NodeId;
+
+/// An allowed external flow: an output action of one component model
+/// may feed an input action of another component instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionRule {
+    /// Name of the source component model.
+    pub from_model: String,
+    /// Template action in the source model (e.g. `send`).
+    pub from_action: TemplateActionId,
+    /// Name of the target component model.
+    pub to_model: String,
+    /// Template action in the target model (e.g. `rec`).
+    pub to_action: TemplateActionId,
+}
+
+impl ConnectionRule {
+    /// Creates a rule.
+    pub fn new(
+        from_model: &str,
+        from_action: TemplateActionId,
+        to_model: &str,
+        to_action: TemplateActionId,
+    ) -> Self {
+        ConnectionRule {
+            from_model: from_model.to_owned(),
+            from_action,
+            to_model: to_model.to_owned(),
+            to_action,
+        }
+    }
+}
+
+/// Bounds for the enumeration.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Keep only weakly connected compositions (the paper's instances
+    /// are connected collaborations).
+    pub require_connected: bool,
+    /// Abort after this many *candidate* compositions (pre-dedup).
+    pub max_candidates: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            require_connected: true,
+            max_candidates: 100_000,
+        }
+    }
+}
+
+/// Enumerates the structurally different SoS instances built from
+/// `models` — each given with its maximum multiplicity — under the
+/// connection rules.
+///
+/// # Errors
+///
+/// * [`FsaError::InvalidComponentModel`] if a model fails validation, a
+///   rule references an unknown model/action, or the enumeration
+///   exceeds `options.max_candidates`.
+pub fn enumerate_instances(
+    models: &[(ComponentModel, usize)],
+    rules: &[ConnectionRule],
+    options: &ExploreOptions,
+) -> Result<Vec<SosInstance>, FsaError> {
+    for (m, _) in models {
+        m.validate()?;
+    }
+    for rule in rules {
+        for (name, action, side) in [
+            (&rule.from_model, rule.from_action, "source"),
+            (&rule.to_model, rule.to_action, "target"),
+        ] {
+            let model = models
+                .iter()
+                .map(|(m, _)| m)
+                .find(|m| m.name() == name)
+                .ok_or_else(|| FsaError::InvalidComponentModel {
+                    reason: format!("connection rule references unknown {side} model `{name}`"),
+                })?;
+            if action >= model.actions().len() {
+                return Err(FsaError::InvalidComponentModel {
+                    reason: format!(
+                        "connection rule references {side} action {action} out of range for `{name}`"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Enumerate multiplicities: the cartesian product of 0..=max per
+    // model, skipping the empty composition.
+    let mut result: Vec<SosInstance> = Vec::new();
+    let mut candidates = 0usize;
+    let mut counts = vec![0usize; models.len()];
+    loop {
+        // Advance the counter (odometer); first iteration is all zeros.
+        if counts.iter().sum::<usize>() > 0 {
+            build_compositions(models, rules, &counts, options, &mut candidates, &mut result)?;
+        }
+        let mut i = 0;
+        loop {
+            if i == models.len() {
+                let deduped = SosInstance::dedup_isomorphic(result);
+                return Ok(deduped);
+            }
+            counts[i] += 1;
+            if counts[i] <= models[i].1 {
+                break;
+            }
+            counts[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Builds every connection-subset composition for one multiplicity
+/// vector.
+fn build_compositions(
+    models: &[(ComponentModel, usize)],
+    rules: &[ConnectionRule],
+    counts: &[usize],
+    options: &ExploreOptions,
+    candidates: &mut usize,
+    result: &mut Vec<SosInstance>,
+) -> Result<(), FsaError> {
+    // Instantiate all components once to discover the candidate flows.
+    // (Rebuilt per subset below; models are small.)
+    let name = |counts: &[usize]| {
+        models
+            .iter()
+            .zip(counts)
+            .filter(|(_, c)| **c > 0)
+            .map(|((m, _), c)| format!("{}x{}", c, m.name()))
+            .collect::<Vec<_>>()
+            .join("+")
+    };
+
+    // Candidate external flows: for each rule, each ordered pair of
+    // distinct instances of the involved models.
+    #[derive(Clone, Copy)]
+    struct Candidate {
+        rule: usize,
+        from_copy: usize,
+        to_copy: usize,
+    }
+    let mut flows: Vec<Candidate> = Vec::new();
+    for (ri, rule) in rules.iter().enumerate() {
+        let from_idx = models.iter().position(|(m, _)| m.name() == rule.from_model);
+        let to_idx = models.iter().position(|(m, _)| m.name() == rule.to_model);
+        let (Some(fi), Some(ti)) = (from_idx, to_idx) else {
+            continue;
+        };
+        for fc in 0..counts[fi] {
+            for tc in 0..counts[ti] {
+                if fi == ti && fc == tc {
+                    continue; // no self-connection
+                }
+                flows.push(Candidate {
+                    rule: ri,
+                    from_copy: fc,
+                    to_copy: tc,
+                });
+            }
+        }
+    }
+
+    // Every subset of candidate flows.
+    let subsets: usize = 1usize
+        .checked_shl(flows.len() as u32)
+        .ok_or_else(|| FsaError::InvalidComponentModel {
+            reason: "too many candidate external flows to enumerate".to_owned(),
+        })?;
+    for mask in 0..subsets {
+        *candidates += 1;
+        if *candidates > options.max_candidates {
+            return Err(FsaError::InvalidComponentModel {
+                reason: format!(
+                    "instance enumeration exceeded {} candidates",
+                    options.max_candidates
+                ),
+            });
+        }
+        let mut builder = SosInstanceBuilder::new(&name(counts));
+        // Instantiate components with global per-model indices 1, 2, …
+        let mut handles: Vec<Vec<crate::component_model::ComponentInstance>> = Vec::new();
+        for (mi, (model, _)) in models.iter().enumerate() {
+            let mut copies = Vec::new();
+            for c in 0..counts[mi] {
+                let index = if counts[mi] == 1 && model.actions().iter().all(|a| a.indices().is_empty()) {
+                    String::new()
+                } else {
+                    (c + 1).to_string()
+                };
+                copies.push(model.instantiate(&index, &mut builder)?);
+            }
+            handles.push(copies);
+        }
+        for (k, cand) in flows.iter().enumerate() {
+            if mask & (1 << k) == 0 {
+                continue;
+            }
+            let rule = &rules[cand.rule];
+            let fi = models
+                .iter()
+                .position(|(m, _)| m.name() == rule.from_model)
+                .expect("validated");
+            let ti = models
+                .iter()
+                .position(|(m, _)| m.name() == rule.to_model)
+                .expect("validated");
+            let from = handles[fi][cand.from_copy].node(rule.from_action);
+            let to = handles[ti][cand.to_copy].node(rule.to_action);
+            builder.flow(from, to);
+        }
+        let instance = builder.build();
+        if options.require_connected && !is_weakly_connected(&instance) {
+            continue;
+        }
+        result.push(instance);
+    }
+    Ok(())
+}
+
+/// Weak connectivity of the action graph (single component, ignoring
+/// edge direction). The empty graph counts as connected.
+fn is_weakly_connected(instance: &SosInstance) -> bool {
+    let g = instance.graph();
+    let n = g.node_count();
+    if n == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![NodeId::new(0)];
+    seen[0] = true;
+    let mut visited = 1;
+    while let Some(v) = stack.pop() {
+        for u in g.successors(v).chain(g.predecessors(v)) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                visited += 1;
+                stack.push(u);
+            }
+        }
+    }
+    visited == n
+}
+
+/// Elicits every instance and unions the requirement sets (§4.4).
+///
+/// # Errors
+///
+/// Propagates elicitation errors (e.g. a cyclic composition produced by
+/// bidirectional connection rules).
+pub fn union_requirements(instances: &[SosInstance]) -> Result<RequirementSet, FsaError> {
+    let mut union = RequirementSet::new();
+    for inst in instances {
+        union = union.union(&elicit(inst)?.requirement_set());
+    }
+    Ok(union)
+}
+
+/// Like [`union_requirements`], but skips instances whose composition is
+/// cyclic (bidirectional rules can produce `A sends to B sends to A`
+/// loops, which the paper's loop-freedom assumption excludes). Returns
+/// the union together with the number of skipped instances.
+pub fn union_requirements_loop_free(
+    instances: &[SosInstance],
+) -> (RequirementSet, usize) {
+    let mut union = RequirementSet::new();
+    let mut skipped = 0usize;
+    for inst in instances {
+        match elicit(inst) {
+            Ok(report) => union = union.union(&report.requirement_set()),
+            Err(FsaError::CircularDependency { .. }) => skipped += 1,
+            Err(_) => skipped += 1,
+        }
+    }
+    (union, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sensor model (one output) and a sink model (input → display).
+    fn sensor_and_display() -> Vec<(ComponentModel, usize)> {
+        let mut sensor = ComponentModel::new("S", "Op");
+        sensor.action("emit(SNS_i,val)");
+        let mut display = ComponentModel::new("D", "User_i");
+        let rec = display.action("rec(DSP_i,val)");
+        let show = display.action("show(DSP_i,val)");
+        display.flow(rec, show);
+        vec![(sensor, 1), (display, 2)]
+    }
+
+    fn rules() -> Vec<ConnectionRule> {
+        vec![ConnectionRule::new("S", 0, "D", 0)]
+    }
+
+    #[test]
+    fn enumerates_and_dedups() {
+        let instances =
+            enumerate_instances(&sensor_and_display(), &rules(), &ExploreOptions::default())
+                .unwrap();
+        // Structurally distinct connected compositions:
+        //   S alone, D alone, S→D, (2 D: disconnected unless... skipped),
+        //   S + 2D with S→both, S→one+other-D (disconnected → skipped).
+        let names: Vec<&str> = instances.iter().map(SosInstance::name).collect();
+        assert!(!names.is_empty());
+        // No two remaining instances are isomorphic.
+        for (i, a) in instances.iter().enumerate() {
+            for b in instances.iter().skip(i + 1) {
+                assert!(
+                    !fsa_graph::iso::are_isomorphic(&a.shape_graph(), &b.shape_graph()),
+                    "{} ~ {}",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn connected_filter_drops_disconnected() {
+        let all = enumerate_instances(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions {
+                require_connected: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let connected =
+            enumerate_instances(&sensor_and_display(), &rules(), &ExploreOptions::default())
+                .unwrap();
+        assert!(connected.len() < all.len());
+    }
+
+    #[test]
+    fn union_covers_each_instance() {
+        let instances =
+            enumerate_instances(&sensor_and_display(), &rules(), &ExploreOptions::default())
+                .unwrap();
+        let union = union_requirements(&instances).unwrap();
+        for inst in &instances {
+            let set = elicit(inst).unwrap().requirement_set();
+            assert!(set.is_subset(&union), "instance {}", inst.name());
+        }
+        // The connected S→D composition contributes auth(emit, show, User).
+        assert!(union
+            .iter()
+            .any(|r| r.antecedent.name() == "emit" && r.consequent.name() == "show"));
+    }
+
+    #[test]
+    fn unknown_rule_model_rejected() {
+        let err = enumerate_instances(
+            &sensor_and_display(),
+            &[ConnectionRule::new("S", 0, "GHOST", 0)],
+            &ExploreOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsaError::InvalidComponentModel { .. }));
+    }
+
+    #[test]
+    fn out_of_range_rule_action_rejected() {
+        let err = enumerate_instances(
+            &sensor_and_display(),
+            &[ConnectionRule::new("S", 5, "D", 0)],
+            &ExploreOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsaError::InvalidComponentModel { .. }));
+    }
+
+    #[test]
+    fn candidate_budget_enforced() {
+        let err = enumerate_instances(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions {
+                require_connected: true,
+                max_candidates: 2,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsaError::InvalidComponentModel { .. }));
+    }
+
+    #[test]
+    fn loop_free_union_skips_cycles() {
+        // Two peers that can send to each other: the both-directions
+        // composition is cyclic only if flows form a loop through the
+        // same actions — rec → send internal flow creates one.
+        let mut peer = ComponentModel::new("P", "U_i");
+        let rec = peer.action("rec(P_i,msg)");
+        let send = peer.action("send(P_i,msg)");
+        peer.flow(rec, send);
+        let rules = vec![ConnectionRule::new("P", 1, "P", 0)];
+        let instances = enumerate_instances(
+            &[(peer, 2)],
+            &rules,
+            &ExploreOptions {
+                require_connected: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (union, skipped) = union_requirements_loop_free(&instances);
+        assert!(skipped > 0, "the mutual-send composition is cyclic");
+        assert!(union
+            .iter()
+            .any(|r| r.antecedent.name() == "rec" && r.consequent.name() == "send"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Verification of parameterised instance families.
+//!
+//! §4.4 derives the recurrence
+//! `χᵢ = χᵢ₋₁ ∪ {(pos(GPS_i, pos), show(HMI_w, warn))}` and §6 points to
+//! self-similarity-based verification of "families of systems that are
+//! usually parameterised by a number of replicated identical
+//! components". This module provides the bounded check that justifies
+//! the first-order requirement form: it computes the per-step increment
+//! `Δᵢ = χᵢ \ χᵢ₋₁` for a family generator, abstracts the step index,
+//! and reports whether the family is *self-similar* — every step adds
+//! the same requirement template, so
+//! `χ_k = χ_base ∪ {template(x) | x ∈ domain}` for all explored `k`.
+
+use crate::instance::SosInstance;
+use crate::manual::elicit;
+use crate::param::VARIABLE;
+use crate::requirements::{AuthRequirement, RequirementSet};
+use crate::FsaError;
+use std::collections::BTreeSet;
+
+/// The result of a bounded family verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyResult {
+    /// The requirement set of the smallest family member (the stable
+    /// core, e.g. the paper's requirements (1)–(3)).
+    pub base: RequirementSet,
+    /// `true` if every explored step added exactly the abstracted
+    /// templates in [`FamilyResult::templates`].
+    pub self_similar: bool,
+    /// The per-step requirement templates with the step index replaced
+    /// by [`VARIABLE`] (e.g.
+    /// `auth(pos(GPS_x,pos), show(HMI_w,warn), D_w)`).
+    pub templates: Vec<AuthRequirement>,
+    /// The index values encountered (the paper's `V_forward` set for
+    /// the explored bound).
+    pub domain: Vec<String>,
+    /// Number of family members explored (sizes `0..=bound`).
+    pub explored: usize,
+}
+
+/// Explores the family `generator(0), …, generator(bound)` and checks
+/// self-similarity of the requirement increments.
+///
+/// The `step_index` function names the index introduced at step `i`
+/// (e.g. forwarder `i` has vehicle tag `i + 1` in the Fig. 4 chain).
+///
+/// # Errors
+///
+/// Propagates elicitation errors from any family member.
+pub fn verify_recurrence(
+    generator: impl Fn(usize) -> SosInstance,
+    step_index: impl Fn(usize) -> String,
+    bound: usize,
+) -> Result<FamilyResult, FsaError> {
+    let base = elicit(&generator(0))?.requirement_set();
+    let mut previous = base.clone();
+    let mut templates: Option<BTreeSet<AuthRequirement>> = None;
+    let mut self_similar = true;
+    let mut domain = Vec::new();
+
+    for step in 1..=bound {
+        let current = elicit(&generator(step))?.requirement_set();
+        let idx = step_index(step);
+        // Abstract the step index out of the increment.
+        let delta: BTreeSet<AuthRequirement> = current
+            .difference(&previous)
+            .iter()
+            .map(|r| abstract_index(r, &idx))
+            .collect();
+        // The previous set must be preserved (monotone growth).
+        if !previous.is_subset(&current) {
+            self_similar = false;
+        }
+        match &templates {
+            None => templates = Some(delta),
+            Some(t) => {
+                if *t != delta {
+                    self_similar = false;
+                }
+            }
+        }
+        domain.push(idx);
+        previous = current;
+    }
+
+    Ok(FamilyResult {
+        base,
+        self_similar,
+        templates: templates.unwrap_or_default().into_iter().collect(),
+        domain,
+        explored: bound + 1,
+    })
+}
+
+fn abstract_index(req: &AuthRequirement, idx: &str) -> AuthRequirement {
+    AuthRequirement::new(
+        req.antecedent.rename_index(idx, VARIABLE),
+        req.consequent.rename_index(idx, VARIABLE),
+        req.stakeholder.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::instance::SosInstanceBuilder;
+
+    /// A miniature self-similar family: k producers feeding one sink.
+    fn star(k: usize) -> SosInstance {
+        let mut b = SosInstanceBuilder::new(&format!("star{k}"));
+        let sink = b.action(Action::parse("consume(SNK_0,all)"), "U");
+        for i in 1..=k {
+            let p = b.action(Action::parse(&format!("produce(SRC_{i},v)")), "U");
+            b.flow(p, sink);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn star_family_is_self_similar() {
+        let result = verify_recurrence(star, |i| i.to_string(), 5).unwrap();
+        assert!(result.self_similar);
+        assert_eq!(result.explored, 6);
+        assert_eq!(result.domain, vec!["1", "2", "3", "4", "5"]);
+        assert_eq!(result.templates.len(), 1);
+        assert_eq!(
+            result.templates[0].to_string(),
+            "auth(produce(SRC_x,v), consume(SNK_0,all), U)"
+        );
+        assert!(result.base.is_empty(), "star(0) has no dependencies");
+    }
+
+    /// A family whose second step adds something different.
+    fn irregular(k: usize) -> SosInstance {
+        let mut b = SosInstanceBuilder::new(&format!("irr{k}"));
+        let sink = b.action(Action::parse("consume(SNK_0,all)"), "U");
+        for i in 1..=k {
+            let name = if i == 2 {
+                format!("oddball(SRC_{i},v)")
+            } else {
+                format!("produce(SRC_{i},v)")
+            };
+            let p = b.action(Action::parse(&name), "U");
+            b.flow(p, sink);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn irregular_family_detected() {
+        let result = verify_recurrence(irregular, |i| i.to_string(), 3).unwrap();
+        assert!(!result.self_similar);
+    }
+
+    #[test]
+    fn single_step_family_trivially_self_similar() {
+        let result = verify_recurrence(star, |i| i.to_string(), 1).unwrap();
+        assert!(result.self_similar);
+        assert_eq!(result.domain, vec!["1"]);
+    }
+
+    #[test]
+    fn zero_bound_explores_base_only() {
+        let result = verify_recurrence(star, |i| i.to_string(), 0).unwrap();
+        assert!(result.self_similar, "vacuously");
+        assert!(result.templates.is_empty());
+        assert_eq!(result.explored, 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! First-order parameterisation of requirement sets.
+//!
+//! §4.4: the elements of `χᵢ` beyond the stable core "can be expressed
+//! in terms of first-order predicates", e.g.
+//!
+//! ```text
+//! ∀ x ∈ V_forward : auth(pos(GPS_x, pos), show(HMI_w, warn), D_w)
+//! ```
+//!
+//! [`parameterise`] groups requirements that are identical up to the
+//! instance index of their antecedent and abstracts that index into a
+//! variable.
+
+use crate::action::{Action, Agent};
+use crate::requirements::{AuthRequirement, RequirementSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The variable name used for abstracted indices.
+pub const VARIABLE: &str = "x";
+
+/// A possibly-parameterised requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReqForm {
+    /// An unparameterised requirement.
+    Plain(AuthRequirement),
+    /// A universally quantified family:
+    /// `∀ x ∈ domain : auth(template.antecedent, template.consequent, P)`
+    /// where the template's antecedent uses the index [`VARIABLE`].
+    ForAll {
+        /// The index values the variable ranges over (the paper's
+        /// `V_forward` set), sorted.
+        domain: Vec<String>,
+        /// The requirement template with [`VARIABLE`] as index.
+        template: AuthRequirement,
+    },
+}
+
+impl ReqForm {
+    /// Expands the form back into concrete requirements.
+    pub fn expand(&self) -> Vec<AuthRequirement> {
+        match self {
+            ReqForm::Plain(r) => vec![r.clone()],
+            ReqForm::ForAll { domain, template } => domain
+                .iter()
+                .map(|v| {
+                    AuthRequirement::new(
+                        template.antecedent.rename_index(VARIABLE, v),
+                        template.consequent.clone(),
+                        template.stakeholder.clone(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for ReqForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReqForm::Plain(r) => write!(f, "{r}"),
+            ReqForm::ForAll { domain, template } => {
+                write!(
+                    f,
+                    "forall {} in {{{}}}: {}",
+                    VARIABLE,
+                    domain.join(","),
+                    template
+                )
+            }
+        }
+    }
+}
+
+/// Groups requirements identical up to the (first) instance index of
+/// their antecedent; groups of at least `min_group_size` members become
+/// [`ReqForm::ForAll`], the rest stay [`ReqForm::Plain`]. Output order
+/// is canonical.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_core::action::{Action, Agent};
+/// use fsa_core::param::{parameterise, ReqForm};
+/// use fsa_core::requirements::{AuthRequirement, RequirementSet};
+///
+/// let set: RequirementSet = (2..=4)
+///     .map(|i| AuthRequirement::new(
+///         Action::parse(&format!("pos(GPS_{i},pos)")),
+///         Action::parse("show(HMI_w,warn)"),
+///         Agent::new("D_w"),
+///     ))
+///     .collect();
+/// let forms = parameterise(&set, 2);
+/// assert_eq!(forms.len(), 1);
+/// assert_eq!(
+///     forms[0].to_string(),
+///     "forall x in {2,3,4}: auth(pos(GPS_x,pos), show(HMI_w,warn), D_w)"
+/// );
+/// ```
+pub fn parameterise(set: &RequirementSet, min_group_size: usize) -> Vec<ReqForm> {
+    parameterise_over(set, min_group_size, None)
+}
+
+/// Like [`parameterise`], but abstracts only antecedent indices in
+/// `domain` (the paper's `V_forward`: "the set of vehicles per system
+/// instance, that forward the warning message"). Requirements whose
+/// index is outside the domain stay plain, so `pos(GPS_1)` and
+/// `pos(GPS_w)` are not folded into the forwarder family.
+pub fn parameterise_over(
+    set: &RequirementSet,
+    min_group_size: usize,
+    domain: Option<&[&str]>,
+) -> Vec<ReqForm> {
+    // Key: (abstracted antecedent, consequent, stakeholder).
+    type Key = (Action, Action, Agent);
+    let mut groups: BTreeMap<Key, Vec<(String, AuthRequirement)>> = BTreeMap::new();
+    let mut plain: Vec<AuthRequirement> = Vec::new();
+
+    for r in set {
+        let indices = r.antecedent.indices();
+        let eligible = indices
+            .first()
+            .filter(|idx| domain.is_none_or(|d| d.contains(idx)));
+        match eligible {
+            Some(&idx) => {
+                let template = r.antecedent.rename_index(idx, VARIABLE);
+                let key = (template, r.consequent.clone(), r.stakeholder.clone());
+                groups
+                    .entry(key)
+                    .or_default()
+                    .push((idx.to_owned(), r.clone()));
+            }
+            None => plain.push(r.clone()),
+        }
+    }
+
+    let mut out: Vec<ReqForm> = Vec::new();
+    for ((template, consequent, stakeholder), mut members) in groups {
+        members.sort();
+        members.dedup();
+        if members.len() >= min_group_size.max(1) && members.len() > 1 {
+            let domain: Vec<String> = members.iter().map(|(v, _)| v.clone()).collect();
+            out.push(ReqForm::ForAll {
+                domain,
+                template: AuthRequirement::new(template, consequent, stakeholder),
+            });
+        } else {
+            plain.extend(members.into_iter().map(|(_, r)| r));
+        }
+    }
+    plain.sort();
+    plain.dedup();
+    out.extend(plain.into_iter().map(ReqForm::Plain));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(a: &str, b: &str) -> AuthRequirement {
+        AuthRequirement::new(Action::parse(a), Action::parse(b), Agent::new("D_w"))
+    }
+
+    #[test]
+    fn forwarders_collapse_to_forall() {
+        // §4.4: χᵢ grows by one pos(GPS_i) per forwarding vehicle.
+        let set: RequirementSet = [
+            req("pos(GPS_2,pos)", "show(HMI_w,warn)"),
+            req("pos(GPS_3,pos)", "show(HMI_w,warn)"),
+            req("pos(GPS_4,pos)", "show(HMI_w,warn)"),
+            req("sense(ESP_1,sW)", "show(HMI_w,warn)"),
+        ]
+        .into_iter()
+        .collect();
+        let forms = parameterise(&set, 2);
+        assert_eq!(forms.len(), 2);
+        match &forms[0] {
+            ReqForm::ForAll { domain, template } => {
+                assert_eq!(domain, &["2", "3", "4"]);
+                assert_eq!(
+                    template.antecedent.to_string(),
+                    "pos(GPS_x,pos)"
+                );
+            }
+            other => panic!("expected ForAll, got {other:?}"),
+        }
+        assert!(matches!(&forms[1], ReqForm::Plain(r) if r.antecedent == Action::parse("sense(ESP_1,sW)")));
+    }
+
+    #[test]
+    fn domain_restricted_grouping() {
+        // pos(GPS_1) and pos(GPS_w) must stay plain when quantifying
+        // over the forwarder set only.
+        let set: RequirementSet = [
+            req("pos(GPS_1,pos)", "show(HMI_w,warn)"),
+            req("pos(GPS_2,pos)", "show(HMI_w,warn)"),
+            req("pos(GPS_3,pos)", "show(HMI_w,warn)"),
+            req("pos(GPS_w,pos)", "show(HMI_w,warn)"),
+        ]
+        .into_iter()
+        .collect();
+        let forms = parameterise_over(&set, 2, Some(&["2", "3"]));
+        let rendered: Vec<String> = forms.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "forall x in {2,3}: auth(pos(GPS_x,pos), show(HMI_w,warn), D_w)",
+                "auth(pos(GPS_1,pos), show(HMI_w,warn), D_w)",
+                "auth(pos(GPS_w,pos), show(HMI_w,warn), D_w)",
+            ]
+        );
+    }
+
+    #[test]
+    fn singletons_stay_plain() {
+        let set: RequirementSet = [req("pos(GPS_1,pos)", "show(HMI_w,warn)")]
+            .into_iter()
+            .collect();
+        let forms = parameterise(&set, 2);
+        assert_eq!(forms.len(), 1);
+        assert!(matches!(forms[0], ReqForm::Plain(_)));
+    }
+
+    #[test]
+    fn no_index_requirements_stay_plain() {
+        let set: RequirementSet = [req("send(cam(pos))", "show(HMI_w,warn)")]
+            .into_iter()
+            .collect();
+        let forms = parameterise(&set, 2);
+        assert!(matches!(forms[0], ReqForm::Plain(_)));
+    }
+
+    #[test]
+    fn expand_round_trips() {
+        let original: RequirementSet = (1..=5)
+            .map(|i| req(&format!("pos(GPS_{i},pos)"), "show(HMI_w,warn)"))
+            .collect();
+        let forms = parameterise(&original, 2);
+        let expanded: RequirementSet = forms.iter().flat_map(ReqForm::expand).collect();
+        assert_eq!(expanded, original);
+    }
+
+    #[test]
+    fn different_consequents_not_grouped() {
+        let set: RequirementSet = [
+            req("pos(GPS_2,pos)", "show(HMI_w,warn)"),
+            req("pos(GPS_3,pos)", "show(HMI_v,warn)"),
+        ]
+        .into_iter()
+        .collect();
+        let forms = parameterise(&set, 2);
+        assert_eq!(forms.len(), 2);
+        assert!(forms.iter().all(|f| matches!(f, ReqForm::Plain(_))));
+    }
+
+    #[test]
+    fn display_forms() {
+        let set: RequirementSet = [
+            req("pos(GPS_2,pos)", "show(HMI_w,warn)"),
+            req("pos(GPS_3,pos)", "show(HMI_w,warn)"),
+        ]
+        .into_iter()
+        .collect();
+        let forms = parameterise(&set, 2);
+        assert_eq!(
+            forms[0].to_string(),
+            "forall x in {2,3}: auth(pos(GPS_x,pos), show(HMI_w,warn), D_w)"
+        );
+    }
+}

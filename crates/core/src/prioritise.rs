@@ -1,0 +1,183 @@
+//! Requirement categorisation and prioritisation.
+//!
+//! §1 of the paper places elicitation inside a larger process:
+//! "a requirements categorisation and prioritisation, followed by
+//! requirements inspection"; §4.3 adds that "once an exhaustive list of
+//! security requirements is identified, a requirements categorisation
+//! and prioritisation process can evaluate them according to a maximum
+//! acceptable risk strategy."
+//!
+//! This module implements a transparent, flow-derived prioritisation:
+//!
+//! * **category** — the safety classification ([`Relevance`]) computed
+//!   during elicitation;
+//! * **influence** — how many safety-critical outputs (maximal
+//!   elements) transitively depend on the requirement's antecedent: a
+//!   forged input with influence 5 corrupts five outputs;
+//! * **rank** — safety before availability, higher influence first,
+//!   then canonical term order for determinism.
+
+use crate::error::FsaError;
+use crate::instance::SosInstance;
+use crate::manual::ElicitationReport;
+use crate::requirements::{AuthRequirement, Relevance};
+use fsa_graph::closure::reflexive_transitive_closure;
+use std::fmt;
+
+/// A requirement with its priority metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrioritisedRequirement {
+    /// The requirement.
+    pub requirement: AuthRequirement,
+    /// Safety vs. availability.
+    pub relevance: Relevance,
+    /// Number of outputs transitively depending on the antecedent.
+    pub influence: usize,
+    /// 1-based rank after sorting (1 = most critical).
+    pub rank: usize,
+}
+
+impl fmt::Display for PrioritisedRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} [{} / influences {} output(s)] {}",
+            self.rank, self.relevance, self.influence, self.requirement
+        )
+    }
+}
+
+/// Prioritises the requirements of an elicitation report.
+///
+/// # Errors
+///
+/// Returns [`FsaError::UnknownAction`] if the report does not belong to
+/// `instance`.
+pub fn prioritise(
+    instance: &SosInstance,
+    report: &ElicitationReport,
+) -> Result<Vec<PrioritisedRequirement>, FsaError> {
+    let g = instance.graph();
+    let closure = reflexive_transitive_closure(g);
+    let sinks = g.sinks();
+    let mut items: Vec<PrioritisedRequirement> = report
+        .classified_requirements()
+        .iter()
+        .map(|c| {
+            let a = instance
+                .find(&c.requirement.antecedent)
+                .ok_or_else(|| FsaError::UnknownAction(c.requirement.antecedent.to_string()))?;
+            let influence = sinks
+                .iter()
+                .filter(|&&s| s != a && closure.contains(a, s))
+                .count();
+            Ok(PrioritisedRequirement {
+                requirement: c.requirement.clone(),
+                relevance: c.relevance,
+                influence,
+                rank: 0,
+            })
+        })
+        .collect::<Result<_, FsaError>>()?;
+    items.sort_by(|x, y| {
+        x.relevance
+            .cmp(&y.relevance) // Safety < Availability in derive order
+            .then(y.influence.cmp(&x.influence))
+            .then(x.requirement.cmp(&y.requirement))
+    });
+    for (i, item) in items.iter_mut().enumerate() {
+        item.rank = i + 1;
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manual::elicit;
+
+    #[test]
+    fn safety_ranks_before_availability() {
+        // A Fig. 4-like model with one availability requirement.
+        let inst = test_support::evita_like();
+        let report = elicit(&inst).unwrap();
+        let ranked = prioritise(&inst, &report).unwrap();
+        assert_eq!(ranked.len(), report.requirements().len());
+        // Ranks are 1..=n and sorted.
+        for (i, item) in ranked.iter().enumerate() {
+            assert_eq!(item.rank, i + 1);
+        }
+        // All availability entries come after every safety entry.
+        let first_avail = ranked
+            .iter()
+            .position(|r| r.relevance == Relevance::Availability);
+        if let Some(p) = first_avail {
+            assert!(ranked[p..]
+                .iter()
+                .all(|r| r.relevance == Relevance::Availability));
+        }
+    }
+
+    #[test]
+    fn influence_counts_dependent_outputs() {
+        use crate::action::Action;
+        use crate::instance::SosInstanceBuilder;
+        // One origin feeding two outputs, another feeding one.
+        let mut b = SosInstanceBuilder::new("t");
+        let wide = b.action(Action::parse("wide"), "P");
+        let narrow = b.action(Action::parse("narrow"), "P");
+        let out1 = b.action(Action::parse("out1"), "P");
+        let out2 = b.action(Action::parse("out2"), "P");
+        b.flow(wide, out1);
+        b.flow(wide, out2);
+        b.flow(narrow, out2);
+        let inst = b.build();
+        let ranked = prioritise(&inst, &elicit(&inst).unwrap()).unwrap();
+        assert_eq!(ranked[0].requirement.antecedent, Action::parse("wide"));
+        assert_eq!(ranked[0].influence, 2);
+        let narrow_entry = ranked
+            .iter()
+            .find(|r| r.requirement.antecedent == Action::parse("narrow"))
+            .unwrap();
+        assert_eq!(narrow_entry.influence, 1);
+        assert!(ranked[0].rank < narrow_entry.rank);
+    }
+
+    #[test]
+    fn display_mentions_rank_and_influence() {
+        use crate::action::Action;
+        use crate::instance::SosInstanceBuilder;
+        let mut b = SosInstanceBuilder::new("t");
+        let a = b.action(Action::parse("a"), "P");
+        let z = b.action(Action::parse("z"), "P");
+        b.flow(a, z);
+        let inst = b.build();
+        let ranked = prioritise(&inst, &elicit(&inst).unwrap()).unwrap();
+        let s = ranked[0].to_string();
+        assert!(s.starts_with("#1 [safety / influences 1 output(s)]"));
+    }
+}
+
+#[cfg(test)]
+mod test_support {
+    use crate::action::Action;
+    use crate::instance::{SosInstance, SosInstanceBuilder};
+
+    /// A small model with one policy-only dependency, for prioritisation
+    /// tests (mirrors the Fig. 4 structure).
+    pub(crate) fn evita_like() -> SosInstance {
+        let mut b = SosInstanceBuilder::new("evita-like");
+        let sense = b.action(Action::parse("sense(ESP_1,sW)"), "D_1");
+        let send = b.action(Action::parse("send(CU_1,cam(pos))"), "D_1");
+        let rec = b.action(Action::parse("rec(CU_w,cam(pos))"), "D_w");
+        let pos2 = b.action(Action::parse("pos(GPS_2,pos)"), "D_2");
+        let fwd = b.action(Action::parse("fwd(CU_2,cam(pos))"), "D_2");
+        let show = b.action(Action::parse("show(HMI_w,warn)"), "D_w");
+        b.flow(sense, send);
+        b.flow(send, rec);
+        b.flow(rec, fwd);
+        b.policy_flow(pos2, fwd);
+        b.flow(fwd, show);
+        b.build()
+    }
+}

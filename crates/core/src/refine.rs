@@ -1,0 +1,191 @@
+//! Refinement of end-to-end requirements into hop requirements.
+//!
+//! §6 of the paper: "Starting from this set of very high-level
+//! requirements, the security engineering process may proceed. …
+//! Accordingly the requirements have to be refined to more concrete
+//! requirements in this process."
+//!
+//! The method deliberately elicits *end-to-end* requirements, free of
+//! "premature assumptions … such as hop-by-hop versus end-to-end
+//! security measures" (§1). Once an architecture is chosen, a sound
+//! decomposition is possible along the *unavoidable intermediates* of
+//! the dependency: actions that every functional path from the
+//! antecedent to the consequent passes. Refining
+//! `auth(a, b, P)` along unavoidable `m₁ < m₂ < … < mₖ` yields the hop
+//! chain
+//!
+//! ```text
+//!   auth(a, m₁, stakeholder(m₁)), auth(m₁, m₂, stakeholder(m₂)), …,
+//!   auth(mₖ, b, P)
+//! ```
+//!
+//! whose conjunction implies the original requirement (each hop
+//! guarantees its predecessor happened; transitively, `a` happened).
+//! Branching segments (no unavoidable intermediate) stay end-to-end —
+//! exactly the cases where a hop-by-hop realisation would be unsound.
+
+use crate::action::Action;
+use crate::error::FsaError;
+use crate::instance::SosInstance;
+use crate::requirements::AuthRequirement;
+use fsa_graph::path::unavoidable_intermediates;
+
+/// One refinement step: the hop chain of a requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refinement {
+    /// The original end-to-end requirement.
+    pub original: AuthRequirement,
+    /// The hop requirements (length 1 = no decomposition possible).
+    pub hops: Vec<AuthRequirement>,
+}
+
+impl Refinement {
+    /// Returns `true` if the requirement could be decomposed.
+    pub fn is_decomposed(&self) -> bool {
+        self.hops.len() > 1
+    }
+
+    /// The intermediate actions the decomposition passes through.
+    pub fn intermediates(&self) -> Vec<&Action> {
+        self.hops
+            .iter()
+            .skip(1)
+            .map(|h| &h.antecedent)
+            .collect()
+    }
+}
+
+/// Refines `req` against the architecture described by `instance`.
+///
+/// # Errors
+///
+/// Returns [`FsaError::UnknownAction`] if the requirement's actions are
+/// not part of the instance.
+pub fn refine(instance: &SosInstance, req: &AuthRequirement) -> Result<Refinement, FsaError> {
+    let a = instance
+        .find(&req.antecedent)
+        .ok_or_else(|| FsaError::UnknownAction(req.antecedent.to_string()))?;
+    let b = instance
+        .find(&req.consequent)
+        .ok_or_else(|| FsaError::UnknownAction(req.consequent.to_string()))?;
+    let mids = unavoidable_intermediates(instance.graph(), a, b);
+    let mut waypoints = vec![a];
+    waypoints.extend(mids);
+    waypoints.push(b);
+    let hops = waypoints
+        .windows(2)
+        .map(|w| {
+            AuthRequirement::new(
+                instance.action(w[0]).clone(),
+                instance.action(w[1]).clone(),
+                instance.stakeholder(w[1]).clone(),
+            )
+        })
+        .collect();
+    Ok(Refinement {
+        original: req.clone(),
+        hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Agent;
+    use crate::instance::SosInstanceBuilder;
+    use crate::manual::elicit;
+
+    fn fig3() -> SosInstance {
+        let mut b = SosInstanceBuilder::new("fig3");
+        let sense = b.action(Action::parse("sense(ESP_1,sW)"), "D_1");
+        let pos1 = b.action(Action::parse("pos(GPS_1,pos)"), "D_1");
+        let send = b.action(Action::parse("send(CU_1,cam(pos))"), "D_1");
+        let rec = b.action(Action::parse("rec(CU_w,cam(pos))"), "D_w");
+        let posw = b.action(Action::parse("pos(GPS_w,pos)"), "D_w");
+        let show = b.action(Action::parse("show(HMI_w,warn)"), "D_w");
+        b.flow(sense, send);
+        b.flow(pos1, send);
+        b.flow(send, rec);
+        b.flow(rec, show);
+        b.flow(posw, show);
+        b.build()
+    }
+
+    #[test]
+    fn refines_sense_to_show_into_three_hops() {
+        let inst = fig3();
+        let req = AuthRequirement::new(
+            Action::parse("sense(ESP_1,sW)"),
+            Action::parse("show(HMI_w,warn)"),
+            Agent::new("D_w"),
+        );
+        let refinement = refine(&inst, &req).unwrap();
+        assert!(refinement.is_decomposed());
+        let rendered: Vec<String> = refinement.hops.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "auth(sense(ESP_1,sW), send(CU_1,cam(pos)), D_1)",
+                "auth(send(CU_1,cam(pos)), rec(CU_w,cam(pos)), D_w)",
+                "auth(rec(CU_w,cam(pos)), show(HMI_w,warn), D_w)",
+            ]
+        );
+        assert_eq!(refinement.intermediates().len(), 2);
+    }
+
+    #[test]
+    fn direct_dependency_stays_single_hop() {
+        let inst = fig3();
+        let req = AuthRequirement::new(
+            Action::parse("pos(GPS_w,pos)"),
+            Action::parse("show(HMI_w,warn)"),
+            Agent::new("D_w"),
+        );
+        let refinement = refine(&inst, &req).unwrap();
+        assert!(!refinement.is_decomposed());
+        assert_eq!(refinement.hops, vec![req]);
+    }
+
+    #[test]
+    fn branching_segment_not_decomposed() {
+        // a → (x | y) → b: no unavoidable intermediate.
+        let mut bld = SosInstanceBuilder::new("branch");
+        let a = bld.action(Action::parse("a"), "P");
+        let x = bld.action(Action::parse("x"), "P");
+        let y = bld.action(Action::parse("y"), "P");
+        let b = bld.action(Action::parse("b"), "P");
+        bld.flow(a, x);
+        bld.flow(a, y);
+        bld.flow(x, b);
+        bld.flow(y, b);
+        let inst = bld.build();
+        let req = AuthRequirement::new(Action::parse("a"), Action::parse("b"), Agent::new("P"));
+        let refinement = refine(&inst, &req).unwrap();
+        assert_eq!(refinement.hops.len(), 1, "no sound decomposition exists");
+    }
+
+    #[test]
+    fn refinement_of_all_elicited_requirements() {
+        let inst = fig3();
+        for req in elicit(&inst).unwrap().requirements() {
+            let refinement = refine(&inst, &req).unwrap();
+            // First hop starts at the antecedent, last ends at the consequent.
+            assert_eq!(refinement.hops.first().unwrap().antecedent, req.antecedent);
+            assert_eq!(refinement.hops.last().unwrap().consequent, req.consequent);
+            // Consecutive hops chain.
+            for w in refinement.hops.windows(2) {
+                assert_eq!(w[0].consequent, w[1].antecedent);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let inst = fig3();
+        let req = AuthRequirement::new(Action::parse("ghost"), Action::parse("b"), Agent::new("P"));
+        assert!(matches!(
+            refine(&inst, &req),
+            Err(FsaError::UnknownAction(_))
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! Verification of authenticity requirements against behaviours.
+//!
+//! The paper notes (§6) that "the systematic approach that incorporates
+//! formal semantics leads directly to the formal validation of
+//! security". This module closes that loop: given a behaviour (an APA
+//! reachability graph converted to an NFA over action names) and a set
+//! of elicited requirements, it checks every `auth(a, b, P)` as the
+//! precedence property "`b` never occurs before the first `a`" and — on
+//! violation — extracts a shortest **attack trace**: a run on which the
+//! safety-critical output happens without the authentic input having
+//! occurred.
+//!
+//! Two checkers are provided and cross-validated by property tests:
+//! a direct graph search ([`automata::temporal`]) and language inclusion
+//! against a precedence monitor ([`automata::monitor`]).
+
+use crate::requirements::{AuthRequirement, RequirementSet};
+use automata::{monitor, temporal, Nfa};
+use std::fmt;
+
+/// The verification verdict for a single requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// The requirement checked.
+    pub requirement: AuthRequirement,
+    /// `None` — the behaviour satisfies the requirement; `Some(trace)` —
+    /// a shortest run violating it (ending in the consequent action).
+    pub violation: Option<Vec<String>>,
+}
+
+impl Verdict {
+    /// Returns `true` if the requirement holds.
+    pub fn holds(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.violation {
+            None => write!(f, "{}: holds", self.requirement),
+            Some(trace) => write!(
+                f,
+                "{}: VIOLATED by trace [{}]",
+                self.requirement,
+                trace.join(", ")
+            ),
+        }
+    }
+}
+
+/// The checker to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Checker {
+    /// Direct precedence search on the behaviour graph.
+    Precedence,
+    /// Language inclusion against a two-state precedence monitor.
+    Monitor,
+}
+
+/// Verifies every requirement of `set` against `behaviour`. Action
+/// names in the behaviour's alphabet are matched against the rendered
+/// antecedent/consequent terms.
+pub fn verify_requirements(
+    behaviour: &Nfa,
+    set: &RequirementSet,
+    checker: Checker,
+) -> Vec<Verdict> {
+    set.iter()
+        .map(|req| verify_one(behaviour, req, checker))
+        .collect()
+}
+
+/// Verifies a single requirement (see [`verify_requirements`]).
+pub fn verify_one(behaviour: &Nfa, req: &AuthRequirement, checker: Checker) -> Verdict {
+    let a = req.antecedent.to_string();
+    let b = req.consequent.to_string();
+    let violation = match checker {
+        Checker::Precedence => temporal::precedence_counterexample(behaviour, &a, &b),
+        Checker::Monitor => {
+            let symbols: Vec<String> = behaviour
+                .alphabet()
+                .iter()
+                .map(|(_, n)| n.to_owned())
+                .collect();
+            let m = monitor::precedence_monitor(symbols.iter().map(String::as_str), &a, &b);
+            // The monitor rejects exactly the runs where b precedes the
+            // first a; the inclusion counterexample is an attack trace.
+            monitor::inclusion_counterexample(behaviour, &m)
+        }
+    };
+    Verdict {
+        requirement: req.clone(),
+        violation,
+    }
+}
+
+/// Returns `true` if every requirement holds on the behaviour.
+pub fn all_hold(behaviour: &Nfa, set: &RequirementSet, checker: Checker) -> bool {
+    verify_requirements(behaviour, set, checker)
+        .iter()
+        .all(Verdict::holds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Agent};
+
+    fn req(a: &str, b: &str) -> AuthRequirement {
+        AuthRequirement::new(Action::parse(a), Action::parse(b), Agent::new("P"))
+    }
+
+    /// sense → show, but also a rogue branch where show fires directly.
+    fn tampered_behaviour() -> Nfa {
+        let mut bld = Nfa::builder();
+        let sense = bld.symbol("sense");
+        let inject = bld.symbol("inject");
+        let show = bld.symbol("show");
+        let s0 = bld.state(true);
+        let s1 = bld.state(true);
+        let s2 = bld.state(true);
+        let s3 = bld.state(true);
+        bld.initial(s0);
+        bld.edge(s0, Some(sense), s1);
+        bld.edge(s1, Some(show), s2);
+        bld.edge(s0, Some(inject), s3);
+        bld.edge(s3, Some(show), s2);
+        bld.build()
+    }
+
+    fn honest_behaviour() -> Nfa {
+        let mut bld = Nfa::builder();
+        let sense = bld.symbol("sense");
+        let show = bld.symbol("show");
+        let s0 = bld.state(true);
+        let s1 = bld.state(true);
+        let s2 = bld.state(true);
+        bld.initial(s0);
+        bld.edge(s0, Some(sense), s1);
+        bld.edge(s1, Some(show), s2);
+        bld.build()
+    }
+
+    #[test]
+    fn honest_behaviour_satisfies() {
+        let set: RequirementSet = [req("sense", "show")].into_iter().collect();
+        for checker in [Checker::Precedence, Checker::Monitor] {
+            assert!(all_hold(&honest_behaviour(), &set, checker));
+        }
+    }
+
+    #[test]
+    fn tampered_behaviour_yields_attack_trace() {
+        let set: RequirementSet = [req("sense", "show")].into_iter().collect();
+        for checker in [Checker::Precedence, Checker::Monitor] {
+            let verdicts = verify_requirements(&tampered_behaviour(), &set, checker);
+            assert_eq!(verdicts.len(), 1);
+            let trace = verdicts[0].violation.clone().expect("violated");
+            assert_eq!(trace, vec!["inject", "show"], "{checker:?}");
+            assert!(!verdicts[0].holds());
+            assert!(verdicts[0].to_string().contains("VIOLATED"));
+        }
+    }
+
+    #[test]
+    fn checkers_agree_on_mixed_sets() {
+        let set: RequirementSet = [
+            req("sense", "show"),
+            req("inject", "show"), // does NOT hold either (sense path)
+        ]
+        .into_iter()
+        .collect();
+        let behaviour = tampered_behaviour();
+        let by_prec = verify_requirements(&behaviour, &set, Checker::Precedence);
+        let by_mon = verify_requirements(&behaviour, &set, Checker::Monitor);
+        for (p, m) in by_prec.iter().zip(&by_mon) {
+            assert_eq!(p.holds(), m.holds(), "{}", p.requirement);
+        }
+    }
+
+    #[test]
+    fn holding_verdict_displays() {
+        let v = verify_one(&honest_behaviour(), &req("sense", "show"), Checker::Precedence);
+        assert!(v.to_string().ends_with("holds"));
+    }
+}

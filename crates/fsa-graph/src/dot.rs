@@ -1,0 +1,132 @@
+//! Graphviz DOT export.
+//!
+//! The figures of the paper (functional component models, SoS instances,
+//! reachability graphs, minimal automata) are graphs; this module renders
+//! any [`DiGraph`] to DOT so `repro` can emit figure analogues.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name (`digraph <name> { ... }`).
+    pub name: String,
+    /// Rank direction, e.g. `"LR"` or `"TB"`.
+    pub rankdir: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "g".to_owned(),
+            rankdir: "LR".to_owned(),
+        }
+    }
+}
+
+/// Renders `g` to DOT, labelling each node with `label(id, payload)`.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_graph::{DiGraph, dot::{to_dot, DotOptions}};
+///
+/// let mut g = DiGraph::new();
+/// let a = g.add_node("sense");
+/// let b = g.add_node("send");
+/// g.add_edge(a, b);
+/// let dot = to_dot(&g, &DotOptions::default(), |_, p| (*p).to_owned());
+/// assert!(dot.contains("label=\"sense\""));
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub fn to_dot<N>(
+    g: &DiGraph<N>,
+    options: &DotOptions,
+    mut label: impl FnMut(NodeId, &N) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_id(&options.name));
+    let _ = writeln!(out, "  rankdir={};", sanitize_id(&options.rankdir));
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for (id, payload) in g.nodes() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            id.index(),
+            escape(&label(id, payload))
+        );
+    }
+    for (a, b) in g.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", a.index(), b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Escapes a string for inclusion in a DOT double-quoted label.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Keeps only characters valid in an unquoted DOT identifier.
+fn sanitize_id(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if cleaned.is_empty() {
+        "g".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b);
+        let dot = to_dot(&g, &DotOptions::default(), |_, p| (*p).to_owned());
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.contains("n0 [label=\"a\"];"));
+        assert!(dot.contains("n1 [label=\"b\"];"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let mut g = DiGraph::new();
+        g.add_node("quote\"back\\slash\nnewline");
+        let dot = to_dot(&g, &DotOptions::default(), |_, p| (*p).to_owned());
+        assert!(dot.contains("quote\\\"back\\\\slash\\nnewline"));
+    }
+
+    #[test]
+    fn sanitizes_graph_name() {
+        let opts = DotOptions {
+            name: "my graph; evil".to_owned(),
+            ..DotOptions::default()
+        };
+        let g: DiGraph<()> = DiGraph::new();
+        let dot = to_dot(&g, &opts, |_, _| String::new());
+        assert!(dot.starts_with("digraph mygraphevil {"));
+    }
+
+    #[test]
+    fn empty_name_falls_back() {
+        let opts = DotOptions {
+            name: ";;;".to_owned(),
+            ..DotOptions::default()
+        };
+        let g: DiGraph<()> = DiGraph::new();
+        let dot = to_dot(&g, &opts, |_, _| String::new());
+        assert!(dot.starts_with("digraph g {"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for graph operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::digraph::NodeId;
+
+/// Errors produced by graph algorithms in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A cycle was found in a graph that must be acyclic.
+    ///
+    /// Carries one node that participates in the cycle. In functional
+    /// security analysis a cycle means the use-case description specifies
+    /// an action that (transitively) depends on itself, which the paper
+    /// rules out: "every action represents a progress in time".
+    CycleDetected(NodeId),
+    /// A node id did not belong to the graph it was used with.
+    UnknownNode(NodeId),
+    /// A relation expected to be a partial order was not antisymmetric.
+    ///
+    /// Carries a witnessing pair `(a, b)` with `a ≤ b`, `b ≤ a`, `a ≠ b`.
+    NotAntisymmetric(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::CycleDetected(n) => {
+                write!(f, "cycle detected through node {}", n.index())
+            }
+            GraphError::UnknownNode(n) => {
+                write!(f, "node {} does not belong to this graph", n.index())
+            }
+            GraphError::NotAntisymmetric(a, b) => write!(
+                f,
+                "relation is not antisymmetric: nodes {} and {} are mutually related",
+                a.index(),
+                b.index()
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::CycleDetected(NodeId::new(3));
+        assert!(e.to_string().contains("cycle"));
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::UnknownNode(NodeId::new(7));
+        assert!(e.to_string().contains('7'));
+        let e = GraphError::NotAntisymmetric(NodeId::new(1), NodeId::new(2));
+        assert!(e.to_string().contains("antisymmetric"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,353 @@
+//! Isomorphism of labelled directed graphs.
+//!
+//! §4.2 of the paper: "all structurally different combinations of
+//! component instances shall be considered. *Isomorphic combinations can
+//! be neglected.*" This module decides isomorphism of two labelled
+//! digraphs so that an instance generator can de-duplicate SoS instances.
+//!
+//! The implementation uses iterated colour refinement (1-WL) to prune,
+//! followed by a backtracking search; SoS instance graphs are small
+//! (tens of actions), so this is fast in practice while remaining exact.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Decides whether `a` and `b` are isomorphic as labelled digraphs, i.e.
+/// whether a bijection of nodes exists that preserves labels and edges.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_graph::{DiGraph, iso::are_isomorphic};
+///
+/// let mut a = DiGraph::new();
+/// let a0 = a.add_node("x");
+/// let a1 = a.add_node("y");
+/// a.add_edge(a0, a1);
+///
+/// let mut b = DiGraph::new();
+/// let b1 = b.add_node("y"); // same graph, different insertion order
+/// let b0 = b.add_node("x");
+/// b.add_edge(b0, b1);
+///
+/// assert!(are_isomorphic(&a, &b));
+/// ```
+pub fn are_isomorphic<L: Eq + Hash + Ord>(a: &DiGraph<L>, b: &DiGraph<L>) -> bool {
+    find_isomorphism(a, b).is_some()
+}
+
+/// Finds a label- and edge-preserving bijection from `a`'s nodes to `b`'s
+/// nodes, if one exists. The returned vector maps `a`-indices to
+/// `b`-node-ids.
+pub fn find_isomorphism<L: Eq + Hash + Ord>(
+    a: &DiGraph<L>,
+    b: &DiGraph<L>,
+) -> Option<Vec<NodeId>> {
+    if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
+        return None;
+    }
+    let n = a.node_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+
+    // Rank labels over the union of both graphs so that colours are
+    // comparable across graphs.
+    let mut labels: Vec<&L> = a.nodes().map(|(_, l)| l).chain(b.nodes().map(|(_, l)| l)).collect();
+    labels.sort();
+    labels.dedup();
+    let rank: HashMap<&L, u64> = labels.iter().enumerate().map(|(i, l)| (*l, i as u64)).collect();
+    let ca = refine_colors(a, |l| rank[l]);
+    let cb = refine_colors(b, |l| rank[l]);
+
+    // The colour histograms must match.
+    if histogram(&ca) != histogram(&cb) {
+        return None;
+    }
+
+    // Candidate sets: a-node may map to any b-node of the same colour.
+    let mut candidates: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    for &color in ca.iter().take(n) {
+        let cands: Vec<NodeId> = b
+            .node_ids()
+            .filter(|j| cb[j.index()] == color)
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        candidates.push(cands);
+    }
+
+    // Order a-nodes by ascending candidate count (most constrained first).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| candidates[i].len());
+
+    let mut mapping: Vec<Option<NodeId>> = vec![None; n];
+    let mut used = vec![false; n];
+    backtrack(a, b, &order, 0, &candidates, &mut mapping, &mut used)
+        .then(|| mapping.into_iter().map(|m| m.expect("complete mapping")).collect())
+}
+
+/// Iterated colour refinement combining label, in/out colour multisets.
+///
+/// The refined colours are signature hashes: equal signatures get equal
+/// colours, and the signature construction is identical for both graphs,
+/// so colours remain comparable across graphs.
+fn refine_colors<L>(g: &DiGraph<L>, initial: impl Fn(&L) -> u64) -> Vec<u64> {
+    let n = g.node_count();
+    let mut color: Vec<u64> = g.nodes().map(|(_, l)| initial(l)).collect();
+
+    for _round in 0..n {
+        // Signature of each node: (colour, sorted in-colours, sorted out-colours),
+        // hashed so that equal signatures yield equal colours in both graphs.
+        let mut next: Vec<u64> = Vec::with_capacity(n);
+        for id in g.node_ids() {
+            let mut ins: Vec<u64> = g.predecessors(id).map(|p| color[p.index()]).collect();
+            let mut outs: Vec<u64> = g.successors(id).map(|s| color[s.index()]).collect();
+            ins.sort_unstable();
+            outs.sort_unstable();
+            next.push(hash_signature(color[id.index()], &ins, &outs));
+        }
+        if partition_of(&next) == partition_of(&color) {
+            break;
+        }
+        color = next;
+    }
+    color
+}
+
+/// A deterministic (FNV-1a) hash of a refinement signature.
+fn hash_signature(own: u64, ins: &[u64], outs: &[u64]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(own);
+    mix(0xa5a5);
+    for &v in ins {
+        mix(v);
+    }
+    mix(0x5a5a);
+    for &v in outs {
+        mix(v);
+    }
+    h
+}
+
+/// The partition a colouring induces, as sorted groups of node indices —
+/// used to detect the refinement fixpoint independent of hash values.
+fn partition_of(colors: &[u64]) -> Vec<Vec<usize>> {
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, &c) in colors.iter().enumerate() {
+        groups.entry(c).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort();
+    out
+}
+
+fn histogram(colors: &[u64]) -> HashMap<u64, usize> {
+    let mut h = HashMap::new();
+    for &c in colors {
+        *h.entry(c).or_insert(0) += 1;
+    }
+    h
+}
+
+fn backtrack<L>(
+    a: &DiGraph<L>,
+    b: &DiGraph<L>,
+    order: &[usize],
+    depth: usize,
+    candidates: &[Vec<NodeId>],
+    mapping: &mut Vec<Option<NodeId>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let i = order[depth];
+    'cand: for &j in &candidates[i] {
+        if used[j.index()] {
+            continue;
+        }
+        // Consistency with already-mapped neighbours.
+        let ai = NodeId::new(i);
+        for s in a.successors(ai) {
+            if let Some(mapped) = mapping[s.index()] {
+                if !b.has_edge(j, mapped) {
+                    continue 'cand;
+                }
+            }
+        }
+        for p in a.predecessors(ai) {
+            if let Some(mapped) = mapping[p.index()] {
+                if !b.has_edge(mapped, j) {
+                    continue 'cand;
+                }
+            }
+        }
+        mapping[i] = Some(j);
+        used[j.index()] = true;
+        if backtrack(a, b, order, depth + 1, candidates, mapping, used) {
+            return true;
+        }
+        mapping[i] = None;
+        used[j.index()] = false;
+    }
+    false
+}
+
+/// De-duplicates a collection of labelled graphs up to isomorphism,
+/// keeping the first representative of each class (stable order).
+///
+/// This is the paper's "isomorphic combinations can be neglected" step
+/// applied to a set of candidate SoS instances.
+pub fn dedup_isomorphic<L: Eq + Hash + Ord>(graphs: Vec<DiGraph<L>>) -> Vec<DiGraph<L>> {
+    let mut reps: Vec<DiGraph<L>> = Vec::new();
+    for g in graphs {
+        if !reps.iter().any(|r| are_isomorphic(r, &g)) {
+            reps.push(g);
+        }
+    }
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle(labels: [&'static str; 3]) -> DiGraph<&'static str> {
+        let mut g = DiGraph::new();
+        let a = g.add_node(labels[0]);
+        let b = g.add_node(labels[1]);
+        let c = g.add_node(labels[2]);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        g
+    }
+
+    #[test]
+    fn identical_graphs_isomorphic() {
+        let g = triangle(["x", "y", "z"]);
+        assert!(are_isomorphic(&g, &g.clone()));
+    }
+
+    #[test]
+    fn relabelled_insertion_order_isomorphic() {
+        let mut a = DiGraph::new();
+        let a0 = a.add_node("v");
+        let a1 = a.add_node("v");
+        let a2 = a.add_node("rsu");
+        a.add_edge(a2, a0);
+        a.add_edge(a0, a1);
+
+        let mut b = DiGraph::new();
+        let b2 = b.add_node("rsu");
+        let b0 = b.add_node("v");
+        let b1 = b.add_node("v");
+        b.add_edge(b2, b0);
+        b.add_edge(b0, b1);
+        assert!(are_isomorphic(&a, &b));
+        let m = find_isomorphism(&a, &b).unwrap();
+        // check mapping preserves edges
+        for (x, y) in a.edges() {
+            assert!(b.has_edge(m[x.index()], m[y.index()]));
+        }
+    }
+
+    #[test]
+    fn different_labels_not_isomorphic() {
+        let a = triangle(["x", "y", "z"]);
+        let b = triangle(["x", "y", "w"]);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_structure_not_isomorphic() {
+        let a = triangle(["v", "v", "v"]);
+        let mut b = DiGraph::new();
+        let b0 = b.add_node("v");
+        let b1 = b.add_node("v");
+        let b2 = b.add_node("v");
+        b.add_edge(b0, b1);
+        b.add_edge(b0, b2);
+        b.add_edge(b1, b2); // DAG, not a cycle
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn edge_direction_matters() {
+        let mut a = DiGraph::new();
+        let a0 = a.add_node("v");
+        let a1 = a.add_node("v");
+        a.add_edge(a0, a1);
+        a.add_edge(a0, a1);
+        let mut b = DiGraph::new();
+        let b0 = b.add_node("v");
+        let b1 = b.add_node("v");
+        b.add_edge(b0, b1);
+        assert!(are_isomorphic(&a, &b), "parallel edges collapse");
+        let mut c = DiGraph::new();
+        let c0 = c.add_node("v");
+        let c1 = c.add_node("v");
+        c.add_edge(c0, c1);
+        c.add_edge(c1, c0);
+        assert!(!are_isomorphic(&b, &c));
+    }
+
+    #[test]
+    fn regular_graphs_need_backtracking() {
+        // Two 6-cycles vs one 3-cycle + one 3-cycle... both 1-regular-ish:
+        // a single 6-cycle and two disjoint 3-cycles have identical WL
+        // colours (all nodes look alike) but are not isomorphic.
+        let mut six = DiGraph::new();
+        let s: Vec<_> = (0..6).map(|_| six.add_node("v")).collect();
+        for i in 0..6 {
+            six.add_edge(s[i], s[(i + 1) % 6]);
+        }
+        let mut two_three = DiGraph::new();
+        let t: Vec<_> = (0..6).map(|_| two_three.add_node("v")).collect();
+        for i in 0..3 {
+            two_three.add_edge(t[i], t[(i + 1) % 3]);
+        }
+        for i in 3..6 {
+            two_three.add_edge(t[i], t[3 + (i + 1 - 3) % 3]);
+        }
+        assert!(!are_isomorphic(&six, &two_three));
+    }
+
+    #[test]
+    fn dedup_keeps_one_per_class() {
+        let g1 = triangle(["v", "v", "v"]);
+        let g2 = triangle(["v", "v", "v"]);
+        let mut g3 = DiGraph::new();
+        let x = g3.add_node("v");
+        let y = g3.add_node("v");
+        g3.add_edge(x, y);
+        let reps = dedup_isomorphic(vec![g1, g2, g3]);
+        assert_eq!(reps.len(), 2);
+    }
+
+    #[test]
+    fn empty_graphs_isomorphic() {
+        let a: DiGraph<&str> = DiGraph::new();
+        let b: DiGraph<&str> = DiGraph::new();
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn size_mismatch_fast_path() {
+        let a = triangle(["v", "v", "v"]);
+        let mut b = DiGraph::new();
+        b.add_node("v");
+        assert!(!are_isomorphic(&a, &b));
+    }
+}

@@ -1,0 +1,64 @@
+//! Directed-graph and partial-order machinery for functional security
+//! analysis.
+//!
+//! The paper interprets the *functional flow* among actions as a relation
+//! `ζ` on a set of actions, builds its reflexive-transitive closure `ζ*`,
+//! and restricts the closure to pairs of minimal and maximal elements to
+//! obtain the authenticity-requirement relation `χ`. This crate provides
+//! the underlying machinery:
+//!
+//! * [`DiGraph`] — a small, deterministic directed graph with payloads,
+//! * [`BitSet`] — dense bit sets used for closure rows,
+//! * [`closure`] — reflexive/transitive closure (Warshall and DAG-aware),
+//! * [`topo`] — topological sorting and cycle detection,
+//! * [`scc`] — Tarjan's strongly connected components,
+//! * [`order`] — partial orders, minimal/maximal elements, the `χ`
+//!   restriction and Hasse reduction,
+//! * [`iso`] — isomorphism checking for labelled digraphs (used to
+//!   "neglect isomorphic combinations" of SoS instances),
+//! * [`dot`] — Graphviz DOT export.
+//!
+//! # Examples
+//!
+//! Deriving `χ` for the two-vehicle instance of the paper's Example 3:
+//!
+//! ```
+//! use fsa_graph::{DiGraph, closure::reflexive_transitive_closure, order::PartialOrder};
+//!
+//! let mut g = DiGraph::new();
+//! let sense = g.add_node("sense(ESP1,sW)");
+//! let pos1 = g.add_node("pos(GPS1,pos)");
+//! let send = g.add_node("send(CU1,cam)");
+//! let rec = g.add_node("rec(CUw,cam)");
+//! let posw = g.add_node("pos(GPSw,pos)");
+//! let show = g.add_node("show(HMIw,warn)");
+//! g.add_edge(sense, send);
+//! g.add_edge(pos1, send);
+//! g.add_edge(send, rec);
+//! g.add_edge(rec, show);
+//! g.add_edge(posw, show);
+//!
+//! let closure = reflexive_transitive_closure(&g);
+//! let order = PartialOrder::try_new(closure).expect("flow graph is loop-free");
+//! let chi = order.min_max_restriction();
+//! assert_eq!(chi.len(), 3); // requirements (1)-(3) of the paper
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod closure;
+pub mod digraph;
+pub mod dot;
+pub mod error;
+pub mod iso;
+pub mod order;
+pub mod path;
+pub mod scc;
+pub mod topo;
+
+pub use bitset::BitSet;
+pub use digraph::{DiGraph, EdgeRef, NodeId};
+pub use error::GraphError;
+pub use order::PartialOrder;

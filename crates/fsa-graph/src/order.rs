@@ -1,0 +1,355 @@
+//! Partial orders over action sets.
+//!
+//! §4.4 of the paper: "`ζᵢ*` is a partial order on `Σᵢ`, with the maximal
+//! elements corresponding to the outgoing boundary actions and the
+//! minimal elements corresponding to the incoming boundary actions."
+//! [`PartialOrder::min_max_restriction`] computes
+//! `χᵢ = {(x, y) | (x, y) ∈ ζᵢ* ∧ x ∈ minᵢ ∧ y ∈ maxᵢ}` — one authenticity
+//! requirement per pair.
+
+use crate::closure::Relation;
+use crate::digraph::NodeId;
+use crate::error::GraphError;
+
+/// A reflexive, transitive, antisymmetric relation.
+///
+/// Constructed with [`PartialOrder::try_new`], which validates all three
+/// axioms (the paper: the functional flow must be loop-free, otherwise
+/// "the system described will not terminate").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialOrder {
+    relation: Relation,
+}
+
+impl PartialOrder {
+    /// Validates `relation` as a partial order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAntisymmetric`] with a witnessing pair if
+    /// two distinct elements are mutually related (i.e. the underlying
+    /// flow graph has a cycle). Reflexivity and transitivity are enforced
+    /// by closing the relation, so only antisymmetry can fail.
+    pub fn try_new(mut relation: Relation) -> Result<Self, GraphError> {
+        if let Some((a, b)) = relation.antisymmetry_violation() {
+            return Err(GraphError::NotAntisymmetric(a, b));
+        }
+        relation.make_reflexive();
+        debug_assert!(relation.is_transitive(), "input relation must be closed");
+        Ok(PartialOrder { relation })
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Returns `true` if `a ≤ b`.
+    pub fn le(&self, a: NodeId, b: NodeId) -> bool {
+        self.relation.contains(a, b)
+    }
+
+    /// Returns `true` if `a < b`.
+    pub fn lt(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.relation.contains(a, b)
+    }
+
+    /// Number of elements the order ranges over.
+    pub fn node_count(&self) -> usize {
+        self.relation.node_count()
+    }
+
+    /// Minimal elements: `x` with no `y ≠ x` such that `y ≤ x`.
+    ///
+    /// For a functional dependency order these are the *incoming boundary
+    /// actions* — the origins of information.
+    pub fn minimal_elements(&self) -> Vec<NodeId> {
+        let n = self.node_count();
+        let mut has_lower = vec![false; n];
+        for (a, b) in self.relation.pairs() {
+            if a != b {
+                has_lower[b.index()] = true;
+            }
+        }
+        (0..n)
+            .filter(|&i| !has_lower[i])
+            .map(NodeId::new)
+            .collect()
+    }
+
+    /// Maximal elements: `y` with no `z ≠ y` such that `y ≤ z`.
+    ///
+    /// For a functional dependency order these are the *outgoing boundary
+    /// actions* — the safety-critical outputs.
+    pub fn maximal_elements(&self) -> Vec<NodeId> {
+        let n = self.node_count();
+        let mut has_upper = vec![false; n];
+        for (a, b) in self.relation.pairs() {
+            if a != b {
+                has_upper[a.index()] = true;
+            }
+        }
+        (0..n)
+            .filter(|&i| !has_upper[i])
+            .map(NodeId::new)
+            .collect()
+    }
+
+    /// The restriction `χ` of the order to (minimal, maximal) pairs.
+    ///
+    /// Per §4.4: "For all `x, y ∈ Σᵢ` with `(x, y) ∈ χᵢ`:
+    /// `auth(x, y, stakeholder(y))` is a requirement."
+    ///
+    /// A pair `(x, x)` (an element both minimal and maximal — an isolated
+    /// action) is excluded: an action with no dependencies generates no
+    /// authenticity requirement.
+    pub fn min_max_restriction(&self) -> Vec<(NodeId, NodeId)> {
+        let minima = self.minimal_elements();
+        let maxima = self.maximal_elements();
+        let is_min: Vec<bool> = {
+            let mut v = vec![false; self.node_count()];
+            for m in &minima {
+                v[m.index()] = true;
+            }
+            v
+        };
+        let is_max: Vec<bool> = {
+            let mut v = vec![false; self.node_count()];
+            for m in &maxima {
+                v[m.index()] = true;
+            }
+            v
+        };
+        let mut chi: Vec<(NodeId, NodeId)> = self
+            .relation
+            .pairs()
+            .filter(|&(x, y)| x != y && is_min[x.index()] && is_max[y.index()])
+            .collect();
+        chi.sort();
+        chi.dedup();
+        chi
+    }
+
+    /// The covering relation (Hasse diagram edges): pairs `a < b` with no
+    /// `c` strictly between.
+    pub fn covers(&self) -> Vec<(NodeId, NodeId)> {
+        let n = self.node_count();
+        let mut out = Vec::new();
+        for a in (0..n).map(NodeId::new) {
+            for b in self.relation.row(a).iter().map(NodeId::new) {
+                if a == b {
+                    continue;
+                }
+                let between = self
+                    .relation
+                    .row(a)
+                    .iter()
+                    .map(NodeId::new)
+                    .any(|c| c != a && c != b && self.relation.contains(c, b));
+                if !between {
+                    out.push((a, b));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Counts the *order ideals* (downward-closed subsets) of the
+    /// order, including the empty set and the full set.
+    ///
+    /// An ideal is exactly a possible "set of already-performed actions"
+    /// of a system whose actions obey this dependency order, so for a
+    /// one-shot dataflow system the number of reachable states equals
+    /// the number of ideals (cross-validated against
+    /// `fsa_core::dataflow` in the integration suite).
+    ///
+    /// Enumeration is breadth-first over ideals; the count can be
+    /// exponential in the width of the order, so this is intended for
+    /// the small orders of functional models.
+    pub fn ideals_count(&self) -> usize {
+        use std::collections::{HashSet, VecDeque};
+        let n = self.node_count();
+        // Direct predecessor counts via the strict order.
+        let mut seen: HashSet<Vec<u64>> = HashSet::new();
+        let empty = vec![0u64; n.div_ceil(64)];
+        seen.insert(empty.clone());
+        let mut queue = VecDeque::new();
+        queue.push_back(empty);
+        let mut count = 0usize;
+        let contains = |bits: &[u64], i: usize| bits[i / 64] & (1 << (i % 64)) != 0;
+        while let Some(ideal) = queue.pop_front() {
+            count += 1;
+            // Extend by any element whose strict lower set is inside.
+            for cand in 0..n {
+                if contains(&ideal, cand) {
+                    continue;
+                }
+                let below_ok = (0..n).all(|j| {
+                    j == cand
+                        || !self.lt(NodeId::new(j), NodeId::new(cand))
+                        || contains(&ideal, j)
+                });
+                if below_ok {
+                    let mut next = ideal.clone();
+                    next[cand / 64] |= 1 << (cand % 64);
+                    if seen.insert(next.clone()) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// All elements below `y` (inclusive): the information sources that
+    /// feed the action `y`.
+    pub fn down_set(&self, y: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .relation
+            .pairs()
+            .filter(|(_, b)| *b == y)
+            .map(|(a, _)| a)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::reflexive_transitive_closure;
+    use crate::digraph::DiGraph;
+
+    /// The paper's Fig. 3 flow graph (2 vehicles).
+    fn fig3() -> (DiGraph<&'static str>, [NodeId; 6]) {
+        let mut g = DiGraph::new();
+        let sense1 = g.add_node("sense(ESP1,sW)");
+        let pos1 = g.add_node("pos(GPS1,pos)");
+        let send1 = g.add_node("send(CU1,cam)");
+        let recw = g.add_node("rec(CUw,cam)");
+        let posw = g.add_node("pos(GPSw,pos)");
+        let show = g.add_node("show(HMIw,warn)");
+        g.add_edge(sense1, send1);
+        g.add_edge(pos1, send1);
+        g.add_edge(send1, recw);
+        g.add_edge(posw, show);
+        g.add_edge(recw, show);
+        (g, [sense1, pos1, send1, recw, posw, show])
+    }
+
+    #[test]
+    fn min_max_of_fig3() {
+        let (g, [sense1, pos1, _, _, posw, show]) = fig3();
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        assert_eq!(po.minimal_elements(), vec![sense1, pos1, posw]);
+        assert_eq!(po.maximal_elements(), vec![show]);
+    }
+
+    #[test]
+    fn chi_of_fig3_is_paper_requirements_1_to_3() {
+        let (g, [sense1, pos1, _, _, posw, show]) = fig3();
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        let chi = po.min_max_restriction();
+        assert_eq!(chi, vec![(sense1, show), (pos1, show), (posw, show)]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        let err = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap_err();
+        assert!(matches!(err, GraphError::NotAntisymmetric(_, _)));
+    }
+
+    #[test]
+    fn isolated_node_is_min_and_max_but_not_in_chi() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let iso = g.add_node("isolated");
+        g.add_edge(a, b);
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        assert!(po.minimal_elements().contains(&iso));
+        assert!(po.maximal_elements().contains(&iso));
+        let chi = po.min_max_restriction();
+        assert_eq!(chi, vec![(a, b)]);
+    }
+
+    #[test]
+    fn le_and_lt() {
+        let (g, [sense1, _, send1, _, posw, show]) = fig3();
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        assert!(po.le(sense1, sense1));
+        assert!(!po.lt(sense1, sense1));
+        assert!(po.lt(sense1, show));
+        assert!(po.lt(sense1, send1));
+        assert!(!po.le(posw, send1));
+    }
+
+    #[test]
+    fn covers_are_the_original_edges_for_fig3() {
+        // Fig. 3 has no transitive shortcuts, so covers == ζ₁.
+        let (g, _) = fig3();
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        let mut expected: Vec<_> = g.edges().collect();
+        expected.sort();
+        assert_eq!(po.covers(), expected);
+    }
+
+    #[test]
+    fn covers_drop_transitive_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(a, c); // transitive shortcut
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        assert_eq!(po.covers(), vec![(a, b), (b, c)]);
+    }
+
+    #[test]
+    fn ideals_of_a_chain_and_antichain() {
+        // Chain of n: n + 1 ideals.
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..4).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        assert_eq!(po.ideals_count(), 5);
+        // Antichain of n: 2^n ideals.
+        let mut g = DiGraph::new();
+        for i in 0..5 {
+            g.add_node(i);
+        }
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        assert_eq!(po.ideals_count(), 32);
+    }
+
+    #[test]
+    fn ideals_of_fig3() {
+        let (g, _) = fig3();
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        // Matches the dataflow reachability of the same instance (the
+        // cross-check lives in the integration suite); computed value
+        // pinned here.
+        assert_eq!(po.ideals_count(), 13);
+    }
+
+    #[test]
+    fn down_set_of_show() {
+        let (g, [sense1, pos1, send1, recw, posw, show]) = fig3();
+        let po = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        assert_eq!(
+            po.down_set(show),
+            vec![sense1, pos1, send1, recw, posw, show]
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Strongly connected components (Tarjan's algorithm, iterative).
+//!
+//! Used by the general transitive closure to condense cyclic graphs; a
+//! functional flow graph with a non-trivial SCC violates the paper's
+//! loop-freedom assumption and the partial-order layer reports it as
+//! such.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The strongly-connected-component decomposition of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    /// Component index of every node (indexed by `NodeId::index`).
+    pub component_of: Vec<usize>,
+    /// Members of every component; components are in reverse topological
+    /// order of the condensation (a Tarjan property).
+    pub components: Vec<Vec<NodeId>>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if every component is a single node without a
+    /// self-loop, i.e. the graph is acyclic.
+    pub fn is_acyclic<N>(&self, g: &DiGraph<N>) -> bool {
+        self.components.iter().all(|c| c.len() == 1 && !g.has_edge(c[0], c[0]))
+    }
+}
+
+/// Computes the SCCs of `g` with an iterative Tarjan traversal.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_graph::{DiGraph, scc::tarjan_scc};
+///
+/// let mut g = DiGraph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// let c = g.add_node("c");
+/// g.add_edge(a, b);
+/// g.add_edge(b, a);
+/// g.add_edge(b, c);
+/// let scc = tarjan_scc(&g);
+/// assert_eq!(scc.count(), 2);
+/// assert_eq!(scc.component_of[a.index()], scc.component_of[b.index()]);
+/// assert_ne!(scc.component_of[a.index()], scc.component_of[c.index()]);
+/// ```
+pub fn tarjan_scc<N>(g: &DiGraph<N>) -> SccDecomposition {
+    let n = g.node_count();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut component_of = vec![UNSET; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS frame: (node, iterator position over successors).
+    enum Frame {
+        Enter(NodeId),
+        Resume(NodeId, usize),
+    }
+
+    for root in g.node_ids() {
+        if index[root.index()] != UNSET {
+            continue;
+        }
+        let mut call_stack = vec![Frame::Enter(root)];
+        while let Some(frame) = call_stack.pop() {
+            let (v, start) = match frame {
+                Frame::Enter(v) => {
+                    index[v.index()] = next_index;
+                    lowlink[v.index()] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v.index()] = true;
+                    (v, 0)
+                }
+                Frame::Resume(v, k) => (v, k),
+            };
+            let succs: Vec<NodeId> = g.successors(v).collect();
+            let mut advanced = false;
+            for (k, &w) in succs.iter().enumerate().skip(start) {
+                if index[w.index()] == UNSET {
+                    call_stack.push(Frame::Resume(v, k + 1));
+                    call_stack.push(Frame::Enter(w));
+                    advanced = true;
+                    break;
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            }
+            if advanced {
+                continue;
+            }
+            // All successors done: close v.
+            if lowlink[v.index()] == index[v.index()] {
+                let comp_id = components.len();
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w.index()] = false;
+                    component_of[w.index()] = comp_id;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                comp.sort();
+                components.push(comp);
+            }
+            // Propagate lowlink to parent, if any.
+            if let Some(Frame::Resume(parent, _)) = call_stack.last() {
+                let p = parent.index();
+                lowlink[p] = lowlink[p].min(lowlink[v.index()]);
+            }
+        }
+    }
+    SccDecomposition {
+        component_of,
+        components,
+    }
+}
+
+/// The condensation of `g`: one node per SCC (payload = sorted members),
+/// with an edge between components iff some member edge crosses them.
+/// The condensation is always a DAG.
+pub fn condensation<N>(g: &DiGraph<N>) -> DiGraph<Vec<NodeId>> {
+    let scc = tarjan_scc(g);
+    let mut out = DiGraph::with_capacity(scc.count());
+    for comp in &scc.components {
+        out.add_node(comp.clone());
+    }
+    for (a, b) in g.edges() {
+        let (ca, cb) = (scc.component_of[a.index()], scc.component_of[b.index()]);
+        if ca != cb {
+            out.add_edge(NodeId::new(ca), NodeId::new(cb));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condensation_is_acyclic_dag() {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..5).map(|i| g.add_node(i)).collect();
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[1], ids[0]); // SCC {0,1}
+        g.add_edge(ids[1], ids[2]);
+        g.add_edge(ids[2], ids[3]);
+        g.add_edge(ids[3], ids[2]); // SCC {2,3}
+        g.add_edge(ids[3], ids[4]);
+        let c = condensation(&g);
+        assert_eq!(c.node_count(), 3);
+        assert!(crate::topo::is_acyclic(&c));
+        // Memberships cover all nodes exactly once.
+        let mut members: Vec<NodeId> = c.nodes().flat_map(|(_, m)| m.clone()).collect();
+        members.sort();
+        assert_eq!(members, ids);
+    }
+
+    #[test]
+    fn condensation_of_dag_is_isomorphic_shape() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b);
+        let c = condensation(&g);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.edge_count(), 1);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        g.add_edge(a, b);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 2);
+        assert!(scc.is_acyclic(&g));
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..6).map(|i| g.add_node(i)).collect();
+        // cycle 1: 0→1→2→0 ; cycle 2: 3→4→3 ; bridge 2→3 ; isolated 5
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[1], ids[2]);
+        g.add_edge(ids[2], ids[0]);
+        g.add_edge(ids[3], ids[4]);
+        g.add_edge(ids[4], ids[3]);
+        g.add_edge(ids[2], ids[3]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 3);
+        assert!(!scc.is_acyclic(&g));
+        assert_eq!(scc.component_of[0], scc.component_of[1]);
+        assert_eq!(scc.component_of[0], scc.component_of[2]);
+        assert_eq!(scc.component_of[3], scc.component_of[4]);
+        assert_ne!(scc.component_of[0], scc.component_of[3]);
+        assert_ne!(scc.component_of[5], scc.component_of[0]);
+    }
+
+    #[test]
+    fn components_in_reverse_topological_order() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b);
+        let scc = tarjan_scc(&g);
+        // Tarjan emits sinks first.
+        assert_eq!(scc.components[0], vec![b]);
+        assert_eq!(scc.components[1], vec![a]);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic_component() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        assert!(!scc.is_acyclic(&g));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // Iterative Tarjan must survive a 100k-node chain.
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..100_000).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 100_000);
+    }
+
+    #[test]
+    fn full_cycle_single_component() {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..50).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        g.add_edge(ids[49], ids[0]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.components[0].len(), 50);
+    }
+}

@@ -1,0 +1,166 @@
+//! Topological sorting and cycle detection.
+//!
+//! The paper assumes functional flow graphs are "sequential and free of
+//! loops, as every action can only depend on past actions". The
+//! [`topological_sort`] function both checks that assumption and yields
+//! the evaluation order used by the DAG-aware closure.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::error::GraphError;
+
+/// Computes a topological order of `g` (Kahn's algorithm).
+///
+/// The order is deterministic: among ready nodes the smallest id goes
+/// first.
+///
+/// # Errors
+///
+/// Returns [`GraphError::CycleDetected`] if `g` contains a directed
+/// cycle (including self-loops); the error names one node on a cycle.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_graph::{DiGraph, topo::topological_sort};
+///
+/// let mut g = DiGraph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// g.add_edge(b, a);
+/// assert_eq!(topological_sort(&g)?, vec![b, a]);
+/// # Ok::<(), fsa_graph::GraphError>(())
+/// ```
+pub fn topological_sort<N>(g: &DiGraph<N>) -> Result<Vec<NodeId>, GraphError> {
+    let n = g.node_count();
+    let mut in_deg: Vec<usize> = g.node_ids().map(|id| g.in_degree(id)).collect();
+    // BTreeSet keeps the frontier sorted → deterministic output.
+    let mut ready: std::collections::BTreeSet<NodeId> = g
+        .node_ids()
+        .filter(|id| in_deg[id.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&next) = ready.iter().next() {
+        ready.remove(&next);
+        order.push(next);
+        for s in g.successors(next) {
+            in_deg[s.index()] -= 1;
+            if in_deg[s.index()] == 0 {
+                ready.insert(s);
+            }
+        }
+    }
+    if order.len() != n {
+        // Some node kept a positive in-degree: it lies on or below a cycle.
+        // Walk back through still-blocked predecessors to find a node that
+        // is actually on a cycle.
+        let blocked = g
+            .node_ids()
+            .find(|id| in_deg[id.index()] > 0)
+            .expect("at least one blocked node when order is incomplete");
+        return Err(GraphError::CycleDetected(find_cycle_node(g, &in_deg, blocked)));
+    }
+    Ok(order)
+}
+
+/// Starting from a node with remaining in-degree, follows blocked
+/// predecessors until a node repeats — that node is on a cycle.
+fn find_cycle_node<N>(g: &DiGraph<N>, in_deg: &[usize], start: NodeId) -> NodeId {
+    let mut seen = vec![false; g.node_count()];
+    let mut cur = start;
+    loop {
+        if seen[cur.index()] {
+            return cur;
+        }
+        seen[cur.index()] = true;
+        cur = g
+            .predecessors(cur)
+            .find(|p| in_deg[p.index()] > 0)
+            .expect("a blocked node has a blocked predecessor");
+    }
+}
+
+/// Returns `true` if `g` is acyclic.
+pub fn is_acyclic<N>(g: &DiGraph<N>) -> bool {
+    topological_sort(g).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_a_dag() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(c, b);
+        g.add_edge(b, a);
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, vec![c, b, a]);
+    }
+
+    #[test]
+    fn order_respects_all_edges() {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..8).map(|i| g.add_node(i)).collect();
+        g.add_edge(ids[0], ids[3]);
+        g.add_edge(ids[3], ids[7]);
+        g.add_edge(ids[1], ids[3]);
+        g.add_edge(ids[2], ids[5]);
+        g.add_edge(ids[5], ids[7]);
+        let order = topological_sort(&g).unwrap();
+        let pos: Vec<usize> = ids
+            .iter()
+            .map(|id| order.iter().position(|o| o == id).unwrap())
+            .collect();
+        for (a, b) in g.edges() {
+            assert!(pos[a.index()] < pos[b.index()], "edge {a:?}→{b:?} violated");
+        }
+    }
+
+    #[test]
+    fn detects_self_loop() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a);
+        assert_eq!(topological_sort(&g), Err(GraphError::CycleDetected(a)));
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn detects_longer_cycle() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        let d = g.add_node(3); // feeds the cycle but is not on it
+        g.add_edge(d, a);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        match topological_sort(&g) {
+            Err(GraphError::CycleDetected(n)) => {
+                assert!([a, b, c].contains(&n), "witness must be on the cycle, got {n:?}");
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<()> = DiGraph::new();
+        assert_eq!(topological_sort(&g).unwrap(), vec![]);
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn deterministic_among_ready_nodes() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        // no edges: order should be insertion order
+        assert_eq!(topological_sort(&g).unwrap(), vec![a, b, c]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Abstract syntax of specification files.
+
+use crate::token::Span;
+use std::fmt;
+
+/// A whole specification file: component-model declarations followed by
+/// instance declarations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct File {
+    /// The declared component models.
+    pub models: Vec<ModelDecl>,
+    /// The declared instances.
+    pub instances: Vec<InstanceDecl>,
+}
+
+/// `model <name> stakeholder <agent> { action…; flow…; }` — a
+/// functional component model template (Fig. 1 style); the index `i` in
+/// action parameters is substituted at `use` time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelDecl {
+    /// The model name (referenced by `use`).
+    pub name: String,
+    /// The stakeholder template, e.g. `D_i`.
+    pub stakeholder: String,
+    /// Template actions.
+    pub actions: Vec<ActionDecl>,
+    /// Internal flows.
+    pub flows: Vec<FlowDecl>,
+    /// Where the declaration starts.
+    pub span: Span,
+}
+
+/// `use <model> as <alias> index <idx>;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// The model to instantiate.
+    pub model: String,
+    /// The local alias for `connect` references.
+    pub alias: String,
+    /// The instance index substituted for `i` (may be empty).
+    pub index: String,
+    /// Where the declaration starts.
+    pub span: Span,
+}
+
+/// `[policy] connect <alias>.<action> -> <alias>.<action>;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectDecl {
+    /// Source component alias.
+    pub from_alias: String,
+    /// Source action identifier within the model.
+    pub from_action: String,
+    /// Target component alias.
+    pub to_alias: String,
+    /// Target action identifier within the model.
+    pub to_action: String,
+    /// `true` for `policy connect`.
+    pub policy: bool,
+    /// Where the declaration starts.
+    pub span: Span,
+}
+
+/// `instance "name" { … }`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceDecl {
+    /// The quoted instance name.
+    pub name: String,
+    /// Declared (free-standing) actions.
+    pub actions: Vec<ActionDecl>,
+    /// Declared flows between free-standing actions.
+    pub flows: Vec<FlowDecl>,
+    /// Component-model instantiations.
+    pub uses: Vec<UseDecl>,
+    /// External flows between instantiated components.
+    pub connects: Vec<ConnectDecl>,
+    /// Where the declaration starts.
+    pub span: Span,
+}
+
+/// `action <id> = <term> [owner <id>] [stakeholder <id>];`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionDecl {
+    /// The local identifier used by flows.
+    pub id: String,
+    /// The action term.
+    pub term: Term,
+    /// Optional owning component instance (defaults to the stakeholder).
+    pub owner: Option<String>,
+    /// Optional stakeholder (defaults to `"env"`).
+    pub stakeholder: Option<String>,
+    /// Where the declaration starts.
+    pub span: Span,
+}
+
+/// `[policy] flow <id> -> <id>;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowDecl {
+    /// Source action identifier.
+    pub from: String,
+    /// Target action identifier.
+    pub to: String,
+    /// `true` for `policy flow`.
+    pub policy: bool,
+    /// Where the declaration starts.
+    pub span: Span,
+}
+
+/// A term: `name` or `name(arg, …)` with nested terms as arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// The head identifier.
+    pub head: String,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Term {
+    /// A bare identifier term.
+    pub fn leaf(head: &str) -> Term {
+        Term {
+            head: head.to_owned(),
+            args: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_display() {
+        let t = Term {
+            head: "send".into(),
+            args: vec![
+                Term::leaf("CU_1"),
+                Term {
+                    head: "cam".into(),
+                    args: vec![Term::leaf("pos")],
+                },
+            ],
+        };
+        assert_eq!(t.to_string(), "send(CU_1,cam(pos))");
+        assert_eq!(Term::leaf("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,57 @@
+//! Parse and lowering errors.
+
+use crate::token::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing or lowering a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where in the source the error occurred.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        ParseError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(
+            Span {
+                start: 5,
+                end: 6,
+                line: 3,
+                column: 9,
+            },
+            "unexpected `;`",
+        );
+        assert_eq!(e.to_string(), "3:9: unexpected `;`");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(ParseError::new(Span::dummy(), "x"));
+    }
+}

@@ -1,0 +1,87 @@
+//! A specification language for SoS functional models.
+//!
+//! The SH verification tool consumes models written in a *preamble
+//! language*; this crate provides the analogue for functional security
+//! analysis: a small text format describing SoS instances (actions,
+//! owners, stakeholders, functional and policy flows) that lowers
+//! directly to [`fsa_core::SosInstance`] values ready for elicitation.
+//!
+//! # Syntax
+//!
+//! Flat instances list their actions and flows directly:
+//!
+//! ```text
+//! // Vw receives a warning from V1 (Fig. 3).
+//! instance "fig3" {
+//!     action sense_1 = sense(ESP_1, sW)       owner V1 stakeholder D_1;
+//!     action send_1  = send(CU_1, cam(pos))   owner V1 stakeholder D_1;
+//!     action rec_w   = rec(CU_w, cam(pos))    owner Vw stakeholder D_w;
+//!     action show_w  = show(HMI_w, warn)      owner Vw stakeholder D_w;
+//!
+//!     flow sense_1 -> send_1;
+//!     flow send_1 -> rec_w;
+//!     flow rec_w -> show_w;
+//!     policy flow sense_1 -> show_w;   // marked policy-motivated
+//! }
+//! ```
+//!
+//! Component models (Fig. 1 style) can be declared once and composed
+//! (`i` in parameters and in the stakeholder is the instance index):
+//!
+//! ```text
+//! model V stakeholder D_i {
+//!     action sense = sense(ESP_i, sW);
+//!     action send  = send(CU_i, cam(pos));
+//!     action rec   = rec(CU_i, cam(pos));
+//!     action show  = show(HMI_i, warn);
+//!     flow sense -> send;
+//!     flow rec -> show;
+//! }
+//!
+//! instance "fig3 composed" {
+//!     use V as v1 index 1;
+//!     use V as vw index w;
+//!     connect v1.send -> vw.rec;
+//! }
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! instance "demo" {
+//!     action a = sense(ESP_1, sW) stakeholder D_1;
+//!     action b = show(HMI_1, warn) stakeholder D_1;
+//!     flow a -> b;
+//! }
+//! "#;
+//! let instances = speclang::parse(src)?;
+//! assert_eq!(instances.len(), 1);
+//! let report = fsa_core::manual::elicit(&instances[0])?;
+//! assert_eq!(report.requirements().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use error::ParseError;
+
+/// Parses a specification source into SoS instances (parse + lower).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with line/column information on syntax or
+/// semantic errors (duplicate action names, unknown flow endpoints).
+pub fn parse(source: &str) -> Result<Vec<fsa_core::SosInstance>, ParseError> {
+    let file = parser::parse_file(source)?;
+    lower::lower(&file)
+}

@@ -1,0 +1,110 @@
+//! Rendering SoS instances back to specification source.
+//!
+//! `parse(render(inst))` reproduces the instance — the round-trip
+//! property tested in the integration suite.
+
+use fsa_core::instance::{FlowKind, SosInstance};
+use std::fmt::Write as _;
+
+/// Renders `instance` as specification source accepted by
+/// [`crate::parse`].
+///
+/// Action identifiers are generated as `a0, a1, …` in node order.
+pub fn render(instance: &SosInstance) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "instance \"{}\" {{", instance.name().replace('"', "'"));
+    for (id, action) in instance.graph().nodes() {
+        let _ = writeln!(
+            s,
+            "    action a{} = {} owner {} stakeholder {};",
+            id.index(),
+            action,
+            sanitize(instance.owner(id)),
+            sanitize(instance.stakeholder(id).name()),
+        );
+    }
+    for (from, to) in instance.graph().edges() {
+        let policy = match instance.flow_kind(from, to) {
+            Some(FlowKind::Policy) => "policy ",
+            _ => "",
+        };
+        let _ = writeln!(s, "    {policy}flow a{} -> a{};", from.index(), to.index());
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Keeps only identifier-safe characters (the spec grammar requires
+/// identifiers for owners and stakeholders).
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("x{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_core::action::Action;
+    use fsa_core::instance::SosInstanceBuilder;
+
+    fn sample() -> SosInstance {
+        let mut b = SosInstanceBuilder::new("round trip");
+        let x = b.action_owned(Action::parse("sense(ESP_1,sW)"), "D_1", "V1");
+        let y = b.action_owned(Action::parse("send(CU_1,cam(pos))"), "D_1", "V1");
+        let z = b.action_owned(Action::parse("show(HMI_1,warn)"), "D_1", "V1");
+        b.flow(x, y);
+        b.policy_flow(x, z);
+        b.build()
+    }
+
+    #[test]
+    fn render_produces_parsable_source() {
+        let src = render(&sample());
+        let parsed = crate::parse(&src).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].action_count(), 3);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_kinds() {
+        let original = sample();
+        let parsed = &crate::parse(&render(&original)).unwrap()[0];
+        assert_eq!(parsed.name(), original.name());
+        assert_eq!(parsed.action_count(), original.action_count());
+        assert_eq!(parsed.graph().edge_count(), original.graph().edge_count());
+        for (from, to) in original.graph().edges() {
+            let pf = parsed.find(original.action(from)).unwrap();
+            let pt = parsed.find(original.action(to)).unwrap();
+            assert_eq!(parsed.flow_kind(pf, pt), original.flow_kind(from, to));
+        }
+    }
+
+    #[test]
+    fn sanitize_handles_awkward_names() {
+        assert_eq!(sanitize("D_1"), "D_1");
+        assert_eq!(sanitize("a b"), "a_b");
+        assert_eq!(sanitize("1st"), "x1st");
+        assert_eq!(sanitize(""), "x");
+    }
+
+    #[test]
+    fn quotes_in_names_escaped() {
+        let mut b = SosInstanceBuilder::new("has \" quote");
+        b.action(Action::parse("x"), "P");
+        let src = render(&b.build());
+        assert!(crate::parse(&src).is_ok());
+    }
+}

@@ -1,0 +1,82 @@
+//! The action inventory of Table 1.
+//!
+//! Constructors for the seven action templates of the example system.
+//! Index arguments accept any instance tag (`"1"`, `"2"`, `"w"`, …).
+
+use fsa_core::action::Action;
+
+/// `send(cam(pos))` — a roadside unit broadcasts a cooperative awareness
+/// message concerning a danger at position `pos`.
+pub fn rsu_send() -> Action {
+    Action::parse("send(cam(pos))")
+}
+
+/// `sense(ESP_i, sW)` — the ESP sensor of vehicle `i` senses slippery
+/// wheels.
+pub fn sense(i: &str) -> Action {
+    Action::parse(&format!("sense(ESP_{i},sW)"))
+}
+
+/// `pos(GPS_i, pos)` — the GPS sensor of vehicle `i` computes its
+/// position.
+pub fn pos(i: &str) -> Action {
+    Action::parse(&format!("pos(GPS_{i},pos)"))
+}
+
+/// `send(CU_i, cam(pos))` — the communication unit of vehicle `i` sends
+/// a cooperative awareness message based on the slippery-wheels
+/// measurement for position `pos`.
+pub fn send(i: &str) -> Action {
+    Action::parse(&format!("send(CU_{i},cam(pos))"))
+}
+
+/// `rec(CU_i, cam(pos))` — the communication unit of vehicle `i`
+/// receives a cooperative awareness message from another vehicle or a
+/// roadside unit.
+pub fn rec(i: &str) -> Action {
+    Action::parse(&format!("rec(CU_{i},cam(pos))"))
+}
+
+/// `fwd(CU_i, cam(pos))` — the communication unit of vehicle `i`
+/// forwards a cooperative awareness message.
+pub fn fwd(i: &str) -> Action {
+    Action::parse(&format!("fwd(CU_{i},cam(pos))"))
+}
+
+/// `show(HMI_i, warn)` — the HMI of vehicle `i` shows its driver a
+/// warning with respect to the relative position.
+pub fn show(i: &str) -> Action {
+    Action::parse(&format!("show(HMI_{i},warn)"))
+}
+
+/// The driver agent name of vehicle `i` (`D_i`).
+pub fn driver(i: &str) -> String {
+    format!("D_{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renderings() {
+        assert_eq!(rsu_send().to_string(), "send(cam(pos))");
+        assert_eq!(sense("1").to_string(), "sense(ESP_1,sW)");
+        assert_eq!(pos("w").to_string(), "pos(GPS_w,pos)");
+        assert_eq!(send("i").to_string(), "send(CU_i,cam(pos))");
+        assert_eq!(rec("2").to_string(), "rec(CU_2,cam(pos))");
+        assert_eq!(fwd("2").to_string(), "fwd(CU_2,cam(pos))");
+        assert_eq!(show("w").to_string(), "show(HMI_w,warn)");
+    }
+
+    #[test]
+    fn indices_are_parsed() {
+        assert_eq!(sense("3").indices(), vec!["3"]);
+        assert!(rsu_send().indices().is_empty());
+    }
+
+    #[test]
+    fn driver_names() {
+        assert_eq!(driver("w"), "D_w");
+    }
+}

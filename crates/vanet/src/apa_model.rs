@@ -1,0 +1,397 @@
+//! The APA models of Figs. 5, 6 and 8.
+//!
+//! Each vehicle `V_i` contributes the state components `esp_i`, `gps_i`,
+//! `bus_i`, `hmi_i` and the elementary automata `Vi_sense`, `Vi_pos`,
+//! `Vi_send`, `Vi_rec`, `Vi_show`; all vehicles share the wireless
+//! medium `net` (§5.2: "the net components are mapped together").
+//!
+//! Value conventions: an ESP measurement is the atom `sW`; a GPS datum
+//! is an integer road coordinate; a received warning is the atom `warn`;
+//! a message is the tuple `(cam, V<i>, <coordinate>)` as in
+//! `Z_net = P({cam} × {V₁..V₄} × Z_gps)`.
+
+use crate::position::{Position, Range};
+use crate::semantics::{ApaSemantics, Consumption};
+use apa::rule::{FnRule, LocalState};
+use apa::{Apa, ApaBuilder, ApaError, Value};
+use fsa_core::action::Agent;
+
+/// Configuration of one vehicle in an APA instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VehicleConfig {
+    /// Instance tag (`"1"`, `"2"`, …) — appears in component and
+    /// automaton names.
+    pub tag: String,
+    /// Pending ESP measurement (use case 2 vehicles sense `sW`).
+    pub senses_slippery_wheels: bool,
+    /// Pending GPS position, if any.
+    pub position: Option<Position>,
+}
+
+impl VehicleConfig {
+    /// A warning vehicle (has both a measurement and a position).
+    pub fn warner(tag: &str, position: Position) -> Self {
+        VehicleConfig {
+            tag: tag.to_owned(),
+            senses_slippery_wheels: true,
+            position: Some(position),
+        }
+    }
+
+    /// A receiving vehicle (has only a position).
+    pub fn receiver(tag: &str, position: Position) -> Self {
+        VehicleConfig {
+            tag: tag.to_owned(),
+            senses_slippery_wheels: false,
+            position: Some(position),
+        }
+    }
+}
+
+/// Adds one vehicle to `builder` (gluing it to the shared `net`).
+pub fn add_vehicle(
+    builder: &mut ApaBuilder,
+    config: &VehicleConfig,
+    semantics: ApaSemantics,
+    range: Range,
+) {
+    let tag = &config.tag;
+    let esp = builder.component(
+        &format!("esp{tag}"),
+        config
+            .senses_slippery_wheels
+            .then(|| Value::atom("sW"))
+            .into_iter()
+            .collect::<Vec<_>>(),
+    );
+    let gps = builder.component(
+        &format!("gps{tag}"),
+        config
+            .position
+            .map(|p| Value::int(p.0))
+            .into_iter()
+            .collect::<Vec<_>>(),
+    );
+    let bus = builder.component(&format!("bus{tag}"), []);
+    let hmi = builder.component(&format!("hmi{tag}"), []);
+    let net = builder.shared_component("net");
+
+    // Δ_{Vi_sense}: move a pending measurement from esp to the bus.
+    builder.automaton(
+        &format!("V{tag}_sense"),
+        [esp, bus],
+        apa::rule::move_any(0, 1),
+    );
+    // Δ_{Vi_pos}: move a pending GPS datum from gps to the bus.
+    builder.automaton(
+        &format!("V{tag}_pos"),
+        [gps, bus],
+        apa::rule::move_any(0, 1),
+    );
+    // Δ_{Vi_send}: consume measurement + position from the bus, put a
+    // cam message on the net.
+    let vehicle_id = format!("V{tag}");
+    builder.automaton(
+        &format!("V{tag}_send"),
+        [bus, net],
+        Box::new(FnRule::new(move |local: &LocalState| {
+            let sw = Value::atom("sW");
+            if !local[0].contains(&sw) {
+                return vec![];
+            }
+            local[0]
+                .iter()
+                .filter_map(Value::as_int)
+                .map(|coord| {
+                    let mut next = local.clone();
+                    next[0].remove(&sw);
+                    next[0].remove(&Value::int(coord));
+                    let msg = Value::tuple([
+                        Value::atom("cam"),
+                        Value::atom(&vehicle_id),
+                        Value::int(coord),
+                    ]);
+                    next[1].insert(msg.clone());
+                    (msg.to_string(), next)
+                })
+                .collect()
+        })),
+    );
+    // Δ_{Vi_rec}: a cam message within range of the own position puts a
+    // warning on the bus; consumption per `semantics`.
+    builder.automaton(
+        &format!("V{tag}_rec"),
+        [net, bus],
+        Box::new(FnRule::new(move |local: &LocalState| {
+            let mut firings = Vec::new();
+            for msg in local[0].iter().filter(|m| m.has_tag("cam")) {
+                let Some(msg_coord) = msg.field(2).and_then(Value::as_int) else {
+                    continue;
+                };
+                for own_coord in local[1].iter().filter_map(Value::as_int) {
+                    if !range.within(Position(msg_coord), Position(own_coord)) {
+                        continue;
+                    }
+                    let mut next = local.clone();
+                    if semantics.message == Consumption::Consume {
+                        next[0].remove(msg);
+                    }
+                    if semantics.gps == Consumption::Consume {
+                        next[1].remove(&Value::int(own_coord));
+                    }
+                    next[1].insert(Value::atom("warn"));
+                    firings.push((msg.to_string(), next));
+                }
+            }
+            firings
+        })),
+    );
+    // Δ_{Vi_show}: move a warning from the bus to the HMI.
+    builder.automaton(
+        &format!("V{tag}_show"),
+        [bus, hmi],
+        apa::rule::move_matching(0, 1, |v| v == &Value::atom("warn")),
+    );
+}
+
+/// Adds a roadside unit broadcasting one cooperative awareness message
+/// about a danger at `danger` (use case 1). The automaton is named
+/// `RSU_send`; the message has the same `(cam, id, coordinate)` shape
+/// as vehicle messages.
+pub fn add_rsu(builder: &mut ApaBuilder, danger: Position) {
+    let rsu = builder.component("rsu", [Value::atom("pending")]);
+    let net = builder.shared_component("net");
+    builder.automaton(
+        "RSU_send",
+        [rsu, net],
+        Box::new(FnRule::new(move |local: &LocalState| {
+            let pending = Value::atom("pending");
+            if !local[0].contains(&pending) {
+                return vec![];
+            }
+            let mut next = local.clone();
+            next[0].remove(&pending);
+            let msg = Value::tuple([
+                Value::atom("cam"),
+                Value::atom("RSU"),
+                Value::int(danger.0),
+            ]);
+            next[1].insert(msg.clone());
+            vec![(msg.to_string(), next)]
+        })),
+    );
+}
+
+/// The Fig. 2 analogue in APA form: a roadside unit warns one receiving
+/// vehicle (use cases 1 + 3). Tool-assisted elicitation yields the APA
+/// rendering of Example 2's two requirements.
+///
+/// # Errors
+///
+/// Propagates [`ApaError`] from model construction.
+pub fn rsu_vehicle_apa(semantics: ApaSemantics) -> Result<Apa, ApaError> {
+    let mut b = ApaBuilder::new();
+    add_rsu(&mut b, Position(0));
+    add_vehicle(
+        &mut b,
+        &VehicleConfig::receiver("1", Position(50)),
+        semantics,
+        Range::DEFAULT,
+    );
+    b.build()
+}
+
+/// The single-vehicle APA model of Fig. 5 (5 state components incl. the
+/// shared `net`, 5 elementary automata).
+///
+/// # Errors
+///
+/// Propagates [`ApaError`] from model construction.
+pub fn single_vehicle_apa() -> Result<Apa, ApaError> {
+    let mut b = ApaBuilder::new();
+    add_vehicle(
+        &mut b,
+        &VehicleConfig::warner("i", Position(0)),
+        ApaSemantics::PAPER,
+        Range::DEFAULT,
+    );
+    b.build()
+}
+
+/// The two-vehicle SoS instance of Fig. 6 / Example 5: `V1` (use case 2)
+/// warns `V2` (use case 3); both within range.
+///
+/// # Errors
+///
+/// Propagates [`ApaError`] from model construction.
+pub fn two_vehicle_apa(semantics: ApaSemantics) -> Result<Apa, ApaError> {
+    n_pair_apa(1, semantics)
+}
+
+/// The four-vehicle instance of Fig. 8: two pairs, each in range, pairs
+/// mutually out of range (`V1` warns `V2`, `V3` warns `V4`).
+///
+/// # Errors
+///
+/// Propagates [`ApaError`] from model construction.
+pub fn four_vehicle_apa(semantics: ApaSemantics) -> Result<Apa, ApaError> {
+    n_pair_apa(2, semantics)
+}
+
+/// `pairs` disjoint (warner, receiver) pairs on one shared net, pair `k`
+/// at coordinates far from every other pair — the generalisation used by
+/// the state-explosion bench. Vehicles are tagged `1, 2, …, 2·pairs` in
+/// (warner, receiver) order per pair.
+///
+/// # Errors
+///
+/// Propagates [`ApaError`] from model construction.
+pub fn n_pair_apa(pairs: usize, semantics: ApaSemantics) -> Result<Apa, ApaError> {
+    let mut b = ApaBuilder::new();
+    for k in 0..pairs {
+        let base = (k as i64) * 10_000;
+        let warner_tag = (2 * k + 1).to_string();
+        let receiver_tag = (2 * k + 2).to_string();
+        add_vehicle(
+            &mut b,
+            &VehicleConfig::warner(&warner_tag, Position(base)),
+            semantics,
+            Range::DEFAULT,
+        );
+        add_vehicle(
+            &mut b,
+            &VehicleConfig::receiver(&receiver_tag, Position(base + 50)),
+            semantics,
+            Range::DEFAULT,
+        );
+    }
+    b.build()
+}
+
+/// The stakeholder of an automaton-named action: `V2_show ↦ D_2` (the
+/// driver of the vehicle whose HMI shows the warning); other actions
+/// belong to their vehicle's driver as well.
+pub fn stakeholder_of(automaton: &str) -> Agent {
+    let tag = automaton
+        .strip_prefix('V')
+        .and_then(|rest| rest.split('_').next())
+        .unwrap_or("?");
+    Agent::new(&format!("D_{tag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa::ReachOptions;
+
+    fn reach(apa: &Apa) -> apa::ReachGraph {
+        apa.reachability(&ReachOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fig5_vehicle_model_shape() {
+        let apa = single_vehicle_apa().unwrap();
+        assert_eq!(apa.component_count(), 5, "esp, gps, bus, hmi, net");
+        assert_eq!(apa.automaton_count(), 5);
+        let names: Vec<&str> = apa.automaton_names().collect();
+        assert_eq!(
+            names,
+            vec!["Vi_sense", "Vi_pos", "Vi_send", "Vi_rec", "Vi_show"]
+        );
+    }
+
+    #[test]
+    fn fig7_two_vehicle_reachability() {
+        // Paper Δ-semantics: 12 states (see crate::semantics docs), one
+        // dead state, minima {V1_pos, V1_sense, V2_pos}, maxima {V2_show}.
+        let g = reach(&two_vehicle_apa(ApaSemantics::PAPER).unwrap());
+        assert_eq!(g.state_count(), 12);
+        assert_eq!(g.dead_states().len(), 1);
+        assert_eq!(g.minima(), vec!["V1_pos", "V1_sense", "V2_pos"]);
+        assert_eq!(g.maxima(), vec!["V2_show"]);
+    }
+
+    #[test]
+    fn fig9_four_vehicle_reachability_squares() {
+        let g2 = reach(&two_vehicle_apa(ApaSemantics::PAPER).unwrap());
+        let g4 = reach(&four_vehicle_apa(ApaSemantics::PAPER).unwrap());
+        assert_eq!(g4.state_count(), g2.state_count() * g2.state_count());
+        assert_eq!(g4.minima().len(), 6);
+        assert_eq!(g4.maxima(), vec!["V2_show", "V4_show"]);
+    }
+
+    #[test]
+    fn warner_cannot_warn_itself() {
+        // After send, V1's bus is empty, so V1_rec never fires and
+        // V1_show is not a maximum.
+        let g = reach(&two_vehicle_apa(ApaSemantics::PAPER).unwrap());
+        assert!(!g.to_nfa().accepts(["V1_sense", "V1_pos", "V1_send", "V1_rec"]));
+    }
+
+    #[test]
+    fn out_of_range_message_not_received() {
+        let g = reach(&four_vehicle_apa(ApaSemantics::PAPER).unwrap());
+        let nfa = g.to_nfa();
+        // V4 must not receive V1's message: V1 sends, V4 has its pos, but
+        // the distance guard blocks V4_rec until V3 sends.
+        assert!(!nfa.accepts(["V1_sense", "V1_pos", "V1_send", "V4_pos", "V4_rec"]));
+        assert!(nfa.accepts(["V3_sense", "V3_pos", "V3_send", "V4_pos", "V4_rec"]));
+    }
+
+    #[test]
+    fn retain_semantics_changes_state_count_only() {
+        for semantics in ApaSemantics::ALL {
+            let g = reach(&two_vehicle_apa(semantics).unwrap());
+            assert_eq!(g.minima(), vec!["V1_pos", "V1_sense", "V2_pos"], "{}", semantics.tag());
+            // Maxima are V2_show whenever a dead state exists; the
+            // retain/retain variant cycles and has no dead state.
+            if !g.dead_states().is_empty() {
+                assert_eq!(g.maxima(), vec!["V2_show"], "{}", semantics.tag());
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_analogue_rsu_warns_vehicle() {
+        let g = reach(&rsu_vehicle_apa(ApaSemantics::PAPER).unwrap());
+        assert_eq!(g.minima(), vec!["RSU_send", "V1_pos"]);
+        assert_eq!(g.maxima(), vec!["V1_show"]);
+        // Example 2's requirements, in automaton-name form.
+        let report = crate::apa_model::tests::elicit_prec(&g);
+        let reqs: Vec<String> = report.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            reqs,
+            vec![
+                "auth(RSU_send, V1_show, D_1)",
+                "auth(V1_pos, V1_show, D_1)",
+            ]
+        );
+    }
+
+    /// Helper: precedence-based elicitation returning sorted rendering.
+    fn elicit_prec(g: &apa::ReachGraph) -> Vec<fsa_core::requirements::AuthRequirement> {
+        let behaviour = g.to_nfa();
+        let mut out = Vec::new();
+        for maximum in g.maxima() {
+            for minimum in g.minima() {
+                if minimum != maximum
+                    && automata::temporal::precedes(&behaviour, &minimum, &maximum)
+                {
+                    out.push(fsa_core::requirements::AuthRequirement::new(
+                        fsa_core::action::Action::parse(&minimum),
+                        fsa_core::action::Action::parse(&maximum),
+                        stakeholder_of(&maximum),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stakeholders() {
+        assert_eq!(stakeholder_of("V2_show").name(), "D_2");
+        assert_eq!(stakeholder_of("V12_rec").name(), "D_12");
+        assert_eq!(stakeholder_of("bogus").name(), "D_?");
+    }
+}

@@ -1,0 +1,158 @@
+//! The functional component models of Fig. 1.
+//!
+//! * Fig. 1(a): the roadside unit — a single boundary action
+//!   `send(cam(pos))`.
+//! * Fig. 1(b): the vehicle — `sense`, `pos`, `send`, `rec`, `fwd`,
+//!   `show` with the internal flows derived from use cases 2–4. The flow
+//!   `pos → fwd` is marked as a *policy* flow: it exists only because of
+//!   the position-based forwarding policy ("introduced for performance
+//!   reasons", §4.4), which is what demotes requirement (4) from safety
+//!   to availability.
+//!
+//! §5 uses a *reduced* vehicle model without the `fwd` action
+//! ([`vehicle_model_reduced`]).
+
+use fsa_core::component_model::{ComponentModel, TemplateActionId};
+
+/// Template-action handles of the full vehicle model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VehicleActions {
+    /// `sense(ESP_i,sW)`
+    pub sense: TemplateActionId,
+    /// `pos(GPS_i,pos)`
+    pub pos: TemplateActionId,
+    /// `send(CU_i,cam(pos))`
+    pub send: TemplateActionId,
+    /// `rec(CU_i,cam(pos))`
+    pub rec: TemplateActionId,
+    /// `fwd(CU_i,cam(pos))` — `None` in the reduced model.
+    pub fwd: Option<TemplateActionId>,
+    /// `show(HMI_i,warn)`
+    pub show: TemplateActionId,
+}
+
+/// The RSU component model of Fig. 1(a). Returns the model and the
+/// handle of its `send(cam(pos))` action.
+pub fn rsu_model() -> (ComponentModel, TemplateActionId) {
+    let mut m = ComponentModel::new("RSU", "RSU_operator");
+    let send = m.action("send(cam(pos))");
+    (m, send)
+}
+
+/// The full vehicle component model of Fig. 1(b).
+pub fn vehicle_model() -> (ComponentModel, VehicleActions) {
+    let mut m = ComponentModel::new("V", "D_i");
+    let sense = m.action("sense(ESP_i,sW)");
+    let pos = m.action("pos(GPS_i,pos)");
+    let send = m.action("send(CU_i,cam(pos))");
+    let rec = m.action("rec(CU_i,cam(pos))");
+    let fwd = m.action("fwd(CU_i,cam(pos))");
+    let show = m.action("show(HMI_i,warn)");
+    // Use case 2: sense + own position → send warning.
+    m.flow(sense, send);
+    m.flow(pos, send);
+    // Use case 3: received warning + own position → show to driver.
+    m.flow(rec, show);
+    m.flow(pos, show);
+    // Use case 4: received warning → forward; the position check is the
+    // forwarding *policy* ("given that the position of this occurrence
+    // is not too far away").
+    m.flow(rec, fwd);
+    m.policy_flow(pos, fwd);
+    (
+        m,
+        VehicleActions {
+            sense,
+            pos,
+            send,
+            rec,
+            fwd: Some(fwd),
+            show,
+        },
+    )
+}
+
+/// The reduced vehicle model used by the §5 analysis ("a reduced version
+/// of the functional component model of a vehicle … "that" does not
+/// contain the forward action").
+pub fn vehicle_model_reduced() -> (ComponentModel, VehicleActions) {
+    let mut m = ComponentModel::new("V", "D_i");
+    let sense = m.action("sense(ESP_i,sW)");
+    let pos = m.action("pos(GPS_i,pos)");
+    let send = m.action("send(CU_i,cam(pos))");
+    let rec = m.action("rec(CU_i,cam(pos))");
+    let show = m.action("show(HMI_i,warn)");
+    m.flow(sense, send);
+    m.flow(pos, send);
+    m.flow(rec, show);
+    m.flow(pos, show);
+    (
+        m,
+        VehicleActions {
+            sense,
+            pos,
+            send,
+            rec,
+            fwd: None,
+            show,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_core::instance::{FlowKind, SosInstanceBuilder};
+
+    #[test]
+    fn rsu_is_single_action() {
+        let (m, _) = rsu_model();
+        assert_eq!(m.actions().len(), 1);
+        assert!(m.flows().is_empty());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn vehicle_model_fig1b_shape() {
+        let (m, a) = vehicle_model();
+        assert_eq!(m.actions().len(), 6);
+        assert_eq!(m.flows().len(), 6);
+        assert!(m.validate().is_ok());
+        assert!(a.fwd.is_some());
+    }
+
+    #[test]
+    fn reduced_model_has_no_fwd() {
+        let (m, a) = vehicle_model_reduced();
+        assert_eq!(m.actions().len(), 5);
+        assert_eq!(m.flows().len(), 4);
+        assert!(a.fwd.is_none());
+    }
+
+    #[test]
+    fn policy_flow_is_pos_to_fwd() {
+        let (m, a) = vehicle_model();
+        let mut b = SosInstanceBuilder::new("t");
+        let v = m.instantiate("2", &mut b).unwrap();
+        let inst = b.build();
+        assert_eq!(
+            inst.flow_kind(v.node(a.pos), v.node(a.fwd.unwrap())),
+            Some(FlowKind::Policy)
+        );
+        assert_eq!(
+            inst.flow_kind(v.node(a.pos), v.node(a.show)),
+            Some(FlowKind::Functional)
+        );
+    }
+
+    #[test]
+    fn instantiated_action_names() {
+        let (m, a) = vehicle_model();
+        let mut b = SosInstanceBuilder::new("t");
+        let v = m.instantiate("1", &mut b).unwrap();
+        let inst = b.build();
+        assert_eq!(inst.action(v.node(a.sense)), &crate::actions::sense("1"));
+        assert_eq!(inst.action(v.node(a.show)), &crate::actions::show("1"));
+        assert_eq!(inst.stakeholder(v.node(a.show)).name(), "D_1");
+    }
+}

@@ -1,0 +1,220 @@
+//! A synthetic on-board SoS model at the scale of the EVITA statistics.
+//!
+//! §4.4 closes: "In practice, the method described here has been applied
+//! in the project EVITA … A total of 29 authenticity requirements have
+//! been elicited by means of a system model comprising 38 component
+//! boundary actions with 16 system boundary actions comprising 9 maximal
+//! and 7 minimal elements."
+//!
+//! The EVITA use-case corpus (deliverable D2.3) is project data the
+//! paper does not reproduce, so this module substitutes a *synthetic*
+//! automotive on-board architecture with exactly those aggregate
+//! statistics, exercising the elicitation pipeline at the reported
+//! scale:
+//!
+//! * **Systems**: warning vehicle `V1`, receiving vehicle `Vw`, roadside
+//!   unit `RSU`; on-board units (ESP, temperature sensor, GPS, gyro,
+//!   ECU, CU, HMI, brake, event recorder, ACC, audio, driver input) are
+//!   the *components* whose boundaries are counted.
+//! * **7 minimal elements** (inputs): two danger sensors and the GPS of
+//!   `V1`, the GPS and gyro of `Vw`, the RSU broadcast, and a driver
+//!   acknowledgement.
+//! * **9 maximal elements** (outputs): warning display, brake prefill,
+//!   ACC adaptation, event logs in both vehicles, message forwarding,
+//!   telematics upload, the warning vehicle's own display, and audio
+//!   mute.
+//! * **Cross-unit flows** pass through CAN-bus relay actions (`tx…`),
+//!   which brings the number of component boundary actions to 38
+//!   without altering the dependency structure.
+//! * The forwarding output depends on the receiving vehicle's position
+//!   only through the position-based forwarding *policy*, mirroring
+//!   requirement (4).
+
+use fsa_core::action::Action;
+use fsa_core::instance::{SosInstance, SosInstanceBuilder};
+
+/// The aggregate statistics the paper reports for the EVITA application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvitaStats {
+    /// Component boundary actions.
+    pub component_boundary: usize,
+    /// System boundary actions.
+    pub system_boundary: usize,
+    /// Maximal elements.
+    pub maximal: usize,
+    /// Minimal elements.
+    pub minimal: usize,
+    /// Elicited authenticity requirements.
+    pub requirements: usize,
+}
+
+/// The statistics quoted at the end of §4.4.
+pub const EVITA_EXPECTED: EvitaStats = EvitaStats {
+    component_boundary: 38,
+    system_boundary: 16,
+    maximal: 9,
+    minimal: 7,
+    requirements: 29,
+};
+
+/// Builds the synthetic on-board SoS instance.
+pub fn onboard_instance() -> SosInstance {
+    let mut b = SosInstanceBuilder::new("evita: on-board local danger warning");
+
+    let add = |b: &mut SosInstanceBuilder, term: &str, stakeholder: &str, owner: &str| {
+        b.action_owned(Action::parse(term), stakeholder, owner)
+    };
+
+    // --- Minimal elements (7 inputs). -------------------------------
+    let m_esp = add(&mut b, "sense(ESP_1,sW)", "D_1", "ESP1");
+    let m_tmp = add(&mut b, "sense(TMP_1,lowT)", "D_1", "TMP1");
+    let m_gps1 = add(&mut b, "pos(GPS_1,pos)", "D_1", "GPS1");
+    let m_gpsw = add(&mut b, "pos(GPS_w,pos)", "D_w", "GPSw");
+    let m_gyro = add(&mut b, "head(GYR_w,heading)", "D_w", "GYRw");
+    let m_rsu = add(&mut b, "send(cam(pos))", "RSU_operator", "RSU");
+    let m_ack = add(&mut b, "ack(DRV_w,ack)", "D_w", "DRVw");
+
+    // --- Intermediate actions. --------------------------------------
+    // UC2: slippery wheels + low temperature fused to a danger event.
+    let fuse = add(&mut b, "fuse(ECU_1,danger)", "D_1", "ECU1");
+    let send1 = add(&mut b, "send(CU_1,cam(pos))", "D_1", "CU1");
+    let recw = add(&mut b, "rec(CU_w,cam(pos))", "D_w", "CUw");
+    // UC3: received warning evaluated against own position and heading.
+    let eval = add(&mut b, "eval(ECU_w,threat)", "D_w", "ECUw");
+
+    // --- Maximal elements (9 outputs). -------------------------------
+    let o_show_w = add(&mut b, "show(HMI_w,warn)", "D_w", "HMIw");
+    let o_brake = add(&mut b, "prefill(BRK_w,brk)", "D_w", "BRKw");
+    let o_log_w = add(&mut b, "log(EDR_w,evt)", "D_w", "EDRw");
+    let o_fwd = add(&mut b, "fwd(CU_w,cam(pos))", "D_w", "CUw");
+    let o_acc = add(&mut b, "adapt(ACC_w,speed)", "D_w", "ACCw");
+    let o_show_1 = add(&mut b, "show(HMI_1,selfwarn)", "D_1", "HMI1");
+    let o_log_1 = add(&mut b, "log(EDR_1,evt)", "D_1", "EDR1");
+    let o_upload = add(&mut b, "upload(CU_1,report)", "D_1", "CU1b");
+    let o_mute = add(&mut b, "mute(AUD_w,quiet)", "D_w", "AUDw");
+
+    // --- Flows. Relayed flows pass through a CAN-bus tx action, which
+    // adds one component boundary action each without changing the
+    // dependency structure; `relay = false` keeps a direct edge.
+    let mut relay_count = 0usize;
+    let mut flow = |b: &mut SosInstanceBuilder, from, to, relay: bool, bus: &str| {
+        if relay {
+            relay_count += 1;
+            let r = b.action_owned(
+                Action::parse(&format!("tx(CAN_{bus},frame{relay_count})")),
+                "OEM",
+                &format!("CAN{bus}"),
+            );
+            b.flow(from, r);
+            b.flow(r, to);
+        } else {
+            b.flow(from, to);
+        }
+    };
+
+    // V1 fusion and send: deps of send1 = {esp, tmp, gps1}.
+    flow(&mut b, m_esp, fuse, true, "1");
+    flow(&mut b, m_tmp, fuse, true, "1");
+    flow(&mut b, fuse, send1, true, "1");
+    flow(&mut b, m_gps1, send1, true, "1");
+    // Wireless hop and RSU broadcast: deps of recw = {…, rsu}.
+    flow(&mut b, send1, recw, false, "-");
+    flow(&mut b, m_rsu, recw, false, "-");
+    // Vw evaluation: deps of eval = {…, gpsw, gyro}.
+    flow(&mut b, recw, eval, true, "w");
+    flow(&mut b, m_gpsw, eval, true, "w");
+    flow(&mut b, m_gyro, eval, true, "w");
+    // Outputs of Vw.
+    flow(&mut b, eval, o_show_w, true, "w"); // warn display (6 deps)
+    flow(&mut b, recw, o_brake, true, "w"); // brake prefill (5 deps)
+    flow(&mut b, m_gpsw, o_brake, true, "w");
+    flow(&mut b, m_ack, o_log_w, true, "w"); // event log (2 deps)
+    flow(&mut b, m_gpsw, o_log_w, true, "w");
+    flow(&mut b, recw, o_fwd, false, "-"); // forwarding (5 deps incl. policy)
+    b.policy_flow(m_gpsw, o_fwd); // position-based forwarding policy
+    flow(&mut b, m_gpsw, o_acc, true, "w"); // ACC adaptation (2 deps)
+    flow(&mut b, m_gyro, o_acc, true, "w");
+    flow(&mut b, m_ack, o_mute, true, "w"); // audio mute (1 dep)
+    // Outputs of V1.
+    flow(&mut b, fuse, o_show_1, true, "1"); // own display (2 deps)
+    flow(&mut b, fuse, o_log_1, true, "1"); // event log (3 deps)
+    flow(&mut b, m_gps1, o_log_1, true, "1");
+    flow(&mut b, fuse, o_upload, false, "-"); // telematics upload (3 deps)
+    flow(&mut b, m_gps1, o_upload, false, "-");
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_core::boundary::boundary_stats;
+    use fsa_core::manual::elicit;
+    use fsa_core::requirements::Relevance;
+
+    #[test]
+    fn reproduces_evita_statistics() {
+        let inst = onboard_instance();
+        let report = elicit(&inst).unwrap();
+        let stats = boundary_stats(&inst);
+        assert_eq!(
+            stats.component_boundary_count(),
+            EVITA_EXPECTED.component_boundary,
+            "component boundary actions"
+        );
+        assert_eq!(
+            stats.system_boundary_count(),
+            EVITA_EXPECTED.system_boundary,
+            "system boundary actions"
+        );
+        assert_eq!(report.maxima().len(), EVITA_EXPECTED.maximal, "maximal");
+        assert_eq!(report.minima().len(), EVITA_EXPECTED.minimal, "minimal");
+        assert_eq!(
+            report.requirements().len(),
+            EVITA_EXPECTED.requirements,
+            "authenticity requirements"
+        );
+    }
+
+    #[test]
+    fn forwarding_policy_requirement_is_availability() {
+        let report = elicit(&onboard_instance()).unwrap();
+        let availability: Vec<String> = report
+            .classified_requirements()
+            .iter()
+            .filter(|c| c.relevance == Relevance::Availability)
+            .map(|c| c.requirement.to_string())
+            .collect();
+        assert_eq!(
+            availability,
+            vec!["auth(pos(GPS_w,pos), fwd(CU_w,cam(pos)), D_w)"]
+        );
+    }
+
+    #[test]
+    fn warning_display_has_six_antecedents() {
+        let report = elicit(&onboard_instance()).unwrap();
+        let show_deps = report
+            .requirements()
+            .iter()
+            .filter(|r| r.consequent == Action::parse("show(HMI_w,warn)"))
+            .count();
+        assert_eq!(show_deps, 6);
+    }
+
+    #[test]
+    fn model_is_loop_free() {
+        assert!(fsa_graph::topo::is_acyclic(onboard_instance().graph()));
+    }
+
+    #[test]
+    fn every_output_has_a_requirement() {
+        let report = elicit(&onboard_instance()).unwrap();
+        for max in report.maxima() {
+            assert!(
+                report.requirements().iter().any(|r| &r.consequent == max),
+                "no requirement for output {max}"
+            );
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! An *extended* APA vehicle model with message forwarding (use case 4)
+//! and an attacker, beyond the reduced model of the paper's §5.
+//!
+//! The §5 analysis deliberately excludes the `fwd` action; this module
+//! adds it back so the tool-assisted pipeline can be exercised on the
+//! forwarding scenario of Fig. 4 and cross-checked against the manual
+//! analysis. Two departures from the printed model are needed (and
+//! documented in DESIGN.md):
+//!
+//! * messages carry the **sender position** in addition to the danger
+//!   position — `(cam, V<i>, danger, sender)` — so that multi-hop radio
+//!   connectivity is expressible on the one shared `net` component
+//!   (separate *radio* range vs. *warning* range);
+//! * a forwarding vehicle's `rec` retains the GPS datum and stores the
+//!   received payload, so `fwd` can apply the position-based forwarding
+//!   policy and re-emit the message from its own position.
+//!
+//! [`add_attacker`] contributes an injection automaton that forges `cam`
+//! messages — the threat the elicited authenticity requirements are
+//! meant to exclude. Verifying the requirements against the attacked
+//! behaviour yields concrete **attack traces**
+//! (see `fsa_core::verify` and the `attack_trace` example).
+
+use crate::position::{Position, Range};
+use apa::rule::{FnRule, LocalState};
+use apa::{Apa, ApaBuilder, ApaError, Value};
+
+/// Radio and warning ranges of the extended model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeConfig {
+    /// Single-hop radio range (sender position → receiver position).
+    pub radio: Range,
+    /// Warning relevance range (danger position → receiver position).
+    pub warn: Range,
+    /// Forwarding-policy range (danger position → forwarder position).
+    pub forward: Range,
+}
+
+impl Default for RangeConfig {
+    fn default() -> Self {
+        RangeConfig {
+            radio: Range(100),
+            warn: Range(300),
+            forward: Range(300),
+        }
+    }
+}
+
+/// Role of a vehicle in the extended model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Senses the danger and sends the original warning (use case 2).
+    Warner,
+    /// Receives and forwards (use cases 3 + 4).
+    Forwarder,
+    /// Receives and shows only (use case 3).
+    Receiver,
+}
+
+/// Adds one extended vehicle.
+///
+/// Component names follow the §5 convention (`esp<i>`, `gps<i>`,
+/// `bus<i>`, `hmi<i>`, shared `net`); automaton names are `V<i>_sense`,
+/// `V<i>_pos`, `V<i>_send`, `V<i>_rec`, `V<i>_show` and — for
+/// forwarders — `V<i>_fwd`.
+pub fn add_extended_vehicle(
+    builder: &mut ApaBuilder,
+    tag: &str,
+    role: Role,
+    position: Position,
+    ranges: RangeConfig,
+) {
+    let esp = builder.component(
+        &format!("esp{tag}"),
+        matches!(role, Role::Warner)
+            .then(|| Value::atom("sW"))
+            .into_iter()
+            .collect::<Vec<_>>(),
+    );
+    let gps = builder.component(&format!("gps{tag}"), [Value::int(position.0)]);
+    let bus = builder.component(&format!("bus{tag}"), []);
+    let hmi = builder.component(&format!("hmi{tag}"), []);
+    let net = builder.shared_component("net");
+
+    builder.automaton(&format!("V{tag}_sense"), [esp, bus], apa::rule::move_any(0, 1));
+    builder.automaton(&format!("V{tag}_pos"), [gps, bus], apa::rule::move_any(0, 1));
+
+    // send: measurement + own position → message with danger = sender =
+    // own position.
+    let vehicle_id = format!("V{tag}");
+    builder.automaton(
+        &format!("V{tag}_send"),
+        [bus, net],
+        Box::new(FnRule::new({
+            let vehicle_id = vehicle_id.clone();
+            move |local: &LocalState| {
+                let sw = Value::atom("sW");
+                if !local[0].contains(&sw) {
+                    return vec![];
+                }
+                local[0]
+                    .iter()
+                    .filter_map(Value::as_int)
+                    .map(|coord| {
+                        let mut next = local.clone();
+                        next[0].remove(&sw);
+                        next[0].remove(&Value::int(coord));
+                        let msg = cam_message(&vehicle_id, coord, coord);
+                        next[1].insert(msg.clone());
+                        (msg.to_string(), next)
+                    })
+                    .collect()
+            }
+        })),
+    );
+
+    // rec: radio check against the sender position, warning relevance
+    // against the danger position. Forwarders retain the GPS datum and
+    // keep the payload for fwd.
+    let forwards = matches!(role, Role::Forwarder);
+    builder.automaton(
+        &format!("V{tag}_rec"),
+        [net, bus],
+        Box::new(FnRule::new(move |local: &LocalState| {
+            let mut firings = Vec::new();
+            for msg in local[0].iter().filter(|m| m.has_tag("cam")) {
+                let (Some(danger), Some(sender)) = (
+                    msg.field(2).and_then(Value::as_int),
+                    msg.field(3).and_then(Value::as_int),
+                ) else {
+                    continue;
+                };
+                for own in local[1].iter().filter_map(Value::as_int) {
+                    if !ranges.radio.within(Position(sender), Position(own))
+                        || !ranges.warn.within(Position(danger), Position(own))
+                    {
+                        continue;
+                    }
+                    let mut next = local.clone();
+                    next[0].remove(msg);
+                    if !forwards {
+                        next[1].remove(&Value::int(own));
+                    }
+                    next[1].insert(Value::atom("warn"));
+                    if forwards {
+                        next[1].insert(Value::tuple([Value::atom("relay"), Value::int(danger)]));
+                    }
+                    firings.push((msg.to_string(), next));
+                }
+            }
+            firings
+        })),
+    );
+
+    if forwards {
+        // fwd: position-based forwarding policy — re-emit the payload
+        // from the own position if the danger is still close enough.
+        builder.automaton(
+            &format!("V{tag}_fwd"),
+            [bus, net],
+            Box::new(FnRule::new(move |local: &LocalState| {
+                let mut firings = Vec::new();
+                let relays: Vec<i64> = local[0]
+                    .iter()
+                    .filter(|v| v.has_tag("relay"))
+                    .filter_map(|v| v.field(1).and_then(Value::as_int))
+                    .collect();
+                for danger in relays {
+                    for own in local[0].iter().filter_map(Value::as_int) {
+                        if !ranges.forward.within(Position(danger), Position(own)) {
+                            continue;
+                        }
+                        let mut next = local.clone();
+                        next[0].remove(&Value::tuple([
+                            Value::atom("relay"),
+                            Value::int(danger),
+                        ]));
+                        next[0].remove(&Value::int(own));
+                        let msg = cam_message(&vehicle_id, danger, own);
+                        next[1].insert(msg.clone());
+                        firings.push((msg.to_string(), next));
+                    }
+                }
+                firings
+            })),
+        );
+    }
+
+    builder.automaton(
+        &format!("V{tag}_show"),
+        [bus, hmi],
+        apa::rule::move_matching(0, 1, |v| v == &Value::atom("warn")),
+    );
+}
+
+/// A forged-message attacker: a single injection of a `cam` message
+/// claiming `danger` at the given coordinates, sent from `sender`.
+///
+/// The automaton is named `ATK_inject` — after elicitation one can
+/// verify that every requirement `auth(V1_sense, …_show, D)` is violated
+/// on the attacked behaviour, with the injection on the attack trace.
+pub fn add_attacker(builder: &mut ApaBuilder, danger: Position, sender: Position) {
+    let atk = builder.component("atk", [Value::atom("armed")]);
+    let net = builder.shared_component("net");
+    builder.automaton(
+        "ATK_inject",
+        [atk, net],
+        Box::new(FnRule::new(move |local: &LocalState| {
+            let armed = Value::atom("armed");
+            if !local[0].contains(&armed) {
+                return vec![];
+            }
+            let mut next = local.clone();
+            next[0].remove(&armed);
+            let msg = cam_message("ATK", danger.0, sender.0);
+            next[1].insert(msg.clone());
+            vec![(msg.to_string(), next)]
+        })),
+    );
+}
+
+/// The message term `(cam, <id>, <danger>, <sender>)`.
+fn cam_message(id: &str, danger: i64, sender: i64) -> Value {
+    Value::tuple([
+        Value::atom("cam"),
+        Value::atom(id),
+        Value::int(danger),
+        Value::int(sender),
+    ])
+}
+
+/// The three-vehicle forwarding instance matching Fig. 4: `V1` (warner,
+/// at 0) — `V2` (forwarder, at 80) — `V3` (receiver, at 160). With the
+/// default ranges, `V3` is outside `V1`'s radio range and receives the
+/// warning only through `V2`.
+///
+/// # Errors
+///
+/// Propagates [`ApaError`] from model construction.
+pub fn forwarding_chain_apa() -> Result<Apa, ApaError> {
+    forwarding_chain_apa_with(RangeConfig::default(), false)
+}
+
+/// A forwarding chain of arbitrary length: `V1` (warner at 0),
+/// `V2 … V{k+1}` (forwarders, 80 apart), `V{k+2}` (receiver) — the APA
+/// counterpart of [`crate::instances::forwarding_chain`]. Each vehicle
+/// is in radio range only of its direct neighbours, so the warning must
+/// travel every hop; warning and forwarding ranges are widened to cover
+/// the whole chain.
+///
+/// # Errors
+///
+/// Propagates [`ApaError`] from model construction.
+pub fn forwarding_chain_apa_n(forwarders: usize) -> Result<Apa, ApaError> {
+    let ranges = RangeConfig {
+        radio: Range(100),
+        warn: Range(1_000_000),
+        forward: Range(1_000_000),
+    };
+    let mut b = ApaBuilder::new();
+    add_extended_vehicle(&mut b, "1", Role::Warner, Position(0), ranges);
+    for k in 0..forwarders {
+        let tag = (k + 2).to_string();
+        add_extended_vehicle(
+            &mut b,
+            &tag,
+            Role::Forwarder,
+            Position(80 * (k as i64 + 1)),
+            ranges,
+        );
+    }
+    let last = (forwarders + 2).to_string();
+    add_extended_vehicle(
+        &mut b,
+        &last,
+        Role::Receiver,
+        Position(80 * (forwarders as i64 + 1)),
+        ranges,
+    );
+    b.build()
+}
+
+/// Like [`forwarding_chain_apa`], optionally adding the attacker.
+///
+/// # Errors
+///
+/// Propagates [`ApaError`] from model construction.
+pub fn forwarding_chain_apa_with(ranges: RangeConfig, attacker: bool) -> Result<Apa, ApaError> {
+    let mut b = ApaBuilder::new();
+    add_extended_vehicle(&mut b, "1", Role::Warner, Position(0), ranges);
+    add_extended_vehicle(&mut b, "2", Role::Forwarder, Position(80), ranges);
+    add_extended_vehicle(&mut b, "3", Role::Receiver, Position(160), ranges);
+    if attacker {
+        // The attacker forges a danger right next to V3, transmitting
+        // from within V3's radio range.
+        add_attacker(&mut b, Position(150), Position(150));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa::ReachOptions;
+
+    fn reach(apa: &Apa) -> apa::ReachGraph {
+        apa.reachability(&ReachOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn chain_minima_and_maxima() {
+        let g = reach(&forwarding_chain_apa().unwrap());
+        assert_eq!(g.minima(), vec!["V1_pos", "V1_sense", "V2_pos", "V3_pos"]);
+        // Both V2 and V3 show a warning; everything else triggers more.
+        assert_eq!(g.maxima(), vec!["V2_show", "V3_show"]);
+    }
+
+    #[test]
+    fn v3_only_reachable_through_forwarder() {
+        let g = reach(&forwarding_chain_apa().unwrap());
+        let nfa = g.to_nfa();
+        // Direct reception from V1 is impossible for V3 (radio range).
+        assert!(!nfa.accepts(["V1_sense", "V1_pos", "V1_send", "V3_pos", "V3_rec"]));
+        // Via V2 it works.
+        assert!(nfa.accepts([
+            "V1_sense", "V1_pos", "V1_send", "V2_pos", "V2_rec", "V2_fwd", "V3_pos", "V3_rec",
+            "V3_show"
+        ]));
+    }
+
+    #[test]
+    fn v3_show_depends_on_forwarder_position() {
+        // The APA analogue of the paper's requirement (4): the
+        // forwarding policy makes V3's warning depend on V2's position.
+        let g = reach(&forwarding_chain_apa().unwrap());
+        let nfa = g.to_nfa();
+        for minimum in ["V1_sense", "V1_pos", "V2_pos", "V3_pos"] {
+            assert!(
+                automata::temporal::precedes(&nfa, minimum, "V3_show"),
+                "V3_show must depend on {minimum}"
+            );
+        }
+        assert!(!automata::temporal::precedes(&nfa, "V3_pos", "V2_show"));
+    }
+
+    #[test]
+    fn attacker_breaks_sense_precedence() {
+        let g = reach(&forwarding_chain_apa_with(RangeConfig::default(), true).unwrap());
+        let nfa = g.to_nfa();
+        // Without the attacker this holds (previous test); with it, V3
+        // can be warned although nothing was sensed.
+        assert!(!automata::temporal::precedes(&nfa, "V1_sense", "V3_show"));
+        let trace =
+            automata::temporal::precedence_counterexample(&nfa, "V1_sense", "V3_show").unwrap();
+        assert!(trace.contains(&"ATK_inject".to_owned()), "{trace:?}");
+        assert_eq!(trace.last().map(String::as_str), Some("V3_show"));
+    }
+
+    #[test]
+    fn forged_message_propagates_through_the_forwarder() {
+        // The attacker transmits at 150 — outside V1's radio range (0),
+        // inside V2's (80). V2 dutifully forwards the forged warning,
+        // which then reaches V1: multi-hop injection. This is precisely
+        // the attack surface the authenticity requirements close.
+        let g = reach(&forwarding_chain_apa_with(RangeConfig::default(), true).unwrap());
+        let nfa = g.to_nfa();
+        assert!(!automata::temporal::precedes(&nfa, "V1_sense", "V2_show"));
+        // Without the attacker, V1 never shows anything; with it, the
+        // relayed forgery can reach V1's driver.
+        let clean = reach(&forwarding_chain_apa().unwrap());
+        assert!(!clean.maxima().contains(&"V1_show".to_owned()));
+        assert!(g.maxima().contains(&"V1_show".to_owned()));
+        assert!(nfa.accepts([
+            "ATK_inject",
+            "V2_pos",
+            "V2_rec",
+            "V2_fwd",
+            "V1_pos",
+            "V1_rec",
+            "V1_show"
+        ]));
+    }
+
+    #[test]
+    fn wider_radio_makes_direct_reception_possible() {
+        let ranges = RangeConfig {
+            radio: Range(1_000),
+            ..RangeConfig::default()
+        };
+        let g = reach(&forwarding_chain_apa_with(ranges, false).unwrap());
+        let nfa = g.to_nfa();
+        assert!(nfa.accepts(["V1_sense", "V1_pos", "V1_send", "V3_pos", "V3_rec"]));
+    }
+}

@@ -1,0 +1,215 @@
+//! Random V2V traffic scenario generation.
+//!
+//! The paper's models are hand-sized; real deployments involve hundreds
+//! of vehicles. This generator produces seeded random SoS instances —
+//! vehicles scattered along a road, a configurable fraction sensing a
+//! danger, message flows between radio neighbours — so the scaling
+//! benches can chart elicitation cost on realistic topologies.
+//!
+//! Loop-freedom is guaranteed by orienting message flows from lower to
+//! higher vehicle index (a total order consistent with "messages travel
+//! onward"), matching the paper's assumption that every action is a
+//! progress in time.
+
+use crate::actions;
+use crate::position::{Position, Range};
+use fsa_core::instance::{SosInstance, SosInstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Number of vehicles.
+    pub vehicles: usize,
+    /// Length of the road (positions drawn uniformly from `0..length`).
+    pub road_length: i64,
+    /// Radio range for message flows.
+    pub range: Range,
+    /// Fraction of vehicles that sense a danger (warners), in `[0, 1]`.
+    pub warner_fraction: f64,
+    /// Fraction of receiving vehicles that also forward, in `[0, 1]`.
+    pub forwarder_fraction: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            vehicles: 50,
+            road_length: 2_000,
+            range: Range(150),
+            warner_fraction: 0.2,
+            forwarder_fraction: 0.3,
+        }
+    }
+}
+
+/// Generates a random traffic SoS instance (deterministic per seed).
+pub fn random_traffic_instance(config: &TrafficConfig, seed: u64) -> SosInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SosInstanceBuilder::new(&format!(
+        "random traffic: {} vehicles, seed {seed}",
+        config.vehicles
+    ));
+
+    struct Vehicle {
+        position: Position,
+        warner: bool,
+        forwarder: bool,
+        send_or_fwd: Option<fsa_graph::NodeId>,
+        rec: Option<fsa_graph::NodeId>,
+    }
+
+    // Place vehicles and create their on-board actions.
+    let mut fleet: Vec<Vehicle> = Vec::with_capacity(config.vehicles);
+    for i in 0..config.vehicles {
+        let tag = (i + 1).to_string();
+        let driver = actions::driver(&tag);
+        let owner = format!("V{tag}");
+        let position = Position(rng.gen_range(0..config.road_length.max(1)));
+        let warner = rng.gen_bool(config.warner_fraction.clamp(0.0, 1.0));
+        let forwarder = !warner && rng.gen_bool(config.forwarder_fraction.clamp(0.0, 1.0));
+
+        let pos = b.action_owned(actions::pos(&tag), &driver, &owner);
+        if warner {
+            let sense = b.action_owned(actions::sense(&tag), &driver, &owner);
+            let send = b.action_owned(actions::send(&tag), &driver, &owner);
+            b.flow(sense, send);
+            b.flow(pos, send);
+            fleet.push(Vehicle {
+                position,
+                warner,
+                forwarder,
+                send_or_fwd: Some(send),
+                rec: None,
+            });
+        } else {
+            let rec = b.action_owned(actions::rec(&tag), &driver, &owner);
+            let show = b.action_owned(actions::show(&tag), &driver, &owner);
+            b.flow(rec, show);
+            b.flow(pos, show);
+            let send_or_fwd = if forwarder {
+                let fwd = b.action_owned(actions::fwd(&tag), &driver, &owner);
+                b.flow(rec, fwd);
+                b.policy_flow(pos, fwd);
+                Some(fwd)
+            } else {
+                None
+            };
+            fleet.push(Vehicle {
+                position,
+                warner,
+                forwarder,
+                send_or_fwd,
+                rec: Some(rec),
+            });
+        }
+    }
+
+    // Message flows: emitter i → receiver j for radio neighbours, j > i
+    // (orientation guarantees loop freedom).
+    for i in 0..fleet.len() {
+        let Some(out) = fleet[i].send_or_fwd else {
+            continue;
+        };
+        if !(fleet[i].warner || fleet[i].forwarder) {
+            continue;
+        }
+        for j in (i + 1)..fleet.len() {
+            let Some(rec) = fleet[j].rec else {
+                continue;
+            };
+            if config.range.within(fleet[i].position, fleet[j].position) {
+                b.flow(out, rec);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_core::manual::elicit;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = TrafficConfig {
+            vehicles: 20,
+            ..Default::default()
+        };
+        let a = random_traffic_instance(&config, 9);
+        let b = random_traffic_instance(&config, 9);
+        assert_eq!(a.action_count(), b.action_count());
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        let c = random_traffic_instance(&config, 10);
+        // Different seed very likely differs in structure.
+        assert!(
+            a.graph().edge_count() != c.graph().edge_count()
+                || a.action_count() != c.action_count()
+        );
+    }
+
+    #[test]
+    fn generated_instances_are_loop_free_and_elicitable() {
+        for seed in 0..10 {
+            let inst = random_traffic_instance(&TrafficConfig::default(), seed);
+            assert!(fsa_graph::topo::is_acyclic(inst.graph()), "seed {seed}");
+            let report = elicit(&inst).expect("loop-free");
+            // Every requirement's consequent is a sink.
+            let sinks = inst.graph().sinks();
+            for r in report.requirements() {
+                let y = inst.find(&r.consequent).unwrap();
+                assert!(sinks.contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn vehicle_count_scales_actions() {
+        let small = random_traffic_instance(
+            &TrafficConfig {
+                vehicles: 10,
+                ..Default::default()
+            },
+            1,
+        );
+        let big = random_traffic_instance(
+            &TrafficConfig {
+                vehicles: 100,
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(big.action_count() > small.action_count() * 5);
+    }
+
+    #[test]
+    fn zero_vehicles_is_empty() {
+        let inst = random_traffic_instance(
+            &TrafficConfig {
+                vehicles: 0,
+                ..Default::default()
+            },
+            1,
+        );
+        assert_eq!(inst.action_count(), 0);
+    }
+
+    #[test]
+    fn all_warners_no_receivers() {
+        let inst = random_traffic_instance(
+            &TrafficConfig {
+                vehicles: 8,
+                warner_fraction: 1.0,
+                ..Default::default()
+            },
+            4,
+        );
+        // Only sense/pos/send actions; no message flows (no receivers).
+        assert_eq!(inst.action_count(), 8 * 3);
+        let report = elicit(&inst).unwrap();
+        // Each warner contributes 2 requirements (sense→send, pos→send).
+        assert_eq!(report.requirements().len(), 16);
+    }
+}

@@ -1,0 +1,195 @@
+//! The SoS instances of Figs. 2, 3 and 4, and the parameterised
+//! forwarding chain of §4.4.
+//!
+//! Each instance contains exactly the actions exercised by the combined
+//! use cases (the paper draws unused component actions dotted and drops
+//! them from the analysis).
+
+use crate::actions;
+use fsa_core::instance::{SosInstance, SosInstanceBuilder};
+
+/// Fig. 2: vehicle `w` receives a warning from the RSU (use cases
+/// 1 + 3).
+///
+/// Analysis yields the two requirements of Example 2.
+pub fn rsu_warns_vehicle() -> SosInstance {
+    let mut b = SosInstanceBuilder::new("fig2: Vw receives warning from RSU");
+    let rsu_send = b.action_owned(actions::rsu_send(), "RSU_operator", "RSU");
+    let rec = b.action_owned(actions::rec("w"), &actions::driver("w"), "Vw");
+    let pos = b.action_owned(actions::pos("w"), &actions::driver("w"), "Vw");
+    let show = b.action_owned(actions::show("w"), &actions::driver("w"), "Vw");
+    b.flow(rsu_send, rec);
+    b.flow(rec, show);
+    b.flow(pos, show);
+    b.build()
+}
+
+/// Fig. 3: vehicle `w` receives a warning from vehicle 1 (use cases
+/// 2 + 3) — the instance of Example 3.
+pub fn two_vehicle_warning() -> SosInstance {
+    let mut b = SosInstanceBuilder::new("fig3: Vw receives warning from V1");
+    let d1 = actions::driver("1");
+    let dw = actions::driver("w");
+    let sense1 = b.action_owned(actions::sense("1"), &d1, "V1");
+    let pos1 = b.action_owned(actions::pos("1"), &d1, "V1");
+    let send1 = b.action_owned(actions::send("1"), &d1, "V1");
+    let recw = b.action_owned(actions::rec("w"), &dw, "Vw");
+    let posw = b.action_owned(actions::pos("w"), &dw, "Vw");
+    let show = b.action_owned(actions::show("w"), &dw, "Vw");
+    b.flow(sense1, send1);
+    b.flow(pos1, send1);
+    b.flow(send1, recw);
+    b.flow(recw, show);
+    b.flow(posw, show);
+    b.build()
+}
+
+/// Fig. 4: vehicle 2 forwards vehicle 1's warning to vehicle `w`
+/// (use cases 2 + 3 + 4).
+///
+/// The flow `pos(GPS_2) → fwd(CU_2)` is a policy flow, so requirement
+/// (4) classifies as availability.
+pub fn three_vehicle_forwarding() -> SosInstance {
+    forwarding_chain(1)
+}
+
+/// The parameterised family of §4.4: `forwarders` vehicles between the
+/// warning vehicle `V1` and the receiving vehicle `Vw` forward the
+/// message. `forwarding_chain(0)` equals [`two_vehicle_warning`] up to
+/// the instance name; each additional forwarder `V_k` contributes the
+/// element `(pos(GPS_k, pos), show(HMI_w, warn))` to `χ`.
+pub fn forwarding_chain(forwarders: usize) -> SosInstance {
+    let mut b = SosInstanceBuilder::new(&format!(
+        "fig4: {forwarders} vehicle(s) forward V1's warning to Vw"
+    ));
+    let d1 = actions::driver("1");
+    let dw = actions::driver("w");
+    let sense1 = b.action_owned(actions::sense("1"), &d1, "V1");
+    let pos1 = b.action_owned(actions::pos("1"), &d1, "V1");
+    let send1 = b.action_owned(actions::send("1"), &d1, "V1");
+    b.flow(sense1, send1);
+    b.flow(pos1, send1);
+
+    // Chain of forwarders V2 … V_{forwarders+1}.
+    let mut upstream = send1;
+    for k in 0..forwarders {
+        let tag = (k + 2).to_string();
+        let d = actions::driver(&tag);
+        let owner = format!("V{tag}");
+        let rec = b.action_owned(actions::rec(&tag), &d, &owner);
+        let pos = b.action_owned(actions::pos(&tag), &d, &owner);
+        let fwd = b.action_owned(actions::fwd(&tag), &d, &owner);
+        b.flow(upstream, rec);
+        b.flow(rec, fwd);
+        b.policy_flow(pos, fwd); // position-based forwarding policy
+        upstream = fwd;
+    }
+
+    let recw = b.action_owned(actions::rec("w"), &dw, "Vw");
+    let posw = b.action_owned(actions::pos("w"), &dw, "Vw");
+    let show = b.action_owned(actions::show("w"), &dw, "Vw");
+    b.flow(upstream, recw);
+    b.flow(recw, show);
+    b.flow(posw, show);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_core::manual::elicit;
+    use fsa_core::requirements::Relevance;
+
+    #[test]
+    fn fig2_requirements_of_example2() {
+        let report = elicit(&rsu_warns_vehicle()).unwrap();
+        let reqs: Vec<String> = report.requirements().iter().map(ToString::to_string).collect();
+        assert_eq!(
+            reqs,
+            vec![
+                "auth(send(cam(pos)), show(HMI_w,warn), D_w)",
+                "auth(pos(GPS_w,pos), show(HMI_w,warn), D_w)",
+            ]
+        );
+    }
+
+    #[test]
+    fn fig3_requirements_of_example3() {
+        let report = elicit(&two_vehicle_warning()).unwrap();
+        assert_eq!(report.closure_size(), 16);
+        let reqs: Vec<String> = report.requirements().iter().map(ToString::to_string).collect();
+        assert_eq!(
+            reqs,
+            vec![
+                "auth(sense(ESP_1,sW), show(HMI_w,warn), D_w)",
+                "auth(pos(GPS_1,pos), show(HMI_w,warn), D_w)",
+                "auth(pos(GPS_w,pos), show(HMI_w,warn), D_w)",
+            ]
+        );
+    }
+
+    #[test]
+    fn fig4_chi2_adds_forwarder_position() {
+        let chi1 = elicit(&two_vehicle_warning()).unwrap().requirement_set();
+        let chi2 = elicit(&three_vehicle_forwarding()).unwrap().requirement_set();
+        let diff = chi2.difference(&chi1);
+        assert_eq!(diff.len(), 1);
+        assert_eq!(
+            diff.iter().next().unwrap().to_string(),
+            "auth(pos(GPS_2,pos), show(HMI_w,warn), D_w)"
+        );
+    }
+
+    #[test]
+    fn fig4_requirement4_is_availability() {
+        let report = elicit(&three_vehicle_forwarding()).unwrap();
+        let classified = report.classified_requirements();
+        assert_eq!(classified.len(), 4);
+        for c in classified {
+            let expected = if c.requirement.antecedent == actions::pos("2") {
+                Relevance::Availability
+            } else {
+                Relevance::Safety
+            };
+            assert_eq!(c.relevance, expected, "{}", c.requirement);
+        }
+    }
+
+    #[test]
+    fn chain_growth_law() {
+        // |χ_i| = 3 + number of forwarders (§4.4's recurrence).
+        for k in 0..6 {
+            let report = elicit(&forwarding_chain(k)).unwrap();
+            assert_eq!(report.requirements().len(), 3 + k, "forwarders = {k}");
+            // exactly k availability requirements
+            let avail = report
+                .classified_requirements()
+                .iter()
+                .filter(|c| c.relevance == Relevance::Availability)
+                .count();
+            assert_eq!(avail, k);
+        }
+    }
+
+    #[test]
+    fn chain_zero_matches_fig3_shape() {
+        let a = forwarding_chain(0);
+        let b = two_vehicle_warning();
+        assert!(fsa_graph::iso::are_isomorphic(
+            &a.shape_graph(),
+            &b.shape_graph()
+        ));
+    }
+
+    #[test]
+    fn all_instances_are_loop_free() {
+        for inst in [
+            rsu_warns_vehicle(),
+            two_vehicle_warning(),
+            three_vehicle_forwarding(),
+            forwarding_chain(5),
+        ] {
+            assert!(fsa_graph::topo::is_acyclic(inst.graph()), "{}", inst.name());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The vehicular communication example system (§3 of the paper).
+//!
+//! Vehicles `V_1 … V_n` — each with a driver `D_i`, an ESP sensor, a GPS
+//! sensor, a communication unit (CU) and an HMI — plus roadside units
+//! (RSU) exchange cooperative awareness messages (`cam`) about dangers
+//! such as icy roads. This crate provides, ready for analysis:
+//!
+//! * [`actions`] — the action inventory of Table 1,
+//! * [`position`] — positions, distances and communication ranges,
+//! * [`component_models`] — the functional component models of Fig. 1,
+//! * [`instances`] — the SoS instances of Figs. 2, 3 and 4 (plus the
+//!   parameterised forwarding chain of §4.4),
+//! * [`apa_model`] / [`semantics`] — the APA models of Figs. 5, 6 and 8
+//!   with configurable consumption semantics,
+//! * [`evita`] — a synthetic on-board model at the scale of the EVITA
+//!   statistics quoted at the end of §4.4,
+//! * [`table1`] — the rendered action table.
+//!
+//! # Examples
+//!
+//! Reproduce the requirement set of the paper's Example 3:
+//!
+//! ```
+//! use vanet::instances;
+//! use fsa_core::manual::elicit;
+//!
+//! let report = elicit(&instances::two_vehicle_warning())?;
+//! assert_eq!(report.requirements().len(), 3);
+//! # Ok::<(), fsa_core::FsaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod apa_model;
+pub mod component_models;
+pub mod evita;
+pub mod exploration;
+pub mod forwarding;
+pub mod generator;
+pub mod instances;
+pub mod position;
+pub mod semantics;
+pub mod table1;

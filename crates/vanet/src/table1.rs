@@ -1,0 +1,105 @@
+//! Table 1 of the paper, generated from the action inventory.
+
+use crate::actions;
+use fsa_core::action::Action;
+use std::fmt::Write as _;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// The action term (with the generic index `i`).
+    pub action: Action,
+    /// The explanation column.
+    pub explanation: &'static str,
+}
+
+/// The rows of Table 1, in the paper's order.
+pub fn rows() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            action: actions::rsu_send(),
+            explanation: "A roadside unit broadcasts a cooperative awareness message cam \
+                          concerning a danger at position pos.",
+        },
+        Table1Row {
+            action: actions::sense("i"),
+            explanation: "The ESP sensor of vehicle V_i senses slippery wheels (sW).",
+        },
+        Table1Row {
+            action: actions::pos("i"),
+            explanation: "The GPS sensor of vehicle V_i computes its position.",
+        },
+        Table1Row {
+            action: actions::send("i"),
+            explanation: "The communication unit CU_i of vehicle V_i sends a cooperative \
+                          awareness message cam concerning the assumed danger based on the \
+                          slippery wheels measurement for position pos.",
+        },
+        Table1Row {
+            action: actions::rec("i"),
+            explanation: "The communication unit CU_i of vehicle V_i receives a cooperative \
+                          awareness message cam for position pos from another vehicle or a \
+                          roadside unit.",
+        },
+        Table1Row {
+            action: actions::fwd("i"),
+            explanation: "The communication unit CU_i of vehicle V_i forwards a cooperative \
+                          awareness message cam for position pos.",
+        },
+        Table1Row {
+            action: actions::show("i"),
+            explanation: "The human machine interface HMI_i of vehicle V_i shows its driver a \
+                          warning warn with respect to the relative position.",
+        },
+    ]
+}
+
+/// Renders Table 1 as aligned text.
+pub fn render() -> String {
+    let rows = rows();
+    let width = rows
+        .iter()
+        .map(|r| r.action.to_string().len())
+        .max()
+        .unwrap_or(0);
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 1. Actions for the example system");
+    let _ = writeln!(s, "{:<width$}  Explanation", "Action");
+    for r in rows {
+        let _ = writeln!(s, "{:<width$}  {}", r.action.to_string(), r.explanation);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_rows_matching_paper() {
+        let rows = rows();
+        assert_eq!(rows.len(), 7);
+        let terms: Vec<String> = rows.iter().map(|r| r.action.to_string()).collect();
+        assert_eq!(
+            terms,
+            vec![
+                "send(cam(pos))",
+                "sense(ESP_i,sW)",
+                "pos(GPS_i,pos)",
+                "send(CU_i,cam(pos))",
+                "rec(CU_i,cam(pos))",
+                "fwd(CU_i,cam(pos))",
+                "show(HMI_i,warn)",
+            ]
+        );
+    }
+
+    #[test]
+    fn render_contains_all_actions() {
+        let text = render();
+        for r in rows() {
+            assert!(text.contains(&r.action.to_string()));
+        }
+        assert!(text.starts_with("Table 1."));
+    }
+}

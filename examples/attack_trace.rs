@@ -1,0 +1,62 @@
+//! Closing the loop: elicit authenticity requirements, then *verify*
+//! them against an attacked behaviour and extract concrete attack
+//! traces — the runs the requirements are there to exclude.
+//!
+//! Run with `cargo run --example attack_trace`.
+
+use fsa::apa::ReachOptions;
+use fsa::core::assisted::{elicit_from_graph, DependenceMethod};
+use fsa::core::verify::{verify_requirements, Checker};
+use fsa::vanet::apa_model::stakeholder_of;
+use fsa::vanet::forwarding::{forwarding_chain_apa, forwarding_chain_apa_with, RangeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Elicit requirements from the honest forwarding chain
+    //    V1 (warner) → V2 (forwarder) → V3 (receiver).
+    let honest = forwarding_chain_apa()?.reachability(&ReachOptions::default())?;
+    println!(
+        "honest behaviour: {} states, minima {:?}, maxima {:?}",
+        honest.state_count(),
+        honest.minima(),
+        honest.maxima()
+    );
+    let report = elicit_from_graph(&honest, DependenceMethod::Precedence, stakeholder_of);
+    println!("\nelicited requirements:");
+    for r in &report.requirements {
+        println!("  {r}");
+    }
+
+    // 2. The honest behaviour satisfies every elicited requirement.
+    let honest_nfa = honest.to_nfa();
+    for checker in [Checker::Precedence, Checker::Monitor] {
+        assert!(fsa::core::verify::all_hold(
+            &honest_nfa,
+            &report.requirements,
+            checker
+        ));
+    }
+    println!("\nall requirements hold on the honest behaviour (both checkers)");
+
+    // 3. Add an attacker that forges a cam message near V3 and verify
+    //    again: the requirements that protect the drivers are violated,
+    //    and the checker returns the shortest attack trace.
+    let attacked = forwarding_chain_apa_with(RangeConfig::default(), true)?
+        .reachability(&ReachOptions::default())?;
+    println!(
+        "\nattacked behaviour: {} states (attacker: ATK_inject)",
+        attacked.state_count()
+    );
+    let verdicts = verify_requirements(&attacked.to_nfa(), &report.requirements, Checker::Precedence);
+    let mut violated = 0;
+    for v in &verdicts {
+        println!("  {v}");
+        if !v.holds() {
+            violated += 1;
+            let trace = v.violation.as_ref().expect("violated");
+            assert!(trace.iter().any(|step| step == "ATK_inject"));
+        }
+    }
+    println!("\n{violated}/{} requirements violated by the forged-message attacker", verdicts.len());
+    assert!(violated > 0);
+    Ok(())
+}

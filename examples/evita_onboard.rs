@@ -1,0 +1,56 @@
+//! Elicitation at EVITA scale: the synthetic on-board architecture that
+//! reproduces the statistics quoted at the end of §4.4 (38 component
+//! boundary actions, 16 system boundary actions = 9 maximal + 7 minimal,
+//! 29 authenticity requirements).
+//!
+//! Run with `cargo run --example evita_onboard`.
+
+use fsa::core::boundary::boundary_stats;
+use fsa::core::manual::elicit;
+use fsa::core::report::render_manual;
+use fsa::core::requirements::Relevance;
+use fsa::vanet::evita::{onboard_instance, EVITA_EXPECTED};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instance = onboard_instance();
+    let report = elicit(&instance)?;
+    print!("{}", render_manual(&report));
+
+    let stats = boundary_stats(&instance);
+    println!("\npaper-reported vs measured:");
+    println!(
+        "  component boundary actions: {} vs {}",
+        EVITA_EXPECTED.component_boundary,
+        stats.component_boundary_count()
+    );
+    println!(
+        "  system boundary actions:    {} vs {}",
+        EVITA_EXPECTED.system_boundary,
+        stats.system_boundary_count()
+    );
+    println!(
+        "  maximal elements:           {} vs {}",
+        EVITA_EXPECTED.maximal,
+        report.maxima().len()
+    );
+    println!(
+        "  minimal elements:           {} vs {}",
+        EVITA_EXPECTED.minimal,
+        report.minima().len()
+    );
+    println!(
+        "  authenticity requirements:  {} vs {}",
+        EVITA_EXPECTED.requirements,
+        report.requirements().len()
+    );
+
+    let availability = report
+        .classified_requirements()
+        .iter()
+        .filter(|c| c.relevance == Relevance::Availability)
+        .count();
+    println!("  availability-only requirements: {availability} (the forwarding policy)");
+
+    assert_eq!(report.requirements().len(), EVITA_EXPECTED.requirements);
+    Ok(())
+}

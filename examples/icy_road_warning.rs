@@ -1,0 +1,64 @@
+//! The full §4 walkthrough: RSU warning, two-vehicle warning, multi-hop
+//! forwarding, first-order parameterisation and the safety evaluation of
+//! requirement (4).
+//!
+//! Run with `cargo run --example icy_road_warning`.
+
+use fsa::core::manual::elicit;
+use fsa::core::param::parameterise_over;
+use fsa::core::report::{render_manual, render_parameterised};
+use fsa::core::requirements::Relevance;
+use fsa::vanet::instances;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Fig. 2: a roadside unit warns vehicle w (use cases 1 + 3). ---
+    let fig2 = instances::rsu_warns_vehicle();
+    println!("{}", render_manual(&elicit(&fig2)?));
+
+    // --- Fig. 3: vehicle 1 warns vehicle w (use cases 2 + 3). ---------
+    let fig3 = elicit(&instances::two_vehicle_warning())?;
+    println!("{}", render_manual(&fig3));
+
+    // --- Fig. 4: growing forwarding chains (use case 4). --------------
+    // χ_i = χ_{i-1} ∪ {(pos(GPS_i, pos), show(HMI_w, warn))}
+    let mut previous = fig3.requirement_set();
+    for forwarders in 1..=4 {
+        let report = elicit(&instances::forwarding_chain(forwarders))?;
+        let current = report.requirement_set();
+        let delta = current.difference(&previous);
+        println!(
+            "chi_{forwarders} adds {} requirement(s): {}",
+            delta.len(),
+            delta
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        previous = current;
+
+        // §4.4: the forwarder-position requirements are availability,
+        // not safety — breaking them "cannot cause the warning of a
+        // driver that should not be warned".
+        for c in report.classified_requirements() {
+            if c.relevance == Relevance::Availability {
+                println!("  availability only: {}", c.requirement);
+            }
+        }
+
+        if forwarders == 4 {
+            // First-order parameterisation over the forwarder set
+            // V_forward = {2, 3, 4, 5} (the paper's requirement (4)).
+            println!("\n{}", render_parameterised(&report, 2));
+            let forms =
+                parameterise_over(&report.requirement_set(), 2, Some(&["2", "3", "4", "5"]));
+            for form in &forms {
+                println!("  {form}");
+            }
+            assert!(forms
+                .iter()
+                .any(|f| f.to_string().starts_with("forall x in {2,3,4,5}")));
+        }
+    }
+    Ok(())
+}

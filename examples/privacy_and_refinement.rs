@@ -1,0 +1,68 @@
+//! The §6 outlook, implemented: confidentiality requirements derived
+//! "in a similar way", hop refinement of the elicited end-to-end
+//! requirements, and self-similarity verification of the parameterised
+//! forwarding family.
+//!
+//! Run with `cargo run --example privacy_and_refinement`.
+
+use fsa::core::action::Action;
+use fsa::core::confidential::{elicit_confidentiality, ConfidentialityPolicy, Level};
+use fsa::core::family::verify_recurrence;
+use fsa::core::manual::{elicit, explain};
+use fsa::core::refine::refine;
+use fsa::vanet::instances::{forwarding_chain, two_vehicle_warning};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instance = two_vehicle_warning();
+
+    // --- Hop refinement (§6: "requirements have to be refined"). ------
+    let report = elicit(&instance)?;
+    println!("hop refinement of the Fig. 3 requirements:");
+    for req in report.requirements() {
+        let refinement = refine(&instance, &req)?;
+        println!("  {req}");
+        if refinement.is_decomposed() {
+            for hop in &refinement.hops {
+                println!("    -> {hop}");
+            }
+        } else {
+            println!("    (atomic: no unavoidable intermediate)");
+        }
+        if let Some(chain) = explain(&instance, &req) {
+            let rendered: Vec<String> = chain.iter().map(ToString::to_string).collect();
+            println!("    via {}", rendered.join(" -> "));
+        }
+    }
+
+    // --- Confidentiality (§6 future work). -----------------------------
+    // V2V position broadcasts are privacy-sensitive (the paper defers to
+    // Schaub et al. [26]); classify V1's GPS and see where it flows.
+    println!("\nconfidentiality analysis (GPS restricted, display public):");
+    let policy = ConfidentialityPolicy::new()
+        .classify(Action::parse("pos(GPS_1,pos)"), Level::RESTRICTED)
+        .classify(Action::parse("sense(ESP_1,sW)"), Level::PUBLIC)
+        .clear(Action::parse("show(HMI_w,warn)"), Level::PUBLIC);
+    for req in elicit_confidentiality(&instance, &policy) {
+        println!("  {req}");
+    }
+
+    // --- Family verification (§6: parameterised replication). ----------
+    println!("\nself-similarity of the forwarding family (χ recurrence):");
+    let family = verify_recurrence(forwarding_chain, |step| (step + 1).to_string(), 6)?;
+    println!(
+        "  explored {} family members: self-similar = {}",
+        family.explored, family.self_similar
+    );
+    println!("  stable core ({} requirements):", family.base.len());
+    for r in &family.base {
+        println!("    {r}");
+    }
+    for template in &family.templates {
+        println!(
+            "  per-step template: forall x in {{{}}}: {template}",
+            family.domain.join(",")
+        );
+    }
+    assert!(family.self_similar);
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Quickstart: elicit authenticity requirements for the paper's
+//! two-vehicle scenario (Fig. 3 / Example 3).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use fsa::core::manual::elicit;
+use fsa::core::report::render_manual;
+use fsa::vanet::instances;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Vehicle 1 senses an icy road (use case 2) and warns vehicle w,
+    // which shows the warning to its driver (use case 3).
+    let instance = instances::two_vehicle_warning();
+    println!("{instance}");
+
+    // The manual method of §4: ζ → ζ* → minima/maxima → χ → auth(…).
+    let report = elicit(&instance)?;
+    print!("{}", render_manual(&report));
+
+    // The three requirements of the paper's Example 3:
+    assert_eq!(report.requirements().len(), 3);
+    for requirement in report.requirements() {
+        println!("elicited: {requirement}");
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! The §5 walkthrough: APA models, reachability graphs, minima/maxima
+//! read-off, and homomorphism-based dependence analysis (Figs. 5–11).
+//!
+//! Run with `cargo run --example tool_assisted`.
+
+use fsa::apa::ReachOptions;
+use fsa::automata::{ops, Homomorphism};
+use fsa::core::assisted::{dependence_by_abstraction, elicit_from_graph, DependenceMethod};
+use fsa::core::report::render_assisted;
+use fsa::vanet::apa_model::{four_vehicle_apa, stakeholder_of, two_vehicle_apa};
+use fsa::vanet::semantics::ApaSemantics;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = ReachOptions::default();
+
+    // --- Fig. 6/7: the two-vehicle instance. --------------------------
+    let apa2 = two_vehicle_apa(ApaSemantics::PAPER)?;
+    let graph2 = apa2.reachability(&options)?;
+    println!("== two-vehicle instance (Figs. 6, 7) ==");
+    print!("{}", graph2.min_max_listing());
+    let report2 = elicit_from_graph(&graph2, DependenceMethod::Abstraction, stakeholder_of);
+    print!("{}", render_assisted(&report2));
+
+    // Example 6's requirement set.
+    let reqs: Vec<String> = report2.requirements.iter().map(ToString::to_string).collect();
+    assert_eq!(
+        reqs,
+        vec![
+            "auth(V1_pos, V2_show, D_2)",
+            "auth(V1_sense, V2_show, D_2)",
+            "auth(V2_pos, V2_show, D_2)",
+        ]
+    );
+
+    // --- Fig. 8/9: four vehicles, two independent pairs. ---------------
+    let apa4 = four_vehicle_apa(ApaSemantics::PAPER)?;
+    let graph4 = apa4.reachability(&options)?;
+    println!("\n== four-vehicle instance (Figs. 8, 9) ==");
+    println!(
+        "reachability graph: {} states ({}^2 = product of independent pairs)",
+        graph4.state_count(),
+        graph2.state_count()
+    );
+    assert_eq!(graph4.state_count(), graph2.state_count().pow(2));
+
+    // --- Figs. 10/11: abstraction onto one (max, min) pair. ------------
+    let behaviour = graph4.to_nfa();
+    let (dep, chain) = dependence_by_abstraction(&behaviour, "V1_sense", "V2_show");
+    println!(
+        "abstraction to (V1_sense, V2_show): {} ({} states — the chain of Fig. 10)",
+        if dep { "dependent" } else { "independent" },
+        chain.state_count()
+    );
+    let (dep, diamond) = dependence_by_abstraction(&behaviour, "V1_sense", "V4_show");
+    println!(
+        "abstraction to (V1_sense, V4_show): {} ({} states — the diamond of Fig. 11)",
+        if dep { "dependent" } else { "independent" },
+        diamond.state_count()
+    );
+
+    // The DOT of the minimal automata, for the figure analogues.
+    let h = Homomorphism::erase_all_except(["V1_sense", "V2_show"]);
+    let minimal = ops::minimize(&ops::determinize(&h.apply(&behaviour)));
+    println!("\nminimal automaton (Fig. 10 analogue): {} states, {} transitions",
+        minimal.state_count(), minimal.transition_count());
+
+    // --- Example 7: the full requirement set for four vehicles. --------
+    let report4 = elicit_from_graph(&graph4, DependenceMethod::Abstraction, stakeholder_of);
+    print!("\n{}", render_assisted(&report4));
+    assert_eq!(report4.requirements.len(), 6);
+    Ok(())
+}

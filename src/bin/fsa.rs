@@ -1,0 +1,191 @@
+//! `fsa` — command-line functional security analysis.
+//!
+//! ```text
+//! fsa elicit <spec-file> [--param] [--refine] [--dot] [--verify-dataflow]
+//! fsa check <spec-file>
+//! ```
+//!
+//! * `elicit` — parse the specification, run the manual pipeline on
+//!   every instance and print the §4-style report. Flags:
+//!   `--param` adds the first-order (parameterised) requirement forms,
+//!   `--refine` adds the hop decomposition of every requirement,
+//!   `--dot` prints the functional flow graph as Graphviz DOT,
+//!   `--verify-dataflow` additionally derives the dataflow APA, runs
+//!   the tool-assisted pipeline and cross-checks the requirement sets.
+//! * `check` — parse and validate only (exit code 1 on errors).
+
+use fsa::core::dataflow::dataflow_apa;
+use fsa::core::manual::{elicit, explain};
+use fsa::core::param::parameterise;
+use fsa::core::refine::refine;
+use fsa::core::report::render_manual;
+use fsa::graph::dot::{to_dot, DotOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => return usage(),
+    };
+    let mut files = Vec::new();
+    let mut flags = std::collections::BTreeSet::new();
+    for a in rest {
+        if let Some(flag) = a.strip_prefix("--") {
+            flags.insert(flag.to_owned());
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let known = ["param", "refine", "dot", "verify-dataflow", "markdown", "prioritise"];
+    for f in &flags {
+        if !known.contains(&f.as_str()) {
+            eprintln!("unknown flag --{f}");
+            return usage();
+        }
+    }
+    let [file] = files.as_slice() else {
+        eprintln!("expected exactly one spec file");
+        return usage();
+    };
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let instances = match fsa::speclang::parse(&source) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        "check" => {
+            println!(
+                "{file}: OK ({} instance(s), {} action(s) total)",
+                instances.len(),
+                instances.iter().map(|i| i.action_count()).sum::<usize>()
+            );
+            ExitCode::SUCCESS
+        }
+        "elicit" => {
+            for instance in &instances {
+                let report = match elicit(instance) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("{}: {e}", instance.name());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if flags.contains("markdown") {
+                    print!("{}", fsa::core::report::render_markdown(&report));
+                } else {
+                    print!("{}", render_manual(&report));
+                }
+                if flags.contains("prioritise") {
+                    match fsa::core::prioritise::prioritise(instance, &report) {
+                        Ok(ranked) => {
+                            println!("prioritised requirements:");
+                            for item in ranked {
+                                println!("  {item}");
+                            }
+                        }
+                        Err(e) => eprintln!("prioritisation failed: {e}"),
+                    }
+                }
+                if flags.contains("param") {
+                    println!("parameterised requirements:");
+                    for form in parameterise(&report.requirement_set(), 2) {
+                        println!("  {form}");
+                    }
+                }
+                if flags.contains("refine") {
+                    println!("hop refinements:");
+                    for req in report.requirements() {
+                        match refine(instance, &req) {
+                            Ok(r) if r.is_decomposed() => {
+                                println!("  {req}");
+                                for hop in &r.hops {
+                                    println!("    -> {hop}");
+                                }
+                            }
+                            Ok(_) => println!("  {req}  (atomic)"),
+                            Err(e) => println!("  {req}  (refinement failed: {e})"),
+                        }
+                    }
+                    // Dependency-chain explanations.
+                    println!("dependency chains:");
+                    for req in report.requirements() {
+                        if let Some(chain) = explain(instance, &req) {
+                            let rendered: Vec<String> =
+                                chain.iter().map(ToString::to_string).collect();
+                            println!("  {}", rendered.join(" -> "));
+                        }
+                    }
+                }
+                if flags.contains("dot") {
+                    print!(
+                        "{}",
+                        to_dot(instance.graph(), &DotOptions::default(), |_, a| a.to_string())
+                    );
+                }
+                if flags.contains("verify-dataflow") {
+                    match cross_check(instance, &report) {
+                        Ok(()) => println!("tool-assisted cross-check: requirement sets match"),
+                        Err(e) => {
+                            eprintln!("tool-assisted cross-check FAILED: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}
+
+/// Derives the dataflow APA, runs the §5 pipeline and compares.
+fn cross_check(
+    instance: &fsa::core::SosInstance,
+    report: &fsa::core::manual::ElicitationReport,
+) -> Result<(), String> {
+    let apa = dataflow_apa(instance).map_err(|e| e.to_string())?;
+    let graph = apa
+        .reachability(&fsa::apa::ReachOptions::default())
+        .map_err(|e| e.to_string())?;
+    let assisted = fsa::core::assisted::elicit_from_graph(
+        &graph,
+        fsa::core::assisted::DependenceMethod::Precedence,
+        |name| {
+            let action = fsa::core::Action::parse(name);
+            instance
+                .find(&action)
+                .map(|n| instance.stakeholder(n).clone())
+                .unwrap_or_else(|| fsa::core::Agent::new("env"))
+        },
+    );
+    if assisted.requirements == report.requirement_set() {
+        Ok(())
+    } else {
+        Err(format!(
+            "manual elicited {} requirement(s), tool-assisted {}",
+            report.requirement_set().len(),
+            assisted.requirements.len()
+        ))
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow]\n  fsa check <spec-file>"
+    );
+    ExitCode::from(2)
+}

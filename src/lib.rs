@@ -1,0 +1,39 @@
+//! # fsa — Functional Security Analysis
+//!
+//! Facade crate for the reproduction of Fuchs & Rieke,
+//! *"Identification of Security Requirements in Systems of Systems by
+//! Functional Security Analysis"* (DSN 2009 / WADS).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`graph`] — digraphs, transitive closure, partial orders ([`fsa_graph`])
+//! * [`automata`] — finite automata, homomorphisms, minimisation
+//! * [`apa`] — Asynchronous Product Automata and reachability analysis
+//! * [`speclang`] — the model specification language
+//! * [`core`] — the elicitation method itself (manual + tool-assisted)
+//! * [`vanet`] — the vehicular-communication example system
+//!
+//! # Quickstart
+//!
+//! Elicit the authenticity requirements of the paper's two-vehicle
+//! scenario (Fig. 3 / Example 3):
+//!
+//! ```
+//! use fsa::vanet::instances;
+//! use fsa::core::manual::elicit;
+//!
+//! let instance = instances::two_vehicle_warning();
+//! let report = elicit(&instance)?;
+//! assert_eq!(report.requirements().len(), 3);
+//! # Ok::<(), fsa::core::FsaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use apa;
+pub use automata;
+pub use baselines;
+pub use fsa_core as core;
+pub use fsa_graph as graph;
+pub use speclang;
+pub use vanet;

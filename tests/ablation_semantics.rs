@@ -1,0 +1,152 @@
+//! Ablation: the four consumption-semantics variants of the vehicle APA
+//! model (DESIGN.md §2.3). State counts differ; every qualitative result
+//! of the analysis is invariant.
+
+use fsa::apa::ReachOptions;
+use fsa::core::assisted::{elicit_from_graph, DependenceMethod};
+use fsa::vanet::apa_model::{n_pair_apa, stakeholder_of, two_vehicle_apa};
+use fsa::vanet::semantics::{ApaSemantics, Consumption};
+
+#[test]
+fn state_counts_per_variant() {
+    // Documented counts for the two-vehicle instance.
+    let count = |s: ApaSemantics| {
+        two_vehicle_apa(s)
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap()
+            .state_count()
+    };
+    let paper = count(ApaSemantics::PAPER);
+    assert_eq!(paper, 12, "printed Δ-relations give 12 states");
+    // Retaining data can only grow the state space.
+    for semantics in ApaSemantics::ALL {
+        assert!(count(semantics) >= paper, "{}", semantics.tag());
+    }
+}
+
+#[test]
+fn requirements_invariant_across_variants() {
+    // Where a dead state exists the maxima-based pipeline applies; in
+    // all variants the *dependence* structure (precedence) is unchanged.
+    let expected = vec![
+        "auth(V1_pos, V2_show, D_2)",
+        "auth(V1_sense, V2_show, D_2)",
+        "auth(V2_pos, V2_show, D_2)",
+    ];
+    for semantics in ApaSemantics::ALL {
+        let graph = two_vehicle_apa(semantics)
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap();
+        let behaviour = graph.to_nfa();
+        // Dependence of V2_show on every minimum, independent of variant.
+        for minimum in ["V1_sense", "V1_pos", "V2_pos"] {
+            assert!(
+                fsa::automata::temporal::precedes(&behaviour, minimum, "V2_show"),
+                "{}: {minimum} must precede V2_show",
+                semantics.tag()
+            );
+        }
+        // The full pipeline where the dead-state read-off applies.
+        if !graph.dead_states().is_empty() {
+            let report =
+                elicit_from_graph(&graph, DependenceMethod::Precedence, stakeholder_of);
+            let reqs: Vec<String> =
+                report.requirements.iter().map(ToString::to_string).collect();
+            assert_eq!(reqs, expected, "{}", semantics.tag());
+        }
+    }
+}
+
+#[test]
+fn retain_retain_has_no_dead_state() {
+    // With both message and GPS retained, show/rec can repeat forever:
+    // the behaviour cycles, so the SH-style dead-state read-off does not
+    // apply (and the paper's loop-freedom assumption is violated).
+    let semantics = ApaSemantics {
+        message: Consumption::Retain,
+        gps: Consumption::Retain,
+    };
+    let graph = two_vehicle_apa(semantics)
+        .unwrap()
+        .reachability(&ReachOptions::default())
+        .unwrap();
+    assert!(graph.dead_states().is_empty());
+}
+
+#[test]
+fn squaring_law_holds_for_all_dead_state_variants() {
+    for semantics in ApaSemantics::ALL {
+        let g1 = two_vehicle_apa(semantics)
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap();
+        let g2 = n_pair_apa(2, semantics)
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap();
+        assert_eq!(
+            g2.state_count(),
+            g1.state_count().pow(2),
+            "independent pairs multiply state spaces ({})",
+            semantics.tag()
+        );
+    }
+}
+
+#[test]
+fn four_vehicle_behaviour_is_shuffle_of_pair_behaviours() {
+    // The formal content of Fig. 9's product observation:
+    // L(pair₁ ∥ pair₂) = shuffle(L(pair₁), L(pair₂)) for the two
+    // radio-disjoint pairs (vehicle names renamed apart).
+    use fsa::automata::shuffle::shuffle_product;
+    use fsa::automata::{language_equivalent, ops, Homomorphism};
+
+    let pair1 = two_vehicle_apa(ApaSemantics::PAPER)
+        .unwrap()
+        .reachability(&ReachOptions::default())
+        .unwrap()
+        .to_nfa();
+    // Pair 2 is the same component renamed V1/V2 ↦ V3/V4.
+    let rename = Homomorphism::renaming([
+        ("V1_sense", "V3_sense"),
+        ("V1_pos", "V3_pos"),
+        ("V1_send", "V3_send"),
+        ("V1_rec", "V3_rec"),
+        ("V1_show", "V3_show"),
+        ("V2_sense", "V4_sense"),
+        ("V2_pos", "V4_pos"),
+        ("V2_send", "V4_send"),
+        ("V2_rec", "V4_rec"),
+        ("V2_show", "V4_show"),
+    ]);
+    let pair2 = rename.apply(&pair1);
+    let shuffled = shuffle_product(&pair1, &pair2);
+
+    let four = n_pair_apa(2, ApaSemantics::PAPER)
+        .unwrap()
+        .reachability(&ReachOptions::default())
+        .unwrap()
+        .to_nfa();
+    assert!(language_equivalent(
+        &ops::determinize(&shuffled),
+        &ops::determinize(&four)
+    ));
+}
+
+#[test]
+fn state_growth_is_geometric_in_pairs() {
+    let base = two_vehicle_apa(ApaSemantics::PAPER)
+        .unwrap()
+        .reachability(&ReachOptions::default())
+        .unwrap()
+        .state_count();
+    for pairs in 1..=3 {
+        let g = n_pair_apa(pairs, ApaSemantics::PAPER)
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap();
+        assert_eq!(g.state_count(), base.pow(pairs as u32));
+    }
+}

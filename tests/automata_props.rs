@@ -1,0 +1,214 @@
+//! Property tests for the automata substrate: determinization,
+//! Hopcroft minimisation, language equivalence, homomorphisms and the
+//! simple-homomorphism check.
+
+use fsa::automata::{language_equivalent, monitor, ops, setops, simple, temporal, Homomorphism, Nfa};
+use proptest::prelude::*;
+
+/// A random NFA over a small alphabet, states all accepting (behaviour
+/// automata, like reachability graphs) or mixed.
+fn arb_nfa(all_accepting: bool) -> impl Strategy<Value = Nfa> {
+    (2usize..7, any::<u64>()).prop_map(move |(n, seed)| {
+        let mut b = Nfa::builder();
+        let symbols: Vec<_> = ["a", "b", "c"].iter().map(|s| b.symbol(s)).collect();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let states: Vec<_> = (0..n)
+            .map(|_| b.state(all_accepting || next() % 2 == 0))
+            .collect();
+        b.initial(states[0]);
+        let edges = n * 2;
+        for _ in 0..edges {
+            let from = states[(next() as usize) % n];
+            let to = states[(next() as usize) % n];
+            let sym = symbols[(next() as usize) % symbols.len()];
+            b.edge(from, Some(sym), to);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn determinize_preserves_membership(nfa in arb_nfa(false)) {
+        let dfa = ops::determinize(&nfa);
+        for w in nfa.words_up_to(4) {
+            prop_assert!(dfa.accepts(w.iter().map(String::as_str)), "missing {:?}", w);
+        }
+        // And the converse on short words over the alphabet.
+        for w in all_words(3) {
+            prop_assert_eq!(
+                nfa.accepts(w.iter().copied()),
+                dfa.accepts(w.iter().copied()),
+                "word {:?}", w
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_language(nfa in arb_nfa(false)) {
+        let dfa = ops::determinize(&nfa);
+        let minimal = ops::minimize(&dfa);
+        prop_assert!(language_equivalent(&dfa, &minimal));
+    }
+
+    #[test]
+    fn minimize_is_idempotent_and_canonical(nfa in arb_nfa(false)) {
+        let m1 = ops::minimize(&ops::determinize(&nfa));
+        let m2 = ops::minimize(&m1);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert!(m1.state_count() <= ops::determinize(&nfa).state_count() + 1);
+    }
+
+    #[test]
+    fn minimal_dfa_is_smallest_among_equivalents(nfa in arb_nfa(false)) {
+        // No equivalent DFA we can derive (the determinized one) is
+        // smaller than the minimal one.
+        let dfa = ops::determinize(&nfa);
+        let minimal = ops::minimize(&dfa);
+        // Count only live, reachable states of `dfa` for a fair bound.
+        let trimmed = ops::minimize(&dfa); // minimal = trimmed by construction
+        prop_assert!(minimal.state_count() <= dfa.canonical().state_count().max(1));
+        prop_assert_eq!(minimal.state_count(), trimmed.state_count());
+    }
+
+    #[test]
+    fn homomorphic_image_contains_mapped_words(nfa in arb_nfa(true)) {
+        let h = Homomorphism::erase_all_except(["a", "c"]);
+        let image = h.apply(&nfa);
+        for w in nfa.words_up_to(4) {
+            let hw = h.map_word(w.iter().map(String::as_str));
+            prop_assert!(
+                image.accepts(hw.iter().map(String::as_str)),
+                "h({:?}) = {:?} missing", w, hw
+            );
+        }
+    }
+
+    #[test]
+    fn image_words_have_concrete_preimages(nfa in arb_nfa(true)) {
+        // Soundness of the abstraction: every short word of h(L) is the
+        // image of some word of L.
+        let h = Homomorphism::erase_all_except(["a", "b"]);
+        let image = h.apply(&nfa);
+        let concrete_images: Vec<Vec<String>> = nfa
+            .words_up_to(6)
+            .into_iter()
+            .map(|w| h.map_word(w.iter().map(String::as_str)))
+            .collect();
+        for w in image.words_up_to(2) {
+            prop_assert!(
+                concrete_images.iter().any(|ci| ci == &w),
+                "abstract word {:?} has no preimage (short-word check)", w
+            );
+        }
+    }
+
+    #[test]
+    fn simplicity_check_never_panics_and_identity_simple(nfa in arb_nfa(true)) {
+        prop_assert!(simple::check(&nfa, &Homomorphism::identity()).is_simple());
+        // Any erase homomorphism yields a verdict without panicking.
+        let _ = simple::check(&nfa, &Homomorphism::erase_all_except(["a"]));
+    }
+
+    #[test]
+    fn language_equivalence_is_reflexive_and_detects_change(nfa in arb_nfa(false)) {
+        let dfa = ops::determinize(&nfa);
+        prop_assert!(language_equivalent(&dfa, &dfa));
+    }
+
+    #[test]
+    fn monitor_inclusion_agrees_with_precedence(nfa in arb_nfa(true)) {
+        // Three equivalent decision procedures for "a precedes b".
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "a")] {
+            let m = monitor::precedence_monitor(["a", "b", "c"], a, b);
+            let by_monitor = monitor::satisfies(&nfa, &m);
+            let by_temporal = temporal::precedes(&nfa, a, b);
+            prop_assert_eq!(by_monitor, by_temporal, "pair ({}, {})", a, b);
+            // And via setops subset on the determinized behaviour.
+            let dfa = ops::determinize(&nfa);
+            prop_assert_eq!(setops::is_subset(&dfa, &m), by_temporal);
+        }
+    }
+
+    #[test]
+    fn precedence_counterexamples_are_real_runs(nfa in arb_nfa(true)) {
+        for (a, b) in [("a", "b"), ("b", "a"), ("a", "c")] {
+            if let Some(trace) = temporal::precedence_counterexample(&nfa, a, b) {
+                prop_assert!(nfa.accepts(trace.iter().map(String::as_str)), "{:?}", trace);
+                prop_assert_eq!(trace.last().map(String::as_str), Some(b));
+                prop_assert!(!trace[..trace.len() - 1].contains(&a.to_owned()));
+            } else {
+                prop_assert!(temporal::precedes(&nfa, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn setops_algebra(n1 in arb_nfa(false), n2 in arb_nfa(false)) {
+        let a = ops::determinize(&n1);
+        let b = ops::determinize(&n2);
+        let universe = ["a", "b", "c"];
+        // difference = intersection with complement
+        let d1 = setops::difference(&a, &b);
+        let d2 = setops::intersection(&a, &setops::complement(&b, universe));
+        prop_assert!(language_equivalent(&d1, &d2));
+        // De Morgan on sampled words.
+        let lhs = setops::complement(&setops::union(&a, &b), universe);
+        let rhs = setops::intersection(
+            &setops::complement(&a, universe),
+            &setops::complement(&b, universe),
+        );
+        prop_assert!(language_equivalent(&lhs, &rhs));
+        // union is commutative; intersection subset of both.
+        prop_assert!(language_equivalent(&setops::union(&a, &b), &setops::union(&b, &a)));
+        let i = setops::intersection(&a, &b);
+        prop_assert!(setops::is_subset(&i, &a));
+        prop_assert!(setops::is_subset(&i, &b));
+    }
+
+    #[test]
+    fn shortest_member_is_shortest(nfa in arb_nfa(false)) {
+        let dfa = ops::determinize(&nfa);
+        match setops::shortest_member(&dfa) {
+            None => {
+                // Language empty: no word up to a generous bound.
+                prop_assert!(nfa.words_up_to(6).is_empty());
+            }
+            Some(w) => {
+                prop_assert!(dfa.accepts(w.iter().map(String::as_str)));
+                // No strictly shorter accepted word exists.
+                for shorter in nfa.words_up_to(w.len().saturating_sub(1)) {
+                    prop_assert!(shorter.len() >= w.len(), "{:?} shorter than {:?}", shorter, w);
+                }
+            }
+        }
+    }
+}
+
+/// All words over {a, b, c} up to `len`.
+fn all_words(len: usize) -> Vec<Vec<&'static str>> {
+    let alphabet = ["a", "b", "c"];
+    let mut out: Vec<Vec<&'static str>> = vec![Vec::new()];
+    let mut layer: Vec<Vec<&'static str>> = vec![Vec::new()];
+    for _ in 0..len {
+        let mut next = Vec::new();
+        for w in &layer {
+            for s in alphabet {
+                let mut w2 = w.clone();
+                w2.push(s);
+                next.push(w2);
+            }
+        }
+        out.extend(next.iter().cloned());
+        layer = next;
+    }
+    out
+}

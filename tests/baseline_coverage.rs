@@ -1,0 +1,67 @@
+//! The §2 baseline comparison as assertions: architect-archetype
+//! baselines cover the FSA requirements only under the assumption that
+//! component internals are trustworthy.
+
+use fsa::baselines::channel::channel_baseline;
+use fsa::baselines::trust_zone::trust_zone_baseline;
+use fsa::baselines::{coverage, TrustAssumption};
+use fsa::core::manual::elicit;
+use fsa::vanet::{evita, instances};
+
+#[test]
+fn fig3_baselines_full_then_zero_coverage() {
+    let inst = instances::two_vehicle_warning();
+    let reference = elicit(&inst).unwrap().requirement_set();
+    for baseline in [channel_baseline(&inst), trust_zone_baseline(&inst)] {
+        let trusted = coverage(&inst, &baseline, &reference, &TrustAssumption::AllOwners);
+        assert_eq!(trusted.ratio(), 1.0, "{}", baseline.name);
+        let attacked = coverage(&inst, &baseline, &reference, &TrustAssumption::Nothing);
+        assert_eq!(attacked.ratio(), 0.0, "{}", baseline.name);
+    }
+}
+
+#[test]
+fn evita_baselines_leave_attack_vectors_open() {
+    let inst = evita::onboard_instance();
+    let reference = elicit(&inst).unwrap().requirement_set();
+    for baseline in [channel_baseline(&inst), trust_zone_baseline(&inst)] {
+        let trusted = coverage(&inst, &baseline, &reference, &TrustAssumption::AllOwners);
+        assert_eq!(trusted.ratio(), 1.0, "{}", baseline.name);
+        let attacked = coverage(&inst, &baseline, &reference, &TrustAssumption::Nothing);
+        assert!(
+            attacked.ratio() < 1.0,
+            "{} must miss something under in-vehicle attackers",
+            baseline.name
+        );
+        assert!(!attacked.missed.is_empty());
+    }
+}
+
+#[test]
+fn trust_zone_derives_more_requirements_but_not_more_coverage() {
+    // §2: "Very different types of security requirements are the
+    // outcome" — the trust-zone baseline emits more than twice as many
+    // requirements as FSA on the EVITA model, yet still misses FSA
+    // requirements under the in-vehicle threat model.
+    let inst = evita::onboard_instance();
+    let reference = elicit(&inst).unwrap().requirement_set();
+    let baseline = trust_zone_baseline(&inst);
+    assert!(baseline.requirements.len() > reference.len());
+    let attacked = coverage(&inst, &baseline, &reference, &TrustAssumption::Nothing);
+    assert!(!attacked.missed.is_empty());
+}
+
+#[test]
+fn partial_trust_gives_partial_coverage() {
+    // Trusting only the receiving vehicle's units covers its own-input
+    // requirements but not the sender-side ones.
+    let inst = instances::two_vehicle_warning();
+    let reference = elicit(&inst).unwrap().requirement_set();
+    let baseline = channel_baseline(&inst);
+    let trust = TrustAssumption::Owners(["Vw".to_owned()].into_iter().collect());
+    let cov = coverage(&inst, &baseline, &reference, &trust);
+    // auth(pos_w, show): internal to trusted Vw → covered.
+    // auth(sense_1/pos_1, show): need V1 internals → missed.
+    assert_eq!(cov.covered.len(), 1);
+    assert_eq!(cov.missed.len(), 2);
+}

@@ -1,0 +1,77 @@
+//! Integration tests for the `fsa` command-line tool, exercising the
+//! shipped `specs/*.fsa` files through the real binary.
+
+use std::process::Command;
+
+fn fsa(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fsa"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn check_accepts_shipped_specs() {
+    for spec in ["specs/fig3.fsa", "specs/fig4.fsa"] {
+        let out = fsa(&["check", spec]);
+        assert!(out.status.success(), "{spec}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("OK"), "{stdout}");
+    }
+}
+
+#[test]
+fn elicit_fig4_reports_requirement_4_as_availability() {
+    let out = fsa(&["elicit", "specs/fig4.fsa"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("auth(pos(GPS_2,pos), show(HMI_w,warn), D_w)   [availability]"));
+    assert!(stdout.contains("auth(sense(ESP_1,sW), show(HMI_w,warn), D_w)   [safety]"));
+}
+
+#[test]
+fn elicit_with_cross_check_passes() {
+    let out = fsa(&["elicit", "specs/fig4.fsa", "--verify-dataflow"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("requirement sets match"));
+}
+
+#[test]
+fn elicit_markdown_emits_table() {
+    let out = fsa(&["elicit", "specs/fig4.fsa", "--markdown"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("| # | antecedent |"));
+}
+
+#[test]
+fn bad_file_fails_with_message() {
+    let out = fsa(&["check", "specs/does-not-exist.fsa"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn syntax_error_reports_position() {
+    let dir = std::env::temp_dir().join("fsa-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.fsa");
+    std::fs::write(&bad, "instance \"x\" { action a = ; }").unwrap();
+    let out = fsa(&["check", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1:"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_and_usage() {
+    let out = fsa(&["elicit", "specs/fig3.fsa", "--bogus"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"));
+    assert!(stderr.contains("usage"));
+    let out = fsa(&[]);
+    assert!(!out.status.success());
+}

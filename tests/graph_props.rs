@@ -1,0 +1,209 @@
+//! Property tests for the graph substrate: closure algorithms, partial
+//! orders and isomorphism.
+
+use fsa::graph::closure::{closure_dag, closure_warshall, reflexive_transitive_closure};
+use fsa::graph::iso::are_isomorphic;
+use fsa::graph::order::PartialOrder;
+use fsa::graph::topo::{is_acyclic, topological_sort};
+use fsa::graph::DiGraph;
+use proptest::prelude::*;
+
+/// A random digraph (possibly cyclic) over `n` nodes.
+fn arb_graph() -> impl Strategy<Value = DiGraph<usize>> {
+    (1usize..10, any::<u64>(), 0u64..60).prop_map(|(n, seed, density)| {
+        let mut g = DiGraph::new();
+        let nodes: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && next() % 100 < density {
+                    g.add_edge(nodes[i], nodes[j]);
+                }
+            }
+        }
+        g
+    })
+}
+
+/// A random DAG (edges forward only).
+fn arb_dag() -> impl Strategy<Value = DiGraph<usize>> {
+    arb_graph().prop_map(|g| {
+        let mut dag = DiGraph::new();
+        for (_, p) in g.nodes() {
+            dag.add_node(*p);
+        }
+        for (a, b) in g.edges() {
+            if a < b {
+                dag.add_edge(a, b);
+            }
+        }
+        dag
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dag_closure_equals_warshall(g in arb_graph()) {
+        prop_assert_eq!(closure_dag(&g), closure_warshall(&g));
+    }
+
+    #[test]
+    fn closure_is_transitive_and_monotone(g in arb_graph()) {
+        let r = reflexive_transitive_closure(&g);
+        prop_assert!(r.is_reflexive());
+        prop_assert!(r.is_transitive());
+        for (a, b) in g.edges() {
+            prop_assert!(r.contains(a, b), "closure must contain every edge");
+        }
+    }
+
+    #[test]
+    fn dag_closure_is_partial_order(g in arb_dag()) {
+        let r = reflexive_transitive_closure(&g);
+        let order = PartialOrder::try_new(r).expect("DAG closure is a partial order");
+        // Minimal/maximal elements are exactly sources/sinks.
+        prop_assert_eq!(order.minimal_elements(), g.sources());
+        prop_assert_eq!(order.maximal_elements(), g.sinks());
+    }
+
+    #[test]
+    fn chi_is_subset_of_min_times_max(g in arb_dag()) {
+        let order = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        let minima = order.minimal_elements();
+        let maxima = order.maximal_elements();
+        for (x, y) in order.min_max_restriction() {
+            prop_assert!(minima.contains(&x));
+            prop_assert!(maxima.contains(&y));
+            prop_assert!(order.le(x, y));
+            prop_assert!(x != y);
+        }
+    }
+
+    #[test]
+    fn topological_order_respects_edges(g in arb_dag()) {
+        let order = topological_sort(&g).expect("DAG");
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        for (a, b) in g.edges() {
+            prop_assert!(pos[&a] < pos[&b]);
+        }
+    }
+
+    #[test]
+    fn cycle_detection_agrees_with_scc(g in arb_graph()) {
+        let scc = fsa::graph::scc::tarjan_scc(&g);
+        prop_assert_eq!(is_acyclic(&g), scc.is_acyclic(&g));
+    }
+
+    #[test]
+    fn isomorphism_invariant_under_relabelling(g in arb_dag()) {
+        // Re-insert the nodes in reverse order: isomorphic by construction.
+        let n = g.node_count();
+        let mut h = DiGraph::new();
+        let nodes: Vec<_> = (0..n).rev().map(|i| h.add_node(*g.payload(fsa::graph::NodeId::new(i)))).collect();
+        // node i of g corresponds to nodes[n-1-i] of h
+        for (a, b) in g.edges() {
+            h.add_edge(nodes[n - 1 - a.index()], nodes[n - 1 - b.index()]);
+        }
+        prop_assert!(are_isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn isomorphism_detects_edge_count_difference(g in arb_dag()) {
+        if g.node_count() >= 2 && g.edge_count() > 0 {
+            // Drop one edge: never isomorphic (labels are distinct ints,
+            // so any mapping is the identity).
+            let mut h = DiGraph::new();
+            for (_, p) in g.nodes() {
+                h.add_node(*p);
+            }
+            let edges: Vec<_> = g.edges().collect();
+            for &(a, b) in edges.iter().skip(1) {
+                h.add_edge(a, b);
+            }
+            prop_assert!(!are_isomorphic(&g, &h));
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_minimal(g in arb_dag()) {
+        use fsa::graph::path::{all_simple_paths, shortest_path};
+        let nodes: Vec<_> = g.node_ids().collect();
+        for &a in nodes.iter().take(3) {
+            for &b in nodes.iter().rev().take(3) {
+                let sp = shortest_path(&g, a, b);
+                let all = all_simple_paths(&g, a, b, 200);
+                match sp {
+                    None => prop_assert!(all.is_empty()),
+                    Some(p) => {
+                        prop_assert!(!all.is_empty());
+                        let min_len = all.iter().map(Vec::len).min().unwrap();
+                        prop_assert_eq!(p.len(), min_len);
+                        // The path is a real path.
+                        for w in p.windows(2) {
+                            prop_assert!(g.has_edge(w[0], w[1]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unavoidable_nodes_lie_on_every_path(g in arb_dag()) {
+        use fsa::graph::path::{all_simple_paths, unavoidable_intermediates};
+        let nodes: Vec<_> = g.node_ids().collect();
+        for &a in nodes.iter().take(2) {
+            for &b in nodes.iter().rev().take(2) {
+                if a == b {
+                    continue;
+                }
+                let mids = unavoidable_intermediates(&g, a, b);
+                let all = all_simple_paths(&g, a, b, 500);
+                for m in &mids {
+                    prop_assert!(
+                        all.iter().all(|p| p.contains(m)),
+                        "unavoidable {:?} missing from some path", m
+                    );
+                }
+                // Conversely: interior nodes on *all* paths are listed.
+                if !all.is_empty() {
+                    for &candidate in nodes.iter() {
+                        if candidate == a || candidate == b {
+                            continue;
+                        }
+                        let on_all = all.iter().all(|p| p.contains(&candidate));
+                        prop_assert_eq!(
+                            mids.contains(&candidate),
+                            on_all,
+                            "candidate {:?}", candidate
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hasse_covers_generate_same_order(g in arb_dag()) {
+        // The closure of the covering relation equals the original order.
+        let order = PartialOrder::try_new(reflexive_transitive_closure(&g)).unwrap();
+        let mut hasse = DiGraph::new();
+        for (_, p) in g.nodes() {
+            hasse.add_node(*p);
+        }
+        for (a, b) in order.covers() {
+            hasse.add_edge(a, b);
+        }
+        let rebuilt = reflexive_transitive_closure(&hasse);
+        prop_assert_eq!(rebuilt, order.relation().clone());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property: the manual pipeline (§4) and the tool-assisted pipeline
+//! (§5) elicit the same requirements, on randomly generated loop-free
+//! functional models — and the two dependence decision procedures
+//! (homomorphic abstraction vs. direct precedence check) agree on every
+//! (max, min) pair.
+
+use fsa::apa::ReachOptions;
+use fsa::core::action::Action;
+use fsa::core::assisted::{
+    dependence_by_abstraction, dependence_by_precedence, elicit_from_graph, DependenceMethod,
+};
+use fsa::core::dataflow::dataflow_apa;
+use fsa::core::instance::{SosInstance, SosInstanceBuilder};
+use fsa::core::manual::elicit;
+use proptest::prelude::*;
+
+/// A random DAG over `n` actions: edges only from lower to higher index.
+fn arb_instance() -> impl Strategy<Value = SosInstance> {
+    (2usize..8, any::<u64>()).prop_map(|(n, seed)| {
+        let mut b = SosInstanceBuilder::new("random");
+        let nodes: Vec<_> = (0..n)
+            .map(|i| b.action(Action::parse(&format!("act(U_{i})")), &format!("P_{i}")))
+            .collect();
+        // Deterministic pseudo-random edge selection from the seed.
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() % 100 < 35 {
+                    b.flow(nodes[i], nodes[j]);
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn manual_equals_tool_assisted(inst in arb_instance()) {
+        let manual = elicit(&inst).expect("random DAGs are loop-free").requirement_set();
+        let apa = dataflow_apa(&inst).expect("unique action names");
+        let graph = apa.reachability(&ReachOptions::default()).expect("small graphs");
+        let assisted = elicit_from_graph(&graph, DependenceMethod::Precedence, |name| {
+            let node = inst.find(&Action::parse(name)).expect("known action");
+            inst.stakeholder(node).clone()
+        });
+        prop_assert_eq!(assisted.requirements, manual);
+    }
+
+    #[test]
+    fn abstraction_agrees_with_precedence(inst in arb_instance()) {
+        let apa = dataflow_apa(&inst).expect("unique action names");
+        let graph = apa.reachability(&ReachOptions::default()).expect("small graphs");
+        let behaviour = graph.to_nfa();
+        for maximum in graph.maxima() {
+            for minimum in graph.minima() {
+                if minimum == maximum {
+                    continue;
+                }
+                let (by_abs, _) = dependence_by_abstraction(&behaviour, &minimum, &maximum);
+                let by_prec = dependence_by_precedence(&behaviour, &minimum, &maximum);
+                prop_assert_eq!(by_abs, by_prec, "pair ({}, {})", minimum, maximum);
+            }
+        }
+    }
+
+    #[test]
+    fn requirements_are_min_max_pairs_with_paths(inst in arb_instance()) {
+        // Completeness + soundness of χ against a reachability oracle.
+        let report = elicit(&inst).expect("loop-free");
+        let g = inst.graph();
+        let closure = fsa::graph::closure::reflexive_transitive_closure(g);
+        let sources = g.sources();
+        let sinks = g.sinks();
+        for r in &report.requirement_set() {
+            let a = inst.find(&r.antecedent).unwrap();
+            let b = inst.find(&r.consequent).unwrap();
+            prop_assert!(sources.contains(&a), "antecedent must be minimal");
+            prop_assert!(sinks.contains(&b), "consequent must be maximal");
+            prop_assert!(closure.contains(a, b), "must be functionally dependent");
+        }
+        // Completeness: every (source, sink) pair with a path appears.
+        for &a in &sources {
+            for &b in &sinks {
+                if a != b && closure.contains(a, b) {
+                    let found = report.requirement_set().iter().any(|r| {
+                        inst.find(&r.antecedent) == Some(a) && inst.find(&r.consequent) == Some(b)
+                    });
+                    prop_assert!(found, "missing requirement for dependent pair");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elicited_requirements_hold_on_own_behaviour(inst in arb_instance()) {
+        // Soundness: every requirement elicited from an instance holds
+        // (as a precedence property) on the instance's own operational
+        // behaviour — and so do all its refinement hops.
+        use fsa::core::refine::refine;
+        use fsa::core::verify::{verify_one, Checker};
+        let report = elicit(&inst).expect("loop-free");
+        let apa = dataflow_apa(&inst).expect("unique action names");
+        let behaviour = apa
+            .reachability(&ReachOptions::default())
+            .expect("small graphs")
+            .to_nfa();
+        for req in report.requirements() {
+            let verdict = verify_one(&behaviour, &req, Checker::Precedence);
+            prop_assert!(verdict.holds(), "{} violated: {:?}", req, verdict.violation);
+            for hop in refine(&inst, &req).expect("known actions").hops {
+                let verdict = verify_one(&behaviour, &hop, Checker::Precedence);
+                prop_assert!(verdict.holds(), "hop {} violated", hop);
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_reachability_counts_order_ideals(inst in arb_instance()) {
+        // The reachable states of the one-shot dataflow APA are exactly
+        // the order ideals (downward-closed "already fired" sets) of the
+        // dependency order — an independent combinatorial count.
+        use fsa::graph::closure::reflexive_transitive_closure;
+        use fsa::graph::PartialOrder;
+        let n = inst.action_count();
+        let apa = dataflow_apa(&inst).expect("unique action names");
+        let graph = apa.reachability(&ReachOptions::default()).expect("bounded");
+        prop_assert!(graph.state_count() <= 1 << n);
+        prop_assert_eq!(graph.dead_states().len(), 1);
+        let order = PartialOrder::try_new(reflexive_transitive_closure(inst.graph()))
+            .expect("loop-free");
+        prop_assert_eq!(graph.state_count(), order.ideals_count());
+    }
+}

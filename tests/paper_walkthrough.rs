@@ -1,0 +1,235 @@
+//! End-to-end reproduction of every numbered artefact in the paper:
+//! Table 1, Figs. 1–11, Examples 1–7, requirements (1)–(4) and the
+//! EVITA statistics of §4.4.
+
+use fsa::apa::ReachOptions;
+use fsa::core::assisted::{dependence_by_abstraction, elicit_from_graph, DependenceMethod};
+use fsa::core::boundary::boundary_stats;
+use fsa::core::manual::elicit;
+use fsa::core::param::parameterise_over;
+use fsa::core::requirements::Relevance;
+use fsa::vanet::apa_model::{
+    four_vehicle_apa, single_vehicle_apa, stakeholder_of, two_vehicle_apa,
+};
+use fsa::vanet::semantics::ApaSemantics;
+use fsa::vanet::{component_models, evita, instances, table1};
+
+#[test]
+fn table1_has_the_seven_actions() {
+    let rows = table1::rows();
+    assert_eq!(rows.len(), 7);
+    assert!(table1::render().contains("sense(ESP_i,sW)"));
+}
+
+#[test]
+fn fig1_component_models() {
+    let (rsu, _) = component_models::rsu_model();
+    assert_eq!(rsu.actions().len(), 1);
+    let (vehicle, handles) = component_models::vehicle_model();
+    assert_eq!(vehicle.actions().len(), 6);
+    assert!(handles.fwd.is_some());
+    let (reduced, _) = component_models::vehicle_model_reduced();
+    assert_eq!(reduced.actions().len(), 5);
+}
+
+#[test]
+fn fig2_examples_1_and_2() {
+    // Example 1: show(HMI_w, warn) depends on pos(GPS_w, pos) and
+    // send(cam(pos)); Example 2: the two auth requirements.
+    let report = elicit(&instances::rsu_warns_vehicle()).unwrap();
+    assert_eq!(report.maxima().len(), 1);
+    let reqs: Vec<String> = report.requirements().iter().map(ToString::to_string).collect();
+    assert_eq!(
+        reqs,
+        vec![
+            "auth(send(cam(pos)), show(HMI_w,warn), D_w)",
+            "auth(pos(GPS_w,pos), show(HMI_w,warn), D_w)",
+        ]
+    );
+}
+
+#[test]
+fn fig3_example_3_zeta_and_chi() {
+    let report = elicit(&instances::two_vehicle_warning()).unwrap();
+    // ζ₁ has 5 pairs; ζ₁* = 5 + 6 reflexive + 5 derived = 16.
+    assert_eq!(report.zeta().len(), 5);
+    assert_eq!(report.closure_size(), 16);
+    // χ₁: requirements (1)–(3).
+    let reqs: Vec<String> = report.requirements().iter().map(ToString::to_string).collect();
+    assert_eq!(
+        reqs,
+        vec![
+            "auth(sense(ESP_1,sW), show(HMI_w,warn), D_w)",
+            "auth(pos(GPS_1,pos), show(HMI_w,warn), D_w)",
+            "auth(pos(GPS_w,pos), show(HMI_w,warn), D_w)",
+        ]
+    );
+}
+
+#[test]
+fn fig4_chi_recurrence_and_requirement_4() {
+    // χ₂ = χ₁ ∪ {(pos(GPS_2, pos), show(HMI_w, warn))}.
+    let chi1 = elicit(&instances::two_vehicle_warning()).unwrap().requirement_set();
+    let report2 = elicit(&instances::three_vehicle_forwarding()).unwrap();
+    let chi2 = report2.requirement_set();
+    let delta = chi2.difference(&chi1);
+    assert_eq!(delta.len(), 1);
+    assert_eq!(
+        delta.iter().next().unwrap().to_string(),
+        "auth(pos(GPS_2,pos), show(HMI_w,warn), D_w)"
+    );
+    // χᵢ = χᵢ₋₁ ∪ {(pos(GPS_i, pos), show(HMI_w, warn))}.
+    let mut previous = chi2;
+    for forwarders in 2..=5 {
+        let current = elicit(&instances::forwarding_chain(forwarders))
+            .unwrap()
+            .requirement_set();
+        let delta = current.difference(&previous);
+        assert_eq!(delta.len(), 1, "one new requirement per forwarder");
+        let added = delta.iter().next().unwrap();
+        assert_eq!(
+            added.antecedent.to_string(),
+            format!("pos(GPS_{},pos)", forwarders + 1)
+        );
+        previous = current;
+    }
+    // Requirement (4) is availability-related, (1)-(3) safety.
+    let availability: Vec<_> = report2
+        .classified_requirements()
+        .iter()
+        .filter(|c| c.relevance == Relevance::Availability)
+        .collect();
+    assert_eq!(availability.len(), 1);
+    assert_eq!(
+        availability[0].requirement.antecedent.to_string(),
+        "pos(GPS_2,pos)"
+    );
+}
+
+#[test]
+fn fig4_parameterised_over_v_forward() {
+    let report = elicit(&instances::forwarding_chain(3)).unwrap();
+    let forms = parameterise_over(&report.requirement_set(), 2, Some(&["2", "3", "4"]));
+    let rendered: Vec<String> = forms.iter().map(ToString::to_string).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "forall x in {2,3,4}: auth(pos(GPS_x,pos), show(HMI_w,warn), D_w)",
+            "auth(pos(GPS_1,pos), show(HMI_w,warn), D_w)",
+            "auth(pos(GPS_w,pos), show(HMI_w,warn), D_w)",
+            "auth(sense(ESP_1,sW), show(HMI_w,warn), D_w)",
+        ]
+    );
+}
+
+#[test]
+fn fig5_vehicle_apa_model() {
+    let apa = single_vehicle_apa().unwrap();
+    assert_eq!(apa.component_count(), 5, "esp, gps, bus, hmi, net");
+    assert_eq!(apa.automaton_count(), 5, "sense, pos, send, rec, show");
+}
+
+#[test]
+fn fig6_fig7_two_vehicle_reachability_and_example_6() {
+    let apa = two_vehicle_apa(ApaSemantics::PAPER).unwrap();
+    let graph = apa.reachability(&ReachOptions::default()).unwrap();
+    // Paper's tool reports 13 states; the printed Δ-relations give 12
+    // (see DESIGN.md §2.3). Shape: single dead state, same minima/maxima.
+    assert_eq!(graph.state_count(), 12);
+    assert_eq!(graph.dead_states().len(), 1);
+    assert_eq!(graph.minima(), vec!["V1_pos", "V1_sense", "V2_pos"]);
+    assert_eq!(graph.maxima(), vec!["V2_show"]);
+    // Example 6's requirement set.
+    let report = elicit_from_graph(&graph, DependenceMethod::Abstraction, stakeholder_of);
+    let reqs: Vec<String> = report.requirements.iter().map(ToString::to_string).collect();
+    assert_eq!(
+        reqs,
+        vec![
+            "auth(V1_pos, V2_show, D_2)",
+            "auth(V1_sense, V2_show, D_2)",
+            "auth(V2_pos, V2_show, D_2)",
+        ]
+    );
+}
+
+#[test]
+fn fig8_fig9_four_vehicle_squaring_law() {
+    let g2 = two_vehicle_apa(ApaSemantics::PAPER)
+        .unwrap()
+        .reachability(&ReachOptions::default())
+        .unwrap();
+    let g4 = four_vehicle_apa(ApaSemantics::PAPER)
+        .unwrap()
+        .reachability(&ReachOptions::default())
+        .unwrap();
+    // Two independent pairs ⇒ product state space (paper: 169 = 13²;
+    // printed Δ-semantics: 144 = 12²).
+    assert_eq!(g4.state_count(), g2.state_count().pow(2));
+    assert_eq!(g4.minima().len(), 6);
+    assert_eq!(g4.maxima(), vec!["V2_show", "V4_show"]);
+}
+
+#[test]
+fn fig10_fig11_minimal_automata_shapes() {
+    let graph = four_vehicle_apa(ApaSemantics::PAPER)
+        .unwrap()
+        .reachability(&ReachOptions::default())
+        .unwrap();
+    let behaviour = graph.to_nfa();
+    // Fig. 10: dependent pair → 3-state chain (ε → sense → show).
+    let (dependent, chain) = dependence_by_abstraction(&behaviour, "V1_sense", "V2_show");
+    assert!(dependent);
+    assert_eq!(chain.state_count(), 3);
+    // Fig. 11: independent pair → 4-state diamond (both orders possible).
+    let (dependent, diamond) = dependence_by_abstraction(&behaviour, "V1_sense", "V4_show");
+    assert!(!dependent);
+    assert_eq!(diamond.state_count(), 4);
+}
+
+#[test]
+fn example7_requirement_set_for_four_vehicles() {
+    let graph = four_vehicle_apa(ApaSemantics::PAPER)
+        .unwrap()
+        .reachability(&ReachOptions::default())
+        .unwrap();
+    let report = elicit_from_graph(&graph, DependenceMethod::Abstraction, stakeholder_of);
+    let reqs: Vec<String> = report.requirements.iter().map(ToString::to_string).collect();
+    assert_eq!(
+        reqs,
+        vec![
+            "auth(V1_pos, V2_show, D_2)",
+            "auth(V1_sense, V2_show, D_2)",
+            "auth(V2_pos, V2_show, D_2)",
+            "auth(V3_pos, V4_show, D_4)",
+            "auth(V3_sense, V4_show, D_4)",
+            "auth(V4_pos, V4_show, D_4)",
+        ]
+    );
+    // 12 pairs tested (6 minima × 2 maxima), 6 dependent.
+    assert_eq!(report.verdicts.len(), 12);
+    assert_eq!(report.verdicts.iter().filter(|v| v.dependent).count(), 6);
+}
+
+#[test]
+fn evita_statistics_reproduced() {
+    let inst = evita::onboard_instance();
+    let report = elicit(&inst).unwrap();
+    let stats = boundary_stats(&inst);
+    assert_eq!(stats.component_boundary_count(), 38);
+    assert_eq!(stats.system_boundary_count(), 16);
+    assert_eq!(report.maxima().len(), 9);
+    assert_eq!(report.minima().len(), 7);
+    assert_eq!(report.requirements().len(), 29);
+}
+
+#[test]
+fn isomorphic_sos_instances_neglected() {
+    // §4.2: "Isomorphic combinations can be neglected."
+    let candidates = vec![
+        instances::two_vehicle_warning(),
+        instances::forwarding_chain(0), // same shape, different name
+        instances::three_vehicle_forwarding(),
+    ];
+    let reps = fsa::core::SosInstance::dedup_isomorphic(candidates);
+    assert_eq!(reps.len(), 2);
+}

@@ -1,0 +1,88 @@
+//! Property: random SoS instances survive a round trip through the
+//! specification language (render → parse → identical structure and
+//! identical elicited requirements).
+
+use fsa::core::action::Action;
+use fsa::core::instance::{SosInstance, SosInstanceBuilder};
+use fsa::core::manual::elicit;
+use fsa::speclang;
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = SosInstance> {
+    (1usize..8, any::<u64>(), 10u64..70).prop_map(|(n, seed, density)| {
+        let mut b = SosInstanceBuilder::new("random spec");
+        let nodes: Vec<_> = (0..n)
+            .map(|i| {
+                b.action_owned(
+                    Action::parse(&format!("act(UNIT_{i},data)")),
+                    &format!("P_{}", i % 3),
+                    &format!("C_{}", i % 2),
+                )
+            })
+            .collect();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let roll = next() % 100;
+                if roll < density {
+                    if roll % 5 == 0 {
+                        b.policy_flow(nodes[i], nodes[j]);
+                    } else {
+                        b.flow(nodes[i], nodes[j]);
+                    }
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn render_parse_round_trip(inst in arb_instance()) {
+        let source = speclang::pretty::render(&inst);
+        let parsed = speclang::parse(&source).expect("rendered source parses");
+        prop_assert_eq!(parsed.len(), 1);
+        let back = &parsed[0];
+        prop_assert_eq!(back.name(), inst.name());
+        prop_assert_eq!(back.action_count(), inst.action_count());
+        prop_assert_eq!(back.graph().edge_count(), inst.graph().edge_count());
+        for (from, to) in inst.graph().edges() {
+            let pf = back.find(inst.action(from)).expect("action survives");
+            let pt = back.find(inst.action(to)).expect("action survives");
+            prop_assert_eq!(back.flow_kind(pf, pt), inst.flow_kind(from, to));
+            prop_assert_eq!(back.owner(pf), inst.owner(from));
+            prop_assert_eq!(back.stakeholder(pt), inst.stakeholder(to));
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_requirements(inst in arb_instance()) {
+        let original = elicit(&inst).expect("loop-free").requirement_set();
+        let parsed = speclang::parse(&speclang::pretty::render(&inst)).unwrap();
+        let back = elicit(&parsed[0]).expect("loop-free").requirement_set();
+        prop_assert_eq!(back, original);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(source in ".{0,200}") {
+        // Robustness: any input yields Ok or a positioned Err, never a
+        // panic.
+        let _ = speclang::parse(&source);
+    }
+
+    #[test]
+    fn parser_never_panics_on_spec_like_input(
+        source in "(instance|model|action|flow|policy|use|connect|\"x\"|\\{|\\}|->|;|=|[a-z]{1,4}| ){0,40}"
+    ) {
+        let _ = speclang::parse(&source);
+    }
+}
