@@ -44,7 +44,10 @@ impl fmt::Display for ApaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ApaError::EmptyNeighbourhood { automaton } => {
-                write!(f, "elementary automaton `{automaton}` has an empty neighbourhood")
+                write!(
+                    f,
+                    "elementary automaton `{automaton}` has an empty neighbourhood"
+                )
             }
             ApaError::DuplicateComponent { name } => {
                 write!(f, "duplicate state component `{name}`")

@@ -156,7 +156,11 @@ impl Apa {
             .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
             .collect();
         let mut s = String::new();
-        let _ = writeln!(s, "graph {} {{", if clean.is_empty() { "apa" } else { &clean });
+        let _ = writeln!(
+            s,
+            "graph {} {{",
+            if clean.is_empty() { "apa" } else { &clean }
+        );
         let _ = writeln!(s, "  layout=neato;");
         for (i, comp) in self.component_names.iter().enumerate() {
             let _ = writeln!(s, "  c{i} [shape=ellipse, label=\"{comp}\"];");

@@ -7,6 +7,7 @@
 
 use crate::error::ApaError;
 use crate::model::{Apa, GlobalState};
+use automata::{Symbol, SymbolTable};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt::Write as _;
 
@@ -26,12 +27,18 @@ impl Default for ReachOptions {
 }
 
 /// An edge label `(t, i)`: elementary automaton plus interpretation.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Both fields are interned [`Symbol`]s resolved against the owning
+/// structure's [`SymbolTable`] (a [`ReachGraph`] or a
+/// [`crate::sim::Simulator`]) — labels are `Copy` and comparing or
+/// hashing them is integer work, so the dependence-checking pipeline
+/// never clones action names per edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransitionLabel {
-    /// Name of the elementary automaton that fired.
-    pub automaton: String,
+    /// The elementary automaton that fired.
+    pub automaton: Symbol,
     /// The interpretation `i ∈ Φ_t` (rendered).
-    pub interpretation: String,
+    pub interpretation: Symbol,
 }
 
 /// The reachability graph of an APA.
@@ -43,6 +50,8 @@ pub struct ReachGraph {
     /// Outgoing edge indices per state.
     out: Vec<Vec<usize>>,
     component_names: Vec<String>,
+    /// Interner shared by every edge label of this graph.
+    symbols: SymbolTable,
 }
 
 impl Apa {
@@ -61,6 +70,10 @@ impl Apa {
         let mut edges: Vec<(usize, TransitionLabel, usize)> = Vec::new();
         let mut out: Vec<Vec<usize>> = Vec::new();
         let mut queue = VecDeque::new();
+        // Intern every automaton name up front: labelling an edge is then
+        // an index into `aut_syms` instead of a String allocation.
+        let mut symbols = SymbolTable::new();
+        let aut_syms: Vec<Symbol> = self.automaton_names().map(|n| symbols.intern(n)).collect();
 
         let q0 = self.initial_state().clone();
         index.insert(q0.clone(), 0);
@@ -88,8 +101,8 @@ impl Apa {
                     }
                 };
                 let label = TransitionLabel {
-                    automaton: self.automaton_name(aut).to_owned(),
-                    interpretation: interp,
+                    automaton: aut_syms[aut.index()],
+                    interpretation: symbols.intern(&interp),
                 };
                 out[s].push(edges.len());
                 edges.push((s, label, t));
@@ -100,6 +113,7 @@ impl Apa {
             edges,
             out,
             component_names: self.component_names.clone(),
+            symbols,
         })
     }
 }
@@ -128,6 +142,8 @@ impl Apa {
         let mut states: Vec<GlobalState> = Vec::new();
         let mut edges: Vec<(usize, TransitionLabel, usize)> = Vec::new();
         let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut symbols = SymbolTable::new();
+        let aut_syms: Vec<Symbol> = self.automaton_names().map(|n| symbols.intern(n)).collect();
 
         let q0 = self.initial_state().clone();
         index.insert(q0.clone(), 0);
@@ -193,8 +209,8 @@ impl Apa {
                         }
                     };
                     let label = TransitionLabel {
-                        automaton: self.automaton_name(aut).to_owned(),
-                        interpretation: interp,
+                        automaton: aut_syms[aut.index()],
+                        interpretation: symbols.intern(&interp),
                     };
                     out[s].push(edges.len());
                     edges.push((s, label, t));
@@ -207,6 +223,7 @@ impl Apa {
             edges,
             out,
             component_names: self.component_names.clone(),
+            symbols,
         })
     }
 }
@@ -237,16 +254,30 @@ impl ReachGraph {
         format!("M-{}", i + 1)
     }
 
+    /// The interner resolving this graph's edge-label [`Symbol`]s.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Resolves a label symbol to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this graph's table.
+    pub fn name(&self, s: Symbol) -> &str {
+        self.symbols.name(s)
+    }
+
     /// Iterates over all edges `(from, label, to)`.
-    pub fn edges(&self) -> impl Iterator<Item = (usize, &TransitionLabel, usize)> {
-        self.edges.iter().map(|(f, l, t)| (*f, l, *t))
+    pub fn edges(&self) -> impl Iterator<Item = (usize, TransitionLabel, usize)> + '_ {
+        self.edges.iter().map(|(f, l, t)| (*f, *l, *t))
     }
 
     /// Outgoing edges of state `i`.
-    pub fn outgoing(&self, i: usize) -> impl Iterator<Item = (usize, &TransitionLabel, usize)> {
+    pub fn outgoing(&self, i: usize) -> impl Iterator<Item = (usize, TransitionLabel, usize)> + '_ {
         self.out[i].iter().map(move |&e| {
-            let (f, l, t) = &self.edges[e];
-            (*f, l, *t)
+            let (f, l, t) = self.edges[e];
+            (f, l, t)
         })
     }
 
@@ -263,11 +294,19 @@ impl ReachGraph {
     /// minimum, because it does not functionally depend on any other
     /// action to have occurred before."
     pub fn minima(&self) -> Vec<String> {
-        let set: BTreeSet<String> = self
-            .outgoing(0)
-            .map(|(_, l, _)| l.automaton.clone())
-            .collect();
-        set.into_iter().collect()
+        self.minima_syms()
+            .into_iter()
+            .map(|s| self.symbols.name(s).to_owned())
+            .collect()
+    }
+
+    /// The minima as interned symbols, sorted by name (same order as
+    /// [`ReachGraph::minima`]).
+    pub fn minima_syms(&self) -> Vec<Symbol> {
+        let set: BTreeSet<Symbol> = self.outgoing(0).map(|(_, l, _)| l.automaton).collect();
+        let mut v: Vec<Symbol> = set.into_iter().collect();
+        v.sort_by_key(|s| self.symbols.name(*s));
+        v
     }
 
     /// The *maxima*: the automata labelling edges into dead states.
@@ -275,28 +314,54 @@ impl ReachGraph {
     /// actions leading to the dead state from any trace. These actions
     /// do not trigger any further action after they have been performed."
     pub fn maxima(&self) -> Vec<String> {
-        let dead: BTreeSet<usize> = self.dead_states().into_iter().collect();
-        let set: BTreeSet<String> = self
+        self.maxima_syms()
+            .into_iter()
+            .map(|s| self.symbols.name(s).to_owned())
+            .collect()
+    }
+
+    /// The maxima as interned symbols, sorted by name (same order as
+    /// [`ReachGraph::maxima`]).
+    pub fn maxima_syms(&self) -> Vec<Symbol> {
+        let dead = self.dead_state_mask();
+        let set: BTreeSet<Symbol> = self
             .edges()
-            .filter(|(_, _, t)| dead.contains(t))
-            .map(|(_, l, _)| l.automaton.clone())
+            .filter(|(_, _, t)| dead[*t])
+            .map(|(_, l, _)| l.automaton)
             .collect();
-        set.into_iter().collect()
+        let mut v: Vec<Symbol> = set.into_iter().collect();
+        v.sort_by_key(|s| self.symbols.name(*s));
+        v
+    }
+
+    /// `mask[i]` is `true` iff state `i` has no outgoing transition.
+    fn dead_state_mask(&self) -> Vec<bool> {
+        self.out.iter().map(Vec::is_empty).collect()
     }
 
     /// Renders the minima/maxima listing in the style of the paper's
     /// Example 6 output.
+    ///
+    /// Each automaton appears at most once per section (its first
+    /// discovery), matching the deduplication of
+    /// [`ReachGraph::minima`] / [`ReachGraph::maxima`]; earlier versions
+    /// printed one line per *edge* and thus repeated an action for every
+    /// interpretation or interleaving it occurred with.
     pub fn min_max_listing(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "The minima of this analysis:");
+        let mut seen = vec![false; self.symbols.len()];
         for (_, l, t) in self.outgoing(0) {
-            let _ = writeln!(s, "  {} {}", l.automaton, self.state_label(t));
+            if !std::mem::replace(&mut seen[l.automaton.index()], true) {
+                let _ = writeln!(s, "  {} {}", self.name(l.automaton), self.state_label(t));
+            }
         }
         let _ = writeln!(s, "The corresponding maxima:");
-        let dead: BTreeSet<usize> = self.dead_states().into_iter().collect();
+        let dead = self.dead_state_mask();
+        let mut seen = vec![false; self.symbols.len()];
         for (f, l, t) in self.edges() {
-            if dead.contains(&t) {
-                let _ = writeln!(s, "  {} {}", self.state_label(f), l.automaton);
+            if dead[t] && !std::mem::replace(&mut seen[l.automaton.index()], true) {
+                let _ = writeln!(s, "  {} {}", self.state_label(f), self.name(l.automaton));
             }
         }
         for d in self.dead_states() {
@@ -316,8 +381,19 @@ impl ReachGraph {
         if !states.is_empty() {
             b.initial(states[0]);
         }
+        // One alphabet lookup per *distinct* automaton symbol, not per
+        // edge: translate Symbol → SymId through a dense cache.
+        let mut sym_cache: Vec<Option<automata::SymId>> = vec![None; self.symbols.len()];
         for (f, l, t) in self.edges() {
-            let sym = b.symbol(&l.automaton);
+            let slot = &mut sym_cache[l.automaton.index()];
+            let sym = match *slot {
+                Some(sym) => sym,
+                None => {
+                    let sym = b.symbol(self.symbols.name(l.automaton));
+                    *slot = Some(sym);
+                    sym
+                }
+            };
             b.edge(states[f], Some(sym), states[t]);
         }
         b.build()
@@ -344,7 +420,11 @@ impl ReachGraph {
             .chars()
             .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
             .collect();
-        let _ = writeln!(s, "digraph {} {{", if clean.is_empty() { "g" } else { &clean });
+        let _ = writeln!(
+            s,
+            "digraph {} {{",
+            if clean.is_empty() { "g" } else { &clean }
+        );
         let _ = writeln!(s, "  rankdir=TB;");
         let _ = writeln!(s, "  node [shape=circle, fontsize=10];");
         for i in 0..self.state_count() {
@@ -356,8 +436,8 @@ impl ReachGraph {
                 "  q{} -> q{} [label=\"{} ({})\"];",
                 f,
                 t,
-                l.automaton,
-                l.interpretation.replace('"', "'")
+                self.name(l.automaton),
+                self.name(l.interpretation).replace('"', "'")
             );
         }
         s.push_str("}\n");
@@ -408,11 +488,18 @@ impl ReachGraph {
         let mut cur = target;
         while let Some(e) = parent[cur] {
             let (f, label, _) = &self.edges[e];
-            trace.push(label.clone());
+            trace.push(*label);
             cur = *f;
         }
         trace.reverse();
         trace
+    }
+
+    /// Resolves a trace of labels to automaton names — convenience for
+    /// rendering [`ReachGraph::trace_to`] /
+    /// [`ReachGraph::check_invariant`] witnesses.
+    pub fn trace_names(&self, trace: &[TransitionLabel]) -> Vec<&str> {
+        trace.iter().map(|l| self.name(l.automaton)).collect()
     }
 
     /// Pretty-prints one global state, e.g. for inspecting the tool's
@@ -452,7 +539,9 @@ mod tests {
 
     #[test]
     fn diamond_reachability() {
-        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let g = diamond_apa()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         assert_eq!(g.state_count(), 4);
         assert_eq!(g.edge_count(), 4);
         assert_eq!(g.dead_states().len(), 1);
@@ -468,7 +557,11 @@ mod tests {
         let c2 = b.component("c2", []);
         b.automaton("first", [c0, c1], rule::move_any(0, 1));
         b.automaton("second", [c1, c2], rule::move_any(0, 1));
-        let g = b.build().unwrap().reachability(&ReachOptions::default()).unwrap();
+        let g = b
+            .build()
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         assert_eq!(g.state_count(), 3);
         assert_eq!(g.minima(), vec!["first".to_owned()]);
         assert_eq!(g.maxima(), vec!["second".to_owned()]);
@@ -487,7 +580,9 @@ mod tests {
 
     #[test]
     fn to_nfa_language() {
-        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let g = diamond_apa()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         let nfa = g.to_nfa();
         assert!(nfa.all_accepting());
         assert!(nfa.accepts(["move_a", "move_b"]));
@@ -498,7 +593,9 @@ mod tests {
 
     #[test]
     fn to_digraph_shape() {
-        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let g = diamond_apa()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         let dg = g.to_digraph();
         assert_eq!(dg.node_count(), 4);
         assert_eq!(dg.edge_count(), 4);
@@ -509,7 +606,9 @@ mod tests {
 
     #[test]
     fn dot_and_listing_render() {
-        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let g = diamond_apa()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         let dot = g.to_dot("fig 7");
         assert!(dot.starts_with("digraph fig7 {"));
         assert!(dot.contains("move_a"));
@@ -519,41 +618,77 @@ mod tests {
     }
 
     #[test]
+    fn listing_dedupes_multi_interpretation_actions() {
+        // One automaton, two interpretations: two edges leave M-1 and
+        // two edges enter the dead state, all labelled `move`. The
+        // listing must name `move` once per section — the per-edge
+        // rendering used to repeat it for every interpretation.
+        let mut b = ApaBuilder::new();
+        let src = b.component("src", [Value::atom("x"), Value::atom("y")]);
+        let dst = b.component("dst", []);
+        b.automaton("move", [src, dst], rule::move_any(0, 1));
+        let g = b
+            .build()
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap();
+        assert_eq!(g.outgoing(0).count(), 2, "two interpretations fire");
+        let listing = g.min_max_listing();
+        let move_lines = listing.lines().filter(|l| l.contains("move")).count();
+        assert_eq!(
+            move_lines, 2,
+            "once as minimum, once as maximum:\n{listing}"
+        );
+        assert_eq!(g.minima(), vec!["move"]);
+        assert_eq!(g.maxima(), vec!["move"]);
+        assert_eq!(g.minima_syms().len(), 1);
+        assert_eq!(g.maxima_syms().len(), 1);
+        assert_eq!(g.name(g.minima_syms()[0]), "move");
+    }
+
+    #[test]
     fn invariant_holding_everywhere() {
-        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let g = diamond_apa()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         // Total token count is conserved (always 2).
-        let verdict = g.check_invariant(|state| {
-            state.iter().map(|set| set.len()).sum::<usize>() == 2
-        });
+        let verdict =
+            g.check_invariant(|state| state.iter().map(|set| set.len()).sum::<usize>() == 2);
         assert_eq!(verdict, None);
     }
 
     #[test]
     fn invariant_violation_with_shortest_trace() {
-        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let g = diamond_apa()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         // "a_dst never filled" is violated; shortest witness is one step.
         let (state, trace) = g
             .check_invariant(|s| s[1].is_empty()) // a_dst is component 1
             .expect("violated");
         assert!(!g.state(state)[1].is_empty());
         assert_eq!(trace.len(), 1);
-        assert_eq!(trace[0].automaton, "move_a");
+        assert_eq!(g.name(trace[0].automaton), "move_a");
     }
 
     #[test]
     fn trace_to_initial_is_empty() {
-        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let g = diamond_apa()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         assert!(g.trace_to(0).is_empty());
     }
 
     #[test]
     fn trace_to_dead_state_has_all_moves() {
-        let g = diamond_apa().reachability(&ReachOptions::default()).unwrap();
+        let g = diamond_apa()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         let dead = g.dead_states()[0];
         let trace = g.trace_to(dead);
         assert_eq!(trace.len(), 2);
-        let mut names: Vec<&str> = trace.iter().map(|l| l.automaton.as_str()).collect();
-        names.sort();
+        let mut names = g.trace_names(&trace);
+        names.sort_unstable();
         assert_eq!(names, vec!["move_a", "move_b"]);
     }
 
@@ -574,8 +709,8 @@ mod tests {
                 .unwrap();
             assert_eq!(par.state_count(), seq.state_count());
             assert_eq!(par.edge_count(), seq.edge_count());
-            let seq_edges: Vec<_> = seq.edges().map(|(f, l, t)| (f, l.clone(), t)).collect();
-            let par_edges: Vec<_> = par.edges().map(|(f, l, t)| (f, l.clone(), t)).collect();
+            let seq_edges: Vec<_> = seq.edges().collect();
+            let par_edges: Vec<_> = par.edges().collect();
             assert_eq!(par_edges, seq_edges, "threads = {threads}");
             for i in 0..seq.state_count() {
                 assert_eq!(par.state(i), seq.state(i), "state {i}");
@@ -586,7 +721,9 @@ mod tests {
     #[test]
     fn parallel_one_thread_falls_back() {
         let apa = diamond_apa();
-        let g = apa.reachability_parallel(&ReachOptions::default(), 1).unwrap();
+        let g = apa
+            .reachability_parallel(&ReachOptions::default(), 1)
+            .unwrap();
         assert_eq!(g.state_count(), 4);
     }
 
@@ -606,7 +743,11 @@ mod tests {
         let pong = b.component("pong", []);
         b.automaton("serve", [ping, pong], rule::move_any(0, 1));
         b.automaton("return", [pong, ping], rule::move_any(0, 1));
-        let g = b.build().unwrap().reachability(&ReachOptions::default()).unwrap();
+        let g = b
+            .build()
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap();
         assert_eq!(g.state_count(), 2);
         assert!(g.dead_states().is_empty());
         assert!(g.maxima().is_empty());

@@ -104,9 +104,7 @@ mod tests {
     use super::*;
 
     fn local(sets: &[&[Value]]) -> LocalState {
-        sets.iter()
-            .map(|s| s.iter().cloned().collect())
-            .collect()
+        sets.iter().map(|s| s.iter().cloned().collect()).collect()
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::error::ApaError;
 use crate::model::{Apa, GlobalState};
 use crate::reach::TransitionLabel;
+use automata::{Symbol, SymbolTable};
 
 /// A deterministic, seedable simulator over one APA.
 #[derive(Debug)]
@@ -17,16 +18,24 @@ pub struct Simulator<'a> {
     apa: &'a Apa,
     state: GlobalState,
     trace: Vec<TransitionLabel>,
+    /// Interner resolving this simulator's trace labels; automaton
+    /// names are interned once at construction.
+    symbols: SymbolTable,
+    aut_syms: Vec<Symbol>,
     rng_state: u64,
 }
 
 impl<'a> Simulator<'a> {
     /// Starts a simulation in the APA's initial state.
     pub fn new(apa: &'a Apa, seed: u64) -> Self {
+        let mut symbols = SymbolTable::new();
+        let aut_syms = apa.automaton_names().map(|n| symbols.intern(n)).collect();
         Simulator {
             apa,
             state: apa.initial_state().clone(),
             trace: Vec::new(),
+            symbols,
+            aut_syms,
             rng_state: seed | 1,
         }
     }
@@ -39,6 +48,29 @@ impl<'a> Simulator<'a> {
     /// The labels of the transitions executed so far.
     pub fn trace(&self) -> &[TransitionLabel] {
         &self.trace
+    }
+
+    /// The interner resolving this simulator's trace labels.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Resolves a label symbol to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this simulator's table.
+    pub fn name(&self, s: Symbol) -> &str {
+        self.symbols.name(s)
+    }
+
+    /// The automaton names of the trace so far — convenience for
+    /// rendering and for feeding [`automata::Nfa::accepts`].
+    pub fn trace_names(&self) -> Vec<&str> {
+        self.trace
+            .iter()
+            .map(|l| self.symbols.name(l.automaton))
+            .collect()
     }
 
     /// Executes one step; returns the label fired, or `None` if the
@@ -55,11 +87,11 @@ impl<'a> Simulator<'a> {
         let choice = (self.next_rand() as usize) % successors.len();
         let (aut, interp, next) = successors.into_iter().nth(choice).expect("in range");
         let label = TransitionLabel {
-            automaton: self.apa.automaton_name(aut).to_owned(),
-            interpretation: interp,
+            automaton: self.aut_syms[aut.index()],
+            interpretation: self.symbols.intern(&interp),
         };
         self.state = next;
-        self.trace.push(label.clone());
+        self.trace.push(label);
         Ok(Some(label))
     }
 
@@ -135,7 +167,7 @@ mod tests {
             .map(|seed| {
                 let mut sim = Simulator::new(&apa, seed);
                 sim.run(100).unwrap();
-                sim.trace().iter().map(|l| l.automaton.clone()).collect()
+                sim.trace_names().into_iter().map(str::to_owned).collect()
             })
             .collect();
         assert!(traces.len() > 1, "nondeterminism explored across seeds");
@@ -148,7 +180,7 @@ mod tests {
         for seed in 0..16 {
             let mut sim = Simulator::new(&apa, seed);
             sim.run(100).unwrap();
-            let word: Vec<&str> = sim.trace().iter().map(|l| l.automaton.as_str()).collect();
+            let word = sim.trace_names();
             assert!(nfa.accepts(word.iter().copied()), "trace {word:?}");
         }
     }

@@ -135,7 +135,10 @@ mod tests {
         let msg = Value::tuple([Value::atom("cam"), Value::atom("V1"), Value::atom("pos1")]);
         assert!(msg.has_tag("cam"));
         assert!(!msg.has_tag("warn"));
-        assert!(!Value::atom("cam").has_tag("cam"), "atoms are not tagged tuples");
+        assert!(
+            !Value::atom("cam").has_tag("cam"),
+            "atoms are not tagged tuples"
+        );
     }
 
     #[test]
@@ -148,7 +151,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [Value::int(2), Value::atom("b"), Value::atom("a"), Value::int(1)];
+        let mut v = [
+            Value::int(2),
+            Value::atom("b"),
+            Value::atom("a"),
+            Value::int(1),
+        ];
         v.sort();
         // Atoms sort before ints before tuples per derive order.
         assert_eq!(v[0], Value::atom("a"));

@@ -73,11 +73,7 @@ impl Alphabet {
     pub fn get(&self, name: &str) -> Option<SymId> {
         if self.index.is_empty() && !self.names.is_empty() {
             // Deserialized alphabets skip the index; fall back to scan.
-            return self
-                .names
-                .iter()
-                .position(|n| n == name)
-                .map(SymId::new);
+            return self.names.iter().position(|n| n == name).map(SymId::new);
         }
         self.index.get(name).copied()
     }

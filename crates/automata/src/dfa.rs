@@ -81,9 +81,10 @@ impl Dfa {
 
     /// Iterates over all transitions `(from, symbol, to)`.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, SymId, StateId)> + '_ {
-        self.trans.iter().enumerate().flat_map(|(i, m)| {
-            m.iter().map(move |(&sym, &t)| (StateId::new(i), sym, t))
-        })
+        self.trans
+            .iter()
+            .enumerate()
+            .flat_map(|(i, m)| m.iter().map(move |(&sym, &t)| (StateId::new(i), sym, t)))
     }
 
     /// Number of transitions.
@@ -112,7 +113,10 @@ impl Dfa {
     ///
     /// Panics if `new_initial` is out of range.
     pub fn rerooted(&self, new_initial: StateId) -> Dfa {
-        assert!(new_initial.index() < self.state_count(), "state out of range");
+        assert!(
+            new_initial.index() < self.state_count(),
+            "state out of range"
+        );
         let mut d = self.clone();
         d.initial = new_initial;
         d
@@ -125,11 +129,7 @@ impl Dfa {
         for (_, name) in self.alphabet.iter() {
             b.symbol(name);
         }
-        let states: Vec<StateId> = self
-            .accepting
-            .iter()
-            .map(|&acc| b.state(acc))
-            .collect();
+        let states: Vec<StateId> = self.accepting.iter().map(|&acc| b.state(acc)).collect();
         b.initial(states[self.initial.index()]);
         for (from, sym, to) in self.transitions() {
             b.edge(states[from.index()], Some(sym), states[to.index()]);
@@ -250,7 +250,12 @@ mod tests {
             BTreeMap::new(),
             BTreeMap::from([(a, StateId::new(0))]),
         ];
-        let d1 = Dfa::new(alphabet.clone(), vec![true, true, true], StateId::new(2), trans);
+        let d1 = Dfa::new(
+            alphabet.clone(),
+            vec![true, true, true],
+            StateId::new(2),
+            trans,
+        );
         // same machine, states already in BFS order
         let trans2 = vec![
             BTreeMap::from([(a, StateId::new(1))]),

@@ -71,7 +71,12 @@ pub fn nfa_to_dot(nfa: &Nfa, name: &str) -> String {
             Some(sym) => escape(nfa.alphabet().name(sym)),
             None => "ε".to_owned(),
         };
-        let _ = writeln!(s, "  q{} -> q{} [label=\"{text}\"];", from.index(), to.index());
+        let _ = writeln!(
+            s,
+            "  q{} -> q{} [label=\"{text}\"];",
+            from.index(),
+            to.index()
+        );
     }
     s.push_str("}\n");
     s
@@ -86,7 +91,11 @@ fn header(name: &str) -> String {
     let _ = writeln!(
         s,
         "digraph {} {{",
-        if clean.is_empty() { "automaton" } else { &clean }
+        if clean.is_empty() {
+            "automaton"
+        } else {
+            &clean
+        }
     );
     let _ = writeln!(s, "  rankdir=LR;");
     let _ = writeln!(s, "  entry [shape=point];");

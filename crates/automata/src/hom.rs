@@ -86,13 +86,27 @@ impl Homomorphism {
 
     /// The image of a symbol name; `None` means erased.
     pub fn map_name(&self, name: &str) -> Option<String> {
+        self.image(name).map(str::to_owned)
+    }
+
+    /// Borrowing variant of [`Homomorphism::map_name`]: no allocation.
+    pub fn image<'a>(&'a self, name: &'a str) -> Option<&'a str> {
         match self.map.get(name) {
-            Some(mapped) => mapped.clone(),
+            Some(mapped) => mapped.as_deref(),
             None => match self.default {
-                DefaultRule::Keep => Some(name.to_owned()),
+                DefaultRule::Keep => Some(name),
                 DefaultRule::Erase => None,
             },
         }
+    }
+
+    /// Compiles the homomorphism against a source [`Alphabet`]: entry
+    /// `i` is the image *name* of the source symbol with index `i`
+    /// (`None` = erased). One `BTreeMap` lookup per *distinct* source
+    /// symbol; [`Homomorphism::apply`] then relabels transitions with
+    /// pure index arithmetic.
+    pub fn compile<'a>(&'a self, alphabet: &'a crate::alphabet::Alphabet) -> Vec<Option<&'a str>> {
+        alphabet.iter().map(|(_, name)| self.image(name)).collect()
     }
 
     /// The image of a word.
@@ -103,6 +117,10 @@ impl Homomorphism {
     /// Applies the homomorphism to an automaton: renamed transitions are
     /// relabelled, erased transitions become ε-transitions. The language
     /// of the result is exactly `h(L)`.
+    ///
+    /// The mapping is compiled once per *distinct* source symbol
+    /// (see [`Homomorphism::compile`]); the per-transition work is then
+    /// a `Vec` index instead of a map lookup plus `String` clone.
     pub fn apply(&self, nfa: &Nfa) -> Nfa {
         let mut b = Nfa::builder();
         let states: Vec<_> = (0..nfa.state_count())
@@ -111,13 +129,14 @@ impl Homomorphism {
         for s in nfa.initial_states() {
             b.initial(states[s.index()]);
         }
+        // `compiled[i]`: target SymId for source symbol i, None = erase.
+        let compiled: Vec<Option<crate::alphabet::SymId>> = nfa
+            .alphabet()
+            .iter()
+            .map(|(_, name)| self.image(name).map(|n| b.symbol(n)))
+            .collect();
         for (from, label, to) in nfa.transitions() {
-            let new_label = match label {
-                None => None,
-                Some(sym) => self
-                    .map_name(nfa.alphabet().name(sym))
-                    .map(|n| b.symbol(&n)),
-            };
+            let new_label = label.and_then(|sym| compiled[sym.index()]);
             b.edge(states[from.index()], new_label, states[to.index()]);
         }
         b.build()

@@ -62,6 +62,7 @@ pub mod ops;
 pub mod setops;
 pub mod shuffle;
 pub mod simple;
+pub mod symbols;
 pub mod temporal;
 
 pub use alphabet::{Alphabet, SymId};
@@ -69,3 +70,4 @@ pub use dfa::Dfa;
 pub use equiv::language_equivalent;
 pub use hom::Homomorphism;
 pub use nfa::{Nfa, NfaBuilder, StateId};
+pub use symbols::{Symbol, SymbolTable};

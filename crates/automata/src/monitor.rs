@@ -27,11 +27,7 @@ use std::collections::{BTreeSet, HashSet, VecDeque};
 /// assert!(m.accepts(["send", "sense", "show"]));
 /// assert!(!m.accepts(["show"]), "show before sense violates");
 /// ```
-pub fn precedence_monitor<'a>(
-    symbols: impl IntoIterator<Item = &'a str>,
-    a: &str,
-    b: &str,
-) -> Dfa {
+pub fn precedence_monitor<'a>(symbols: impl IntoIterator<Item = &'a str>, a: &str, b: &str) -> Dfa {
     let mut alphabet = Alphabet::new();
     let mut names: BTreeSet<&str> = symbols.into_iter().collect();
     names.insert(a);

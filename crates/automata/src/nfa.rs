@@ -155,7 +155,11 @@ impl Nfa {
             let mut next_layer = Vec::new();
             for (states, word) in &layer {
                 if states.iter().any(|s| self.is_accepting(*s)) {
-                    result.push(word.iter().map(|s| self.alphabet.name(*s).to_owned()).collect());
+                    result.push(
+                        word.iter()
+                            .map(|s| self.alphabet.name(*s).to_owned())
+                            .collect(),
+                    );
                 }
                 if word.len() == max_len {
                     continue;
@@ -234,8 +238,14 @@ impl NfaBuilder {
     ///
     /// Panics if either state was not created by this builder.
     pub fn edge(&mut self, from: StateId, label: Option<SymId>, to: StateId) {
-        assert!(from.index() < self.nfa.accepting.len(), "unknown source state");
-        assert!(to.index() < self.nfa.accepting.len(), "unknown target state");
+        assert!(
+            from.index() < self.nfa.accepting.len(),
+            "unknown source state"
+        );
+        assert!(
+            to.index() < self.nfa.accepting.len(),
+            "unknown target state"
+        );
         self.nfa.trans[from.index()]
             .entry(label)
             .or_default()

@@ -6,9 +6,9 @@
 //! ε-transitions) and [`minimize`] implements Hopcroft's partition
 //! refinement.
 
-use crate::alphabet::SymId;
 #[cfg(test)]
 use crate::alphabet::Alphabet;
+use crate::alphabet::SymId;
 use crate::dfa::Dfa;
 use crate::nfa::{Nfa, StateId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
@@ -40,7 +40,12 @@ pub fn determinize(nfa: &Nfa) -> Dfa {
     let alphabet = nfa.alphabet().clone();
     if nfa.state_count() == 0 {
         // Empty language: one non-accepting state, no transitions.
-        return Dfa::new(alphabet, vec![false], StateId::new(0), vec![BTreeMap::new()]);
+        return Dfa::new(
+            alphabet,
+            vec![false],
+            StateId::new(0),
+            vec![BTreeMap::new()],
+        );
     }
     let start = nfa.epsilon_closure(nfa.initial_states());
     let mut index: HashMap<BTreeSet<StateId>, StateId> = HashMap::new();
@@ -385,7 +390,12 @@ mod tests {
     fn minimize_empty_language() {
         use std::collections::BTreeMap;
         let alphabet = Alphabet::new();
-        let d = Dfa::new(alphabet, vec![false], StateId::new(0), vec![BTreeMap::new()]);
+        let d = Dfa::new(
+            alphabet,
+            vec![false],
+            StateId::new(0),
+            vec![BTreeMap::new()],
+        );
         let m = minimize(&d);
         assert_eq!(m.state_count(), 1);
         assert!(!m.accepts([""; 0]));

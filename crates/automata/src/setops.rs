@@ -68,7 +68,11 @@ pub fn complement<'a>(dfa: &Dfa, universe: impl IntoIterator<Item = &'a str>) ->
             row.insert(sym, target);
         }
     }
-    let initial = if n_states == 0 { sink } else { dfa.initial_state() };
+    let initial = if n_states == 0 {
+        sink
+    } else {
+        dfa.initial_state()
+    };
     Dfa::new(alphabet, accepting, initial, trans)
 }
 
@@ -290,7 +294,10 @@ mod tests {
             vec![BTreeMap::new()],
         );
         assert!(is_empty(&intersection(&empty, &ab())));
-        assert!(crate::equiv::language_equivalent(&union(&empty, &ab()), &ab()));
+        assert!(crate::equiv::language_equivalent(
+            &union(&empty, &ab()),
+            &ab()
+        ));
         assert!(is_empty(&difference(&empty, &ab())));
     }
 }

@@ -104,10 +104,7 @@ pub fn check(nfa: &Nfa, h: &Homomorphism) -> Simplicity {
             return Simplicity::NotSimple { witness: word };
         }
         // Explore successors.
-        for (_, sym, to) in concrete
-            .transitions()
-            .filter(|(from, _, _)| *from == q)
-        {
+        for (_, sym, to) in concrete.transitions().filter(|(from, _, _)| *from == q) {
             let name = concrete.alphabet().name(sym).to_owned();
             let r_next = match h.map_name(&name) {
                 None => r, // erased: abstract state unchanged

@@ -1,0 +1,163 @@
+//! Shared symbol interning.
+//!
+//! The dependence-checking engine (§5.5 pipeline) performs thousands of
+//! per-pair automaton operations over the *same* action names. Carrying
+//! `String` labels through reachability graphs, homomorphism
+//! application and subset construction meant hashing and cloning those
+//! names at every step. A [`SymbolTable`] interns each distinct name
+//! once and hands out dense `u32` [`Symbol`] ids; everything downstream
+//! (edge labels, occurrence sets, projection maps) is then plain
+//! integer arithmetic over `Vec`s.
+//!
+//! [`SymbolTable`] is the *cross-structure* interner (e.g. one table per
+//! APA reachability graph, shared by all views of it), while
+//! [`crate::Alphabet`] remains the per-automaton alphabet. The two meet
+//! in translation helpers such as
+//! [`SymbolTable::to_alphabet`] / [`SymbolTable::sym_ids`].
+
+use crate::alphabet::{Alphabet, SymId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a name within one [`SymbolTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Creates a symbol from a raw index.
+    pub fn new(index: usize) -> Self {
+        Symbol(u32::try_from(index).expect("symbol index exceeds u32 range"))
+    }
+
+    /// The raw index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "y{}", self.0)
+    }
+}
+
+/// An append-only bijection between names and dense [`Symbol`] ids,
+/// shared across the data structures derived from one model.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = Symbol::new(self.names.len());
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of `name` without interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn name(&self, id: Symbol) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol::new(i), n.as_str()))
+    }
+
+    /// Builds an [`Alphabet`] containing every name of this table, in
+    /// interning order — so `Symbol(i)` and the returned alphabet's
+    /// `SymId(i)` denote the same name and translation is the identity
+    /// on indices.
+    pub fn to_alphabet(&self) -> Alphabet {
+        let mut a = Alphabet::new();
+        for name in &self.names {
+            a.intern(name);
+        }
+        a
+    }
+
+    /// Translates every symbol of this table into `alphabet`'s
+    /// [`SymId`]s (`None` where the alphabet lacks the name). One hash
+    /// lookup per *distinct* symbol, not per use.
+    pub fn sym_ids(&self, alphabet: &Alphabet) -> Vec<Option<SymId>> {
+        self.names.iter().map(|n| alphabet.get(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("V1_sense");
+        let b = t.intern("V2_show");
+        assert_eq!(t.intern("V1_sense"), a);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(b), "V2_show");
+        assert_eq!(t.get("V2_show"), Some(b));
+        assert_eq!(t.get("nope"), None);
+        assert!(!t.is_empty());
+        assert!(SymbolTable::new().is_empty());
+    }
+
+    #[test]
+    fn to_alphabet_preserves_indices() {
+        let mut t = SymbolTable::new();
+        t.intern("b");
+        t.intern("a");
+        let alpha = t.to_alphabet();
+        for (sym, name) in t.iter() {
+            assert_eq!(alpha.get(name).unwrap().index(), sym.index());
+        }
+    }
+
+    #[test]
+    fn sym_ids_translation() {
+        let mut t = SymbolTable::new();
+        let x = t.intern("x");
+        let z = t.intern("z");
+        let mut alpha = Alphabet::new();
+        let ax = alpha.intern("x");
+        let map = t.sym_ids(&alpha);
+        assert_eq!(map[x.index()], Some(ax));
+        assert_eq!(map[z.index()], None);
+    }
+}

@@ -16,8 +16,25 @@
 //! * [`response`] — after every `a`, every maximal continuation contains
 //!   a `b`.
 
+use crate::alphabet::SymId;
 use crate::nfa::{Nfa, StateId};
 use std::collections::BTreeSet;
+
+/// Forward adjacency of an NFA: `adj[s]` lists `(label, target)` pairs.
+///
+/// Every decision procedure in this module walks the graph from a state
+/// to its successors; [`Nfa::transitions`] only offers a global
+/// iterator, so the naive formulation re-scanned *all* transitions per
+/// visited state — O(V·E) per query, the dominant cost of the §5.5
+/// dependence pipeline before symbol interning. Building the adjacency
+/// once makes each traversal O(V+E).
+fn adjacency(nfa: &Nfa) -> Vec<Vec<(Option<SymId>, StateId)>> {
+    let mut adj: Vec<Vec<(Option<SymId>, StateId)>> = vec![Vec::new(); nfa.state_count()];
+    for (from, label, to) in nfa.transitions() {
+        adj[from.index()].push((label, to));
+    }
+    adj
+}
 
 /// Decides the precedence property: on every run from the initial
 /// states, no occurrence of `b` happens strictly before the first
@@ -47,16 +64,68 @@ use std::collections::BTreeSet;
 /// ```
 pub fn precedes(nfa: &Nfa, a: &str, b: &str) -> bool {
     let sym_a = nfa.alphabet().get(a);
-    let sym_b = nfa.alphabet().get(b);
-    let Some(sym_b) = sym_b else {
+    let Some(sym_b) = nfa.alphabet().get(b) else {
         return true; // b never occurs
     };
+    precedes_sym(nfa, sym_a, sym_b)
+}
+
+/// Symbol-level variant of [`precedes`]: `a = None` means "`a` cannot
+/// occur" (the property then fails whenever `b` is reachable). Lets
+/// callers that already hold interned ids — the dependence-checking
+/// engine evaluating thousands of (max, min) pairs over one behaviour —
+/// skip the per-query name lookups.
+pub fn precedes_sym(nfa: &Nfa, a: Option<SymId>, b: SymId) -> bool {
+    let adj = adjacency(nfa);
+    precedes_in(nfa, &adj, a, b)
+}
+
+/// A reusable precedence-query index over one behaviour automaton.
+///
+/// Builds the forward adjacency once; every
+/// [`PrecedenceIndex::precedes`] call is then a single O(V+E)
+/// traversal. The dependence-checking engine holds one of these per
+/// behaviour and fires one query per (maximum, minimum) pair.
+pub struct PrecedenceIndex<'a> {
+    nfa: &'a Nfa,
+    adj: Vec<Vec<(Option<SymId>, StateId)>>,
+}
+
+impl<'a> PrecedenceIndex<'a> {
+    /// Indexes `nfa` for repeated precedence queries.
+    pub fn new(nfa: &'a Nfa) -> Self {
+        PrecedenceIndex {
+            nfa,
+            adj: adjacency(nfa),
+        }
+    }
+
+    /// Symbol-level precedence query (see [`precedes_sym`]).
+    pub fn precedes(&self, a: Option<SymId>, b: SymId) -> bool {
+        precedes_in(self.nfa, &self.adj, a, b)
+    }
+
+    /// Name-level precedence query (see [`precedes`]).
+    pub fn precedes_names(&self, a: &str, b: &str) -> bool {
+        let sym_a = self.nfa.alphabet().get(a);
+        match self.nfa.alphabet().get(b) {
+            None => true,
+            Some(sym_b) => self.precedes(sym_a, sym_b),
+        }
+    }
+}
+
+/// [`precedes_sym`] over a prebuilt adjacency (shared across queries).
+fn precedes_in(
+    nfa: &Nfa,
+    adj: &[Vec<(Option<SymId>, StateId)>],
+    a: Option<SymId>,
+    b: SymId,
+) -> bool {
     // States reachable via runs containing no `a` (ε counts as no-op).
-    let reach = a_free_reachable(nfa, sym_a);
+    let reach = a_free_reachable(nfa, adj, a);
     // Violated iff any such state can fire `b`.
-    !reach
-        .iter()
-        .any(|s| nfa.step(*s, Some(sym_b)).next().is_some())
+    !reach.iter().any(|s| nfa.step(*s, Some(b)).next().is_some())
 }
 
 /// Like [`precedes`], but on violation returns a shortest witnessing
@@ -65,23 +134,25 @@ pub fn precedes(nfa: &Nfa, a: &str, b: &str) -> bool {
 pub fn precedence_counterexample(nfa: &Nfa, a: &str, b: &str) -> Option<Vec<String>> {
     let sym_a = nfa.alphabet().get(a);
     let sym_b = nfa.alphabet().get(b)?;
+    let adj = adjacency(nfa);
     // BFS over states along a-free runs, tracking the word.
     let mut parent: std::collections::HashMap<StateId, (StateId, crate::alphabet::SymId)> =
         std::collections::HashMap::new();
     let mut seen: BTreeSet<StateId> = nfa.initial_states().clone();
     let mut queue: std::collections::VecDeque<StateId> = seen.iter().copied().collect();
-    let reconstruct = |state: StateId,
-                       parent: &std::collections::HashMap<StateId, (StateId, crate::alphabet::SymId)>|
-     -> Vec<String> {
-        let mut word = Vec::new();
-        let mut cur = state;
-        while let Some((prev, sym)) = parent.get(&cur) {
-            word.push(nfa.alphabet().name(*sym).to_owned());
-            cur = *prev;
-        }
-        word.reverse();
-        word
-    };
+    let reconstruct =
+        |state: StateId,
+         parent: &std::collections::HashMap<StateId, (StateId, crate::alphabet::SymId)>|
+         -> Vec<String> {
+            let mut word = Vec::new();
+            let mut cur = state;
+            while let Some((prev, sym)) = parent.get(&cur) {
+                word.push(nfa.alphabet().name(*sym).to_owned());
+                cur = *prev;
+            }
+            word.reverse();
+            word
+        };
     while let Some(s) = queue.pop_front() {
         // Can `b` fire here?
         if nfa.step(s, Some(sym_b)).next().is_some() {
@@ -89,10 +160,7 @@ pub fn precedence_counterexample(nfa: &Nfa, a: &str, b: &str) -> Option<Vec<Stri
             word.push(b.to_owned());
             return Some(word);
         }
-        for (from, label, to) in nfa.transitions() {
-            if from != s {
-                continue;
-            }
+        for &(label, to) in &adj[s.index()] {
             if label.is_some() && label == sym_a {
                 continue;
             }
@@ -111,14 +179,15 @@ pub fn precedence_counterexample(nfa: &Nfa, a: &str, b: &str) -> Option<Vec<Stri
 }
 
 /// States reachable from the initial states without traversing `avoid`.
-fn a_free_reachable(nfa: &Nfa, avoid: Option<crate::alphabet::SymId>) -> BTreeSet<StateId> {
+fn a_free_reachable(
+    nfa: &Nfa,
+    adj: &[Vec<(Option<SymId>, StateId)>],
+    avoid: Option<SymId>,
+) -> BTreeSet<StateId> {
     let mut reach: BTreeSet<StateId> = nfa.initial_states().clone();
     let mut stack: Vec<StateId> = reach.iter().copied().collect();
     while let Some(s) = stack.pop() {
-        for (from, label, to) in nfa.transitions() {
-            if from != s {
-                continue;
-            }
+        for &(label, to) in &adj[s.index()] {
             if label.is_some() && label == avoid {
                 continue;
             }
@@ -143,16 +212,14 @@ pub fn eventually(nfa: &Nfa, a: &str) -> bool {
         // i.e. no initial states — but builders require one.
         return false;
     }
-    let reach = a_free_reachable(nfa, sym_a);
+    let adj = adjacency(nfa);
+    let reach = a_free_reachable(nfa, &adj, sym_a);
     // Dead state reachable a-free?
-    for &s in &reach {
-        let has_out = nfa.transitions().any(|(from, _, _)| from == s);
-        if !has_out {
-            return false;
-        }
+    if reach.iter().any(|s| adj[s.index()].is_empty()) {
+        return false;
     }
     // a-free cycle within `reach`?
-    !has_cycle_in_subgraph(nfa, &reach, sym_a)
+    !has_cycle_in_subgraph(&adj, &reach, sym_a)
 }
 
 /// Decides the response property: after every occurrence of `a`, every
@@ -161,19 +228,25 @@ pub fn response(nfa: &Nfa, a: &str, b: &str) -> bool {
     let Some(sym_a) = nfa.alphabet().get(a) else {
         return true; // a never occurs: vacuously true
     };
+    let adj = adjacency(nfa);
     // For every target state of an `a`-transition, `eventually b` must
     // hold from there.
-    let targets: BTreeSet<StateId> = nfa
-        .transitions()
-        .filter(|(_, label, _)| *label == Some(sym_a))
-        .map(|(_, _, to)| to)
+    let targets: BTreeSet<StateId> = adj
+        .iter()
+        .flat_map(|succs| succs.iter())
+        .filter(|(label, _)| *label == Some(sym_a))
+        .map(|(_, to)| *to)
         .collect();
-    targets.iter().all(|&t| eventually_from(nfa, t, b))
+    let sym_b = nfa.alphabet().get(b);
+    targets.iter().all(|&t| eventually_from(&adj, t, sym_b))
 }
 
 /// `eventually` evaluated from a specific state.
-fn eventually_from(nfa: &Nfa, start: StateId, a: &str) -> bool {
-    let sym_a = nfa.alphabet().get(a);
+fn eventually_from(
+    adj: &[Vec<(Option<SymId>, StateId)>],
+    start: StateId,
+    sym_a: Option<SymId>,
+) -> bool {
     if sym_a.is_none() {
         // `a` cannot occur; fails unless no run leaves... a run of length
         // zero from a dead state is maximal and contains no `a`.
@@ -184,8 +257,8 @@ fn eventually_from(nfa: &Nfa, start: StateId, a: &str) -> bool {
     reach.insert(start);
     let mut stack = vec![start];
     while let Some(s) = stack.pop() {
-        for (from, label, to) in nfa.transitions() {
-            if from != s || (label.is_some() && label == sym_a) {
+        for &(label, to) in &adj[s.index()] {
+            if label.is_some() && label == sym_a {
                 continue;
             }
             if reach.insert(to) {
@@ -193,20 +266,18 @@ fn eventually_from(nfa: &Nfa, start: StateId, a: &str) -> bool {
             }
         }
     }
-    for &s in &reach {
-        if !nfa.transitions().any(|(from, _, _)| from == s) {
-            return false;
-        }
+    if reach.iter().any(|s| adj[s.index()].is_empty()) {
+        return false;
     }
-    !has_cycle_in_subgraph(nfa, &reach, sym_a)
+    !has_cycle_in_subgraph(adj, &reach, sym_a)
 }
 
 /// Detects a cycle in the subgraph induced by `states`, ignoring edges
 /// labelled `avoid`.
 fn has_cycle_in_subgraph(
-    nfa: &Nfa,
+    adj: &[Vec<(Option<SymId>, StateId)>],
     states: &BTreeSet<StateId>,
-    avoid: Option<crate::alphabet::SymId>,
+    avoid: Option<SymId>,
 ) -> bool {
     // Iterative DFS with colours.
     #[derive(Clone, Copy, PartialEq)]
@@ -215,20 +286,17 @@ fn has_cycle_in_subgraph(
         Grey,
         Black,
     }
-    let mut color = vec![Color::White; nfa.state_count()];
+    let mut color = vec![Color::White; adj.len()];
     for &root in states {
         if color[root.index()] != Color::White {
             continue;
         }
         let mut stack: Vec<(StateId, Vec<StateId>, usize)> = Vec::new();
         let succs = |s: StateId| -> Vec<StateId> {
-            nfa.transitions()
-                .filter(|(from, label, to)| {
-                    *from == s
-                        && !(label.is_some() && *label == avoid)
-                        && states.contains(to)
-                })
-                .map(|(_, _, to)| to)
+            adj[s.index()]
+                .iter()
+                .filter(|(label, to)| !(label.is_some() && *label == avoid) && states.contains(to))
+                .map(|(_, to)| *to)
                 .collect()
         };
         color[root.index()] = Color::Grey;

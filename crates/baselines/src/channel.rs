@@ -41,7 +41,11 @@ mod tests {
     fn fig3_has_one_transmission() {
         let inst = vanet::instances::two_vehicle_warning();
         let baseline = channel_baseline(&inst);
-        let reqs: Vec<String> = baseline.requirements.iter().map(ToString::to_string).collect();
+        let reqs: Vec<String> = baseline
+            .requirements
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(
             reqs,
             vec!["auth(send(CU_1,cam(pos)), rec(CU_w,cam(pos)), D_w)"],

@@ -61,8 +61,7 @@ pub fn entails(
     let g = instance.graph();
     let step_secured = |u: NodeId, v: NodeId| -> bool {
         // direct edge, internal + trusted
-        let internal =
-            instance.owner(u) == instance.owner(v) && trust.trusts(instance.owner(u));
+        let internal = instance.owner(u) == instance.owner(v) && trust.trusts(instance.owner(u));
         if internal {
             return true;
         }
@@ -75,12 +74,7 @@ pub fn entails(
     // dependency).
     let bridges: Vec<(NodeId, NodeId)> = baseline
         .iter()
-        .filter_map(|r| {
-            Some((
-                instance.find(&r.antecedent)?,
-                instance.find(&r.consequent)?,
-            ))
-        })
+        .filter_map(|r| Some((instance.find(&r.antecedent)?, instance.find(&r.consequent)?)))
         .collect();
 
     let n = g.node_count();

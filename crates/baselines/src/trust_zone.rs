@@ -64,7 +64,11 @@ mod tests {
             // Each vehicle is one zone.
             owner.to_owned()
         });
-        let reqs: Vec<String> = baseline.requirements.iter().map(ToString::to_string).collect();
+        let reqs: Vec<String> = baseline
+            .requirements
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         // V1's origins (sense, pos) are bound to Vw's rec — but Vw's own
         // pos never crosses a zone, so it is (unsafely) trusted.
         assert_eq!(

@@ -4,9 +4,12 @@
 
 use apa::ReachOptions;
 use criterion::{criterion_group, criterion_main, Criterion};
-use fsa_core::assisted::{dependence_by_abstraction, dependence_by_precedence};
+use fsa_core::assisted::{
+    dependence_by_abstraction, dependence_by_precedence, elicit_with_options, DependenceMethod,
+    ElicitOptions,
+};
 use std::hint::black_box;
-use vanet::apa_model::four_vehicle_apa;
+use vanet::apa_model::{four_vehicle_apa, n_pair_apa, stakeholder_of};
 use vanet::semantics::ApaSemantics;
 
 fn bench_dependence(c: &mut Criterion) {
@@ -67,5 +70,113 @@ fn bench_dependence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dependence);
+/// The full §5.5 dependence-checking engine on the three-pair
+/// (six-vehicle) behaviour: naive sequential baseline vs. the
+/// shared-work engine (pruning + co-reach cache) vs. the parallel
+/// engine at 4 threads. Verdicts are bit-identical across all three
+/// configurations (see `tests/parallel_props.rs`); only the wall-clock
+/// differs.
+fn bench_engine(c: &mut Criterion) {
+    let graph = n_pair_apa(3, ApaSemantics::PAPER)
+        .expect("valid model")
+        .reachability(&ReachOptions::default())
+        .expect("bounded");
+
+    let mut group = c.benchmark_group("elicitation_engine");
+    group.sample_size(10);
+
+    // The pre-engine baseline: one independent decision-procedure call
+    // per (minimum, maximum) pair, with the seed's O(V·E) reachability
+    // scan (`a_free_reachable` re-walked the full transition list for
+    // every popped state) — what `elicit_from_graph` did before the
+    // engine landed.
+    let behaviour = graph.to_nfa();
+    let minima = graph.minima();
+    let maxima = graph.maxima();
+    group.bench_function("seed_per_pair_precedence", |b| {
+        b.iter(|| {
+            let mut dependent = 0usize;
+            for max in &maxima {
+                for min in &minima {
+                    if min != max && bench::seed_precedes(black_box(&behaviour), min, max) {
+                        dependent += 1;
+                    }
+                }
+            }
+            black_box(dependent)
+        })
+    });
+
+    // The same grid with the current per-call decision procedure
+    // (adjacency-indexed BFS, rebuilt per call).
+    group.bench_function("naive_per_pair_precedence", |b| {
+        b.iter(|| {
+            let mut dependent = 0usize;
+            for max in &maxima {
+                for min in &minima {
+                    if min != max && dependence_by_precedence(black_box(&behaviour), min, max) {
+                        dependent += 1;
+                    }
+                }
+            }
+            black_box(dependent)
+        })
+    });
+
+    for (name, options) in [
+        (
+            "seq_naive",
+            ElicitOptions {
+                method: DependenceMethod::Abstraction,
+                threads: 1,
+                prune: false,
+            },
+        ),
+        (
+            "seq_pruned",
+            ElicitOptions {
+                method: DependenceMethod::Abstraction,
+                threads: 1,
+                prune: true,
+            },
+        ),
+        (
+            "par4_pruned",
+            ElicitOptions {
+                method: DependenceMethod::Abstraction,
+                threads: 4,
+                prune: true,
+            },
+        ),
+        (
+            "seq_precedence",
+            ElicitOptions {
+                method: DependenceMethod::Precedence,
+                threads: 1,
+                prune: true,
+            },
+        ),
+        (
+            "par4_precedence",
+            ElicitOptions {
+                method: DependenceMethod::Precedence,
+                threads: 4,
+                prune: true,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(elicit_with_options(
+                    black_box(&graph),
+                    &options,
+                    stakeholder_of,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dependence, bench_engine);
 criterion_main!(benches);

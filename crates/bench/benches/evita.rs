@@ -18,9 +18,7 @@ fn bench_evita(c: &mut Criterion) {
     group.bench_function("boundary_stats", |b| {
         b.iter(|| black_box(boundary_stats(black_box(&inst))))
     });
-    group.bench_function("build_model", |b| {
-        b.iter(|| black_box(onboard_instance()))
-    });
+    group.bench_function("build_model", |b| b.iter(|| black_box(onboard_instance())));
     group.finish();
 }
 

@@ -24,8 +24,7 @@ fn bench_exploration(c: &mut Criterion) {
             },
         );
     }
-    let instances =
-        enumerate_scenario_instances(2, &ExploreOptions::default()).expect("bounded");
+    let instances = enumerate_scenario_instances(2, &ExploreOptions::default()).expect("bounded");
     group.bench_function("union_requirements_2v", |b| {
         b.iter(|| black_box(union_requirements_loop_free(black_box(&instances))))
     });

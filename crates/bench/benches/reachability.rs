@@ -18,7 +18,10 @@ fn bench_reachability(c: &mut Criterion) {
             .expect("bounded")
             .state_count();
         group.bench_with_input(
-            BenchmarkId::new("n_pair_paper_semantics", format!("{pairs}pairs_{states}states")),
+            BenchmarkId::new(
+                "n_pair_paper_semantics",
+                format!("{pairs}pairs_{states}states"),
+            ),
             &pairs,
             |b, _| {
                 b.iter(|| {
@@ -86,5 +89,10 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reachability, bench_semantics_variants, bench_parallel);
+criterion_group!(
+    benches,
+    bench_reachability,
+    bench_semantics_variants,
+    bench_parallel
+);
 criterion_main!(benches);

@@ -33,11 +33,9 @@ fn bench_random_traffic(c: &mut Criterion) {
             },
             42,
         );
-        group.bench_with_input(
-            BenchmarkId::new("vehicles", vehicles),
-            &inst,
-            |b, inst| b.iter(|| black_box(elicit(black_box(inst)).expect("loop-free"))),
-        );
+        group.bench_with_input(BenchmarkId::new("vehicles", vehicles), &inst, |b, inst| {
+            b.iter(|| black_box(elicit(black_box(inst)).expect("loop-free")))
+        });
     }
     group.finish();
 }
@@ -50,5 +48,65 @@ fn bench_parameterise(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_elicit_scaling, bench_random_traffic, bench_parameterise);
+/// The tool-assisted pipeline on the dataflow APA of a layered model:
+/// the full dependence-checking engine (behaviour NFA + shared
+/// precedence index + prune pass + grid evaluation), sequential vs.
+/// 4-thread grid. Verdicts are bit-identical across thread counts.
+fn bench_assisted_engine(c: &mut Criterion) {
+    use fsa_core::assisted::{elicit_with_options, DependenceMethod, ElicitOptions};
+    use fsa_core::dataflow::dataflow_apa;
+    use fsa_core::Agent;
+
+    let inst = bench::layered_instance(3, 8);
+    let graph = dataflow_apa(&inst)
+        .expect("loop-free")
+        .reachability(&apa::ReachOptions::default())
+        .expect("bounded");
+
+    let mut group = c.benchmark_group("assisted_engine_layered");
+    group.sample_size(10);
+
+    // The pre-engine baseline: independent seed-style O(V·E)
+    // precedence queries per grid pair.
+    let behaviour = graph.to_nfa();
+    let minima = graph.minima();
+    let maxima = graph.maxima();
+    group.bench_function("seed_per_pair", |b| {
+        b.iter(|| {
+            let mut dependent = 0usize;
+            for max in &maxima {
+                for min in &minima {
+                    if min != max && bench::seed_precedes(black_box(&behaviour), min, max) {
+                        dependent += 1;
+                    }
+                }
+            }
+            black_box(dependent)
+        })
+    });
+
+    for (name, threads) in [("threads_1", 1usize), ("threads_4", 4)] {
+        let options = ElicitOptions {
+            method: DependenceMethod::Precedence,
+            threads,
+            prune: true,
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(elicit_with_options(black_box(&graph), &options, |_| {
+                    Agent::new("P")
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_elicit_scaling,
+    bench_random_traffic,
+    bench_parameterise,
+    bench_assisted_engine
+);
 criterion_main!(benches);

@@ -32,13 +32,25 @@ fn main() {
     section("f1", "Fig. 1 — functional component models", f1);
     section("f2", "Fig. 2 / Examples 1-2 — RSU warns vehicle w", f2);
     section("f3", "Fig. 3 / Example 3 — two-vehicle warning", f3);
-    section("f4", "Fig. 4 / §4.4 — forwarding chain and requirement (4)", f4);
+    section(
+        "f4",
+        "Fig. 4 / §4.4 — forwarding chain and requirement (4)",
+        f4,
+    );
     section("f5", "Fig. 5 — APA model of a vehicle", f5);
-    section("f7", "Figs. 6-7 / Examples 5-6 — two-vehicle reachability", f7);
+    section(
+        "f7",
+        "Figs. 6-7 / Examples 5-6 — two-vehicle reachability",
+        f7,
+    );
     section("f9", "Figs. 8-9 — four-vehicle reachability", f9);
     section("f10", "Figs. 10-11 / Example 7 — abstraction per pair", f10);
     section("evita", "§4.4 — EVITA-scale statistics", evita_repro);
-    section("ablation", "DESIGN §2.3 — consumption-semantics ablation", ablation);
+    section(
+        "ablation",
+        "DESIGN §2.3 — consumption-semantics ablation",
+        ablation,
+    );
     section(
         "simplicity",
         "§5.5 theory — simplicity of the per-pair abstractions",
@@ -330,9 +342,15 @@ fn figures() {
     // Figs. 10/11: minimal automata of the abstractions.
     let behaviour = g4.to_nfa();
     let (_, chain) = dependence_by_abstraction(&behaviour, "V1_sense", "V2_show");
-    write("fig10_dependent_pair.dot", automata::dot::dfa_to_dot(&chain, "fig10"));
+    write(
+        "fig10_dependent_pair.dot",
+        automata::dot::dfa_to_dot(&chain, "fig10"),
+    );
     let (_, diamond) = dependence_by_abstraction(&behaviour, "V1_sense", "V4_show");
-    write("fig11_independent_pair.dot", automata::dot::dfa_to_dot(&diamond, "fig11"));
+    write(
+        "fig11_independent_pair.dot",
+        automata::dot::dfa_to_dot(&diamond, "fig11"),
+    );
 }
 
 fn baselines_repro() {

@@ -33,6 +33,38 @@ pub fn vanet_stakeholder(name: &str) -> Agent {
     vanet::apa_model::stakeholder_of(name)
 }
 
+/// The seed's precedence check, kept verbatim as the benchmark
+/// baseline: its reachability scan re-walks the *entire* transition
+/// list for every popped state — O(V·E) per query — which is exactly
+/// the hot loop the adjacency-indexed rewrite in `automata::temporal`
+/// replaced. Used by `benches/abstraction.rs` and
+/// `benches/requirements.rs` for the before/after table.
+pub fn seed_precedes(nfa: &automata::Nfa, a: &str, b: &str) -> bool {
+    use std::collections::BTreeSet;
+    let sym_a = nfa.alphabet().get(a);
+    let Some(sym_b) = nfa.alphabet().get(b) else {
+        return true; // b never occurs
+    };
+    let mut reach: BTreeSet<automata::StateId> = nfa.initial_states().clone();
+    let mut stack: Vec<automata::StateId> = reach.iter().copied().collect();
+    while let Some(s) = stack.pop() {
+        for (from, label, to) in nfa.transitions() {
+            if from != s {
+                continue;
+            }
+            if label.is_some() && label == sym_a {
+                continue;
+            }
+            if reach.insert(to) {
+                stack.push(to);
+            }
+        }
+    }
+    !reach
+        .iter()
+        .any(|s| nfa.step(*s, Some(sym_b)).next().is_some())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,6 +41,22 @@ fn f7_pins_reachability_and_example_6() {
 }
 
 #[test]
+fn f7_pins_example_6_listing_exactly() {
+    // The paper's Example 6 minima/maxima listing, byte for byte: each
+    // action appears once per section (deduplicated across edges).
+    let out = repro("f7");
+    let expected = "The minima of this analysis:\n\
+                    \x20 V1_sense M-2\n\
+                    \x20 V1_pos M-3\n\
+                    \x20 V2_pos M-4\n\
+                    The corresponding maxima:\n\
+                    \x20 M-11 V2_show\n\
+                    \x20 M-12+\n\
+                    \x20 +++ dead +++\n";
+    assert!(out.contains(expected), "Example 6 listing drifted:\n{out}");
+}
+
+#[test]
 fn f9_pins_squaring_law() {
     let out = repro("f9");
     assert!(out.contains("144 states = 12^2"), "{out}");

@@ -219,11 +219,7 @@ impl Action {
     pub fn shape(&self) -> Action {
         Action {
             name: self.name.clone(),
-            params: self
-                .params
-                .iter()
-                .map(|p| Param::plain(p.base()))
-                .collect(),
+            params: self.params.iter().map(|p| Param::plain(p.base())).collect(),
         }
     }
 }
@@ -265,7 +261,11 @@ mod tests {
         assert_eq!(p.index(), None);
         let p = Param::parse("HMI_w");
         assert_eq!(p.index(), Some("w"));
-        assert_eq!(Param::parse("_x"), Param::plain("_x"), "empty base kept plain");
+        assert_eq!(
+            Param::parse("_x"),
+            Param::plain("_x"),
+            "empty base kept plain"
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@
 use crate::action::{Action, Agent};
 use crate::requirements::{AuthRequirement, RequirementSet};
 use apa::ReachGraph;
-use automata::{ops, temporal, Dfa, Homomorphism, Nfa};
+use automata::temporal::PrecedenceIndex;
+use automata::{ops, temporal, Dfa, Homomorphism, Nfa, Symbol};
+use std::time::{Duration, Instant};
 
 /// The decision procedure for functional dependence of a (max, min)
 /// pair.
@@ -63,6 +65,57 @@ pub struct AssistedReport {
     pub verdicts: Vec<PairVerdict>,
     /// The elicited requirements.
     pub requirements: RequirementSet,
+    /// Per-stage timings and cache counters of this run.
+    pub stats: PipelineStats,
+}
+
+/// Tuning knobs of the dependence-checking engine
+/// (see [`elicit_with_options`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElicitOptions {
+    /// The decision procedure per (maximum, minimum) pair.
+    pub method: DependenceMethod,
+    /// Worker threads for the pair grid; `0` or `1` evaluates
+    /// sequentially. The verdict vector is identical for every thread
+    /// count (deterministic index-ordered merge).
+    pub threads: usize,
+    /// Skip pairs whose minimum provably never occurs on any path to a
+    /// firing of the maximum (verdict `dependent = false`,
+    /// `minimal_automaton_states = None`, no automaton is built).
+    pub prune: bool,
+}
+
+impl Default for ElicitOptions {
+    fn default() -> Self {
+        ElicitOptions {
+            method: DependenceMethod::Abstraction,
+            threads: 1,
+            prune: false,
+        }
+    }
+}
+
+/// Per-stage timings and work counters of one elicitation run
+/// (§5.5 pipeline: behaviour → minima/maxima → pair grid).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Time to build the behaviour NFA from the reachability graph.
+    pub behaviour_nfa: Duration,
+    /// Time to read the minima and maxima off the graph.
+    pub min_max: Duration,
+    /// Time for the occurrence/co-reachability pruning pre-pass.
+    pub prune_pass: Duration,
+    /// Time to evaluate the (maxima × minima) grid.
+    pub pair_eval: Duration,
+    /// Pairs in the grid (minimum ≠ maximum).
+    pub pairs_total: usize,
+    /// Pairs decided by the pruning pre-pass alone.
+    pub pairs_pruned: usize,
+    /// Pair evaluations that reused a cached per-maximum backward
+    /// reachability instead of recomputing it.
+    pub coreach_cache_hits: usize,
+    /// Worker threads used for the pair grid (1 = sequential).
+    pub threads: usize,
 }
 
 /// Decides dependence of (`minimum`, `maximum`) by homomorphic
@@ -84,7 +137,9 @@ pub fn dependence_by_precedence(behaviour: &Nfa, minimum: &str, maximum: &str) -
     temporal::precedes(behaviour, minimum, maximum)
 }
 
-/// Runs the tool-assisted pipeline on a reachability graph.
+/// Runs the tool-assisted pipeline on a reachability graph with the
+/// default engine options (sequential, no pruning) — byte-identical to
+/// the original per-pair loop.
 ///
 /// `stakeholder` assigns the responsible agent to each *maximum* action
 /// name (e.g. `V2_show ↦ D_2`).
@@ -93,40 +148,225 @@ pub fn elicit_from_graph(
     method: DependenceMethod,
     stakeholder: impl Fn(&str) -> Agent,
 ) -> AssistedReport {
-    let behaviour = graph.to_nfa();
-    let minima = graph.minima();
-    let maxima = graph.maxima();
-    let mut verdicts = Vec::with_capacity(minima.len() * maxima.len());
-    let mut requirements = RequirementSet::new();
-    for maximum in &maxima {
-        for minimum in &minima {
-            if minimum == maximum {
-                continue;
+    elicit_with_options(
+        graph,
+        &ElicitOptions {
+            method,
+            ..ElicitOptions::default()
+        },
+        stakeholder,
+    )
+}
+
+/// The per-maximum backward-reachability pruning index.
+///
+/// Shared work across the pair grid: the reversed graph and the edge
+/// occurrence sets are built once; for each *maximum* `m` the set of
+/// states that can still reach an `m`-firing state is computed once and
+/// reused for every minimum paired with `m`.
+struct PruneIndex {
+    /// Predecessor states per state (reversed edges, deduplicated).
+    rev: Vec<Vec<u32>>,
+    /// For each symbol, the states with an outgoing edge so labelled.
+    fire_sources: Vec<Vec<u32>>,
+    /// For each symbol, the target states of its edges.
+    edge_targets: Vec<Vec<u32>>,
+}
+
+impl PruneIndex {
+    fn new(graph: &ReachGraph) -> Self {
+        let n = graph.state_count();
+        let n_syms = graph.symbols().len();
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut fire_sources: Vec<Vec<u32>> = vec![Vec::new(); n_syms];
+        let mut edge_targets: Vec<Vec<u32>> = vec![Vec::new(); n_syms];
+        for (f, l, t) in graph.edges() {
+            rev[t].push(f as u32);
+            fire_sources[l.automaton.index()].push(f as u32);
+            edge_targets[l.automaton.index()].push(t as u32);
+        }
+        for preds in &mut rev {
+            preds.sort_unstable();
+            preds.dedup();
+        }
+        PruneIndex {
+            rev,
+            fire_sources,
+            edge_targets,
+        }
+    }
+
+    /// `mask[s]` = state `s` can reach (in ≥ 0 steps) a state with an
+    /// outgoing `max`-labelled edge.
+    fn coreach(&self, max: Symbol) -> Vec<bool> {
+        let mut mask = vec![false; self.rev.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for &s in &self.fire_sources[max.index()] {
+            if !std::mem::replace(&mut mask[s as usize], true) {
+                stack.push(s);
             }
-            let (dependent, automaton_states) = match method {
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &self.rev[s as usize] {
+                if !std::mem::replace(&mut mask[p as usize], true) {
+                    stack.push(p);
+                }
+            }
+        }
+        mask
+    }
+
+    /// `true` iff `min` can occur strictly before some later (or
+    /// immediate) firing of `max` on a path of the graph. When `false`,
+    /// the pair is independent without running a decision procedure:
+    /// every firing of the maximum happens on a run with no earlier
+    /// minimum, so the precedence property is violated.
+    fn min_before_max_possible(&self, min: Symbol, max_coreach: &[bool]) -> bool {
+        self.edge_targets[min.index()]
+            .iter()
+            .any(|&v| max_coreach[v as usize])
+    }
+}
+
+/// Runs the tool-assisted pipeline with explicit engine options:
+/// worker threads over the (maxima × minima) grid and the
+/// occurrence-set pruning pre-pass.
+///
+/// For any fixed options, the verdict vector is deterministic; for any
+/// *thread count*, it is bit-identical to the sequential run (pairs are
+/// chunked, evaluated independently, and merged in index order).
+/// Pruned pairs report `dependent = false` with
+/// `minimal_automaton_states = None`.
+pub fn elicit_with_options(
+    graph: &ReachGraph,
+    options: &ElicitOptions,
+    stakeholder: impl Fn(&str) -> Agent,
+) -> AssistedReport {
+    let mut stats = PipelineStats::default();
+
+    let t = Instant::now();
+    let behaviour = graph.to_nfa();
+    stats.behaviour_nfa = t.elapsed();
+
+    let t = Instant::now();
+    let minima_syms = graph.minima_syms();
+    let maxima_syms = graph.maxima_syms();
+    let minima: Vec<String> = minima_syms
+        .iter()
+        .map(|&s| graph.name(s).to_owned())
+        .collect();
+    let maxima: Vec<String> = maxima_syms
+        .iter()
+        .map(|&s| graph.name(s).to_owned())
+        .collect();
+    stats.min_max = t.elapsed();
+
+    // The deterministic pair grid: maxima outer, minima inner — the
+    // same order as the original nested loop.
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(maxima_syms.len() * minima_syms.len());
+    for (ma, &max_sym) in maxima_syms.iter().enumerate() {
+        for (mi, &min_sym) in minima_syms.iter().enumerate() {
+            if min_sym != max_sym {
+                pairs.push((ma, mi));
+            }
+        }
+    }
+    stats.pairs_total = pairs.len();
+
+    // Pruning pre-pass: one backward reachability per *maximum*,
+    // reused across all its minima.
+    let t = Instant::now();
+    let pruned: Vec<bool> = if options.prune {
+        let index = PruneIndex::new(graph);
+        let mut coreach_cache: Vec<Option<Vec<bool>>> = vec![None; maxima_syms.len()];
+        pairs
+            .iter()
+            .map(|&(ma, mi)| {
+                let slot = &mut coreach_cache[ma];
+                if slot.is_some() {
+                    stats.coreach_cache_hits += 1;
+                }
+                let coreach = slot.get_or_insert_with(|| index.coreach(maxima_syms[ma]));
+                !index.min_before_max_possible(minima_syms[mi], coreach)
+            })
+            .collect()
+    } else {
+        vec![false; pairs.len()]
+    };
+    stats.pairs_pruned = pruned.iter().filter(|&&p| p).count();
+    stats.prune_pass = t.elapsed();
+
+    // Shared-work caches for the decision procedures: the behaviour NFA
+    // (both methods) and its adjacency index (precedence method).
+    let precedence_index = match options.method {
+        DependenceMethod::Precedence => Some(PrecedenceIndex::new(&behaviour)),
+        DependenceMethod::Abstraction => None,
+    };
+
+    let eval_pair = |(&(ma, mi), &is_pruned): (&(usize, usize), &bool)| -> PairVerdict {
+        let minimum = &minima[mi];
+        let maximum = &maxima[ma];
+        let (dependent, automaton_states) = if is_pruned {
+            (false, None)
+        } else {
+            match options.method {
                 DependenceMethod::Abstraction => {
                     let (dep, minimal) = dependence_by_abstraction(&behaviour, minimum, maximum);
                     (dep, Some(minimal.state_count()))
                 }
                 DependenceMethod::Precedence => {
-                    (dependence_by_precedence(&behaviour, minimum, maximum), None)
+                    let index = precedence_index.as_ref().expect("built for this method");
+                    (index.precedes_names(minimum, maximum), None)
                 }
-            };
-            if dependent {
-                requirements.insert(AuthRequirement::new(
-                    Action::parse(minimum),
-                    Action::parse(maximum),
-                    stakeholder(maximum),
-                ));
             }
-            verdicts.push(PairVerdict {
-                minimum: minimum.clone(),
-                maximum: maximum.clone(),
-                dependent,
-                minimal_automaton_states: automaton_states,
-            });
+        };
+        PairVerdict {
+            minimum: minimum.clone(),
+            maximum: maximum.clone(),
+            dependent,
+            minimal_automaton_states: automaton_states,
+        }
+    };
+
+    let t = Instant::now();
+    let threads = options.threads.max(1);
+    stats.threads = threads;
+    let verdicts: Vec<PairVerdict> = if threads == 1 || pairs.len() < 2 {
+        pairs.iter().zip(pruned.iter()).map(eval_pair).collect()
+    } else {
+        // Chunked fork-join over the grid; the merge walks chunks in
+        // order, so the verdict vector is identical to the sequential
+        // one for every thread count.
+        let chunk = pairs.len().div_ceil(threads);
+        let pair_chunks: Vec<_> = pairs.chunks(chunk).collect();
+        let pruned_chunks: Vec<_> = pruned.chunks(chunk).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pair_chunks
+                .iter()
+                .zip(pruned_chunks.iter())
+                .map(|(ps, fs)| {
+                    scope.spawn(|| ps.iter().zip(fs.iter()).map(eval_pair).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pair worker panicked"))
+                .collect()
+        })
+    };
+    stats.pair_eval = t.elapsed();
+
+    let mut requirements = RequirementSet::new();
+    for v in &verdicts {
+        if v.dependent {
+            requirements.insert(AuthRequirement::new(
+                Action::parse(&v.minimum),
+                Action::parse(&v.maximum),
+                stakeholder(&v.maximum),
+            ));
         }
     }
+
     AssistedReport {
         state_count: graph.state_count(),
         edge_count: graph.edge_count(),
@@ -134,6 +374,7 @@ pub fn elicit_from_graph(
         maxima,
         verdicts,
         requirements,
+        stats,
     }
 }
 
@@ -170,7 +411,11 @@ mod tests {
                 }
             })),
         );
-        b.automaton("out", [dst, n_dst], rule::move_matching(0, 1, |v| v == &Value::atom("z")));
+        b.automaton(
+            "out",
+            [dst, n_dst],
+            rule::move_matching(0, 1, |v| v == &Value::atom("z")),
+        );
         b.automaton("noise", [n_src, n_dst], rule::move_any(0, 1));
         b.build()
             .unwrap()
@@ -220,7 +465,11 @@ mod tests {
             Agent::new(&format!("stakeholder_of_{name}"))
         });
         // out depends on in_a and in_b; noise on nothing; out not on noise.
-        let reqs: Vec<String> = report.requirements.iter().map(ToString::to_string).collect();
+        let reqs: Vec<String> = report
+            .requirements
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(
             reqs,
             vec![
@@ -234,6 +483,121 @@ mod tests {
             .verdicts
             .iter()
             .all(|v| v.minimal_automaton_states.is_some()));
+    }
+
+    #[test]
+    fn parallel_grid_is_bit_identical_to_sequential() {
+        let g = pipeline_graph();
+        for method in [DependenceMethod::Abstraction, DependenceMethod::Precedence] {
+            let seq = elicit_with_options(
+                &g,
+                &ElicitOptions {
+                    method,
+                    threads: 1,
+                    prune: false,
+                },
+                |_| Agent::new("P"),
+            );
+            for threads in [2, 4, 8] {
+                let par = elicit_with_options(
+                    &g,
+                    &ElicitOptions {
+                        method,
+                        threads,
+                        prune: false,
+                    },
+                    |_| Agent::new("P"),
+                );
+                assert_eq!(par.verdicts, seq.verdicts, "threads = {threads}");
+                assert_eq!(
+                    par.requirements.iter().collect::<Vec<_>>(),
+                    seq.requirements.iter().collect::<Vec<_>>()
+                );
+                assert_eq!(par.stats.threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_agrees_with_full_evaluation() {
+        let g = pipeline_graph();
+        let full = elicit_with_options(&g, &ElicitOptions::default(), |_| Agent::new("P"));
+        let pruned = elicit_with_options(
+            &g,
+            &ElicitOptions {
+                prune: true,
+                ..ElicitOptions::default()
+            },
+            |_| Agent::new("P"),
+        );
+        // Pruning never changes a dependence verdict — only how it is
+        // reached (pruned pairs skip the minimal automaton).
+        for (f, p) in full.verdicts.iter().zip(pruned.verdicts.iter()) {
+            assert_eq!((&f.minimum, &f.maximum), (&p.minimum, &p.maximum));
+            assert_eq!(f.dependent, p.dependent, "({}, {})", f.minimum, f.maximum);
+            if p.minimal_automaton_states.is_none() {
+                assert!(!p.dependent, "only independent pairs are pruned");
+            }
+        }
+        assert_eq!(
+            full.requirements.iter().collect::<Vec<_>>(),
+            pruned.requirements.iter().collect::<Vec<_>>()
+        );
+        // (noise, out) is prunable: noise never occurs on a path that
+        // still reaches an `out` firing? It does interleave, so at
+        // minimum the counters must be consistent.
+        assert!(pruned.stats.pairs_pruned <= pruned.stats.pairs_total);
+        assert_eq!(pruned.stats.pairs_total, full.verdicts.len());
+    }
+
+    #[test]
+    fn prune_pass_skips_unreachable_minima() {
+        // Chain `first → second` plus a detached `late` automaton that
+        // can only fire after `second` — i.e. `late` never occurs
+        // before `second`'s own inputs. Build: src -first-> mid
+        // -second-> dst, and an independent `spare` that fires from a
+        // separate component only after dst is filled.
+        let mut b = ApaBuilder::new();
+        let c0 = b.component("c0", [Value::atom("x")]);
+        let c1 = b.component("c1", []);
+        let c2 = b.component("c2", []);
+        let c3 = b.component("c3", []);
+        b.automaton("first", [c0, c1], rule::move_any(0, 1));
+        b.automaton("second", [c1, c2], rule::move_any(0, 1));
+        b.automaton("third", [c2, c3], rule::move_any(0, 1));
+        let g = b
+            .build()
+            .unwrap()
+            .reachability(&ReachOptions::default())
+            .unwrap();
+        // Single minimum `first`, single maximum `third`: the pair is
+        // dependent, so nothing is pruned — but stats must show the
+        // cache was consulted once per pair beyond the first.
+        let report = elicit_with_options(
+            &g,
+            &ElicitOptions {
+                prune: true,
+                ..ElicitOptions::default()
+            },
+            |_| Agent::new("P"),
+        );
+        assert_eq!(report.stats.pairs_total, 1);
+        assert_eq!(report.stats.pairs_pruned, 0);
+        assert_eq!(report.stats.coreach_cache_hits, 0);
+        assert!(report.verdicts[0].dependent);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = pipeline_graph();
+        let report = elicit_from_graph(&g, DependenceMethod::Abstraction, |_| Agent::new("P"));
+        assert_eq!(report.stats.pairs_total, report.verdicts.len());
+        assert_eq!(
+            report.stats.pairs_pruned, 0,
+            "legacy entry point never prunes"
+        );
+        assert_eq!(report.stats.threads, 1);
+        assert!(report.stats.pair_eval >= std::time::Duration::ZERO);
     }
 
     #[test]

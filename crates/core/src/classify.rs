@@ -29,10 +29,7 @@ use fsa_graph::closure::reflexive_transitive_closure;
 ///
 /// Returns [`FsaError::UnknownAction`] if the requirement's actions are
 /// not part of `instance`.
-pub fn classify(
-    instance: &SosInstance,
-    req: &AuthRequirement,
-) -> Result<Relevance, FsaError> {
+pub fn classify(instance: &SosInstance, req: &AuthRequirement) -> Result<Relevance, FsaError> {
     Classifier::new(instance).classify(instance, req)
 }
 

@@ -211,10 +211,11 @@ mod tests {
         b.flow(v1.node(send), vw.node(rec));
         let inst = b.build();
         assert_eq!(inst.action_count(), 10);
-        assert!(inst
-            .graph()
-            .has_edge(v1.node(send), vw.node(rec)));
-        assert_eq!(inst.action(vw.node(show)), &Action::parse("show(HMI_w,warn)"));
+        assert!(inst.graph().has_edge(v1.node(send), vw.node(rec)));
+        assert_eq!(
+            inst.action(vw.node(show)),
+            &Action::parse("show(HMI_w,warn)")
+        );
     }
 
     #[test]
@@ -224,7 +225,10 @@ mod tests {
         let mut b = SosInstanceBuilder::new("t");
         let rsu = m.instantiate("", &mut b).unwrap();
         let inst = b.build();
-        assert_eq!(inst.action(rsu.node(send)), &Action::parse("send(cam(pos))"));
+        assert_eq!(
+            inst.action(rsu.node(send)),
+            &Action::parse("send(cam(pos))")
+        );
         assert_eq!(inst.owner(rsu.node(send)), "RSU");
         assert_eq!(inst.stakeholder(rsu.node(send)).name(), "Operator");
     }

@@ -78,7 +78,10 @@ impl ConfidentialityPolicy {
 
     /// The sensitivity of `input`.
     pub fn sensitivity_of(&self, input: &Action) -> Level {
-        self.sensitivity.get(input).copied().unwrap_or(Level::PUBLIC)
+        self.sensitivity
+            .get(input)
+            .copied()
+            .unwrap_or(Level::PUBLIC)
     }
 
     /// The clearance of `output`.
@@ -112,7 +115,11 @@ impl fmt::Display for ConfRequirement {
             self.observer,
             self.sensitivity,
             self.clearance,
-            if self.violated { "VIOLATED" } else { "satisfied" }
+            if self.violated {
+                "VIOLATED"
+            } else {
+                "satisfied"
+            }
         )
     }
 }

@@ -44,12 +44,7 @@ pub fn dataflow_apa(instance: &SosInstance) -> Result<Apa, FsaError> {
     // flow edge.
     let ready: Vec<_> = g
         .node_ids()
-        .map(|id| {
-            b.component(
-                &format!("ready_{}", id.index()),
-                [Value::atom("go")],
-            )
-        })
+        .map(|id| b.component(&format!("ready_{}", id.index()), [Value::atom("go")]))
         .collect();
     let mut in_buffers: Vec<Vec<apa::ComponentId>> = vec![Vec::new(); g.node_count()];
     let mut out_buffers: Vec<Vec<apa::ComponentId>> = vec![Vec::new(); g.node_count()];
@@ -126,7 +121,11 @@ mod tests {
         let inst = fig3();
         let apa = dataflow_apa(&inst).unwrap();
         assert_eq!(apa.automaton_count(), 6);
-        assert_eq!(apa.component_count(), 6 + 5, "ready per action + buffer per flow");
+        assert_eq!(
+            apa.component_count(),
+            6 + 5,
+            "ready per action + buffer per flow"
+        );
     }
 
     #[test]

@@ -118,7 +118,14 @@ pub fn enumerate_instances(
     loop {
         // Advance the counter (odometer); first iteration is all zeros.
         if counts.iter().sum::<usize>() > 0 {
-            build_compositions(models, rules, &counts, options, &mut candidates, &mut result)?;
+            build_compositions(
+                models,
+                rules,
+                &counts,
+                options,
+                &mut candidates,
+                &mut result,
+            )?;
         }
         let mut i = 0;
         loop {
@@ -188,11 +195,12 @@ fn build_compositions(
     }
 
     // Every subset of candidate flows.
-    let subsets: usize = 1usize
-        .checked_shl(flows.len() as u32)
-        .ok_or_else(|| FsaError::InvalidComponentModel {
-            reason: "too many candidate external flows to enumerate".to_owned(),
-        })?;
+    let subsets: usize =
+        1usize
+            .checked_shl(flows.len() as u32)
+            .ok_or_else(|| FsaError::InvalidComponentModel {
+                reason: "too many candidate external flows to enumerate".to_owned(),
+            })?;
     for mask in 0..subsets {
         *candidates += 1;
         if *candidates > options.max_candidates {
@@ -209,11 +217,12 @@ fn build_compositions(
         for (mi, (model, _)) in models.iter().enumerate() {
             let mut copies = Vec::new();
             for c in 0..counts[mi] {
-                let index = if counts[mi] == 1 && model.actions().iter().all(|a| a.indices().is_empty()) {
-                    String::new()
-                } else {
-                    (c + 1).to_string()
-                };
+                let index =
+                    if counts[mi] == 1 && model.actions().iter().all(|a| a.indices().is_empty()) {
+                        String::new()
+                    } else {
+                        (c + 1).to_string()
+                    };
                 copies.push(model.instantiate(&index, &mut builder)?);
             }
             handles.push(copies);
@@ -286,9 +295,7 @@ pub fn union_requirements(instances: &[SosInstance]) -> Result<RequirementSet, F
 /// cyclic (bidirectional rules can produce `A sends to B sends to A`
 /// loops, which the paper's loop-freedom assumption excludes). Returns
 /// the union together with the number of skipped instances.
-pub fn union_requirements_loop_free(
-    instances: &[SosInstance],
-) -> (RequirementSet, usize) {
+pub fn union_requirements_loop_free(instances: &[SosInstance]) -> (RequirementSet, usize) {
     let mut union = RequirementSet::new();
     let mut skipped = 0usize;
     for inst in instances {

@@ -143,7 +143,13 @@ impl fmt::Display for SosInstance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "SoS instance `{}`:", self.name)?;
         for (id, a) in self.graph.nodes() {
-            writeln!(f, "  [{}] {} (owner {})", id.index(), a, self.owners[id.index()])?;
+            writeln!(
+                f,
+                "  [{}] {} (owner {})",
+                id.index(),
+                a,
+                self.owners[id.index()]
+            )?;
         }
         for (x, y) in self.graph.edges() {
             let kind = if self.policy_edges.contains(&(x, y)) {

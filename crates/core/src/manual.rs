@@ -184,7 +184,11 @@ pub fn explain(instance: &SosInstance, req: &AuthRequirement) -> Option<Vec<Acti
     let a = instance.find(&req.antecedent)?;
     let b = instance.find(&req.consequent)?;
     let path = fsa_graph::path::shortest_path(instance.graph(), a, b)?;
-    Some(path.into_iter().map(|n| instance.action(n).clone()).collect())
+    Some(
+        path.into_iter()
+            .map(|n| instance.action(n).clone())
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -222,7 +226,11 @@ mod tests {
         let report = elicit(&fig3()).unwrap();
         assert_eq!(report.minima().len(), 3);
         assert_eq!(report.maxima(), &[Action::parse("show(HMI_w,warn)")]);
-        let reqs: Vec<String> = report.requirements().iter().map(ToString::to_string).collect();
+        let reqs: Vec<String> = report
+            .requirements()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(
             reqs,
             vec![

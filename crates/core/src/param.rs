@@ -179,14 +179,13 @@ mod tests {
         match &forms[0] {
             ReqForm::ForAll { domain, template } => {
                 assert_eq!(domain, &["2", "3", "4"]);
-                assert_eq!(
-                    template.antecedent.to_string(),
-                    "pos(GPS_x,pos)"
-                );
+                assert_eq!(template.antecedent.to_string(), "pos(GPS_x,pos)");
             }
             other => panic!("expected ForAll, got {other:?}"),
         }
-        assert!(matches!(&forms[1], ReqForm::Plain(r) if r.antecedent == Action::parse("sense(ESP_1,sW)")));
+        assert!(
+            matches!(&forms[1], ReqForm::Plain(r) if r.antecedent == Action::parse("sense(ESP_1,sW)"))
+        );
     }
 
     #[test]

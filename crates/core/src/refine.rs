@@ -47,11 +47,7 @@ impl Refinement {
 
     /// The intermediate actions the decomposition passes through.
     pub fn intermediates(&self) -> Vec<&Action> {
-        self.hops
-            .iter()
-            .skip(1)
-            .map(|h| &h.antecedent)
-            .collect()
+        self.hops.iter().skip(1).map(|h| &h.antecedent).collect()
     }
 }
 

@@ -11,12 +11,24 @@ use std::fmt::Write as _;
 /// Renders a manual-pipeline report in the style of §4.4.
 pub fn render_manual(report: &ElicitationReport) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Functional security analysis: {} ==", report.instance_name());
-    let _ = writeln!(s, "zeta (direct functional flows): {} pairs", report.zeta().len());
+    let _ = writeln!(
+        s,
+        "== Functional security analysis: {} ==",
+        report.instance_name()
+    );
+    let _ = writeln!(
+        s,
+        "zeta (direct functional flows): {} pairs",
+        report.zeta().len()
+    );
     for (a, b) in report.zeta() {
         let _ = writeln!(s, "  ({a}, {b})");
     }
-    let _ = writeln!(s, "zeta* (reflexive transitive closure): {} pairs", report.closure_size());
+    let _ = writeln!(
+        s,
+        "zeta* (reflexive transitive closure): {} pairs",
+        report.closure_size()
+    );
     let _ = writeln!(s, "minimal elements (incoming boundary actions):");
     for a in report.minima() {
         let _ = writeln!(s, "  {a}");
@@ -25,7 +37,11 @@ pub fn render_manual(report: &ElicitationReport) -> String {
     for a in report.maxima() {
         let _ = writeln!(s, "  {a}");
     }
-    let _ = writeln!(s, "chi (min x max restriction): {} pairs", report.chi().len());
+    let _ = writeln!(
+        s,
+        "chi (min x max restriction): {} pairs",
+        report.chi().len()
+    );
     let _ = writeln!(s, "authenticity requirements:");
     for c in report.classified_requirements() {
         let _ = writeln!(s, "  {}   [{}]", c.requirement, c.relevance);
@@ -63,7 +79,11 @@ pub fn render_parameterised(report: &ElicitationReport, min_group_size: usize) -
 /// documentation.
 pub fn render_markdown(report: &ElicitationReport) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "## Functional security analysis: {}\n", report.instance_name());
+    let _ = writeln!(
+        s,
+        "## Functional security analysis: {}\n",
+        report.instance_name()
+    );
     let _ = writeln!(
         s,
         "*|ζ| = {}, |ζ*| = {}; {} minimal and {} maximal elements; {} component boundary actions.*\n",
@@ -73,7 +93,10 @@ pub fn render_markdown(report: &ElicitationReport) -> String {
         report.maxima().len(),
         report.boundary().component_boundary_count(),
     );
-    let _ = writeln!(s, "| # | antecedent | consequent | stakeholder | relevance |");
+    let _ = writeln!(
+        s,
+        "| # | antecedent | consequent | stakeholder | relevance |"
+    );
     let _ = writeln!(s, "|---|---|---|---|---|");
     for (i, c) in report.classified_requirements().iter().enumerate() {
         let _ = writeln!(
@@ -148,7 +171,11 @@ pub fn render_assisted(report: &AssistedReport) -> String {
             "  {} -> {}: {}{}",
             v.minimum,
             v.maximum,
-            if v.dependent { "dependent" } else { "independent" },
+            if v.dependent {
+                "dependent"
+            } else {
+                "independent"
+            },
             states
         );
     }
@@ -156,6 +183,22 @@ pub fn render_assisted(report: &AssistedReport) -> String {
     for r in &report.requirements {
         let _ = writeln!(s, "  {r}");
     }
+    s
+}
+
+/// Renders the dependence-checking engine's per-stage statistics
+/// (the `--stats` output of the `fsa` binary).
+pub fn render_stats(stats: &crate::assisted::PipelineStats) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "pipeline stats ({} thread(s)):", stats.threads);
+    let _ = writeln!(s, "  behaviour NFA:   {:?}", stats.behaviour_nfa);
+    let _ = writeln!(s, "  min/max scan:    {:?}", stats.min_max);
+    let _ = writeln!(
+        s,
+        "  prune pass:      {:?} ({}/{} pairs pruned, {} co-reach cache hit(s))",
+        stats.prune_pass, stats.pairs_pruned, stats.pairs_total, stats.coreach_cache_hits
+    );
+    let _ = writeln!(s, "  pair evaluation: {:?}", stats.pair_eval);
     s
 }
 
@@ -241,10 +284,27 @@ mod tests {
             )]
             .into_iter()
             .collect::<RequirementSet>(),
+            stats: crate::assisted::PipelineStats::default(),
         };
         let text = render_assisted(&report);
         assert!(text.contains("12 states"));
         assert!(text.contains("dependent (3-state minimal automaton)"));
         assert!(text.contains("auth(V1_sense, V2_show, D_2)"));
+    }
+
+    #[test]
+    fn render_stats_lists_stages() {
+        let stats = crate::assisted::PipelineStats {
+            pairs_total: 6,
+            pairs_pruned: 2,
+            coreach_cache_hits: 4,
+            threads: 4,
+            ..Default::default()
+        };
+        let text = render_stats(&stats);
+        assert!(text.contains("pipeline stats (4 thread(s))"));
+        assert!(text.contains("2/6 pairs pruned"));
+        assert!(text.contains("4 co-reach cache hit(s)"));
+        assert!(text.contains("pair evaluation"));
     }
 }

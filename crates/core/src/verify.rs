@@ -181,7 +181,11 @@ mod tests {
 
     #[test]
     fn holding_verdict_displays() {
-        let v = verify_one(&honest_behaviour(), &req("sense", "show"), Checker::Precedence);
+        let v = verify_one(
+            &honest_behaviour(),
+            &req("sense", "show"),
+            Checker::Precedence,
+        );
         assert!(v.to_string().ends_with("holds"));
     }
 }

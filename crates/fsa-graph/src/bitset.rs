@@ -48,7 +48,11 @@ impl BitSet {
     ///
     /// Panics if `index >= capacity`.
     pub fn insert(&mut self, index: usize) -> bool {
-        assert!(index < self.capacity, "bit index {index} out of capacity {}", self.capacity);
+        assert!(
+            index < self.capacity,
+            "bit index {index} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (index / WORD_BITS, index % WORD_BITS);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -61,7 +65,11 @@ impl BitSet {
     ///
     /// Panics if `index >= capacity`.
     pub fn remove(&mut self, index: usize) -> bool {
-        assert!(index < self.capacity, "bit index {index} out of capacity {}", self.capacity);
+        assert!(
+            index < self.capacity,
+            "bit index {index} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (index / WORD_BITS, index % WORD_BITS);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);

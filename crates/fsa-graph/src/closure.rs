@@ -70,9 +70,10 @@ impl Relation {
 
     /// Iterates over all pairs in the relation, sorted.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.rows.iter().enumerate().flat_map(|(a, row)| {
-            row.iter().map(move |b| (NodeId::new(a), NodeId::new(b)))
-        })
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(a, row)| row.iter().map(move |b| (NodeId::new(a), NodeId::new(b))))
     }
 
     /// Number of pairs in the relation.
@@ -107,6 +108,28 @@ impl Relation {
             }
         }
         true
+    }
+
+    /// Transitively closes the relation in place (Floyd–Warshall on the
+    /// bit matrix, `O(n³/64)`); a no-op when already transitive.
+    ///
+    /// [`crate::order::PartialOrder::try_new`] relies on this to enforce
+    /// transitivity *unconditionally* — a non-closed input previously
+    /// slipped through release builds and produced an incomplete χ
+    /// (missing requirements).
+    pub fn close_transitive(&mut self) {
+        if self.is_transitive() {
+            return;
+        }
+        let n = self.rows.len();
+        for k in 0..n {
+            let row_k = self.rows[k].clone();
+            for i in 0..n {
+                if self.rows[i].contains(k) {
+                    self.rows[i].union_with(&row_k);
+                }
+            }
+        }
     }
 
     /// Checks antisymmetry; returns a violating pair if any.

@@ -117,9 +117,7 @@ impl<N> DiGraph<N> {
 
     /// Returns `true` if the edge `from → to` exists.
     pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.succ
-            .get(from.index())
-            .is_some_and(|s| s.contains(&to))
+        self.succ.get(from.index()).is_some_and(|s| s.contains(&to))
     }
 
     /// Number of nodes.
@@ -204,7 +202,9 @@ impl<N> DiGraph<N> {
     /// For a functional flow graph these are the incoming boundary
     /// actions — the origins of information.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|n| self.in_degree(*n) == 0).collect()
+        self.node_ids()
+            .filter(|n| self.in_degree(*n) == 0)
+            .collect()
     }
 
     /// Nodes with out-degree 0 (the graph's *sinks*).
@@ -212,7 +212,9 @@ impl<N> DiGraph<N> {
     /// For a functional flow graph these are the outgoing boundary
     /// actions — the safety-critical outputs.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|n| self.out_degree(*n) == 0).collect()
+        self.node_ids()
+            .filter(|n| self.out_degree(*n) == 0)
+            .collect()
     }
 
     /// Builds the reverse graph (same payloads by clone, edges flipped).

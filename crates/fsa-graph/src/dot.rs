@@ -66,7 +66,9 @@ pub fn to_dot<N>(
 
 /// Escapes a string for inclusion in a DOT double-quoted label.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Keeps only characters valid in an unquoted DOT identifier.

@@ -40,10 +40,7 @@ pub fn are_isomorphic<L: Eq + Hash + Ord>(a: &DiGraph<L>, b: &DiGraph<L>) -> boo
 /// Finds a label- and edge-preserving bijection from `a`'s nodes to `b`'s
 /// nodes, if one exists. The returned vector maps `a`-indices to
 /// `b`-node-ids.
-pub fn find_isomorphism<L: Eq + Hash + Ord>(
-    a: &DiGraph<L>,
-    b: &DiGraph<L>,
-) -> Option<Vec<NodeId>> {
+pub fn find_isomorphism<L: Eq + Hash + Ord>(a: &DiGraph<L>, b: &DiGraph<L>) -> Option<Vec<NodeId>> {
     if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
         return None;
     }
@@ -54,10 +51,18 @@ pub fn find_isomorphism<L: Eq + Hash + Ord>(
 
     // Rank labels over the union of both graphs so that colours are
     // comparable across graphs.
-    let mut labels: Vec<&L> = a.nodes().map(|(_, l)| l).chain(b.nodes().map(|(_, l)| l)).collect();
+    let mut labels: Vec<&L> = a
+        .nodes()
+        .map(|(_, l)| l)
+        .chain(b.nodes().map(|(_, l)| l))
+        .collect();
     labels.sort();
     labels.dedup();
-    let rank: HashMap<&L, u64> = labels.iter().enumerate().map(|(i, l)| (*l, i as u64)).collect();
+    let rank: HashMap<&L, u64> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (*l, i as u64))
+        .collect();
     let ca = refine_colors(a, |l| rank[l]);
     let cb = refine_colors(b, |l| rank[l]);
 
@@ -69,10 +74,7 @@ pub fn find_isomorphism<L: Eq + Hash + Ord>(
     // Candidate sets: a-node may map to any b-node of the same colour.
     let mut candidates: Vec<Vec<NodeId>> = Vec::with_capacity(n);
     for &color in ca.iter().take(n) {
-        let cands: Vec<NodeId> = b
-            .node_ids()
-            .filter(|j| cb[j.index()] == color)
-            .collect();
+        let cands: Vec<NodeId> = b.node_ids().filter(|j| cb[j.index()] == color).collect();
         if cands.is_empty() {
             return None;
         }
@@ -85,8 +87,12 @@ pub fn find_isomorphism<L: Eq + Hash + Ord>(
 
     let mut mapping: Vec<Option<NodeId>> = vec![None; n];
     let mut used = vec![false; n];
-    backtrack(a, b, &order, 0, &candidates, &mut mapping, &mut used)
-        .then(|| mapping.into_iter().map(|m| m.expect("complete mapping")).collect())
+    backtrack(a, b, &order, 0, &candidates, &mut mapping, &mut used).then(|| {
+        mapping
+            .into_iter()
+            .map(|m| m.expect("complete mapping"))
+            .collect()
+    })
 }
 
 /// Iterated colour refinement combining label, in/out colour multisets.

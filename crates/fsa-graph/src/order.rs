@@ -29,13 +29,16 @@ impl PartialOrder {
     /// Returns [`GraphError::NotAntisymmetric`] with a witnessing pair if
     /// two distinct elements are mutually related (i.e. the underlying
     /// flow graph has a cycle). Reflexivity and transitivity are enforced
-    /// by closing the relation, so only antisymmetry can fail.
+    /// by closing the relation — unconditionally, in every build profile —
+    /// so only antisymmetry can fail. Antisymmetry is checked *after*
+    /// closing: a cycle hidden in a non-closed input only becomes a
+    /// mutual pair once the relation is transitive.
     pub fn try_new(mut relation: Relation) -> Result<Self, GraphError> {
+        relation.close_transitive();
         if let Some((a, b)) = relation.antisymmetry_violation() {
             return Err(GraphError::NotAntisymmetric(a, b));
         }
         relation.make_reflexive();
-        debug_assert!(relation.is_transitive(), "input relation must be closed");
         Ok(PartialOrder { relation })
     }
 
@@ -71,10 +74,7 @@ impl PartialOrder {
                 has_lower[b.index()] = true;
             }
         }
-        (0..n)
-            .filter(|&i| !has_lower[i])
-            .map(NodeId::new)
-            .collect()
+        (0..n).filter(|&i| !has_lower[i]).map(NodeId::new).collect()
     }
 
     /// Maximal elements: `y` with no `z ≠ y` such that `y ≤ z`.
@@ -89,10 +89,7 @@ impl PartialOrder {
                 has_upper[a.index()] = true;
             }
         }
-        (0..n)
-            .filter(|&i| !has_upper[i])
-            .map(NodeId::new)
-            .collect()
+        (0..n).filter(|&i| !has_upper[i]).map(NodeId::new).collect()
     }
 
     /// The restriction `χ` of the order to (minimal, maximal) pairs.
@@ -186,9 +183,7 @@ impl PartialOrder {
                     continue;
                 }
                 let below_ok = (0..n).all(|j| {
-                    j == cand
-                        || !self.lt(NodeId::new(j), NodeId::new(cand))
-                        || contains(&ideal, j)
+                    j == cand || !self.lt(NodeId::new(j), NodeId::new(cand)) || contains(&ideal, j)
                 });
                 if below_ok {
                     let mut next = ideal.clone();
@@ -278,6 +273,41 @@ mod tests {
         assert!(po.maximal_elements().contains(&iso));
         let chi = po.min_max_restriction();
         assert_eq!(chi, vec![(a, b)]);
+    }
+
+    #[test]
+    fn non_closed_input_is_closed_unconditionally() {
+        // Regression: a non-transitive input ({(0,1), (1,2)} without
+        // (0,2)) used to pass a release-mode `debug_assert!` untouched,
+        // silently dropping (0,2) — and with it the (minimum, maximum)
+        // requirement — from χ.
+        use crate::closure::Relation;
+        let mut r = Relation::empty(3);
+        r.insert(NodeId::new(0), NodeId::new(1));
+        r.insert(NodeId::new(1), NodeId::new(2));
+        let po = PartialOrder::try_new(r).expect("closable to a partial order");
+        assert!(po.relation().is_transitive());
+        assert!(
+            po.le(NodeId::new(0), NodeId::new(2)),
+            "closure pair present"
+        );
+        let chi = po.min_max_restriction();
+        assert_eq!(chi, vec![(NodeId::new(0), NodeId::new(2))]);
+    }
+
+    #[test]
+    fn hidden_cycle_in_non_closed_input_rejected() {
+        // A 3-cycle given non-closed has no mutual pair until closure;
+        // the antisymmetry check must therefore run on the closed
+        // relation.
+        use crate::closure::Relation;
+        let mut r = Relation::empty(3);
+        r.insert(NodeId::new(0), NodeId::new(1));
+        r.insert(NodeId::new(1), NodeId::new(2));
+        r.insert(NodeId::new(2), NodeId::new(0));
+        assert!(r.is_antisymmetric(), "no mutual pair before closure");
+        let err = PartialOrder::try_new(r).unwrap_err();
+        assert!(matches!(err, GraphError::NotAntisymmetric(_, _)));
     }
 
     #[test]

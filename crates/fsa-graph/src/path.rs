@@ -61,12 +61,7 @@ pub fn shortest_path<N>(g: &DiGraph<N>, from: NodeId, to: NodeId) -> Option<Vec<
 /// Returns `true` if `to` is reachable from `from` without passing
 /// through `avoid` (endpoints are allowed to equal `avoid` only if they
 /// coincide with it).
-pub fn is_reachable_avoiding<N>(
-    g: &DiGraph<N>,
-    from: NodeId,
-    to: NodeId,
-    avoid: NodeId,
-) -> bool {
+pub fn is_reachable_avoiding<N>(g: &DiGraph<N>, from: NodeId, to: NodeId, avoid: NodeId) -> bool {
     if from == avoid || to == avoid {
         return from == to;
     }

@@ -26,7 +26,9 @@ impl SccDecomposition {
     /// Returns `true` if every component is a single node without a
     /// self-loop, i.e. the graph is acyclic.
     pub fn is_acyclic<N>(&self, g: &DiGraph<N>) -> bool {
-        self.components.iter().all(|c| c.len() == 1 && !g.has_edge(c[0], c[0]))
+        self.components
+            .iter()
+            .all(|c| c.len() == 1 && !g.has_edge(c[0], c[0]))
     }
 }
 

@@ -34,10 +34,8 @@ pub fn topological_sort<N>(g: &DiGraph<N>) -> Result<Vec<NodeId>, GraphError> {
     let n = g.node_count();
     let mut in_deg: Vec<usize> = g.node_ids().map(|id| g.in_degree(id)).collect();
     // BTreeSet keeps the frontier sorted → deterministic output.
-    let mut ready: std::collections::BTreeSet<NodeId> = g
-        .node_ids()
-        .filter(|id| in_deg[id.index()] == 0)
-        .collect();
+    let mut ready: std::collections::BTreeSet<NodeId> =
+        g.node_ids().filter(|id| in_deg[id.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(&next) = ready.iter().next() {
         ready.remove(&next);
@@ -57,7 +55,9 @@ pub fn topological_sort<N>(g: &DiGraph<N>) -> Result<Vec<NodeId>, GraphError> {
             .node_ids()
             .find(|id| in_deg[id.index()] > 0)
             .expect("at least one blocked node when order is incomplete");
-        return Err(GraphError::CycleDetected(find_cycle_node(g, &in_deg, blocked)));
+        return Err(GraphError::CycleDetected(find_cycle_node(
+            g, &in_deg, blocked,
+        )));
     }
     Ok(order)
 }
@@ -141,7 +141,10 @@ mod tests {
         g.add_edge(c, a);
         match topological_sort(&g) {
             Err(GraphError::CycleDetected(n)) => {
-                assert!([a, b, c].contains(&n), "witness must be on the cycle, got {n:?}");
+                assert!(
+                    [a, b, c].contains(&n),
+                    "witness must be on the cycle, got {n:?}"
+                );
             }
             other => panic!("expected cycle, got {other:?}"),
         }

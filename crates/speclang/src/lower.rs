@@ -39,7 +39,10 @@ fn lower_model(decl: &ModelDecl) -> Result<(ComponentModel, HashMap<&str, usize>
         if ids.contains_key(a.id.as_str()) {
             return Err(ParseError::new(
                 a.span,
-                format!("duplicate action identifier `{}` in model `{}`", a.id, decl.name),
+                format!(
+                    "duplicate action identifier `{}` in model `{}`",
+                    a.id, decl.name
+                ),
             ));
         }
         let template = model.action(&a.term.to_string());
@@ -47,10 +50,16 @@ fn lower_model(decl: &ModelDecl) -> Result<(ComponentModel, HashMap<&str, usize>
     }
     for f in &decl.flows {
         let from = *ids.get(f.from.as_str()).ok_or_else(|| {
-            ParseError::new(f.span, format!("flow references undeclared action `{}`", f.from))
+            ParseError::new(
+                f.span,
+                format!("flow references undeclared action `{}`", f.from),
+            )
         })?;
         let to = *ids.get(f.to.as_str()).ok_or_else(|| {
-            ParseError::new(f.span, format!("flow references undeclared action `{}`", f.to))
+            ParseError::new(
+                f.span,
+                format!("flow references undeclared action `{}`", f.to),
+            )
         })?;
         if f.policy {
             model.policy_flow(from, to);
@@ -81,8 +90,13 @@ fn lower_instance(
     }
 
     // Instantiate used component models.
-    let mut components: HashMap<&str, (fsa_core::component_model::ComponentInstance, &HashMap<&str, usize>)> =
-        HashMap::new();
+    let mut components: HashMap<
+        &str,
+        (
+            fsa_core::component_model::ComponentInstance,
+            &HashMap<&str, usize>,
+        ),
+    > = HashMap::new();
     for u in &decl.uses {
         let (model, ids) = models.get(u.model.as_str()).ok_or_else(|| {
             ParseError::new(u.span, format!("use of unknown model `{}`", u.model))
@@ -101,10 +115,16 @@ fn lower_instance(
 
     for f in &decl.flows {
         let from = *by_id.get(f.from.as_str()).ok_or_else(|| {
-            ParseError::new(f.span, format!("flow references undeclared action `{}`", f.from))
+            ParseError::new(
+                f.span,
+                format!("flow references undeclared action `{}`", f.from),
+            )
         })?;
         let to = *by_id.get(f.to.as_str()).ok_or_else(|| {
-            ParseError::new(f.span, format!("flow references undeclared action `{}`", f.to))
+            ParseError::new(
+                f.span,
+                format!("flow references undeclared action `{}`", f.to),
+            )
         })?;
         if f.policy {
             builder.policy_flow(from, to);
@@ -116,7 +136,10 @@ fn lower_instance(
     for c in &decl.connects {
         let resolve = |alias: &str, action: &str| -> Result<fsa_graph::NodeId, ParseError> {
             let (handle, ids) = components.get(alias).ok_or_else(|| {
-                ParseError::new(c.span, format!("connect references unknown component `{alias}`"))
+                ParseError::new(
+                    c.span,
+                    format!("connect references unknown component `{alias}`"),
+                )
             })?;
             let template = *ids.get(action).ok_or_else(|| {
                 ParseError::new(
@@ -256,7 +279,10 @@ mod tests {
         // dependency is present with the right stakeholder.
         let wanted = "auth(sense(ESP_1,sW), show(HMI_w,warn), D_w)";
         assert!(
-            report.requirements().iter().any(|r| r.to_string() == wanted),
+            report
+                .requirements()
+                .iter()
+                .any(|r| r.to_string() == wanted),
             "missing {wanted}; got {:?}",
             report.requirements()
         );

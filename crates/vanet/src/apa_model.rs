@@ -171,11 +171,7 @@ pub fn add_rsu(builder: &mut ApaBuilder, danger: Position) {
             }
             let mut next = local.clone();
             next[0].remove(&pending);
-            let msg = Value::tuple([
-                Value::atom("cam"),
-                Value::atom("RSU"),
-                Value::int(danger.0),
-            ]);
+            let msg = Value::tuple([Value::atom("cam"), Value::atom("RSU"), Value::int(danger.0)]);
             next[1].insert(msg.clone());
             vec![(msg.to_string(), next)]
         })),
@@ -325,7 +321,9 @@ mod tests {
         // After send, V1's bus is empty, so V1_rec never fires and
         // V1_show is not a maximum.
         let g = reach(&two_vehicle_apa(ApaSemantics::PAPER).unwrap());
-        assert!(!g.to_nfa().accepts(["V1_sense", "V1_pos", "V1_send", "V1_rec"]));
+        assert!(!g
+            .to_nfa()
+            .accepts(["V1_sense", "V1_pos", "V1_send", "V1_rec"]));
     }
 
     #[test]
@@ -342,7 +340,12 @@ mod tests {
     fn retain_semantics_changes_state_count_only() {
         for semantics in ApaSemantics::ALL {
             let g = reach(&two_vehicle_apa(semantics).unwrap());
-            assert_eq!(g.minima(), vec!["V1_pos", "V1_sense", "V2_pos"], "{}", semantics.tag());
+            assert_eq!(
+                g.minima(),
+                vec!["V1_pos", "V1_sense", "V2_pos"],
+                "{}",
+                semantics.tag()
+            );
             // Maxima are V2_show whenever a dead state exists; the
             // retain/retain variant cycles and has no dead state.
             if !g.dead_states().is_empty() {
@@ -361,10 +364,7 @@ mod tests {
         let reqs: Vec<String> = report.iter().map(ToString::to_string).collect();
         assert_eq!(
             reqs,
-            vec![
-                "auth(RSU_send, V1_show, D_1)",
-                "auth(V1_pos, V1_show, D_1)",
-            ]
+            vec!["auth(RSU_send, V1_show, D_1)", "auth(V1_pos, V1_show, D_1)",]
         );
     }
 

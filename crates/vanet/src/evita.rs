@@ -135,7 +135,7 @@ pub fn onboard_instance() -> SosInstance {
     flow(&mut b, m_gpsw, o_acc, true, "w"); // ACC adaptation (2 deps)
     flow(&mut b, m_gyro, o_acc, true, "w");
     flow(&mut b, m_ack, o_mute, true, "w"); // audio mute (1 dep)
-    // Outputs of V1.
+                                            // Outputs of V1.
     flow(&mut b, fuse, o_show_1, true, "1"); // own display (2 deps)
     flow(&mut b, fuse, o_log_1, true, "1"); // event log (3 deps)
     flow(&mut b, m_gps1, o_log_1, true, "1");

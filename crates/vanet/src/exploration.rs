@@ -39,8 +39,7 @@ mod tests {
 
     #[test]
     fn two_vehicle_universe_contains_fig2_and_fig3_shapes() {
-        let instances =
-            enumerate_scenario_instances(2, &ExploreOptions::default()).unwrap();
+        let instances = enumerate_scenario_instances(2, &ExploreOptions::default()).unwrap();
         assert!(!instances.is_empty());
         let fig2 = crate::instances::rsu_warns_vehicle();
         let fig3 = crate::instances::two_vehicle_warning();
@@ -68,8 +67,7 @@ mod tests {
 
     #[test]
     fn universe_is_isomorphism_reduced() {
-        let instances =
-            enumerate_scenario_instances(2, &ExploreOptions::default()).unwrap();
+        let instances = enumerate_scenario_instances(2, &ExploreOptions::default()).unwrap();
         for (i, a) in instances.iter().enumerate() {
             for b in instances.iter().skip(i + 1) {
                 assert!(!are_isomorphic(&a.shape_graph(), &b.shape_graph()));

@@ -82,8 +82,16 @@ pub fn add_extended_vehicle(
     let hmi = builder.component(&format!("hmi{tag}"), []);
     let net = builder.shared_component("net");
 
-    builder.automaton(&format!("V{tag}_sense"), [esp, bus], apa::rule::move_any(0, 1));
-    builder.automaton(&format!("V{tag}_pos"), [gps, bus], apa::rule::move_any(0, 1));
+    builder.automaton(
+        &format!("V{tag}_sense"),
+        [esp, bus],
+        apa::rule::move_any(0, 1),
+    );
+    builder.automaton(
+        &format!("V{tag}_pos"),
+        [gps, bus],
+        apa::rule::move_any(0, 1),
+    );
 
     // send: measurement + own position → message with danger = sender =
     // own position.
@@ -171,10 +179,7 @@ pub fn add_extended_vehicle(
                             continue;
                         }
                         let mut next = local.clone();
-                        next[0].remove(&Value::tuple([
-                            Value::atom("relay"),
-                            Value::int(danger),
-                        ]));
+                        next[0].remove(&Value::tuple([Value::atom("relay"), Value::int(danger)]));
                         next[0].remove(&Value::int(own));
                         let msg = cam_message(&vehicle_id, danger, own);
                         next[1].insert(msg.clone());

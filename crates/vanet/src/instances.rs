@@ -103,7 +103,11 @@ mod tests {
     #[test]
     fn fig2_requirements_of_example2() {
         let report = elicit(&rsu_warns_vehicle()).unwrap();
-        let reqs: Vec<String> = report.requirements().iter().map(ToString::to_string).collect();
+        let reqs: Vec<String> = report
+            .requirements()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(
             reqs,
             vec![
@@ -117,7 +121,11 @@ mod tests {
     fn fig3_requirements_of_example3() {
         let report = elicit(&two_vehicle_warning()).unwrap();
         assert_eq!(report.closure_size(), 16);
-        let reqs: Vec<String> = report.requirements().iter().map(ToString::to_string).collect();
+        let reqs: Vec<String> = report
+            .requirements()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(
             reqs,
             vec![
@@ -131,7 +139,9 @@ mod tests {
     #[test]
     fn fig4_chi2_adds_forwarder_position() {
         let chi1 = elicit(&two_vehicle_warning()).unwrap().requirement_set();
-        let chi2 = elicit(&three_vehicle_forwarding()).unwrap().requirement_set();
+        let chi2 = elicit(&three_vehicle_forwarding())
+            .unwrap()
+            .requirement_set();
         let diff = chi2.difference(&chi1);
         assert_eq!(diff.len(), 1);
         assert_eq!(

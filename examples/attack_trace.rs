@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nattacked behaviour: {} states (attacker: ATK_inject)",
         attacked.state_count()
     );
-    let verdicts = verify_requirements(&attacked.to_nfa(), &report.requirements, Checker::Precedence);
+    let verdicts = verify_requirements(
+        &attacked.to_nfa(),
+        &report.requirements,
+        Checker::Precedence,
+    );
     let mut violated = 0;
     for v in &verdicts {
         println!("  {v}");
@@ -56,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert!(trace.iter().any(|step| step == "ATK_inject"));
         }
     }
-    println!("\n{violated}/{} requirements violated by the forged-message attacker", verdicts.len());
+    println!(
+        "\n{violated}/{} requirements violated by the forged-message attacker",
+        verdicts.len()
+    );
     assert!(violated > 0);
     Ok(())
 }

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seed in [1u64, 7, 23] {
         let mut sim = Simulator::new(&apa, seed);
         let steps = sim.run(100)?;
-        let trace: Vec<&str> = sim.trace().iter().map(|l| l.automaton.as_str()).collect();
+        let trace = sim.trace_names();
         println!("seed {seed:>2}: {steps} steps — {}", trace.join(" → "));
     }
 
@@ -32,17 +32,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         state.iter().all(|component| component.len() <= 2)
             && state.last().map(|net| net.len() <= 1).unwrap_or(true)
     });
-    println!("invariant `at most one message in flight`: {}",
-        if verdict.is_none() { "holds" } else { "violated" });
+    println!(
+        "invariant `at most one message in flight`: {}",
+        if verdict.is_none() {
+            "holds"
+        } else {
+            "violated"
+        }
+    );
 
     // Invariant 2 (deliberately false): "no warning is ever shown" —
     // the checker returns the shortest trace to the violation.
     let net_warn = graph.check_invariant(|state| {
-        !state.iter().any(|component| component.contains(&Value::atom("warn")))
+        !state
+            .iter()
+            .any(|component| component.contains(&Value::atom("warn")))
     });
     match net_warn {
         Some((state, trace)) => {
-            let rendered: Vec<&str> = trace.iter().map(|l| l.automaton.as_str()).collect();
+            let rendered = graph.trace_names(&trace);
             println!(
                 "invariant `no warning ever` violated in {} via [{}]",
                 graph.state_label(state),

@@ -11,8 +11,7 @@ use fsa::vanet::exploration::enumerate_scenario_instances;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for max_vehicles in 1..=2 {
-        let instances =
-            enumerate_scenario_instances(max_vehicles, &ExploreOptions::default())?;
+        let instances = enumerate_scenario_instances(max_vehicles, &ExploreOptions::default())?;
         println!(
             "universe with 1 RSU and up to {max_vehicles} vehicle(s): {} structurally \
              different connected instances",

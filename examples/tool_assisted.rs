@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", render_assisted(&report2));
 
     // Example 6's requirement set.
-    let reqs: Vec<String> = report2.requirements.iter().map(ToString::to_string).collect();
+    let reqs: Vec<String> = report2
+        .requirements
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     assert_eq!(
         reqs,
         vec![
@@ -61,8 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The DOT of the minimal automata, for the figure analogues.
     let h = Homomorphism::erase_all_except(["V1_sense", "V2_show"]);
     let minimal = ops::minimize(&ops::determinize(&h.apply(&behaviour)));
-    println!("\nminimal automaton (Fig. 10 analogue): {} states, {} transitions",
-        minimal.state_count(), minimal.transition_count());
+    println!(
+        "\nminimal automaton (Fig. 10 analogue): {} states, {} transitions",
+        minimal.state_count(),
+        minimal.transition_count()
+    );
 
     // --- Example 7: the full requirement set for four vehicles. --------
     let report4 = elicit_from_graph(&graph4, DependenceMethod::Abstraction, stakeholder_of);

@@ -30,14 +30,33 @@ fn main() -> ExitCode {
     };
     let mut files = Vec::new();
     let mut flags = std::collections::BTreeSet::new();
+    let mut threads = 1usize;
     for a in rest {
         if let Some(flag) = a.strip_prefix("--") {
-            flags.insert(flag.to_owned());
+            if let Some(n) = flag.strip_prefix("threads=") {
+                match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => threads = n,
+                    _ => {
+                        eprintln!("--threads expects a positive integer, got `{n}`");
+                        return usage();
+                    }
+                }
+            } else {
+                flags.insert(flag.to_owned());
+            }
         } else {
             files.push(a.clone());
         }
     }
-    let known = ["param", "refine", "dot", "verify-dataflow", "markdown", "prioritise"];
+    let known = [
+        "param",
+        "refine",
+        "dot",
+        "verify-dataflow",
+        "markdown",
+        "prioritise",
+        "stats",
+    ];
     for f in &flags {
         if !known.contains(&f.as_str()) {
             eprintln!("unknown flag --{f}");
@@ -129,17 +148,25 @@ fn main() -> ExitCode {
                 if flags.contains("dot") {
                     print!(
                         "{}",
-                        to_dot(instance.graph(), &DotOptions::default(), |_, a| a.to_string())
+                        to_dot(instance.graph(), &DotOptions::default(), |_, a| a
+                            .to_string())
                     );
                 }
                 if flags.contains("verify-dataflow") {
-                    match cross_check(instance, &report) {
-                        Ok(()) => println!("tool-assisted cross-check: requirement sets match"),
+                    match cross_check(instance, &report, threads) {
+                        Ok(stats) => {
+                            println!("tool-assisted cross-check: requirement sets match");
+                            if flags.contains("stats") {
+                                print!("{}", fsa::core::report::render_stats(&stats));
+                            }
+                        }
                         Err(e) => {
                             eprintln!("tool-assisted cross-check FAILED: {e}");
                             return ExitCode::FAILURE;
                         }
                     }
+                } else if flags.contains("stats") {
+                    eprintln!("note: --stats requires --verify-dataflow (the §5 pipeline)");
                 }
                 println!();
             }
@@ -153,17 +180,23 @@ fn main() -> ExitCode {
 }
 
 /// Derives the dataflow APA, runs the §5 pipeline and compares.
+/// Returns the engine's per-stage statistics on success.
 fn cross_check(
     instance: &fsa::core::SosInstance,
     report: &fsa::core::manual::ElicitationReport,
-) -> Result<(), String> {
+    threads: usize,
+) -> Result<fsa::core::assisted::PipelineStats, String> {
     let apa = dataflow_apa(instance).map_err(|e| e.to_string())?;
     let graph = apa
         .reachability(&fsa::apa::ReachOptions::default())
         .map_err(|e| e.to_string())?;
-    let assisted = fsa::core::assisted::elicit_from_graph(
+    let assisted = fsa::core::assisted::elicit_with_options(
         &graph,
-        fsa::core::assisted::DependenceMethod::Precedence,
+        &fsa::core::assisted::ElicitOptions {
+            method: fsa::core::assisted::DependenceMethod::Precedence,
+            threads,
+            prune: true,
+        },
         |name| {
             let action = fsa::core::Action::parse(name);
             instance
@@ -173,7 +206,7 @@ fn cross_check(
         },
     );
     if assisted.requirements == report.requirement_set() {
-        Ok(())
+        Ok(assisted.stats)
     } else {
         Err(format!(
             "manual elicited {} requirement(s), tool-assisted {}",
@@ -185,7 +218,7 @@ fn cross_check(
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow]\n  fsa check <spec-file>"
+        "usage:\n  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]\n  fsa check <spec-file>"
     );
     ExitCode::from(2)
 }

@@ -50,10 +50,12 @@ fn requirements_invariant_across_variants() {
         }
         // The full pipeline where the dead-state read-off applies.
         if !graph.dead_states().is_empty() {
-            let report =
-                elicit_from_graph(&graph, DependenceMethod::Precedence, stakeholder_of);
-            let reqs: Vec<String> =
-                report.requirements.iter().map(ToString::to_string).collect();
+            let report = elicit_from_graph(&graph, DependenceMethod::Precedence, stakeholder_of);
+            let reqs: Vec<String> = report
+                .requirements
+                .iter()
+                .map(ToString::to_string)
+                .collect();
             assert_eq!(reqs, expected, "{}", semantics.tag());
         }
     }

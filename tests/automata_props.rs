@@ -2,7 +2,9 @@
 //! Hopcroft minimisation, language equivalence, homomorphisms and the
 //! simple-homomorphism check.
 
-use fsa::automata::{language_equivalent, monitor, ops, setops, simple, temporal, Homomorphism, Nfa};
+use fsa::automata::{
+    language_equivalent, monitor, ops, setops, simple, temporal, Homomorphism, Nfa,
+};
 use proptest::prelude::*;
 
 /// A random NFA over a small alphabet, states all accepting (behaviour

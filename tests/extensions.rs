@@ -107,7 +107,7 @@ fn simulated_traces_respect_elicited_requirements() {
     for seed in 0..50 {
         let mut sim = Simulator::new(&apa, seed);
         sim.run(100).unwrap();
-        let trace: Vec<&str> = sim.trace().iter().map(|l| l.automaton.as_str()).collect();
+        let trace = sim.trace_names();
         for req in &report.requirements {
             let a = req.antecedent.to_string();
             let b = req.consequent.to_string();
@@ -136,14 +136,28 @@ fn forwarding_chain_manual_equals_tool_assisted_per_hop_count() {
         let manual = elicit(&forwarding_chain(forwarders)).unwrap();
         let receiver_tag = (forwarders + 2).to_string();
         let translate = |a: &fsa::core::Action| -> String {
-            let idx = a.indices().first().map(|s| s.to_string()).unwrap_or_default();
-            let tag = if idx == "w" { receiver_tag.clone() } else { idx };
+            let idx = a
+                .indices()
+                .first()
+                .map(|s| s.to_string())
+                .unwrap_or_default();
+            let tag = if idx == "w" {
+                receiver_tag.clone()
+            } else {
+                idx
+            };
             format!("V{tag}_{}", a.name())
         };
         let mut expected: Vec<String> = manual
             .requirements()
             .iter()
-            .map(|r| format!("auth({}, {}, D_{receiver_tag})", translate(&r.antecedent), translate(&r.consequent)))
+            .map(|r| {
+                format!(
+                    "auth({}, {}, D_{receiver_tag})",
+                    translate(&r.antecedent),
+                    translate(&r.consequent)
+                )
+            })
             .collect();
         expected.sort();
 

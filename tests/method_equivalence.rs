@@ -24,7 +24,9 @@ fn arb_instance() -> impl Strategy<Value = SosInstance> {
         // Deterministic pseudo-random edge selection from the seed.
         let mut state = seed | 1;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for i in 0..n {

@@ -38,7 +38,11 @@ fn fig2_examples_1_and_2() {
     // send(cam(pos)); Example 2: the two auth requirements.
     let report = elicit(&instances::rsu_warns_vehicle()).unwrap();
     assert_eq!(report.maxima().len(), 1);
-    let reqs: Vec<String> = report.requirements().iter().map(ToString::to_string).collect();
+    let reqs: Vec<String> = report
+        .requirements()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     assert_eq!(
         reqs,
         vec![
@@ -55,7 +59,11 @@ fn fig3_example_3_zeta_and_chi() {
     assert_eq!(report.zeta().len(), 5);
     assert_eq!(report.closure_size(), 16);
     // χ₁: requirements (1)–(3).
-    let reqs: Vec<String> = report.requirements().iter().map(ToString::to_string).collect();
+    let reqs: Vec<String> = report
+        .requirements()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     assert_eq!(
         reqs,
         vec![
@@ -69,7 +77,9 @@ fn fig3_example_3_zeta_and_chi() {
 #[test]
 fn fig4_chi_recurrence_and_requirement_4() {
     // χ₂ = χ₁ ∪ {(pos(GPS_2, pos), show(HMI_w, warn))}.
-    let chi1 = elicit(&instances::two_vehicle_warning()).unwrap().requirement_set();
+    let chi1 = elicit(&instances::two_vehicle_warning())
+        .unwrap()
+        .requirement_set();
     let report2 = elicit(&instances::three_vehicle_forwarding()).unwrap();
     let chi2 = report2.requirement_set();
     let delta = chi2.difference(&chi1);
@@ -141,7 +151,11 @@ fn fig6_fig7_two_vehicle_reachability_and_example_6() {
     assert_eq!(graph.maxima(), vec!["V2_show"]);
     // Example 6's requirement set.
     let report = elicit_from_graph(&graph, DependenceMethod::Abstraction, stakeholder_of);
-    let reqs: Vec<String> = report.requirements.iter().map(ToString::to_string).collect();
+    let reqs: Vec<String> = report
+        .requirements
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     assert_eq!(
         reqs,
         vec![
@@ -193,7 +207,11 @@ fn example7_requirement_set_for_four_vehicles() {
         .reachability(&ReachOptions::default())
         .unwrap();
     let report = elicit_from_graph(&graph, DependenceMethod::Abstraction, stakeholder_of);
-    let reqs: Vec<String> = report.requirements.iter().map(ToString::to_string).collect();
+    let reqs: Vec<String> = report
+        .requirements
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     assert_eq!(
         reqs,
         vec![

@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion` 0.5: the subset this workspace's
+//! benches use, measuring median wall-clock time over a fixed number of
+//! samples (no statistical analysis, no HTML reports).
+//!
+//! Honoured environment variables:
+//! * `BENCH_SAMPLES` — samples per benchmark (default 15, minimum 5).
+//! * `BENCH_FILTER`  — substring filter on the full benchmark id.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark: `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Things accepted as benchmark names by `bench_function` /
+/// `bench_with_input`.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the median sample time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: target ~10ms per sample.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_sample);
+        }
+        samples.sort();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if self.criterion.matches(&full) {
+            let mut b = Bencher {
+                samples: self.sample_size,
+                last: None,
+            };
+            routine(&mut b);
+            Criterion::report(&full, b.last);
+        }
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input under `id`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+
+    fn report(full_id: &str, median: Option<Duration>) {
+        match median {
+            Some(d) => println!("{full_id:<60} median {d:>12.3?}"),
+            None => println!("{full_id:<60} (no measurement)"),
+        }
+    }
+
+    /// Begins a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15usize)
+            .max(5);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: samples,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: R,
+    ) -> &mut Self {
+        let full = id.into_id();
+        if self.matches(&full) {
+            let mut b = Bencher {
+                samples: 15,
+                last: None,
+            };
+            routine(&mut b);
+            Criterion::report(&full, b.last);
+        }
+        self
+    }
+
+    /// Driver honouring `BENCH_FILTER`.
+    pub fn from_env() -> Self {
+        Criterion {
+            filter: std::env::var("BENCH_FILTER").ok(),
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_env();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; ignore all arguments.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("elicit", 42).to_string(), "elicit/42");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

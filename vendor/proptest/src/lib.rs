@@ -1,0 +1,361 @@
+//! Offline stand-in for `proptest` 1.x: the subset this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, the [`Strategy`](strategy::Strategy)
+//! trait with `prop_map`, `any::<T>()`, range / tuple / string-pattern
+//! strategies, `prop_assert!` / `prop_assert_eq!` and
+//! [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from the real crate: no shrinking (a failing case panics
+//! with the case number; re-running is deterministic because seeds are
+//! derived from the test name), and string "regex" strategies only
+//! honour a trailing `{m,n}` length bound, generating printable ASCII.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+
+    /// String-pattern strategy: a `&str` used as a strategy generates
+    /// printable-ASCII strings. Only a trailing `{m,n}` repetition bound
+    /// is honoured (e.g. `".{0,200}"`); anything else defaults to
+    /// lengths `0..=32`.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let (min_len, max_len) = parse_len_bounds(self).unwrap_or((0, 32));
+            let len = if max_len > min_len {
+                min_len + (rng.next_u64() as usize) % (max_len - min_len + 1)
+            } else {
+                min_len
+            };
+            (0..len)
+                .map(|_| {
+                    // Printable ASCII plus newline/tab to exercise parsers.
+                    const EXTRA: [char; 2] = ['\n', '\t'];
+                    let r = rng.next_u64() as usize;
+                    if r.is_multiple_of(17) {
+                        EXTRA[r / 17 % EXTRA.len()]
+                    } else {
+                        char::from(0x20 + (r / 7 % 0x5f) as u8)
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn parse_len_bounds(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_suffix('}')?;
+        let open = rest.rfind('{')?;
+        let body = &rest[open + 1..];
+        let (m, n) = body.split_once(',')?;
+        Some((m.trim().parse().ok()?, n.trim().parse().ok()?))
+    }
+
+    /// Types with a canonical "arbitrary" strategy (see [`any`]).
+    pub trait Arbitrary {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u64, u32, u16, u8, usize, i64, i32, i16, i8);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` — `any::<u64>()` etc.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod test_runner {
+    //! Execution configuration and the deterministic RNG.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 RNG seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `name`.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    //! `use proptest::prelude::*;` — everything the tests need.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, y in any::<u64>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let run = || {
+                    $(let $arg =
+                        $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    $body
+                };
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn range_strategies_in_bounds() {
+        let mut rng = TestRng::deterministic("range");
+        for _ in 0..200 {
+            let v = (3usize..9).new_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (0u64..=5).new_value(&mut rng);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let strat = (1usize..4, any::<u64>()).prop_map(|(n, seed)| n as u64 + (seed & 1));
+        let mut rng = TestRng::deterministic("tuple");
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((1..=4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_pattern_len_bounds() {
+        let mut rng = TestRng::deterministic("string");
+        for _ in 0..100 {
+            let s = ".{0,200}".new_value(&mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_binds(x in 0usize..10, y in any::<u64>()) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(y, y);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing
+//! (the sibling `serde` stub provides blanket trait impls), but they
+//! accept the `#[serde(...)]` helper attribute so existing annotations
+//! keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
