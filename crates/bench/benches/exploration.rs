@@ -1,16 +1,49 @@
 //! Experiment S5: instance-space enumeration (§4.2) — cost of
 //! generating, de-duplicating and analysing all structurally different
 //! compositions of the scenario's component models.
+//!
+//! The dedup benches compare the quadratic pairwise baseline against the
+//! streaming certificate engine on the same candidate stream (each
+//! isomorphism class of the universe, duplicated `DUP` times — the
+//! pre-dedup candidate flood the enumerator would otherwise feed it).
+//! `pairwise_dedup` is only run at 2 and 3 vehicles: at 4 vehicles the
+//! stream holds 4 × 3015 ≈ 12 000 graphs and the O(n · classes) exact
+//! isomorphism scan needs tens of millions of backtracking checks —
+//! infeasible per iteration, which is exactly why the certificate
+//! engine exists. The certificate paths handle the same 4-vehicle
+//! stream in a single hash pass.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fsa_core::explore::{union_requirements_loop_free, ExploreOptions};
+use fsa_graph::iso::{
+    dedup_isomorphic, dedup_isomorphic_certified, dedup_isomorphic_certified_parallel,
+};
+use fsa_graph::DiGraph;
 use std::hint::black_box;
-use vanet::exploration::enumerate_scenario_instances;
+use vanet::exploration::{enumerate_scenario_instances, explore_scenario};
+
+/// Duplication factor of the candidate stream fed to the dedup benches.
+const DUP: usize = 4;
+
+/// The shape graphs of the `max_vehicles` universe, duplicated `DUP`
+/// times — a candidate stream whose class count is known.
+fn candidate_stream(max_vehicles: usize) -> Vec<DiGraph<String>> {
+    let instances =
+        enumerate_scenario_instances(max_vehicles, &ExploreOptions::default()).expect("bounded");
+    let shapes: Vec<DiGraph<String>> = instances.iter().map(|i| i.shape_graph()).collect();
+    let mut stream = Vec::with_capacity(shapes.len() * DUP);
+    for _ in 0..DUP {
+        stream.extend(shapes.iter().cloned());
+    }
+    stream
+}
 
 fn bench_exploration(c: &mut Criterion) {
     let mut group = c.benchmark_group("exploration");
     group.sample_size(10);
-    for max_vehicles in [1usize, 2] {
+
+    // End-to-end enumeration with the streaming certificate engine.
+    for max_vehicles in [1usize, 2, 3] {
         group.bench_with_input(
             BenchmarkId::new("enumerate", max_vehicles),
             &max_vehicles,
@@ -24,9 +57,50 @@ fn bench_exploration(c: &mut Criterion) {
             },
         );
     }
+    // The tentpole scale target: 16 candidate flows → 65 536 subsets for
+    // the full (1 RSU, 4 V) multiplicity vector, enumerated with orbit
+    // pruning and 4 worker threads.
+    group.bench_function("enumerate_threads4/4", |b| {
+        b.iter(|| {
+            black_box(
+                explore_scenario(
+                    4,
+                    &ExploreOptions {
+                        threads: 4,
+                        ..Default::default()
+                    },
+                )
+                .expect("bounded"),
+            )
+        })
+    });
+
+    // Dedup head-to-head on identical candidate streams.
+    for max_vehicles in [2usize, 3] {
+        let stream = candidate_stream(max_vehicles);
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_dedup", max_vehicles),
+            &stream,
+            |b, s| b.iter(|| black_box(dedup_isomorphic(s.clone()))),
+        );
+    }
+    for max_vehicles in [2usize, 3, 4] {
+        let stream = candidate_stream(max_vehicles);
+        group.bench_with_input(
+            BenchmarkId::new("certificate_dedup", max_vehicles),
+            &stream,
+            |b, s| b.iter(|| black_box(dedup_isomorphic_certified(s.clone()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("certificate_dedup_parallel", max_vehicles),
+            &stream,
+            |b, s| b.iter(|| black_box(dedup_isomorphic_certified_parallel(s.clone(), 4))),
+        );
+    }
+
     let instances = enumerate_scenario_instances(2, &ExploreOptions::default()).expect("bounded");
     group.bench_function("union_requirements_2v", |b| {
-        b.iter(|| black_box(union_requirements_loop_free(black_box(&instances))))
+        b.iter(|| black_box(union_requirements_loop_free(black_box(&instances)).expect("unions")))
     });
     group.finish();
 }

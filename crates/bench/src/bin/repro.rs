@@ -272,7 +272,8 @@ fn explore() {
             &ExploreOptions::default(),
         )
         .expect("bounded enumeration");
-        let (union, skipped) = union_requirements_loop_free(&instances);
+        let (union, skipped) =
+            union_requirements_loop_free(&instances).expect("loop-free elicitation");
         println!(
             "1 RSU + up to {max_vehicles} vehicle(s): {} structurally different instances, union = {} requirements ({} cyclic skipped)",
             instances.len(),

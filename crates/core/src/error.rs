@@ -24,6 +24,12 @@ pub enum FsaError {
         /// Explanation.
         reason: String,
     },
+    /// An enumeration exceeded its candidate budget (see
+    /// [`crate::explore::ExploreOptions::max_candidates`]).
+    BudgetExceeded {
+        /// The configured budget that was exceeded.
+        limit: usize,
+    },
     /// The underlying APA analysis failed.
     Apa(apa::ApaError),
 }
@@ -38,6 +44,9 @@ impl fmt::Display for FsaError {
             FsaError::UnknownAction(name) => write!(f, "unknown action `{name}`"),
             FsaError::InvalidComponentModel { reason } => {
                 write!(f, "invalid component model: {reason}")
+            }
+            FsaError::BudgetExceeded { limit } => {
+                write!(f, "enumeration exceeded the budget of {limit} candidates")
             }
             FsaError::Apa(e) => write!(f, "APA analysis failed: {e}"),
         }
@@ -75,6 +84,8 @@ mod tests {
         assert!(e.source().is_some());
         let e = FsaError::UnknownAction("x".into());
         assert!(e.to_string().contains('x'));
+        let e = FsaError::BudgetExceeded { limit: 42 };
+        assert!(e.to_string().contains("42"));
     }
 
     #[test]

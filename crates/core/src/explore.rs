@@ -13,13 +13,30 @@
 //! the results up to isomorphism of their shape graphs, and optionally
 //! keeps only weakly connected compositions. [`union_requirements`]
 //! elicits and unions the requirement sets.
+//!
+//! # The streaming certificate engine
+//!
+//! The enumeration is *streaming*: every candidate composition is
+//! bucketed by its [`canonical certificate`](fsa_graph::iso::canonical_certificate)
+//! (a colour-refinement invariant of its shape graph) the moment it is
+//! built, with exact [`fsa_graph::iso::find_isomorphism`] fallbacks
+//! confined to certificate buckets. Memory is proportional to the number
+//! of *equivalence classes*, never to the `2^flows` candidate space.
+//! Flow subsets are additionally enumerated up to *copy-permutation
+//! symmetry* — copies of one component model are interchangeable, so a
+//! whole orbit of subsets is skipped once its minimal representative has
+//! been instantiated. Candidate building and certificate computation run
+//! on `ExploreOptions::threads` scoped worker threads; the merged result
+//! is bit-identical for every thread count.
 
 use crate::component_model::{ComponentModel, TemplateActionId};
 use crate::error::FsaError;
 use crate::instance::{SosInstance, SosInstanceBuilder};
-use crate::manual::elicit;
+use crate::manual::{elicit, ElicitationReport};
 use crate::requirements::RequirementSet;
-use fsa_graph::NodeId;
+use fsa_graph::iso::{canonical_certificate, CertifiedClasses};
+use fsa_graph::{DiGraph, NodeId};
+use std::time::{Duration, Instant};
 
 /// An allowed external flow: an output action of one component model
 /// may feed an input action of another component instance.
@@ -52,14 +69,32 @@ impl ConnectionRule {
     }
 }
 
+/// What to do when the enumeration exceeds
+/// [`ExploreOptions::max_candidates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetPolicy {
+    /// Abort with [`FsaError::BudgetExceeded`].
+    #[default]
+    Error,
+    /// Stop enumerating and return the *deduped partial universe*
+    /// explored so far, with [`ExploreStats::truncated`] set.
+    Truncate,
+}
+
 /// Bounds for the enumeration.
 #[derive(Debug, Clone)]
 pub struct ExploreOptions {
     /// Keep only weakly connected compositions (the paper's instances
     /// are connected collaborations).
     pub require_connected: bool,
-    /// Abort after this many *candidate* compositions (pre-dedup).
+    /// Budget of *instantiated* candidate compositions (canonical flow
+    /// subsets, pre-dedup; orbit-skipped subsets are free).
     pub max_candidates: usize,
+    /// What happens when `max_candidates` is exceeded.
+    pub on_budget: BudgetPolicy,
+    /// Worker threads for candidate building and certificate
+    /// computation. Results are bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for ExploreOptions {
@@ -67,8 +102,74 @@ impl Default for ExploreOptions {
         ExploreOptions {
             require_connected: true,
             max_candidates: 100_000,
+            on_budget: BudgetPolicy::Error,
+            threads: 1,
         }
     }
+}
+
+/// Per-stage statistics of one enumeration run.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Non-empty multiplicity vectors visited.
+    pub multiplicity_vectors: usize,
+    /// All flow subsets considered (including orbit-skipped ones).
+    pub subsets_total: usize,
+    /// Subsets skipped because a copy-permutation maps them to a
+    /// smaller representative (whole isomorphism orbits pruned before
+    /// instantiation).
+    pub orbits_skipped: usize,
+    /// Candidate compositions actually instantiated.
+    pub candidates: usize,
+    /// Candidates dropped by the weak-connectivity filter.
+    pub disconnected_skipped: usize,
+    /// Candidates whose certificate hit a non-empty bucket.
+    pub certificate_hits: usize,
+    /// Exact isomorphism checks run inside certificate buckets.
+    pub exact_iso_fallbacks: usize,
+    /// Structurally different instances (equivalence classes) found.
+    pub classes: usize,
+    /// `true` if the run stopped early under [`BudgetPolicy::Truncate`].
+    pub truncated: bool,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Time spent scanning flow subsets for orbit-minimal
+    /// representatives.
+    pub scan_time: Duration,
+    /// Time spent instantiating candidates and computing certificates
+    /// (parallel phase).
+    pub build_time: Duration,
+    /// Time spent inserting candidates into the certificate class map.
+    pub dedup_time: Duration,
+}
+
+impl std::fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "exploration stats:")?;
+        writeln!(f, "  multiplicity vectors  {}", self.multiplicity_vectors)?;
+        writeln!(f, "  flow subsets          {}", self.subsets_total)?;
+        writeln!(f, "  orbit-skipped         {}", self.orbits_skipped)?;
+        writeln!(f, "  candidates            {}", self.candidates)?;
+        writeln!(f, "  disconnected          {}", self.disconnected_skipped)?;
+        writeln!(f, "  certificate hits      {}", self.certificate_hits)?;
+        writeln!(f, "  exact iso fallbacks   {}", self.exact_iso_fallbacks)?;
+        writeln!(f, "  classes               {}", self.classes)?;
+        writeln!(f, "  truncated             {}", self.truncated)?;
+        writeln!(f, "  threads               {}", self.threads)?;
+        writeln!(f, "  subset scan           {:?}", self.scan_time)?;
+        writeln!(f, "  candidate build       {:?}", self.build_time)?;
+        writeln!(f, "  certificate dedup     {:?}", self.dedup_time)
+    }
+}
+
+/// Result of [`enumerate_instances_with_stats`]: the structurally
+/// different instances plus the engine statistics.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// One representative per isomorphism class, in discovery order.
+    pub instances: Vec<SosInstance>,
+    /// Per-stage statistics.
+    pub stats: ExploreStats,
 }
 
 /// Enumerates the structurally different SoS instances built from
@@ -78,60 +179,76 @@ impl Default for ExploreOptions {
 /// # Errors
 ///
 /// * [`FsaError::InvalidComponentModel`] if a model fails validation, a
-///   rule references an unknown model/action, or the enumeration
-///   exceeds `options.max_candidates`.
+///   rule references an unknown model/action, or the flow-subset space
+///   of one multiplicity vector is too large to scan.
+/// * [`FsaError::BudgetExceeded`] if the enumeration exceeds
+///   `options.max_candidates` under [`BudgetPolicy::Error`].
 pub fn enumerate_instances(
     models: &[(ComponentModel, usize)],
     rules: &[ConnectionRule],
     options: &ExploreOptions,
 ) -> Result<Vec<SosInstance>, FsaError> {
+    enumerate_instances_with_stats(models, rules, options).map(|e| e.instances)
+}
+
+/// Hard cap on the flow-subset space of one multiplicity vector: beyond
+/// this even *scanning* the subsets is infeasible.
+const SUBSET_SCAN_CAP: usize = 1 << 26;
+
+/// Copy-permutation groups larger than this are not used for orbit
+/// pruning (correctness is unaffected — the certificate dedup still
+/// collapses the orbits, just later).
+const ORBIT_GROUP_CAP: usize = 720;
+
+/// Like [`enumerate_instances`], but also returns [`ExploreStats`].
+///
+/// # Errors
+///
+/// See [`enumerate_instances`].
+pub fn enumerate_instances_with_stats(
+    models: &[(ComponentModel, usize)],
+    rules: &[ConnectionRule],
+    options: &ExploreOptions,
+) -> Result<Exploration, FsaError> {
     for (m, _) in models {
         m.validate()?;
     }
-    for rule in rules {
-        for (name, action, side) in [
-            (&rule.from_model, rule.from_action, "source"),
-            (&rule.to_model, rule.to_action, "target"),
-        ] {
-            let model = models
-                .iter()
-                .map(|(m, _)| m)
-                .find(|m| m.name() == name)
-                .ok_or_else(|| FsaError::InvalidComponentModel {
-                    reason: format!("connection rule references unknown {side} model `{name}`"),
-                })?;
-            if action >= model.actions().len() {
-                return Err(FsaError::InvalidComponentModel {
-                    reason: format!(
-                        "connection rule references {side} action {action} out of range for `{name}`"
-                    ),
-                });
-            }
-        }
-    }
+    let resolved = resolve_rules(models, rules)?;
+
+    let threads = options.threads.max(1);
+    let mut stats = ExploreStats {
+        threads,
+        ..ExploreStats::default()
+    };
+    let mut classes: CertifiedClasses<String> = CertifiedClasses::new();
+    let mut instances: Vec<SosInstance> = Vec::new();
 
     // Enumerate multiplicities: the cartesian product of 0..=max per
     // model, skipping the empty composition.
-    let mut result: Vec<SosInstance> = Vec::new();
-    let mut candidates = 0usize;
     let mut counts = vec![0usize; models.len()];
-    loop {
-        // Advance the counter (odometer); first iteration is all zeros.
+    'vectors: loop {
         if counts.iter().sum::<usize>() > 0 {
-            build_compositions(
+            stats.multiplicity_vectors += 1;
+            let done = explore_vector(
                 models,
-                rules,
+                &resolved,
                 &counts,
                 options,
-                &mut candidates,
-                &mut result,
+                threads,
+                &mut stats,
+                &mut classes,
+                &mut instances,
             )?;
+            if done {
+                // Budget truncation: return the deduped partial
+                // universe explored so far.
+                break 'vectors;
+            }
         }
         let mut i = 0;
         loop {
             if i == models.len() {
-                let deduped = SosInstance::dedup_isomorphic(result);
-                return Ok(deduped);
+                break 'vectors;
             }
             counts[i] += 1;
             if counts[i] <= models[i].1 {
@@ -141,51 +258,87 @@ pub fn enumerate_instances(
             i += 1;
         }
     }
+
+    stats.classes = instances.len();
+    stats.certificate_hits = classes.certificate_hits();
+    stats.exact_iso_fallbacks = classes.exact_fallbacks();
+    Ok(Exploration { instances, stats })
 }
 
-/// Builds every connection-subset composition for one multiplicity
-/// vector.
-fn build_compositions(
+/// A connection rule with its model positions resolved.
+struct ResolvedRule {
+    from_idx: usize,
+    from_action: TemplateActionId,
+    to_idx: usize,
+    to_action: TemplateActionId,
+}
+
+/// Validates the rules against the models and resolves model positions.
+fn resolve_rules(
     models: &[(ComponentModel, usize)],
     rules: &[ConnectionRule],
+) -> Result<Vec<ResolvedRule>, FsaError> {
+    rules
+        .iter()
+        .map(|rule| {
+            let resolve = |name: &str, action: TemplateActionId, side: &str| {
+                let idx = models
+                    .iter()
+                    .position(|(m, _)| m.name() == name)
+                    .ok_or_else(|| FsaError::InvalidComponentModel {
+                        reason: format!("connection rule references unknown {side} model `{name}`"),
+                    })?;
+                if action >= models[idx].0.actions().len() {
+                    return Err(FsaError::InvalidComponentModel {
+                        reason: format!(
+                            "connection rule references {side} action {action} out of range for `{name}`"
+                        ),
+                    });
+                }
+                Ok(idx)
+            };
+            Ok(ResolvedRule {
+                from_idx: resolve(&rule.from_model, rule.from_action, "source")?,
+                from_action: rule.from_action,
+                to_idx: resolve(&rule.to_model, rule.to_action, "target")?,
+                to_action: rule.to_action,
+            })
+        })
+        .collect()
+}
+
+/// One candidate external flow of a multiplicity vector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct FlowCandidate {
+    rule: usize,
+    from_copy: usize,
+    to_copy: usize,
+}
+
+/// Explores every flow subset of one multiplicity vector, streaming the
+/// candidates into the certificate class map. Returns `true` if the
+/// enumeration was truncated (caller stops).
+#[allow(clippy::too_many_arguments)]
+fn explore_vector(
+    models: &[(ComponentModel, usize)],
+    rules: &[ResolvedRule],
     counts: &[usize],
     options: &ExploreOptions,
-    candidates: &mut usize,
-    result: &mut Vec<SosInstance>,
-) -> Result<(), FsaError> {
-    // Instantiate all components once to discover the candidate flows.
-    // (Rebuilt per subset below; models are small.)
-    let name = |counts: &[usize]| {
-        models
-            .iter()
-            .zip(counts)
-            .filter(|(_, c)| **c > 0)
-            .map(|((m, _), c)| format!("{}x{}", c, m.name()))
-            .collect::<Vec<_>>()
-            .join("+")
-    };
-
+    threads: usize,
+    stats: &mut ExploreStats,
+    classes: &mut CertifiedClasses<String>,
+    instances: &mut Vec<SosInstance>,
+) -> Result<bool, FsaError> {
     // Candidate external flows: for each rule, each ordered pair of
     // distinct instances of the involved models.
-    #[derive(Clone, Copy)]
-    struct Candidate {
-        rule: usize,
-        from_copy: usize,
-        to_copy: usize,
-    }
-    let mut flows: Vec<Candidate> = Vec::new();
+    let mut flows: Vec<FlowCandidate> = Vec::new();
     for (ri, rule) in rules.iter().enumerate() {
-        let from_idx = models.iter().position(|(m, _)| m.name() == rule.from_model);
-        let to_idx = models.iter().position(|(m, _)| m.name() == rule.to_model);
-        let (Some(fi), Some(ti)) = (from_idx, to_idx) else {
-            continue;
-        };
-        for fc in 0..counts[fi] {
-            for tc in 0..counts[ti] {
-                if fi == ti && fc == tc {
+        for fc in 0..counts[rule.from_idx] {
+            for tc in 0..counts[rule.to_idx] {
+                if rule.from_idx == rule.to_idx && fc == tc {
                     continue; // no self-connection
                 }
-                flows.push(Candidate {
+                flows.push(FlowCandidate {
                     rule: ri,
                     from_copy: fc,
                     to_copy: tc,
@@ -193,64 +346,309 @@ fn build_compositions(
             }
         }
     }
+    let subsets: usize = 1usize
+        .checked_shl(flows.len() as u32)
+        .filter(|&s| s <= SUBSET_SCAN_CAP)
+        .ok_or_else(|| FsaError::InvalidComponentModel {
+            reason: "too many candidate external flows to enumerate".to_owned(),
+        })?;
+    stats.subsets_total += subsets;
 
-    // Every subset of candidate flows.
-    let subsets: usize =
-        1usize
-            .checked_shl(flows.len() as u32)
-            .ok_or_else(|| FsaError::InvalidComponentModel {
-                reason: "too many candidate external flows to enumerate".to_owned(),
-            })?;
-    for mask in 0..subsets {
-        *candidates += 1;
-        if *candidates > options.max_candidates {
-            return Err(FsaError::InvalidComponentModel {
-                reason: format!(
-                    "instance enumeration exceeded {} candidates",
-                    options.max_candidates
-                ),
-            });
-        }
-        let mut builder = SosInstanceBuilder::new(&name(counts));
-        // Instantiate components with global per-model indices 1, 2, …
-        let mut handles: Vec<Vec<crate::component_model::ComponentInstance>> = Vec::new();
-        for (mi, (model, _)) in models.iter().enumerate() {
-            let mut copies = Vec::new();
-            for c in 0..counts[mi] {
-                let index =
-                    if counts[mi] == 1 && model.actions().iter().all(|a| a.indices().is_empty()) {
-                        String::new()
+    // The copy-permutation symmetry group, as permutations of the flow
+    // candidates (identity dropped, duplicates collapsed).
+    let flow_perms = flow_permutations(rules, counts, &flows);
+    let group_len = flow_perms.len() + 1;
+
+    // Orbit-minimal flow subsets. Every canonical subset counts against
+    // the candidate budget; a provably exceeded budget short-circuits
+    // the scan entirely.
+    let remaining = options.max_candidates.saturating_sub(stats.candidates);
+    let mut truncated = false;
+    let t = Instant::now();
+    let mut canonical: Vec<usize> = if subsets.div_ceil(group_len) > remaining {
+        match options.on_budget {
+            BudgetPolicy::Error => {
+                return Err(FsaError::BudgetExceeded {
+                    limit: options.max_candidates,
+                })
+            }
+            BudgetPolicy::Truncate => {
+                // Early-stop sequential scan: collect only as many
+                // canonical subsets as the budget still allows.
+                truncated = true;
+                let mut picked = Vec::with_capacity(remaining);
+                for mask in 0..subsets {
+                    if is_orbit_minimal(mask, &flow_perms) {
+                        if picked.len() == remaining {
+                            break;
+                        }
+                        picked.push(mask);
                     } else {
-                        (c + 1).to_string()
-                    };
-                copies.push(model.instantiate(&index, &mut builder)?);
+                        stats.orbits_skipped += 1;
+                    }
+                }
+                picked
             }
-            handles.push(copies);
         }
-        for (k, cand) in flows.iter().enumerate() {
-            if mask & (1 << k) == 0 {
-                continue;
+    } else if threads > 1 && subsets >= 4096 {
+        // Chunked parallel scan, merged in ascending mask order.
+        let chunk = subsets.div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|i| (i * chunk, ((i + 1) * chunk).min(subsets)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let per_range: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    let flow_perms = &flow_perms;
+                    scope.spawn(move || {
+                        (lo..hi)
+                            .filter(|&mask| is_orbit_minimal(mask, flow_perms))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("orbit scan worker panicked"))
+                .collect()
+        });
+        per_range.into_iter().flatten().collect()
+    } else {
+        (0..subsets)
+            .filter(|&mask| is_orbit_minimal(mask, &flow_perms))
+            .collect()
+    };
+    if !truncated {
+        stats.orbits_skipped += subsets - canonical.len();
+        if canonical.len() > remaining {
+            match options.on_budget {
+                BudgetPolicy::Error => {
+                    return Err(FsaError::BudgetExceeded {
+                        limit: options.max_candidates,
+                    })
+                }
+                BudgetPolicy::Truncate => {
+                    truncated = true;
+                    canonical.truncate(remaining);
+                }
             }
-            let rule = &rules[cand.rule];
-            let fi = models
-                .iter()
-                .position(|(m, _)| m.name() == rule.from_model)
-                .expect("validated");
-            let ti = models
-                .iter()
-                .position(|(m, _)| m.name() == rule.to_model)
-                .expect("validated");
-            let from = handles[fi][cand.from_copy].node(rule.from_action);
-            let to = handles[ti][cand.to_copy].node(rule.to_action);
-            builder.flow(from, to);
         }
-        let instance = builder.build();
+    }
+    stats.scan_time += t.elapsed();
+    stats.candidates += canonical.len();
+
+    // Instantiate the canonical subsets (chunked parallel) and compute
+    // their shape-graph certificates; merge in mask order so the stream
+    // into the class map is bit-identical for every thread count.
+    let t = Instant::now();
+    type Built = (SosInstance, DiGraph<String>, u64);
+    let build = |mask: usize| -> Result<Option<Built>, FsaError> {
+        let instance = build_composition(models, rules, counts, &flows, mask)?;
         if options.require_connected && !is_weakly_connected(&instance) {
+            return Ok(None);
+        }
+        let shape = instance.shape_graph();
+        let certificate = canonical_certificate(&shape);
+        Ok(Some((instance, shape, certificate)))
+    };
+    let built: Vec<Option<Built>> = if threads > 1 && canonical.len() >= 2 {
+        let chunk = canonical.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = canonical
+                .chunks(chunk)
+                .map(|masks| {
+                    let build = &build;
+                    scope.spawn(move || {
+                        masks
+                            .iter()
+                            .map(|&m| build(m))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            let mut merged = Vec::with_capacity(canonical.len());
+            for h in handles {
+                merged.extend(h.join().expect("candidate build worker panicked")?);
+            }
+            Ok::<_, FsaError>(merged)
+        })?
+    } else {
+        canonical
+            .iter()
+            .map(|&m| build(m))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    stats.build_time += t.elapsed();
+
+    // Stream into the certificate class map.
+    let t = Instant::now();
+    for item in built {
+        let Some((instance, shape, certificate)) = item else {
+            stats.disconnected_skipped += 1;
+            continue;
+        };
+        if classes
+            .insert_with_certificate(shape, certificate)
+            .is_some()
+        {
+            instances.push(instance);
+        }
+    }
+    stats.dedup_time += t.elapsed();
+    stats.truncated |= truncated;
+    Ok(truncated)
+}
+
+/// The copy-permutation group of one multiplicity vector, induced on the
+/// flow candidates: permuting the interchangeable copies of a model maps
+/// every flow subset to an isomorphic composition, so only the
+/// orbit-minimal subsets need instantiation. Returns the non-identity
+/// induced permutations (empty when the group exceeds
+/// [`ORBIT_GROUP_CAP`] — pruning is then skipped, not the candidates).
+fn flow_permutations(
+    rules: &[ResolvedRule],
+    counts: &[usize],
+    flows: &[FlowCandidate],
+) -> Vec<Vec<usize>> {
+    let group_size = counts
+        .iter()
+        .try_fold(1usize, |acc, &c| {
+            (1..=c)
+                .try_fold(acc, |a, k| a.checked_mul(k))
+                .filter(|&a| a <= ORBIT_GROUP_CAP)
+        })
+        .unwrap_or(usize::MAX);
+    if flows.is_empty() || group_size > ORBIT_GROUP_CAP {
+        return Vec::new();
+    }
+
+    let flow_index: std::collections::HashMap<FlowCandidate, usize> =
+        flows.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+
+    // All copy permutations per model (cartesian product across models),
+    // walked via an odometer over per-model permutation lists.
+    let per_model: Vec<Vec<Vec<usize>>> = counts.iter().map(|&c| permutations(c)).collect();
+    let mut choice = vec![0usize; per_model.len()];
+    let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+    let mut result: Vec<Vec<usize>> = Vec::new();
+    loop {
+        let perm: Vec<usize> = flows
+            .iter()
+            .map(|f| {
+                let rule = &rules[f.rule];
+                let mapped = FlowCandidate {
+                    rule: f.rule,
+                    from_copy: per_model[rule.from_idx][choice[rule.from_idx]][f.from_copy],
+                    to_copy: per_model[rule.to_idx][choice[rule.to_idx]][f.to_copy],
+                };
+                flow_index[&mapped]
+            })
+            .collect();
+        let identity = perm.iter().enumerate().all(|(i, &p)| i == p);
+        if !identity && seen.insert(perm.clone()) {
+            result.push(perm);
+        }
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == per_model.len() {
+                return result;
+            }
+            choice[i] += 1;
+            if choice[i] < per_model[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// All permutations of `0..n` (n! entries, `n` capped by the caller).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = (0..n).collect();
+    heap_permute(&mut current, n, &mut out);
+    out
+}
+
+fn heap_permute(current: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(current.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(current, k - 1, out);
+        if k.is_multiple_of(2) {
+            current.swap(i, k - 1);
+        } else {
+            current.swap(0, k - 1);
+        }
+    }
+}
+
+/// Returns `true` if `mask` is the smallest element of its orbit under
+/// the induced flow permutations (early exit on the first witness).
+fn is_orbit_minimal(mask: usize, flow_perms: &[Vec<usize>]) -> bool {
+    for perm in flow_perms {
+        let mut image = 0usize;
+        let mut bits = mask;
+        while bits != 0 {
+            let k = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            image |= 1 << perm[k];
+        }
+        if image < mask {
+            return false;
+        }
+    }
+    true
+}
+
+/// Builds the composition of one multiplicity vector and one flow
+/// subset.
+fn build_composition(
+    models: &[(ComponentModel, usize)],
+    rules: &[ResolvedRule],
+    counts: &[usize],
+    flows: &[FlowCandidate],
+    mask: usize,
+) -> Result<SosInstance, FsaError> {
+    let name = models
+        .iter()
+        .zip(counts)
+        .filter(|(_, c)| **c > 0)
+        .map(|((m, _), c)| format!("{}x{}", c, m.name()))
+        .collect::<Vec<_>>()
+        .join("+");
+    let mut builder = SosInstanceBuilder::new(&name);
+    // Instantiate components with global per-model indices 1, 2, …
+    let mut handles: Vec<Vec<crate::component_model::ComponentInstance>> = Vec::new();
+    for (mi, (model, _)) in models.iter().enumerate() {
+        let mut copies = Vec::new();
+        for c in 0..counts[mi] {
+            let index = if counts[mi] == 1 && model.actions().iter().all(|a| a.indices().is_empty())
+            {
+                String::new()
+            } else {
+                (c + 1).to_string()
+            };
+            copies.push(model.instantiate(&index, &mut builder)?);
+        }
+        handles.push(copies);
+    }
+    for (k, cand) in flows.iter().enumerate() {
+        if mask & (1 << k) == 0 {
             continue;
         }
-        result.push(instance);
+        let rule = &rules[cand.rule];
+        let from = handles[rule.from_idx][cand.from_copy].node(rule.from_action);
+        let to = handles[rule.to_idx][cand.to_copy].node(rule.to_action);
+        builder.flow(from, to);
     }
-    Ok(())
+    Ok(builder.build())
 }
 
 /// Weak connectivity of the action graph (single component, ignoring
@@ -284,28 +682,94 @@ fn is_weakly_connected(instance: &SosInstance) -> bool {
 /// Propagates elicitation errors (e.g. a cyclic composition produced by
 /// bidirectional connection rules).
 pub fn union_requirements(instances: &[SosInstance]) -> Result<RequirementSet, FsaError> {
-    let mut union = RequirementSet::new();
-    for inst in instances {
-        union = union.union(&elicit(inst)?.requirement_set());
-    }
-    Ok(union)
+    union_requirements_threaded(instances, 1)
+}
+
+/// Like [`union_requirements`], with the elicitation fanned out over
+/// `threads` scoped worker threads (chunked, merged in instance order —
+/// bit-identical to the sequential run).
+///
+/// # Errors
+///
+/// Propagates elicitation errors.
+pub fn union_requirements_threaded(
+    instances: &[SosInstance],
+    threads: usize,
+) -> Result<RequirementSet, FsaError> {
+    union_with(instances, threads, &elicit, false).map(|(set, _)| set)
 }
 
 /// Like [`union_requirements`], but skips instances whose composition is
 /// cyclic (bidirectional rules can produce `A sends to B sends to A`
 /// loops, which the paper's loop-freedom assumption excludes). Returns
 /// the union together with the number of skipped instances.
-pub fn union_requirements_loop_free(instances: &[SosInstance]) -> (RequirementSet, usize) {
-    let mut union = RequirementSet::new();
-    let mut skipped = 0usize;
-    for inst in instances {
-        match elicit(inst) {
-            Ok(report) => union = union.union(&report.requirement_set()),
-            Err(FsaError::CircularDependency { .. }) => skipped += 1,
-            Err(_) => skipped += 1,
+///
+/// # Errors
+///
+/// *Only* [`FsaError::CircularDependency`] counts as a loop-skip; every
+/// other elicitation error is a real failure and propagates.
+pub fn union_requirements_loop_free(
+    instances: &[SosInstance],
+) -> Result<(RequirementSet, usize), FsaError> {
+    union_with(instances, 1, &elicit, true)
+}
+
+/// Like [`union_requirements_loop_free`], fanned out over `threads`
+/// scoped worker threads (bit-identical to the sequential run).
+///
+/// # Errors
+///
+/// See [`union_requirements_loop_free`].
+pub fn union_requirements_loop_free_threaded(
+    instances: &[SosInstance],
+    threads: usize,
+) -> Result<(RequirementSet, usize), FsaError> {
+    union_with(instances, threads, &elicit, true)
+}
+
+/// Chunked fork-join union of per-instance elicitations. `skip_cycles`
+/// turns [`FsaError::CircularDependency`] into a skip count; all other
+/// errors propagate, first-in-instance-order.
+fn union_with<F>(
+    instances: &[SosInstance],
+    threads: usize,
+    elicit_fn: &F,
+    skip_cycles: bool,
+) -> Result<(RequirementSet, usize), FsaError>
+where
+    F: Fn(&SosInstance) -> Result<ElicitationReport, FsaError> + Sync,
+{
+    let worker = |chunk: &[SosInstance]| -> Result<(RequirementSet, usize), FsaError> {
+        let mut union = RequirementSet::new();
+        let mut skipped = 0usize;
+        for inst in chunk {
+            match elicit_fn(inst) {
+                Ok(report) => union = union.union(&report.requirement_set()),
+                Err(FsaError::CircularDependency { .. }) if skip_cycles => skipped += 1,
+                Err(e) => return Err(e),
+            }
         }
+        Ok((union, skipped))
+    };
+    let threads = threads.max(1);
+    if threads == 1 || instances.len() < 2 {
+        return worker(instances);
     }
-    (union, skipped)
+    let chunk = instances.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = instances
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || worker(c)))
+            .collect();
+        let mut union = RequirementSet::new();
+        let mut skipped = 0usize;
+        for h in handles {
+            let (u, s) = h.join().expect("elicitation worker panicked")?;
+            union = union.union(&u);
+            skipped += s;
+        }
+        Ok((union, skipped))
+    })
 }
 
 #[cfg(test)]
@@ -384,6 +848,27 @@ mod tests {
     }
 
     #[test]
+    fn threaded_union_is_bit_identical() {
+        let instances = enumerate_instances(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions {
+                require_connected: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let seq = union_requirements(&instances).unwrap();
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                seq,
+                union_requirements_threaded(&instances, threads).unwrap(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
     fn unknown_rule_model_rejected() {
         let err = enumerate_instances(
             &sensor_and_display(),
@@ -407,16 +892,103 @@ mod tests {
 
     #[test]
     fn candidate_budget_enforced() {
+        // Regression: exceeding the budget used to be misreported as
+        // `InvalidComponentModel`; it is a dedicated error now.
         let err = enumerate_instances(
             &sensor_and_display(),
             &rules(),
             &ExploreOptions {
                 require_connected: true,
                 max_candidates: 2,
+                ..Default::default()
             },
         )
         .unwrap_err();
-        assert!(matches!(err, FsaError::InvalidComponentModel { .. }));
+        assert_eq!(err, FsaError::BudgetExceeded { limit: 2 });
+    }
+
+    #[test]
+    fn budget_truncation_returns_partial_deduped_universe() {
+        // Regression: exceeding `max_candidates` mid-enumeration used to
+        // throw away *all* work; `BudgetPolicy::Truncate` keeps the
+        // deduped partial universe and flags the truncation.
+        let full = enumerate_instances_with_stats(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(!full.stats.truncated);
+        let partial = enumerate_instances_with_stats(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions {
+                max_candidates: 2,
+                on_budget: BudgetPolicy::Truncate,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(partial.stats.truncated);
+        assert!(partial.stats.candidates <= 2);
+        assert!(partial.instances.len() < full.instances.len());
+        // The partial universe is still isomorphism-reduced.
+        for (i, a) in partial.instances.iter().enumerate() {
+            for b in partial.instances.iter().skip(i + 1) {
+                assert!(!fsa_graph::iso::are_isomorphic(
+                    &a.shape_graph(),
+                    &b.shape_graph()
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn orbit_pruning_skips_copy_permutations() {
+        // With two interchangeable displays, the subsets {S→D1} and
+        // {S→D2} are one orbit: exactly one is instantiated.
+        let e = enumerate_instances_with_stats(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(e.stats.orbits_skipped > 0, "{:?}", e.stats);
+        assert!(e.stats.candidates < e.stats.subsets_total);
+        assert_eq!(e.stats.classes, e.instances.len());
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical() {
+        let seq = enumerate_instances_with_stats(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = enumerate_instances_with_stats(
+                &sensor_and_display(),
+                &rules(),
+                &ExploreOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                seq.instances.len(),
+                par.instances.len(),
+                "threads {threads}"
+            );
+            for (a, b) in seq.instances.iter().zip(&par.instances) {
+                assert_eq!(a.name(), b.name());
+                assert_eq!(a.graph(), b.graph());
+            }
+            assert_eq!(seq.stats.candidates, par.stats.candidates);
+            assert_eq!(seq.stats.orbits_skipped, par.stats.orbits_skipped);
+            assert_eq!(seq.stats.classes, par.stats.classes);
+        }
     }
 
     #[test]
@@ -438,10 +1010,62 @@ mod tests {
             },
         )
         .unwrap();
-        let (union, skipped) = union_requirements_loop_free(&instances);
+        let (union, skipped) = union_requirements_loop_free(&instances).unwrap();
         assert!(skipped > 0, "the mutual-send composition is cyclic");
         assert!(union
             .iter()
             .any(|r| r.antecedent.name() == "rec" && r.consequent.name() == "send"));
+    }
+
+    #[test]
+    fn loop_free_union_propagates_non_cycle_errors() {
+        // Regression: `union_requirements_loop_free` used to count
+        // *every* error as a loop-skip, silently mislabelling real
+        // elicitation failures as cycle exclusions. A deliberately
+        // invalid instance (here: an elicitor that rejects it with a
+        // non-circular error) must propagate.
+        let instances =
+            enumerate_instances(&sensor_and_display(), &rules(), &ExploreOptions::default())
+                .unwrap();
+        let invalid_name = instances[0].name().to_owned();
+        let failing = |inst: &SosInstance| -> Result<ElicitationReport, FsaError> {
+            if inst.name() == invalid_name {
+                Err(FsaError::UnknownAction("ghost(X,val)".to_owned()))
+            } else {
+                elicit(inst)
+            }
+        };
+        for threads in [1usize, 4] {
+            let err = union_with(&instances, threads, &failing, true).unwrap_err();
+            assert_eq!(
+                err,
+                FsaError::UnknownAction("ghost(X,val)".to_owned()),
+                "threads {threads}"
+            );
+        }
+        // Circular dependencies are still skipped, not propagated.
+        let cyclic = |_: &SosInstance| -> Result<ElicitationReport, FsaError> {
+            Err(FsaError::CircularDependency {
+                first: crate::action::Action::parse("a"),
+                second: crate::action::Action::parse("b"),
+            })
+        };
+        let (union, skipped) = union_with(&instances, 1, &cyclic, true).unwrap();
+        assert!(union.is_empty());
+        assert_eq!(skipped, instances.len());
+    }
+
+    #[test]
+    fn stats_render_mentions_key_counters() {
+        let e = enumerate_instances_with_stats(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let rendered = e.stats.to_string();
+        for needle in ["candidates", "classes", "orbit-skipped", "certificate hits"] {
+            assert!(rendered.contains(needle), "missing {needle}: {rendered}");
+        }
     }
 }

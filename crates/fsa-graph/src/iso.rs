@@ -183,19 +183,29 @@ fn backtrack<L>(
         if used[j.index()] {
             continue;
         }
-        // Consistency with already-mapped neighbours.
+        // Consistency with already-mapped neighbours. A self-loop needs
+        // an explicit check: when `i` is being placed, `mapping[i]` is
+        // still `None`, so the `s == i` successor would otherwise slip
+        // through unverified (a self-loop is only ever visible from its
+        // own node's perspective).
         let ai = NodeId::new(i);
         for s in a.successors(ai) {
-            if let Some(mapped) = mapping[s.index()] {
+            if s == ai {
+                if !b.has_edge(j, j) {
+                    continue 'cand;
+                }
+            } else if let Some(mapped) = mapping[s.index()] {
                 if !b.has_edge(j, mapped) {
                     continue 'cand;
                 }
             }
         }
         for p in a.predecessors(ai) {
-            if let Some(mapped) = mapping[p.index()] {
-                if !b.has_edge(mapped, j) {
-                    continue 'cand;
+            if p != ai {
+                if let Some(mapped) = mapping[p.index()] {
+                    if !b.has_edge(mapped, j) {
+                        continue 'cand;
+                    }
                 }
             }
         }
@@ -214,7 +224,9 @@ fn backtrack<L>(
 /// keeping the first representative of each class (stable order).
 ///
 /// This is the paper's "isomorphic combinations can be neglected" step
-/// applied to a set of candidate SoS instances.
+/// applied to a set of candidate SoS instances. The pass is O(n²)
+/// pairwise; prefer [`dedup_isomorphic_certified`] for large candidate
+/// streams.
 pub fn dedup_isomorphic<L: Eq + Hash + Ord>(graphs: Vec<DiGraph<L>>) -> Vec<DiGraph<L>> {
     let mut reps: Vec<DiGraph<L>> = Vec::new();
     for g in graphs {
@@ -223,6 +235,203 @@ pub fn dedup_isomorphic<L: Eq + Hash + Ord>(graphs: Vec<DiGraph<L>>) -> Vec<DiGr
         }
     }
     reps
+}
+
+/// A canonical isomorphism-invariant certificate of a labelled digraph.
+///
+/// Isomorphic graphs always receive *equal* certificates; non-isomorphic
+/// graphs receive distinct certificates except for 1-WL-equivalent pairs
+/// (and the negligible chance of a 64-bit hash collision), so a
+/// certificate is a *bucket key*: equality must be confirmed with
+/// [`find_isomorphism`] inside a bucket, never across buckets.
+pub type Certificate = u64;
+
+/// Computes the [`Certificate`] of `g`: colour-refinement (1-WL)
+/// partition → canonical trace over the sorted node-colour multiset and
+/// the sorted edge colour pairs, plus the node and edge counts.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_graph::{DiGraph, iso::canonical_certificate};
+///
+/// let mut a = DiGraph::new();
+/// let a0 = a.add_node("x");
+/// let a1 = a.add_node("y");
+/// a.add_edge(a0, a1);
+///
+/// let mut b = DiGraph::new();
+/// let b1 = b.add_node("y"); // same graph, different insertion order
+/// let b0 = b.add_node("x");
+/// b.add_edge(b0, b1);
+///
+/// assert_eq!(canonical_certificate(&a), canonical_certificate(&b));
+/// ```
+pub fn canonical_certificate<L: Hash>(g: &DiGraph<L>) -> Certificate {
+    let color = refine_colors(g, label_hash);
+    let mut node_colors = color.clone();
+    node_colors.sort_unstable();
+    let mut edge_colors: Vec<(u64, u64)> = g
+        .edges()
+        .map(|(x, y)| (color[x.index()], color[y.index()]))
+        .collect();
+    edge_colors.sort_unstable();
+
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(g.node_count() as u64);
+    mix(g.edge_count() as u64);
+    mix(0xa5a5);
+    for &c in &node_colors {
+        mix(c);
+    }
+    mix(0x5a5a);
+    for (x, y) in edge_colors {
+        mix(x);
+        mix(y);
+    }
+    h
+}
+
+/// A deterministic per-process hash of a node label, used as the initial
+/// refinement colour. Equal labels hash equally in *any* graph, so the
+/// refined colours — and hence certificates — are comparable across
+/// graphs.
+fn label_hash<L: Hash>(label: &L) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    label.hash(&mut h);
+    h.finish()
+}
+
+/// Streaming isomorphism de-duplicator: candidates are bucketed by
+/// [`canonical_certificate`] and compared exactly (via
+/// [`find_isomorphism`]) only against representatives *inside* their
+/// bucket. Memory and time are proportional to the number of
+/// *equivalence classes*, not candidates — the engine behind the §4.2
+/// instance-space exploration.
+#[derive(Debug, Clone, Default)]
+pub struct CertifiedClasses<L> {
+    buckets: HashMap<Certificate, Vec<usize>>,
+    reps: Vec<DiGraph<L>>,
+    certificate_hits: usize,
+    exact_fallbacks: usize,
+}
+
+impl<L: Eq + Hash + Ord> CertifiedClasses<L> {
+    /// Creates an empty class map.
+    pub fn new() -> Self {
+        CertifiedClasses {
+            buckets: HashMap::new(),
+            reps: Vec::new(),
+            certificate_hits: 0,
+            exact_fallbacks: 0,
+        }
+    }
+
+    /// Inserts a candidate whose certificate was precomputed (e.g. on a
+    /// worker thread). Returns `Some(class index)` if the candidate
+    /// founded a *new* class, `None` if it duplicated an existing one.
+    pub fn insert_with_certificate(
+        &mut self,
+        g: DiGraph<L>,
+        certificate: Certificate,
+    ) -> Option<usize> {
+        let bucket = self.buckets.entry(certificate).or_default();
+        if !bucket.is_empty() {
+            self.certificate_hits += 1;
+        }
+        for &idx in bucket.iter() {
+            self.exact_fallbacks += 1;
+            if are_isomorphic(&self.reps[idx], &g) {
+                return None;
+            }
+        }
+        let idx = self.reps.len();
+        bucket.push(idx);
+        self.reps.push(g);
+        Some(idx)
+    }
+
+    /// Inserts a candidate, computing its certificate. See
+    /// [`CertifiedClasses::insert_with_certificate`].
+    pub fn insert(&mut self, g: DiGraph<L>) -> Option<usize> {
+        let certificate = canonical_certificate(&g);
+        self.insert_with_certificate(g, certificate)
+    }
+
+    /// Number of classes discovered so far.
+    pub fn len(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Returns `true` if no class has been discovered.
+    pub fn is_empty(&self) -> bool {
+        self.reps.is_empty()
+    }
+
+    /// How many candidates hit a non-empty certificate bucket.
+    pub fn certificate_hits(&self) -> usize {
+        self.certificate_hits
+    }
+
+    /// How many exact [`find_isomorphism`] fallback checks ran.
+    pub fn exact_fallbacks(&self) -> usize {
+        self.exact_fallbacks
+    }
+
+    /// The class representatives, in first-seen order.
+    pub fn into_reps(self) -> Vec<DiGraph<L>> {
+        self.reps
+    }
+}
+
+/// De-duplicates via certificate buckets — semantically identical to
+/// [`dedup_isomorphic`] (first representative of each class, stable
+/// order), but with exact isomorphism checks confined to certificate
+/// buckets.
+pub fn dedup_isomorphic_certified<L: Eq + Hash + Ord>(graphs: Vec<DiGraph<L>>) -> Vec<DiGraph<L>> {
+    let mut classes = CertifiedClasses::new();
+    for g in graphs {
+        classes.insert(g);
+    }
+    classes.into_reps()
+}
+
+/// Like [`dedup_isomorphic_certified`], but computes the certificates on
+/// `threads` scoped worker threads (chunked, merged in input order — the
+/// result is bit-identical for every thread count).
+pub fn dedup_isomorphic_certified_parallel<L: Eq + Hash + Ord + Sync>(
+    graphs: Vec<DiGraph<L>>,
+    threads: usize,
+) -> Vec<DiGraph<L>> {
+    let threads = threads.max(1);
+    if threads == 1 || graphs.len() < 2 {
+        return dedup_isomorphic_certified(graphs);
+    }
+    let chunk = graphs.len().div_ceil(threads);
+    let certificates: Vec<Certificate> = std::thread::scope(|scope| {
+        let handles: Vec<_> = graphs
+            .chunks(chunk)
+            .map(|gs| scope.spawn(|| gs.iter().map(canonical_certificate).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("certificate worker panicked"))
+            .collect()
+    });
+    let mut classes = CertifiedClasses::new();
+    for (g, c) in graphs.into_iter().zip(certificates) {
+        classes.insert_with_certificate(g, c);
+    }
+    classes.into_reps()
 }
 
 #[cfg(test)]
@@ -355,5 +564,136 @@ mod tests {
         let mut b = DiGraph::new();
         b.add_node("v");
         assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn certificate_is_isomorphism_invariant() {
+        let mut a = DiGraph::new();
+        let a0 = a.add_node("v");
+        let a1 = a.add_node("v");
+        let a2 = a.add_node("rsu");
+        a.add_edge(a2, a0);
+        a.add_edge(a0, a1);
+        let mut b = DiGraph::new();
+        let b1 = b.add_node("v");
+        let b2 = b.add_node("rsu");
+        let b0 = b.add_node("v");
+        b.add_edge(b2, b0);
+        b.add_edge(b0, b1);
+        assert_eq!(canonical_certificate(&a), canonical_certificate(&b));
+    }
+
+    #[test]
+    fn certificate_separates_labels_and_structure() {
+        let a = triangle(["x", "y", "z"]);
+        let b = triangle(["x", "y", "w"]);
+        assert_ne!(canonical_certificate(&a), canonical_certificate(&b));
+        let chain = {
+            let mut g = DiGraph::new();
+            let x = g.add_node("x");
+            let y = g.add_node("y");
+            let z = g.add_node("z");
+            g.add_edge(x, y);
+            g.add_edge(y, z);
+            g
+        };
+        assert_ne!(canonical_certificate(&a), canonical_certificate(&chain));
+    }
+
+    #[test]
+    fn wl_equivalent_pairs_share_certificate_but_exact_check_splits() {
+        // The 6-cycle vs 2×3-cycle pair is 1-WL-equivalent: same
+        // certificate, distinguished only by the exact fallback.
+        let mut six = DiGraph::new();
+        let s: Vec<_> = (0..6).map(|_| six.add_node("v")).collect();
+        for i in 0..6 {
+            six.add_edge(s[i], s[(i + 1) % 6]);
+        }
+        let mut two_three = DiGraph::new();
+        let t: Vec<_> = (0..6).map(|_| two_three.add_node("v")).collect();
+        for i in 0..3 {
+            two_three.add_edge(t[i], t[(i + 1) % 3]);
+        }
+        for i in 3..6 {
+            two_three.add_edge(t[i], t[3 + (i + 1 - 3) % 3]);
+        }
+        assert_eq!(
+            canonical_certificate(&six),
+            canonical_certificate(&two_three)
+        );
+        let reps = dedup_isomorphic_certified(vec![six.clone(), two_three.clone()]);
+        assert_eq!(reps.len(), 2, "exact fallback keeps both classes");
+        let mut classes = CertifiedClasses::new();
+        classes.insert(six);
+        classes.insert(two_three);
+        assert_eq!(classes.certificate_hits(), 1);
+        assert_eq!(classes.exact_fallbacks(), 1);
+    }
+
+    #[test]
+    fn certified_dedup_matches_pairwise() {
+        let graphs = vec![
+            triangle(["v", "v", "v"]),
+            triangle(["v", "v", "v"]),
+            triangle(["v", "v", "w"]),
+            {
+                let mut g = DiGraph::new();
+                let x = g.add_node("v");
+                let y = g.add_node("v");
+                g.add_edge(x, y);
+                g
+            },
+        ];
+        let pairwise = dedup_isomorphic(graphs.clone());
+        let certified = dedup_isomorphic_certified(graphs.clone());
+        assert_eq!(pairwise, certified);
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                pairwise,
+                dedup_isomorphic_certified_parallel(graphs.clone(), threads),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn certified_classes_empty_and_counts() {
+        let mut classes: CertifiedClasses<&str> = CertifiedClasses::new();
+        assert!(classes.is_empty());
+        assert_eq!(classes.insert(triangle(["v", "v", "v"])), Some(0));
+        assert_eq!(classes.insert(triangle(["v", "v", "v"])), None);
+        assert_eq!(classes.len(), 1);
+        assert!(!classes.is_empty());
+        assert_eq!(classes.into_reps().len(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_not_isomorphic_to_plain_edge() {
+        // Regression: when placing node `i`, `mapping[i]` is still
+        // `None`, so the old backtracker never verified `i`'s own
+        // self-loop and declared {b: b→b, c isolated} isomorphic to
+        // {b→c} — a false positive the certificate correctly rejected.
+        let mut g = DiGraph::new();
+        let b1 = g.add_node("b");
+        let _c1 = g.add_node("c");
+        g.add_edge(b1, b1);
+
+        let mut h = DiGraph::new();
+        let c2 = h.add_node("c");
+        let b2 = h.add_node("b");
+        h.add_edge(b2, c2);
+
+        assert!(!are_isomorphic(&g, &h));
+        assert!(!are_isomorphic(&h, &g));
+        assert_ne!(canonical_certificate(&g), canonical_certificate(&h));
+
+        // Self-loops on matching labels still match, in any node order.
+        let mut g2 = DiGraph::new();
+        let c3 = g2.add_node("c");
+        let b3 = g2.add_node("b");
+        g2.add_edge(b3, b3);
+        let _ = c3;
+        assert!(are_isomorphic(&g, &g2));
+        assert_eq!(canonical_certificate(&g), canonical_certificate(&g2));
     }
 }

@@ -14,6 +14,8 @@
 use crate::actions;
 use crate::position::{Position, Range};
 use fsa_core::instance::{SosInstance, SosInstanceBuilder};
+use fsa_core::{AuthRequirement, FsaError};
+use fsa_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -127,6 +129,29 @@ pub fn random_traffic_instance(config: &TrafficConfig, seed: u64) -> SosInstance
     b.build()
 }
 
+/// Resolves each requirement's consequent action to its node in
+/// `instance` — the protected sink the scaling benches sanity-check.
+///
+/// # Errors
+///
+/// Returns [`FsaError::UnknownAction`] naming the offending action if a
+/// requirement's consequent is not an action of the instance (e.g. a
+/// requirement elicited from a *different* instance). This path used to
+/// `unwrap()` and panic.
+pub fn requirement_sinks(
+    instance: &SosInstance,
+    requirements: &[AuthRequirement],
+) -> Result<Vec<NodeId>, FsaError> {
+    requirements
+        .iter()
+        .map(|r| {
+            instance
+                .find(&r.consequent)
+                .ok_or_else(|| FsaError::UnknownAction(r.consequent.to_string()))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,11 +183,28 @@ mod tests {
             let report = elicit(&inst).expect("loop-free");
             // Every requirement's consequent is a sink.
             let sinks = inst.graph().sinks();
-            for r in report.requirements() {
-                let y = inst.find(&r.consequent).unwrap();
+            let resolved = requirement_sinks(&inst, &report.requirements()).expect("all resolve");
+            for y in resolved {
                 assert!(sinks.contains(&y));
             }
         }
+    }
+
+    #[test]
+    fn foreign_consequent_is_an_error_not_a_panic() {
+        // Regression: resolving a requirement whose consequent is not in
+        // the instance used to panic on `unwrap()`.
+        let inst = random_traffic_instance(&TrafficConfig::default(), 1);
+        let foreign = AuthRequirement::new(
+            fsa_core::Action::parse("sense(ESP_1,sW)"),
+            fsa_core::Action::parse("ghost(HMI_999,warn)"),
+            fsa_core::Agent::new("D_999"),
+        );
+        let err = requirement_sinks(&inst, &[foreign]).unwrap_err();
+        assert_eq!(
+            err,
+            FsaError::UnknownAction("ghost(HMI_999,warn)".to_owned())
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             println!("  {:24} {summary}", inst.name());
         }
-        let (union, skipped) = union_requirements_loop_free(&instances);
+        let (union, skipped) = union_requirements_loop_free(&instances)?;
         println!(
             "union over the universe: {} requirements ({} cyclic compositions skipped)\n",
             union.len(),

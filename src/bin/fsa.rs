@@ -3,6 +3,7 @@
 //! ```text
 //! fsa elicit <spec-file> [--param] [--refine] [--dot] [--verify-dataflow]
 //! fsa check <spec-file>
+//! fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
 //! ```
 //!
 //! * `elicit` — parse the specification, run the manual pipeline on
@@ -13,6 +14,13 @@
 //!   `--verify-dataflow` additionally derives the dataflow APA, runs
 //!   the tool-assisted pipeline and cross-checks the requirement sets.
 //! * `check` — parse and validate only (exit code 1 on errors).
+//! * `explore` — enumerate the structurally different SoS instances of
+//!   the vehicular scenario (§4.2) with the streaming certificate
+//!   engine and union their requirements (§4.4). `--stats` prints the
+//!   engine counters (candidates, orbit skips, certificate hits) and
+//!   per-stage timings; `--truncate` returns the deduped partial
+//!   universe instead of failing when `--budget` is exceeded; `--all`
+//!   keeps disconnected compositions.
 
 use fsa::core::dataflow::dataflow_apa;
 use fsa::core::manual::{elicit, explain};
@@ -28,6 +36,9 @@ fn main() -> ExitCode {
         Some((c, rest)) => (c.as_str(), rest),
         None => return usage(),
     };
+    if command == "explore" {
+        return explore_command(rest);
+    }
     let mut files = Vec::new();
     let mut flags = std::collections::BTreeSet::new();
     let mut threads = 1usize;
@@ -216,9 +227,133 @@ fn cross_check(
     }
 }
 
+/// `fsa explore` — enumerate the vehicular instance space (§4.2) and
+/// union the elicited requirements (§4.4) with the streaming
+/// certificate engine.
+fn explore_command(rest: &[String]) -> ExitCode {
+    use fsa::core::explore::{union_requirements_loop_free_threaded, BudgetPolicy, ExploreOptions};
+
+    let mut max_vehicles = 2usize;
+    let mut threads = 1usize;
+    let mut budget: Option<usize> = None;
+    let mut truncate = false;
+    let mut all = false;
+    let mut stats = false;
+
+    let mut iter = rest.iter();
+    while let Some(a) = iter.next() {
+        let Some(flag) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument `{a}`");
+            return explore_usage();
+        };
+        // Accept both `--flag=value` and `--flag value`.
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_owned())),
+            None => (flag, None),
+        };
+        let value = |iter: &mut std::slice::Iter<'_, String>| -> Option<String> {
+            inline.clone().or_else(|| iter.next().cloned())
+        };
+        match name {
+            "max-vehicles" => match value(&mut iter).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => max_vehicles = n,
+                _ => {
+                    eprintln!("--max-vehicles expects a positive integer");
+                    return explore_usage();
+                }
+            },
+            "threads" => match value(&mut iter).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads expects a positive integer");
+                    return explore_usage();
+                }
+            },
+            "budget" => match value(&mut iter).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => budget = Some(n),
+                _ => {
+                    eprintln!("--budget expects a positive integer");
+                    return explore_usage();
+                }
+            },
+            "truncate" => truncate = true,
+            "all" => all = true,
+            "stats" => stats = true,
+            other => {
+                eprintln!("unknown flag --{other}");
+                return explore_usage();
+            }
+        }
+    }
+
+    let options = ExploreOptions {
+        require_connected: !all,
+        max_candidates: budget.unwrap_or(ExploreOptions::default().max_candidates),
+        on_budget: if truncate {
+            BudgetPolicy::Truncate
+        } else {
+            BudgetPolicy::Error
+        },
+        threads,
+    };
+    let exploration = match fsa::vanet::exploration::explore_scenario(max_vehicles, &options) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "universe with 1 RSU and up to {max_vehicles} vehicle(s): {} structurally \
+         different {}instance(s){}",
+        exploration.instances.len(),
+        if all { "" } else { "connected " },
+        if exploration.stats.truncated {
+            " (truncated at budget)"
+        } else {
+            ""
+        }
+    );
+    for inst in &exploration.instances {
+        println!(
+            "  {:32} {} action(s), {} flow(s)",
+            inst.name(),
+            inst.action_count(),
+            inst.graph().edge_count()
+        );
+    }
+    match union_requirements_loop_free_threaded(&exploration.instances, threads) {
+        Ok((union, skipped)) => {
+            println!(
+                "union over the universe: {} requirement(s) ({skipped} cyclic composition(s) \
+                 skipped)",
+                union.len()
+            );
+            for r in union.iter() {
+                println!("  {r}");
+            }
+        }
+        Err(e) => {
+            eprintln!("union elicitation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if stats {
+        print!("{}", exploration.stats);
+    }
+    ExitCode::SUCCESS
+}
+
+fn explore_usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]"
+    );
+    ExitCode::from(2)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]\n  fsa check <spec-file>"
+        "usage:\n  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]\n  fsa check <spec-file>\n  fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]"
     );
     ExitCode::from(2)
 }

@@ -66,6 +66,55 @@ fn syntax_error_reports_position() {
 }
 
 #[test]
+fn explore_prints_universe_and_stats() {
+    let out = fsa(&["explore", "--max-vehicles", "3", "--stats"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("structurally different connected instance(s)"));
+    assert!(stdout.contains("union over the universe:"));
+    assert!(stdout.contains("candidates"), "{stdout}");
+    assert!(stdout.contains("classes"), "{stdout}");
+    assert!(stdout.contains("orbit-skipped"), "{stdout}");
+    assert!(stdout.contains("certificate hits"), "{stdout}");
+}
+
+#[test]
+fn explore_is_bit_identical_across_threads() {
+    let one = fsa(&["explore", "--max-vehicles=2", "--threads=1"]);
+    let four = fsa(&["explore", "--max-vehicles=2", "--threads=4"]);
+    assert!(one.status.success() && four.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&four.stdout)
+    );
+}
+
+#[test]
+fn explore_budget_error_and_truncate() {
+    let out = fsa(&["explore", "--budget", "5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exceeded the budget of 5"), "{stderr}");
+    let out = fsa(&["explore", "--budget", "5", "--truncate"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(truncated at budget)"), "{stdout}");
+}
+
+#[test]
+fn explore_rejects_bad_flags() {
+    let out = fsa(&["explore", "--max-vehicles", "zero"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--max-vehicles expects a positive integer"));
+    let out = fsa(&["explore", "--bogus"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --bogus"));
+    assert!(stderr.contains("fsa explore"));
+}
+
+#[test]
 fn unknown_flag_and_usage() {
     let out = fsa(&["elicit", "specs/fig3.fsa", "--bogus"]);
     assert!(!out.status.success());
