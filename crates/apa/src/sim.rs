@@ -1,4 +1,4 @@
-//! Step-wise simulation of APA models.
+//! Step-wise simulation of APA models, with pluggable fault injection.
 //!
 //! A [`Simulator`] executes one concrete run of an APA: at each step it
 //! picks one of the activated elementary automata (deterministically
@@ -6,11 +6,128 @@
 //! tests and for generating sample traces that must be accepted by the
 //! behaviour automaton — a property tested against
 //! [`crate::ReachGraph::to_nfa`].
+//!
+//! [`Fault`] models trace-level attacks on the event stream a simulator
+//! produces — dropped events, spoofed events injected before their
+//! causal prerequisites, and reordering windows. Faults are applied to
+//! a *finished* trace ([`Simulator::inject`] or the generic
+//! [`Fault::apply_stream`]), so a faulty run is the honest run plus a
+//! deterministic mutation: the runtime monitoring engine
+//! (`fsa-runtime`) relies on this determinism for bit-identical
+//! violation reports across thread counts.
 
 use crate::error::ApaError;
 use crate::model::{Apa, GlobalState};
 use crate::reach::TransitionLabel;
 use automata::{Symbol, SymbolTable};
+use std::fmt;
+
+/// A deterministic fault / attack injected into a simulated event
+/// stream.
+///
+/// The three shapes mirror the classic message-level attacker actions
+/// against the vehicular scenario: suppressing a measurement
+/// ([`Fault::Drop`]), forging a safety-critical output before its
+/// authentic cause ([`Fault::Spoof`] — "spoof-before-sense"), and
+/// scrambling delivery order within a bounded window
+/// ([`Fault::Reorder`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Remove every occurrence of the named action from the stream.
+    Drop {
+        /// Automaton name of the events to suppress.
+        action: String,
+    },
+    /// Insert one forged occurrence of the named action at the very
+    /// beginning of the stream — before anything (in particular before
+    /// any `sense`) has happened.
+    Spoof {
+        /// Automaton name of the forged event.
+        action: String,
+    },
+    /// Reverse every consecutive window of `window` events (a
+    /// deterministic bounded reordering; `window <= 1` is the
+    /// identity).
+    Reorder {
+        /// Window size.
+        window: usize,
+    },
+}
+
+impl Fault {
+    /// Parses the CLI syntax `drop:<action>`, `spoof:<action>`,
+    /// `reorder:<window>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown kinds or malformed
+    /// values.
+    pub fn parse(s: &str) -> Result<Fault, String> {
+        let (kind, value) = s
+            .split_once(':')
+            .ok_or_else(|| format!("expected <kind>:<value>, got `{s}`"))?;
+        match kind {
+            "drop" if !value.is_empty() => Ok(Fault::Drop {
+                action: value.to_owned(),
+            }),
+            "spoof" if !value.is_empty() => Ok(Fault::Spoof {
+                action: value.to_owned(),
+            }),
+            "reorder" => match value.parse::<usize>() {
+                Ok(w) if w >= 1 => Ok(Fault::Reorder { window: w }),
+                _ => Err(format!("reorder expects a positive window, got `{value}`")),
+            },
+            _ => Err(format!(
+                "unknown fault `{kind}` (expected drop:<action>, spoof:<action> or reorder:<window>)"
+            )),
+        }
+    }
+
+    /// Applies this fault to a generic event stream.
+    ///
+    /// The stream representation is abstract: `matches` decides whether
+    /// an event carries the fault's target action and `spoofed` is the
+    /// event to forge for [`Fault::Spoof`]. This lets the same
+    /// definition mutate `Vec<TransitionLabel>` streams (here) and the
+    /// dense `u32` symbol streams of the runtime monitoring engine
+    /// without translation.
+    pub fn apply_stream<T: Copy>(
+        &self,
+        events: &mut Vec<T>,
+        matches: impl Fn(T) -> bool,
+        spoofed: impl FnOnce() -> T,
+    ) {
+        match self {
+            Fault::Drop { .. } => events.retain(|&e| !matches(e)),
+            Fault::Spoof { .. } => events.insert(0, spoofed()),
+            Fault::Reorder { window } => {
+                if *window > 1 {
+                    for chunk in events.chunks_mut(*window) {
+                        chunk.reverse();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The action name this fault targets (`None` for reordering).
+    pub fn action(&self) -> Option<&str> {
+        match self {
+            Fault::Drop { action } | Fault::Spoof { action } => Some(action),
+            Fault::Reorder { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Drop { action } => write!(f, "drop:{action}"),
+            Fault::Spoof { action } => write!(f, "spoof:{action}"),
+            Fault::Reorder { window } => write!(f, "reorder:{window}"),
+        }
+    }
+}
 
 /// A deterministic, seedable simulator over one APA.
 #[derive(Debug)]
@@ -112,6 +229,30 @@ impl<'a> Simulator<'a> {
         Ok(steps)
     }
 
+    /// Applies a [`Fault`] to the trace collected so far.
+    ///
+    /// [`Fault::Spoof`] interns the forged action into this simulator's
+    /// symbol table (with interpretation `spoofed`), so the mutated
+    /// trace still resolves through [`Simulator::symbols`] /
+    /// [`Simulator::trace_names`].
+    pub fn inject(&mut self, fault: &Fault) {
+        let target = fault.action().map(|a| self.symbols.intern(a));
+        let spoofed_interp = match fault {
+            Fault::Spoof { .. } => Some(self.symbols.intern("spoofed")),
+            _ => None,
+        };
+        let mut trace = std::mem::take(&mut self.trace);
+        fault.apply_stream(
+            &mut trace,
+            |l: TransitionLabel| Some(l.automaton) == target,
+            || TransitionLabel {
+                automaton: target.expect("spoof has an action"),
+                interpretation: spoofed_interp.expect("interned above"),
+            },
+        );
+        self.trace = trace;
+    }
+
     /// A split-mix style PRNG step (deterministic, dependency-free).
     fn next_rand(&mut self) -> u64 {
         self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
@@ -183,6 +324,88 @@ mod tests {
             let word = sim.trace_names();
             assert!(nfa.accepts(word.iter().copied()), "trace {word:?}");
         }
+    }
+
+    #[test]
+    fn fault_parse_roundtrip_and_errors() {
+        for (s, f) in [
+            (
+                "drop:V1_sense",
+                Fault::Drop {
+                    action: "V1_sense".into(),
+                },
+            ),
+            (
+                "spoof:V3_show",
+                Fault::Spoof {
+                    action: "V3_show".into(),
+                },
+            ),
+            ("reorder:4", Fault::Reorder { window: 4 }),
+        ] {
+            let parsed = Fault::parse(s).unwrap();
+            assert_eq!(parsed, f);
+            assert_eq!(parsed.to_string(), s);
+        }
+        assert!(Fault::parse("nonsense").is_err());
+        assert!(Fault::parse("reorder:zero").is_err());
+        assert!(Fault::parse("drop:").is_err());
+        assert!(Fault::parse("explode:now").is_err());
+    }
+
+    #[test]
+    fn drop_removes_all_occurrences() {
+        let apa = pipeline();
+        let mut sim = Simulator::new(&apa, 42);
+        sim.run(100).unwrap();
+        assert!(sim.trace_names().contains(&"first"));
+        sim.inject(&Fault::Drop {
+            action: "first".into(),
+        });
+        assert!(!sim.trace_names().contains(&"first"));
+        assert_eq!(sim.trace_names(), vec!["second", "second"]);
+    }
+
+    #[test]
+    fn spoof_prepends_forged_event() {
+        let apa = pipeline();
+        let mut sim = Simulator::new(&apa, 42);
+        sim.run(100).unwrap();
+        sim.inject(&Fault::Spoof {
+            action: "second".into(),
+        });
+        let names = sim.trace_names();
+        assert_eq!(names[0], "second");
+        assert_eq!(names.len(), 5);
+        let first = sim.trace()[0];
+        assert_eq!(sim.name(first.interpretation), "spoofed");
+    }
+
+    #[test]
+    fn reorder_reverses_windows_and_window_one_is_identity() {
+        let apa = pipeline();
+        let mut sim = Simulator::new(&apa, 42);
+        sim.run(100).unwrap();
+        let honest = sim.trace().to_vec();
+        sim.inject(&Fault::Reorder { window: 1 });
+        assert_eq!(sim.trace(), honest.as_slice(), "window 1 is the identity");
+        sim.inject(&Fault::Reorder { window: 2 });
+        let expected: Vec<_> = honest
+            .chunks(2)
+            .flat_map(|c| c.iter().rev().copied())
+            .collect();
+        assert_eq!(sim.trace(), expected.as_slice());
+    }
+
+    #[test]
+    fn spoof_of_foreign_action_interns_it() {
+        let apa = pipeline();
+        let mut sim = Simulator::new(&apa, 3);
+        sim.run(100).unwrap();
+        sim.inject(&Fault::Spoof {
+            action: "ATK_inject".into(),
+        });
+        assert_eq!(sim.trace_names()[0], "ATK_inject");
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Compiling requirement sets into fused monitor banks.
+//!
+//! Every authenticity requirement `auth(a, b, P)` elicited by the
+//! paper's method is a *precedence property*: `b` must never occur
+//! before the first (dependably authentic) `a`. Each requirement is
+//! first compiled into the classic two-state precedence monitor DFA
+//! ([`automata::monitor::precedence_monitor`], symbol-interned through
+//! a shared [`SymbolTable`]); the bank then *fuses* all monitors into a
+//! single flat `u32` transition table so that checking an event against
+//! the whole bank is one cache-friendly sweep
+//! `states[m] = delta[(m·3 + states[m])·n_cols + sym]` — no hashing, no
+//! string comparison, no per-monitor dispatch.
+//!
+//! Monitor state space (identical for every requirement):
+//!
+//! | state | meaning | transitions |
+//! |-------|---------|-------------|
+//! | [`WAITING`]  | `a` not yet seen | `a → SEEN`, `b → VIOLATED`, other → `WAITING` |
+//! | [`SEEN`]     | `a` has occurred | everything → `SEEN` |
+//! | [`VIOLATED`] | `b` occurred first (latched) | everything → `VIOLATED` |
+//!
+//! Events outside the compiled alphabet (e.g. an attacker automaton the
+//! honest model does not know) map to a dedicated *other* column on
+//! which every monitor self-loops: a foreign event is neither `a` nor
+//! `b`, so by itself it can never satisfy or violate a precedence
+//! property.
+
+use crate::error::RuntimeError;
+use automata::monitor::precedence_monitor;
+use automata::nfa::StateId;
+use automata::SymbolTable;
+use fsa_core::requirements::{AuthRequirement, RequirementSet};
+
+/// Monitor state: the antecedent has not occurred yet (the consequent
+/// is forbidden).
+pub const WAITING: u32 = 0;
+/// Monitor state: the antecedent has occurred (anything may follow).
+pub const SEEN: u32 = 1;
+/// Monitor state: the consequent occurred before the first antecedent —
+/// a latched violation.
+pub const VIOLATED: u32 = 2;
+
+/// States per monitor in the fused table.
+const STATES: usize = 3;
+
+/// Metadata of one compiled monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledMonitor {
+    /// The requirement this monitor enforces.
+    pub requirement: AuthRequirement,
+    /// Event symbol of the antecedent action.
+    pub antecedent: u32,
+    /// Event symbol of the consequent action.
+    pub consequent: u32,
+}
+
+/// A bank of precedence monitors fused into one flat transition table.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_core::requirements::{AuthRequirement, RequirementSet};
+/// use fsa_core::{Action, Agent};
+/// use fsa_runtime::bank::{MonitorBank, VIOLATED};
+///
+/// let set: RequirementSet = [AuthRequirement::new(
+///     Action::parse("sense"),
+///     Action::parse("show"),
+///     Agent::new("D"),
+/// )]
+/// .into_iter()
+/// .collect();
+/// let bank = MonitorBank::compile(&set, ["sense", "send", "show"]).unwrap();
+/// let ok = bank.check_names(["sense", "send", "show"]);
+/// assert!(ok.is_clean());
+/// let bad = bank.check_names(["send", "show", "sense"]);
+/// assert_eq!(bad.states[0], VIOLATED);
+/// assert_eq!(bad.first_violation[0], Some(1), "show at index 1 trips it");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonitorBank {
+    /// Event alphabet (dense symbols `0..len`); the *other* column is
+    /// at index `len`.
+    symbols: SymbolTable,
+    monitors: Vec<CompiledMonitor>,
+    /// Fused table, laid out `[(monitor, state), symbol]`:
+    /// `delta[(m * 3 + state) * n_cols + sym]`.
+    delta: Vec<u32>,
+    /// Columns per row — alphabet size plus the *other* column.
+    n_cols: usize,
+}
+
+/// The mutable run state of one stream against a [`MonitorBank`]: one
+/// `u32` per monitor plus the latched first-violation positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankRun {
+    /// Current state per monitor ([`WAITING`] / [`SEEN`] / [`VIOLATED`]).
+    pub states: Vec<u32>,
+    /// Index (0-based position in the stream) of the event that first
+    /// tripped each monitor, `None` while the monitor holds.
+    pub first_violation: Vec<Option<u64>>,
+    /// Events consumed so far.
+    pub events: u64,
+}
+
+impl BankRun {
+    /// Number of monitors currently in the violated state.
+    pub fn violated(&self) -> usize {
+        self.states.iter().filter(|&&s| s == VIOLATED).count()
+    }
+
+    /// Returns `true` if no monitor has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.violated() == 0
+    }
+}
+
+impl MonitorBank {
+    /// Compiles every requirement of `set` into a monitor over the
+    /// given event alphabet and fuses the bank.
+    ///
+    /// The alphabet is typically the elementary-automaton names of the
+    /// APA whose traces will be checked (see
+    /// [`MonitorBank::for_apa`]); order defines the dense event
+    /// symbols.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::EmptyRequirementSet`] if `set` is empty.
+    /// * [`RuntimeError::UnknownAction`] if a requirement references an
+    ///   action outside the alphabet (the monitor could never observe
+    ///   it — rejecting early beats silently vacuous monitoring).
+    pub fn compile<'a>(
+        set: &RequirementSet,
+        alphabet: impl IntoIterator<Item = &'a str>,
+    ) -> Result<MonitorBank, RuntimeError> {
+        if set.is_empty() {
+            return Err(RuntimeError::EmptyRequirementSet);
+        }
+        let mut symbols = SymbolTable::new();
+        for name in alphabet {
+            symbols.intern(name);
+        }
+        let names: Vec<String> = symbols.iter().map(|(_, n)| n.to_owned()).collect();
+        let n_cols = names.len() + 1; // + the *other* column
+        let mut monitors = Vec::with_capacity(set.len());
+        let mut delta = Vec::with_capacity(set.len() * STATES * n_cols);
+        for req in set.iter() {
+            let a = req.antecedent.to_string();
+            let b = req.consequent.to_string();
+            for action in [&a, &b] {
+                if symbols.get(action).is_none() {
+                    return Err(RuntimeError::UnknownAction {
+                        action: action.clone(),
+                        requirement: req.to_string(),
+                    });
+                }
+            }
+            // Reference semantics: the two-state precedence monitor DFA
+            // (its missing transition *is* the violation).
+            let dfa = precedence_monitor(names.iter().map(String::as_str), &a, &b);
+            debug_assert_eq!(dfa.initial_state(), StateId::new(0));
+            // Fuse: rows WAITING and SEEN are read off the DFA, the
+            // VIOLATED row is the explicit latch.
+            for state in 0..STATES {
+                for name in &names {
+                    let next = if state == VIOLATED as usize {
+                        VIOLATED
+                    } else {
+                        match dfa.step_name(StateId::new(state), name) {
+                            Some(s) => s.index() as u32,
+                            None => VIOLATED,
+                        }
+                    };
+                    delta.push(next);
+                }
+                // The *other* column: self-loop.
+                delta.push(state as u32);
+            }
+            monitors.push(CompiledMonitor {
+                requirement: req.clone(),
+                antecedent: symbols.get(&a).expect("checked").index() as u32,
+                consequent: symbols.get(&b).expect("checked").index() as u32,
+            });
+        }
+        Ok(MonitorBank {
+            symbols,
+            monitors,
+            delta,
+            n_cols,
+        })
+    }
+
+    /// Compiles the bank over the elementary-automaton names of `apa` —
+    /// the natural alphabet for checking [`apa::Simulator`] traces.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonitorBank::compile`].
+    pub fn for_apa(set: &RequirementSet, apa: &apa::Apa) -> Result<MonitorBank, RuntimeError> {
+        MonitorBank::compile(set, apa.automaton_names())
+    }
+
+    /// The compiled monitors, in requirement-set (canonical) order.
+    pub fn monitors(&self) -> &[CompiledMonitor] {
+        &self.monitors
+    }
+
+    /// Number of monitors in the bank.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Returns `true` if the bank holds no monitors (never constructed
+    /// by [`MonitorBank::compile`], which rejects empty sets).
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// Size of the event alphabet (excluding the *other* column).
+    pub fn alphabet_len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The *other* symbol — where every event outside the alphabet
+    /// maps; every monitor self-loops on it.
+    pub fn other_symbol(&self) -> u32 {
+        self.symbols.len() as u32
+    }
+
+    /// Maps an event name to its dense symbol ([`Self::other_symbol`]
+    /// for names outside the alphabet).
+    pub fn event_symbol(&self, name: &str) -> u32 {
+        self.symbols
+            .get(name)
+            .map(|s| s.index() as u32)
+            .unwrap_or_else(|| self.other_symbol())
+    }
+
+    /// The name of an event symbol (`<other>` for the other column).
+    pub fn event_name(&self, sym: u32) -> &str {
+        if sym == self.other_symbol() {
+            "<other>"
+        } else {
+            self.symbols.name(automata::Symbol::new(sym as usize))
+        }
+    }
+
+    /// A fresh run: every monitor in [`WAITING`].
+    pub fn start(&self) -> BankRun {
+        BankRun {
+            states: vec![WAITING; self.monitors.len()],
+            first_violation: vec![None; self.monitors.len()],
+            events: 0,
+        }
+    }
+
+    /// Feeds a batch of events into a run — the fused hot loop.
+    ///
+    /// For each event the whole bank advances with one linear sweep
+    /// over the `u32` state vector; entering [`VIOLATED`] latches the
+    /// event's stream position into `first_violation`.
+    pub fn feed(&self, run: &mut BankRun, events: &[u32]) {
+        let n_cols = self.n_cols;
+        for &sym in events {
+            let col = sym as usize;
+            debug_assert!(col < n_cols, "event symbol out of range");
+            let base = run.events;
+            for (m, s) in run.states.iter_mut().enumerate() {
+                let prev = *s;
+                *s = self.delta[(m * STATES + prev as usize) * n_cols + col];
+                if *s == VIOLATED && prev != VIOLATED {
+                    run.first_violation[m] = Some(base);
+                }
+            }
+            run.events += 1;
+        }
+    }
+
+    /// Convenience: checks one named event sequence from a fresh run.
+    pub fn check_names<'a>(&self, events: impl IntoIterator<Item = &'a str>) -> BankRun {
+        let syms: Vec<u32> = events.into_iter().map(|n| self.event_symbol(n)).collect();
+        let mut run = self.start();
+        self.feed(&mut run, &syms);
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_core::{Action, Agent};
+
+    fn req(a: &str, b: &str) -> AuthRequirement {
+        AuthRequirement::new(Action::parse(a), Action::parse(b), Agent::new("P"))
+    }
+
+    fn bank(reqs: &[AuthRequirement], alphabet: &[&str]) -> MonitorBank {
+        let set: RequirementSet = reqs.iter().cloned().collect();
+        MonitorBank::compile(&set, alphabet.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn clean_trace_trips_nothing() {
+        let b = bank(&[req("sense", "show")], &["sense", "send", "show"]);
+        let run = b.check_names(["send", "sense", "send", "show", "show"]);
+        assert!(run.is_clean());
+        assert_eq!(run.states[0], SEEN);
+        assert_eq!(run.events, 5);
+    }
+
+    #[test]
+    fn consequent_before_antecedent_latches_with_position() {
+        let b = bank(&[req("sense", "show")], &["sense", "send", "show"]);
+        let run = b.check_names(["send", "show", "sense", "show"]);
+        assert_eq!(run.violated(), 1);
+        assert_eq!(run.first_violation[0], Some(1));
+        // Latch: the later legitimate ordering does not un-violate.
+        assert_eq!(run.states[0], VIOLATED);
+    }
+
+    #[test]
+    fn bank_isolates_monitors() {
+        let b = bank(
+            &[req("a", "x"), req("b", "x"), req("a", "y")],
+            &["a", "b", "x", "y"],
+        );
+        // b never occurs, then x: trips auth(b, x) only.
+        let run = b.check_names(["a", "x", "y"]);
+        assert_eq!(run.violated(), 1);
+        let tripped: Vec<String> = b
+            .monitors()
+            .iter()
+            .zip(&run.states)
+            .filter(|(_, &s)| s == VIOLATED)
+            .map(|(m, _)| m.requirement.antecedent.to_string())
+            .collect();
+        assert_eq!(tripped, vec!["b".to_owned()]);
+    }
+
+    #[test]
+    fn foreign_events_are_inert() {
+        let b = bank(&[req("sense", "show")], &["sense", "show"]);
+        let run = b.check_names(["ATK_inject", "sense", "ATK_inject", "show"]);
+        assert!(run.is_clean(), "unknown events are neither a nor b");
+        let run = b.check_names(["ATK_inject", "show"]);
+        assert_eq!(run.violated(), 1, "show still violates without sense");
+        assert_eq!(run.first_violation[0], Some(1));
+    }
+
+    #[test]
+    fn unknown_requirement_action_is_rejected() {
+        let set: RequirementSet = [req("sense", "explode")].into_iter().collect();
+        let err = MonitorBank::compile(&set, ["sense", "show"]).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownAction { .. }));
+        assert!(err.to_string().contains("explode"));
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        let err = MonitorBank::compile(&RequirementSet::new(), ["a"]).unwrap_err();
+        assert_eq!(err, RuntimeError::EmptyRequirementSet);
+    }
+
+    #[test]
+    fn fused_table_agrees_with_reference_monitor_dfa() {
+        // Exhaustive cross-validation on random words: the fused bank
+        // must reach VIOLATED exactly when the reference two-state DFA
+        // has no run (language inclusion fails on that prefix).
+        let alphabet = ["a", "b", "c", "d"];
+        let b = bank(&[req("a", "c"), req("b", "d"), req("d", "a")], &alphabet);
+        let mut state = 0x5EEDu64;
+        for _ in 0..200 {
+            let mut word: Vec<&str> = Vec::new();
+            for _ in 0..12 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                word.push(alphabet[(state >> 33) as usize % alphabet.len()]);
+            }
+            let run = b.check_names(word.iter().copied());
+            for (m, meta) in b.monitors().iter().enumerate() {
+                let dfa = precedence_monitor(
+                    alphabet.iter().copied(),
+                    &meta.requirement.antecedent.to_string(),
+                    &meta.requirement.consequent.to_string(),
+                );
+                // Reference: walk the DFA; falling off = violation.
+                let mut q = Some(dfa.initial_state());
+                let mut ref_first = None;
+                for (i, w) in word.iter().enumerate() {
+                    q = q.and_then(|q| dfa.step_name(q, w));
+                    if q.is_none() {
+                        ref_first = Some(i as u64);
+                        break;
+                    }
+                }
+                assert_eq!(run.first_violation[m], ref_first, "monitor {m} on {word:?}");
+            }
+        }
+    }
+}

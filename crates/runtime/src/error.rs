@@ -1,0 +1,48 @@
+//! Errors of the runtime conformance subsystem.
+
+use std::fmt;
+
+/// Errors raised while compiling a monitor bank or driving a fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A requirement references an action that is not an event of the
+    /// stream alphabet — the monitor could never observe it, so the
+    /// compiled bank would be vacuous for that requirement.
+    UnknownAction {
+        /// The rendered action term.
+        action: String,
+        /// The requirement it appears in.
+        requirement: String,
+    },
+    /// The requirement set is empty — there is nothing to monitor.
+    EmptyRequirementSet,
+    /// A fleet was configured with zero streams.
+    NoStreams,
+    /// Simulation of a stream failed.
+    Simulation(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownAction {
+                action,
+                requirement,
+            } => write!(
+                f,
+                "requirement `{requirement}` references action `{action}` which is not in the \
+                 stream alphabet"
+            ),
+            RuntimeError::EmptyRequirementSet => {
+                write!(
+                    f,
+                    "cannot compile a monitor bank from an empty requirement set"
+                )
+            }
+            RuntimeError::NoStreams => write!(f, "fleet configured with zero streams"),
+            RuntimeError::Simulation(e) => write!(f, "stream simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,577 @@
+//! Driving monitor banks from simulator fleets.
+//!
+//! A *fleet* is a set of independent event streams, each produced by a
+//! seeded [`apa::Simulator`] over the same APA (restarted
+//! episode-by-episode until the stream's event quota is met — the
+//! precedence monitors latch `SEEN`, so concatenating honest episodes
+//! never fabricates violations). Streams are sharded across
+//! `std::thread::scope` workers in contiguous stream-id ranges and the
+//! per-stream results are merged in stream order, so the violation
+//! report is **bit-identical for every thread count** — the same
+//! discipline as the dependence grid and the exploration engine.
+//!
+//! Fault injection ([`apa::Fault`]) mutates each stream after assembly
+//! and before checking: dropped antecedents, spoofed consequents before
+//! their cause, bounded reordering. Faults are deterministic trace
+//! transforms, so attacked reports shard just as reproducibly as honest
+//! ones.
+
+use crate::bank::{MonitorBank, VIOLATED};
+use crate::error::RuntimeError;
+use apa::sim::{Fault, Simulator};
+use apa::Apa;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of independent event streams.
+    pub streams: usize,
+    /// Event quota per stream (episodes are concatenated until the
+    /// quota is met or the model goes quiet).
+    pub events_per_stream: usize,
+    /// Base seed; stream `i`, episode `e` simulates with a splitmix of
+    /// `(seed, i, e)`.
+    pub seed: u64,
+    /// Worker threads (`0`/`1` = sequential). Reports are bit-identical
+    /// for every value.
+    pub threads: usize,
+    /// Optional fault/attack injected into every stream.
+    pub fault: Option<Fault>,
+    /// Longest counterexample prefix retained per violation (the tail
+    /// ending at the violating event; longer prefixes are truncated).
+    pub prefix_limit: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            streams: 8,
+            events_per_stream: 1024,
+            seed: 0xF5A,
+            threads: 1,
+            fault: None,
+            prefix_limit: 64,
+        }
+    }
+}
+
+/// The first (lowest stream id, then earliest event) counterexample
+/// observed for one monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Stream the violation occurred on.
+    pub stream: usize,
+    /// 0-based position of the violating event within the stream.
+    pub event_index: u64,
+    /// Event names up to and including the violating event (possibly
+    /// truncated to the configured prefix limit).
+    pub prefix: Vec<String>,
+    /// Whether the prefix was truncated at the front.
+    pub truncated: bool,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stream {} event {}: [{}{}]",
+            self.stream,
+            self.event_index,
+            if self.truncated { "…, " } else { "" },
+            self.prefix.join(", ")
+        )
+    }
+}
+
+/// The fleet-wide verdict for one monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorVerdict {
+    /// The rendered requirement `auth(a, b, P)`.
+    pub requirement: String,
+    /// Number of streams on which the monitor tripped.
+    pub violating_streams: usize,
+    /// The first counterexample (see [`Counterexample`]); `None` if the
+    /// monitor held everywhere.
+    pub first: Option<Counterexample>,
+}
+
+impl MonitorVerdict {
+    /// Returns `true` if the monitor held on every stream.
+    pub fn holds(&self) -> bool {
+        self.violating_streams == 0
+    }
+}
+
+impl fmt::Display for MonitorVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.first {
+            None => write!(f, "{}: holds on all streams", self.requirement),
+            Some(ce) => write!(
+                f,
+                "{}: VIOLATED on {} stream(s); first at {}",
+                self.requirement, self.violating_streams, ce
+            ),
+        }
+    }
+}
+
+/// Throughput and shard statistics of one fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorStats {
+    /// Time to compile the bank (filled by [`monitor_apa`]; zero when
+    /// the bank was compiled elsewhere).
+    pub compile: Duration,
+    /// Summed per-worker time spent simulating streams.
+    pub simulate: Duration,
+    /// Summed per-worker time spent in the fused check loop.
+    pub check: Duration,
+    /// Wall-clock time of the sharded run.
+    pub wall: Duration,
+    /// Total events checked across the fleet.
+    pub events: u64,
+    /// Events checked per wall-clock second.
+    pub events_per_sec: f64,
+    /// Events handled per worker shard (shard balance).
+    pub shard_events: Vec<u64>,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl fmt::Display for MonitorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "monitor stats:")?;
+        if !self.compile.is_zero() {
+            writeln!(f, "  compile          {:>12?}", self.compile)?;
+        }
+        writeln!(f, "  simulate (sum)   {:>12?}", self.simulate)?;
+        writeln!(f, "  check (sum)      {:>12?}", self.check)?;
+        writeln!(f, "  wall             {:>12?}", self.wall)?;
+        writeln!(f, "  events           {:>12}", self.events)?;
+        writeln!(f, "  events/sec       {:>12.0}", self.events_per_sec)?;
+        writeln!(f, "  threads          {:>12}", self.threads)?;
+        let (min, max) = (
+            self.shard_events.iter().min().copied().unwrap_or(0),
+            self.shard_events.iter().max().copied().unwrap_or(0),
+        );
+        writeln!(f, "  shard balance    {:>12}", format!("{min}..{max} ev"))?;
+        Ok(())
+    }
+}
+
+/// The result of one fleet run: per-monitor verdicts (deterministic)
+/// plus throughput statistics (timing-dependent).
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// One verdict per compiled monitor, in bank order.
+    pub verdicts: Vec<MonitorVerdict>,
+    /// Streams checked.
+    pub streams: usize,
+    /// Total events checked.
+    pub events: u64,
+    /// Throughput and shard statistics.
+    pub stats: MonitorStats,
+}
+
+impl FleetReport {
+    /// Number of monitors violated on at least one stream.
+    pub fn violated(&self) -> usize {
+        self.verdicts.iter().filter(|v| !v.holds()).count()
+    }
+
+    /// Returns `true` if every monitor held on every stream.
+    pub fn is_clean(&self) -> bool {
+        self.violated() == 0
+    }
+
+    /// The deterministic part of the report, rendered — identical for
+    /// every thread count (used by the determinism property tests and
+    /// the CLI).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        use fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{} monitor(s), {} stream(s), {} event(s): {} violated",
+            self.verdicts.len(),
+            self.streams,
+            self.events,
+            self.violated()
+        );
+        for v in &self.verdicts {
+            let _ = writeln!(out, "  {v}");
+        }
+        out
+    }
+}
+
+/// Per-stream intermediate result.
+struct StreamResult {
+    events: u64,
+    /// `(monitor, event_index, prefix, truncated)` per violated monitor.
+    violations: Vec<(usize, u64, Vec<String>, bool)>,
+}
+
+/// Worker-local timing accumulator.
+#[derive(Default, Clone)]
+struct WorkerLog {
+    simulate: Duration,
+    check: Duration,
+    events: u64,
+}
+
+/// Splitmix-style seed derivation for (stream, episode).
+fn derive_seed(seed: u64, stream: u64, episode: u64) -> u64 {
+    let mut z =
+        seed ^ stream.wrapping_mul(0x9e3779b97f4a7c15) ^ episode.wrapping_mul(0xd1b54a32d192ed03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Runs one stream: simulate episodes, inject the fault, check.
+fn run_stream(
+    apa: &Apa,
+    bank: &MonitorBank,
+    apa_to_bank: &[u32],
+    cfg: &FleetConfig,
+    stream: usize,
+    log: &mut WorkerLog,
+) -> Result<StreamResult, RuntimeError> {
+    // --- Simulate: assemble the event stream episode by episode. -----
+    let t0 = Instant::now();
+    let mut events: Vec<u32> = Vec::with_capacity(cfg.events_per_stream);
+    let mut episode = 0u64;
+    while events.len() < cfg.events_per_stream {
+        let mut sim = Simulator::new(apa, derive_seed(cfg.seed, stream as u64, episode));
+        let steps = sim
+            .run(cfg.events_per_stream - events.len())
+            .map_err(|e| RuntimeError::Simulation(e.to_string()))?;
+        if steps == 0 {
+            break; // the model is quiet from its initial state
+        }
+        // `Simulator::new` interns automaton names first, so
+        // `label.automaton.index()` *is* the elementary-automaton index.
+        events.extend(sim.trace().iter().map(|l| apa_to_bank[l.automaton.index()]));
+        episode += 1;
+    }
+    // --- Inject the fault (deterministic trace transform). -----------
+    if let Some(fault) = &cfg.fault {
+        let target = fault.action().map(|a| bank.event_symbol(a));
+        fault.apply_stream(
+            &mut events,
+            |e| Some(e) == target,
+            || target.unwrap_or_else(|| bank.other_symbol()),
+        );
+    }
+    log.simulate += t0.elapsed();
+
+    // --- Check: one fused sweep per event. ---------------------------
+    let t1 = Instant::now();
+    let mut run = bank.start();
+    bank.feed(&mut run, &events);
+    log.check += t1.elapsed();
+    log.events += run.events;
+
+    let violations = run
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s == VIOLATED)
+        .map(|(m, _)| {
+            let idx = run.first_violation[m].expect("violated monitors have a position");
+            let end = idx as usize + 1;
+            let start = end.saturating_sub(cfg.prefix_limit.max(1));
+            let prefix = events[start..end]
+                .iter()
+                .map(|&sym| bank.event_name(sym).to_owned())
+                .collect();
+            (m, idx, prefix, start > 0)
+        })
+        .collect();
+    Ok(StreamResult {
+        events: run.events,
+        violations,
+    })
+}
+
+/// Checks a simulator fleet against a compiled bank.
+///
+/// Streams are sharded over `cfg.threads` scoped workers in contiguous
+/// ranges; the merge walks streams in index order, so the verdict
+/// vector (violation counts **and** first counterexamples) does not
+/// depend on the thread count.
+///
+/// # Errors
+///
+/// * [`RuntimeError::NoStreams`] if `cfg.streams == 0`.
+/// * [`RuntimeError::Simulation`] if an underlying APA step fails.
+pub fn run_fleet(
+    apa: &Apa,
+    bank: &MonitorBank,
+    cfg: &FleetConfig,
+) -> Result<FleetReport, RuntimeError> {
+    if cfg.streams == 0 {
+        return Err(RuntimeError::NoStreams);
+    }
+    let wall = Instant::now();
+    // Automaton index → bank event symbol, computed once.
+    let apa_to_bank: Vec<u32> = apa
+        .automaton_names()
+        .map(|n| bank.event_symbol(n))
+        .collect();
+
+    let threads = cfg.threads.clamp(1, cfg.streams);
+    let chunk = cfg.streams.div_ceil(threads);
+    let mut results: Vec<Option<Result<StreamResult, RuntimeError>>> = Vec::new();
+    results.resize_with(cfg.streams, || None);
+    let mut logs = vec![WorkerLog::default(); results.chunks(chunk).count()];
+
+    if threads <= 1 {
+        let log = &mut logs[0];
+        for (i, slot) in results.iter_mut().enumerate() {
+            *slot = Some(run_stream(apa, bank, &apa_to_bank, cfg, i, log));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for (w, (chunk_slots, log)) in
+                results.chunks_mut(chunk).zip(logs.iter_mut()).enumerate()
+            {
+                let apa_to_bank = &apa_to_bank;
+                scope.spawn(move || {
+                    for (k, slot) in chunk_slots.iter_mut().enumerate() {
+                        let i = w * chunk + k;
+                        *slot = Some(run_stream(apa, bank, apa_to_bank, cfg, i, log));
+                    }
+                });
+            }
+        });
+    }
+
+    // Deterministic merge in stream order.
+    let mut counts = vec![0usize; bank.len()];
+    let mut firsts: Vec<Option<Counterexample>> = vec![None; bank.len()];
+    let mut total_events = 0u64;
+    for (i, slot) in results.into_iter().enumerate() {
+        let sr = slot.expect("every stream ran")?;
+        total_events += sr.events;
+        for (m, idx, prefix, truncated) in sr.violations {
+            counts[m] += 1;
+            if firsts[m].is_none() {
+                firsts[m] = Some(Counterexample {
+                    stream: i,
+                    event_index: idx,
+                    prefix,
+                    truncated,
+                });
+            }
+        }
+    }
+    let verdicts = bank
+        .monitors()
+        .iter()
+        .zip(counts)
+        .zip(firsts)
+        .map(|((meta, violating_streams), first)| MonitorVerdict {
+            requirement: meta.requirement.to_string(),
+            violating_streams,
+            first,
+        })
+        .collect();
+    let wall = wall.elapsed();
+    let stats = MonitorStats {
+        compile: Duration::ZERO,
+        simulate: logs.iter().map(|l| l.simulate).sum(),
+        check: logs.iter().map(|l| l.check).sum(),
+        wall,
+        events: total_events,
+        events_per_sec: total_events as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        shard_events: logs.iter().map(|l| l.events).collect(),
+        threads,
+    };
+    Ok(FleetReport {
+        verdicts,
+        streams: cfg.streams,
+        events: total_events,
+        stats,
+    })
+}
+
+/// One-call pipeline: compile the bank for `apa` from `set`, run the
+/// fleet, and account the compile time in the report's stats.
+///
+/// # Errors
+///
+/// Propagates [`MonitorBank::compile`] and [`run_fleet`] errors.
+pub fn monitor_apa(
+    apa: &Apa,
+    set: &fsa_core::requirements::RequirementSet,
+    cfg: &FleetConfig,
+) -> Result<(MonitorBank, FleetReport), RuntimeError> {
+    let t = Instant::now();
+    let bank = MonitorBank::for_apa(set, apa)?;
+    let compile = t.elapsed();
+    let mut report = run_fleet(apa, &bank, cfg)?;
+    report.stats.compile = compile;
+    Ok((bank, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa::rule;
+    use apa::{ApaBuilder, Value};
+    use fsa_core::requirements::{AuthRequirement, RequirementSet};
+    use fsa_core::{Action, Agent};
+
+    /// first moves tokens c0→c1, second c1→c2: `second` cannot happen
+    /// before `first`.
+    fn pipeline_apa() -> Apa {
+        let mut b = ApaBuilder::new();
+        let c0 = b.component("c0", [Value::atom("x"), Value::atom("y")]);
+        let c1 = b.component("c1", []);
+        let c2 = b.component("c2", []);
+        b.automaton("first", [c0, c1], rule::move_any(0, 1));
+        b.automaton("second", [c1, c2], rule::move_any(0, 1));
+        b.build().unwrap()
+    }
+
+    fn reqs(pairs: &[(&str, &str)]) -> RequirementSet {
+        pairs
+            .iter()
+            .map(|(a, b)| AuthRequirement::new(Action::parse(a), Action::parse(b), Agent::new("P")))
+            .collect()
+    }
+
+    #[test]
+    fn honest_fleet_is_clean() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let (_, report) = monitor_apa(&apa, &set, &FleetConfig::default()).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.events > 0);
+        assert_eq!(report.streams, 8);
+    }
+
+    #[test]
+    fn dropped_antecedent_trips_exactly_that_monitor() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let cfg = FleetConfig {
+            fault: Some(Fault::Drop {
+                action: "first".into(),
+            }),
+            ..FleetConfig::default()
+        };
+        let (_, report) = monitor_apa(&apa, &set, &cfg).unwrap();
+        assert_eq!(report.violated(), 1);
+        let v = &report.verdicts[0];
+        assert_eq!(v.violating_streams, report.streams);
+        let ce = v.first.as_ref().unwrap();
+        assert_eq!(ce.stream, 0);
+        assert_eq!(ce.prefix.last().map(String::as_str), Some("second"));
+        assert!(!ce.prefix.contains(&"first".to_owned()));
+    }
+
+    #[test]
+    fn spoofed_consequent_trips_at_event_zero() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let cfg = FleetConfig {
+            fault: Some(Fault::Spoof {
+                action: "second".into(),
+            }),
+            ..FleetConfig::default()
+        };
+        let (_, report) = monitor_apa(&apa, &set, &cfg).unwrap();
+        let ce = report.verdicts[0].first.as_ref().unwrap();
+        assert_eq!((ce.stream, ce.event_index), (0, 0));
+        assert_eq!(ce.prefix, vec!["second".to_owned()]);
+        assert!(!ce.truncated);
+    }
+
+    #[test]
+    fn reports_bit_identical_across_thread_counts() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        for fault in [
+            None,
+            Some(Fault::Drop {
+                action: "first".into(),
+            }),
+            Some(Fault::Reorder { window: 3 }),
+        ] {
+            let mut renders = Vec::new();
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = FleetConfig {
+                    streams: 13,
+                    events_per_stream: 200,
+                    threads,
+                    fault: fault.clone(),
+                    ..FleetConfig::default()
+                };
+                let (_, report) = monitor_apa(&apa, &set, &cfg).unwrap();
+                renders.push(report.render());
+            }
+            assert!(
+                renders.windows(2).all(|w| w[0] == w[1]),
+                "fault {fault:?}: {renders:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_streams_is_an_error() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let cfg = FleetConfig {
+            streams: 0,
+            ..FleetConfig::default()
+        };
+        assert_eq!(
+            monitor_apa(&apa, &set, &cfg).unwrap_err(),
+            RuntimeError::NoStreams
+        );
+    }
+
+    #[test]
+    fn prefix_limit_truncates_counterexamples() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let cfg = FleetConfig {
+            streams: 1,
+            events_per_stream: 40,
+            prefix_limit: 2,
+            fault: Some(Fault::Drop {
+                action: "first".into(),
+            }),
+            ..FleetConfig::default()
+        };
+        let (_, report) = monitor_apa(&apa, &set, &cfg).unwrap();
+        let ce = report.verdicts[0].first.as_ref().unwrap();
+        assert!(ce.prefix.len() <= 2);
+        if ce.event_index >= 2 {
+            assert!(ce.truncated);
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let cfg = FleetConfig {
+            threads: 2,
+            ..FleetConfig::default()
+        };
+        let (_, report) = monitor_apa(&apa, &set, &cfg).unwrap();
+        let s = &report.stats;
+        assert!(s.events > 0);
+        assert!(s.events_per_sec > 0.0);
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.shard_events.iter().sum::<u64>(), s.events);
+        let rendered = s.to_string();
+        assert!(rendered.contains("events/sec"));
+        assert!(rendered.contains("shard balance"));
+    }
+}

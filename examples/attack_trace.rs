@@ -7,6 +7,7 @@
 use fsa::apa::ReachOptions;
 use fsa::core::assisted::{elicit_from_graph, DependenceMethod};
 use fsa::core::verify::{verify_requirements, Checker};
+use fsa::runtime::{MonitorBank, VIOLATED};
 use fsa::vanet::apa_model::stakeholder_of;
 use fsa::vanet::forwarding::{forwarding_chain_apa, forwarding_chain_apa_with, RangeConfig};
 
@@ -65,5 +66,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         verdicts.len()
     );
     assert!(violated > 0);
+
+    // 4. The same requirements, compiled into a fused runtime monitor
+    //    bank, latch on the spoofed trace *as it streams in* — this is
+    //    the paper's requirement (4) `auth(pos(GPS_2,pos),
+    //    show(HMI_w,warn), D_w)` catching a forged `send` before any
+    //    `sense`, one event at a time.
+    let honest_apa = forwarding_chain_apa()?;
+    let bank = MonitorBank::for_apa(&report.requirements, &honest_apa)?;
+    let spoofed = ["ATK_inject", "V3_pos", "V3_rec", "V3_show"];
+    let run = bank.check_names(spoofed);
+    println!(
+        "\nruntime monitor bank ({} monitors) on the spoofed trace {}:",
+        bank.len(),
+        spoofed.join(" → ")
+    );
+    let mut tripped = Vec::new();
+    for (m, meta) in bank.monitors().iter().enumerate() {
+        if run.states[m] == VIOLATED {
+            let at = run.first_violation[m].expect("latched");
+            println!(
+                "  VIOLATED {}  (latched at event {at}, prefix {})",
+                meta.requirement,
+                spoofed[..=at as usize].join(" → ")
+            );
+            tripped.push(meta.requirement.to_string());
+        }
+    }
+    assert!(
+        tripped.contains(&"auth(V2_pos, V3_show, D_3)".to_owned()),
+        "requirement (4) must trip on the spoofed trace"
+    );
+    println!(
+        "\n{}/{} monitors latched — requirement (4) rejects the forged message at runtime",
+        tripped.len(),
+        bank.len()
+    );
     Ok(())
 }

@@ -4,6 +4,9 @@
 //! fsa elicit <spec-file> [--param] [--refine] [--dot] [--verify-dataflow]
 //! fsa check <spec-file>
 //! fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
+//! fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
+//! fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N]
+//!             [--inject <fault>] [--seed N] [--stats]
 //! ```
 //!
 //! * `elicit` — parse the specification, run the manual pipeline on
@@ -16,11 +19,16 @@
 //! * `check` — parse and validate only (exit code 1 on errors).
 //! * `explore` — enumerate the structurally different SoS instances of
 //!   the vehicular scenario (§4.2) with the streaming certificate
-//!   engine and union their requirements (§4.4). `--stats` prints the
-//!   engine counters (candidates, orbit skips, certificate hits) and
-//!   per-stage timings; `--truncate` returns the deduped partial
-//!   universe instead of failing when `--budget` is exceeded; `--all`
-//!   keeps disconnected compositions.
+//!   engine and union their requirements (§4.4).
+//! * `simulate` — one seeded [`fsa::apa::sim::Simulator`] run of a
+//!   scenario APA with optional fault injection and a trace printout.
+//! * `monitor` — the runtime conformance engine: elicit the scenario's
+//!   requirements, compile them into a fused monitor bank
+//!   (`fsa-runtime`) and check a sharded simulator fleet against it;
+//!   exits 1 if any monitor is violated.
+//!
+//! Every subcommand accepts `--help`; unknown subcommands and bad flag
+//! values print usage to stderr and exit with code 2.
 
 use fsa::core::dataflow::dataflow_apa;
 use fsa::core::manual::{elicit, explain};
@@ -30,14 +38,112 @@ use fsa::core::report::render_manual;
 use fsa::graph::dot::{to_dot, DotOptions};
 use std::process::ExitCode;
 
+const GLOBAL_USAGE: &str = "usage:
+  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]
+  fsa check <spec-file>
+  fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
+  fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
+  fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N] [--inject <fault>] [--seed N] [--stats]
+  fsa <subcommand> --help";
+
+const EXPLORE_USAGE: &str = "usage:
+  fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
+
+Enumerate the structurally different SoS instances of the vehicular
+scenario (§4.2) and union their elicited requirements (§4.4).
+  --max-vehicles N  universe bound (default 2)
+  --threads N       worker threads (deterministic output, default 1)
+  --budget N        candidate budget (error when exceeded)
+  --truncate        return the deduped partial universe at budget
+  --all             keep disconnected compositions
+  --stats           print engine counters and per-stage timings";
+
+const SIMULATE_USAGE: &str = "usage:
+  fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
+
+Run one seeded simulation of a scenario APA and print the trace.
+  --scenario S     two (default): the paper's two-vehicle model;
+                   chain: the V1→V2→V3 forwarding chain;
+                   attacked: the chain plus the cam-forging attacker
+  --seed N         simulation seed (default 1)
+  --max-steps N    stop after N steps (default 100)
+  --inject F       fault applied to the finished trace:
+                   drop:<action> | spoof:<action> | reorder:<window>";
+
+const MONITOR_USAGE: &str = "usage:
+  fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N] [--inject <fault>] [--seed N] [--stats]
+
+Compile the scenario's elicited requirements into a fused monitor bank
+and check a sharded simulator fleet against it (exit 1 on violations).
+  --scenario S     chain (default): V1→V2→V3 forwarding chain;
+                   six: the three-pair (six-vehicle) model
+  --streams N      independent event streams (default 8)
+  --events N       total event budget across the fleet (default 8192)
+  --threads N      worker threads; reports are bit-identical for any
+                   value (default 1)
+  --inject F       fault injected into every stream:
+                   drop:<action> | spoof:<action> | reorder:<window>
+  --seed N         base fleet seed (default 3930)
+  --stats          print events/sec, per-stage timings, shard balance";
+
+const ELICIT_USAGE: &str = "usage:
+  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]
+
+Run the §4 manual elicitation pipeline on every instance of the spec.
+  --param            add first-order (parameterised) requirement forms
+  --refine           add hop decompositions and dependency chains
+  --prioritise       rank requirements
+  --dot              print the functional flow graph as Graphviz DOT
+  --markdown         render the report as a markdown table
+  --verify-dataflow  cross-check against the §5 tool-assisted pipeline
+  --stats            print §5 engine statistics (with --verify-dataflow)
+  --threads=N        worker threads for the dependence grid";
+
+const CHECK_USAGE: &str = "usage:
+  fsa check <spec-file>
+
+Parse and validate a specification (exit code 1 on errors).";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (command, rest) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => return usage(),
     };
-    if command == "explore" {
-        return explore_command(rest);
+    if matches!(command, "--help" | "-h" | "help") {
+        println!("{GLOBAL_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match command {
+        "explore" => explore_command(rest),
+        "simulate" => simulate_command(rest),
+        "monitor" => monitor_command(rest),
+        "check" | "elicit" => spec_command(command, rest),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}
+
+/// Returns `true` if `rest` asks for help; the caller prints its usage
+/// text to stdout and exits 0.
+fn wants_help(rest: &[String]) -> bool {
+    rest.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// `fsa check` / `fsa elicit` over a spec file.
+fn spec_command(command: &str, rest: &[String]) -> ExitCode {
+    if wants_help(rest) {
+        println!(
+            "{}",
+            if command == "check" {
+                CHECK_USAGE
+            } else {
+                ELICIT_USAGE
+            }
+        );
+        return ExitCode::SUCCESS;
     }
     let mut files = Vec::new();
     let mut flags = std::collections::BTreeSet::new();
@@ -183,10 +289,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        other => {
-            eprintln!("unknown command `{other}`");
-            usage()
-        }
+        _ => unreachable!("dispatched above"),
     }
 }
 
@@ -227,12 +330,105 @@ fn cross_check(
     }
 }
 
+/// A tiny flag cursor shared by the subcommand parsers: accepts both
+/// `--flag=value` and `--flag value`.
+struct Flags<'a> {
+    iter: std::slice::Iter<'a, String>,
+    usage: &'static str,
+}
+
+enum Flag {
+    /// A parsed `--name` with an optional inline `=value`.
+    Named(String, Option<String>),
+    /// A positional argument (rejected by all current subcommands).
+    Positional(String),
+}
+
+impl<'a> Flags<'a> {
+    fn new(rest: &'a [String], usage: &'static str) -> Self {
+        Flags {
+            iter: rest.iter(),
+            usage,
+        }
+    }
+
+    fn next_flag(&mut self) -> Option<Flag> {
+        let a = self.iter.next()?;
+        Some(match a.strip_prefix("--") {
+            Some(flag) => match flag.split_once('=') {
+                Some((n, v)) => Flag::Named(n.to_owned(), Some(v.to_owned())),
+                None => Flag::Named(flag.to_owned(), None),
+            },
+            None => Flag::Positional(a.clone()),
+        })
+    }
+
+    /// The value of a `--flag value` / `--flag=value` pair.
+    fn value(&mut self, inline: Option<String>) -> Option<String> {
+        inline.or_else(|| self.iter.next().cloned())
+    }
+
+    /// Parses a positive integer value for `name`, or prints the error
+    /// + usage contract (stderr, exit 2 by the caller).
+    fn positive(&mut self, name: &str, inline: Option<String>) -> Result<usize, ExitCode> {
+        match self.value(inline).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => Ok(n),
+            _ => {
+                eprintln!("--{name} expects a positive integer");
+                Err(self.fail())
+            }
+        }
+    }
+
+    /// Parses a `u64` value for `name` (seeds may be zero).
+    fn seed(&mut self, name: &str, inline: Option<String>) -> Result<u64, ExitCode> {
+        match self.value(inline).and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => Ok(n),
+            None => {
+                eprintln!("--{name} expects an unsigned integer");
+                Err(self.fail())
+            }
+        }
+    }
+
+    /// Parses a fault spec for `--inject`.
+    fn fault(&mut self, inline: Option<String>) -> Result<fsa::apa::Fault, ExitCode> {
+        let Some(raw) = self.value(inline) else {
+            eprintln!("--inject expects drop:<action>, spoof:<action> or reorder:<window>");
+            return Err(self.fail());
+        };
+        fsa::apa::Fault::parse(&raw).map_err(|e| {
+            eprintln!("--inject: {e}");
+            self.fail()
+        })
+    }
+
+    fn unknown(&self, what: &str) -> ExitCode {
+        eprintln!("unknown flag --{what}");
+        self.fail()
+    }
+
+    fn positional(&self, what: &str) -> ExitCode {
+        eprintln!("unexpected argument `{what}`");
+        self.fail()
+    }
+
+    fn fail(&self) -> ExitCode {
+        eprintln!("{}", self.usage);
+        ExitCode::from(2)
+    }
+}
+
 /// `fsa explore` — enumerate the vehicular instance space (§4.2) and
 /// union the elicited requirements (§4.4) with the streaming
 /// certificate engine.
 fn explore_command(rest: &[String]) -> ExitCode {
     use fsa::core::explore::{union_requirements_loop_free_threaded, BudgetPolicy, ExploreOptions};
 
+    if wants_help(rest) {
+        println!("{EXPLORE_USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let mut max_vehicles = 2usize;
     let mut threads = 1usize;
     let mut budget: Option<usize> = None;
@@ -240,49 +436,29 @@ fn explore_command(rest: &[String]) -> ExitCode {
     let mut all = false;
     let mut stats = false;
 
-    let mut iter = rest.iter();
-    while let Some(a) = iter.next() {
-        let Some(flag) = a.strip_prefix("--") else {
-            eprintln!("unexpected argument `{a}`");
-            return explore_usage();
+    let mut flags = Flags::new(rest, EXPLORE_USAGE);
+    while let Some(flag) = flags.next_flag() {
+        let (name, inline) = match flag {
+            Flag::Named(n, v) => (n, v),
+            Flag::Positional(p) => return flags.positional(&p),
         };
-        // Accept both `--flag=value` and `--flag value`.
-        let (name, inline) = match flag.split_once('=') {
-            Some((n, v)) => (n, Some(v.to_owned())),
-            None => (flag, None),
-        };
-        let value = |iter: &mut std::slice::Iter<'_, String>| -> Option<String> {
-            inline.clone().or_else(|| iter.next().cloned())
-        };
-        match name {
-            "max-vehicles" => match value(&mut iter).and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => max_vehicles = n,
-                _ => {
-                    eprintln!("--max-vehicles expects a positive integer");
-                    return explore_usage();
-                }
+        match name.as_str() {
+            "max-vehicles" => match flags.positive("max-vehicles", inline) {
+                Ok(n) => max_vehicles = n,
+                Err(code) => return code,
             },
-            "threads" => match value(&mut iter).and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => threads = n,
-                _ => {
-                    eprintln!("--threads expects a positive integer");
-                    return explore_usage();
-                }
+            "threads" => match flags.positive("threads", inline) {
+                Ok(n) => threads = n,
+                Err(code) => return code,
             },
-            "budget" => match value(&mut iter).and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => budget = Some(n),
-                _ => {
-                    eprintln!("--budget expects a positive integer");
-                    return explore_usage();
-                }
+            "budget" => match flags.positive("budget", inline) {
+                Ok(n) => budget = Some(n),
+                Err(code) => return code,
             },
             "truncate" => truncate = true,
             "all" => all = true,
             "stats" => stats = true,
-            other => {
-                eprintln!("unknown flag --{other}");
-                return explore_usage();
-            }
+            other => return flags.unknown(other),
         }
     }
 
@@ -344,16 +520,200 @@ fn explore_command(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn explore_usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]"
+/// Builds the APA of a named simulation scenario.
+fn scenario_apa(name: &str) -> Result<fsa::apa::Apa, String> {
+    use fsa::vanet::forwarding::{forwarding_chain_apa, forwarding_chain_apa_with, RangeConfig};
+    match name {
+        "two" => fsa::vanet::apa_model::two_vehicle_apa(fsa::vanet::semantics::ApaSemantics::PAPER)
+            .map_err(|e| e.to_string()),
+        "chain" => forwarding_chain_apa().map_err(|e| e.to_string()),
+        "attacked" => {
+            forwarding_chain_apa_with(RangeConfig::default(), true).map_err(|e| e.to_string())
+        }
+        "six" => fsa::vanet::apa_model::n_pair_apa(3, fsa::vanet::semantics::ApaSemantics::PAPER)
+            .map_err(|e| e.to_string()),
+        other => Err(format!("unknown scenario `{other}`")),
+    }
+}
+
+/// `fsa simulate` — one seeded simulator run with a trace printout.
+fn simulate_command(rest: &[String]) -> ExitCode {
+    if wants_help(rest) {
+        println!("{SIMULATE_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut scenario = "two".to_owned();
+    let mut seed = 1u64;
+    let mut max_steps = 100usize;
+    let mut fault: Option<fsa::apa::Fault> = None;
+
+    let mut flags = Flags::new(rest, SIMULATE_USAGE);
+    while let Some(flag) = flags.next_flag() {
+        let (name, inline) = match flag {
+            Flag::Named(n, v) => (n, v),
+            Flag::Positional(p) => return flags.positional(&p),
+        };
+        match name.as_str() {
+            "scenario" => match flags.value(inline) {
+                Some(s) => scenario = s,
+                None => {
+                    eprintln!("--scenario expects a name");
+                    return flags.fail();
+                }
+            },
+            "seed" => match flags.seed("seed", inline) {
+                Ok(n) => seed = n,
+                Err(code) => return code,
+            },
+            "max-steps" => match flags.positive("max-steps", inline) {
+                Ok(n) => max_steps = n,
+                Err(code) => return code,
+            },
+            "inject" => match flags.fault(inline) {
+                Ok(f) => fault = Some(f),
+                Err(code) => return code,
+            },
+            other => return flags.unknown(other),
+        }
+    }
+
+    let apa = match scenario_apa(&scenario) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e} (expected two, chain or attacked)");
+            return ExitCode::from(2);
+        }
+    };
+    let mut sim = fsa::apa::sim::Simulator::new(&apa, seed);
+    let steps = match sim.run(max_steps) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(fault) = &fault {
+        sim.inject(fault);
+        println!("scenario {scenario}, seed {seed}: {steps} step(s), fault {fault}");
+    } else {
+        println!("scenario {scenario}, seed {seed}: {steps} step(s)");
+    }
+    println!("trace: {}", sim.trace_names().join(" → "));
+    ExitCode::SUCCESS
+}
+
+/// `fsa monitor` — elicit, compile the monitor bank, check a fleet.
+fn monitor_command(rest: &[String]) -> ExitCode {
+    if wants_help(rest) {
+        println!("{MONITOR_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut scenario = "chain".to_owned();
+    let mut streams = 8usize;
+    let mut events = 8192usize;
+    let mut threads = 1usize;
+    let mut seed = 0xF5Au64;
+    let mut fault: Option<fsa::apa::Fault> = None;
+    let mut stats = false;
+
+    let mut flags = Flags::new(rest, MONITOR_USAGE);
+    while let Some(flag) = flags.next_flag() {
+        let (name, inline) = match flag {
+            Flag::Named(n, v) => (n, v),
+            Flag::Positional(p) => return flags.positional(&p),
+        };
+        match name.as_str() {
+            "scenario" => match flags.value(inline) {
+                Some(s) => scenario = s,
+                None => {
+                    eprintln!("--scenario expects a name");
+                    return flags.fail();
+                }
+            },
+            "streams" => match flags.positive("streams", inline) {
+                Ok(n) => streams = n,
+                Err(code) => return code,
+            },
+            "events" => match flags.positive("events", inline) {
+                Ok(n) => events = n,
+                Err(code) => return code,
+            },
+            "threads" => match flags.positive("threads", inline) {
+                Ok(n) => threads = n,
+                Err(code) => return code,
+            },
+            "seed" => match flags.seed("seed", inline) {
+                Ok(n) => seed = n,
+                Err(code) => return code,
+            },
+            "inject" => match flags.fault(inline) {
+                Ok(f) => fault = Some(f),
+                Err(code) => return code,
+            },
+            "stats" => stats = true,
+            other => return flags.unknown(other),
+        }
+    }
+    if !matches!(scenario.as_str(), "chain" | "six") {
+        eprintln!("unknown scenario `{scenario}` (expected chain or six)");
+        return ExitCode::from(2);
+    }
+
+    let apa = match scenario_apa(&scenario) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Elicit the scenario's requirements from its honest behaviour
+    // (§5 tool-assisted pipeline), then compile and stream.
+    let graph = match apa.reachability(&fsa::apa::ReachOptions::default()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("reachability failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elicited = fsa::core::assisted::elicit_from_graph(
+        &graph,
+        fsa::core::assisted::DependenceMethod::Precedence,
+        fsa::vanet::apa_model::stakeholder_of,
     );
-    ExitCode::from(2)
+    let cfg = fsa::runtime::FleetConfig {
+        streams,
+        events_per_stream: events.div_ceil(streams),
+        seed,
+        threads,
+        fault,
+        ..fsa::runtime::FleetConfig::default()
+    };
+    match fsa::runtime::monitor_apa(&apa, &elicited.requirements, &cfg) {
+        Ok((bank, report)) => {
+            println!(
+                "scenario {scenario}: {} requirement(s) compiled into a fused bank \
+                 ({} event symbols)",
+                bank.len(),
+                bank.alphabet_len()
+            );
+            print!("{}", report.render());
+            if stats {
+                print!("{}", report.stats);
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("monitoring failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]\n  fsa check <spec-file>\n  fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]"
-    );
+    eprintln!("{GLOBAL_USAGE}");
     ExitCode::from(2)
 }

@@ -11,6 +11,7 @@
 //! * [`apa`] — Asynchronous Product Automata and reachability analysis
 //! * [`speclang`] — the model specification language
 //! * [`core`] — the elicitation method itself (manual + tool-assisted)
+//! * [`runtime`] — compiled monitor banks over streaming APA traces
 //! * [`vanet`] — the vehicular-communication example system
 //!
 //! # Quickstart
@@ -35,5 +36,6 @@ pub use automata;
 pub use baselines;
 pub use fsa_core as core;
 pub use fsa_graph as graph;
+pub use fsa_runtime as runtime;
 pub use speclang;
 pub use vanet;

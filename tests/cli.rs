@@ -124,3 +124,135 @@ fn unknown_flag_and_usage() {
     let out = fsa(&[]);
     assert!(!out.status.success());
 }
+
+/// Every subcommand answers `--help` on stdout with exit code 0.
+#[test]
+fn every_subcommand_prints_help() {
+    for sub in ["elicit", "check", "explore", "simulate", "monitor"] {
+        let out = fsa(&[sub, "--help"]);
+        assert!(out.status.success(), "{sub} --help: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage"), "{sub}: {stdout}");
+        assert!(stdout.contains(sub), "{sub}: {stdout}");
+        assert!(out.stderr.is_empty(), "{sub}: help goes to stdout");
+    }
+    // The global help as well.
+    let out = fsa(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for sub in ["elicit", "check", "explore", "simulate", "monitor"] {
+        assert!(stdout.contains(sub), "global help lists {sub}");
+    }
+}
+
+/// Unknown subcommands and bad flag values print usage to stderr and
+/// exit non-zero — consistently across all subcommands.
+#[test]
+fn unknown_subcommand_and_bad_values_fail_consistently() {
+    let out = fsa(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("usage"));
+    assert!(out.stdout.is_empty());
+
+    for args in [
+        vec!["explore", "--max-vehicles", "zero"],
+        vec!["explore", "--threads", "0"],
+        vec!["simulate", "--seed", "minus-one"],
+        vec!["simulate", "--max-steps", "0"],
+        vec!["simulate", "--bogus"],
+        vec!["monitor", "--streams", "0"],
+        vec!["monitor", "--events", "none"],
+        vec!["monitor", "--inject", "explode:now"],
+        vec!["monitor", "--bogus"],
+        vec!["monitor", "unexpected-positional"],
+    ] {
+        let out = fsa(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn simulate_prints_seeded_trace() {
+    let out = fsa(&["simulate", "--scenario", "chain", "--seed", "7"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scenario chain, seed 7"));
+    assert!(stdout.contains("trace:"), "{stdout}");
+    assert!(stdout.contains("V1_sense"), "{stdout}");
+    // Deterministic for the same seed.
+    let again = fsa(&["simulate", "--scenario", "chain", "--seed", "7"]);
+    assert_eq!(out.stdout, again.stdout);
+}
+
+#[test]
+fn simulate_rejects_unknown_scenario() {
+    let out = fsa(&["simulate", "--scenario", "warp"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scenario"), "{stderr}");
+}
+
+#[test]
+fn simulate_applies_injected_fault() {
+    let out = fsa(&[
+        "simulate",
+        "--scenario",
+        "chain",
+        "--seed",
+        "7",
+        "--inject",
+        "spoof:V3_show",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fault spoof:V3_show"), "{stdout}");
+    assert!(
+        stdout.contains("trace: V3_show"),
+        "spoof prepends: {stdout}"
+    );
+}
+
+#[test]
+fn monitor_clean_fleet_holds_and_exits_zero() {
+    let out = fsa(&["monitor", "--streams", "4", "--events", "400", "--stats"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 violated"), "{stdout}");
+    assert!(stdout.contains("events/sec"), "{stdout}");
+    assert!(stdout.contains("shard balance"), "{stdout}");
+}
+
+#[test]
+fn monitor_injected_drop_violates_and_exits_nonzero() {
+    let out = fsa(&[
+        "monitor",
+        "--streams",
+        "4",
+        "--events",
+        "400",
+        "--inject",
+        "drop:V1_sense",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+    assert!(stdout.contains("auth(V1_sense, V3_show, D_3)"), "{stdout}");
+}
+
+#[test]
+fn monitor_reports_bit_identical_across_threads() {
+    let base = ["monitor", "--streams", "6", "--events", "600"];
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "4", "8"] {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", threads]);
+        let out = fsa(&args);
+        assert!(out.status.success(), "{out:?}");
+        outputs.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+}

@@ -1,0 +1,135 @@
+//! Golden test for the runtime monitor bank against the paper's
+//! forwarding scenario (Fig. 4, requirement (4)).
+//!
+//! Requirement (4) is the forwarding-policy requirement
+//! `auth(pos(GPS_2,pos), show(HMI_w,warn), D_w)`: the warned driver
+//! relies on the *forwarder's* position being authentic, because the
+//! position-based forwarding policy decided to relay the warning. In
+//! the APA model of the chain V1 (warner) → V2 (forwarder) → V3
+//! (receiver), that is `auth(V2_pos, V3_show, D_3)`.
+//!
+//! The attack: a forged `cam` message injected next to V3 (a spoofed
+//! `send` before any `sense`) lets `V3_show` happen although neither
+//! V1 sensed anything nor V2's forwarding policy ran — the compiled
+//! monitor must reject the trace with the expected counterexample
+//! prefix.
+
+use fsa::apa::sim::Fault;
+use fsa::apa::ReachOptions;
+use fsa::core::assisted::{elicit_from_graph, DependenceMethod};
+use fsa::core::requirements::RequirementSet;
+use fsa::runtime::{monitor_apa, FleetConfig, MonitorBank, VIOLATED};
+use fsa::vanet::apa_model::stakeholder_of;
+use fsa::vanet::forwarding::{forwarding_chain_apa, forwarding_chain_apa_with, RangeConfig};
+
+/// The spoofed attack trace: the attacker's forged `send` happens
+/// before any `sense`; V3 receives and shows.
+const ATTACK_TRACE: [&str; 4] = ["ATK_inject", "V3_pos", "V3_rec", "V3_show"];
+
+fn honest_requirements() -> (fsa::apa::Apa, RequirementSet) {
+    let apa = forwarding_chain_apa().unwrap();
+    let graph = apa.reachability(&ReachOptions::default()).unwrap();
+    let set = elicit_from_graph(&graph, DependenceMethod::Precedence, stakeholder_of).requirements;
+    (apa, set)
+}
+
+#[test]
+fn forwarding_requirement_rejects_spoofed_send_before_sense() {
+    let (apa, set) = honest_requirements();
+    // The paper's requirement (4), in APA action names.
+    assert!(
+        set.iter()
+            .any(|r| r.to_string() == "auth(V2_pos, V3_show, D_3)"),
+        "requirement (4) must be elicited: {set}"
+    );
+    let bank = MonitorBank::for_apa(&set, &apa).unwrap();
+
+    // The attack trace is a real run of the *attacked* model…
+    let attacked = forwarding_chain_apa_with(RangeConfig::default(), true)
+        .unwrap()
+        .reachability(&ReachOptions::default())
+        .unwrap()
+        .to_nfa();
+    assert!(attacked.accepts(ATTACK_TRACE), "attack trace is feasible");
+
+    // …and the bank (compiled from the honest model — it has never
+    // heard of ATK_inject) rejects it with the expected latches.
+    let run = bank.check_names(ATTACK_TRACE);
+    let mut tripped = Vec::new();
+    for (m, meta) in bank.monitors().iter().enumerate() {
+        if run.states[m] == VIOLATED {
+            // All violations latch on the final `V3_show` (index 3);
+            // the counterexample prefix is the whole spoofed trace.
+            assert_eq!(run.first_violation[m], Some(3), "{}", meta.requirement);
+            tripped.push(meta.requirement.to_string());
+        }
+    }
+    assert_eq!(
+        tripped,
+        vec![
+            "auth(V1_pos, V3_show, D_3)".to_owned(),
+            "auth(V1_sense, V3_show, D_3)".to_owned(),
+            "auth(V2_pos, V3_show, D_3)".to_owned(),
+        ],
+        "exactly the three requirements protecting V3 from the forged \
+         message trip — V3's own position was authentic, so \
+         auth(V3_pos, V3_show, D_3) holds"
+    );
+}
+
+#[test]
+fn spoof_fault_on_fleet_trips_exactly_show_monitors() {
+    let (apa, set) = honest_requirements();
+    let cfg = FleetConfig {
+        streams: 3,
+        events_per_stream: 120,
+        threads: 2,
+        fault: Some(Fault::Spoof {
+            action: "V3_show".into(),
+        }),
+        ..FleetConfig::default()
+    };
+    let (bank, report) = monitor_apa(&apa, &set, &cfg).unwrap();
+    for (meta, verdict) in bank.monitors().iter().zip(&report.verdicts) {
+        let expected = meta.requirement.consequent.to_string() == "V3_show";
+        assert_eq!(!verdict.holds(), expected, "{}", verdict.requirement);
+        if expected {
+            // The spoofed consequent is the very first stream event.
+            let ce = verdict.first.as_ref().unwrap();
+            assert_eq!((ce.stream, ce.event_index), (0, 0));
+            assert_eq!(ce.prefix, vec!["V3_show".to_owned()]);
+            assert_eq!(verdict.violating_streams, report.streams);
+        }
+    }
+}
+
+#[test]
+fn dropped_forwarder_position_starves_the_policy() {
+    // Dropping V2_pos suppresses V2's forwarding entirely (the policy
+    // needs the position), so V3 never shows and nothing trips — the
+    // availability side of requirement (4): the attack degrades the
+    // function rather than faking it.
+    let (apa, set) = honest_requirements();
+    let cfg = FleetConfig {
+        streams: 4,
+        events_per_stream: 200,
+        fault: Some(Fault::Drop {
+            action: "V2_pos".into(),
+        }),
+        ..FleetConfig::default()
+    };
+    let (bank, report) = monitor_apa(&apa, &set, &cfg).unwrap();
+    for (meta, verdict) in bank.monitors().iter().zip(&report.verdicts) {
+        // V2_pos is dropped *after* simulation, so traces where V2
+        // nevertheless showed/forwarded trip the V2_pos monitors and
+        // only those.
+        let expected = meta.requirement.antecedent.to_string() == "V2_pos";
+        assert_eq!(
+            !verdict.holds(),
+            expected,
+            "{} under drop:V2_pos\n{}",
+            verdict.requirement,
+            report.render()
+        );
+    }
+}
