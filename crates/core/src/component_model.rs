@@ -42,6 +42,12 @@ impl ComponentModel {
         &self.name
     }
 
+    /// The stakeholder template (the agent entitled to the results of
+    /// every instance of this model).
+    pub fn stakeholder_template(&self) -> &str {
+        &self.stakeholder_template
+    }
+
     /// Adds a template action (use index `i` in parameters, e.g.
     /// `sense(ESP_i,sW)`), returning its template id.
     pub fn action(&mut self, template: &str) -> TemplateActionId {

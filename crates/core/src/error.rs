@@ -30,6 +30,26 @@ pub enum FsaError {
         /// The configured budget that was exceeded.
         limit: usize,
     },
+    /// A parallel worker panicked in a *non-supervised* engine path.
+    /// The supervised execution layer ([`crate::explore`]'s
+    /// `enumerate_instances_supervised`) subsumes this by quarantining
+    /// and retrying the chunk instead; the variant remains the
+    /// fallback for the plain fork-join entry points.
+    WorkerPanicked {
+        /// Engine stage (e.g. `explore:scan`, `explore:build`,
+        /// `explore:union`).
+        stage: &'static str,
+        /// Chunk index of the panicked worker.
+        chunk: usize,
+    },
+    /// A checkpoint file could not be loaded: missing, truncated,
+    /// bit-flipped (checksum mismatch), version-skewed, or written by a
+    /// run with a different configuration. Never a panic, never a
+    /// silent partial load.
+    CorruptCheckpoint {
+        /// Explanation.
+        reason: String,
+    },
     /// The underlying APA analysis failed.
     Apa(apa::ApaError),
 }
@@ -47,6 +67,12 @@ impl fmt::Display for FsaError {
             }
             FsaError::BudgetExceeded { limit } => {
                 write!(f, "enumeration exceeded the budget of {limit} candidates")
+            }
+            FsaError::WorkerPanicked { stage, chunk } => {
+                write!(f, "worker panicked in stage `{stage}` chunk {chunk}")
+            }
+            FsaError::CorruptCheckpoint { reason } => {
+                write!(f, "corrupt checkpoint: {reason}")
             }
             FsaError::Apa(e) => write!(f, "APA analysis failed: {e}"),
         }
@@ -86,6 +112,16 @@ mod tests {
         assert!(e.to_string().contains('x'));
         let e = FsaError::BudgetExceeded { limit: 42 };
         assert!(e.to_string().contains("42"));
+        let e = FsaError::WorkerPanicked {
+            stage: "explore:build",
+            chunk: 7,
+        };
+        assert!(e.to_string().contains("explore:build") && e.to_string().contains('7'));
+        let e = FsaError::CorruptCheckpoint {
+            reason: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("corrupt checkpoint"));
+        assert!(e.to_string().contains("checksum"));
     }
 
     #[test]

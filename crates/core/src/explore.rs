@@ -28,14 +28,34 @@
 //! been instantiated. Candidate building and certificate computation run
 //! on `ExploreOptions::threads` scoped worker threads; the merged result
 //! is bit-identical for every thread count.
+//!
+//! # The supervised engine
+//!
+//! [`enumerate_instances_supervised`] runs the same enumeration under
+//! the [`fsa_exec`] execution layer: candidate builds are
+//! panic-isolated and retried per [`fsa_exec::RetryPolicy`] (exhausted
+//! chunks are *quarantined*, not fatal), cooperative cancellation
+//! ([`fsa_exec::CancelToken`] — deadlines included) degrades the run to
+//! a partial result with explicit coverage accounting
+//! ([`ExploreStats::vectors_completed`] / [`ExploreStats::vectors_total`]),
+//! and [`ExecOptions::checkpoint`] / [`ExecOptions::resume`] persist and
+//! restore progress through the versioned, checksummed snapshot format
+//! of [`crate::checkpoint`]. A resumed run is bit-identical to an
+//! uninterrupted one — for every interruption point and every thread
+//! count. When nothing panics, nothing is cancelled and nothing is
+//! resumed, the supervised engine's instances are bit-identical to
+//! [`enumerate_instances_with_stats`].
 
+use crate::checkpoint::{config_fingerprint, CheckpointCounters, ExploreCheckpoint};
 use crate::component_model::{ComponentModel, TemplateActionId};
 use crate::error::FsaError;
 use crate::instance::{SosInstance, SosInstanceBuilder};
 use crate::manual::{elicit, ElicitationReport};
 use crate::requirements::RequirementSet;
+use fsa_exec::{CancelToken, ChunkFailure, Supervisor};
 use fsa_graph::iso::{canonical_certificate, CertifiedClasses};
 use fsa_graph::{DiGraph, NodeId};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// An allowed external flow: an output action of one component model
@@ -108,6 +128,48 @@ impl Default for ExploreOptions {
     }
 }
 
+/// Checkpointing schedule of a supervised run.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Snapshot path; written atomically (tmp file + rename), so a
+    /// `SIGKILL` mid-write leaves the previous checkpoint intact.
+    pub path: PathBuf,
+    /// Write a checkpoint once at least this many candidates have been
+    /// built since the last one (aligned to batch boundaries; `1`
+    /// checkpoints after every batch).
+    pub every: usize,
+}
+
+/// Execution policy of [`enumerate_instances_supervised`]: supervision
+/// (retry/backoff, cancellation, chaos hooks), batch granularity, and
+/// checkpoint/resume.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Panic isolation, retry/backoff and cancellation policy. The
+    /// supervisor's [`CancelToken`] is the run's cancellation point —
+    /// install a deadline or manual token here.
+    pub supervisor: Supervisor,
+    /// Candidate builds per supervised batch — the granularity of
+    /// cancellation checks and checkpoint writes.
+    pub batch: usize,
+    /// Write checkpoints while running.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Load this checkpoint before enumerating and continue from its
+    /// frontier. The checkpoint's configuration fingerprint must match.
+    pub resume: Option<PathBuf>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            supervisor: Supervisor::new(),
+            batch: 256,
+            checkpoint: None,
+            resume: None,
+        }
+    }
+}
+
 /// Per-stage statistics of one enumeration run.
 #[derive(Debug, Clone, Default)]
 pub struct ExploreStats {
@@ -133,6 +195,32 @@ pub struct ExploreStats {
     pub truncated: bool,
     /// Worker threads used.
     pub threads: usize,
+    /// Non-empty multiplicity vectors in the whole enumeration space
+    /// (supervised engine only; `0` in the legacy engine). Together
+    /// with [`ExploreStats::vectors_completed`] this is the coverage
+    /// accounting of a partial (cancelled) run.
+    pub vectors_total: usize,
+    /// Multiplicity vectors fully processed (supervised engine only).
+    pub vectors_completed: usize,
+    /// Candidate compositions actually built. Differs from
+    /// [`ExploreStats::candidates`] on a cancelled run: `candidates`
+    /// counts canonical masks the moment a vector is scanned, while
+    /// pending masks of an interrupted vector are not yet built.
+    pub candidates_built: usize,
+    /// Build chunks quarantined after exhausting their panic retries
+    /// (supervised engine only). A non-zero value means the coverage is
+    /// incomplete even if nothing was cancelled.
+    pub failures: usize,
+    /// Panicking chunk attempts that were retried (supervised engine).
+    pub retries: u64,
+    /// `true` if the run stopped early at a cancellation point
+    /// (deadline expiry or manual cancel) and the result is a partial
+    /// universe.
+    pub cancelled: bool,
+    /// Checkpoints written during the run.
+    pub checkpoints_written: usize,
+    /// `true` if the run was resumed from a checkpoint.
+    pub resumed: bool,
     /// Time spent scanning flow subsets for orbit-minimal
     /// representatives.
     pub scan_time: Duration,
@@ -158,7 +246,31 @@ impl std::fmt::Display for ExploreStats {
         writeln!(f, "  threads               {}", self.threads)?;
         writeln!(f, "  subset scan           {:?}", self.scan_time)?;
         writeln!(f, "  candidate build       {:?}", self.build_time)?;
-        writeln!(f, "  certificate dedup     {:?}", self.dedup_time)
+        writeln!(f, "  certificate dedup     {:?}", self.dedup_time)?;
+        if self.vectors_total > 0 {
+            writeln!(
+                f,
+                "  vector coverage       {}/{}",
+                self.vectors_completed, self.vectors_total
+            )?;
+            writeln!(f, "  candidates built      {}", self.candidates_built)?;
+        }
+        if self.failures > 0 {
+            writeln!(f, "  quarantined chunks    {}", self.failures)?;
+        }
+        if self.retries > 0 {
+            writeln!(f, "  retried attempts      {}", self.retries)?;
+        }
+        if self.checkpoints_written > 0 {
+            writeln!(f, "  checkpoints written   {}", self.checkpoints_written)?;
+        }
+        if self.resumed {
+            writeln!(f, "  resumed               true")?;
+        }
+        if self.cancelled {
+            writeln!(f, "  cancelled (partial)   true")?;
+        }
+        Ok(())
     }
 }
 
@@ -265,6 +377,525 @@ pub fn enumerate_instances_with_stats(
     Ok(Exploration { instances, stats })
 }
 
+/// Odometer over the non-empty multiplicity vectors (`0..=max` per
+/// model), in the engine's canonical order: the first model's count
+/// changes fastest. The position of a vector in this sequence is its
+/// *ordinal* — the unit of the checkpoint frontier.
+struct VectorIter {
+    maxes: Vec<usize>,
+    counts: Vec<usize>,
+    done: bool,
+}
+
+impl VectorIter {
+    fn new(maxes: &[usize]) -> Self {
+        VectorIter {
+            maxes: maxes.to_vec(),
+            counts: vec![0; maxes.len()],
+            done: maxes.is_empty(),
+        }
+    }
+}
+
+impl Iterator for VectorIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        while !self.done {
+            let mut i = 0;
+            loop {
+                if i == self.maxes.len() {
+                    self.done = true;
+                    return None;
+                }
+                self.counts[i] += 1;
+                if self.counts[i] <= self.maxes[i] {
+                    break;
+                }
+                self.counts[i] = 0;
+                i += 1;
+            }
+            if self.counts.iter().sum::<usize>() > 0 {
+                return Some(self.counts.clone());
+            }
+        }
+        None
+    }
+}
+
+/// Number of non-empty multiplicity vectors: `∏ (maxᵢ + 1) − 1`.
+fn vector_count(maxes: &[usize]) -> usize {
+    maxes
+        .iter()
+        .try_fold(1usize, |acc, &m| acc.checked_mul(m + 1))
+        .map_or(usize::MAX, |p| p.saturating_sub(1))
+}
+
+/// Re-instantiates the accepted class representatives of one vector
+/// (resume rebuild). The checkpoint recorded only `(ordinal, mask)`
+/// decisions; rebuilding replays them in discovery order, so the class
+/// map and instance list end up bit-identical to the checkpointed run.
+#[allow(clippy::too_many_arguments)]
+fn rebuild_accepted(
+    models: &[(ComponentModel, usize)],
+    rules: &[ResolvedRule],
+    counts: &[usize],
+    ordinal: u64,
+    flows: &[FlowCandidate],
+    accepted: &[(u64, u64)],
+    cursor: &mut usize,
+    classes: &mut CertifiedClasses<String>,
+    instances: &mut Vec<SosInstance>,
+) -> Result<(), FsaError> {
+    while let Some(&(entry_ordinal, mask)) = accepted.get(*cursor) {
+        if entry_ordinal != ordinal {
+            break;
+        }
+        if mask >> flows.len() != 0 {
+            return Err(FsaError::CorruptCheckpoint {
+                reason: format!("accepted mask {mask} out of range for vector {ordinal}"),
+            });
+        }
+        let instance = build_composition(models, rules, counts, flows, mask as usize)?;
+        let shape = instance.shape_graph();
+        let certificate = canonical_certificate(&shape);
+        if classes
+            .insert_with_certificate(shape, certificate)
+            .is_none()
+        {
+            return Err(FsaError::CorruptCheckpoint {
+                reason: format!(
+                    "accepted instance (vector {ordinal}, mask {mask}) duplicates an earlier class on rebuild"
+                ),
+            });
+        }
+        instances.push(instance);
+        *cursor += 1;
+    }
+    Ok(())
+}
+
+/// Writes one checkpoint snapshot of the supervised driver's state.
+#[allow(clippy::too_many_arguments)]
+fn write_explore_checkpoint(
+    spec: &CheckpointSpec,
+    fingerprint: u64,
+    next_ordinal: u64,
+    pending: &[usize],
+    accepted: &[(u64, u64)],
+    stats: &mut ExploreStats,
+    classes: &CertifiedClasses<String>,
+    hits_offset: i64,
+    fallbacks_offset: i64,
+) -> Result<(), FsaError> {
+    let counters = CheckpointCounters {
+        multiplicity_vectors: stats.multiplicity_vectors,
+        subsets_total: stats.subsets_total,
+        orbits_skipped: stats.orbits_skipped,
+        candidates: stats.candidates,
+        candidates_built: stats.candidates_built,
+        disconnected_skipped: stats.disconnected_skipped,
+        certificate_hits: (hits_offset + classes.certificate_hits() as i64).max(0) as usize,
+        exact_iso_fallbacks: (fallbacks_offset + classes.exact_fallbacks() as i64).max(0) as usize,
+        truncated: stats.truncated,
+        vectors_completed: stats.vectors_completed,
+        failures: stats.failures,
+        retries: stats.retries,
+    };
+    ExploreCheckpoint {
+        fingerprint,
+        next_ordinal,
+        pending_masks: pending.iter().map(|&m| m as u64).collect(),
+        accepted: accepted.to_vec(),
+        counters,
+    }
+    .write(&spec.path)?;
+    stats.checkpoints_written += 1;
+    Ok(())
+}
+
+/// Like [`enumerate_instances_with_stats`], executed under the
+/// supervised layer: panic-isolated retried candidate builds,
+/// cooperative cancellation with coverage accounting, and
+/// checkpoint/resume (see [`ExecOptions`] and the module docs).
+///
+/// # Errors
+///
+/// Everything [`enumerate_instances_with_stats`] reports, plus
+/// [`FsaError::CorruptCheckpoint`] for unreadable, tampered,
+/// version-skewed or configuration-mismatched resume files.
+pub fn enumerate_instances_supervised(
+    models: &[(ComponentModel, usize)],
+    rules: &[ConnectionRule],
+    options: &ExploreOptions,
+    exec: &ExecOptions,
+) -> Result<Exploration, FsaError> {
+    for (m, _) in models {
+        m.validate()?;
+    }
+    let resolved = resolve_rules(models, rules)?;
+    let threads = options.threads.max(1);
+    let batch = exec.batch.max(1);
+    let maxes: Vec<usize> = models.iter().map(|(_, max)| *max).collect();
+    let fingerprint = config_fingerprint(models, rules, options);
+    let vectors_total = vector_count(&maxes);
+
+    let mut stats = ExploreStats {
+        threads,
+        vectors_total,
+        ..ExploreStats::default()
+    };
+    let mut classes: CertifiedClasses<String> = CertifiedClasses::new();
+    let mut instances: Vec<SosInstance> = Vec::new();
+
+    // Frontier state: the vector being processed and, mid-vector, the
+    // canonical masks not yet built.
+    let mut next_ordinal = 0u64;
+    let mut pending: Vec<usize> = Vec::new();
+    let mut accepted: Vec<(u64, u64)> = Vec::new();
+    let mut cp_hits = 0usize;
+    let mut cp_fallbacks = 0usize;
+
+    if let Some(path) = &exec.resume {
+        let cp = ExploreCheckpoint::read(path)?;
+        if cp.fingerprint != fingerprint {
+            return Err(FsaError::CorruptCheckpoint {
+                reason: "checkpoint was written by a run with a different model/rule/option \
+                         configuration"
+                    .to_owned(),
+            });
+        }
+        if cp.next_ordinal > vectors_total as u64
+            || (cp.next_ordinal == vectors_total as u64 && !cp.pending_masks.is_empty())
+        {
+            return Err(FsaError::CorruptCheckpoint {
+                reason: "checkpoint frontier lies beyond the multiplicity space".to_owned(),
+            });
+        }
+        if !cp.accepted.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return Err(FsaError::CorruptCheckpoint {
+                reason: "accepted list is out of discovery order".to_owned(),
+            });
+        }
+        if let Some(&(last, _)) = cp.accepted.last() {
+            let within =
+                last < cp.next_ordinal || (last == cp.next_ordinal && !cp.pending_masks.is_empty());
+            if !within {
+                return Err(FsaError::CorruptCheckpoint {
+                    reason: "accepted entries lie beyond the checkpoint frontier".to_owned(),
+                });
+            }
+        }
+        next_ordinal = cp.next_ordinal;
+        pending = cp.pending_masks.iter().map(|&m| m as usize).collect();
+        accepted = cp.accepted;
+        let c = cp.counters;
+        stats.multiplicity_vectors = c.multiplicity_vectors;
+        stats.subsets_total = c.subsets_total;
+        stats.orbits_skipped = c.orbits_skipped;
+        stats.candidates = c.candidates;
+        stats.candidates_built = c.candidates_built;
+        stats.disconnected_skipped = c.disconnected_skipped;
+        stats.truncated = c.truncated;
+        stats.vectors_completed = c.vectors_completed;
+        stats.failures = c.failures;
+        stats.retries = c.retries;
+        cp_hits = c.certificate_hits;
+        cp_fallbacks = c.exact_iso_fallbacks;
+        stats.resumed = true;
+    }
+
+    // While `rebuilding`, the class map replays checkpointed decisions;
+    // its hit/fallback counters are then re-based so the checkpointed
+    // counters carry over seamlessly.
+    let mut rebuilding = stats.resumed;
+    let mut cursor = 0usize;
+    let resume_accepted = accepted.len();
+    let mut hits_offset = 0i64;
+    let mut fallbacks_offset = 0i64;
+    let mut built_since_ckpt = 0usize;
+    let cancel = exec.supervisor.cancel.clone();
+
+    'vectors: for (ordinal, counts) in VectorIter::new(&maxes).enumerate() {
+        let ordinal64 = ordinal as u64;
+        if ordinal64 < next_ordinal {
+            // Resume rebuild: replay the accepted decisions of an
+            // already-completed vector.
+            if accepted.get(cursor).is_some_and(|&(o, _)| o == ordinal64) {
+                let flows = flow_candidates(&resolved, &counts);
+                rebuild_accepted(
+                    models,
+                    &resolved,
+                    &counts,
+                    ordinal64,
+                    &flows,
+                    &accepted,
+                    &mut cursor,
+                    &mut classes,
+                    &mut instances,
+                )?;
+            }
+            continue;
+        }
+
+        // ordinal == next_ordinal: the current vector. A non-empty
+        // `pending` means the checkpoint interrupted it mid-build:
+        // replay its accepted prefix, then build the pending masks
+        // without re-scanning (the scan counters are already in the
+        // checkpoint).
+        let mut flows_pending: Option<Vec<FlowCandidate>> = None;
+        if !pending.is_empty() {
+            let flows = flow_candidates(&resolved, &counts);
+            for &mask in &pending {
+                if mask >> flows.len() != 0 {
+                    return Err(FsaError::CorruptCheckpoint {
+                        reason: format!("pending mask {mask} out of range for vector {ordinal64}"),
+                    });
+                }
+            }
+            rebuild_accepted(
+                models,
+                &resolved,
+                &counts,
+                ordinal64,
+                &flows,
+                &accepted,
+                &mut cursor,
+                &mut classes,
+                &mut instances,
+            )?;
+            flows_pending = Some(flows);
+        }
+        if rebuilding {
+            if cursor != resume_accepted {
+                return Err(FsaError::CorruptCheckpoint {
+                    reason: "accepted entries reference vectors beyond the frontier".to_owned(),
+                });
+            }
+            hits_offset = cp_hits as i64 - classes.certificate_hits() as i64;
+            fallbacks_offset = cp_fallbacks as i64 - classes.exact_fallbacks() as i64;
+            rebuilding = false;
+        }
+
+        let (masks, flows) = if let Some(flows) = flows_pending {
+            (std::mem::take(&mut pending), flows)
+        } else {
+            // A fresh vector. A truncated (budget-exhausted) resumed
+            // run has nothing further to enumerate.
+            if stats.truncated {
+                break 'vectors;
+            }
+            if cancel.is_cancelled() {
+                stats.cancelled = true;
+                if let Some(spec) = &exec.checkpoint {
+                    write_explore_checkpoint(
+                        spec,
+                        fingerprint,
+                        ordinal64,
+                        &[],
+                        &accepted,
+                        &mut stats,
+                        &classes,
+                        hits_offset,
+                        fallbacks_offset,
+                    )?;
+                }
+                break 'vectors;
+            }
+            let t = Instant::now();
+            let scan = scan_vector(
+                &resolved,
+                &counts,
+                options,
+                threads,
+                stats.candidates,
+                Some(&cancel),
+            )?;
+            stats.scan_time += t.elapsed();
+            if scan.cancelled {
+                stats.cancelled = true;
+                if let Some(spec) = &exec.checkpoint {
+                    write_explore_checkpoint(
+                        spec,
+                        fingerprint,
+                        ordinal64,
+                        &[],
+                        &accepted,
+                        &mut stats,
+                        &classes,
+                        hits_offset,
+                        fallbacks_offset,
+                    )?;
+                }
+                break 'vectors;
+            }
+            stats.multiplicity_vectors += 1;
+            stats.subsets_total += scan.subsets;
+            stats.orbits_skipped += scan.orbits_skipped;
+            stats.candidates += scan.canonical.len();
+            stats.truncated |= scan.truncated;
+            (scan.canonical, scan.flows)
+        };
+
+        // Build the vector's masks in supervised batches.
+        let build = |mask: usize| -> Result<Option<Built>, FsaError> {
+            build_candidate(
+                models,
+                &resolved,
+                &counts,
+                &flows,
+                mask,
+                options.require_connected,
+            )
+        };
+        let mut idx = 0usize;
+        while idx < masks.len() {
+            if cancel.is_cancelled() {
+                stats.cancelled = true;
+                if let Some(spec) = &exec.checkpoint {
+                    write_explore_checkpoint(
+                        spec,
+                        fingerprint,
+                        ordinal64,
+                        &masks[idx..],
+                        &accepted,
+                        &mut stats,
+                        &classes,
+                        hits_offset,
+                        fallbacks_offset,
+                    )?;
+                }
+                break 'vectors;
+            }
+            let hi = (idx + batch).min(masks.len());
+            let slice = &masks[idx..hi];
+            let t = Instant::now();
+            let outcome = exec.supervisor.run_chunks::<Option<Built>, FsaError, _>(
+                "explore:build",
+                threads,
+                slice.len(),
+                |i| build(slice[i]),
+            )?;
+            stats.build_time += t.elapsed();
+            stats.retries += outcome.retries;
+            if outcome.cancelled {
+                // Drop the partial batch: the resumed run redoes it
+                // whole, keeping the class-map stream deterministic.
+                stats.cancelled = true;
+                if let Some(spec) = &exec.checkpoint {
+                    write_explore_checkpoint(
+                        spec,
+                        fingerprint,
+                        ordinal64,
+                        &masks[idx..],
+                        &accepted,
+                        &mut stats,
+                        &classes,
+                        hits_offset,
+                        fallbacks_offset,
+                    )?;
+                }
+                break 'vectors;
+            }
+            stats.failures += outcome.failures.len();
+            stats.candidates_built += outcome.results.len();
+            let t = Instant::now();
+            for (chunk, item) in outcome.results {
+                match item {
+                    None => stats.disconnected_skipped += 1,
+                    Some((instance, shape, certificate)) => {
+                        if classes
+                            .insert_with_certificate(shape, certificate)
+                            .is_some()
+                        {
+                            accepted.push((ordinal64, slice[chunk] as u64));
+                            instances.push(instance);
+                        }
+                    }
+                }
+            }
+            stats.dedup_time += t.elapsed();
+            built_since_ckpt += slice.len();
+            idx = hi;
+            if idx < masks.len() {
+                if let Some(spec) = &exec.checkpoint {
+                    if built_since_ckpt >= spec.every.max(1) {
+                        write_explore_checkpoint(
+                            spec,
+                            fingerprint,
+                            ordinal64,
+                            &masks[idx..],
+                            &accepted,
+                            &mut stats,
+                            &classes,
+                            hits_offset,
+                            fallbacks_offset,
+                        )?;
+                        built_since_ckpt = 0;
+                    }
+                }
+            }
+        }
+
+        // Vector boundary.
+        stats.vectors_completed += 1;
+        next_ordinal = ordinal64 + 1;
+        if stats.truncated {
+            break 'vectors;
+        }
+        if let Some(spec) = &exec.checkpoint {
+            if built_since_ckpt >= spec.every.max(1) {
+                write_explore_checkpoint(
+                    spec,
+                    fingerprint,
+                    next_ordinal,
+                    &[],
+                    &accepted,
+                    &mut stats,
+                    &classes,
+                    hits_offset,
+                    fallbacks_offset,
+                )?;
+                built_since_ckpt = 0;
+            }
+        }
+    }
+
+    if rebuilding {
+        // The resumed checkpoint covered the whole space (or ended on a
+        // truncated run): every decision was replayed, nothing new ran.
+        if cursor != resume_accepted {
+            return Err(FsaError::CorruptCheckpoint {
+                reason: "accepted entries reference vectors beyond the frontier".to_owned(),
+            });
+        }
+        hits_offset = cp_hits as i64 - classes.certificate_hits() as i64;
+        fallbacks_offset = cp_fallbacks as i64 - classes.exact_fallbacks() as i64;
+    }
+    if !stats.cancelled {
+        // Completed (or truncated) run: leave a final boundary
+        // checkpoint so resuming from it is an idempotent no-op.
+        if let Some(spec) = &exec.checkpoint {
+            write_explore_checkpoint(
+                spec,
+                fingerprint,
+                next_ordinal,
+                &[],
+                &accepted,
+                &mut stats,
+                &classes,
+                hits_offset,
+                fallbacks_offset,
+            )?;
+        }
+    }
+    stats.classes = instances.len();
+    stats.certificate_hits = (hits_offset + classes.certificate_hits() as i64).max(0) as usize;
+    stats.exact_iso_fallbacks =
+        (fallbacks_offset + classes.exact_fallbacks() as i64).max(0) as usize;
+    Ok(Exploration { instances, stats })
+}
+
 /// A connection rule with its model positions resolved.
 struct ResolvedRule {
     from_idx: usize,
@@ -315,22 +946,18 @@ struct FlowCandidate {
     to_copy: usize,
 }
 
-/// Explores every flow subset of one multiplicity vector, streaming the
-/// candidates into the certificate class map. Returns `true` if the
-/// enumeration was truncated (caller stops).
-#[allow(clippy::too_many_arguments)]
-fn explore_vector(
-    models: &[(ComponentModel, usize)],
-    rules: &[ResolvedRule],
-    counts: &[usize],
-    options: &ExploreOptions,
-    threads: usize,
-    stats: &mut ExploreStats,
-    classes: &mut CertifiedClasses<String>,
-    instances: &mut Vec<SosInstance>,
-) -> Result<bool, FsaError> {
-    // Candidate external flows: for each rule, each ordered pair of
-    // distinct instances of the involved models.
+/// One built candidate: instance, shape graph, certificate.
+type Built = (SosInstance, DiGraph<String>, u64);
+
+/// Per-worker join results of a chunked `thread::scope`: the outer
+/// `Err(chunk)` marks a panicked worker (reported as
+/// [`FsaError::WorkerPanicked`]); the inner `Result` carries the
+/// chunk's own outcome.
+type JoinedChunks<T> = Vec<Result<Result<T, FsaError>, usize>>;
+
+/// Candidate external flows of one multiplicity vector: for each rule,
+/// each ordered pair of distinct instances of the involved models.
+fn flow_candidates(rules: &[ResolvedRule], counts: &[usize]) -> Vec<FlowCandidate> {
     let mut flows: Vec<FlowCandidate> = Vec::new();
     for (ri, rule) in rules.iter().enumerate() {
         for fc in 0..counts[rule.from_idx] {
@@ -346,25 +973,68 @@ fn explore_vector(
             }
         }
     }
+    flows
+}
+
+/// One scanned multiplicity vector: its flow candidates and the
+/// orbit-minimal (budget-trimmed) subset masks to instantiate.
+struct VectorScan {
+    flows: Vec<FlowCandidate>,
+    subsets: usize,
+    canonical: Vec<usize>,
+    orbits_skipped: usize,
+    truncated: bool,
+    /// The scan was abandoned at a cancellation point; nothing is
+    /// counted and the vector must be redone on resume.
+    cancelled: bool,
+}
+
+/// How often the sequential scan loops peek at the cancellation token.
+const SCAN_CANCEL_STRIDE: usize = 4096;
+
+/// Scans the flow subsets of one multiplicity vector for orbit-minimal
+/// representatives, applying the candidate budget. Shared by the legacy
+/// and the supervised engine; `cancel` is `None` in the legacy path.
+fn scan_vector(
+    rules: &[ResolvedRule],
+    counts: &[usize],
+    options: &ExploreOptions,
+    threads: usize,
+    candidates_so_far: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<VectorScan, FsaError> {
+    let flows = flow_candidates(rules, counts);
     let subsets: usize = 1usize
         .checked_shl(flows.len() as u32)
         .filter(|&s| s <= SUBSET_SCAN_CAP)
         .ok_or_else(|| FsaError::InvalidComponentModel {
             reason: "too many candidate external flows to enumerate".to_owned(),
         })?;
-    stats.subsets_total += subsets;
 
     // The copy-permutation symmetry group, as permutations of the flow
     // candidates (identity dropped, duplicates collapsed).
     let flow_perms = flow_permutations(rules, counts, &flows);
     let group_len = flow_perms.len() + 1;
 
+    let abandoned = |flows: Vec<FlowCandidate>| VectorScan {
+        flows,
+        subsets,
+        canonical: Vec::new(),
+        orbits_skipped: 0,
+        truncated: false,
+        cancelled: true,
+    };
+    let peek = |mask: usize| {
+        mask.is_multiple_of(SCAN_CANCEL_STRIDE)
+            && cancel.is_some_and(CancelToken::is_cancelled_peek)
+    };
+
     // Orbit-minimal flow subsets. Every canonical subset counts against
     // the candidate budget; a provably exceeded budget short-circuits
     // the scan entirely.
-    let remaining = options.max_candidates.saturating_sub(stats.candidates);
+    let remaining = options.max_candidates.saturating_sub(candidates_so_far);
     let mut truncated = false;
-    let t = Instant::now();
+    let mut orbits_skipped = 0usize;
     let mut canonical: Vec<usize> = if subsets.div_ceil(group_len) > remaining {
         match options.on_budget {
             BudgetPolicy::Error => {
@@ -378,26 +1048,31 @@ fn explore_vector(
                 truncated = true;
                 let mut picked = Vec::with_capacity(remaining);
                 for mask in 0..subsets {
+                    if peek(mask) {
+                        return Ok(abandoned(flows));
+                    }
                     if is_orbit_minimal(mask, &flow_perms) {
                         if picked.len() == remaining {
                             break;
                         }
                         picked.push(mask);
                     } else {
-                        stats.orbits_skipped += 1;
+                        orbits_skipped += 1;
                     }
                 }
                 picked
             }
         }
     } else if threads > 1 && subsets >= 4096 {
-        // Chunked parallel scan, merged in ascending mask order.
+        // Chunked parallel scan, merged in ascending mask order. Every
+        // worker is joined before the first panic is reported, so a
+        // second panicking chunk cannot double-panic the scope.
         let chunk = subsets.div_ceil(threads);
         let ranges: Vec<(usize, usize)> = (0..threads)
             .map(|i| (i * chunk, ((i + 1) * chunk).min(subsets)))
             .filter(|(lo, hi)| lo < hi)
             .collect();
-        let per_range: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let per_range: Vec<Result<Vec<usize>, usize>> = std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .iter()
                 .map(|&(lo, hi)| {
@@ -411,17 +1086,37 @@ fn explore_vector(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("orbit scan worker panicked"))
+                .enumerate()
+                .map(|(i, h)| h.join().map_err(|_| i))
                 .collect()
         });
-        per_range.into_iter().flatten().collect()
+        let mut merged = Vec::new();
+        for range in per_range {
+            match range {
+                Ok(masks) => merged.extend(masks),
+                Err(chunk) => {
+                    return Err(FsaError::WorkerPanicked {
+                        stage: "explore:scan",
+                        chunk,
+                    })
+                }
+            }
+        }
+        merged
     } else {
-        (0..subsets)
-            .filter(|&mask| is_orbit_minimal(mask, &flow_perms))
-            .collect()
+        let mut picked = Vec::new();
+        for mask in 0..subsets {
+            if peek(mask) {
+                return Ok(abandoned(flows));
+            }
+            if is_orbit_minimal(mask, &flow_perms) {
+                picked.push(mask);
+            }
+        }
+        picked
     };
     if !truncated {
-        stats.orbits_skipped += subsets - canonical.len();
+        orbits_skipped += subsets - canonical.len();
         if canonical.len() > remaining {
             match options.on_budget {
                 BudgetPolicy::Error => {
@@ -436,26 +1131,79 @@ fn explore_vector(
             }
         }
     }
+    Ok(VectorScan {
+        flows,
+        subsets,
+        canonical,
+        orbits_skipped,
+        truncated,
+        cancelled: false,
+    })
+}
+
+/// Instantiates one canonical mask and computes its shape-graph
+/// certificate; `None` = dropped by the weak-connectivity filter.
+fn build_candidate(
+    models: &[(ComponentModel, usize)],
+    rules: &[ResolvedRule],
+    counts: &[usize],
+    flows: &[FlowCandidate],
+    mask: usize,
+    require_connected: bool,
+) -> Result<Option<Built>, FsaError> {
+    let instance = build_composition(models, rules, counts, flows, mask)?;
+    if require_connected && !is_weakly_connected(&instance) {
+        return Ok(None);
+    }
+    let shape = instance.shape_graph();
+    let certificate = canonical_certificate(&shape);
+    Ok(Some((instance, shape, certificate)))
+}
+
+/// Explores every flow subset of one multiplicity vector, streaming the
+/// candidates into the certificate class map. Returns `true` if the
+/// enumeration was truncated (caller stops).
+#[allow(clippy::too_many_arguments)]
+fn explore_vector(
+    models: &[(ComponentModel, usize)],
+    rules: &[ResolvedRule],
+    counts: &[usize],
+    options: &ExploreOptions,
+    threads: usize,
+    stats: &mut ExploreStats,
+    classes: &mut CertifiedClasses<String>,
+    instances: &mut Vec<SosInstance>,
+) -> Result<bool, FsaError> {
+    let t = Instant::now();
+    let scan = scan_vector(rules, counts, options, threads, stats.candidates, None)?;
     stats.scan_time += t.elapsed();
-    stats.candidates += canonical.len();
+    stats.subsets_total += scan.subsets;
+    stats.orbits_skipped += scan.orbits_skipped;
+    stats.candidates += scan.canonical.len();
+    let VectorScan {
+        flows,
+        canonical,
+        truncated,
+        ..
+    } = scan;
 
     // Instantiate the canonical subsets (chunked parallel) and compute
     // their shape-graph certificates; merge in mask order so the stream
     // into the class map is bit-identical for every thread count.
     let t = Instant::now();
-    type Built = (SosInstance, DiGraph<String>, u64);
     let build = |mask: usize| -> Result<Option<Built>, FsaError> {
-        let instance = build_composition(models, rules, counts, &flows, mask)?;
-        if options.require_connected && !is_weakly_connected(&instance) {
-            return Ok(None);
-        }
-        let shape = instance.shape_graph();
-        let certificate = canonical_certificate(&shape);
-        Ok(Some((instance, shape, certificate)))
+        build_candidate(
+            models,
+            rules,
+            counts,
+            &flows,
+            mask,
+            options.require_connected,
+        )
     };
     let built: Vec<Option<Built>> = if threads > 1 && canonical.len() >= 2 {
         let chunk = canonical.len().div_ceil(threads);
-        std::thread::scope(|scope| {
+        let joined: JoinedChunks<Vec<Option<Built>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = canonical
                 .chunks(chunk)
                 .map(|masks| {
@@ -468,12 +1216,27 @@ fn explore_vector(
                     })
                 })
                 .collect();
-            let mut merged = Vec::with_capacity(canonical.len());
-            for h in handles {
-                merged.extend(h.join().expect("candidate build worker panicked")?);
+            // Join every worker before reporting the first panic.
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(i, h)| h.join().map_err(|_| i))
+                .collect()
+        });
+        let mut merged = Vec::with_capacity(canonical.len());
+        for chunk_result in joined {
+            match chunk_result {
+                Ok(Ok(items)) => merged.extend(items),
+                Ok(Err(e)) => return Err(e),
+                Err(chunk) => {
+                    return Err(FsaError::WorkerPanicked {
+                        stage: "explore:build",
+                        chunk,
+                    })
+                }
             }
-            Ok::<_, FsaError>(merged)
-        })?
+        }
+        merged
     } else {
         canonical
             .iter()
@@ -756,19 +1519,118 @@ where
         return worker(instances);
     }
     let chunk = instances.len().div_ceil(threads);
-    std::thread::scope(|scope| {
+    // Join every worker before reporting the first panic, so a second
+    // panicking chunk cannot double-panic the scope; a panicked worker
+    // surfaces as `FsaError::WorkerPanicked`, not a process abort.
+    let joined: JoinedChunks<(RequirementSet, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = instances
             .chunks(chunk)
             .map(|c| scope.spawn(move || worker(c)))
             .collect();
-        let mut union = RequirementSet::new();
-        let mut skipped = 0usize;
-        for h in handles {
-            let (u, s) = h.join().expect("elicitation worker panicked")?;
-            union = union.union(&u);
-            skipped += s;
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| h.join().map_err(|_| i))
+            .collect()
+    });
+    let mut union = RequirementSet::new();
+    let mut skipped = 0usize;
+    for chunk_result in joined {
+        match chunk_result {
+            Ok(Ok((u, s))) => {
+                union = union.union(&u);
+                skipped += s;
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(chunk) => {
+                return Err(FsaError::WorkerPanicked {
+                    stage: "explore:union",
+                    chunk,
+                })
+            }
         }
-        Ok((union, skipped))
+    }
+    Ok((union, skipped))
+}
+
+/// Result of [`union_requirements_loop_free_supervised`]: the union
+/// plus the supervised-run accounting.
+#[derive(Debug, Clone)]
+pub struct UnionOutcome {
+    /// Union of the elicited requirement sets.
+    pub requirements: RequirementSet,
+    /// Instances skipped as cyclic (loop-freedom exclusion).
+    pub loop_skipped: usize,
+    /// Instances whose elicitation chunk completed (including cyclic
+    /// skips).
+    pub elicited: usize,
+    /// Instances in the input set.
+    pub total: usize,
+    /// Quarantined elicitation chunks (every retry panicked); the chunk
+    /// index is the instance index.
+    pub failures: Vec<ChunkFailure>,
+    /// Panicking chunk attempts that were retried.
+    pub retries: u64,
+    /// `true` if the union stopped early at a cancellation point and
+    /// covers only a prefix of the instance set.
+    pub cancelled: bool,
+}
+
+impl UnionOutcome {
+    /// `true` when every instance was elicited (nothing dropped,
+    /// nothing cancelled) — the union is then bit-identical to
+    /// [`union_requirements_loop_free`].
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.elicited == self.total
+    }
+}
+
+/// Like [`union_requirements_loop_free_threaded`], executed under the
+/// supervised layer: one chunk per instance, panic-isolated and
+/// retried; a cancellation (deadline) degrades to a prefix union with
+/// explicit coverage in [`UnionOutcome`].
+///
+/// # Errors
+///
+/// Propagates non-cycle elicitation errors, smallest instance index
+/// first.
+pub fn union_requirements_loop_free_supervised(
+    instances: &[SosInstance],
+    threads: usize,
+    supervisor: &Supervisor,
+) -> Result<UnionOutcome, FsaError> {
+    enum One {
+        Set(Box<RequirementSet>),
+        Cyclic,
+    }
+    let outcome = supervisor.run_chunks::<One, FsaError, _>(
+        "explore:union",
+        threads.max(1),
+        instances.len(),
+        |i| match elicit(&instances[i]) {
+            Ok(report) => Ok(One::Set(Box::new(report.requirement_set()))),
+            Err(FsaError::CircularDependency { .. }) => Ok(One::Cyclic),
+            Err(e) => Err(e),
+        },
+    )?;
+    let mut requirements = RequirementSet::new();
+    let mut loop_skipped = 0usize;
+    let elicited = outcome.results.len();
+    for (_, one) in outcome.results {
+        match one {
+            One::Set(set) => requirements = requirements.union(&set),
+            One::Cyclic => loop_skipped += 1,
+        }
+    }
+    Ok(UnionOutcome {
+        requirements,
+        loop_skipped,
+        elicited,
+        total: instances.len(),
+        failures: outcome.failures,
+        retries: outcome.retries,
+        cancelled: outcome.cancelled,
     })
 }
 
@@ -1053,6 +1915,302 @@ mod tests {
         let (union, skipped) = union_with(&instances, 1, &cyclic, true).unwrap();
         assert!(union.is_empty());
         assert_eq!(skipped, instances.len());
+    }
+
+    #[test]
+    fn union_worker_panic_is_worker_panicked_not_abort() {
+        // Satellite regression: the *non-supervised* fork-join paths
+        // used to `expect()` on worker joins, turning any panicking
+        // elicitor into a process abort. They now surface as
+        // `FsaError::WorkerPanicked` with the stage and chunk.
+        let instances = enumerate_instances(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions {
+                require_connected: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(instances.len() >= 2, "need at least two chunks");
+        let exploding = |_: &SosInstance| -> Result<ElicitationReport, FsaError> {
+            panic!("elicitor exploded")
+        };
+        let err = union_with(&instances, 4, &exploding, true).unwrap_err();
+        match err {
+            FsaError::WorkerPanicked { stage, .. } => assert_eq!(stage, "explore:union"),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_matches_legacy_bit_identically() {
+        let legacy = enumerate_instances_with_stats(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        for threads in [1usize, 4] {
+            let sup = enumerate_instances_supervised(
+                &sensor_and_display(),
+                &rules(),
+                &ExploreOptions {
+                    threads,
+                    ..Default::default()
+                },
+                &ExecOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                legacy.instances.len(),
+                sup.instances.len(),
+                "threads {threads}"
+            );
+            for (a, b) in legacy.instances.iter().zip(&sup.instances) {
+                assert_eq!(a.name(), b.name());
+                assert_eq!(a.graph(), b.graph());
+            }
+            assert_eq!(legacy.stats.candidates, sup.stats.candidates);
+            assert_eq!(legacy.stats.subsets_total, sup.stats.subsets_total);
+            assert_eq!(legacy.stats.orbits_skipped, sup.stats.orbits_skipped);
+            assert_eq!(legacy.stats.classes, sup.stats.classes);
+            assert_eq!(legacy.stats.certificate_hits, sup.stats.certificate_hits);
+            assert_eq!(
+                legacy.stats.exact_iso_fallbacks,
+                sup.stats.exact_iso_fallbacks
+            );
+            assert_eq!(
+                legacy.stats.disconnected_skipped,
+                sup.stats.disconnected_skipped
+            );
+            assert_eq!(sup.stats.vectors_completed, sup.stats.vectors_total);
+            assert_eq!(sup.stats.candidates_built, sup.stats.candidates);
+            assert!(!sup.stats.cancelled && !sup.stats.resumed);
+        }
+    }
+
+    #[test]
+    fn supervised_union_matches_threaded_union() {
+        let instances = enumerate_instances(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions {
+                require_connected: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (golden, golden_skipped) = union_requirements_loop_free(&instances).unwrap();
+        for threads in [1usize, 4] {
+            let out =
+                union_requirements_loop_free_supervised(&instances, threads, &Supervisor::new())
+                    .unwrap();
+            assert!(out.is_complete(), "threads {threads}");
+            assert_eq!(out.requirements, golden);
+            assert_eq!(out.loop_skipped, golden_skipped);
+            assert!(out.failures.is_empty());
+            assert!(!out.cancelled);
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_at_every_interruption_point() {
+        // Drive the supervised engine with a countdown cancellation
+        // token that trips after k boundary checks, for every k until
+        // the run completes uninterrupted; resuming each partial run
+        // must reproduce the golden result exactly. batch=1/every=1
+        // maximises checkpoint granularity.
+        let models = sensor_and_display();
+        let rules = rules();
+        let options = ExploreOptions {
+            threads: 2,
+            ..Default::default()
+        };
+        let golden =
+            enumerate_instances_supervised(&models, &rules, &options, &ExecOptions::default())
+                .unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "fsa_explore_resume_{}_{:?}.ckpt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut interruptions = 0usize;
+        for k in 1u64..200 {
+            let exec = ExecOptions {
+                supervisor: Supervisor::new().with_cancel(CancelToken::countdown(k)),
+                batch: 1,
+                checkpoint: Some(CheckpointSpec {
+                    path: path.clone(),
+                    every: 1,
+                }),
+                resume: None,
+            };
+            let partial = enumerate_instances_supervised(&models, &rules, &options, &exec).unwrap();
+            if !partial.stats.cancelled {
+                break;
+            }
+            interruptions += 1;
+            assert!(
+                partial.stats.vectors_completed < partial.stats.vectors_total
+                    || partial.stats.candidates_built < partial.stats.candidates,
+                "a cancelled run must report incomplete coverage: {:?}",
+                partial.stats
+            );
+            let resumed = enumerate_instances_supervised(
+                &models,
+                &rules,
+                &options,
+                &ExecOptions {
+                    resume: Some(path.clone()),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(resumed.stats.resumed, "k = {k}");
+            assert_eq!(golden.instances.len(), resumed.instances.len(), "k = {k}");
+            for (a, b) in golden.instances.iter().zip(&resumed.instances) {
+                assert_eq!(a.name(), b.name(), "k = {k}");
+                assert_eq!(a.graph(), b.graph(), "k = {k}");
+            }
+            assert_eq!(golden.stats.candidates, resumed.stats.candidates, "k = {k}");
+            assert_eq!(golden.stats.subsets_total, resumed.stats.subsets_total);
+            assert_eq!(golden.stats.orbits_skipped, resumed.stats.orbits_skipped);
+            assert_eq!(golden.stats.classes, resumed.stats.classes);
+            assert_eq!(
+                golden.stats.certificate_hits,
+                resumed.stats.certificate_hits
+            );
+            assert_eq!(
+                golden.stats.exact_iso_fallbacks,
+                resumed.stats.exact_iso_fallbacks
+            );
+            assert_eq!(
+                golden.stats.disconnected_skipped,
+                resumed.stats.disconnected_skipped
+            );
+            assert_eq!(resumed.stats.vectors_completed, resumed.stats.vectors_total);
+        }
+        assert!(interruptions > 0, "the countdown never interrupted the run");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_configuration_mismatch() {
+        let models = sensor_and_display();
+        let rules = rules();
+        let path = std::env::temp_dir().join(format!(
+            "fsa_explore_skew_{}_{:?}.ckpt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let exec = ExecOptions {
+            checkpoint: Some(CheckpointSpec {
+                path: path.clone(),
+                every: 1,
+            }),
+            ..Default::default()
+        };
+        enumerate_instances_supervised(&models, &rules, &ExploreOptions::default(), &exec).unwrap();
+        // Same checkpoint, different configuration: rejected cleanly.
+        let err = enumerate_instances_supervised(
+            &models,
+            &rules,
+            &ExploreOptions {
+                require_connected: false,
+                ..Default::default()
+            },
+            &ExecOptions {
+                resume: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FsaError::CorruptCheckpoint { .. }),
+            "got {err:?}"
+        );
+        // Missing file: also a clean CorruptCheckpoint.
+        std::fs::remove_file(&path).ok();
+        let err = enumerate_instances_supervised(
+            &models,
+            &rules,
+            &ExploreOptions::default(),
+            &ExecOptions {
+                resume: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsaError::CorruptCheckpoint { .. }));
+    }
+
+    #[test]
+    fn resume_from_completed_checkpoint_is_idempotent() {
+        let models = sensor_and_display();
+        let rules = rules();
+        let path = std::env::temp_dir().join(format!(
+            "fsa_explore_idem_{}_{:?}.ckpt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let exec = ExecOptions {
+            checkpoint: Some(CheckpointSpec {
+                path: path.clone(),
+                every: 1,
+            }),
+            ..Default::default()
+        };
+        let golden =
+            enumerate_instances_supervised(&models, &rules, &ExploreOptions::default(), &exec)
+                .unwrap();
+        let resumed = enumerate_instances_supervised(
+            &models,
+            &rules,
+            &ExploreOptions::default(),
+            &ExecOptions {
+                resume: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(resumed.stats.resumed);
+        assert_eq!(golden.instances.len(), resumed.instances.len());
+        for (a, b) in golden.instances.iter().zip(&resumed.instances) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.graph(), b.graph());
+        }
+        assert_eq!(golden.stats.candidates, resumed.stats.candidates);
+        assert_eq!(
+            golden.stats.certificate_hits,
+            resumed.stats.certificate_hits
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deadline_cancellation_degrades_to_partial_with_coverage() {
+        // An already-expired deadline cancels at the first boundary:
+        // the run returns an empty partial universe with full coverage
+        // accounting instead of hanging or erroring.
+        let exec = ExecOptions {
+            supervisor: Supervisor::new().with_cancel(CancelToken::with_deadline(Duration::ZERO)),
+            ..Default::default()
+        };
+        let out = enumerate_instances_supervised(
+            &sensor_and_display(),
+            &rules(),
+            &ExploreOptions::default(),
+            &exec,
+        )
+        .unwrap();
+        assert!(out.stats.cancelled);
+        assert_eq!(out.stats.vectors_completed, 0);
+        assert!(out.stats.vectors_total > 0);
+        assert!(out.instances.is_empty());
+        let rendered = out.stats.to_string();
+        assert!(rendered.contains("cancelled"), "{rendered}");
+        assert!(rendered.contains("vector coverage"), "{rendered}");
     }
 
     #[test]

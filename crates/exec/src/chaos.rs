@@ -1,0 +1,234 @@
+//! Deterministic fault injection for the supervisor (feature `chaos`).
+//!
+//! Mirrors the design of `apa::sim::Fault`: a fault plan is a
+//! *deterministic transform* of an otherwise honest execution, so every
+//! chaos property test is exactly reproducible. Two fault shapes:
+//!
+//! * [`FaultKind::Panic`] — the targeted `(stage, chunk)` panics on its
+//!   first `times` attempts, then heals. With `times <=` the
+//!   supervisor's retry budget the final report must be bit-identical
+//!   to an unfaulted run; with `times` beyond it the chunk must be
+//!   quarantined as a `ChunkFailure` without aborting the run.
+//! * [`FaultKind::Delay`] — the targeted `(stage, chunk)` sleeps before
+//!   running, exercising deadline expiry at chunk boundaries.
+//!
+//! [`FaultPlan::seeded`] sprays probabilistic (but seed-deterministic)
+//! single-attempt panics across all chunks of matching stages — the
+//! large-scale soak used by the chaos property tests.
+
+use std::time::Duration;
+
+/// What an injected fault does to its targeted attempt(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic on attempts `0..times`, then heal.
+    Panic {
+        /// Number of leading attempts that panic.
+        times: u32,
+    },
+    /// Sleep `ms` milliseconds before every attempt.
+    Delay {
+        /// Delay in milliseconds.
+        ms: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct InjectedFault {
+    stage: String,
+    chunk: usize,
+    kind: FaultKind,
+}
+
+/// A deterministic chaos plan consulted by the supervisor inside
+/// `catch_unwind`, before each chunk attempt.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<InjectedFault>,
+    seeded: Option<Seeded>,
+}
+
+#[derive(Debug, Clone)]
+struct Seeded {
+    seed: u64,
+    stage_prefix: String,
+    /// Panic probability in percent for a chunk's first attempt.
+    panic_percent: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Panic the first `times` attempts of `(stage, chunk)`.
+    #[must_use]
+    pub fn panic_on(mut self, stage: &str, chunk: usize, times: u32) -> Self {
+        self.faults.push(InjectedFault {
+            stage: stage.to_owned(),
+            chunk,
+            kind: FaultKind::Panic { times },
+        });
+        self
+    }
+
+    /// Sleep `ms` milliseconds before every attempt of
+    /// `(stage, chunk)`.
+    #[must_use]
+    pub fn delay_on(mut self, stage: &str, chunk: usize, ms: u64) -> Self {
+        self.faults.push(InjectedFault {
+            stage: stage.to_owned(),
+            chunk,
+            kind: FaultKind::Delay { ms },
+        });
+        self
+    }
+
+    /// Seed-deterministically panic the *first* attempt of roughly
+    /// `panic_percent`% of the chunks whose stage starts with
+    /// `stage_prefix`. First attempts only — a retry budget of one
+    /// already heals every injected panic.
+    #[must_use]
+    pub fn seeded(mut self, seed: u64, stage_prefix: &str, panic_percent: u64) -> Self {
+        self.seeded = Some(Seeded {
+            seed,
+            stage_prefix: stage_prefix.to_owned(),
+            panic_percent: panic_percent.min(100),
+        });
+        self
+    }
+
+    /// Supervisor hook: called inside `catch_unwind` before attempt
+    /// `attempt` of `(stage, chunk)`.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately — that is the point of a chaos plan.
+    pub fn before_attempt(&self, stage: &str, chunk: usize, attempt: u32) {
+        for fault in &self.faults {
+            if fault.stage != stage || fault.chunk != chunk {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::Delay { ms } => std::thread::sleep(Duration::from_millis(ms)),
+                FaultKind::Panic { times } => {
+                    assert!(
+                        attempt >= times,
+                        "chaos: injected panic in {stage} chunk {chunk} attempt {attempt}"
+                    );
+                }
+            }
+        }
+        if let Some(seeded) = &self.seeded {
+            if attempt == 0
+                && stage.starts_with(&seeded.stage_prefix)
+                && splitmix(seeded.seed ^ fnv(stage.as_bytes()) ^ (chunk as u64)) % 100
+                    < seeded.panic_percent
+            {
+                panic!("chaos: seeded panic in {stage} chunk {chunk}");
+            }
+        }
+    }
+}
+
+/// FNV-1a over bytes.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finaliser.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::{RetryPolicy, Supervisor};
+
+    fn fast_retry(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn healed_panic_leaves_output_bit_identical() {
+        let golden = Supervisor::new()
+            .run_chunks::<usize, (), _>("stage", 1, 10, |i| Ok(i + 100))
+            .unwrap();
+        for threads in [1usize, 4] {
+            let sup = Supervisor::new()
+                .with_retry(fast_retry(2))
+                .with_fault_plan(FaultPlan::new().panic_on("stage", 4, 2));
+            let out = sup
+                .run_chunks::<usize, (), _>("stage", threads, 10, |i| Ok(i + 100))
+                .unwrap();
+            assert!(out.is_complete(), "threads {threads}");
+            assert_eq!(out.results, golden.results);
+            assert_eq!(out.retries, 2);
+            assert!(out.failures.is_empty());
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_only_the_faulted_chunk() {
+        let sup = Supervisor::new()
+            .with_retry(fast_retry(1))
+            .with_fault_plan(FaultPlan::new().panic_on("stage", 3, u32::MAX));
+        let out = sup.run_chunks::<usize, (), _>("stage", 2, 8, Ok).unwrap();
+        assert_eq!(out.results.len(), 7);
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].chunk, 3);
+        assert!(out.failures[0].message.contains("chaos"));
+    }
+
+    #[test]
+    fn faults_target_stage_and_chunk_precisely() {
+        let plan = FaultPlan::new().panic_on("a", 1, u32::MAX);
+        plan.before_attempt("b", 1, 0); // different stage: no panic
+        plan.before_attempt("a", 2, 0); // different chunk: no panic
+        let caught = std::panic::catch_unwind(|| plan.before_attempt("a", 1, 0));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn seeded_spray_is_deterministic_and_healed_by_one_retry() {
+        let golden = Supervisor::new()
+            .run_chunks::<usize, (), _>("soak:x", 1, 64, |i| Ok(i * 3))
+            .unwrap();
+        let sup = Supervisor::new()
+            .with_retry(fast_retry(1))
+            .with_fault_plan(FaultPlan::new().seeded(0xC0FFEE, "soak:", 30));
+        let a = sup
+            .run_chunks::<usize, (), _>("soak:x", 4, 64, |i| Ok(i * 3))
+            .unwrap();
+        assert!(a.is_complete());
+        assert_eq!(a.results, golden.results);
+        assert!(a.retries > 0, "the spray hit something");
+        let b = sup
+            .run_chunks::<usize, (), _>("soak:x", 4, 64, |i| Ok(i * 3))
+            .unwrap();
+        assert_eq!(a.retries, b.retries, "same seed, same injected panics");
+    }
+
+    #[test]
+    fn delay_fault_sleeps_without_failing() {
+        let sup = Supervisor::new().with_fault_plan(FaultPlan::new().delay_on("stage", 0, 1));
+        let out = sup.run_chunks::<usize, (), _>("stage", 1, 2, Ok).unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.retries, 0);
+    }
+}

@@ -20,6 +20,20 @@ pub enum RuntimeError {
     NoStreams,
     /// Simulation of a stream failed.
     Simulation(String),
+    /// A monitor latched `VIOLATED` but recorded no violation position —
+    /// an internal invariant breach of the bank's sweep loop. Surfaced
+    /// as an error (rather than a panic) so a corrupted run degrades to
+    /// a reportable failure instead of tearing down the whole fleet.
+    MissingViolationPosition {
+        /// Index of the monitor within its bank.
+        monitor: usize,
+    },
+    /// A stream slot was never filled by any worker — an internal
+    /// invariant breach of the shard/merge bookkeeping.
+    StreamNotRun {
+        /// Index of the stream that has no result.
+        stream: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -41,8 +55,32 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NoStreams => write!(f, "fleet configured with zero streams"),
             RuntimeError::Simulation(e) => write!(f, "stream simulation failed: {e}"),
+            RuntimeError::MissingViolationPosition { monitor } => write!(
+                f,
+                "monitor {monitor} is VIOLATED but has no recorded violation position"
+            ),
+            RuntimeError::StreamNotRun { stream } => {
+                write!(f, "stream {stream} was never run by any worker")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariant_breach_variants_render() {
+        let miss = RuntimeError::MissingViolationPosition { monitor: 3 };
+        assert_eq!(
+            miss.to_string(),
+            "monitor 3 is VIOLATED but has no recorded violation position"
+        );
+        let not_run = RuntimeError::StreamNotRun { stream: 7 };
+        assert_eq!(not_run.to_string(), "stream 7 was never run by any worker");
+        assert_ne!(miss, not_run);
+    }
+}

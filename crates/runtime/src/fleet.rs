@@ -16,10 +16,11 @@
 //! transforms, so attacked reports shard just as reproducibly as honest
 //! ones.
 
-use crate::bank::{MonitorBank, VIOLATED};
+use crate::bank::{BankRun, MonitorBank, VIOLATED};
 use crate::error::RuntimeError;
 use apa::sim::{Fault, Simulator};
 use apa::Apa;
+use fsa_exec::{ChunkFailure, Supervisor};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -166,10 +167,21 @@ impl fmt::Display for MonitorStats {
 pub struct FleetReport {
     /// One verdict per compiled monitor, in bank order.
     pub verdicts: Vec<MonitorVerdict>,
-    /// Streams checked.
+    /// Streams the fleet was asked to check.
     pub streams: usize,
-    /// Total events checked.
+    /// Streams that actually completed. Equal to `streams` for
+    /// unsupervised runs; under [`run_fleet_supervised`] a deadline or
+    /// quarantined stream leaves this smaller, and the verdicts cover
+    /// only the completed streams.
+    pub streams_completed: usize,
+    /// Total events checked (over completed streams).
     pub events: u64,
+    /// Streams quarantined by the supervisor (every retry panicked).
+    /// Empty for unsupervised runs.
+    pub failures: Vec<ChunkFailure>,
+    /// `true` if the run stopped early at a stream boundary because the
+    /// supervisor's deadline / cancel token tripped.
+    pub cancelled: bool,
     /// Throughput and shard statistics.
     pub stats: MonitorStats,
 }
@@ -183,6 +195,13 @@ impl FleetReport {
     /// Returns `true` if every monitor held on every stream.
     pub fn is_clean(&self) -> bool {
         self.violated() == 0
+    }
+
+    /// Returns `true` when every requested stream completed — the
+    /// verdicts then cover the whole fleet, and (for supervised runs)
+    /// are bit-identical to an unsupervised run.
+    pub fn is_complete(&self) -> bool {
+        self.streams_completed == self.streams && !self.cancelled && self.failures.is_empty()
     }
 
     /// The deterministic part of the report, rendered — identical for
@@ -202,15 +221,30 @@ impl FleetReport {
         for v in &self.verdicts {
             let _ = writeln!(out, "  {v}");
         }
+        if !self.is_complete() {
+            let _ = writeln!(
+                out,
+                "  stream coverage {}/{} (partial{})",
+                self.streams_completed,
+                self.streams,
+                if self.cancelled { ", cancelled" } else { "" }
+            );
+            for failure in &self.failures {
+                let _ = writeln!(out, "  quarantined: {failure}");
+            }
+        }
         out
     }
 }
 
+/// One recorded violation: `(monitor, event_index, prefix, truncated)`.
+type Violation = (usize, u64, Vec<String>, bool);
+
 /// Per-stream intermediate result.
 struct StreamResult {
     events: u64,
-    /// `(monitor, event_index, prefix, truncated)` per violated monitor.
-    violations: Vec<(usize, u64, Vec<String>, bool)>,
+    /// One [`Violation`] per violated monitor.
+    violations: Vec<Violation>,
 }
 
 /// Worker-local timing accumulator.
@@ -274,26 +308,45 @@ fn run_stream(
     log.check += t1.elapsed();
     log.events += run.events;
 
-    let violations = run
-        .states
-        .iter()
-        .enumerate()
-        .filter(|(_, &s)| s == VIOLATED)
-        .map(|(m, _)| {
-            let idx = run.first_violation[m].expect("violated monitors have a position");
-            let end = idx as usize + 1;
-            let start = end.saturating_sub(cfg.prefix_limit.max(1));
-            let prefix = events[start..end]
-                .iter()
-                .map(|&sym| bank.event_name(sym).to_owned())
-                .collect();
-            (m, idx, prefix, start > 0)
-        })
-        .collect();
+    let violations = extract_violations(bank, &run, &events, cfg.prefix_limit)?;
     Ok(StreamResult {
         events: run.events,
         violations,
     })
+}
+
+/// Reads the violations off a finished [`BankRun`]: `(monitor,
+/// event index, prefix, truncated)` for every monitor in `VIOLATED`.
+///
+/// # Errors
+///
+/// [`RuntimeError::MissingViolationPosition`] if a monitor latched
+/// `VIOLATED` without a recorded position — an internal invariant
+/// breach surfaced as an error rather than a panic, so one corrupted
+/// stream degrades to a reportable failure instead of tearing down the
+/// whole fleet.
+fn extract_violations(
+    bank: &MonitorBank,
+    run: &BankRun,
+    events: &[u32],
+    prefix_limit: usize,
+) -> Result<Vec<Violation>, RuntimeError> {
+    let mut violations = Vec::new();
+    for (m, &s) in run.states.iter().enumerate() {
+        if s != VIOLATED {
+            continue;
+        }
+        let idx =
+            run.first_violation[m].ok_or(RuntimeError::MissingViolationPosition { monitor: m })?;
+        let end = idx as usize + 1;
+        let start = end.saturating_sub(prefix_limit.max(1));
+        let prefix = events[start..end]
+            .iter()
+            .map(|&sym| bank.event_name(sym).to_owned())
+            .collect();
+        violations.push((m, idx, prefix, start > 0));
+    }
+    Ok(violations)
 }
 
 /// Checks a simulator fleet against a compiled bank.
@@ -354,7 +407,7 @@ pub fn run_fleet(
     let mut firsts: Vec<Option<Counterexample>> = vec![None; bank.len()];
     let mut total_events = 0u64;
     for (i, slot) in results.into_iter().enumerate() {
-        let sr = slot.expect("every stream ran")?;
+        let sr = slot.ok_or(RuntimeError::StreamNotRun { stream: i })??;
         total_events += sr.events;
         for (m, idx, prefix, truncated) in sr.violations {
             counts[m] += 1;
@@ -393,7 +446,111 @@ pub fn run_fleet(
     Ok(FleetReport {
         verdicts,
         streams: cfg.streams,
+        streams_completed: cfg.streams,
         events: total_events,
+        failures: Vec::new(),
+        cancelled: false,
+        stats,
+    })
+}
+
+/// Like [`run_fleet`], executed under a [`Supervisor`]: each stream is
+/// one panic-isolated, retried chunk of the `fleet:stream` stage.
+///
+/// * A stream that panics on every retry is quarantined as a
+///   [`ChunkFailure`] in [`FleetReport::failures`] — the fleet carries
+///   on with the surviving streams.
+/// * If the supervisor's [`fsa_exec::CancelToken`] (e.g. a deadline)
+///   trips, the run stops at the next stream boundary and reports the
+///   completed prefix, with [`FleetReport::streams_completed`] < the
+///   requested count and `cancelled = true`.
+/// * When nothing was dropped, the report renders **bit-identically**
+///   to [`run_fleet`] for every thread count: verdicts are merged in
+///   ascending stream order regardless of which worker ran what.
+///
+/// # Errors
+///
+/// * [`RuntimeError::NoStreams`] if `cfg.streams == 0`.
+/// * [`RuntimeError::Simulation`] if an underlying APA step fails
+///   (application errors are deterministic and are not retried).
+pub fn run_fleet_supervised(
+    apa: &Apa,
+    bank: &MonitorBank,
+    cfg: &FleetConfig,
+    supervisor: &Supervisor,
+) -> Result<FleetReport, RuntimeError> {
+    if cfg.streams == 0 {
+        return Err(RuntimeError::NoStreams);
+    }
+    let wall = Instant::now();
+    let apa_to_bank: Vec<u32> = apa
+        .automaton_names()
+        .map(|n| bank.event_symbol(n))
+        .collect();
+
+    let threads = cfg.threads.clamp(1, cfg.streams);
+    let outcome = supervisor.run_chunks::<(StreamResult, WorkerLog), RuntimeError, _>(
+        "fleet:stream",
+        threads,
+        cfg.streams,
+        |i| {
+            let mut log = WorkerLog::default();
+            let sr = run_stream(apa, bank, &apa_to_bank, cfg, i, &mut log)?;
+            Ok((sr, log))
+        },
+    )?;
+
+    // Deterministic merge in stream order over the completed streams
+    // (outcome.results is sorted ascending by chunk = stream index).
+    let mut counts = vec![0usize; bank.len()];
+    let mut firsts: Vec<Option<Counterexample>> = vec![None; bank.len()];
+    let mut total_events = 0u64;
+    let mut logs = Vec::with_capacity(outcome.results.len());
+    let streams_completed = outcome.results.len();
+    for (i, (sr, log)) in outcome.results {
+        total_events += sr.events;
+        logs.push(log);
+        for (m, idx, prefix, truncated) in sr.violations {
+            counts[m] += 1;
+            if firsts[m].is_none() {
+                firsts[m] = Some(Counterexample {
+                    stream: i,
+                    event_index: idx,
+                    prefix,
+                    truncated,
+                });
+            }
+        }
+    }
+    let verdicts = bank
+        .monitors()
+        .iter()
+        .zip(counts)
+        .zip(firsts)
+        .map(|((meta, violating_streams), first)| MonitorVerdict {
+            requirement: meta.requirement.to_string(),
+            violating_streams,
+            first,
+        })
+        .collect();
+    let wall = wall.elapsed();
+    let stats = MonitorStats {
+        compile: Duration::ZERO,
+        simulate: logs.iter().map(|l| l.simulate).sum(),
+        check: logs.iter().map(|l| l.check).sum(),
+        wall,
+        events: total_events,
+        events_per_sec: total_events as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        shard_events: logs.iter().map(|l| l.events).collect(),
+        threads,
+    };
+    Ok(FleetReport {
+        verdicts,
+        streams: cfg.streams,
+        streams_completed,
+        events: total_events,
+        failures: outcome.failures,
+        cancelled: outcome.cancelled,
         stats,
     })
 }
@@ -413,6 +570,27 @@ pub fn monitor_apa(
     let bank = MonitorBank::for_apa(set, apa)?;
     let compile = t.elapsed();
     let mut report = run_fleet(apa, &bank, cfg)?;
+    report.stats.compile = compile;
+    Ok((bank, report))
+}
+
+/// Like [`monitor_apa`], but driving the fleet under a [`Supervisor`]
+/// (see [`run_fleet_supervised`]).
+///
+/// # Errors
+///
+/// Propagates [`MonitorBank::compile`] and [`run_fleet_supervised`]
+/// errors.
+pub fn monitor_apa_supervised(
+    apa: &Apa,
+    set: &fsa_core::requirements::RequirementSet,
+    cfg: &FleetConfig,
+    supervisor: &Supervisor,
+) -> Result<(MonitorBank, FleetReport), RuntimeError> {
+    let t = Instant::now();
+    let bank = MonitorBank::for_apa(set, apa)?;
+    let compile = t.elapsed();
+    let mut report = run_fleet_supervised(apa, &bank, cfg, supervisor)?;
     report.stats.compile = compile;
     Ok((bank, report))
 }
@@ -554,6 +732,181 @@ mod tests {
         if ce.event_index >= 2 {
             assert!(ce.truncated);
         }
+    }
+
+    #[test]
+    fn violated_monitor_without_position_is_an_error_not_a_panic() {
+        // Regression for the old `expect("violated monitors have a
+        // position")`: a doctored BankRun (VIOLATED latch, no recorded
+        // position) must surface as a RuntimeError.
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let bank = MonitorBank::for_apa(&set, &apa).unwrap();
+        let mut run = bank.start();
+        run.states[0] = VIOLATED;
+        run.first_violation[0] = None;
+        let err = extract_violations(&bank, &run, &[], 8).unwrap_err();
+        assert_eq!(err, RuntimeError::MissingViolationPosition { monitor: 0 });
+        assert!(err.to_string().contains("monitor 0"));
+    }
+
+    #[test]
+    fn extract_violations_reads_positions_when_present() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let bank = MonitorBank::for_apa(&set, &apa).unwrap();
+        let mut run = bank.start();
+        run.states[0] = VIOLATED;
+        run.first_violation[0] = Some(1);
+        let events = vec![bank.event_symbol("second"), bank.event_symbol("second")];
+        let vs = extract_violations(&bank, &run, &events, 8).unwrap();
+        assert_eq!(vs.len(), 1);
+        let (m, idx, ref prefix, truncated) = vs[0];
+        assert_eq!((m, idx, truncated), (0, 1, false));
+        assert_eq!(prefix, &vec!["second".to_owned(); 2]);
+    }
+
+    #[test]
+    fn supervised_fleet_matches_legacy_bit_identically() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        for fault in [
+            None,
+            Some(Fault::Drop {
+                action: "first".into(),
+            }),
+        ] {
+            for threads in [1usize, 4] {
+                let cfg = FleetConfig {
+                    streams: 13,
+                    events_per_stream: 200,
+                    threads,
+                    fault: fault.clone(),
+                    ..FleetConfig::default()
+                };
+                let (_, legacy) = monitor_apa(&apa, &set, &cfg).unwrap();
+                let (_, sup) =
+                    monitor_apa_supervised(&apa, &set, &cfg, &Supervisor::new()).unwrap();
+                assert!(sup.is_complete());
+                assert_eq!(
+                    legacy.render(),
+                    sup.render(),
+                    "fault {fault:?} threads {threads}"
+                );
+                assert_eq!(sup.streams_completed, 13);
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_degrades_fleet_to_partial_with_coverage() {
+        use fsa_exec::CancelToken;
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let cfg = FleetConfig {
+            streams: 8,
+            events_per_stream: 64,
+            ..FleetConfig::default()
+        };
+        // Countdown token: exactly 3 stream boundaries pass the gate.
+        let sup = Supervisor::new().with_cancel(CancelToken::countdown(3));
+        let (_, report) = monitor_apa_supervised(&apa, &set, &cfg, &sup).unwrap();
+        assert!(report.cancelled);
+        assert!(!report.is_complete());
+        assert_eq!(report.streams_completed, 3);
+        assert_eq!(report.streams, 8);
+        let rendered = report.render();
+        assert!(rendered.contains("stream coverage 3/8"), "{rendered}");
+        assert!(rendered.contains("cancelled"), "{rendered}");
+        // An already-expired wall-clock deadline completes nothing.
+        let sup =
+            Supervisor::new().with_cancel(CancelToken::with_deadline(std::time::Duration::ZERO));
+        let (_, report) = monitor_apa_supervised(&apa, &set, &cfg, &sup).unwrap();
+        assert!(report.cancelled);
+        assert_eq!(report.streams_completed, 0);
+        assert_eq!(report.events, 0);
+    }
+
+    #[test]
+    fn supervised_partial_prefix_is_the_canonical_prefix() {
+        // The completed streams of a cancelled run are exactly streams
+        // 0..k and their verdict contributions match a full run's.
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let cfg = FleetConfig {
+            streams: 8,
+            events_per_stream: 100,
+            fault: Some(Fault::Drop {
+                action: "first".into(),
+            }),
+            ..FleetConfig::default()
+        };
+        use fsa_exec::CancelToken;
+        let sup = Supervisor::new().with_cancel(CancelToken::countdown(4));
+        let (_, partial) = monitor_apa_supervised(&apa, &set, &cfg, &sup).unwrap();
+        assert_eq!(partial.streams_completed, 4);
+        let (_, full) = monitor_apa(&apa, &set, &cfg).unwrap();
+        // Dropped antecedent violates on every stream, so the partial
+        // run sees exactly 4 violating streams and the same first
+        // counterexample (stream 0).
+        assert_eq!(partial.verdicts[0].violating_streams, 4);
+        assert_eq!(full.verdicts[0].violating_streams, 8);
+        assert_eq!(partial.verdicts[0].first, full.verdicts[0].first);
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn healed_stream_panics_leave_the_report_bit_identical() {
+        use fsa_exec::{FaultPlan, RetryPolicy};
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let cfg = FleetConfig {
+            streams: 8,
+            events_per_stream: 100,
+            threads: 4,
+            ..FleetConfig::default()
+        };
+        let (_, golden) = monitor_apa(&apa, &set, &cfg).unwrap();
+        let sup = Supervisor::new()
+            .with_retry(RetryPolicy {
+                max_retries: 2,
+                base_delay: Duration::from_micros(10),
+                ..RetryPolicy::default()
+            })
+            .with_fault_plan(FaultPlan::new().panic_on("fleet:stream", 5, 2));
+        let (_, healed) = monitor_apa_supervised(&apa, &set, &cfg, &sup).unwrap();
+        assert!(healed.is_complete());
+        assert_eq!(healed.render(), golden.render());
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn exhausted_retries_quarantine_one_stream_only() {
+        use fsa_exec::{FaultPlan, RetryPolicy};
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let cfg = FleetConfig {
+            streams: 8,
+            events_per_stream: 100,
+            ..FleetConfig::default()
+        };
+        let sup = Supervisor::new()
+            .with_retry(RetryPolicy {
+                max_retries: 1,
+                base_delay: Duration::from_micros(10),
+                ..RetryPolicy::default()
+            })
+            .with_fault_plan(FaultPlan::new().panic_on("fleet:stream", 2, u32::MAX));
+        let (_, report) = monitor_apa_supervised(&apa, &set, &cfg, &sup).unwrap();
+        assert_eq!(report.streams_completed, 7);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].chunk, 2);
+        assert!(!report.is_complete());
+        assert!(
+            report.render().contains("quarantined"),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]

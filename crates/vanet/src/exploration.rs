@@ -11,8 +11,8 @@
 
 use crate::component_models::{rsu_model, vehicle_model_reduced};
 use fsa_core::explore::{
-    enumerate_instances, enumerate_instances_with_stats, ConnectionRule, Exploration,
-    ExploreOptions,
+    enumerate_instances, enumerate_instances_supervised, enumerate_instances_with_stats,
+    ConnectionRule, ExecOptions, Exploration, ExploreOptions,
 };
 use fsa_core::{FsaError, SosInstance};
 
@@ -65,6 +65,24 @@ pub fn explore_scenario(
     enumerate_instances_with_stats(&models, &rules, options)
 }
 
+/// Like [`explore_scenario`], executed under the supervised layer:
+/// panic-isolated retried candidate builds, deadlines with coverage
+/// accounting, and checkpoint/resume (see
+/// [`fsa_core::explore::ExecOptions`]).
+///
+/// # Errors
+///
+/// Propagates enumeration errors plus
+/// [`FsaError::CorruptCheckpoint`] for bad resume files.
+pub fn explore_scenario_supervised(
+    max_vehicles: usize,
+    options: &ExploreOptions,
+    exec: &ExecOptions,
+) -> Result<Exploration, FsaError> {
+    let (models, rules) = scenario_universe(max_vehicles);
+    enumerate_instances_supervised(&models, &rules, options, exec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +125,21 @@ mod tests {
                 assert!(!are_isomorphic(&a.shape_graph(), &b.shape_graph()));
             }
         }
+    }
+
+    #[test]
+    fn supervised_scenario_matches_legacy() {
+        let legacy = explore_scenario(2, &ExploreOptions::default()).unwrap();
+        let sup =
+            explore_scenario_supervised(2, &ExploreOptions::default(), &ExecOptions::default())
+                .unwrap();
+        assert_eq!(legacy.instances.len(), sup.instances.len());
+        for (a, b) in legacy.instances.iter().zip(&sup.instances) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.graph(), b.graph());
+        }
+        assert_eq!(legacy.stats.candidates, sup.stats.candidates);
+        assert_eq!(sup.stats.vectors_completed, sup.stats.vectors_total);
     }
 
     #[test]

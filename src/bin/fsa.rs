@@ -4,9 +4,10 @@
 //! fsa elicit <spec-file> [--param] [--refine] [--dot] [--verify-dataflow]
 //! fsa check <spec-file>
 //! fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
+//!             [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
 //! fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
 //! fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N]
-//!             [--inject <fault>] [--seed N] [--stats]
+//!             [--inject <fault>] [--seed N] [--stats] [--deadline-ms N] [--retries N]
 //! ```
 //!
 //! * `elicit` — parse the specification, run the manual pipeline on
@@ -28,7 +29,13 @@
 //!   exits 1 if any monitor is violated.
 //!
 //! Every subcommand accepts `--help`; unknown subcommands and bad flag
-//! values print usage to stderr and exit with code 2.
+//! values print usage to stderr and exit with code 2. Long-running
+//! subcommands (`explore`, `monitor`) accept a `--deadline-ms` budget:
+//! when it expires the run degrades gracefully to a **partial** result
+//! with explicit coverage accounting and exits with code 3 (unless a
+//! violation was already found, which keeps exit code 1). `fsa explore`
+//! can additionally write crash-safe checkpoints (`--checkpoint`) and
+//! continue interrupted runs (`--resume`) with bit-identical output.
 
 use fsa::core::dataflow::dataflow_apa;
 use fsa::core::manual::{elicit, explain};
@@ -42,12 +49,15 @@ const GLOBAL_USAGE: &str = "usage:
   fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]
   fsa check <spec-file>
   fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
+              [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
   fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
   fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N] [--inject <fault>] [--seed N] [--stats]
+              [--deadline-ms N] [--retries N]
   fsa <subcommand> --help";
 
 const EXPLORE_USAGE: &str = "usage:
   fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
+              [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
 
 Enumerate the structurally different SoS instances of the vehicular
 scenario (§4.2) and union their elicited requirements (§4.4).
@@ -56,7 +66,15 @@ scenario (§4.2) and union their elicited requirements (§4.4).
   --budget N        candidate budget (error when exceeded)
   --truncate        return the deduped partial universe at budget
   --all             keep disconnected compositions
-  --stats           print engine counters and per-stage timings";
+  --stats           print engine counters and per-stage timings
+Supervised execution (any of these selects the supervised engine; the
+output stays bit-identical to the plain engine when nothing is cut):
+  --deadline-ms N        stop at the next batch boundary after N ms and
+                         report the completed prefix (exit code 3)
+  --retries N            retries per panicked worker chunk (default 2)
+  --checkpoint F         write crash-safe (atomic) checkpoints to F
+  --checkpoint-every N   candidates built between checkpoints (default 256)
+  --resume F             continue a previous run from checkpoint F";
 
 const SIMULATE_USAGE: &str = "usage:
   fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
@@ -72,6 +90,7 @@ Run one seeded simulation of a scenario APA and print the trace.
 
 const MONITOR_USAGE: &str = "usage:
   fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N] [--inject <fault>] [--seed N] [--stats]
+              [--deadline-ms N] [--retries N]
 
 Compile the scenario's elicited requirements into a fused monitor bank
 and check a sharded simulator fleet against it (exit 1 on violations).
@@ -84,7 +103,11 @@ and check a sharded simulator fleet against it (exit 1 on violations).
   --inject F       fault injected into every stream:
                    drop:<action> | spoof:<action> | reorder:<window>
   --seed N         base fleet seed (default 3930)
-  --stats          print events/sec, per-stage timings, shard balance";
+  --stats          print events/sec, per-stage timings, shard balance
+  --deadline-ms N  stop at the next stream boundary after N ms; a clean
+                   partial report exits 3, violations still exit 1
+  --retries N      retries per panicked stream (default 2; selects the
+                   supervised fleet driver)";
 
 const ELICIT_USAGE: &str = "usage:
   fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]
@@ -419,11 +442,33 @@ impl<'a> Flags<'a> {
     }
 }
 
+/// Builds a [`fsa::exec::Supervisor`] from the shared `--deadline-ms` /
+/// `--retries` flags.
+fn build_supervisor(deadline_ms: Option<u64>, retries: Option<u32>) -> fsa::exec::Supervisor {
+    let mut sup = fsa::exec::Supervisor::new();
+    if let Some(ms) = deadline_ms {
+        sup = sup.with_cancel(fsa::exec::CancelToken::with_deadline(
+            std::time::Duration::from_millis(ms),
+        ));
+    }
+    if let Some(r) = retries {
+        sup.retry.max_retries = r;
+    }
+    sup
+}
+
+/// Exit code 3: the deadline expired and the run degraded to a clean
+/// partial result (violations/errors keep exit code 1).
+const EXIT_PARTIAL: u8 = 3;
+
 /// `fsa explore` — enumerate the vehicular instance space (§4.2) and
 /// union the elicited requirements (§4.4) with the streaming
 /// certificate engine.
 fn explore_command(rest: &[String]) -> ExitCode {
-    use fsa::core::explore::{union_requirements_loop_free_threaded, BudgetPolicy, ExploreOptions};
+    use fsa::core::explore::{
+        union_requirements_loop_free_supervised, union_requirements_loop_free_threaded,
+        BudgetPolicy, CheckpointSpec, ExecOptions, ExploreOptions,
+    };
 
     if wants_help(rest) {
         println!("{EXPLORE_USAGE}");
@@ -435,6 +480,11 @@ fn explore_command(rest: &[String]) -> ExitCode {
     let mut truncate = false;
     let mut all = false;
     let mut stats = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every = 256usize;
+    let mut resume: Option<String> = None;
 
     let mut flags = Flags::new(rest, EXPLORE_USAGE);
     while let Some(flag) = flags.next_flag() {
@@ -458,6 +508,32 @@ fn explore_command(rest: &[String]) -> ExitCode {
             "truncate" => truncate = true,
             "all" => all = true,
             "stats" => stats = true,
+            "deadline-ms" => match flags.seed("deadline-ms", inline) {
+                Ok(n) => deadline_ms = Some(n),
+                Err(code) => return code,
+            },
+            "retries" => match flags.seed("retries", inline) {
+                Ok(n) => retries = Some(n.min(u64::from(u32::MAX)) as u32),
+                Err(code) => return code,
+            },
+            "checkpoint" => match flags.value(inline) {
+                Some(p) => checkpoint = Some(p),
+                None => {
+                    eprintln!("--checkpoint expects a file path");
+                    return flags.fail();
+                }
+            },
+            "checkpoint-every" => match flags.positive("checkpoint-every", inline) {
+                Ok(n) => checkpoint_every = n,
+                Err(code) => return code,
+            },
+            "resume" => match flags.value(inline) {
+                Some(p) => resume = Some(p),
+                None => {
+                    eprintln!("--resume expects a file path");
+                    return flags.fail();
+                }
+            },
             other => return flags.unknown(other),
         }
     }
@@ -472,7 +548,24 @@ fn explore_command(rest: &[String]) -> ExitCode {
         },
         threads,
     };
-    let exploration = match fsa::vanet::exploration::explore_scenario(max_vehicles, &options) {
+    let supervised =
+        deadline_ms.is_some() || retries.is_some() || checkpoint.is_some() || resume.is_some();
+    let supervisor = build_supervisor(deadline_ms, retries);
+    let exploration = if supervised {
+        let exec = ExecOptions {
+            supervisor: supervisor.clone(),
+            checkpoint: checkpoint.map(|p| CheckpointSpec {
+                path: p.into(),
+                every: checkpoint_every,
+            }),
+            resume: resume.map(Into::into),
+            ..ExecOptions::default()
+        };
+        fsa::vanet::exploration::explore_scenario_supervised(max_vehicles, &options, &exec)
+    } else {
+        fsa::vanet::exploration::explore_scenario(max_vehicles, &options)
+    };
+    let exploration = match exploration {
         Ok(e) => e,
         Err(e) => {
             eprintln!("exploration failed: {e}");
@@ -498,26 +591,77 @@ fn explore_command(rest: &[String]) -> ExitCode {
             inst.graph().edge_count()
         );
     }
-    match union_requirements_loop_free_threaded(&exploration.instances, threads) {
-        Ok((union, skipped)) => {
+    let mut partial = exploration.stats.cancelled;
+    if supervised && exploration.stats.vectors_total > 0 {
+        if exploration.stats.vectors_completed < exploration.stats.vectors_total {
             println!(
-                "union over the universe: {} requirement(s) ({skipped} cyclic composition(s) \
-                 skipped)",
-                union.len()
+                "partial universe: vector coverage {}/{} (deadline or quarantined chunks)",
+                exploration.stats.vectors_completed, exploration.stats.vectors_total
             );
-            for r in union.iter() {
-                println!("  {r}");
+            partial = true;
+        }
+        if exploration.stats.failures > 0 {
+            println!(
+                "quarantined worker chunks: {} (after {} retried panic(s))",
+                exploration.stats.failures, exploration.stats.retries
+            );
+            partial = true;
+        }
+    }
+    if supervised {
+        match union_requirements_loop_free_supervised(&exploration.instances, threads, &supervisor)
+        {
+            Ok(union) => {
+                println!(
+                    "union over the universe: {} requirement(s) ({} cyclic composition(s) \
+                     skipped)",
+                    union.requirements.len(),
+                    union.loop_skipped
+                );
+                for r in union.requirements.iter() {
+                    println!("  {r}");
+                }
+                if !union.is_complete() {
+                    println!(
+                        "partial union: elicited {}/{} instance(s){}",
+                        union.elicited,
+                        union.total,
+                        if union.cancelled { " (cancelled)" } else { "" }
+                    );
+                    partial = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("union elicitation failed: {e}");
+                return ExitCode::FAILURE;
             }
         }
-        Err(e) => {
-            eprintln!("union elicitation failed: {e}");
-            return ExitCode::FAILURE;
+    } else {
+        match union_requirements_loop_free_threaded(&exploration.instances, threads) {
+            Ok((union, skipped)) => {
+                println!(
+                    "union over the universe: {} requirement(s) ({skipped} cyclic composition(s) \
+                     skipped)",
+                    union.len()
+                );
+                for r in union.iter() {
+                    println!("  {r}");
+                }
+            }
+            Err(e) => {
+                eprintln!("union elicitation failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if stats {
         print!("{}", exploration.stats);
     }
-    ExitCode::SUCCESS
+    if partial {
+        ExitCode::from(EXIT_PARTIAL)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Builds the APA of a named simulation scenario.
@@ -615,6 +759,8 @@ fn monitor_command(rest: &[String]) -> ExitCode {
     let mut seed = 0xF5Au64;
     let mut fault: Option<fsa::apa::Fault> = None;
     let mut stats = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retries: Option<u32> = None;
 
     let mut flags = Flags::new(rest, MONITOR_USAGE);
     while let Some(flag) = flags.next_flag() {
@@ -651,6 +797,14 @@ fn monitor_command(rest: &[String]) -> ExitCode {
                 Err(code) => return code,
             },
             "stats" => stats = true,
+            "deadline-ms" => match flags.seed("deadline-ms", inline) {
+                Ok(n) => deadline_ms = Some(n),
+                Err(code) => return code,
+            },
+            "retries" => match flags.seed("retries", inline) {
+                Ok(n) => retries = Some(n.min(u64::from(u32::MAX)) as u32),
+                Err(code) => return code,
+            },
             other => return flags.unknown(other),
         }
     }
@@ -688,7 +842,14 @@ fn monitor_command(rest: &[String]) -> ExitCode {
         fault,
         ..fsa::runtime::FleetConfig::default()
     };
-    match fsa::runtime::monitor_apa(&apa, &elicited.requirements, &cfg) {
+    let supervised = deadline_ms.is_some() || retries.is_some();
+    let run = if supervised {
+        let supervisor = build_supervisor(deadline_ms, retries);
+        fsa::runtime::monitor_apa_supervised(&apa, &elicited.requirements, &cfg, &supervisor)
+    } else {
+        fsa::runtime::monitor_apa(&apa, &elicited.requirements, &cfg)
+    };
+    match run {
         Ok((bank, report)) => {
             println!(
                 "scenario {scenario}: {} requirement(s) compiled into a fused bank \
@@ -700,10 +861,13 @@ fn monitor_command(rest: &[String]) -> ExitCode {
             if stats {
                 print!("{}", report.stats);
             }
-            if report.is_clean() {
-                ExitCode::SUCCESS
-            } else {
+            if !report.is_clean() {
+                // A found violation always dominates a missed deadline.
                 ExitCode::FAILURE
+            } else if !report.is_complete() {
+                ExitCode::from(EXIT_PARTIAL)
+            } else {
+                ExitCode::SUCCESS
             }
         }
         Err(e) => {

@@ -35,6 +35,7 @@ pub use apa;
 pub use automata;
 pub use baselines;
 pub use fsa_core as core;
+pub use fsa_exec as exec;
 pub use fsa_graph as graph;
 pub use fsa_runtime as runtime;
 pub use speclang;

@@ -256,3 +256,115 @@ fn monitor_reports_bit_identical_across_threads() {
     }
     assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
 }
+
+// ---- Supervised execution layer (deadlines, checkpoint/resume) ------
+
+/// A unique temp path for a checkpoint file.
+fn temp_checkpoint(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsa-cli-resilience-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.fsas"))
+}
+
+#[test]
+fn explore_with_checkpoint_matches_plain_explore_and_resumes_idempotently() {
+    let ck = temp_checkpoint("full");
+    let plain = fsa(&["explore", "--max-vehicles", "2"]);
+    assert!(plain.status.success(), "{plain:?}");
+    let supervised = fsa(&[
+        "explore",
+        "--max-vehicles",
+        "2",
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--checkpoint-every",
+        "4",
+    ]);
+    assert!(supervised.status.success(), "{supervised:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&supervised.stdout),
+        "supervised output is bit-identical when nothing is cut"
+    );
+    // Resuming the *completed* checkpoint reproduces the same output.
+    let resumed = fsa(&[
+        "explore",
+        "--max-vehicles",
+        "2",
+        "--resume",
+        ck.to_str().unwrap(),
+    ]);
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&resumed.stdout)
+    );
+}
+
+#[test]
+fn explore_expired_deadline_degrades_to_partial_exit_3() {
+    let out = fsa(&["explore", "--max-vehicles", "2", "--deadline-ms", "0"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("partial universe"), "{stdout}");
+    assert!(stdout.contains("vector coverage"), "{stdout}");
+}
+
+#[test]
+fn explore_resume_from_corrupt_checkpoint_fails_cleanly() {
+    let ck = temp_checkpoint("corrupt");
+    std::fs::write(&ck, b"this is not a snapshot").unwrap();
+    let out = fsa(&["explore", "--resume", ck.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt checkpoint"), "{stderr}");
+}
+
+#[test]
+fn explore_rejects_bad_supervision_flag_values() {
+    let out = fsa(&["explore", "--deadline-ms", "soon"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = fsa(&["explore", "--checkpoint"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = fsa(&["explore", "--checkpoint-every", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn monitor_expired_deadline_exits_3_with_coverage() {
+    let out = fsa(&[
+        "monitor",
+        "--streams",
+        "4",
+        "--events",
+        "400",
+        "--deadline-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stream coverage 0/4"), "{stdout}");
+    assert!(stdout.contains("cancelled"), "{stdout}");
+}
+
+#[test]
+fn monitor_violation_dominates_deadline_exit_code() {
+    // A generous deadline that will not expire: the injected violation
+    // must keep exit code 1, not 3.
+    let out = fsa(&[
+        "monitor",
+        "--streams",
+        "4",
+        "--events",
+        "400",
+        "--inject",
+        "drop:V1_sense",
+        "--deadline-ms",
+        "600000",
+        "--retries",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+}

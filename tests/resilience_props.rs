@@ -1,0 +1,225 @@
+//! Cross-crate resilience properties of the supervised execution layer
+//! (`fsa_exec`), exercised through the public facade: the vehicular
+//! exploration (`vanet` → `fsa_core::explore`) and the monitor fleet
+//! (`fsa_runtime::fleet`) under deadlines, interruptions, resume, and
+//! (feature `chaos`) injected worker panics.
+
+use fsa::core::explore::{
+    union_requirements_loop_free_supervised, CheckpointSpec, ExecOptions, Exploration,
+    ExploreOptions,
+};
+use fsa::exec::{CancelToken, Supervisor};
+use fsa::vanet::exploration::{explore_scenario, explore_scenario_supervised};
+
+/// Renders the deterministic part of an exploration: instance names,
+/// graph shapes, and the replayable counters.
+fn fingerprint(e: &Exploration) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for i in &e.instances {
+        let _ = writeln!(out, "{} {:?}", i.name(), i.graph());
+    }
+    let s = &e.stats;
+    // `candidates_built` is a supervised-only counter (legacy runs
+    // leave it zero), so it is deliberately not part of the
+    // bit-identity fingerprint.
+    let _ = writeln!(
+        out,
+        "v={} s={} o={} c={} d={} cls={}",
+        s.multiplicity_vectors,
+        s.subsets_total,
+        s.orbits_skipped,
+        s.candidates,
+        s.disconnected_skipped,
+        s.classes
+    );
+    out
+}
+
+#[test]
+fn supervised_exploration_is_thread_and_batch_invariant() {
+    let golden = explore_scenario(2, &ExploreOptions::default()).unwrap();
+    let golden_fp = fingerprint(&golden);
+    for threads in [1usize, 4, 8] {
+        for batch in [1usize, 7, 256] {
+            let options = ExploreOptions {
+                threads,
+                ..ExploreOptions::default()
+            };
+            let exec = ExecOptions {
+                batch,
+                ..ExecOptions::default()
+            };
+            let sup = explore_scenario_supervised(2, &options, &exec).unwrap();
+            assert_eq!(
+                fingerprint(&sup),
+                golden_fp,
+                "threads {threads} batch {batch}"
+            );
+            assert!(!sup.stats.cancelled);
+            assert_eq!(sup.stats.failures, 0);
+        }
+    }
+}
+
+#[test]
+fn interrupt_then_resume_across_thread_counts_is_bit_identical() {
+    let golden = explore_scenario(2, &ExploreOptions::default()).unwrap();
+    let golden_fp = fingerprint(&golden);
+    let dir = std::env::temp_dir().join(format!("fsa-resilience-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resume.fsas");
+
+    let mut interruptions = 0usize;
+    for k in [1u64, 3, 9, 17, 33] {
+        // Interrupt a sequential run after `k` cancellation-gate ticks…
+        let exec = ExecOptions {
+            supervisor: Supervisor::new().with_cancel(CancelToken::countdown(k)),
+            batch: 1,
+            checkpoint: Some(CheckpointSpec {
+                path: path.clone(),
+                every: 1,
+            }),
+            resume: None,
+        };
+        let partial = explore_scenario_supervised(2, &ExploreOptions::default(), &exec).unwrap();
+        if partial.stats.cancelled {
+            interruptions += 1;
+            assert!(
+                partial.stats.vectors_completed < partial.stats.vectors_total,
+                "k={k}: a cancelled run reports incomplete vector coverage"
+            );
+        }
+        // …and resume on four threads: the configuration fingerprint
+        // deliberately excludes the thread count, so a laptop run can
+        // finish on a bigger box — bit-identically.
+        let exec = ExecOptions {
+            resume: Some(path.clone()),
+            ..ExecOptions::default()
+        };
+        let options = ExploreOptions {
+            threads: 4,
+            ..ExploreOptions::default()
+        };
+        let resumed = explore_scenario_supervised(2, &options, &exec).unwrap();
+        assert!(resumed.stats.resumed);
+        assert_eq!(fingerprint(&resumed), golden_fp, "k={k}");
+    }
+    assert!(interruptions > 0, "the countdown sweep must interrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervised_union_matches_threaded_union_and_degrades_cleanly() {
+    use fsa::core::explore::union_requirements_loop_free_threaded;
+    let instances = explore_scenario(2, &ExploreOptions::default())
+        .unwrap()
+        .instances;
+    let (golden, skipped) = union_requirements_loop_free_threaded(&instances, 2).unwrap();
+    let out = union_requirements_loop_free_supervised(&instances, 2, &Supervisor::new()).unwrap();
+    assert!(out.is_complete());
+    assert_eq!(out.requirements, golden);
+    assert_eq!(out.loop_skipped, skipped);
+
+    // An expired deadline elicits nothing but does not error.
+    let sup = Supervisor::new().with_cancel(CancelToken::with_deadline(std::time::Duration::ZERO));
+    let out = union_requirements_loop_free_supervised(&instances, 2, &sup).unwrap();
+    assert!(out.cancelled);
+    assert_eq!(out.elicited, 0);
+    assert!(out.requirements.is_empty());
+}
+
+#[test]
+fn fleet_deadline_yields_partial_coverage_not_an_error() {
+    use fsa::core::requirements::AuthRequirement;
+    use fsa::core::{Action, Agent};
+    use fsa::runtime::{monitor_apa_supervised, FleetConfig};
+    let apa = fsa::vanet::forwarding::forwarding_chain_apa().unwrap();
+    let set = [AuthRequirement::new(
+        Action::parse("V1_sense"),
+        Action::parse("V3_show"),
+        Agent::new("D_3"),
+    )]
+    .into_iter()
+    .collect();
+    let cfg = FleetConfig {
+        streams: 6,
+        events_per_stream: 64,
+        ..FleetConfig::default()
+    };
+    let sup = Supervisor::new().with_cancel(CancelToken::countdown(2));
+    let (_, report) = monitor_apa_supervised(&apa, &set, &cfg, &sup).unwrap();
+    assert!(report.cancelled);
+    assert_eq!(report.streams_completed, 2);
+    assert!(!report.is_complete());
+    assert!(report.render().contains("stream coverage 2/6"));
+}
+
+/// Chaos: deterministic injected worker panics (feature `chaos`). A
+/// healed panic must leave every report bit-identical; an unhealable
+/// one must quarantine only its own chunk.
+#[cfg(feature = "chaos")]
+mod chaos {
+    use super::*;
+    use fsa::exec::{FaultPlan, RetryPolicy};
+    use std::time::Duration;
+
+    fn fast_retry(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn seeded_panic_spray_heals_to_bit_identical_exploration() {
+        let golden = explore_scenario(2, &ExploreOptions::default()).unwrap();
+        let golden_fp = fingerprint(&golden);
+        for threads in [1usize, 4, 8] {
+            let options = ExploreOptions {
+                threads,
+                ..ExploreOptions::default()
+            };
+            let exec = ExecOptions {
+                supervisor: Supervisor::new()
+                    .with_retry(fast_retry(2))
+                    .with_fault_plan(FaultPlan::new().seeded(0xBEEF, "explore:", 25)),
+                batch: 4,
+                ..ExecOptions::default()
+            };
+            let sup = explore_scenario_supervised(2, &options, &exec).unwrap();
+            assert_eq!(fingerprint(&sup), golden_fp, "threads {threads}");
+            assert_eq!(sup.stats.failures, 0);
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_without_aborting_the_fleet() {
+        use fsa::core::requirements::AuthRequirement;
+        use fsa::core::{Action, Agent};
+        use fsa::runtime::{monitor_apa_supervised, FleetConfig};
+        let apa = fsa::vanet::forwarding::forwarding_chain_apa().unwrap();
+        let set = [AuthRequirement::new(
+            Action::parse("V1_sense"),
+            Action::parse("V3_show"),
+            Agent::new("D_3"),
+        )]
+        .into_iter()
+        .collect();
+        let cfg = FleetConfig {
+            streams: 6,
+            events_per_stream: 64,
+            threads: 3,
+            ..FleetConfig::default()
+        };
+        let sup = Supervisor::new()
+            .with_retry(fast_retry(1))
+            .with_fault_plan(FaultPlan::new().panic_on("fleet:stream", 4, u32::MAX));
+        let (_, report) = monitor_apa_supervised(&apa, &set, &cfg, &sup).unwrap();
+        assert_eq!(report.streams_completed, 5);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].chunk, 4);
+        assert!(report.render().contains("quarantined"));
+    }
+}
