@@ -97,9 +97,29 @@ impl Fault {
         matches: impl Fn(T) -> bool,
         spoofed: impl FnOnce() -> T,
     ) {
+        // `spoofed` is only evaluated for `Fault::Spoof`, preserving
+        // the lazy contract for callers with fallible closures.
+        let forged = matches!(self, Fault::Spoof { .. }).then(spoofed);
+        self.apply_stream_with(events, matches, forged);
+    }
+
+    /// Like [`Fault::apply_stream`], with the forged event passed as a
+    /// plain `Option`: a [`Fault::Spoof`] with `None` degrades to a
+    /// no-op instead of forcing callers to promise (via a panicking
+    /// closure) that a forged event can always be built.
+    pub fn apply_stream_with<T: Copy>(
+        &self,
+        events: &mut Vec<T>,
+        matches: impl Fn(T) -> bool,
+        spoofed: Option<T>,
+    ) {
         match self {
             Fault::Drop { .. } => events.retain(|&e| !matches(e)),
-            Fault::Spoof { .. } => events.insert(0, spoofed()),
+            Fault::Spoof { .. } => {
+                if let Some(forged) = spoofed {
+                    events.insert(0, forged);
+                }
+            }
             Fault::Reorder { window } => {
                 if *window > 1 {
                     for chunk in events.chunks_mut(*window) {
@@ -202,7 +222,12 @@ impl<'a> Simulator<'a> {
             return Ok(None);
         }
         let choice = (self.next_rand() as usize) % successors.len();
-        let (aut, interp, next) = successors.into_iter().nth(choice).expect("in range");
+        // `choice < successors.len()` by the modulo above, but fail
+        // soft (treat as a dead state) rather than panic if the
+        // invariant ever breaks.
+        let Some((aut, interp, next)) = successors.into_iter().nth(choice) else {
+            return Ok(None);
+        };
         let label = TransitionLabel {
             automaton: self.aut_syms[aut.index()],
             interpretation: self.symbols.intern(&interp),
@@ -237,18 +262,21 @@ impl<'a> Simulator<'a> {
     /// [`Simulator::trace_names`].
     pub fn inject(&mut self, fault: &Fault) {
         let target = fault.action().map(|a| self.symbols.intern(a));
-        let spoofed_interp = match fault {
-            Fault::Spoof { .. } => Some(self.symbols.intern("spoofed")),
+        // Build the forged label up front: it exists exactly when the
+        // fault is a spoof carrying an action, so the stream mutation
+        // below needs no partial `expect`s.
+        let forged = match (fault, target) {
+            (Fault::Spoof { .. }, Some(automaton)) => Some(TransitionLabel {
+                automaton,
+                interpretation: self.symbols.intern("spoofed"),
+            }),
             _ => None,
         };
         let mut trace = std::mem::take(&mut self.trace);
-        fault.apply_stream(
+        fault.apply_stream_with(
             &mut trace,
             |l: TransitionLabel| Some(l.automaton) == target,
-            || TransitionLabel {
-                automaton: target.expect("spoof has an action"),
-                interpretation: spoofed_interp.expect("interned above"),
-            },
+            forged,
         );
         self.trace = trace;
     }
@@ -414,5 +442,34 @@ mod tests {
         let mut sim = Simulator::new(&apa, 1);
         assert_eq!(sim.run(2).unwrap(), 2);
         assert_eq!(sim.trace().len(), 2);
+    }
+
+    /// Regression for the former partial `expect`s in `inject`: every
+    /// fault kind applies cleanly to an *empty* trace (fresh
+    /// simulator), and a spoof with `apply_stream_with(..., None)`
+    /// degrades to a no-op instead of panicking.
+    #[test]
+    fn inject_never_panics_on_fresh_traces() {
+        let apa = pipeline();
+        for fault in [
+            Fault::Drop {
+                action: "first".into(),
+            },
+            Fault::Spoof {
+                action: "first".into(),
+            },
+            Fault::Reorder { window: 3 },
+        ] {
+            let mut sim = Simulator::new(&apa, 9);
+            sim.inject(&fault);
+            match fault {
+                Fault::Spoof { .. } => assert_eq!(sim.trace().len(), 1, "{fault}"),
+                _ => assert!(sim.trace().is_empty(), "{fault}"),
+            }
+        }
+        // Spoof without a forged event is a no-op, not a panic.
+        let mut events = vec![1u32, 2, 3];
+        Fault::Spoof { action: "x".into() }.apply_stream_with(&mut events, |_| false, None);
+        assert_eq!(events, vec![1, 2, 3]);
     }
 }

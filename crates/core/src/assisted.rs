@@ -23,7 +23,8 @@ use crate::requirements::{AuthRequirement, RequirementSet};
 use apa::ReachGraph;
 use automata::temporal::PrecedenceIndex;
 use automata::{ops, temporal, Dfa, Homomorphism, Nfa, Symbol};
-use std::time::{Duration, Instant};
+use fsa_obs::Obs;
+use std::time::Duration;
 
 /// The decision procedure for functional dependence of a (max, min)
 /// pair.
@@ -116,6 +117,29 @@ pub struct PipelineStats {
     pub coreach_cache_hits: usize,
     /// Worker threads used for the pair grid (1 = sequential).
     pub threads: usize,
+}
+
+impl PipelineStats {
+    /// Reconstructs the stats as a *thin view* over an observability
+    /// [`fsa_obs::Snapshot`] of a **single** elicitation run: stage
+    /// durations come from the `elicit.*` spans, work counters from the
+    /// `elicit.*` counters. For a snapshot produced by
+    /// [`elicit_observed`], this equals the [`AssistedReport::stats`]
+    /// struct filled live (both read the same span measurements).
+    #[must_use]
+    pub fn from_snapshot(snapshot: &fsa_obs::Snapshot) -> PipelineStats {
+        let count = |name: &str| snapshot.counter(name).unwrap_or(0) as usize;
+        PipelineStats {
+            behaviour_nfa: snapshot.span_total("elicit.behaviour_nfa"),
+            min_max: snapshot.span_total("elicit.min_max"),
+            prune_pass: snapshot.span_total("elicit.prune_pass"),
+            pair_eval: snapshot.span_total("elicit.pair_eval"),
+            pairs_total: count("elicit.pairs_total"),
+            pairs_pruned: count("elicit.pairs_pruned"),
+            coreach_cache_hits: count("elicit.coreach_cache_hits"),
+            threads: count("elicit.threads"),
+        }
+    }
 }
 
 /// Decides dependence of (`minimum`, `maximum`) by homomorphic
@@ -242,13 +266,29 @@ pub fn elicit_with_options(
     options: &ElicitOptions,
     stakeholder: impl Fn(&str) -> Agent,
 ) -> AssistedReport {
+    elicit_observed(graph, options, &Obs::disabled(), stakeholder)
+}
+
+/// [`elicit_with_options`] with an observability handle: every pipeline
+/// stage runs under an `elicit.*` span and the work counters are
+/// mirrored into `elicit.*` counters. With [`Obs::disabled`] (what
+/// [`elicit_with_options`] passes) nothing is recorded and the report —
+/// including [`PipelineStats`] — is identical to the unobserved run:
+/// the stats are filled from the very same span measurements.
+pub fn elicit_observed(
+    graph: &ReachGraph,
+    options: &ElicitOptions,
+    obs: &Obs,
+    stakeholder: impl Fn(&str) -> Agent,
+) -> AssistedReport {
+    let run = obs.span("elicit");
     let mut stats = PipelineStats::default();
 
-    let t = Instant::now();
+    let span = obs.span("elicit.behaviour_nfa");
     let behaviour = graph.to_nfa();
-    stats.behaviour_nfa = t.elapsed();
+    stats.behaviour_nfa = span.finish();
 
-    let t = Instant::now();
+    let span = obs.span("elicit.min_max");
     let minima_syms = graph.minima_syms();
     let maxima_syms = graph.maxima_syms();
     let minima: Vec<String> = minima_syms
@@ -259,7 +299,7 @@ pub fn elicit_with_options(
         .iter()
         .map(|&s| graph.name(s).to_owned())
         .collect();
-    stats.min_max = t.elapsed();
+    stats.min_max = span.finish();
 
     // The deterministic pair grid: maxima outer, minima inner — the
     // same order as the original nested loop.
@@ -275,7 +315,7 @@ pub fn elicit_with_options(
 
     // Pruning pre-pass: one backward reachability per *maximum*,
     // reused across all its minima.
-    let t = Instant::now();
+    let span = obs.span("elicit.prune_pass");
     let pruned: Vec<bool> = if options.prune {
         let index = PruneIndex::new(graph);
         let mut coreach_cache: Vec<Option<Vec<bool>>> = vec![None; maxima_syms.len()];
@@ -294,7 +334,7 @@ pub fn elicit_with_options(
         vec![false; pairs.len()]
     };
     stats.pairs_pruned = pruned.iter().filter(|&&p| p).count();
-    stats.prune_pass = t.elapsed();
+    stats.prune_pass = span.finish();
 
     // Shared-work caches for the decision procedures: the behaviour NFA
     // (both methods) and its adjacency index (precedence method).
@@ -328,7 +368,7 @@ pub fn elicit_with_options(
         }
     };
 
-    let t = Instant::now();
+    let span = obs.span("elicit.pair_eval");
     let threads = options.threads.max(1);
     stats.threads = threads;
     let verdicts: Vec<PairVerdict> = if threads == 1 || pairs.len() < 2 {
@@ -354,7 +394,15 @@ pub fn elicit_with_options(
                 .collect()
         })
     };
-    stats.pair_eval = t.elapsed();
+    stats.pair_eval = span.finish();
+
+    if obs.is_enabled() {
+        obs.counter_add("elicit.pairs_total", stats.pairs_total as u64);
+        obs.counter_add("elicit.pairs_pruned", stats.pairs_pruned as u64);
+        obs.counter_add("elicit.coreach_cache_hits", stats.coreach_cache_hits as u64);
+        obs.counter_add("elicit.threads", stats.threads as u64);
+    }
+    drop(run);
 
     let mut requirements = RequirementSet::new();
     for v in &verdicts {
@@ -609,5 +657,41 @@ mod tests {
             .iter()
             .all(|v| v.minimal_automaton_states.is_none()));
         assert_eq!(report.requirements.len(), 2);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_stats_are_a_snapshot_view() {
+        let g = pipeline_graph();
+        let options = ElicitOptions {
+            prune: true,
+            threads: 2,
+            ..ElicitOptions::default()
+        };
+        let plain = elicit_with_options(&g, &options, |_| Agent::new("P"));
+        let obs = Obs::enabled();
+        let observed = elicit_observed(&g, &options, &obs, |_| Agent::new("P"));
+
+        // Observability never changes the analysis result.
+        assert_eq!(observed.verdicts, plain.verdicts);
+        assert_eq!(observed.requirements, plain.requirements);
+        assert_eq!(observed.minima, plain.minima);
+        assert_eq!(observed.maxima, plain.maxima);
+
+        // The legacy stats struct is a thin view over the snapshot: the
+        // reconstructed view equals the struct filled live.
+        let snap = obs.snapshot();
+        let view = PipelineStats::from_snapshot(&snap);
+        assert_eq!(view, observed.stats);
+        assert_eq!(snap.span_count("elicit"), 1);
+        for stage in [
+            "elicit.behaviour_nfa",
+            "elicit.min_max",
+            "elicit.prune_pass",
+            "elicit.pair_eval",
+        ] {
+            assert_eq!(snap.span_count(stage), 1, "{stage}");
+            let rec = snap.spans.iter().find(|s| s.name == stage).unwrap();
+            assert!(rec.parent.is_some(), "{stage} is parented under elicit");
+        }
     }
 }

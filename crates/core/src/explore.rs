@@ -55,8 +55,9 @@ use crate::requirements::RequirementSet;
 use fsa_exec::{CancelToken, ChunkFailure, Supervisor};
 use fsa_graph::iso::{canonical_certificate, CertifiedClasses};
 use fsa_graph::{DiGraph, NodeId};
+use fsa_obs::Obs;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// An allowed external flow: an output action of one component model
 /// may feed an input action of another component instance.
@@ -115,6 +116,12 @@ pub struct ExploreOptions {
     /// Worker threads for candidate building and certificate
     /// computation. Results are bit-identical for every thread count.
     pub threads: usize,
+    /// Observability handle used by the **legacy** engine
+    /// ([`enumerate_instances_with_stats`]); the supervised engine uses
+    /// the handle of its [`Supervisor`] (`exec.supervisor.obs`). The
+    /// default ([`Obs::disabled`]) records nothing; enabling it never
+    /// changes the enumerated instances or the stats values.
+    pub obs: Obs,
 }
 
 impl Default for ExploreOptions {
@@ -124,6 +131,7 @@ impl Default for ExploreOptions {
             max_candidates: 100_000,
             on_budget: BudgetPolicy::Error,
             threads: 1,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -274,6 +282,86 @@ impl std::fmt::Display for ExploreStats {
     }
 }
 
+impl ExploreStats {
+    /// Reconstructs the stats as a *thin view* over an observability
+    /// [`fsa_obs::Snapshot`] of a **single** enumeration run: phase
+    /// durations come from the `explore.*` spans, work counters from the
+    /// `explore.*` counters. For a snapshot produced by an observed run
+    /// of either engine this equals the [`Exploration::stats`] struct
+    /// filled live (both read the same span measurements).
+    #[must_use]
+    pub fn from_snapshot(snapshot: &fsa_obs::Snapshot) -> ExploreStats {
+        let count = |name: &str| snapshot.counter(name).unwrap_or(0) as usize;
+        ExploreStats {
+            multiplicity_vectors: count("explore.multiplicity_vectors"),
+            subsets_total: count("explore.subsets_total"),
+            orbits_skipped: count("explore.orbits_skipped"),
+            candidates: count("explore.candidates"),
+            disconnected_skipped: count("explore.disconnected_skipped"),
+            certificate_hits: count("explore.certificate_hits"),
+            exact_iso_fallbacks: count("explore.exact_iso_fallbacks"),
+            classes: count("explore.classes"),
+            truncated: count("explore.truncated") != 0,
+            threads: count("explore.threads"),
+            vectors_total: count("explore.vectors_total"),
+            vectors_completed: count("explore.vectors_completed"),
+            candidates_built: count("explore.candidates_built"),
+            failures: count("explore.failures"),
+            retries: snapshot.counter("explore.retries").unwrap_or(0),
+            cancelled: count("explore.cancelled") != 0,
+            checkpoints_written: count("explore.checkpoints_written"),
+            resumed: count("explore.resumed") != 0,
+            scan_time: snapshot.span_total("explore.scan"),
+            build_time: snapshot.span_total("explore.build"),
+            dedup_time: snapshot.span_total("explore.dedup"),
+        }
+    }
+
+    /// Mirrors every counter-valued field into `explore.*` counters of
+    /// `obs` (phase durations are already present as `explore.*` spans).
+    /// No-op when `obs` is disabled.
+    fn mirror_counters(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let pairs: [(&str, u64); 17] = [
+            (
+                "explore.multiplicity_vectors",
+                self.multiplicity_vectors as u64,
+            ),
+            ("explore.subsets_total", self.subsets_total as u64),
+            ("explore.orbits_skipped", self.orbits_skipped as u64),
+            ("explore.candidates", self.candidates as u64),
+            (
+                "explore.disconnected_skipped",
+                self.disconnected_skipped as u64,
+            ),
+            ("explore.certificate_hits", self.certificate_hits as u64),
+            (
+                "explore.exact_iso_fallbacks",
+                self.exact_iso_fallbacks as u64,
+            ),
+            ("explore.classes", self.classes as u64),
+            ("explore.truncated", u64::from(self.truncated)),
+            ("explore.threads", self.threads as u64),
+            ("explore.vectors_total", self.vectors_total as u64),
+            ("explore.vectors_completed", self.vectors_completed as u64),
+            ("explore.candidates_built", self.candidates_built as u64),
+            ("explore.failures", self.failures as u64),
+            ("explore.retries", self.retries),
+            ("explore.cancelled", u64::from(self.cancelled)),
+            ("explore.resumed", u64::from(self.resumed)),
+        ];
+        for (name, value) in pairs {
+            obs.counter_add(name, value);
+        }
+        obs.counter_add(
+            "explore.checkpoints_written",
+            self.checkpoints_written as u64,
+        );
+    }
+}
+
 /// Result of [`enumerate_instances_with_stats`]: the structurally
 /// different instances plus the engine statistics.
 #[derive(Debug, Clone)]
@@ -325,6 +413,7 @@ pub fn enumerate_instances_with_stats(
     for (m, _) in models {
         m.validate()?;
     }
+    let run = options.obs.span("explore");
     let resolved = resolve_rules(models, rules)?;
 
     let threads = options.threads.max(1);
@@ -374,6 +463,8 @@ pub fn enumerate_instances_with_stats(
     stats.classes = instances.len();
     stats.certificate_hits = classes.certificate_hits();
     stats.exact_iso_fallbacks = classes.exact_fallbacks();
+    drop(run);
+    stats.mirror_counters(&options.obs);
     Ok(Exploration { instances, stats })
 }
 
@@ -477,6 +568,38 @@ fn rebuild_accepted(
 
 /// Writes one checkpoint snapshot of the supervised driver's state.
 #[allow(clippy::too_many_arguments)]
+/// Resume offset for a class-map counter: checkpointed total minus the
+/// value the rebuild replay produced. Fails closed as
+/// [`FsaError::CorruptCheckpoint`] when the checkpointed value cannot be
+/// represented (a tampered/bit-rotted counter far beyond any reachable
+/// magnitude would otherwise wrap negative through `as i64`).
+fn resume_offset(checkpointed: usize, replayed: usize, what: &str) -> Result<i64, FsaError> {
+    let cp = i64::try_from(checkpointed).map_err(|_| FsaError::CorruptCheckpoint {
+        reason: format!("{what} counter {checkpointed} is out of range"),
+    })?;
+    let rb = i64::try_from(replayed).map_err(|_| FsaError::CorruptCheckpoint {
+        reason: format!("replayed {what} counter {replayed} is out of range"),
+    })?;
+    Ok(cp - rb)
+}
+
+/// Re-bases a class-map counter by the resume offset with **checked**
+/// arithmetic. A negative result means the resumed checkpoint's
+/// counters were inconsistent with its own decision log (the replay
+/// produced more work than the checkpoint claims happened in total), so
+/// fail closed as [`FsaError::CorruptCheckpoint`] instead of silently
+/// clamping to zero.
+fn rebase_counter(offset: i64, current: usize, what: &str) -> Result<usize, FsaError> {
+    let total = (i128::from(offset)) + (current as i128);
+    usize::try_from(total).map_err(|_| FsaError::CorruptCheckpoint {
+        reason: format!(
+            "{what} counter underflows on resume ({offset:+} offset, {current} observed): \
+             the checkpoint's counters are inconsistent with its decision log"
+        ),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_explore_checkpoint(
     spec: &CheckpointSpec,
     fingerprint: u64,
@@ -487,7 +610,9 @@ fn write_explore_checkpoint(
     classes: &CertifiedClasses<String>,
     hits_offset: i64,
     fallbacks_offset: i64,
+    obs: &Obs,
 ) -> Result<(), FsaError> {
+    let span = obs.span("checkpoint.write");
     let counters = CheckpointCounters {
         multiplicity_vectors: stats.multiplicity_vectors,
         subsets_total: stats.subsets_total,
@@ -495,8 +620,16 @@ fn write_explore_checkpoint(
         candidates: stats.candidates,
         candidates_built: stats.candidates_built,
         disconnected_skipped: stats.disconnected_skipped,
-        certificate_hits: (hits_offset + classes.certificate_hits() as i64).max(0) as usize,
-        exact_iso_fallbacks: (fallbacks_offset + classes.exact_fallbacks() as i64).max(0) as usize,
+        certificate_hits: rebase_counter(
+            hits_offset,
+            classes.certificate_hits(),
+            "certificate-hit",
+        )?,
+        exact_iso_fallbacks: rebase_counter(
+            fallbacks_offset,
+            classes.exact_fallbacks(),
+            "exact-isomorphism-fallback",
+        )?,
         truncated: stats.truncated,
         vectors_completed: stats.vectors_completed,
         failures: stats.failures,
@@ -511,6 +644,7 @@ fn write_explore_checkpoint(
     }
     .write(&spec.path)?;
     stats.checkpoints_written += 1;
+    obs.record_duration("checkpoint.write", span.finish());
     Ok(())
 }
 
@@ -533,6 +667,8 @@ pub fn enumerate_instances_supervised(
     for (m, _) in models {
         m.validate()?;
     }
+    let obs = exec.supervisor.obs.clone();
+    let run = obs.span("explore");
     let resolved = resolve_rules(models, rules)?;
     let threads = options.threads.max(1);
     let batch = exec.batch.max(1);
@@ -557,7 +693,9 @@ pub fn enumerate_instances_supervised(
     let mut cp_fallbacks = 0usize;
 
     if let Some(path) = &exec.resume {
+        let span = obs.span("checkpoint.read");
         let cp = ExploreCheckpoint::read(path)?;
+        obs.record_duration("checkpoint.read", span.finish());
         if cp.fingerprint != fingerprint {
             return Err(FsaError::CorruptCheckpoint {
                 reason: "checkpoint was written by a run with a different model/rule/option \
@@ -672,8 +810,12 @@ pub fn enumerate_instances_supervised(
                     reason: "accepted entries reference vectors beyond the frontier".to_owned(),
                 });
             }
-            hits_offset = cp_hits as i64 - classes.certificate_hits() as i64;
-            fallbacks_offset = cp_fallbacks as i64 - classes.exact_fallbacks() as i64;
+            hits_offset = resume_offset(cp_hits, classes.certificate_hits(), "certificate-hit")?;
+            fallbacks_offset = resume_offset(
+                cp_fallbacks,
+                classes.exact_fallbacks(),
+                "exact-isomorphism-fallback",
+            )?;
             rebuilding = false;
         }
 
@@ -698,11 +840,12 @@ pub fn enumerate_instances_supervised(
                         &classes,
                         hits_offset,
                         fallbacks_offset,
+                        &obs,
                     )?;
                 }
                 break 'vectors;
             }
-            let t = Instant::now();
+            let span = obs.span("explore.scan");
             let scan = scan_vector(
                 &resolved,
                 &counts,
@@ -711,7 +854,7 @@ pub fn enumerate_instances_supervised(
                 stats.candidates,
                 Some(&cancel),
             )?;
-            stats.scan_time += t.elapsed();
+            stats.scan_time += span.finish();
             if scan.cancelled {
                 stats.cancelled = true;
                 if let Some(spec) = &exec.checkpoint {
@@ -725,6 +868,7 @@ pub fn enumerate_instances_supervised(
                         &classes,
                         hits_offset,
                         fallbacks_offset,
+                        &obs,
                     )?;
                 }
                 break 'vectors;
@@ -763,20 +907,21 @@ pub fn enumerate_instances_supervised(
                         &classes,
                         hits_offset,
                         fallbacks_offset,
+                        &obs,
                     )?;
                 }
                 break 'vectors;
             }
             let hi = (idx + batch).min(masks.len());
             let slice = &masks[idx..hi];
-            let t = Instant::now();
+            let span = obs.span("explore.build");
             let outcome = exec.supervisor.run_chunks::<Option<Built>, FsaError, _>(
                 "explore:build",
                 threads,
                 slice.len(),
                 |i| build(slice[i]),
             )?;
-            stats.build_time += t.elapsed();
+            stats.build_time += span.finish();
             stats.retries += outcome.retries;
             if outcome.cancelled {
                 // Drop the partial batch: the resumed run redoes it
@@ -793,13 +938,14 @@ pub fn enumerate_instances_supervised(
                         &classes,
                         hits_offset,
                         fallbacks_offset,
+                        &obs,
                     )?;
                 }
                 break 'vectors;
             }
             stats.failures += outcome.failures.len();
             stats.candidates_built += outcome.results.len();
-            let t = Instant::now();
+            let span = obs.span("explore.dedup");
             for (chunk, item) in outcome.results {
                 match item {
                     None => stats.disconnected_skipped += 1,
@@ -814,7 +960,7 @@ pub fn enumerate_instances_supervised(
                     }
                 }
             }
-            stats.dedup_time += t.elapsed();
+            stats.dedup_time += span.finish();
             built_since_ckpt += slice.len();
             idx = hi;
             if idx < masks.len() {
@@ -830,6 +976,7 @@ pub fn enumerate_instances_supervised(
                             &classes,
                             hits_offset,
                             fallbacks_offset,
+                            &obs,
                         )?;
                         built_since_ckpt = 0;
                     }
@@ -855,6 +1002,7 @@ pub fn enumerate_instances_supervised(
                     &classes,
                     hits_offset,
                     fallbacks_offset,
+                    &obs,
                 )?;
                 built_since_ckpt = 0;
             }
@@ -869,8 +1017,12 @@ pub fn enumerate_instances_supervised(
                 reason: "accepted entries reference vectors beyond the frontier".to_owned(),
             });
         }
-        hits_offset = cp_hits as i64 - classes.certificate_hits() as i64;
-        fallbacks_offset = cp_fallbacks as i64 - classes.exact_fallbacks() as i64;
+        hits_offset = resume_offset(cp_hits, classes.certificate_hits(), "certificate-hit")?;
+        fallbacks_offset = resume_offset(
+            cp_fallbacks,
+            classes.exact_fallbacks(),
+            "exact-isomorphism-fallback",
+        )?;
     }
     if !stats.cancelled {
         // Completed (or truncated) run: leave a final boundary
@@ -886,13 +1038,20 @@ pub fn enumerate_instances_supervised(
                 &classes,
                 hits_offset,
                 fallbacks_offset,
+                &obs,
             )?;
         }
     }
     stats.classes = instances.len();
-    stats.certificate_hits = (hits_offset + classes.certificate_hits() as i64).max(0) as usize;
-    stats.exact_iso_fallbacks =
-        (fallbacks_offset + classes.exact_fallbacks() as i64).max(0) as usize;
+    stats.certificate_hits =
+        rebase_counter(hits_offset, classes.certificate_hits(), "certificate-hit")?;
+    stats.exact_iso_fallbacks = rebase_counter(
+        fallbacks_offset,
+        classes.exact_fallbacks(),
+        "exact-isomorphism-fallback",
+    )?;
+    drop(run);
+    stats.mirror_counters(&obs);
     Ok(Exploration { instances, stats })
 }
 
@@ -1174,9 +1333,9 @@ fn explore_vector(
     classes: &mut CertifiedClasses<String>,
     instances: &mut Vec<SosInstance>,
 ) -> Result<bool, FsaError> {
-    let t = Instant::now();
+    let span = options.obs.span("explore.scan");
     let scan = scan_vector(rules, counts, options, threads, stats.candidates, None)?;
-    stats.scan_time += t.elapsed();
+    stats.scan_time += span.finish();
     stats.subsets_total += scan.subsets;
     stats.orbits_skipped += scan.orbits_skipped;
     stats.candidates += scan.canonical.len();
@@ -1190,7 +1349,7 @@ fn explore_vector(
     // Instantiate the canonical subsets (chunked parallel) and compute
     // their shape-graph certificates; merge in mask order so the stream
     // into the class map is bit-identical for every thread count.
-    let t = Instant::now();
+    let span = options.obs.span("explore.build");
     let build = |mask: usize| -> Result<Option<Built>, FsaError> {
         build_candidate(
             models,
@@ -1243,10 +1402,10 @@ fn explore_vector(
             .map(|&m| build(m))
             .collect::<Result<Vec<_>, _>>()?
     };
-    stats.build_time += t.elapsed();
+    stats.build_time += span.finish();
 
     // Stream into the certificate class map.
-    let t = Instant::now();
+    let span = options.obs.span("explore.dedup");
     for item in built {
         let Some((instance, shape, certificate)) = item else {
             stats.disconnected_skipped += 1;
@@ -1259,7 +1418,7 @@ fn explore_vector(
             instances.push(instance);
         }
     }
-    stats.dedup_time += t.elapsed();
+    stats.dedup_time += span.finish();
     stats.truncated |= truncated;
     Ok(truncated)
 }
@@ -2143,6 +2302,134 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, FsaError::CorruptCheckpoint { .. }));
+    }
+
+    #[test]
+    fn observed_exploration_matches_unobserved_and_stats_are_a_snapshot_view() {
+        let models = sensor_and_display();
+        let rules = rules();
+        let plain = enumerate_instances_with_stats(&models, &rules, &ExploreOptions::default())
+            .expect("legacy engine");
+
+        // Legacy engine, observed.
+        let obs = Obs::enabled();
+        let observed = enumerate_instances_with_stats(
+            &models,
+            &rules,
+            &ExploreOptions {
+                obs: obs.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("observed legacy engine");
+        assert_eq!(observed.instances.len(), plain.instances.len());
+        for (a, b) in plain.instances.iter().zip(&observed.instances) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.graph(), b.graph());
+        }
+        let snap = obs.snapshot();
+        let view = ExploreStats::from_snapshot(&snap);
+        assert_eq!(format!("{}", view), format!("{}", observed.stats));
+        assert_eq!(snap.span_count("explore"), 1);
+        assert!(snap.span_count("explore.scan") >= 1);
+        assert!(snap.span_count("explore.build") >= 1);
+        assert!(snap.span_count("explore.dedup") >= 1);
+
+        // Supervised engine, observed, with checkpoint timing.
+        let path = std::env::temp_dir().join(format!(
+            "fsa_explore_obs_{}_{:?}.ckpt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let obs = Obs::enabled();
+        let exec = ExecOptions {
+            supervisor: Supervisor::new().with_obs(obs.clone()),
+            checkpoint: Some(CheckpointSpec {
+                path: path.clone(),
+                every: 1,
+            }),
+            ..Default::default()
+        };
+        let sup =
+            enumerate_instances_supervised(&models, &rules, &ExploreOptions::default(), &exec)
+                .expect("supervised engine");
+        assert_eq!(sup.instances.len(), plain.instances.len());
+        let snap = obs.snapshot();
+        let view = ExploreStats::from_snapshot(&snap);
+        assert_eq!(format!("{}", view), format!("{}", sup.stats));
+        assert!(snap.span_count("checkpoint.write") >= 1);
+        assert_eq!(
+            snap.counter("explore.checkpoints_written"),
+            Some(sup.stats.checkpoints_written as u64)
+        );
+        assert_eq!(
+            snap.histogram("checkpoint.write").map(|h| h.count),
+            Some(sup.stats.checkpoints_written as u64)
+        );
+        assert_eq!(
+            snap.counter("supervisor.chunks"),
+            Some(sup.stats.candidates_built as u64)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_counters() {
+        // Regression: checkpoint counters used to be re-based with
+        // `(offset + n as i64).max(0) as usize`, silently clamping a
+        // wrapped/underflowed counter to zero. A tampered (or
+        // bit-rotted) counter must instead fail closed.
+        let models = sensor_and_display();
+        let rules = rules();
+        let path = std::env::temp_dir().join(format!(
+            "fsa_explore_badctr_{}_{:?}.ckpt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let exec = ExecOptions {
+            checkpoint: Some(CheckpointSpec {
+                path: path.clone(),
+                every: 1,
+            }),
+            ..Default::default()
+        };
+        enumerate_instances_supervised(&models, &rules, &ExploreOptions::default(), &exec).unwrap();
+
+        // Tamper: a counter far beyond any reachable magnitude (wraps
+        // negative through an unchecked `as i64` conversion).
+        let mut cp = ExploreCheckpoint::read(&path).unwrap();
+        cp.counters.certificate_hits = usize::MAX;
+        cp.write(&path).unwrap();
+        let err = enumerate_instances_supervised(
+            &models,
+            &rules,
+            &ExploreOptions::default(),
+            &ExecOptions {
+                resume: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, FsaError::CorruptCheckpoint { reason }
+                if reason.contains("certificate-hit")),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn counter_rebase_fails_closed_on_underflow() {
+        assert_eq!(rebase_counter(-3, 10, "certificate-hit").unwrap(), 7);
+        assert_eq!(rebase_counter(5, 0, "certificate-hit").unwrap(), 5);
+        let err = rebase_counter(-11, 10, "certificate-hit").unwrap_err();
+        assert!(
+            matches!(&err, FsaError::CorruptCheckpoint { reason }
+                if reason.contains("underflow")),
+            "got {err:?}"
+        );
+        assert!(resume_offset(usize::MAX, 0, "certificate-hit").is_err());
+        assert_eq!(resume_offset(3, 10, "certificate-hit").unwrap(), -7);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::cancel::CancelToken;
 #[cfg(feature = "chaos")]
 use crate::chaos::FaultPlan;
+use fsa_obs::Obs;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -135,6 +136,11 @@ pub struct Supervisor {
     pub retry: RetryPolicy,
     /// Cooperative cancellation, checked at chunk boundaries.
     pub cancel: CancelToken,
+    /// Observability handle. The default ([`Obs::disabled`]) records
+    /// nothing and costs one branch per event; an enabled handle counts
+    /// per-chunk attempts, retries, backoff delay (log2 histogram), and
+    /// quarantine events.
+    pub obs: Obs,
     #[cfg(feature = "chaos")]
     fault_plan: Option<Arc<FaultPlan>>,
 }
@@ -158,6 +164,13 @@ impl Supervisor {
     #[must_use]
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Installs an observability handle (see [`Obs`]).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -266,6 +279,9 @@ impl Supervisor {
         }
         results.sort_by_key(|(chunk, _)| *chunk);
         failures.sort_by_key(|failure| failure.chunk);
+        if cancelled {
+            self.obs.counter_add("supervisor.cancelled_stages", 1);
+        }
         Ok(Outcome {
             results,
             failures,
@@ -273,6 +289,14 @@ impl Supervisor {
             chunks_total: chunks,
             retries,
         })
+    }
+
+    /// Per-chunk accounting: one `supervisor.chunks` tick plus the
+    /// number of attempts the chunk consumed (1 when nothing panicked).
+    fn record_chunk_done(&self, attempts: u32) {
+        self.obs.counter_add("supervisor.chunks", 1);
+        self.obs
+            .counter_add("supervisor.attempts", u64::from(attempts));
     }
 
     /// One chunk: fault-plan hooks, `catch_unwind`, retry loop.
@@ -296,11 +320,19 @@ impl Supervisor {
                 f(chunk)
             }));
             match run {
-                Ok(Ok(v)) => return ChunkRun::Done(v),
-                Ok(Err(e)) => return ChunkRun::Error(e),
+                Ok(Ok(v)) => {
+                    self.record_chunk_done(attempt + 1);
+                    return ChunkRun::Done(v);
+                }
+                Ok(Err(e)) => {
+                    self.record_chunk_done(attempt + 1);
+                    return ChunkRun::Error(e);
+                }
                 Err(payload) => {
                     let message = panic_message(payload.as_ref());
                     if attempt >= self.retry.max_retries {
+                        self.record_chunk_done(attempt + 1);
+                        self.obs.counter_add("supervisor.quarantined", 1);
                         return ChunkRun::Failed(ChunkFailure {
                             stage: stage.to_owned(),
                             chunk,
@@ -308,7 +340,10 @@ impl Supervisor {
                             message,
                         });
                     }
-                    std::thread::sleep(self.retry.backoff(stage, chunk, attempt));
+                    let delay = self.retry.backoff(stage, chunk, attempt);
+                    self.obs.counter_add("supervisor.retries", 1);
+                    self.obs.record_duration("supervisor.backoff", delay);
+                    std::thread::sleep(delay);
                     *retries += 1;
                     attempt += 1;
                 }
@@ -513,5 +548,42 @@ mod tests {
         let grow0 = p.backoff("s", 0, 0);
         let grow4 = p.backoff("s", 0, 4);
         assert!(grow4 > grow0, "exponential part grows");
+    }
+
+    #[test]
+    fn observability_counts_attempts_retries_and_quarantines() {
+        let obs = Obs::enabled();
+        let sup = Supervisor::new()
+            .with_retry(RetryPolicy {
+                max_retries: 1,
+                base_delay: Duration::from_micros(10),
+                ..RetryPolicy::default()
+            })
+            .with_obs(obs.clone());
+        let out = sup
+            .run_chunks::<usize, (), _>("test:obs", 2, 8, |i| {
+                assert!(i != 5, "chunk 5 always panics");
+                Ok(i)
+            })
+            .expect("panics are not app errors");
+        assert_eq!(out.failures.len(), 1);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("supervisor.chunks"), Some(8));
+        // 7 clean chunks × 1 attempt + chunk 5 × 2 attempts.
+        assert_eq!(snap.counter("supervisor.attempts"), Some(9));
+        assert_eq!(snap.counter("supervisor.retries"), Some(1));
+        assert_eq!(snap.counter("supervisor.quarantined"), Some(1));
+        let hist = snap.histogram("supervisor.backoff").expect("one delay");
+        assert_eq!(hist.count, 1);
+        assert!(hist.min_ns >= 10_000, "backoff >= base delay");
+    }
+
+    #[test]
+    fn observability_disabled_by_default_records_nothing() {
+        let sup = Supervisor::new();
+        assert!(!sup.obs.is_enabled());
+        let out = squares(&sup, 2, 16);
+        assert!(out.is_complete());
+        assert!(sup.obs.snapshot().counters.is_empty());
     }
 }

@@ -1,0 +1,151 @@
+//! Log2-bucketed duration histograms.
+//!
+//! Bucket `i` counts samples whose nanosecond value `v` satisfies
+//! `floor(log2(max(v, 1))) == i`, i.e. `2^i <= v < 2^(i+1)` (bucket 0
+//! additionally holds `v == 0`). 64 buckets cover the entire `u64`
+//! range, so no sample is ever dropped or clamped.
+
+use std::time::Duration;
+
+/// Number of log2 buckets (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of durations (in nanoseconds) with exact
+/// count / sum / min / max side-car statistics.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// Bucket index for a nanosecond sample: `floor(log2(max(v, 1)))`.
+pub(crate) fn bucket_index(ns: u64) -> usize {
+    (63 - (ns | 1).leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one duration sample.
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(crate::duration_ns(d));
+    }
+
+    /// Record one raw nanosecond sample.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_index(ns)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples in nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Smallest sample in nanoseconds (`None` when empty).
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Largest sample in nanoseconds (`None` when empty).
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_ns)
+    }
+
+    /// Sparse view of the non-empty buckets as `(index, count)` pairs,
+    /// in ascending index order.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn records_track_count_sum_min_max() {
+        let mut h = Histogram::default();
+        assert_eq!(h.min_ns(), None);
+        assert_eq!(h.max_ns(), None);
+        for ns in [5u64, 1, 1024, 1023] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 5 + 1 + 1024 + 1023);
+        assert_eq!(h.min_ns(), Some(1));
+        assert_eq!(h.max_ns(), Some(1024));
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (2, 1), (9, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn merge_combines_all_statistics() {
+        let mut a = Histogram::default();
+        a.record_ns(4);
+        let mut b = Histogram::default();
+        b.record_ns(1 << 20);
+        b.record_ns(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min_ns(), Some(2));
+        assert_eq!(a.max_ns(), Some(1 << 20));
+        assert_eq!(a.nonzero_buckets(), vec![(1, 1), (2, 1), (20, 1)]);
+        // merging an empty histogram is a no-op
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.min_ns(), before.min_ns());
+    }
+}

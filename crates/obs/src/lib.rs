@@ -1,0 +1,73 @@
+//! # `fsa_obs` — unified observability for the FSA pipeline
+//!
+//! A deliberately dependency-free instrumentation layer shared by every
+//! stage of the pipeline (functional model → APA reachability →
+//! homomorphism dependence checks → elicited `auth(x,y,P)` requirements)
+//! and by the runtime/exec extensions. It provides:
+//!
+//! * **Hierarchical spans** — [`Span::enter`] / [`Obs::span`] RAII guards
+//!   with monotonic timing and parent links (per-thread nesting stack).
+//!   A finished span both records itself into the registry *and* returns
+//!   its measured [`Duration`], so the pre-existing public stats structs
+//!   (`PipelineStats`, `ExploreStats`, `MonitorStats`, …) keep their
+//!   exact values and byte-identical `Display` output.
+//! * **A thread-safe [`Registry`]** of named monotonic counters and
+//!   log2-bucketed duration [`Histogram`]s, addressed through the cheap
+//!   clonable [`Obs`] handle.
+//! * **Exporters** — a JSON Lines event stream ([`Snapshot::to_jsonl`]),
+//!   the chrome://tracing `trace_events` format
+//!   ([`Snapshot::to_trace_json`]), and a single stable-key-order stats
+//!   object ([`Snapshot::to_stats_json`]) with a versioned schema
+//!   ([`SCHEMA_VERSION`], [`SCHEMA_NAME`]).
+//!
+//! ## Disabled-mode fast path
+//!
+//! [`Obs::disabled`] (also the `Default`) carries no registry at all:
+//! every operation is a branch on `Option::None` — **no allocation, no
+//! locking, no atomics**. Creating a span still takes one
+//! `Instant::now()` so engine code can keep filling its stats structs
+//! from `span.finish()`; the overhead budget (< 2 % on the reference
+//! workloads) is priced in `benches/observability.rs`.
+//!
+//! ```
+//! use fsa_obs::{Obs, Span};
+//!
+//! let obs = Obs::enabled();
+//! {
+//!     let outer = Span::enter(&obs, "pipeline");
+//!     let inner = obs.span("stage");
+//!     obs.counter_add("pairs.total", 12);
+//!     let took = inner.finish(); // Duration, recorded into the registry
+//!     obs.record_duration("stage.hist", took);
+//!     drop(outer);
+//! }
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.schema_version, fsa_obs::SCHEMA_VERSION);
+//! assert_eq!(snap.counter("pairs.total"), Some(12));
+//! assert!(snap.to_stats_json().contains("\"schema_version\":1"));
+//! ```
+
+mod histogram;
+mod json;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use histogram::{Histogram, BUCKETS};
+pub use registry::{Obs, Registry};
+pub use snapshot::{CounterRecord, HistogramRecord, Snapshot, SpanRecord};
+pub use span::Span;
+
+use std::time::Duration;
+
+/// Stable schema identifier embedded in every export.
+pub const SCHEMA_NAME: &str = "fsa-obs/v1";
+
+/// Monotonically increasing schema version; bump on any change to the
+/// exported field set or key order (documented in DESIGN.md §2.9).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Convenience: duration → whole nanoseconds, saturating at `u64::MAX`.
+pub(crate) fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}

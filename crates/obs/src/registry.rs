@@ -1,0 +1,244 @@
+//! The thread-safe registry and the cheap [`Obs`] handle.
+
+use crate::histogram::Histogram;
+use crate::snapshot::{CounterRecord, HistogramRecord, Snapshot, SpanRecord};
+use crate::span::Span;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The shared state behind an enabled [`Obs`] handle: completed spans,
+/// named counters, and named duration histograms, all keyed
+/// deterministically (`BTreeMap`) so exports have a stable order.
+#[derive(Debug)]
+pub struct Registry {
+    epoch: Instant,
+    next_span: AtomicU64,
+    state: Mutex<State>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A poisoned registry only means a panicking thread held the
+        // lock mid-update; observability data stays best-effort usable.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Handle to the observability layer.
+///
+/// Cloning is `O(1)` (an `Option<Arc>` bump). The disabled handle
+/// ([`Obs::disabled`], also [`Default`]) carries `None` and makes every
+/// operation a single branch: no allocation, no locking, no atomics.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Obs {
+    /// A no-op handle: records nothing, allocates nothing, locks nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recording handle backed by a fresh [`Registry`].
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Registry::new())),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Nanoseconds since this registry's epoch (0 when disabled).
+    pub(crate) fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(r) => crate::duration_ns(r.epoch.elapsed()),
+            None => 0,
+        }
+    }
+
+    /// Allocate a fresh span id (0 when disabled; real ids start at 1).
+    pub(crate) fn alloc_span_id(&self) -> u64 {
+        match &self.inner {
+            Some(r) => r.next_span.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Record a completed span.
+    pub(crate) fn push_span(&self, record: SpanRecord) {
+        if let Some(r) = &self.inner {
+            r.lock().spans.push(record);
+        }
+    }
+
+    /// Open a new span named `name`, parented under the innermost open
+    /// span **on this thread** (if any). Equivalent to
+    /// [`Span::enter`]`(self, name)`.
+    #[must_use = "dropping the guard immediately records a zero-length span"]
+    pub fn span(&self, name: &'static str) -> Span {
+        Span::enter(self, name)
+    }
+
+    /// Open a new span with an explicit parent id (for spans created on
+    /// worker threads whose logical parent lives on another thread).
+    /// `parent` of `None` makes a root span.
+    #[must_use = "dropping the guard immediately records a zero-length span"]
+    pub fn span_under(&self, name: &'static str, parent: Option<u64>) -> Span {
+        Span::enter_under(self, name, parent)
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(r) = &self.inner {
+            let mut state = r.lock();
+            match state.counters.get_mut(name) {
+                Some(v) => *v = v.saturating_add(delta),
+                None => {
+                    state.counters.insert(name.to_owned(), delta);
+                }
+            }
+        }
+    }
+
+    /// Record one duration sample into the named log2 histogram.
+    pub fn record_duration(&self, name: &str, d: Duration) {
+        if let Some(r) = &self.inner {
+            let mut state = r.lock();
+            match state.histograms.get_mut(name) {
+                Some(h) => h.record(d),
+                None => {
+                    let mut h = Histogram::default();
+                    h.record(d);
+                    state.histograms.insert(name.to_owned(), h);
+                }
+            }
+        }
+    }
+
+    /// Freeze the current contents into an exportable [`Snapshot`].
+    /// A disabled handle yields the empty snapshot (still carrying the
+    /// schema version, so exports are well-formed either way).
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            None => Snapshot::empty(),
+            Some(r) => {
+                let state = r.lock();
+                let mut spans = state.spans.clone();
+                // Deterministic export order: by start time, then id.
+                spans.sort_by_key(|s| (s.start_ns, s.id));
+                Snapshot {
+                    schema_version: crate::SCHEMA_VERSION,
+                    spans,
+                    counters: state
+                        .counters
+                        .iter()
+                        .map(|(name, &value)| CounterRecord {
+                            name: name.clone(),
+                            value,
+                        })
+                        .collect(),
+                    histograms: state
+                        .histograms
+                        .iter()
+                        .map(|(name, h)| HistogramRecord {
+                            name: name.clone(),
+                            count: h.count(),
+                            sum_ns: h.sum_ns(),
+                            min_ns: h.min_ns().unwrap_or(0),
+                            max_ns: h.max_ns().unwrap_or(0),
+                            buckets: h.nonzero_buckets(),
+                        })
+                        .collect(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.counter_add("x", 3);
+        obs.record_duration("y", Duration::from_millis(1));
+        let sp = obs.span("z");
+        let d = sp.finish();
+        assert!(d <= Duration::from_secs(1));
+        let snap = obs.snapshot();
+        assert_eq!(snap.schema_version, crate::SCHEMA_VERSION);
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let obs = Obs::enabled();
+        obs.counter_add("a", 2);
+        obs.counter_add("a", 3);
+        obs.counter_add("b", u64::MAX);
+        obs.counter_add("b", 10);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.counter("b"), Some(u64::MAX));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let obs = Obs::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        obs.counter_add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.snapshot().counter("n"), Some(4000));
+    }
+
+    #[test]
+    fn snapshot_orders_counters_and_histograms_by_name() {
+        let obs = Obs::enabled();
+        obs.counter_add("zeta", 1);
+        obs.counter_add("alpha", 1);
+        obs.record_duration("late", Duration::from_nanos(5));
+        obs.record_duration("early", Duration::from_nanos(9));
+        let snap = obs.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        let hnames: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(hnames, vec!["early", "late"]);
+    }
+}

@@ -1,0 +1,220 @@
+//! RAII span guards with monotonic timing and per-thread parent links.
+
+use crate::registry::Obs;
+use crate::snapshot::SpanRecord;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Process-wide ordinal thread ids (1-based, assigned lazily on first
+/// use), stable for the lifetime of a thread; exported as the `tid` of
+/// chrome-tracing events.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Stack of currently-open enabled span ids on this thread.
+    static OPEN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// An open span: a timed region of work with a name, a parent, and a
+/// thread. Close it explicitly with [`Span::finish`] (which returns the
+/// measured [`Duration`], so callers can keep filling their legacy stats
+/// structs), or let it drop.
+///
+/// Spans opened through a **disabled** [`Obs`] handle skip the registry
+/// and the per-thread nesting stack entirely; only the `Instant::now()`
+/// needed for [`Span::finish`]'s return value remains.
+#[must_use = "dropping the guard immediately records a zero-length span"]
+#[derive(Debug)]
+pub struct Span {
+    obs: Obs,
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start_ns: u64,
+    start: Instant,
+    closed: bool,
+}
+
+impl Span {
+    /// Open a span parented under the innermost open span on this thread.
+    pub fn enter(obs: &Obs, name: &'static str) -> Span {
+        if !obs.is_enabled() {
+            return Span::noop(name);
+        }
+        let parent = OPEN.with(|open| open.borrow().last().copied());
+        Span::open(obs, name, parent)
+    }
+
+    /// Open a span with an explicit parent id (cross-thread parenting).
+    pub fn enter_under(obs: &Obs, name: &'static str, parent: Option<u64>) -> Span {
+        if !obs.is_enabled() {
+            return Span::noop(name);
+        }
+        Span::open(obs, name, parent)
+    }
+
+    fn open(obs: &Obs, name: &'static str, parent: Option<u64>) -> Span {
+        let id = obs.alloc_span_id();
+        OPEN.with(|open| open.borrow_mut().push(id));
+        Span {
+            obs: obs.clone(),
+            name,
+            id,
+            parent,
+            start_ns: obs.now_ns(),
+            start: Instant::now(),
+            closed: false,
+        }
+    }
+
+    fn noop(name: &'static str) -> Span {
+        Span {
+            obs: Obs::disabled(),
+            name,
+            id: 0,
+            parent: None,
+            start_ns: 0,
+            start: Instant::now(),
+            closed: false,
+        }
+    }
+
+    /// This span's id (0 for disabled spans). Pass to
+    /// [`Obs::span_under`] to parent work on another thread under this
+    /// span.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Close the span and return its measured duration. The duration is
+    /// measured from the same monotonic clock whether or not recording
+    /// is enabled, so engine stats stay identical in both modes.
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if self.closed {
+            return elapsed;
+        }
+        self.closed = true;
+        if self.id != 0 {
+            OPEN.with(|open| {
+                let mut open = open.borrow_mut();
+                if let Some(pos) = open.iter().rposition(|&id| id == self.id) {
+                    open.remove(pos);
+                }
+            });
+            self.obs.push_span(SpanRecord {
+                id: self.id,
+                parent: self.parent,
+                name: self.name.to_owned(),
+                tid: current_tid(),
+                start_ns: self.start_ns,
+                dur_ns: crate::duration_ns(elapsed),
+            });
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_link_parents_on_one_thread() {
+        let obs = Obs::enabled();
+        let outer = Span::enter(&obs, "outer");
+        let outer_id = outer.id();
+        let inner = obs.span("inner");
+        let inner_id = inner.id();
+        drop(inner);
+        let sibling = obs.span("sibling");
+        drop(sibling);
+        drop(outer);
+        let after = obs.span("after");
+        drop(after);
+
+        let snap = obs.snapshot();
+        let find = |n: &str| snap.spans.iter().find(|s| s.name == n).unwrap();
+        assert_ne!(outer_id, inner_id);
+        assert_eq!(find("outer").parent, None);
+        assert_eq!(find("inner").parent, Some(outer_id));
+        assert_eq!(find("sibling").parent, Some(outer_id));
+        assert_eq!(find("after").parent, None);
+        assert!(find("outer").dur_ns >= find("inner").dur_ns);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let obs = Obs::enabled();
+        let root = obs.span("root");
+        let root_id = root.id();
+        std::thread::scope(|scope| {
+            let obs = obs.clone();
+            scope.spawn(move || {
+                let child = obs.span_under("worker", Some(root_id));
+                drop(child);
+            });
+        });
+        drop(root);
+        let snap = obs.snapshot();
+        let worker = snap.spans.iter().find(|s| s.name == "worker").unwrap();
+        let root = snap.spans.iter().find(|s| s.name == "root").unwrap();
+        assert_eq!(worker.parent, Some(root_id));
+        assert_ne!(worker.tid, root.tid);
+    }
+
+    #[test]
+    fn finish_returns_duration_and_records_once() {
+        let obs = Obs::enabled();
+        let span = obs.span("once");
+        std::thread::sleep(Duration::from_millis(1));
+        let d = span.finish();
+        assert!(d >= Duration::from_millis(1));
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert!(snap.spans[0].dur_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn out_of_order_close_does_not_corrupt_the_stack() {
+        let obs = Obs::enabled();
+        let a = obs.span("a");
+        let b = obs.span("b");
+        drop(a); // closed before its child
+        let c = obs.span("c"); // should parent under b (still open)
+        let b_id = b.id();
+        drop(c);
+        drop(b);
+        let snap = obs.snapshot();
+        let c = snap.spans.iter().find(|s| s.name == "c").unwrap();
+        assert_eq!(c.parent, Some(b_id));
+    }
+
+    #[test]
+    fn disabled_spans_touch_no_state() {
+        let obs = Obs::disabled();
+        let a = obs.span("a");
+        assert_eq!(a.id(), 0);
+        let d = a.finish();
+        assert!(d < Duration::from_secs(1));
+        assert!(obs.snapshot().spans.is_empty());
+    }
+}

@@ -21,8 +21,9 @@ use crate::error::RuntimeError;
 use apa::sim::{Fault, Simulator};
 use apa::Apa;
 use fsa_exec::{ChunkFailure, Supervisor};
+use fsa_obs::Obs;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of one fleet run.
 #[derive(Debug, Clone)]
@@ -43,6 +44,15 @@ pub struct FleetConfig {
     /// Longest counterexample prefix retained per violation (the tail
     /// ending at the violating event; longer prefixes are truncated).
     pub prefix_limit: usize,
+    /// Observability handle. [`Obs::disabled`] (the default) records
+    /// nothing and costs one branch per probe; an enabled handle gets
+    /// the `fleet` root span, per-stream `fleet.simulate`/`fleet.check`
+    /// spans + histograms (the per-shard split), the `fleet.merge`
+    /// span, and the `fleet.*` counters mirrored from [`MonitorStats`].
+    /// Supervised runs record their `supervisor.*` series through the
+    /// [`Supervisor`]'s own handle; point both at the same registry for
+    /// a unified trace.
+    pub obs: Obs,
 }
 
 impl Default for FleetConfig {
@@ -54,6 +64,7 @@ impl Default for FleetConfig {
             threads: 1,
             fault: None,
             prefix_limit: 64,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -161,6 +172,53 @@ impl fmt::Display for MonitorStats {
     }
 }
 
+impl MonitorStats {
+    /// Reconstructs the stats from an observability
+    /// [`Snapshot`](fsa_obs::Snapshot) of a single fleet run — the
+    /// struct is a *view* over the snapshot: `compile`, `simulate`,
+    /// `check` and `wall` come from the `fleet.compile` /
+    /// `fleet.simulate` / `fleet.check` / `fleet` span totals,
+    /// everything else from the mirrored `fleet.*` counters
+    /// (`events_per_sec` is derived with the same formula the live
+    /// path uses). Only meaningful when the registry observed exactly
+    /// one run.
+    pub fn from_snapshot(snapshot: &fsa_obs::Snapshot) -> MonitorStats {
+        let wall = snapshot.span_total("fleet");
+        let events = snapshot.counter("fleet.events").unwrap_or(0);
+        MonitorStats {
+            compile: snapshot.span_total("fleet.compile"),
+            simulate: snapshot.span_total("fleet.simulate"),
+            check: snapshot.span_total("fleet.check"),
+            wall,
+            events,
+            events_per_sec: events as f64 / wall.as_secs_f64().max(f64::EPSILON),
+            shard_events: snapshot
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with("fleet.shard."))
+                .map(|c| c.value)
+                .collect(),
+            threads: snapshot.counter("fleet.threads").unwrap_or(0) as usize,
+        }
+    }
+
+    /// Mirrors the scalar fields into the registry's counters so a
+    /// snapshot self-describes (see [`MonitorStats::from_snapshot`]).
+    /// Shard counters are zero-padded (`fleet.shard.0007.events`) so
+    /// the registry's lexicographic order is the worker order. No-op
+    /// when `obs` is disabled.
+    fn mirror_counters(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter_add("fleet.events", self.events);
+        obs.counter_add("fleet.threads", self.threads as u64);
+        for (w, &ev) in self.shard_events.iter().enumerate() {
+            obs.counter_add(&format!("fleet.shard.{w:04}.events"), ev);
+        }
+    }
+}
+
 /// The result of one fleet run: per-monitor verdicts (deterministic)
 /// plus throughput statistics (timing-dependent).
 #[derive(Debug, Clone)]
@@ -265,16 +323,23 @@ fn derive_seed(seed: u64, stream: u64, episode: u64) -> u64 {
 }
 
 /// Runs one stream: simulate episodes, inject the fault, check.
+///
+/// `root` is the id of the fleet's root span, so per-stream spans on
+/// worker threads parent correctly across threads. The [`WorkerLog`]
+/// is filled from the *same* measurements the spans record, which is
+/// what keeps [`MonitorStats`] identical whether or not observability
+/// is enabled.
 fn run_stream(
     apa: &Apa,
     bank: &MonitorBank,
     apa_to_bank: &[u32],
     cfg: &FleetConfig,
     stream: usize,
+    root: Option<u64>,
     log: &mut WorkerLog,
 ) -> Result<StreamResult, RuntimeError> {
     // --- Simulate: assemble the event stream episode by episode. -----
-    let t0 = Instant::now();
+    let span = cfg.obs.span_under("fleet.simulate", root);
     let mut events: Vec<u32> = Vec::with_capacity(cfg.events_per_stream);
     let mut episode = 0u64;
     while events.len() < cfg.events_per_stream {
@@ -299,13 +364,17 @@ fn run_stream(
             || target.unwrap_or_else(|| bank.other_symbol()),
         );
     }
-    log.simulate += t0.elapsed();
+    let simulated = span.finish();
+    log.simulate += simulated;
+    cfg.obs.record_duration("fleet.simulate", simulated);
 
     // --- Check: one fused sweep per event. ---------------------------
-    let t1 = Instant::now();
+    let span = cfg.obs.span_under("fleet.check", root);
     let mut run = bank.start();
     bank.feed(&mut run, &events);
-    log.check += t1.elapsed();
+    let checked = span.finish();
+    log.check += checked;
+    cfg.obs.record_duration("fleet.check", checked);
     log.events += run.events;
 
     let violations = extract_violations(bank, &run, &events, cfg.prefix_limit)?;
@@ -368,7 +437,8 @@ pub fn run_fleet(
     if cfg.streams == 0 {
         return Err(RuntimeError::NoStreams);
     }
-    let wall = Instant::now();
+    let run = cfg.obs.span("fleet");
+    let root = Some(run.id()).filter(|&id| id != 0);
     // Automaton index → bank event symbol, computed once.
     let apa_to_bank: Vec<u32> = apa
         .automaton_names()
@@ -384,7 +454,7 @@ pub fn run_fleet(
     if threads <= 1 {
         let log = &mut logs[0];
         for (i, slot) in results.iter_mut().enumerate() {
-            *slot = Some(run_stream(apa, bank, &apa_to_bank, cfg, i, log));
+            *slot = Some(run_stream(apa, bank, &apa_to_bank, cfg, i, root, log));
         }
     } else {
         std::thread::scope(|scope| {
@@ -395,7 +465,7 @@ pub fn run_fleet(
                 scope.spawn(move || {
                     for (k, slot) in chunk_slots.iter_mut().enumerate() {
                         let i = w * chunk + k;
-                        *slot = Some(run_stream(apa, bank, apa_to_bank, cfg, i, log));
+                        *slot = Some(run_stream(apa, bank, apa_to_bank, cfg, i, root, log));
                     }
                 });
             }
@@ -403,6 +473,7 @@ pub fn run_fleet(
     }
 
     // Deterministic merge in stream order.
+    let merge = cfg.obs.span("fleet.merge");
     let mut counts = vec![0usize; bank.len()];
     let mut firsts: Vec<Option<Counterexample>> = vec![None; bank.len()];
     let mut total_events = 0u64;
@@ -432,7 +503,8 @@ pub fn run_fleet(
             first,
         })
         .collect();
-    let wall = wall.elapsed();
+    drop(merge);
+    let wall = run.finish();
     let stats = MonitorStats {
         compile: Duration::ZERO,
         simulate: logs.iter().map(|l| l.simulate).sum(),
@@ -443,6 +515,7 @@ pub fn run_fleet(
         shard_events: logs.iter().map(|l| l.events).collect(),
         threads,
     };
+    stats.mirror_counters(&cfg.obs);
     Ok(FleetReport {
         verdicts,
         streams: cfg.streams,
@@ -482,7 +555,8 @@ pub fn run_fleet_supervised(
     if cfg.streams == 0 {
         return Err(RuntimeError::NoStreams);
     }
-    let wall = Instant::now();
+    let run = cfg.obs.span("fleet");
+    let root = Some(run.id()).filter(|&id| id != 0);
     let apa_to_bank: Vec<u32> = apa
         .automaton_names()
         .map(|n| bank.event_symbol(n))
@@ -495,13 +569,14 @@ pub fn run_fleet_supervised(
         cfg.streams,
         |i| {
             let mut log = WorkerLog::default();
-            let sr = run_stream(apa, bank, &apa_to_bank, cfg, i, &mut log)?;
+            let sr = run_stream(apa, bank, &apa_to_bank, cfg, i, root, &mut log)?;
             Ok((sr, log))
         },
     )?;
 
     // Deterministic merge in stream order over the completed streams
     // (outcome.results is sorted ascending by chunk = stream index).
+    let merge = cfg.obs.span("fleet.merge");
     let mut counts = vec![0usize; bank.len()];
     let mut firsts: Vec<Option<Counterexample>> = vec![None; bank.len()];
     let mut total_events = 0u64;
@@ -533,7 +608,8 @@ pub fn run_fleet_supervised(
             first,
         })
         .collect();
-    let wall = wall.elapsed();
+    drop(merge);
+    let wall = run.finish();
     let stats = MonitorStats {
         compile: Duration::ZERO,
         simulate: logs.iter().map(|l| l.simulate).sum(),
@@ -544,6 +620,7 @@ pub fn run_fleet_supervised(
         shard_events: logs.iter().map(|l| l.events).collect(),
         threads,
     };
+    stats.mirror_counters(&cfg.obs);
     Ok(FleetReport {
         verdicts,
         streams: cfg.streams,
@@ -566,9 +643,9 @@ pub fn monitor_apa(
     set: &fsa_core::requirements::RequirementSet,
     cfg: &FleetConfig,
 ) -> Result<(MonitorBank, FleetReport), RuntimeError> {
-    let t = Instant::now();
+    let span = cfg.obs.span("fleet.compile");
     let bank = MonitorBank::for_apa(set, apa)?;
-    let compile = t.elapsed();
+    let compile = span.finish();
     let mut report = run_fleet(apa, &bank, cfg)?;
     report.stats.compile = compile;
     Ok((bank, report))
@@ -587,9 +664,9 @@ pub fn monitor_apa_supervised(
     cfg: &FleetConfig,
     supervisor: &Supervisor,
 ) -> Result<(MonitorBank, FleetReport), RuntimeError> {
-    let t = Instant::now();
+    let span = cfg.obs.span("fleet.compile");
     let bank = MonitorBank::for_apa(set, apa)?;
-    let compile = t.elapsed();
+    let compile = span.finish();
     let mut report = run_fleet_supervised(apa, &bank, cfg, supervisor)?;
     report.stats.compile = compile;
     Ok((bank, report))
@@ -926,5 +1003,88 @@ mod tests {
         let rendered = s.to_string();
         assert!(rendered.contains("events/sec"));
         assert!(rendered.contains("shard balance"));
+    }
+
+    #[test]
+    fn observed_fleet_matches_unobserved_and_stats_are_a_snapshot_view() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let plain_cfg = FleetConfig {
+            threads: 2,
+            ..FleetConfig::default()
+        };
+        let (_, plain) = monitor_apa(&apa, &set, &plain_cfg).unwrap();
+
+        let obs = Obs::enabled();
+        let cfg = FleetConfig {
+            threads: 2,
+            obs: obs.clone(),
+            ..FleetConfig::default()
+        };
+        let (_, observed) = monitor_apa(&apa, &set, &cfg).unwrap();
+
+        // Observability never changes the deterministic report.
+        assert_eq!(observed.render(), plain.render());
+
+        // The stats struct is a thin view over the snapshot.
+        let snap = obs.snapshot();
+        let view = MonitorStats::from_snapshot(&snap);
+        assert_eq!(format!("{view}"), format!("{}", observed.stats));
+        assert_eq!(view.shard_events, observed.stats.shard_events);
+
+        // Span inventory: one root, one compile, one merge, one
+        // simulate + check pair per stream.
+        assert_eq!(snap.span_count("fleet"), 1);
+        assert_eq!(snap.span_count("fleet.compile"), 1);
+        assert_eq!(snap.span_count("fleet.merge"), 1);
+        assert_eq!(snap.span_count("fleet.simulate"), cfg.streams);
+        assert_eq!(snap.span_count("fleet.check"), cfg.streams);
+        assert_eq!(snap.counter("fleet.events"), Some(observed.events));
+        assert_eq!(snap.counter("fleet.threads"), Some(2));
+        let h = snap.histogram("fleet.check").unwrap();
+        assert_eq!(h.count, cfg.streams as u64);
+
+        // Worker-thread spans parent under the fleet root even though
+        // they were recorded on other threads.
+        let root_id = snap.spans.iter().find(|s| s.name == "fleet").unwrap().id;
+        assert!(snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "fleet.simulate" || s.name == "fleet.check")
+            .all(|s| s.parent == Some(root_id)));
+    }
+
+    #[test]
+    fn observed_supervised_fleet_matches_unobserved() {
+        let apa = pipeline_apa();
+        let set = reqs(&[("first", "second")]);
+        let plain_cfg = FleetConfig {
+            threads: 2,
+            ..FleetConfig::default()
+        };
+        let (_, plain) = monitor_apa(&apa, &set, &plain_cfg).unwrap();
+
+        let obs = Obs::enabled();
+        let cfg = FleetConfig {
+            threads: 2,
+            obs: obs.clone(),
+            ..FleetConfig::default()
+        };
+        // Same registry for the supervisor's own series: one trace.
+        let sup = Supervisor::new().with_obs(obs.clone());
+        let (_, observed) = monitor_apa_supervised(&apa, &set, &cfg, &sup).unwrap();
+        assert!(observed.is_complete());
+        assert_eq!(observed.render(), plain.render());
+
+        let snap = obs.snapshot();
+        let view = MonitorStats::from_snapshot(&snap);
+        assert_eq!(format!("{view}"), format!("{}", observed.stats));
+        assert_eq!(snap.span_count("fleet.simulate"), cfg.streams);
+        // One supervised chunk per stream, all first-try successes.
+        assert_eq!(snap.counter("supervisor.chunks"), Some(cfg.streams as u64));
+        assert_eq!(
+            snap.counter("supervisor.attempts"),
+            Some(cfg.streams as u64)
+        );
     }
 }

@@ -53,7 +53,11 @@ const GLOBAL_USAGE: &str = "usage:
   fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
   fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N] [--inject <fault>] [--seed N] [--stats]
               [--deadline-ms N] [--retries N]
-  fsa <subcommand> --help";
+  fsa <subcommand> --help
+
+Every subcommand additionally accepts observability exports:
+  --stats-json F  write span/counter/histogram statistics (fsa-obs/v1 JSON) to F
+  --trace-json F  write a chrome://tracing view of the run to F";
 
 const EXPLORE_USAGE: &str = "usage:
   fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
@@ -74,7 +78,10 @@ output stays bit-identical to the plain engine when nothing is cut):
   --retries N            retries per panicked worker chunk (default 2)
   --checkpoint F         write crash-safe (atomic) checkpoints to F
   --checkpoint-every N   candidates built between checkpoints (default 256)
-  --resume F             continue a previous run from checkpoint F";
+  --resume F             continue a previous run from checkpoint F
+Observability (never changes the printed report):
+  --stats-json F         write span/counter/histogram statistics (fsa-obs/v1) to F
+  --trace-json F         write a chrome://tracing view of the run to F";
 
 const SIMULATE_USAGE: &str = "usage:
   fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
@@ -86,7 +93,9 @@ Run one seeded simulation of a scenario APA and print the trace.
   --seed N         simulation seed (default 1)
   --max-steps N    stop after N steps (default 100)
   --inject F       fault applied to the finished trace:
-                   drop:<action> | spoof:<action> | reorder:<window>";
+                   drop:<action> | spoof:<action> | reorder:<window>
+  --stats-json F   write span/counter statistics (fsa-obs/v1 JSON) to F
+  --trace-json F   write a chrome://tracing view of the run to F";
 
 const MONITOR_USAGE: &str = "usage:
   fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N] [--inject <fault>] [--seed N] [--stats]
@@ -107,7 +116,9 @@ and check a sharded simulator fleet against it (exit 1 on violations).
   --deadline-ms N  stop at the next stream boundary after N ms; a clean
                    partial report exits 3, violations still exit 1
   --retries N      retries per panicked stream (default 2; selects the
-                   supervised fleet driver)";
+                   supervised fleet driver)
+  --stats-json F   write span/counter/histogram statistics (fsa-obs/v1) to F
+  --trace-json F   write a chrome://tracing view of the run to F";
 
 const ELICIT_USAGE: &str = "usage:
   fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]
@@ -120,7 +131,9 @@ Run the §4 manual elicitation pipeline on every instance of the spec.
   --markdown         render the report as a markdown table
   --verify-dataflow  cross-check against the §5 tool-assisted pipeline
   --stats            print §5 engine statistics (with --verify-dataflow)
-  --threads=N        worker threads for the dependence grid";
+  --threads=N        worker threads for the dependence grid
+  --stats-json F     write span/counter statistics (fsa-obs/v1 JSON) to F
+  --trace-json F     write a chrome://tracing view of the run to F";
 
 const CHECK_USAGE: &str = "usage:
   fsa check <spec-file>
@@ -171,22 +184,53 @@ fn spec_command(command: &str, rest: &[String]) -> ExitCode {
     let mut files = Vec::new();
     let mut flags = std::collections::BTreeSet::new();
     let mut threads = 1usize;
-    for a in rest {
-        if let Some(flag) = a.strip_prefix("--") {
-            if let Some(n) = flag.strip_prefix("threads=") {
-                match n.parse::<usize>() {
-                    Ok(n) if n >= 1 => threads = n,
+    let mut outputs = ObsOutputs::default();
+    let mut i = 0usize;
+    while i < rest.len() {
+        let a = &rest[i];
+        i += 1;
+        let Some(flag) = a.strip_prefix("--") else {
+            files.push(a.clone());
+            continue;
+        };
+        if let Some(n) = flag.strip_prefix("threads=") {
+            match n.parse::<usize>() {
+                Ok(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads expects a positive integer, got `{n}`");
+                    return usage();
+                }
+            }
+            continue;
+        }
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_owned())),
+            None => (flag, None),
+        };
+        if matches!(name, "stats-json" | "trace-json") {
+            // Same `--flag value` / `--flag=value` contract as the
+            // other subcommands: a following `--token` is not a value.
+            let value = match inline {
+                Some(v) => v,
+                None => match rest.get(i) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        next.clone()
+                    }
                     _ => {
-                        eprintln!("--threads expects a positive integer, got `{n}`");
+                        eprintln!("--{name} expects a value");
                         return usage();
                     }
-                }
+                },
+            };
+            if name == "stats-json" {
+                outputs.stats_json = Some(value);
             } else {
-                flags.insert(flag.to_owned());
+                outputs.trace_json = Some(value);
             }
-        } else {
-            files.push(a.clone());
+            continue;
         }
+        flags.insert(flag.to_owned());
     }
     let known = [
         "param",
@@ -221,6 +265,7 @@ fn spec_command(command: &str, rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let obs = outputs.obs();
     match command {
         "check" => {
             println!(
@@ -228,6 +273,9 @@ fn spec_command(command: &str, rest: &[String]) -> ExitCode {
                 instances.len(),
                 instances.iter().map(|i| i.action_count()).sum::<usize>()
             );
+            if let Err(code) = outputs.write(&obs) {
+                return code;
+            }
             ExitCode::SUCCESS
         }
         "elicit" => {
@@ -293,7 +341,7 @@ fn spec_command(command: &str, rest: &[String]) -> ExitCode {
                     );
                 }
                 if flags.contains("verify-dataflow") {
-                    match cross_check(instance, &report, threads) {
+                    match cross_check(instance, &report, threads, &obs) {
                         Ok(stats) => {
                             println!("tool-assisted cross-check: requirement sets match");
                             if flags.contains("stats") {
@@ -310,6 +358,9 @@ fn spec_command(command: &str, rest: &[String]) -> ExitCode {
                 }
                 println!();
             }
+            if let Err(code) = outputs.write(&obs) {
+                return code;
+            }
             ExitCode::SUCCESS
         }
         _ => unreachable!("dispatched above"),
@@ -322,18 +373,20 @@ fn cross_check(
     instance: &fsa::core::SosInstance,
     report: &fsa::core::manual::ElicitationReport,
     threads: usize,
+    obs: &fsa::obs::Obs,
 ) -> Result<fsa::core::assisted::PipelineStats, String> {
     let apa = dataflow_apa(instance).map_err(|e| e.to_string())?;
     let graph = apa
         .reachability(&fsa::apa::ReachOptions::default())
         .map_err(|e| e.to_string())?;
-    let assisted = fsa::core::assisted::elicit_with_options(
+    let assisted = fsa::core::assisted::elicit_observed(
         &graph,
         &fsa::core::assisted::ElicitOptions {
             method: fsa::core::assisted::DependenceMethod::Precedence,
             threads,
             prune: true,
         },
+        obs,
         |name| {
             let action = fsa::core::Action::parse(name);
             instance
@@ -387,15 +440,33 @@ impl<'a> Flags<'a> {
     }
 
     /// The value of a `--flag value` / `--flag=value` pair.
-    fn value(&mut self, inline: Option<String>) -> Option<String> {
-        inline.or_else(|| self.iter.next().cloned())
+    ///
+    /// A *separate* following token that itself starts with `--` is
+    /// **not** consumed: `--checkpoint --resume F` means the user
+    /// forgot the value, not that the value is `--resume` (an explicit
+    /// inline `--flag=--weird` still passes through verbatim).
+    /// Missing values print `--NAME expects a value` + usage, exit 2.
+    fn value(&mut self, name: &str, inline: Option<String>) -> Result<String, ExitCode> {
+        if let Some(v) = inline {
+            return Ok(v);
+        }
+        match self.iter.clone().next() {
+            Some(next) if !next.starts_with("--") => {
+                self.iter.next();
+                Ok(next.clone())
+            }
+            _ => {
+                eprintln!("--{name} expects a value");
+                Err(self.fail())
+            }
+        }
     }
 
     /// Parses a positive integer value for `name`, or prints the error
     /// + usage contract (stderr, exit 2 by the caller).
     fn positive(&mut self, name: &str, inline: Option<String>) -> Result<usize, ExitCode> {
-        match self.value(inline).and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n >= 1 => Ok(n),
+        match self.value(name, inline)?.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
             _ => {
                 eprintln!("--{name} expects a positive integer");
                 Err(self.fail())
@@ -405,10 +476,23 @@ impl<'a> Flags<'a> {
 
     /// Parses a `u64` value for `name` (seeds may be zero).
     fn seed(&mut self, name: &str, inline: Option<String>) -> Result<u64, ExitCode> {
-        match self.value(inline).and_then(|v| v.parse::<u64>().ok()) {
-            Some(n) => Ok(n),
-            None => {
+        match self.value(name, inline)?.parse::<u64>() {
+            Ok(n) => Ok(n),
+            Err(_) => {
                 eprintln!("--{name} expects an unsigned integer");
+                Err(self.fail())
+            }
+        }
+    }
+
+    /// Parses a `u32` value for `name`. Out-of-range input (e.g.
+    /// `--retries 4294967296`) is rejected with a usage error rather
+    /// than silently clamped to `u32::MAX`.
+    fn small(&mut self, name: &str, inline: Option<String>) -> Result<u32, ExitCode> {
+        match self.value(name, inline)?.parse::<u32>() {
+            Ok(n) => Ok(n),
+            Err(_) => {
+                eprintln!("--{name} expects an integer in 0..=4294967295");
                 Err(self.fail())
             }
         }
@@ -416,10 +500,7 @@ impl<'a> Flags<'a> {
 
     /// Parses a fault spec for `--inject`.
     fn fault(&mut self, inline: Option<String>) -> Result<fsa::apa::Fault, ExitCode> {
-        let Some(raw) = self.value(inline) else {
-            eprintln!("--inject expects drop:<action>, spoof:<action> or reorder:<window>");
-            return Err(self.fail());
-        };
+        let raw = self.value("inject", inline)?;
         fsa::apa::Fault::parse(&raw).map_err(|e| {
             eprintln!("--inject: {e}");
             self.fail()
@@ -461,6 +542,57 @@ fn build_supervisor(deadline_ms: Option<u64>, retries: Option<u32>) -> fsa::exec
 /// partial result (violations/errors keep exit code 1).
 const EXIT_PARTIAL: u8 = 3;
 
+/// The shared `--stats-json F` / `--trace-json F` export spec.
+///
+/// When neither flag is given the run uses the disabled
+/// [`fsa::obs::Obs`] handle — a single branch per probe, no
+/// allocation, no locking — and the printed output is byte-identical
+/// to builds that predate the observability layer.
+#[derive(Default)]
+struct ObsOutputs {
+    stats_json: Option<String>,
+    trace_json: Option<String>,
+}
+
+impl ObsOutputs {
+    fn requested(&self) -> bool {
+        self.stats_json.is_some() || self.trace_json.is_some()
+    }
+
+    /// An enabled recording handle iff an export was requested.
+    fn obs(&self) -> fsa::obs::Obs {
+        if self.requested() {
+            fsa::obs::Obs::enabled()
+        } else {
+            fsa::obs::Obs::disabled()
+        }
+    }
+
+    /// Writes the requested exports from a snapshot of `obs`.
+    /// I/O failures exit 1 (the analysis itself already succeeded, but
+    /// the user asked for an artefact we could not produce).
+    fn write(&self, obs: &fsa::obs::Obs) -> Result<(), ExitCode> {
+        if !self.requested() {
+            return Ok(());
+        }
+        let snapshot = obs.snapshot();
+        if let Some(path) = &self.stats_json {
+            write_artefact(path, &snapshot.to_stats_json())?;
+        }
+        if let Some(path) = &self.trace_json {
+            write_artefact(path, &snapshot.to_trace_json())?;
+        }
+        Ok(())
+    }
+}
+
+fn write_artefact(path: &str, contents: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("cannot write {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
 /// `fsa explore` — enumerate the vehicular instance space (§4.2) and
 /// union the elicited requirements (§4.4) with the streaming
 /// certificate engine.
@@ -485,6 +617,7 @@ fn explore_command(rest: &[String]) -> ExitCode {
     let mut checkpoint: Option<String> = None;
     let mut checkpoint_every = 256usize;
     let mut resume: Option<String> = None;
+    let mut outputs = ObsOutputs::default();
 
     let mut flags = Flags::new(rest, EXPLORE_USAGE);
     while let Some(flag) = flags.next_flag() {
@@ -512,32 +645,35 @@ fn explore_command(rest: &[String]) -> ExitCode {
                 Ok(n) => deadline_ms = Some(n),
                 Err(code) => return code,
             },
-            "retries" => match flags.seed("retries", inline) {
-                Ok(n) => retries = Some(n.min(u64::from(u32::MAX)) as u32),
+            "retries" => match flags.small("retries", inline) {
+                Ok(n) => retries = Some(n),
                 Err(code) => return code,
             },
-            "checkpoint" => match flags.value(inline) {
-                Some(p) => checkpoint = Some(p),
-                None => {
-                    eprintln!("--checkpoint expects a file path");
-                    return flags.fail();
-                }
+            "checkpoint" => match flags.value("checkpoint", inline) {
+                Ok(p) => checkpoint = Some(p),
+                Err(code) => return code,
             },
             "checkpoint-every" => match flags.positive("checkpoint-every", inline) {
                 Ok(n) => checkpoint_every = n,
                 Err(code) => return code,
             },
-            "resume" => match flags.value(inline) {
-                Some(p) => resume = Some(p),
-                None => {
-                    eprintln!("--resume expects a file path");
-                    return flags.fail();
-                }
+            "resume" => match flags.value("resume", inline) {
+                Ok(p) => resume = Some(p),
+                Err(code) => return code,
+            },
+            "stats-json" => match flags.value("stats-json", inline) {
+                Ok(p) => outputs.stats_json = Some(p),
+                Err(code) => return code,
+            },
+            "trace-json" => match flags.value("trace-json", inline) {
+                Ok(p) => outputs.trace_json = Some(p),
+                Err(code) => return code,
             },
             other => return flags.unknown(other),
         }
     }
 
+    let obs = outputs.obs();
     let options = ExploreOptions {
         require_connected: !all,
         max_candidates: budget.unwrap_or(ExploreOptions::default().max_candidates),
@@ -547,10 +683,11 @@ fn explore_command(rest: &[String]) -> ExitCode {
             BudgetPolicy::Error
         },
         threads,
+        obs: obs.clone(),
     };
     let supervised =
         deadline_ms.is_some() || retries.is_some() || checkpoint.is_some() || resume.is_some();
-    let supervisor = build_supervisor(deadline_ms, retries);
+    let supervisor = build_supervisor(deadline_ms, retries).with_obs(obs.clone());
     let exploration = if supervised {
         let exec = ExecOptions {
             supervisor: supervisor.clone(),
@@ -657,6 +794,9 @@ fn explore_command(rest: &[String]) -> ExitCode {
     if stats {
         print!("{}", exploration.stats);
     }
+    if let Err(code) = outputs.write(&obs) {
+        return code;
+    }
     if partial {
         ExitCode::from(EXIT_PARTIAL)
     } else {
@@ -690,6 +830,7 @@ fn simulate_command(rest: &[String]) -> ExitCode {
     let mut seed = 1u64;
     let mut max_steps = 100usize;
     let mut fault: Option<fsa::apa::Fault> = None;
+    let mut outputs = ObsOutputs::default();
 
     let mut flags = Flags::new(rest, SIMULATE_USAGE);
     while let Some(flag) = flags.next_flag() {
@@ -698,12 +839,9 @@ fn simulate_command(rest: &[String]) -> ExitCode {
             Flag::Positional(p) => return flags.positional(&p),
         };
         match name.as_str() {
-            "scenario" => match flags.value(inline) {
-                Some(s) => scenario = s,
-                None => {
-                    eprintln!("--scenario expects a name");
-                    return flags.fail();
-                }
+            "scenario" => match flags.value("scenario", inline) {
+                Ok(s) => scenario = s,
+                Err(code) => return code,
             },
             "seed" => match flags.seed("seed", inline) {
                 Ok(n) => seed = n,
@@ -717,6 +855,14 @@ fn simulate_command(rest: &[String]) -> ExitCode {
                 Ok(f) => fault = Some(f),
                 Err(code) => return code,
             },
+            "stats-json" => match flags.value("stats-json", inline) {
+                Ok(p) => outputs.stats_json = Some(p),
+                Err(code) => return code,
+            },
+            "trace-json" => match flags.value("trace-json", inline) {
+                Ok(p) => outputs.trace_json = Some(p),
+                Err(code) => return code,
+            },
             other => return flags.unknown(other),
         }
     }
@@ -728,6 +874,8 @@ fn simulate_command(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let obs = outputs.obs();
+    let span = obs.span("simulate");
     let mut sim = fsa::apa::sim::Simulator::new(&apa, seed);
     let steps = match sim.run(max_steps) {
         Ok(s) => s,
@@ -736,6 +884,8 @@ fn simulate_command(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    drop(span);
+    obs.counter_add("simulate.steps", steps as u64);
     if let Some(fault) = &fault {
         sim.inject(fault);
         println!("scenario {scenario}, seed {seed}: {steps} step(s), fault {fault}");
@@ -743,6 +893,10 @@ fn simulate_command(rest: &[String]) -> ExitCode {
         println!("scenario {scenario}, seed {seed}: {steps} step(s)");
     }
     println!("trace: {}", sim.trace_names().join(" → "));
+    obs.counter_add("simulate.trace_events", sim.trace_names().len() as u64);
+    if let Err(code) = outputs.write(&obs) {
+        return code;
+    }
     ExitCode::SUCCESS
 }
 
@@ -761,6 +915,7 @@ fn monitor_command(rest: &[String]) -> ExitCode {
     let mut stats = false;
     let mut deadline_ms: Option<u64> = None;
     let mut retries: Option<u32> = None;
+    let mut outputs = ObsOutputs::default();
 
     let mut flags = Flags::new(rest, MONITOR_USAGE);
     while let Some(flag) = flags.next_flag() {
@@ -769,12 +924,9 @@ fn monitor_command(rest: &[String]) -> ExitCode {
             Flag::Positional(p) => return flags.positional(&p),
         };
         match name.as_str() {
-            "scenario" => match flags.value(inline) {
-                Some(s) => scenario = s,
-                None => {
-                    eprintln!("--scenario expects a name");
-                    return flags.fail();
-                }
+            "scenario" => match flags.value("scenario", inline) {
+                Ok(s) => scenario = s,
+                Err(code) => return code,
             },
             "streams" => match flags.positive("streams", inline) {
                 Ok(n) => streams = n,
@@ -801,8 +953,16 @@ fn monitor_command(rest: &[String]) -> ExitCode {
                 Ok(n) => deadline_ms = Some(n),
                 Err(code) => return code,
             },
-            "retries" => match flags.seed("retries", inline) {
-                Ok(n) => retries = Some(n.min(u64::from(u32::MAX)) as u32),
+            "retries" => match flags.small("retries", inline) {
+                Ok(n) => retries = Some(n),
+                Err(code) => return code,
+            },
+            "stats-json" => match flags.value("stats-json", inline) {
+                Ok(p) => outputs.stats_json = Some(p),
+                Err(code) => return code,
+            },
+            "trace-json" => match flags.value("trace-json", inline) {
+                Ok(p) => outputs.trace_json = Some(p),
                 Err(code) => return code,
             },
             other => return flags.unknown(other),
@@ -834,17 +994,19 @@ fn monitor_command(rest: &[String]) -> ExitCode {
         fsa::core::assisted::DependenceMethod::Precedence,
         fsa::vanet::apa_model::stakeholder_of,
     );
+    let obs = outputs.obs();
     let cfg = fsa::runtime::FleetConfig {
         streams,
         events_per_stream: events.div_ceil(streams),
         seed,
         threads,
         fault,
+        obs: obs.clone(),
         ..fsa::runtime::FleetConfig::default()
     };
     let supervised = deadline_ms.is_some() || retries.is_some();
     let run = if supervised {
-        let supervisor = build_supervisor(deadline_ms, retries);
+        let supervisor = build_supervisor(deadline_ms, retries).with_obs(obs.clone());
         fsa::runtime::monitor_apa_supervised(&apa, &elicited.requirements, &cfg, &supervisor)
     } else {
         fsa::runtime::monitor_apa(&apa, &elicited.requirements, &cfg)
@@ -860,6 +1022,9 @@ fn monitor_command(rest: &[String]) -> ExitCode {
             print!("{}", report.render());
             if stats {
                 print!("{}", report.stats);
+            }
+            if let Err(code) = outputs.write(&obs) {
+                return code;
             }
             if !report.is_clean() {
                 // A found violation always dominates a missed deadline.

@@ -12,6 +12,7 @@
 //! * [`speclang`] — the model specification language
 //! * [`core`] — the elicitation method itself (manual + tool-assisted)
 //! * [`runtime`] — compiled monitor banks over streaming APA traces
+//! * [`obs`] — zero-dependency observability (spans, counters, exports)
 //! * [`vanet`] — the vehicular-communication example system
 //!
 //! # Quickstart
@@ -37,6 +38,7 @@ pub use baselines;
 pub use fsa_core as core;
 pub use fsa_exec as exec;
 pub use fsa_graph as graph;
+pub use fsa_obs as obs;
 pub use fsa_runtime as runtime;
 pub use speclang;
 pub use vanet;

@@ -347,6 +347,67 @@ fn monitor_expired_deadline_exits_3_with_coverage() {
     assert!(stdout.contains("cancelled"), "{stdout}");
 }
 
+// ---- Flag-value parsing regressions ---------------------------------
+
+/// A value-taking `--flag` followed by another `--flag` must not
+/// consume the second flag as its value. Before the fix,
+/// `--checkpoint --resume` silently used the literal string
+/// `"--resume"` as a checkpoint path; covered here for string-,
+/// integer- and fault-valued flags.
+#[test]
+fn value_flags_do_not_swallow_a_following_flag() {
+    // String-valued.
+    let out = fsa(&["explore", "--checkpoint", "--resume"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--checkpoint expects a value"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    // Integer-valued: previously ate `--stats` and then reported a
+    // misleading parse error for it.
+    let out = fsa(&["monitor", "--streams", "--stats"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--streams expects a value"), "{stderr}");
+
+    // Fault-valued.
+    let out = fsa(&["simulate", "--inject", "--seed", "7"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--inject expects a value"), "{stderr}");
+
+    // An explicit inline `=` value may still start with dashes.
+    let out = fsa(&["simulate", "--scenario=two", "--seed=3"]);
+    assert!(out.status.success(), "{out:?}");
+}
+
+/// `--retries` beyond `u32::MAX` was silently clamped; it now fails
+/// the usage contract (exit 2) on both supervised subcommands.
+#[test]
+fn retries_out_of_range_is_rejected_on_both_subcommands() {
+    for sub in ["explore", "monitor"] {
+        let out = fsa(&[sub, "--retries", "4294967296"]);
+        assert_eq!(out.status.code(), Some(2), "{sub}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--retries expects an integer in 0..=4294967295"),
+            "{sub}: {stderr}"
+        );
+        assert!(stderr.contains("usage"), "{sub}: {stderr}");
+    }
+    // The boundary value itself is accepted.
+    let out = fsa(&[
+        "monitor",
+        "--streams",
+        "2",
+        "--events",
+        "64",
+        "--retries",
+        "4294967295",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+}
+
 #[test]
 fn monitor_violation_dominates_deadline_exit_code() {
     // A generous deadline that will not expire: the injected violation
