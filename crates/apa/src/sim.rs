@@ -61,16 +61,22 @@ impl Fault {
     /// # Errors
     ///
     /// Returns a human-readable message for unknown kinds or malformed
-    /// values.
+    /// values. An empty action name (`drop:`, `spoof:`) is rejected
+    /// explicitly: such a fault would match no event and silently turn
+    /// the injection into a no-op, which is the opposite of what an
+    /// attack-simulation flag should do.
     pub fn parse(s: &str) -> Result<Fault, String> {
         let (kind, value) = s
             .split_once(':')
             .ok_or_else(|| format!("expected <kind>:<value>, got `{s}`"))?;
         match kind {
-            "drop" if !value.is_empty() => Ok(Fault::Drop {
+            "drop" | "spoof" if value.is_empty() => Err(format!(
+                "{kind} expects a non-empty action name (an empty action would match no event)"
+            )),
+            "drop" => Ok(Fault::Drop {
                 action: value.to_owned(),
             }),
-            "spoof" if !value.is_empty() => Ok(Fault::Spoof {
+            "spoof" => Ok(Fault::Spoof {
                 action: value.to_owned(),
             }),
             "reorder" => match value.parse::<usize>() {
@@ -377,8 +383,27 @@ mod tests {
         }
         assert!(Fault::parse("nonsense").is_err());
         assert!(Fault::parse("reorder:zero").is_err());
-        assert!(Fault::parse("drop:").is_err());
         assert!(Fault::parse("explode:now").is_err());
+    }
+
+    /// Regression: `drop:` / `spoof:` used to fall through to the
+    /// generic "unknown fault `drop`" arm — a misleading diagnosis for
+    /// a *known* kind with a missing action. The empty action name now
+    /// gets its own typed message (it would otherwise build a fault
+    /// that silently matches nothing).
+    #[test]
+    fn fault_parse_rejects_empty_action_names_with_a_typed_error() {
+        for s in ["drop:", "spoof:"] {
+            let err = Fault::parse(s).unwrap_err();
+            assert!(
+                err.contains("expects a non-empty action name"),
+                "{s}: {err}"
+            );
+            assert!(
+                !err.contains("unknown fault"),
+                "{s}: the kind is known, the value is missing: {err}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Pricing the resident analysis service (PR 6).
+//!
+//! The point of `fsa serve` is that a session pays speclang parsing and
+//! model construction once, at open, and every later query runs against
+//! the resident state. These groups price exactly that claim:
+//!
+//! * `serve_spec`  — one-shot `elicit` dispatch (read + parse + run
+//!   every time) against the same query on a preloaded
+//!   [`LoadedModel`]; the gap is the per-request cost serving removes.
+//! * `serve_scenario` — one-shot `monitor` dispatch against the session
+//!   path, where the scenario APA and the §5 elicitation are memoised.
+//! * `serve_wire`  — encode/decode round-trip of a response frame plus
+//!   length-prefixed framing, the per-request protocol tax.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsa_core::service::{LoadedModel, ServiceCtx};
+use fsa_serve::engines::ScenarioModel;
+use fsa_serve::proto::ServerFrame;
+use fsa_serve::{cli, wire};
+use std::hint::black_box;
+
+const SPEC_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3.fsa");
+
+fn owned(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn bench_spec_requests(c: &mut Criterion) {
+    let source = std::fs::read_to_string(SPEC_PATH).expect("read fig3 spec");
+    let model = LoadedModel::new(
+        SPEC_PATH.to_owned(),
+        speclang::parse(&source).expect("fig3 parses"),
+    );
+    let ctx = ServiceCtx::one_shot();
+    let one_shot = owned(&["elicit", SPEC_PATH, "--param", "--verify-dataflow"]);
+    let resident = owned(&["--param", "--verify-dataflow"]);
+
+    let mut group = c.benchmark_group("serve_spec");
+    group.sample_size(30);
+    group.bench_function("elicit_one_shot_dispatch", |b| {
+        b.iter(|| black_box(cli::dispatch(black_box(&one_shot))))
+    });
+    group.bench_function("elicit_resident_model", |b| {
+        b.iter(|| {
+            black_box(cli::run_spec(
+                "elicit",
+                black_box(&resident),
+                Some(&model),
+                &ctx,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_scenario_requests(c: &mut Criterion) {
+    let ctx = ServiceCtx::one_shot();
+    let one_shot = owned(&["monitor", "--streams", "2", "--events", "128"]);
+    let resident = owned(&["--streams", "2", "--events", "128"]);
+    let mut model = ScenarioModel::load("chain").expect("chain builds");
+    // Memoise reachability + elicitation up front, as a warmed session
+    // would after its first monitor request.
+    model.split_elicited().expect("reachability");
+
+    let mut group = c.benchmark_group("serve_scenario");
+    group.sample_size(20);
+    group.bench_function("monitor_one_shot_dispatch", |b| {
+        b.iter(|| black_box(cli::dispatch(black_box(&one_shot))))
+    });
+    group.bench_function("monitor_resident_scenario", |b| {
+        b.iter(|| {
+            black_box(cli::run_monitor(
+                black_box(&resident),
+                Some(&mut model),
+                &ctx,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire_round_trip(c: &mut Criterion) {
+    let frame = ServerFrame::Response {
+        session: 1,
+        id: 42,
+        exit: 0,
+        micros: 1375,
+        cached: false,
+        stdout: "requirement set (3):\n".repeat(16),
+        stderr: String::new(),
+    };
+    let payload = frame.encode();
+    let mut framed = Vec::new();
+    wire::write_frame(&mut framed, &payload).expect("frame");
+
+    let mut group = c.benchmark_group("serve_wire");
+    group.bench_function("encode_response", |b| b.iter(|| black_box(frame.encode())));
+    group.bench_function("decode_response", |b| {
+        b.iter(|| black_box(ServerFrame::decode(black_box(&payload)).expect("decodes")))
+    });
+    group.bench_function("frame_round_trip", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(framed.len());
+            wire::write_frame(&mut buf, black_box(&payload)).expect("write");
+            black_box(
+                wire::read_frame(&mut std::io::Cursor::new(buf), wire::DEFAULT_MAX_FRAME)
+                    .expect("read"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spec_requests,
+    bench_scenario_requests,
+    bench_wire_round_trip
+);
+criterion_main!(benches);

@@ -126,19 +126,30 @@ impl PipelineStats {
     /// `elicit.*` counters. For a snapshot produced by
     /// [`elicit_observed`], this equals the [`AssistedReport::stats`]
     /// struct filled live (both read the same span measurements).
-    #[must_use]
-    pub fn from_snapshot(snapshot: &fsa_obs::Snapshot) -> PipelineStats {
-        let count = |name: &str| snapshot.counter(name).unwrap_or(0) as usize;
-        PipelineStats {
+    ///
+    /// # Errors
+    ///
+    /// [`crate::FsaError::CounterOutOfRange`] when a recorded `u64`
+    /// counter does not fit this target's `usize` (fail closed instead
+    /// of truncating on 32-bit targets).
+    pub fn from_snapshot(snapshot: &fsa_obs::Snapshot) -> Result<PipelineStats, crate::FsaError> {
+        let count = |name: &str| -> Result<usize, crate::FsaError> {
+            let value = snapshot.counter(name).unwrap_or(0);
+            usize::try_from(value).map_err(|_| crate::FsaError::CounterOutOfRange {
+                name: name.to_owned(),
+                value,
+            })
+        };
+        Ok(PipelineStats {
             behaviour_nfa: snapshot.span_total("elicit.behaviour_nfa"),
             min_max: snapshot.span_total("elicit.min_max"),
             prune_pass: snapshot.span_total("elicit.prune_pass"),
             pair_eval: snapshot.span_total("elicit.pair_eval"),
-            pairs_total: count("elicit.pairs_total"),
-            pairs_pruned: count("elicit.pairs_pruned"),
-            coreach_cache_hits: count("elicit.coreach_cache_hits"),
-            threads: count("elicit.threads"),
-        }
+            pairs_total: count("elicit.pairs_total")?,
+            pairs_pruned: count("elicit.pairs_pruned")?,
+            coreach_cache_hits: count("elicit.coreach_cache_hits")?,
+            threads: count("elicit.threads")?,
+        })
     }
 }
 
@@ -680,7 +691,7 @@ mod tests {
         // The legacy stats struct is a thin view over the snapshot: the
         // reconstructed view equals the struct filled live.
         let snap = obs.snapshot();
-        let view = PipelineStats::from_snapshot(&snap);
+        let view = PipelineStats::from_snapshot(&snap).unwrap();
         assert_eq!(view, observed.stats);
         assert_eq!(snap.span_count("elicit"), 1);
         for stage in [

@@ -200,10 +200,30 @@ impl Fnv {
     }
 }
 
+/// Domain-separation tag hashed into every configuration fingerprint.
+/// Bump when the fingerprint's field coverage changes so checkpoints
+/// written under the old coverage can never alias the new one.
+const FINGERPRINT_DOMAIN: &str = "fsa-explore-config/v2";
+
 /// Fingerprint of the enumeration configuration: component models
 /// (name, stakeholder template, multiplicity bound, template actions,
 /// internal flows), connection rules, and [`ExploreOptions`] — minus
 /// the thread count, which a resumed run may legitimately change.
+///
+/// Coverage contract (audited; every semantics-affecting knob of a
+/// resumable enumeration must appear here so `--resume` under changed
+/// flags fails closed as a fingerprint mismatch):
+///
+/// * **max-vehicles** — the multiplicity bound of the vehicle model is
+///   the `usize` paired with each [`ComponentModel`], hashed below;
+/// * **budget** (`--budget`) — [`ExploreOptions::max_candidates`];
+/// * **truncation policy** (`--truncate`) — [`ExploreOptions::on_budget`];
+/// * **connectivity filter** (`--all`) —
+///   [`ExploreOptions::require_connected`].
+///
+/// Deliberately excluded: `threads` (a laptop run may finish on a
+/// bigger box, bit-identically) and the observability handle (exports
+/// never change the enumeration).
 #[must_use]
 pub fn config_fingerprint(
     models: &[(ComponentModel, usize)],
@@ -211,6 +231,7 @@ pub fn config_fingerprint(
     options: &ExploreOptions,
 ) -> u64 {
     let mut h = Fnv::new();
+    h.str(FINGERPRINT_DOMAIN);
     h.u64(models.len() as u64);
     for (model, max) in models {
         h.str(model.name());

@@ -289,32 +289,44 @@ impl ExploreStats {
     /// `explore.*` counters. For a snapshot produced by an observed run
     /// of either engine this equals the [`Exploration::stats`] struct
     /// filled live (both read the same span measurements).
-    #[must_use]
-    pub fn from_snapshot(snapshot: &fsa_obs::Snapshot) -> ExploreStats {
-        let count = |name: &str| snapshot.counter(name).unwrap_or(0) as usize;
-        ExploreStats {
-            multiplicity_vectors: count("explore.multiplicity_vectors"),
-            subsets_total: count("explore.subsets_total"),
-            orbits_skipped: count("explore.orbits_skipped"),
-            candidates: count("explore.candidates"),
-            disconnected_skipped: count("explore.disconnected_skipped"),
-            certificate_hits: count("explore.certificate_hits"),
-            exact_iso_fallbacks: count("explore.exact_iso_fallbacks"),
-            classes: count("explore.classes"),
-            truncated: count("explore.truncated") != 0,
-            threads: count("explore.threads"),
-            vectors_total: count("explore.vectors_total"),
-            vectors_completed: count("explore.vectors_completed"),
-            candidates_built: count("explore.candidates_built"),
-            failures: count("explore.failures"),
+    ///
+    /// # Errors
+    ///
+    /// [`FsaError::CounterOutOfRange`] when a recorded `u64` counter
+    /// does not fit this target's `usize` (a 32-bit truncation would
+    /// otherwise silently corrupt the view — same fail-closed stance
+    /// as the checkpoint counter re-basing).
+    pub fn from_snapshot(snapshot: &fsa_obs::Snapshot) -> Result<ExploreStats, FsaError> {
+        let count = |name: &str| -> Result<usize, FsaError> {
+            let value = snapshot.counter(name).unwrap_or(0);
+            usize::try_from(value).map_err(|_| FsaError::CounterOutOfRange {
+                name: name.to_owned(),
+                value,
+            })
+        };
+        Ok(ExploreStats {
+            multiplicity_vectors: count("explore.multiplicity_vectors")?,
+            subsets_total: count("explore.subsets_total")?,
+            orbits_skipped: count("explore.orbits_skipped")?,
+            candidates: count("explore.candidates")?,
+            disconnected_skipped: count("explore.disconnected_skipped")?,
+            certificate_hits: count("explore.certificate_hits")?,
+            exact_iso_fallbacks: count("explore.exact_iso_fallbacks")?,
+            classes: count("explore.classes")?,
+            truncated: count("explore.truncated")? != 0,
+            threads: count("explore.threads")?,
+            vectors_total: count("explore.vectors_total")?,
+            vectors_completed: count("explore.vectors_completed")?,
+            candidates_built: count("explore.candidates_built")?,
+            failures: count("explore.failures")?,
             retries: snapshot.counter("explore.retries").unwrap_or(0),
-            cancelled: count("explore.cancelled") != 0,
-            checkpoints_written: count("explore.checkpoints_written"),
-            resumed: count("explore.resumed") != 0,
+            cancelled: count("explore.cancelled")? != 0,
+            checkpoints_written: count("explore.checkpoints_written")?,
+            resumed: count("explore.resumed")? != 0,
             scan_time: snapshot.span_total("explore.scan"),
             build_time: snapshot.span_total("explore.build"),
             dedup_time: snapshot.span_total("explore.dedup"),
-        }
+        })
     }
 
     /// Mirrors every counter-valued field into `explore.*` counters of
@@ -2328,7 +2340,7 @@ mod tests {
             assert_eq!(a.graph(), b.graph());
         }
         let snap = obs.snapshot();
-        let view = ExploreStats::from_snapshot(&snap);
+        let view = ExploreStats::from_snapshot(&snap).unwrap();
         assert_eq!(format!("{}", view), format!("{}", observed.stats));
         assert_eq!(snap.span_count("explore"), 1);
         assert!(snap.span_count("explore.scan") >= 1);
@@ -2355,7 +2367,7 @@ mod tests {
                 .expect("supervised engine");
         assert_eq!(sup.instances.len(), plain.instances.len());
         let snap = obs.snapshot();
-        let view = ExploreStats::from_snapshot(&snap);
+        let view = ExploreStats::from_snapshot(&snap).unwrap();
         assert_eq!(format!("{}", view), format!("{}", sup.stats));
         assert!(snap.span_count("checkpoint.write") >= 1);
         assert_eq!(

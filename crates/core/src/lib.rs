@@ -74,6 +74,7 @@ pub mod prioritise;
 pub mod refine;
 pub mod report;
 pub mod requirements;
+pub mod service;
 pub mod verify;
 
 pub use action::{Action, Agent, Param};

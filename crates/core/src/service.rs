@@ -1,0 +1,261 @@
+//! Resident-service abstraction over the analysis engines.
+//!
+//! The one-shot CLI re-parses the specification and re-derives APA
+//! reachability on every invocation. A *resident* deployment (the
+//! `fsa-serve` crate) instead holds a parsed, interned, immutable model
+//! behind an [`Arc<LoadedModel>`] and answers repeated queries against
+//! it. This module defines the seam between the two worlds:
+//!
+//! * [`Query`] — one command (`elicit`, `explore`, `monitor`, …) with
+//!   its CLI-style argument vector;
+//! * [`Rendered`] — the fully rendered outcome: exact stdout/stderr
+//!   bytes plus the process exit code the one-shot CLI would have
+//!   produced. Byte-identity between serving and one-shot modes is by
+//!   construction: both call the same runner that fills a `Rendered`;
+//! * [`ServiceCtx`] — per-request execution context: the observability
+//!   handle the host threads through and an optional
+//!   [`CancelToken`] carrying the request deadline;
+//! * [`Service`] — a session-scoped engine answering queries against
+//!   its preloaded state;
+//! * [`LoadedModel`] — the immutable parsed-specification handle a
+//!   session shares across requests (parsing stays in the layers above
+//!   `fsa-core`, which deliberately does not depend on `speclang`).
+
+use crate::instance::SosInstance;
+use fsa_exec::CancelToken;
+use fsa_obs::Obs;
+use std::fmt;
+use std::sync::Arc;
+
+/// One request against a session: a subcommand name plus its CLI-style
+/// argument vector (everything after the subcommand, exactly as the
+/// one-shot binary would receive it).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Query {
+    /// Subcommand (`check`, `elicit`, `explore`, `simulate`, `monitor`).
+    pub command: String,
+    /// Arguments after the subcommand.
+    pub args: Vec<String>,
+}
+
+impl Query {
+    /// Convenience constructor from string-likes.
+    pub fn new(command: impl Into<String>, args: impl IntoIterator<Item = String>) -> Query {
+        Query {
+            command: command.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+}
+
+/// The fully rendered outcome of a command: the exact bytes the
+/// one-shot CLI writes to stdout/stderr, the process exit code, and any
+/// observability artefacts (`--stats-json` / `--trace-json`) the
+/// command was asked to produce (path → contents; the host decides how
+/// to materialise them).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Rendered {
+    /// Exact stdout bytes.
+    pub stdout: String,
+    /// Exact stderr bytes.
+    pub stderr: String,
+    /// Process exit code (0 ok, 1 failure/violation, 2 usage, 3 clean
+    /// deadline-partial).
+    pub exit: u8,
+    /// Requested export artefacts as `(path, contents)` pairs.
+    pub artefacts: Vec<(String, String)>,
+}
+
+impl Rendered {
+    /// A successful, empty outcome.
+    #[must_use]
+    pub fn success() -> Rendered {
+        Rendered::default()
+    }
+
+    /// A usage error: `message` + the usage text on stderr, exit 2.
+    #[must_use]
+    pub fn usage_error(message: &str, usage: &str) -> Rendered {
+        Rendered {
+            stderr: format!("{message}\n{usage}\n"),
+            exit: 2,
+            ..Rendered::default()
+        }
+    }
+
+    /// A runtime failure: `message` on stderr, exit 1.
+    #[must_use]
+    pub fn failure(message: &str) -> Rendered {
+        Rendered {
+            stderr: format!("{message}\n"),
+            exit: 1,
+            ..Rendered::default()
+        }
+    }
+}
+
+/// Per-request execution context a host (one-shot CLI or server) hands
+/// to a runner.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceCtx {
+    /// Observability handle. When enabled (a serving registry), engine
+    /// probes record into it; when disabled, runners fall back to their
+    /// own `--stats-json`-driven handle so one-shot behaviour is
+    /// unchanged.
+    pub obs: Obs,
+    /// Request deadline, if any. `None` means "no externally imposed
+    /// deadline" — exactly the one-shot CLI situation. The token is
+    /// created when the request is *received*, so queue wait counts
+    /// against the budget.
+    pub cancel: Option<CancelToken>,
+}
+
+impl ServiceCtx {
+    /// The one-shot CLI context: disabled observability, no deadline.
+    #[must_use]
+    pub fn one_shot() -> ServiceCtx {
+        ServiceCtx::default()
+    }
+}
+
+/// A typed service-layer error (distinct from a command that *ran* and
+/// failed — those are [`Rendered`] with a non-zero exit). These map to
+/// `error` frames on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Stable machine-readable code (see the `codes` module).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Convenience constructor.
+    pub fn new(code: &'static str, message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Stable error codes shared by the service layer and the wire
+/// protocol.
+pub mod codes {
+    /// The session holds no engine answering this command.
+    pub const UNKNOWN_COMMAND: &str = "unknown-command";
+    /// A request used a flag that only makes sense one-shot
+    /// (`--stats-json` / `--trace-json` are server-level in a session).
+    pub const UNSUPPORTED_FLAG: &str = "unsupported-flag";
+    /// The request deadline expired before execution started.
+    pub const DEADLINE: &str = "deadline";
+    /// The server is draining; no new requests are accepted.
+    pub const DRAINING: &str = "draining";
+    /// The session's bounded request queue is full (backpressure).
+    pub const OVERLOADED: &str = "overloaded";
+    /// A frame failed to decode as `fsa-wire/v1`.
+    pub const BAD_FRAME: &str = "bad-frame";
+    /// A frame exceeded the configured size limit.
+    pub const OVERSIZE_FRAME: &str = "oversize-frame";
+    /// The handshake announced an unsupported protocol.
+    pub const PROTOCOL: &str = "protocol";
+    /// A request referenced a session id this connection never opened.
+    pub const UNKNOWN_SESSION: &str = "unknown-session";
+    /// The `open` frame could not be satisfied (parse error, unknown
+    /// scenario, …).
+    pub const OPEN_FAILED: &str = "open-failed";
+}
+
+/// A session-scoped analysis engine: answers [`Query`]s against state
+/// prepared once at session open (parsed model, derived reachability,
+/// elicited requirement set, …). `&mut self` lets implementations
+/// memoise derived artefacts across requests — a session is driven by
+/// exactly one worker thread.
+pub trait Service: Send {
+    /// Stable engine name (diagnostics, obs series).
+    fn engine(&self) -> &'static str;
+
+    /// The subcommands this service answers.
+    fn commands(&self) -> &'static [&'static str];
+
+    /// Executes one query. A command that runs and fails still returns
+    /// `Ok` with a non-zero [`Rendered::exit`]; `Err` is reserved for
+    /// service-layer conditions (unknown command, rejected flag, …).
+    ///
+    /// # Errors
+    ///
+    /// A [`ServiceError`] with one of the [`codes`].
+    fn respond(&mut self, query: &Query, ctx: &ServiceCtx) -> Result<Rendered, ServiceError>;
+}
+
+/// An immutable, session-shared parsed specification: the instances of
+/// one spec file, interned once at `open` so repeated `elicit`/`check`
+/// queries skip `speclang` parsing entirely.
+#[derive(Debug, Clone)]
+pub struct LoadedModel {
+    name: String,
+    instances: Vec<SosInstance>,
+}
+
+impl LoadedModel {
+    /// Wraps parsed instances under the display name (usually the spec
+    /// file path) used in rendered output.
+    #[must_use]
+    pub fn new(name: impl Into<String>, instances: Vec<SosInstance>) -> Arc<LoadedModel> {
+        Arc::new(LoadedModel {
+            name: name.into(),
+            instances,
+        })
+    }
+
+    /// The display name (spec file path).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parsed instances.
+    #[must_use]
+    pub fn instances(&self) -> &[SosInstance] {
+        &self.instances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_constructors_follow_the_cli_exit_discipline() {
+        assert_eq!(Rendered::success().exit, 0);
+        let u = Rendered::usage_error("bad flag", "usage: fsa");
+        assert_eq!(u.exit, 2);
+        assert_eq!(u.stderr, "bad flag\nusage: fsa\n");
+        assert!(u.stdout.is_empty());
+        let f = Rendered::failure("boom");
+        assert_eq!(f.exit, 1);
+        assert_eq!(f.stderr, "boom\n");
+    }
+
+    #[test]
+    fn service_error_displays_code_and_message() {
+        let e = ServiceError::new(codes::DRAINING, "server is draining");
+        assert_eq!(e.to_string(), "draining: server is draining");
+    }
+
+    #[test]
+    fn loaded_model_is_shareable_and_immutable() {
+        let m = LoadedModel::new("specs/x.fsa", Vec::new());
+        let m2 = Arc::clone(&m);
+        assert_eq!(m.name(), "specs/x.fsa");
+        assert!(m2.instances().is_empty());
+    }
+}

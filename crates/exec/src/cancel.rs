@@ -59,6 +59,20 @@ impl CancelToken {
         }))
     }
 
+    /// A token that trips once the absolute `deadline` instant has
+    /// passed. This is the per-request form used by long-lived servers:
+    /// the deadline clock starts when the request is *received*, not
+    /// when a worker finally dequeues it, so time spent waiting in a
+    /// bounded session queue counts against the budget.
+    #[must_use]
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline: Some(deadline),
+            countdown: AtomicI64::new(-1),
+        }))
+    }
+
     /// A token that trips after `checks` calls to
     /// [`CancelToken::is_cancelled`] (each check consumes one tick).
     #[must_use]
@@ -132,6 +146,14 @@ mod tests {
         let t = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(!t.is_cancelled());
         assert!(!t.is_cancelled_peek());
+    }
+
+    #[test]
+    fn absolute_deadline_counts_queue_time() {
+        let t = CancelToken::with_deadline_at(Instant::now());
+        assert!(t.is_cancelled(), "a deadline in the past trips at once");
+        let t = CancelToken::with_deadline_at(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Minimal hand-rolled JSON emission (the crate is zero-dependency by
 //! design; the vendored `serde` derives are no-ops, so exports are
 //! written by hand with an explicit, stable key order).
+//!
+//! The string/key writers are `pub` so sibling crates that speak JSON
+//! on the wire (notably `fsa-serve`'s `fsa-wire/v1` frames) reuse this
+//! exact escaping instead of growing a second, subtly different one.
 
 use std::fmt::Write;
 
 /// Append `s` as a JSON string literal (with escaping) to `out`.
-pub(crate) fn write_str(out: &mut String, s: &str) {
+pub fn write_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -24,7 +28,7 @@ pub(crate) fn write_str(out: &mut String, s: &str) {
 }
 
 /// Append a `"key":` prefix (caller writes the value).
-pub(crate) fn write_key(out: &mut String, key: &str) {
+pub fn write_key(out: &mut String, key: &str) {
     write_str(out, key);
     out.push(':');
 }

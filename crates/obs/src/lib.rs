@@ -48,7 +48,7 @@
 //! ```
 
 mod histogram;
-mod json;
+pub mod json;
 mod registry;
 mod snapshot;
 mod span;

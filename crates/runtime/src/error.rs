@@ -34,6 +34,15 @@ pub enum RuntimeError {
         /// Index of the stream that has no result.
         stream: usize,
     },
+    /// An exported observability counter does not fit this target's
+    /// `usize` (32-bit truncation hazard); snapshot views fail closed
+    /// instead of wrapping.
+    CounterOutOfRange {
+        /// Counter name (e.g. `fleet.threads`).
+        name: String,
+        /// The recorded value that does not fit.
+        value: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -62,6 +71,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::StreamNotRun { stream } => {
                 write!(f, "stream {stream} was never run by any worker")
             }
+            RuntimeError::CounterOutOfRange { name, value } => write!(
+                f,
+                "observability counter `{name}` value {value} does not fit in usize on this target"
+            ),
         }
     }
 }

@@ -182,10 +182,22 @@ impl MonitorStats {
     /// (`events_per_sec` is derived with the same formula the live
     /// path uses). Only meaningful when the registry observed exactly
     /// one run.
-    pub fn from_snapshot(snapshot: &fsa_obs::Snapshot) -> MonitorStats {
+    ///
+    /// # Errors
+    ///
+    /// [`crate::RuntimeError::CounterOutOfRange`] when a recorded `u64`
+    /// counter does not fit this target's `usize` (fail closed instead
+    /// of truncating on 32-bit targets).
+    pub fn from_snapshot(snapshot: &fsa_obs::Snapshot) -> Result<MonitorStats, RuntimeError> {
         let wall = snapshot.span_total("fleet");
         let events = snapshot.counter("fleet.events").unwrap_or(0);
-        MonitorStats {
+        let threads_raw = snapshot.counter("fleet.threads").unwrap_or(0);
+        let threads =
+            usize::try_from(threads_raw).map_err(|_| RuntimeError::CounterOutOfRange {
+                name: "fleet.threads".to_owned(),
+                value: threads_raw,
+            })?;
+        Ok(MonitorStats {
             compile: snapshot.span_total("fleet.compile"),
             simulate: snapshot.span_total("fleet.simulate"),
             check: snapshot.span_total("fleet.check"),
@@ -198,8 +210,8 @@ impl MonitorStats {
                 .filter(|c| c.name.starts_with("fleet.shard."))
                 .map(|c| c.value)
                 .collect(),
-            threads: snapshot.counter("fleet.threads").unwrap_or(0) as usize,
-        }
+            threads,
+        })
     }
 
     /// Mirrors the scalar fields into the registry's counters so a
@@ -1028,7 +1040,7 @@ mod tests {
 
         // The stats struct is a thin view over the snapshot.
         let snap = obs.snapshot();
-        let view = MonitorStats::from_snapshot(&snap);
+        let view = MonitorStats::from_snapshot(&snap).unwrap();
         assert_eq!(format!("{view}"), format!("{}", observed.stats));
         assert_eq!(view.shard_events, observed.stats.shard_events);
 
@@ -1077,7 +1089,7 @@ mod tests {
         assert_eq!(observed.render(), plain.render());
 
         let snap = obs.snapshot();
-        let view = MonitorStats::from_snapshot(&snap);
+        let view = MonitorStats::from_snapshot(&snap).unwrap();
         assert_eq!(format!("{view}"), format!("{}", observed.stats));
         assert_eq!(snap.span_count("fleet.simulate"), cfg.streams);
         // One supervised chunk per stream, all first-try successes.

@@ -1,0 +1,280 @@
+//! A lockstep (optionally pipelining) `fsa-wire/v1` client, plus the
+//! `fsa serve --connect` command built on it.
+
+use crate::cli::{self, Flag, Flags, SERVE_USAGE};
+use crate::proto::{ClientFrame, ServerFrame, SpecPayload};
+use crate::wire::{self, DEFAULT_MAX_FRAME, PROTOCOL};
+use std::net::TcpStream;
+
+/// A connected, handshaken client.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects and performs the `hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// A display-ready message (connection refused, protocol mismatch,
+    /// transport failure).
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        };
+        client.send(&ClientFrame::Hello {
+            protocol: PROTOCOL.to_owned(),
+        })?;
+        match client.recv()? {
+            Some(ServerFrame::Hello { protocol }) if protocol == PROTOCOL => Ok(client),
+            Some(ServerFrame::Hello { protocol }) => {
+                Err(format!("server speaks `{protocol}`, not {PROTOCOL}"))
+            }
+            Some(ServerFrame::Error { code, message, .. }) => Err(format!("{code}: {message}")),
+            Some(other) => Err(format!("unexpected handshake reply {other:?}")),
+            None => Err("server closed the connection during the handshake".to_owned()),
+        }
+    }
+
+    /// Sends one frame (pipelining is allowed: responses arrive in
+    /// submission order per session).
+    ///
+    /// # Errors
+    ///
+    /// The transport failure, display-ready.
+    pub fn send(&mut self, frame: &ClientFrame) -> Result<(), String> {
+        wire::write_frame(&mut self.stream, &frame.encode()).map_err(|e| e.to_string())
+    }
+
+    /// Receives the next frame; `None` is a clean server close.
+    ///
+    /// # Errors
+    ///
+    /// The transport/framing failure, display-ready.
+    pub fn recv(&mut self) -> Result<Option<ServerFrame>, String> {
+        match wire::read_frame(&mut self.stream, self.max_frame) {
+            Ok(None) => Ok(None),
+            Ok(Some(payload)) => ServerFrame::decode(&payload)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Opens a session and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (`open-failed`, `draining`, …) or transport
+    /// failures, display-ready.
+    pub fn open(
+        &mut self,
+        spec: Option<SpecPayload>,
+        scenario: Option<String>,
+    ) -> Result<u64, String> {
+        self.send(&ClientFrame::Open { spec, scenario })?;
+        match self.recv()? {
+            Some(ServerFrame::Opened { session }) => Ok(session),
+            Some(ServerFrame::Error { code, message, .. }) => Err(format!("{code}: {message}")),
+            Some(other) => Err(format!("unexpected reply to open: {other:?}")),
+            None => Err("server closed the connection before `opened`".to_owned()),
+        }
+    }
+
+    /// Lockstep request: sends and waits for this request's response or
+    /// error frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, display-ready (typed server errors are
+    /// returned as frames, not `Err`).
+    pub fn request(
+        &mut self,
+        session: u64,
+        id: u64,
+        command: &str,
+        args: &[String],
+        deadline_ms: Option<u64>,
+    ) -> Result<ServerFrame, String> {
+        self.send(&ClientFrame::Request {
+            session,
+            id,
+            command: command.to_owned(),
+            args: args.to_vec(),
+            deadline_ms,
+        })?;
+        match self.recv()? {
+            Some(frame) => Ok(frame),
+            None => Err("server closed the connection before responding".to_owned()),
+        }
+    }
+
+    /// Requests a server-wide drain and reads until the closing `bye`.
+    /// Returns every frame received on the way (pipelined responses,
+    /// `draining` errors).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, display-ready.
+    pub fn drain(mut self) -> Result<Vec<ServerFrame>, String> {
+        self.send(&ClientFrame::Drain)?;
+        let mut seen = Vec::new();
+        while let Some(frame) = self.recv()? {
+            let done = matches!(frame, ServerFrame::Bye);
+            seen.push(frame);
+            if done {
+                break;
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Polite close: sends `bye` and waits for the server's `bye`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, display-ready.
+    pub fn bye(mut self) -> Result<(), String> {
+        self.send(&ClientFrame::Bye)?;
+        while let Some(frame) = self.recv()? {
+            if matches!(frame, ServerFrame::Bye) {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `fsa serve --connect` — scripts a session against a running server:
+/// open (spec and/or scenario), run each `--request`, optionally drain.
+/// Response stdout/stderr print verbatim; the exit code is the first
+/// non-zero response exit (typed error frames exit 1).
+pub fn connect_command(rest: &[String]) -> u8 {
+    let mut connect: Option<String> = None;
+    let mut spec: Option<String> = None;
+    let mut scenario: Option<String> = None;
+    let mut requests: Vec<String> = Vec::new();
+    let mut deadline_ms: Option<u64> = None;
+    let mut drain = false;
+
+    let mut flags = Flags::new_repeatable(rest, SERVE_USAGE, &["request"]);
+    while let Some(flag) = flags.next_flag() {
+        let flag = match flag {
+            Ok(f) => f,
+            Err(r) => return cli::emit(&r),
+        };
+        let (name, inline) = match flag {
+            Flag::Named(n, v) => (n, v),
+            Flag::Positional(p) => return cli::emit(&flags.positional(&p)),
+        };
+        match name.as_str() {
+            "connect" => match flags.value("connect", inline) {
+                Ok(a) => connect = Some(a),
+                Err(r) => return cli::emit(&r),
+            },
+            "spec" => match flags.value("spec", inline) {
+                Ok(p) => spec = Some(p),
+                Err(r) => return cli::emit(&r),
+            },
+            "scenario" => match flags.value("scenario", inline) {
+                Ok(s) => scenario = Some(s),
+                Err(r) => return cli::emit(&r),
+            },
+            "request" => match flags.value("request", inline) {
+                Ok(rq) => requests.push(rq),
+                Err(r) => return cli::emit(&r),
+            },
+            "deadline-ms" => match flags.seed("deadline-ms", inline) {
+                Ok(n) => deadline_ms = Some(n),
+                Err(r) => return cli::emit(&r),
+            },
+            "drain" => drain = true,
+            other => return cli::emit(&flags.unknown(other)),
+        }
+    }
+    let Some(addr) = connect else {
+        eprintln!("--connect expects a value\n{SERVE_USAGE}");
+        return 2;
+    };
+
+    let payload = match spec {
+        None => None,
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(source) => Some(SpecPayload { name: path, source }),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 1;
+            }
+        },
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let session = match client.open(payload, scenario) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let mut exit = 0u8;
+    for (i, line) in requests.iter().enumerate() {
+        let mut words = line.split_whitespace().map(str::to_owned);
+        let Some(command) = words.next() else {
+            eprintln!("--request expects `COMMAND [ARGS...]`, got an empty string");
+            return 2;
+        };
+        let args: Vec<String> = words.collect();
+        match client.request(session, i as u64 + 1, &command, &args, deadline_ms) {
+            Ok(ServerFrame::Response {
+                exit: e,
+                stdout,
+                stderr,
+                ..
+            }) => {
+                use std::io::Write as _;
+                print!("{stdout}");
+                let _ = std::io::stdout().flush();
+                eprint!("{stderr}");
+                if exit == 0 {
+                    exit = e;
+                }
+            }
+            Ok(ServerFrame::Error { code, message, .. }) => {
+                eprintln!("error: {code}: {message}");
+                if exit == 0 {
+                    exit = 1;
+                }
+            }
+            Ok(other) => {
+                eprintln!("unexpected reply: {other:?}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    }
+    let finish = if drain {
+        client.drain().map(|_| ())
+    } else {
+        client.bye()
+    };
+    if let Err(e) = finish {
+        eprintln!("{e}");
+        if exit == 0 {
+            exit = 1;
+        }
+    }
+    exit
+}

@@ -1,0 +1,292 @@
+//! Session-scoped engines behind the [`Service`] trait.
+//!
+//! A session opens over a spec file and/or a named scenario. The
+//! expensive derivations — `speclang` parsing, APA construction, APA
+//! reachability and §5 elicitation — happen once, at open (or lazily on
+//! first use), and every later request answers from the resident state.
+//! The runners in [`crate::cli`] do the actual work, so responses are
+//! byte-identical to the one-shot CLI.
+
+use crate::cli;
+use fsa_core::service::{codes, LoadedModel, Query, Rendered, Service, ServiceCtx, ServiceError};
+use fsa_core::RequirementSet;
+use std::sync::Arc;
+
+/// Builds the APA of a named simulation scenario.
+pub(crate) fn scenario_apa(name: &str) -> Result<apa::Apa, String> {
+    use vanet::forwarding::{forwarding_chain_apa, forwarding_chain_apa_with, RangeConfig};
+    match name {
+        "two" => vanet::apa_model::two_vehicle_apa(vanet::semantics::ApaSemantics::PAPER)
+            .map_err(|e| e.to_string()),
+        "chain" => forwarding_chain_apa().map_err(|e| e.to_string()),
+        "attacked" => {
+            forwarding_chain_apa_with(RangeConfig::default(), true).map_err(|e| e.to_string())
+        }
+        "six" => vanet::apa_model::n_pair_apa(3, vanet::semantics::ApaSemantics::PAPER)
+            .map_err(|e| e.to_string()),
+        other => Err(format!("unknown scenario `{other}`")),
+    }
+}
+
+/// A resident scenario: the APA built once at open, plus the §5
+/// elicitation memoised on first `monitor` request. The second monitor
+/// query against the same session skips reachability and elicitation
+/// entirely.
+pub struct ScenarioModel {
+    name: String,
+    apa: apa::Apa,
+    elicited: Option<RequirementSet>,
+}
+
+impl ScenarioModel {
+    /// Builds the named scenario's APA (`two`, `chain`, `attacked`,
+    /// `six`).
+    ///
+    /// # Errors
+    ///
+    /// The scenario-construction error, already formatted for display.
+    pub fn load(name: &str) -> Result<ScenarioModel, String> {
+        Ok(ScenarioModel {
+            name: name.to_owned(),
+            apa: scenario_apa(name)?,
+            elicited: None,
+        })
+    }
+
+    /// The scenario name this session was opened over.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The resident APA.
+    #[must_use]
+    pub fn apa(&self) -> &apa::Apa {
+        &self.apa
+    }
+
+    /// Whether the elicited requirement set is already memoised (used
+    /// by tests asserting that repeated queries skip the derivation).
+    #[must_use]
+    pub fn is_elicited(&self) -> bool {
+        self.elicited.is_some()
+    }
+
+    /// The APA together with its elicited requirement set, deriving and
+    /// memoising the latter on first call.
+    ///
+    /// # Errors
+    ///
+    /// The reachability failure, formatted exactly as the one-shot CLI
+    /// reports it.
+    pub fn split_elicited(&mut self) -> Result<(&apa::Apa, &RequirementSet), String> {
+        if self.elicited.is_none() {
+            let graph = self
+                .apa
+                .reachability(&apa::ReachOptions::default())
+                .map_err(|e| format!("reachability failed: {e}"))?;
+            let elicited = fsa_core::assisted::elicit_from_graph(
+                &graph,
+                fsa_core::assisted::DependenceMethod::Precedence,
+                vanet::apa_model::stakeholder_of,
+            );
+            self.elicited = Some(elicited.requirements);
+        }
+        Ok((
+            &self.apa,
+            self.elicited.as_ref().expect("memoised just above"),
+        ))
+    }
+}
+
+/// Rejects per-request use of server-level artefact flags. In a session
+/// the observability registry belongs to the server (`--stats-json` /
+/// `--trace-json` are `fsa serve` flags); a request carrying them would
+/// silently snapshot the shared registry mid-flight.
+fn reject_artefact_flags(query: &Query) -> Result<(), ServiceError> {
+    for arg in &query.args {
+        for flag in ["--stats-json", "--trace-json"] {
+            if arg == flag || arg.starts_with(&format!("{flag}=")) {
+                return Err(ServiceError::new(
+                    codes::UNSUPPORTED_FLAG,
+                    format!("{flag} is a server-level flag; pass it to `fsa serve` instead"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn unknown_command(engine: &str, query: &Query) -> ServiceError {
+    ServiceError::new(
+        codes::UNKNOWN_COMMAND,
+        format!("engine `{engine}` does not answer `{}`", query.command),
+    )
+}
+
+/// Answers `check`/`elicit` from an interned, immutable parsed spec.
+pub struct SpecService {
+    model: Arc<LoadedModel>,
+}
+
+impl SpecService {
+    /// Wraps a session's shared model handle.
+    #[must_use]
+    pub fn new(model: Arc<LoadedModel>) -> SpecService {
+        SpecService { model }
+    }
+}
+
+impl Service for SpecService {
+    fn engine(&self) -> &'static str {
+        "spec"
+    }
+
+    fn commands(&self) -> &'static [&'static str] {
+        &["check", "elicit"]
+    }
+
+    fn respond(&mut self, query: &Query, ctx: &ServiceCtx) -> Result<Rendered, ServiceError> {
+        reject_artefact_flags(query)?;
+        match query.command.as_str() {
+            "check" | "elicit" => Ok(cli::run_spec(
+                &query.command,
+                &query.args,
+                Some(&self.model),
+                ctx,
+            )),
+            _ => Err(unknown_command(self.engine(), query)),
+        }
+    }
+}
+
+/// Answers `explore`. The vehicular universe is parameterised entirely
+/// by flags, so there is no resident model — the service exists so
+/// every session uniformly routes commands through [`Service`].
+#[derive(Default)]
+pub struct ExploreService;
+
+impl Service for ExploreService {
+    fn engine(&self) -> &'static str {
+        "explore"
+    }
+
+    fn commands(&self) -> &'static [&'static str] {
+        &["explore"]
+    }
+
+    fn respond(&mut self, query: &Query, ctx: &ServiceCtx) -> Result<Rendered, ServiceError> {
+        reject_artefact_flags(query)?;
+        match query.command.as_str() {
+            "explore" => Ok(cli::run_explore(&query.args, ctx)),
+            _ => Err(unknown_command(self.engine(), query)),
+        }
+    }
+}
+
+/// Answers `simulate`/`monitor` from a resident [`ScenarioModel`].
+pub struct ScenarioService {
+    model: ScenarioModel,
+}
+
+impl ScenarioService {
+    /// Wraps an opened scenario.
+    #[must_use]
+    pub fn new(model: ScenarioModel) -> ScenarioService {
+        ScenarioService { model }
+    }
+
+    /// The resident scenario (tests inspect memoisation state).
+    #[must_use]
+    pub fn model(&self) -> &ScenarioModel {
+        &self.model
+    }
+}
+
+impl Service for ScenarioService {
+    fn engine(&self) -> &'static str {
+        "scenario"
+    }
+
+    fn commands(&self) -> &'static [&'static str] {
+        &["simulate", "monitor"]
+    }
+
+    fn respond(&mut self, query: &Query, ctx: &ServiceCtx) -> Result<Rendered, ServiceError> {
+        reject_artefact_flags(query)?;
+        match query.command.as_str() {
+            "simulate" => Ok(cli::run_simulate(&query.args, Some(&self.model), ctx)),
+            "monitor" => Ok(cli::run_monitor(&query.args, Some(&mut self.model), ctx)),
+            _ => Err(unknown_command(self.engine(), query)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(command: &str, args: &[&str]) -> Query {
+        Query::new(command, args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn scenario_model_memoises_elicitation() {
+        let mut m = ScenarioModel::load("chain").expect("chain scenario builds");
+        assert!(!m.is_elicited());
+        let first_len = {
+            let (_, reqs) = m.split_elicited().expect("reachability");
+            reqs.len()
+        };
+        assert!(m.is_elicited());
+        let (_, reqs) = m.split_elicited().expect("memoised");
+        assert_eq!(reqs.len(), first_len);
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_load_error() {
+        let err = ScenarioModel::load("warp").map(|_| ()).unwrap_err();
+        assert_eq!(err, "unknown scenario `warp`");
+    }
+
+    #[test]
+    fn services_reject_server_level_artefact_flags() {
+        let mut svc = ExploreService;
+        let ctx = ServiceCtx::one_shot();
+        let err = svc
+            .respond(&query("explore", &["--stats-json", "x.json"]), &ctx)
+            .unwrap_err();
+        assert_eq!(err.code, codes::UNSUPPORTED_FLAG);
+        let err = svc
+            .respond(&query("explore", &["--trace-json=t.json"]), &ctx)
+            .unwrap_err();
+        assert_eq!(err.code, codes::UNSUPPORTED_FLAG);
+    }
+
+    #[test]
+    fn services_reject_commands_outside_their_contract() {
+        let mut svc = ExploreService;
+        let ctx = ServiceCtx::one_shot();
+        let err = svc.respond(&query("simulate", &[]), &ctx).unwrap_err();
+        assert_eq!(err.code, codes::UNKNOWN_COMMAND);
+        assert_eq!(svc.commands(), ["explore"]);
+    }
+
+    #[test]
+    fn monitor_via_a_session_matches_the_scenario_validation_contract() {
+        let mut svc = ScenarioService::new(ScenarioModel::load("two").expect("two builds"));
+        let ctx = ServiceCtx::one_shot();
+        // `two` is simulatable but not monitorable: same message as the
+        // one-shot CLI.
+        let r = svc.respond(&query("monitor", &[]), &ctx).expect("rendered");
+        assert_eq!(r.exit, 2);
+        assert!(r
+            .stderr
+            .contains("unknown scenario `two` (expected chain or six)"));
+        let r = svc
+            .respond(&query("simulate", &["--max-steps", "5"]), &ctx)
+            .expect("rendered");
+        assert_eq!(r.exit, 0);
+        assert!(r.stdout.contains("scenario two, seed 1"));
+    }
+}

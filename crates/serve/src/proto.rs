@@ -1,0 +1,534 @@
+//! Typed `fsa-wire/v1` frames and their JSON encoding.
+//!
+//! Session lifecycle: `hello` (both directions, protocol handshake) →
+//! `open` / `opened` (bind a session to preloaded state) → any number
+//! of `request` / `response` (or typed `error`) → `drain` (graceful
+//! server-wide drain) → `bye` (close). Emission reuses
+//! [`fsa_obs::json`]'s escaping; ingestion uses [`crate::json`].
+
+use crate::json::{self, Value};
+use fsa_core::service::{codes, ServiceError};
+use fsa_obs::json::{write_key, write_str};
+use std::fmt::Write as _;
+
+/// A spec payload carried by `open`: the client reads the file and
+/// ships its *source* (the server may not share a filesystem), plus the
+/// display `name` (usually the path) so rendered output is
+/// byte-identical to a one-shot run over the same file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecPayload {
+    /// Display name used in rendered reports (e.g. `specs/fig3.fsa`).
+    pub name: String,
+    /// Full specification source text.
+    pub source: String,
+}
+
+/// Frames a client sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Protocol handshake; must be the first frame.
+    Hello {
+        /// Announced protocol (must equal [`crate::wire::PROTOCOL`]).
+        protocol: String,
+    },
+    /// Opens a session holding the given preloaded state. Both fields
+    /// optional: a bare `open` still answers `explore` requests.
+    Open {
+        /// Specification to parse and intern for `check`/`elicit`.
+        spec: Option<SpecPayload>,
+        /// Scenario name to prepare for `simulate`/`monitor`.
+        scenario: Option<String>,
+    },
+    /// One command against an open session.
+    Request {
+        /// Session id from `opened`.
+        session: u64,
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Subcommand (`elicit`, `explore`, …).
+        command: String,
+        /// CLI-style arguments.
+        args: Vec<String>,
+        /// Optional per-request deadline in milliseconds, measured from
+        /// receipt (queue wait counts).
+        deadline_ms: Option<u64>,
+    },
+    /// Initiates a graceful server-wide drain.
+    Drain,
+    /// Closes the connection.
+    Bye,
+}
+
+/// Frames the server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// Handshake reply.
+    Hello {
+        /// Server protocol.
+        protocol: String,
+    },
+    /// A session is open.
+    Opened {
+        /// Identifier for subsequent `request` frames.
+        session: u64,
+    },
+    /// The outcome of one request — the exact one-shot CLI bytes.
+    Response {
+        /// Session the request ran in.
+        session: u64,
+        /// Echo of the request id.
+        id: u64,
+        /// CLI exit code (0/1/2/3 discipline).
+        exit: u8,
+        /// Execution time of *this* response in microseconds (a cached
+        /// replay reports its lookup time, not the original run's).
+        micros: u64,
+        /// Whether the response was replayed from the session cache.
+        cached: bool,
+        /// Exact stdout bytes.
+        stdout: String,
+        /// Exact stderr bytes.
+        stderr: String,
+    },
+    /// A typed service-layer error.
+    Error {
+        /// Session, when the error is session-scoped.
+        session: Option<u64>,
+        /// Request id, when the error answers a specific request.
+        id: Option<u64>,
+        /// Stable code (see [`fsa_core::service::codes`]).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Drain/close acknowledgement; last frame on a connection.
+    Bye,
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    write_key(out, key);
+    write_str(out, value);
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64) {
+    write_key(out, key);
+    let _ = write!(out, "{value}");
+}
+
+impl ClientFrame {
+    /// Encodes the frame as its JSON payload.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut s = String::from("{");
+        match self {
+            ClientFrame::Hello { protocol } => {
+                push_str_field(&mut s, "type", "hello");
+                s.push(',');
+                push_str_field(&mut s, "protocol", protocol);
+            }
+            ClientFrame::Open { spec, scenario } => {
+                push_str_field(&mut s, "type", "open");
+                if let Some(spec) = spec {
+                    s.push(',');
+                    write_key(&mut s, "spec");
+                    s.push('{');
+                    push_str_field(&mut s, "name", &spec.name);
+                    s.push(',');
+                    push_str_field(&mut s, "source", &spec.source);
+                    s.push('}');
+                }
+                if let Some(sc) = scenario {
+                    s.push(',');
+                    push_str_field(&mut s, "scenario", sc);
+                }
+            }
+            ClientFrame::Request {
+                session,
+                id,
+                command,
+                args,
+                deadline_ms,
+            } => {
+                push_str_field(&mut s, "type", "request");
+                s.push(',');
+                push_u64_field(&mut s, "session", *session);
+                s.push(',');
+                push_u64_field(&mut s, "id", *id);
+                s.push(',');
+                push_str_field(&mut s, "command", command);
+                s.push(',');
+                write_key(&mut s, "args");
+                s.push('[');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    write_str(&mut s, a);
+                }
+                s.push(']');
+                if let Some(ms) = deadline_ms {
+                    s.push(',');
+                    push_u64_field(&mut s, "deadline_ms", *ms);
+                }
+            }
+            ClientFrame::Drain => push_str_field(&mut s, "type", "drain"),
+            ClientFrame::Bye => push_str_field(&mut s, "type", "bye"),
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes a client frame from a JSON payload.
+    ///
+    /// # Errors
+    ///
+    /// A [`ServiceError`] with code [`codes::BAD_FRAME`] naming the
+    /// offending field.
+    pub fn decode(payload: &str) -> Result<ClientFrame, ServiceError> {
+        let v =
+            json::parse(payload).map_err(|e| ServiceError::new(codes::BAD_FRAME, e.to_string()))?;
+        let bad = |what: &str| ServiceError::new(codes::BAD_FRAME, what.to_owned());
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("frame has no string `type` field"))?;
+        match ty {
+            "hello" => Ok(ClientFrame::Hello {
+                protocol: v
+                    .get("protocol")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad("hello has no `protocol`"))?
+                    .to_owned(),
+            }),
+            "open" => {
+                let spec = match v.get("spec") {
+                    None | Some(Value::Null) => None,
+                    Some(spec) => Some(SpecPayload {
+                        name: spec
+                            .get("name")
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| bad("open.spec has no `name`"))?
+                            .to_owned(),
+                        source: spec
+                            .get("source")
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| bad("open.spec has no `source`"))?
+                            .to_owned(),
+                    }),
+                };
+                let scenario = match v.get("scenario") {
+                    None | Some(Value::Null) => None,
+                    Some(sc) => Some(
+                        sc.as_str()
+                            .ok_or_else(|| bad("open.scenario must be a string"))?
+                            .to_owned(),
+                    ),
+                };
+                Ok(ClientFrame::Open { spec, scenario })
+            }
+            "request" => {
+                let args = match v.get("args") {
+                    None => Vec::new(),
+                    Some(arr) => arr
+                        .as_arr()
+                        .ok_or_else(|| bad("request.args must be an array"))?
+                        .iter()
+                        .map(|a| {
+                            a.as_str()
+                                .map(str::to_owned)
+                                .ok_or_else(|| bad("request.args items must be strings"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                let deadline_ms = match v.get("deadline_ms") {
+                    None | Some(Value::Null) => None,
+                    Some(d) => Some(d.as_u64().ok_or_else(|| {
+                        bad("request.deadline_ms must be a non-negative integer")
+                    })?),
+                };
+                Ok(ClientFrame::Request {
+                    session: v
+                        .get("session")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| bad("request has no integer `session`"))?,
+                    id: v
+                        .get("id")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| bad("request has no integer `id`"))?,
+                    command: v
+                        .get("command")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| bad("request has no string `command`"))?
+                        .to_owned(),
+                    args,
+                    deadline_ms,
+                })
+            }
+            "drain" => Ok(ClientFrame::Drain),
+            "bye" => Ok(ClientFrame::Bye),
+            other => Err(bad(&format!("unknown client frame type `{other}`"))),
+        }
+    }
+}
+
+impl ServerFrame {
+    /// Encodes the frame as its JSON payload.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut s = String::from("{");
+        match self {
+            ServerFrame::Hello { protocol } => {
+                push_str_field(&mut s, "type", "hello");
+                s.push(',');
+                push_str_field(&mut s, "protocol", protocol);
+            }
+            ServerFrame::Opened { session } => {
+                push_str_field(&mut s, "type", "opened");
+                s.push(',');
+                push_u64_field(&mut s, "session", *session);
+            }
+            ServerFrame::Response {
+                session,
+                id,
+                exit,
+                micros,
+                cached,
+                stdout,
+                stderr,
+            } => {
+                push_str_field(&mut s, "type", "response");
+                s.push(',');
+                push_u64_field(&mut s, "session", *session);
+                s.push(',');
+                push_u64_field(&mut s, "id", *id);
+                s.push(',');
+                push_u64_field(&mut s, "exit", u64::from(*exit));
+                s.push(',');
+                push_u64_field(&mut s, "micros", *micros);
+                s.push(',');
+                write_key(&mut s, "cached");
+                s.push_str(if *cached { "true" } else { "false" });
+                s.push(',');
+                push_str_field(&mut s, "stdout", stdout);
+                s.push(',');
+                push_str_field(&mut s, "stderr", stderr);
+            }
+            ServerFrame::Error {
+                session,
+                id,
+                code,
+                message,
+            } => {
+                push_str_field(&mut s, "type", "error");
+                if let Some(session) = session {
+                    s.push(',');
+                    push_u64_field(&mut s, "session", *session);
+                }
+                if let Some(id) = id {
+                    s.push(',');
+                    push_u64_field(&mut s, "id", *id);
+                }
+                s.push(',');
+                push_str_field(&mut s, "code", code);
+                s.push(',');
+                push_str_field(&mut s, "message", message);
+            }
+            ServerFrame::Bye => push_str_field(&mut s, "type", "bye"),
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes a server frame from a JSON payload.
+    ///
+    /// # Errors
+    ///
+    /// A [`ServiceError`] with code [`codes::BAD_FRAME`].
+    pub fn decode(payload: &str) -> Result<ServerFrame, ServiceError> {
+        let v =
+            json::parse(payload).map_err(|e| ServiceError::new(codes::BAD_FRAME, e.to_string()))?;
+        let bad = |what: &str| ServiceError::new(codes::BAD_FRAME, what.to_owned());
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("frame has no string `type` field"))?;
+        match ty {
+            "hello" => Ok(ServerFrame::Hello {
+                protocol: v
+                    .get("protocol")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad("hello has no `protocol`"))?
+                    .to_owned(),
+            }),
+            "opened" => Ok(ServerFrame::Opened {
+                session: v
+                    .get("session")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad("opened has no integer `session`"))?,
+            }),
+            "response" => {
+                let exit = v
+                    .get("exit")
+                    .and_then(Value::as_u64)
+                    .filter(|&e| e <= u64::from(u8::MAX))
+                    .ok_or_else(|| bad("response has no u8 `exit`"))?;
+                let field = |k: &str| -> Result<String, ServiceError> {
+                    v.get(k)
+                        .and_then(Value::as_str)
+                        .map(str::to_owned)
+                        .ok_or_else(|| bad(&format!("response has no string `{k}`")))
+                };
+                Ok(ServerFrame::Response {
+                    session: v
+                        .get("session")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| bad("response has no integer `session`"))?,
+                    id: v
+                        .get("id")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| bad("response has no integer `id`"))?,
+                    exit: exit as u8,
+                    micros: v.get("micros").and_then(Value::as_u64).unwrap_or(0),
+                    cached: matches!(v.get("cached"), Some(Value::Bool(true))),
+                    stdout: field("stdout")?,
+                    stderr: field("stderr")?,
+                })
+            }
+            "error" => Ok(ServerFrame::Error {
+                session: v.get("session").and_then(Value::as_u64),
+                id: v.get("id").and_then(Value::as_u64),
+                code: v
+                    .get("code")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad("error has no string `code`"))?
+                    .to_owned(),
+                message: v
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            }),
+            "bye" => Ok(ServerFrame::Bye),
+            other => Err(bad(&format!("unknown server frame type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_client(f: ClientFrame) {
+        let encoded = f.encode();
+        let decoded = ClientFrame::decode(&encoded).unwrap();
+        assert_eq!(decoded, f, "{encoded}");
+    }
+
+    fn round_trip_server(f: ServerFrame) {
+        let encoded = f.encode();
+        let decoded = ServerFrame::decode(&encoded).unwrap();
+        assert_eq!(decoded, f, "{encoded}");
+    }
+
+    #[test]
+    fn client_frames_round_trip() {
+        round_trip_client(ClientFrame::Hello {
+            protocol: crate::wire::PROTOCOL.to_owned(),
+        });
+        round_trip_client(ClientFrame::Open {
+            spec: Some(SpecPayload {
+                name: "specs/fig3.fsa".to_owned(),
+                source: "instance \"x\" {\n}\n".to_owned(),
+            }),
+            scenario: Some("chain".to_owned()),
+        });
+        round_trip_client(ClientFrame::Open {
+            spec: None,
+            scenario: None,
+        });
+        round_trip_client(ClientFrame::Request {
+            session: 1,
+            id: 42,
+            command: "elicit".to_owned(),
+            args: vec!["--param".to_owned(), "--refine".to_owned()],
+            deadline_ms: Some(250),
+        });
+        round_trip_client(ClientFrame::Drain);
+        round_trip_client(ClientFrame::Bye);
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        round_trip_server(ServerFrame::Hello {
+            protocol: crate::wire::PROTOCOL.to_owned(),
+        });
+        round_trip_server(ServerFrame::Opened { session: 7 });
+        round_trip_server(ServerFrame::Response {
+            session: 7,
+            id: 42,
+            exit: 3,
+            micros: 1234,
+            cached: true,
+            stdout: "line with \"quotes\"\nand a → arrow\n".to_owned(),
+            stderr: String::new(),
+        });
+        round_trip_server(ServerFrame::Error {
+            session: Some(7),
+            id: None,
+            code: codes::DRAINING.to_owned(),
+            message: "server is draining".to_owned(),
+        });
+        round_trip_server(ServerFrame::Bye);
+    }
+
+    #[test]
+    fn golden_encodings_are_stable() {
+        // The wire bytes are part of the protocol contract: key order
+        // and spelling must not drift between releases.
+        assert_eq!(
+            ClientFrame::Hello {
+                protocol: "fsa-wire/v1".to_owned()
+            }
+            .encode(),
+            r#"{"type":"hello","protocol":"fsa-wire/v1"}"#
+        );
+        assert_eq!(
+            ClientFrame::Request {
+                session: 1,
+                id: 2,
+                command: "check".to_owned(),
+                args: vec![],
+                deadline_ms: None,
+            }
+            .encode(),
+            r#"{"type":"request","session":1,"id":2,"command":"check","args":[]}"#
+        );
+        assert_eq!(
+            ServerFrame::Error {
+                session: None,
+                id: Some(9),
+                code: "overloaded".to_owned(),
+                message: "queue full".to_owned(),
+            }
+            .encode(),
+            r#"{"type":"error","id":9,"code":"overloaded","message":"queue full"}"#
+        );
+    }
+
+    #[test]
+    fn malformed_frames_yield_typed_errors_not_panics() {
+        for bad in [
+            "",
+            "nonsense",
+            "{}",
+            r#"{"type":"warp"}"#,
+            r#"{"type":"request","session":"one","id":2,"command":"x"}"#,
+            r#"{"type":"request","session":1,"id":2,"command":"x","args":[3]}"#,
+            r#"{"type":"request","session":1,"id":2,"command":"x","deadline_ms":-5}"#,
+            r#"{"type":"open","spec":{"name":"x"}}"#,
+        ] {
+            let err = ClientFrame::decode(bad).unwrap_err();
+            assert_eq!(err.code, codes::BAD_FRAME, "{bad}: {err}");
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The resident `fsa serve` TCP server.
+//!
+//! Thread-per-connection over std's blocking sockets: the accept loop
+//! polls a drain flag between non-blocking accepts; each connection
+//! reads `fsa-wire/v1` frames with a short read timeout so idle
+//! connections notice a drain at the next frame boundary. Session
+//! workers write responses through a shared, lock-protected writer —
+//! one buffered `write_all` per frame keeps concurrent sessions'
+//! frames atomic on the wire.
+//!
+//! Graceful drain (SIGTERM or a client `drain` frame): the listener
+//! stops accepting, in-flight and already-queued requests finish and
+//! their responses flush, *new* requests are answered with a typed
+//! `draining` error, and every connection ends with `bye`.
+
+use crate::cli::{self, Flag, Flags, SERVE_USAGE};
+use crate::proto::{ClientFrame, ServerFrame};
+use crate::session::{FrameSink, SessionHandle};
+use crate::wire::{self, WireError, DEFAULT_MAX_FRAME, PROTOCOL};
+use fsa_core::service::{codes, Query, ServiceError};
+use fsa_obs::Obs;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Bounded per-session request queue length.
+    pub queue: usize,
+    /// Per-frame payload limit in bytes.
+    pub max_frame: usize,
+    /// Observability registry threaded through every connection,
+    /// session and engine (`serve.*` series).
+    pub obs: Obs,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            queue: 8,
+            max_frame: DEFAULT_MAX_FRAME,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Totals reported when the server drains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Sessions opened.
+    pub sessions: u64,
+    /// Request frames received (including rejected ones).
+    pub requests: u64,
+}
+
+#[derive(Default)]
+struct Totals {
+    connections: AtomicU64,
+    sessions: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    drain: Arc<AtomicBool>,
+    totals: Arc<Totals>,
+}
+
+impl Server {
+    /// Binds the listen socket (non-blocking accepts).
+    ///
+    /// # Errors
+    ///
+    /// The underlying bind/configuration failure.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            config,
+            drain: Arc::new(AtomicBool::new(false)),
+            totals: Arc::new(Totals::default()),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the chosen port).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket query failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The drain flag: set it (or deliver SIGTERM) to stop accepting
+    /// and gracefully finish in-flight work.
+    #[must_use]
+    pub fn drain_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.drain)
+    }
+
+    /// Accepts and serves connections until a drain is requested, then
+    /// joins every connection (whose sessions finish their queued work)
+    /// and returns the totals.
+    #[must_use]
+    pub fn run(self) -> ServeSummary {
+        let mut handles = Vec::new();
+        loop {
+            if self.drain.load(Ordering::SeqCst) || crate::signal::drain_requested() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let accept = self.config.obs.span("serve.accept");
+                    self.config.obs.counter_add("serve.connections", 1);
+                    self.totals.connections.fetch_add(1, Ordering::Relaxed);
+                    let ctx = ConnCtx {
+                        config: self.config.clone(),
+                        drain: Arc::clone(&self.drain),
+                        totals: Arc::clone(&self.totals),
+                    };
+                    drop(accept);
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name("fsa-serve-conn".to_owned())
+                            .spawn(move || handle_connection(stream, &ctx)),
+                    );
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(15)),
+            }
+        }
+        for h in handles.into_iter().flatten() {
+            let _ = h.join();
+        }
+        ServeSummary {
+            connections: self.totals.connections.load(Ordering::Relaxed),
+            sessions: self.totals.sessions.load(Ordering::Relaxed),
+            requests: self.totals.requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct ConnCtx {
+    config: ServeConfig,
+    drain: Arc<AtomicBool>,
+    totals: Arc<Totals>,
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
+    let _ = stream.set_nodelay(true);
+    let Ok(mut reader) = stream.try_clone() else {
+        return;
+    };
+    // Short read timeouts let idle connections poll the drain flag at
+    // frame boundaries without busy-waiting.
+    let _ = reader.set_read_timeout(Some(Duration::from_millis(50)));
+    let writer = Arc::new(Mutex::new(stream));
+    let sink: FrameSink = {
+        let writer = Arc::clone(&writer);
+        Arc::new(move |frame: &ServerFrame| {
+            let mut guard = writer
+                .lock()
+                .map_err(|_| WireError::Io("writer lock poisoned".to_owned()))?;
+            wire::write_frame(&mut *guard, &frame.encode())
+        })
+    };
+    let drain = Arc::clone(&ctx.drain);
+    let stop = move || drain.load(Ordering::SeqCst) || crate::signal::drain_requested();
+
+    // Handshake: the first frame must be a matching `hello`.
+    match read_client_frame(&mut reader, ctx.config.max_frame, &sink, &stop) {
+        Some(Ok(ClientFrame::Hello { protocol })) if protocol == PROTOCOL => {
+            let _ = sink(&ServerFrame::Hello {
+                protocol: PROTOCOL.to_owned(),
+            });
+        }
+        Some(Ok(ClientFrame::Hello { protocol })) => {
+            let _ = sink(&ServerFrame::Error {
+                session: None,
+                id: None,
+                code: codes::PROTOCOL.to_owned(),
+                message: format!("unsupported protocol `{protocol}` (server speaks {PROTOCOL})"),
+            });
+            return;
+        }
+        Some(Ok(_)) => {
+            let _ = sink(&ServerFrame::Error {
+                session: None,
+                id: None,
+                code: codes::PROTOCOL.to_owned(),
+                message: "the first frame must be `hello`".to_owned(),
+            });
+            return;
+        }
+        Some(Err(())) | None => return,
+    }
+
+    let mut sessions: BTreeMap<u64, SessionHandle> = BTreeMap::new();
+    let mut next_session = 1u64;
+    while let Some(frame) = read_client_frame(&mut reader, ctx.config.max_frame, &sink, &stop) {
+        let frame = match frame {
+            Ok(f) => f,
+            Err(()) => {
+                // Framing is intact (the payload was a complete UTF-8
+                // frame); a decode failure poisons only that frame.
+                continue;
+            }
+        };
+        match frame {
+            ClientFrame::Hello { .. } => {
+                // Idempotent re-handshake.
+                let _ = sink(&ServerFrame::Hello {
+                    protocol: PROTOCOL.to_owned(),
+                });
+            }
+            ClientFrame::Open { spec, scenario } => {
+                if stop() {
+                    let _ = sink(&draining_error(None, None));
+                    continue;
+                }
+                let id = next_session;
+                match SessionHandle::open(
+                    id,
+                    spec.as_ref(),
+                    scenario.as_deref(),
+                    ctx.config.queue,
+                    Arc::clone(&sink),
+                    ctx.config.obs.clone(),
+                ) {
+                    Ok(handle) => {
+                        next_session += 1;
+                        ctx.totals.sessions.fetch_add(1, Ordering::Relaxed);
+                        sessions.insert(id, handle);
+                        let _ = sink(&ServerFrame::Opened { session: id });
+                    }
+                    Err(e) => {
+                        let _ = sink(&error_frame(None, None, &e));
+                    }
+                }
+            }
+            ClientFrame::Request {
+                session,
+                id,
+                command,
+                args,
+                deadline_ms,
+            } => {
+                ctx.totals.requests.fetch_add(1, Ordering::Relaxed);
+                if stop() {
+                    let _ = sink(&draining_error(Some(session), Some(id)));
+                    continue;
+                }
+                let Some(handle) = sessions.get(&session) else {
+                    let _ = sink(&error_frame(
+                        Some(session),
+                        Some(id),
+                        &ServiceError::new(
+                            codes::UNKNOWN_SESSION,
+                            format!("session {session} is not open on this connection"),
+                        ),
+                    ));
+                    continue;
+                };
+                let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+                if let Err(e) = handle.submit(id, Query::new(command, args), deadline) {
+                    let _ = sink(&error_frame(Some(session), Some(id), &e));
+                }
+            }
+            ClientFrame::Drain => {
+                // Server-wide: the accept loop stops, every connection
+                // notices at its next idle poll. This connection keeps
+                // reading — already-pipelined requests are answered
+                // with `draining` — until its socket goes idle or EOF,
+                // then sessions drain below and `bye` closes it.
+                ctx.drain.store(true, Ordering::SeqCst);
+            }
+            ClientFrame::Bye => break,
+        }
+    }
+
+    // Graceful teardown: closing a session joins its worker, which
+    // finishes every queued request and flushes the responses first.
+    for (_, handle) in std::mem::take(&mut sessions) {
+        handle.close();
+    }
+    let _ = sink(&ServerFrame::Bye);
+}
+
+/// Reads and decodes one client frame. `None` ends the connection
+/// (clean EOF, drain-idle, or an unrecoverable transport/framing
+/// failure — oversize frames are answered with a typed error first).
+/// `Some(Err(()))` is a decode failure already answered with a typed
+/// `bad-frame` error; the connection survives.
+fn read_client_frame(
+    reader: &mut TcpStream,
+    max_frame: usize,
+    sink: &FrameSink,
+    stop: &(dyn Fn() -> bool + Send + Sync),
+) -> Option<Result<ClientFrame, ()>> {
+    match wire::read_frame_with_stop(reader, max_frame, &|| stop()) {
+        Ok(Some(payload)) => match ClientFrame::decode(&payload) {
+            Ok(frame) => Some(Ok(frame)),
+            Err(e) => {
+                let _ = sink(&error_frame(None, None, &e));
+                Some(Err(()))
+            }
+        },
+        Ok(None) => None,
+        Err(WireError::Oversize { len, max }) => {
+            // The peer's next bytes are the oversize payload itself —
+            // the stream cannot be resynchronised, so answer and close.
+            let _ = sink(&ServerFrame::Error {
+                session: None,
+                id: None,
+                code: codes::OVERSIZE_FRAME.to_owned(),
+                message: format!("frame of {len} bytes exceeds the {max}-byte limit"),
+            });
+            None
+        }
+        Err(WireError::Utf8) => {
+            let _ = sink(&ServerFrame::Error {
+                session: None,
+                id: None,
+                code: codes::BAD_FRAME.to_owned(),
+                message: "frame payload is not valid UTF-8".to_owned(),
+            });
+            None
+        }
+        Err(WireError::Truncated | WireError::Io(_)) => None,
+    }
+}
+
+fn error_frame(session: Option<u64>, id: Option<u64>, e: &ServiceError) -> ServerFrame {
+    ServerFrame::Error {
+        session,
+        id,
+        code: e.code.to_owned(),
+        message: e.message.clone(),
+    }
+}
+
+fn draining_error(session: Option<u64>, id: Option<u64>) -> ServerFrame {
+    ServerFrame::Error {
+        session,
+        id,
+        code: codes::DRAINING.to_owned(),
+        message: "server is draining; no new work is accepted".to_owned(),
+    }
+}
+
+/// `fsa serve` — dispatches between server mode and `--connect` client
+/// mode, runs live (long-running; output is printed, not buffered).
+pub fn serve_command(rest: &[String]) -> u8 {
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{SERVE_USAGE}");
+        return 0;
+    }
+    if rest
+        .iter()
+        .any(|a| a == "--connect" || a.starts_with("--connect="))
+    {
+        return crate::client::connect_command(rest);
+    }
+
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut queue = 8usize;
+    let mut max_frame = DEFAULT_MAX_FRAME;
+    let mut stats_json: Option<String> = None;
+    let mut trace_json: Option<String> = None;
+    let mut flags = Flags::new(rest, SERVE_USAGE);
+    while let Some(flag) = flags.next_flag() {
+        let flag = match flag {
+            Ok(f) => f,
+            Err(r) => return cli::emit(&r),
+        };
+        let (name, inline) = match flag {
+            Flag::Named(n, v) => (n, v),
+            Flag::Positional(p) => return cli::emit(&flags.positional(&p)),
+        };
+        match name.as_str() {
+            "addr" => match flags.value("addr", inline) {
+                Ok(a) => addr = a,
+                Err(r) => return cli::emit(&r),
+            },
+            "queue" => match flags.positive("queue", inline) {
+                Ok(n) => queue = n,
+                Err(r) => return cli::emit(&r),
+            },
+            "max-frame" => match flags.positive("max-frame", inline) {
+                Ok(n) => max_frame = n,
+                Err(r) => return cli::emit(&r),
+            },
+            "stats-json" => match flags.value("stats-json", inline) {
+                Ok(p) => stats_json = Some(p),
+                Err(r) => return cli::emit(&r),
+            },
+            "trace-json" => match flags.value("trace-json", inline) {
+                Ok(p) => trace_json = Some(p),
+                Err(r) => return cli::emit(&r),
+            },
+            other => return cli::emit(&flags.unknown(other)),
+        }
+    }
+
+    let obs = if stats_json.is_some() || trace_json.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    let server = match Server::bind(ServeConfig {
+        addr,
+        queue,
+        max_frame,
+        obs: obs.clone(),
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return 1;
+        }
+    };
+    crate::signal::install_sigterm();
+    match server.local_addr() {
+        Ok(addr) => {
+            use std::io::Write as _;
+            println!("listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot resolve listen address: {e}");
+            return 1;
+        }
+    }
+    let summary = server.run();
+    println!(
+        "drained: {} connection(s), {} session(s), {} request(s)",
+        summary.connections, summary.sessions, summary.requests
+    );
+    let snapshot = obs.snapshot();
+    for (path, contents) in [
+        (stats_json, snapshot.to_stats_json()),
+        (trace_json, snapshot.to_trace_json()),
+    ] {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::write(&path, contents) {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}

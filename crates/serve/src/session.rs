@@ -1,0 +1,388 @@
+//! Session lifecycle: one worker thread per open session, a bounded
+//! request queue in front of it, a response cache behind it.
+//!
+//! A session is opened over optional preloaded state (a parsed spec
+//! and/or a scenario APA). Its worker drains the queue in order; each
+//! job runs under the request's deadline token and its rendered outcome
+//! is pushed through the connection's shared frame sink. Identical
+//! `(command, args)` queries replay from the cache (`serve.cache.hits`)
+//! without touching the engines at all.
+
+use crate::engines::{ExploreService, ScenarioModel, ScenarioService, SpecService};
+use crate::proto::{ServerFrame, SpecPayload};
+use crate::wire::WireError;
+use fsa_core::service::{codes, LoadedModel, Query, Rendered, Service, ServiceCtx, ServiceError};
+use fsa_exec::CancelToken;
+use fsa_obs::Obs;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Where a session worker pushes its frames: the connection's shared,
+/// lock-protected writer (frame writes are atomic — one buffered
+/// `write_all` under the lock).
+pub type FrameSink = Arc<dyn Fn(&ServerFrame) -> Result<(), WireError> + Send + Sync>;
+
+/// One unit of work for a session worker.
+pub(crate) struct Job {
+    pub(crate) id: u64,
+    pub(crate) query: Query,
+    /// Absolute deadline, stamped at *receipt* so queue wait counts.
+    pub(crate) deadline: Option<Instant>,
+}
+
+/// A handle to an open session: the bounded submit side plus the worker
+/// join handle.
+pub struct SessionHandle {
+    id: u64,
+    tx: Option<SyncSender<Job>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl SessionHandle {
+    /// Opens a session: parses/builds the requested resident state and
+    /// spawns the worker.
+    ///
+    /// # Errors
+    ///
+    /// [`codes::OPEN_FAILED`] when the spec does not parse or the
+    /// scenario is unknown.
+    pub fn open(
+        id: u64,
+        spec: Option<&SpecPayload>,
+        scenario: Option<&str>,
+        queue: usize,
+        sink: FrameSink,
+        obs: Obs,
+    ) -> Result<SessionHandle, ServiceError> {
+        let mut services: Vec<Box<dyn Service>> = Vec::new();
+        if let Some(spec) = spec {
+            let instances = speclang::parse(&spec.source)
+                .map_err(|e| ServiceError::new(codes::OPEN_FAILED, format!("{}:{e}", spec.name)))?;
+            services.push(Box::new(SpecService::new(LoadedModel::new(
+                spec.name.clone(),
+                instances,
+            ))));
+            obs.counter_add("serve.model.loads", 1);
+        }
+        if let Some(name) = scenario {
+            let model =
+                ScenarioModel::load(name).map_err(|e| ServiceError::new(codes::OPEN_FAILED, e))?;
+            services.push(Box::new(ScenarioService::new(model)));
+            obs.counter_add("serve.model.loads", 1);
+        }
+        services.push(Box::<ExploreService>::default());
+        let (tx, rx) = sync_channel(queue.max(1));
+        let worker_obs = obs.clone();
+        let worker = std::thread::Builder::new()
+            .name(format!("fsa-session-{id}"))
+            .spawn(move || worker_loop(id, services, rx, &sink, &worker_obs))
+            .map_err(|e| {
+                ServiceError::new(codes::OPEN_FAILED, format!("cannot spawn worker: {e}"))
+            })?;
+        obs.counter_add("serve.sessions", 1);
+        Ok(SessionHandle {
+            id,
+            tx: Some(tx),
+            worker: Some(worker),
+        })
+    }
+
+    /// The session id handed to the client in `opened`.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Enqueues one request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`codes::OVERLOADED`] when the bounded queue is full
+    /// (backpressure: the client retries after draining a response),
+    /// [`codes::UNKNOWN_SESSION`] when the worker already exited.
+    pub fn submit(
+        &self,
+        job_id: u64,
+        query: Query,
+        deadline: Option<Instant>,
+    ) -> Result<(), ServiceError> {
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| ServiceError::new(codes::UNKNOWN_SESSION, "session is closed"))?;
+        tx.try_send(Job {
+            id: job_id,
+            query,
+            deadline,
+        })
+        .map_err(|e| match e {
+            TrySendError::Full(_) => ServiceError::new(
+                codes::OVERLOADED,
+                format!(
+                    "session {} request queue is full; read a response before sending more",
+                    self.id
+                ),
+            ),
+            TrySendError::Disconnected(_) => {
+                ServiceError::new(codes::UNKNOWN_SESSION, "session worker has exited")
+            }
+        })
+    }
+
+    /// Closes the queue and waits for the worker to finish in-flight
+    /// and queued requests (the graceful-drain contract).
+    pub fn close(mut self) {
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(
+    session: u64,
+    mut services: Vec<Box<dyn Service>>,
+    rx: Receiver<Job>,
+    sink: &FrameSink,
+    obs: &Obs,
+) {
+    let mut cache: BTreeMap<(String, Vec<String>), Rendered> = BTreeMap::new();
+    while let Ok(job) = rx.recv() {
+        obs.counter_add("serve.requests", 1);
+        let started = Instant::now();
+        let id = job.id;
+        let frame = match answer(&mut services, &mut cache, job, obs) {
+            Ok((rendered, cached)) => ServerFrame::Response {
+                session,
+                id,
+                exit: rendered.exit,
+                micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                cached,
+                stdout: rendered.stdout,
+                stderr: rendered.stderr,
+            },
+            Err(e) => {
+                obs.counter_add("serve.errors", 1);
+                ServerFrame::Error {
+                    session: Some(session),
+                    id: Some(id),
+                    code: e.code.to_owned(),
+                    message: e.message,
+                }
+            }
+        };
+        let respond = obs.span("serve.respond");
+        let sent = sink(&frame);
+        drop(respond);
+        if sent.is_err() {
+            // The connection is gone; nobody can read further
+            // responses, so stop draining the queue.
+            break;
+        }
+    }
+}
+
+fn answer(
+    services: &mut [Box<dyn Service>],
+    cache: &mut BTreeMap<(String, Vec<String>), Rendered>,
+    job: Job,
+    obs: &Obs,
+) -> Result<(Rendered, bool), ServiceError> {
+    if let Some(deadline) = job.deadline {
+        if Instant::now() >= deadline {
+            return Err(ServiceError::new(
+                codes::DEADLINE,
+                format!(
+                    "request {} missed its deadline before execution started",
+                    job.id
+                ),
+            ));
+        }
+    }
+    let key = (job.query.command.clone(), job.query.args.clone());
+    if let Some(hit) = cache.get(&key) {
+        obs.counter_add("serve.cache.hits", 1);
+        return Ok((hit.clone(), true));
+    }
+    let service = services
+        .iter_mut()
+        .find(|s| s.commands().contains(&job.query.command.as_str()))
+        .ok_or_else(|| {
+            ServiceError::new(
+                codes::UNKNOWN_COMMAND,
+                format!(
+                    "no engine in this session answers `{}` (open the session with a spec \
+                     and/or scenario)",
+                    job.query.command
+                ),
+            )
+        })?;
+    if service.engine() != "explore" {
+        // The request is answered from resident state prepared at open
+        // (parsed spec / scenario APA) — no re-parse, no rebuild.
+        obs.counter_add("serve.model.reuse", 1);
+    }
+    let ctx = ServiceCtx {
+        obs: obs.clone(),
+        cancel: job.deadline.map(CancelToken::with_deadline_at),
+    };
+    let span = obs.span("serve.execute");
+    let rendered = service.respond(&job.query, &ctx)?;
+    drop(span);
+    // Deterministic, artefact-free, successful outcomes are replayable;
+    // anything cut by a deadline (exit 3) or failing may differ between
+    // runs and is answered fresh each time.
+    if rendered.exit == 0 && rendered.artefacts.is_empty() {
+        cache.insert(key, rendered.clone());
+    }
+    Ok((rendered, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn collecting_sink() -> (FrameSink, Arc<Mutex<Vec<ServerFrame>>>) {
+        let frames = Arc::new(Mutex::new(Vec::new()));
+        let inner = Arc::clone(&frames);
+        let sink: FrameSink = Arc::new(move |f: &ServerFrame| {
+            inner.lock().expect("sink lock").push(f.clone());
+            Ok(())
+        });
+        (sink, frames)
+    }
+
+    fn query(command: &str, args: &[&str]) -> Query {
+        Query::new(command, args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn repeated_identical_queries_replay_from_the_cache() {
+        let (sink, frames) = collecting_sink();
+        let obs = Obs::enabled();
+        let session = SessionHandle::open(1, None, Some("two"), 8, sink, obs.clone())
+            .expect("open scenario session");
+        session
+            .submit(1, query("simulate", &["--max-steps", "5"]), None)
+            .expect("first submit");
+        session
+            .submit(2, query("simulate", &["--max-steps", "5"]), None)
+            .expect("second submit");
+        session.close();
+        let frames = frames.lock().expect("frames");
+        assert_eq!(frames.len(), 2);
+        let (first, second) = (&frames[0], &frames[1]);
+        let ServerFrame::Response {
+            cached: c1,
+            stdout: s1,
+            exit: e1,
+            ..
+        } = first
+        else {
+            panic!("expected response, got {first:?}");
+        };
+        let ServerFrame::Response {
+            cached: c2,
+            stdout: s2,
+            exit: e2,
+            ..
+        } = second
+        else {
+            panic!("expected response, got {second:?}");
+        };
+        assert!(!c1 && *c2, "second response must be the cached replay");
+        assert_eq!(s1, s2, "cached replay must be byte-identical");
+        assert_eq!((*e1, *e2), (0, 0));
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.counter("serve.requests"), Some(2));
+        assert_eq!(snapshot.counter("serve.cache.hits"), Some(1));
+        assert_eq!(snapshot.counter("serve.model.loads"), Some(1));
+        assert_eq!(snapshot.counter("serve.model.reuse"), Some(1));
+    }
+
+    #[test]
+    fn unknown_commands_and_expired_deadlines_yield_typed_errors() {
+        let (sink, frames) = collecting_sink();
+        let session =
+            SessionHandle::open(3, None, None, 8, sink, Obs::disabled()).expect("bare session");
+        session
+            .submit(1, query("elicit", &[]), None)
+            .expect("submit unknown");
+        let expired = Instant::now() - std::time::Duration::from_millis(1);
+        session
+            .submit(2, query("explore", &[]), Some(expired))
+            .expect("submit expired");
+        session.close();
+        let frames = frames.lock().expect("frames");
+        assert_eq!(frames.len(), 2);
+        let ServerFrame::Error { code, .. } = &frames[0] else {
+            panic!("expected error, got {:?}", frames[0]);
+        };
+        assert_eq!(code, codes::UNKNOWN_COMMAND);
+        let ServerFrame::Error { code, id, .. } = &frames[1] else {
+            panic!("expected error, got {:?}", frames[1]);
+        };
+        assert_eq!(code, codes::DEADLINE);
+        assert_eq!(*id, Some(2));
+    }
+
+    #[test]
+    fn bad_spec_sources_fail_the_open_with_a_typed_error() {
+        let (sink, _) = collecting_sink();
+        let err = SessionHandle::open(
+            9,
+            Some(&SpecPayload {
+                name: "broken.fsa".to_owned(),
+                source: "this is not a spec".to_owned(),
+            }),
+            None,
+            8,
+            sink,
+            Obs::disabled(),
+        )
+        .err()
+        .expect("open must fail");
+        assert_eq!(err.code, codes::OPEN_FAILED);
+        assert!(err.message.starts_with("broken.fsa:"), "{}", err.message);
+    }
+
+    #[test]
+    fn a_full_queue_reports_overloaded_backpressure() {
+        // A worker wedged on its first slow job while the queue (size 1)
+        // already holds a second: the third submit must bounce.
+        let (sink, _) = collecting_sink();
+        let session =
+            SessionHandle::open(4, None, None, 1, sink, Obs::disabled()).expect("bare session");
+        let slow = || query("explore", &[]);
+        let mut overloaded = false;
+        for id in 0..64 {
+            match session.submit(id, slow(), None) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert_eq!(e.code, codes::OVERLOADED);
+                    assert!(e.message.contains("queue is full"), "{}", e.message);
+                    overloaded = true;
+                    break;
+                }
+            }
+        }
+        session.close();
+        assert!(
+            overloaded,
+            "64 instant submits never overflowed a queue of 1"
+        );
+    }
+}

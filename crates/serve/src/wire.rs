@@ -1,0 +1,237 @@
+//! Length-prefixed framing for `fsa-wire/v1`.
+//!
+//! A frame is a 4-byte big-endian length followed by that many bytes of
+//! UTF-8 JSON. The length covers the payload only. Frames above the
+//! configured limit are rejected *before* allocation — a hostile
+//! 4 GiB prefix costs nothing.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The protocol identifier exchanged in `hello` frames.
+pub const PROTOCOL: &str = "fsa-wire/v1";
+
+/// Default per-frame size limit (payload bytes).
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Framing-layer failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection mid-frame (a close *between*
+    /// frames is a clean EOF, reported as `Ok(None)` by the readers).
+    Truncated,
+    /// A frame announced a payload above the configured limit.
+    Oversize {
+        /// Announced payload length.
+        len: usize,
+        /// Configured limit.
+        max: usize,
+    },
+    /// The payload is not valid UTF-8.
+    Utf8,
+    /// An underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "connection closed mid-frame"),
+            WireError::Oversize { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            WireError::Utf8 => write!(f, "frame payload is not valid UTF-8"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; [`WireError::Oversize`] if the
+/// payload itself exceeds `u32::MAX`.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversize {
+        len: payload.len(),
+        max: u32::MAX as usize,
+    })?;
+    // One buffer, one write: frames interleaved by concurrent session
+    // workers stay atomic under the caller's write lock.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(payload.as_bytes());
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] / [`WireError::Utf8`] / [`WireError::Truncated`]
+/// on protocol violations, [`WireError::Io`] on transport failures.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<String>, WireError> {
+    read_frame_with_stop(r, max_frame, &|| false)
+}
+
+/// Like [`read_frame`], polling `stop` while blocked *between* frames.
+///
+/// The reader may use short read timeouts (`WouldBlock`/`TimedOut` are
+/// treated as "poll and retry"). When `stop` returns `true` and no
+/// prefix byte has arrived yet, the read ends as a clean `Ok(None)` —
+/// this is how idle connections notice a server drain. Once the first
+/// prefix byte is in, the frame is completed regardless of `stop` (the
+/// peer is mid-send; abandoning now would corrupt the stream).
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_with_stop(
+    r: &mut impl Read,
+    max_frame: usize,
+    stop: &dyn Fn() -> bool,
+) -> Result<Option<String>, WireError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_with_stop(r, &mut prefix, true, stop)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Done => {}
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_frame {
+        return Err(WireError::Oversize {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_with_stop(r, &mut payload, false, stop)? {
+        ReadOutcome::CleanEof => return Err(WireError::Truncated),
+        ReadOutcome::Done => {}
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| WireError::Utf8)
+}
+
+enum ReadOutcome {
+    Done,
+    CleanEof,
+}
+
+/// `read_exact` that tolerates `WouldBlock`/`TimedOut` (poll-style
+/// readers) and reports EOF-before-first-byte as clean when
+/// `eof_ok_at_start` is set.
+fn read_exact_with_stop(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    eof_ok_at_start: bool,
+    stop: &dyn Fn() -> bool,
+) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && eof_ok_at_start {
+                    return Ok(ReadOutcome::CleanEof);
+                }
+                return Err(WireError::Truncated);
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Stop only honoured before the first byte of a read
+                // that may cleanly end (the length prefix).
+                if filled == 0 && eof_ok_at_start && stop() {
+                    return Ok(ReadOutcome::CleanEof);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"type":"hello"}"#).unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some(r#"{"type":"hello"}"#)
+        );
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some("second")
+        );
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn oversize_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Oversize {
+                len: u32::MAX as usize,
+                max: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_mid_prefix_and_mid_payload_are_errors() {
+        // Two bytes of a four-byte prefix.
+        let err = read_frame(&mut Cursor::new(vec![0u8, 0]), 1024).unwrap_err();
+        assert_eq!(err, WireError::Truncated);
+        // A full prefix announcing 8 bytes, then EOF after 3.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert_eq!(err, WireError::Truncated);
+    }
+
+    #[test]
+    fn invalid_utf8_payload_is_a_typed_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert_eq!(err, WireError::Utf8);
+    }
+
+    #[test]
+    fn empty_payload_frames_are_legal() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "").unwrap();
+        assert_eq!(
+            read_frame(&mut Cursor::new(buf), 16).unwrap().as_deref(),
+            Some("")
+        );
+    }
+}

@@ -8,1041 +8,22 @@
 //! fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
 //! fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N]
 //!             [--inject <fault>] [--seed N] [--stats] [--deadline-ms N] [--retries N]
+//! fsa serve [--addr HOST:PORT] | fsa serve --connect ADDR [--request "CMD ARGS"]...
 //! ```
 //!
-//! * `elicit` — parse the specification, run the manual pipeline on
-//!   every instance and print the §4-style report. Flags:
-//!   `--param` adds the first-order (parameterised) requirement forms,
-//!   `--refine` adds the hop decomposition of every requirement,
-//!   `--dot` prints the functional flow graph as Graphviz DOT,
-//!   `--verify-dataflow` additionally derives the dataflow APA, runs
-//!   the tool-assisted pipeline and cross-checks the requirement sets.
-//! * `check` — parse and validate only (exit code 1 on errors).
-//! * `explore` — enumerate the structurally different SoS instances of
-//!   the vehicular scenario (§4.2) with the streaming certificate
-//!   engine and union their requirements (§4.4).
-//! * `simulate` — one seeded [`fsa::apa::sim::Simulator`] run of a
-//!   scenario APA with optional fault injection and a trace printout.
-//! * `monitor` — the runtime conformance engine: elicit the scenario's
-//!   requirements, compile them into a fused monitor bank
-//!   (`fsa-runtime`) and check a sharded simulator fleet against it;
-//!   exits 1 if any monitor is violated.
-//!
-//! Every subcommand accepts `--help`; unknown subcommands and bad flag
-//! values print usage to stderr and exit with code 2. Long-running
-//! subcommands (`explore`, `monitor`) accept a `--deadline-ms` budget:
-//! when it expires the run degrades gracefully to a **partial** result
-//! with explicit coverage accounting and exits with code 3 (unless a
-//! violation was already found, which keeps exit code 1). `fsa explore`
-//! can additionally write crash-safe checkpoints (`--checkpoint`) and
-//! continue interrupted runs (`--resume`) with bit-identical output.
+//! The command implementations live in [`fsa::serve::cli`] as buffered
+//! runners shared with the resident `fsa serve` server — serving
+//! responses are byte-identical to one-shot output because both modes
+//! execute the very same code. This binary only collects `argv`,
+//! delegates, prints the rendered buffers and exits. See
+//! `fsa <subcommand> --help` for each command's contract (exit codes:
+//! 0 ok, 1 failure/violation, 2 usage, 3 clean deadline-partial).
 
-use fsa::core::dataflow::dataflow_apa;
-use fsa::core::manual::{elicit, explain};
-use fsa::core::param::parameterise;
-use fsa::core::refine::refine;
-use fsa::core::report::render_manual;
-use fsa::graph::dot::{to_dot, DotOptions};
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
-
-const GLOBAL_USAGE: &str = "usage:
-  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]
-  fsa check <spec-file>
-  fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
-              [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
-  fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
-  fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N] [--inject <fault>] [--seed N] [--stats]
-              [--deadline-ms N] [--retries N]
-  fsa <subcommand> --help
-
-Every subcommand additionally accepts observability exports:
-  --stats-json F  write span/counter/histogram statistics (fsa-obs/v1 JSON) to F
-  --trace-json F  write a chrome://tracing view of the run to F";
-
-const EXPLORE_USAGE: &str = "usage:
-  fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
-              [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
-
-Enumerate the structurally different SoS instances of the vehicular
-scenario (§4.2) and union their elicited requirements (§4.4).
-  --max-vehicles N  universe bound (default 2)
-  --threads N       worker threads (deterministic output, default 1)
-  --budget N        candidate budget (error when exceeded)
-  --truncate        return the deduped partial universe at budget
-  --all             keep disconnected compositions
-  --stats           print engine counters and per-stage timings
-Supervised execution (any of these selects the supervised engine; the
-output stays bit-identical to the plain engine when nothing is cut):
-  --deadline-ms N        stop at the next batch boundary after N ms and
-                         report the completed prefix (exit code 3)
-  --retries N            retries per panicked worker chunk (default 2)
-  --checkpoint F         write crash-safe (atomic) checkpoints to F
-  --checkpoint-every N   candidates built between checkpoints (default 256)
-  --resume F             continue a previous run from checkpoint F
-Observability (never changes the printed report):
-  --stats-json F         write span/counter/histogram statistics (fsa-obs/v1) to F
-  --trace-json F         write a chrome://tracing view of the run to F";
-
-const SIMULATE_USAGE: &str = "usage:
-  fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
-
-Run one seeded simulation of a scenario APA and print the trace.
-  --scenario S     two (default): the paper's two-vehicle model;
-                   chain: the V1→V2→V3 forwarding chain;
-                   attacked: the chain plus the cam-forging attacker
-  --seed N         simulation seed (default 1)
-  --max-steps N    stop after N steps (default 100)
-  --inject F       fault applied to the finished trace:
-                   drop:<action> | spoof:<action> | reorder:<window>
-  --stats-json F   write span/counter statistics (fsa-obs/v1 JSON) to F
-  --trace-json F   write a chrome://tracing view of the run to F";
-
-const MONITOR_USAGE: &str = "usage:
-  fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N] [--inject <fault>] [--seed N] [--stats]
-              [--deadline-ms N] [--retries N]
-
-Compile the scenario's elicited requirements into a fused monitor bank
-and check a sharded simulator fleet against it (exit 1 on violations).
-  --scenario S     chain (default): V1→V2→V3 forwarding chain;
-                   six: the three-pair (six-vehicle) model
-  --streams N      independent event streams (default 8)
-  --events N       total event budget across the fleet (default 8192)
-  --threads N      worker threads; reports are bit-identical for any
-                   value (default 1)
-  --inject F       fault injected into every stream:
-                   drop:<action> | spoof:<action> | reorder:<window>
-  --seed N         base fleet seed (default 3930)
-  --stats          print events/sec, per-stage timings, shard balance
-  --deadline-ms N  stop at the next stream boundary after N ms; a clean
-                   partial report exits 3, violations still exit 1
-  --retries N      retries per panicked stream (default 2; selects the
-                   supervised fleet driver)
-  --stats-json F   write span/counter/histogram statistics (fsa-obs/v1) to F
-  --trace-json F   write a chrome://tracing view of the run to F";
-
-const ELICIT_USAGE: &str = "usage:
-  fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]
-
-Run the §4 manual elicitation pipeline on every instance of the spec.
-  --param            add first-order (parameterised) requirement forms
-  --refine           add hop decompositions and dependency chains
-  --prioritise       rank requirements
-  --dot              print the functional flow graph as Graphviz DOT
-  --markdown         render the report as a markdown table
-  --verify-dataflow  cross-check against the §5 tool-assisted pipeline
-  --stats            print §5 engine statistics (with --verify-dataflow)
-  --threads=N        worker threads for the dependence grid
-  --stats-json F     write span/counter statistics (fsa-obs/v1 JSON) to F
-  --trace-json F     write a chrome://tracing view of the run to F";
-
-const CHECK_USAGE: &str = "usage:
-  fsa check <spec-file>
-
-Parse and validate a specification (exit code 1 on errors).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (command, rest) = match args.split_first() {
-        Some((c, rest)) => (c.as_str(), rest),
-        None => return usage(),
-    };
-    if matches!(command, "--help" | "-h" | "help") {
-        println!("{GLOBAL_USAGE}");
-        return ExitCode::SUCCESS;
-    }
-    match command {
-        "explore" => explore_command(rest),
-        "simulate" => simulate_command(rest),
-        "monitor" => monitor_command(rest),
-        "check" | "elicit" => spec_command(command, rest),
-        other => {
-            eprintln!("unknown command `{other}`");
-            usage()
-        }
-    }
-}
-
-/// Returns `true` if `rest` asks for help; the caller prints its usage
-/// text to stdout and exits 0.
-fn wants_help(rest: &[String]) -> bool {
-    rest.iter().any(|a| a == "--help" || a == "-h")
-}
-
-/// `fsa check` / `fsa elicit` over a spec file.
-fn spec_command(command: &str, rest: &[String]) -> ExitCode {
-    if wants_help(rest) {
-        println!(
-            "{}",
-            if command == "check" {
-                CHECK_USAGE
-            } else {
-                ELICIT_USAGE
-            }
-        );
-        return ExitCode::SUCCESS;
-    }
-    let mut files = Vec::new();
-    let mut flags = std::collections::BTreeSet::new();
-    let mut threads = 1usize;
-    let mut outputs = ObsOutputs::default();
-    let mut i = 0usize;
-    while i < rest.len() {
-        let a = &rest[i];
-        i += 1;
-        let Some(flag) = a.strip_prefix("--") else {
-            files.push(a.clone());
-            continue;
-        };
-        if let Some(n) = flag.strip_prefix("threads=") {
-            match n.parse::<usize>() {
-                Ok(n) if n >= 1 => threads = n,
-                _ => {
-                    eprintln!("--threads expects a positive integer, got `{n}`");
-                    return usage();
-                }
-            }
-            continue;
-        }
-        let (name, inline) = match flag.split_once('=') {
-            Some((n, v)) => (n, Some(v.to_owned())),
-            None => (flag, None),
-        };
-        if matches!(name, "stats-json" | "trace-json") {
-            // Same `--flag value` / `--flag=value` contract as the
-            // other subcommands: a following `--token` is not a value.
-            let value = match inline {
-                Some(v) => v,
-                None => match rest.get(i) {
-                    Some(next) if !next.starts_with("--") => {
-                        i += 1;
-                        next.clone()
-                    }
-                    _ => {
-                        eprintln!("--{name} expects a value");
-                        return usage();
-                    }
-                },
-            };
-            if name == "stats-json" {
-                outputs.stats_json = Some(value);
-            } else {
-                outputs.trace_json = Some(value);
-            }
-            continue;
-        }
-        flags.insert(flag.to_owned());
-    }
-    let known = [
-        "param",
-        "refine",
-        "dot",
-        "verify-dataflow",
-        "markdown",
-        "prioritise",
-        "stats",
-    ];
-    for f in &flags {
-        if !known.contains(&f.as_str()) {
-            eprintln!("unknown flag --{f}");
-            return usage();
-        }
-    }
-    let [file] = files.as_slice() else {
-        eprintln!("expected exactly one spec file");
-        return usage();
-    };
-    let source = match std::fs::read_to_string(file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {file}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let instances = match fsa::speclang::parse(&source) {
-        Ok(i) => i,
-        Err(e) => {
-            eprintln!("{file}:{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let obs = outputs.obs();
-    match command {
-        "check" => {
-            println!(
-                "{file}: OK ({} instance(s), {} action(s) total)",
-                instances.len(),
-                instances.iter().map(|i| i.action_count()).sum::<usize>()
-            );
-            if let Err(code) = outputs.write(&obs) {
-                return code;
-            }
-            ExitCode::SUCCESS
-        }
-        "elicit" => {
-            for instance in &instances {
-                let report = match elicit(instance) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("{}: {e}", instance.name());
-                        return ExitCode::FAILURE;
-                    }
-                };
-                if flags.contains("markdown") {
-                    print!("{}", fsa::core::report::render_markdown(&report));
-                } else {
-                    print!("{}", render_manual(&report));
-                }
-                if flags.contains("prioritise") {
-                    match fsa::core::prioritise::prioritise(instance, &report) {
-                        Ok(ranked) => {
-                            println!("prioritised requirements:");
-                            for item in ranked {
-                                println!("  {item}");
-                            }
-                        }
-                        Err(e) => eprintln!("prioritisation failed: {e}"),
-                    }
-                }
-                if flags.contains("param") {
-                    println!("parameterised requirements:");
-                    for form in parameterise(&report.requirement_set(), 2) {
-                        println!("  {form}");
-                    }
-                }
-                if flags.contains("refine") {
-                    println!("hop refinements:");
-                    for req in report.requirements() {
-                        match refine(instance, &req) {
-                            Ok(r) if r.is_decomposed() => {
-                                println!("  {req}");
-                                for hop in &r.hops {
-                                    println!("    -> {hop}");
-                                }
-                            }
-                            Ok(_) => println!("  {req}  (atomic)"),
-                            Err(e) => println!("  {req}  (refinement failed: {e})"),
-                        }
-                    }
-                    // Dependency-chain explanations.
-                    println!("dependency chains:");
-                    for req in report.requirements() {
-                        if let Some(chain) = explain(instance, &req) {
-                            let rendered: Vec<String> =
-                                chain.iter().map(ToString::to_string).collect();
-                            println!("  {}", rendered.join(" -> "));
-                        }
-                    }
-                }
-                if flags.contains("dot") {
-                    print!(
-                        "{}",
-                        to_dot(instance.graph(), &DotOptions::default(), |_, a| a
-                            .to_string())
-                    );
-                }
-                if flags.contains("verify-dataflow") {
-                    match cross_check(instance, &report, threads, &obs) {
-                        Ok(stats) => {
-                            println!("tool-assisted cross-check: requirement sets match");
-                            if flags.contains("stats") {
-                                print!("{}", fsa::core::report::render_stats(&stats));
-                            }
-                        }
-                        Err(e) => {
-                            eprintln!("tool-assisted cross-check FAILED: {e}");
-                            return ExitCode::FAILURE;
-                        }
-                    }
-                } else if flags.contains("stats") {
-                    eprintln!("note: --stats requires --verify-dataflow (the §5 pipeline)");
-                }
-                println!();
-            }
-            if let Err(code) = outputs.write(&obs) {
-                return code;
-            }
-            ExitCode::SUCCESS
-        }
-        _ => unreachable!("dispatched above"),
-    }
-}
-
-/// Derives the dataflow APA, runs the §5 pipeline and compares.
-/// Returns the engine's per-stage statistics on success.
-fn cross_check(
-    instance: &fsa::core::SosInstance,
-    report: &fsa::core::manual::ElicitationReport,
-    threads: usize,
-    obs: &fsa::obs::Obs,
-) -> Result<fsa::core::assisted::PipelineStats, String> {
-    let apa = dataflow_apa(instance).map_err(|e| e.to_string())?;
-    let graph = apa
-        .reachability(&fsa::apa::ReachOptions::default())
-        .map_err(|e| e.to_string())?;
-    let assisted = fsa::core::assisted::elicit_observed(
-        &graph,
-        &fsa::core::assisted::ElicitOptions {
-            method: fsa::core::assisted::DependenceMethod::Precedence,
-            threads,
-            prune: true,
-        },
-        obs,
-        |name| {
-            let action = fsa::core::Action::parse(name);
-            instance
-                .find(&action)
-                .map(|n| instance.stakeholder(n).clone())
-                .unwrap_or_else(|| fsa::core::Agent::new("env"))
-        },
-    );
-    if assisted.requirements == report.requirement_set() {
-        Ok(assisted.stats)
-    } else {
-        Err(format!(
-            "manual elicited {} requirement(s), tool-assisted {}",
-            report.requirement_set().len(),
-            assisted.requirements.len()
-        ))
-    }
-}
-
-/// A tiny flag cursor shared by the subcommand parsers: accepts both
-/// `--flag=value` and `--flag value`.
-struct Flags<'a> {
-    iter: std::slice::Iter<'a, String>,
-    usage: &'static str,
-}
-
-enum Flag {
-    /// A parsed `--name` with an optional inline `=value`.
-    Named(String, Option<String>),
-    /// A positional argument (rejected by all current subcommands).
-    Positional(String),
-}
-
-impl<'a> Flags<'a> {
-    fn new(rest: &'a [String], usage: &'static str) -> Self {
-        Flags {
-            iter: rest.iter(),
-            usage,
-        }
-    }
-
-    fn next_flag(&mut self) -> Option<Flag> {
-        let a = self.iter.next()?;
-        Some(match a.strip_prefix("--") {
-            Some(flag) => match flag.split_once('=') {
-                Some((n, v)) => Flag::Named(n.to_owned(), Some(v.to_owned())),
-                None => Flag::Named(flag.to_owned(), None),
-            },
-            None => Flag::Positional(a.clone()),
-        })
-    }
-
-    /// The value of a `--flag value` / `--flag=value` pair.
-    ///
-    /// A *separate* following token that itself starts with `--` is
-    /// **not** consumed: `--checkpoint --resume F` means the user
-    /// forgot the value, not that the value is `--resume` (an explicit
-    /// inline `--flag=--weird` still passes through verbatim).
-    /// Missing values print `--NAME expects a value` + usage, exit 2.
-    fn value(&mut self, name: &str, inline: Option<String>) -> Result<String, ExitCode> {
-        if let Some(v) = inline {
-            return Ok(v);
-        }
-        match self.iter.clone().next() {
-            Some(next) if !next.starts_with("--") => {
-                self.iter.next();
-                Ok(next.clone())
-            }
-            _ => {
-                eprintln!("--{name} expects a value");
-                Err(self.fail())
-            }
-        }
-    }
-
-    /// Parses a positive integer value for `name`, or prints the error
-    /// + usage contract (stderr, exit 2 by the caller).
-    fn positive(&mut self, name: &str, inline: Option<String>) -> Result<usize, ExitCode> {
-        match self.value(name, inline)?.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            _ => {
-                eprintln!("--{name} expects a positive integer");
-                Err(self.fail())
-            }
-        }
-    }
-
-    /// Parses a `u64` value for `name` (seeds may be zero).
-    fn seed(&mut self, name: &str, inline: Option<String>) -> Result<u64, ExitCode> {
-        match self.value(name, inline)?.parse::<u64>() {
-            Ok(n) => Ok(n),
-            Err(_) => {
-                eprintln!("--{name} expects an unsigned integer");
-                Err(self.fail())
-            }
-        }
-    }
-
-    /// Parses a `u32` value for `name`. Out-of-range input (e.g.
-    /// `--retries 4294967296`) is rejected with a usage error rather
-    /// than silently clamped to `u32::MAX`.
-    fn small(&mut self, name: &str, inline: Option<String>) -> Result<u32, ExitCode> {
-        match self.value(name, inline)?.parse::<u32>() {
-            Ok(n) => Ok(n),
-            Err(_) => {
-                eprintln!("--{name} expects an integer in 0..=4294967295");
-                Err(self.fail())
-            }
-        }
-    }
-
-    /// Parses a fault spec for `--inject`.
-    fn fault(&mut self, inline: Option<String>) -> Result<fsa::apa::Fault, ExitCode> {
-        let raw = self.value("inject", inline)?;
-        fsa::apa::Fault::parse(&raw).map_err(|e| {
-            eprintln!("--inject: {e}");
-            self.fail()
-        })
-    }
-
-    fn unknown(&self, what: &str) -> ExitCode {
-        eprintln!("unknown flag --{what}");
-        self.fail()
-    }
-
-    fn positional(&self, what: &str) -> ExitCode {
-        eprintln!("unexpected argument `{what}`");
-        self.fail()
-    }
-
-    fn fail(&self) -> ExitCode {
-        eprintln!("{}", self.usage);
-        ExitCode::from(2)
-    }
-}
-
-/// Builds a [`fsa::exec::Supervisor`] from the shared `--deadline-ms` /
-/// `--retries` flags.
-fn build_supervisor(deadline_ms: Option<u64>, retries: Option<u32>) -> fsa::exec::Supervisor {
-    let mut sup = fsa::exec::Supervisor::new();
-    if let Some(ms) = deadline_ms {
-        sup = sup.with_cancel(fsa::exec::CancelToken::with_deadline(
-            std::time::Duration::from_millis(ms),
-        ));
-    }
-    if let Some(r) = retries {
-        sup.retry.max_retries = r;
-    }
-    sup
-}
-
-/// Exit code 3: the deadline expired and the run degraded to a clean
-/// partial result (violations/errors keep exit code 1).
-const EXIT_PARTIAL: u8 = 3;
-
-/// The shared `--stats-json F` / `--trace-json F` export spec.
-///
-/// When neither flag is given the run uses the disabled
-/// [`fsa::obs::Obs`] handle — a single branch per probe, no
-/// allocation, no locking — and the printed output is byte-identical
-/// to builds that predate the observability layer.
-#[derive(Default)]
-struct ObsOutputs {
-    stats_json: Option<String>,
-    trace_json: Option<String>,
-}
-
-impl ObsOutputs {
-    fn requested(&self) -> bool {
-        self.stats_json.is_some() || self.trace_json.is_some()
-    }
-
-    /// An enabled recording handle iff an export was requested.
-    fn obs(&self) -> fsa::obs::Obs {
-        if self.requested() {
-            fsa::obs::Obs::enabled()
-        } else {
-            fsa::obs::Obs::disabled()
-        }
-    }
-
-    /// Writes the requested exports from a snapshot of `obs`.
-    /// I/O failures exit 1 (the analysis itself already succeeded, but
-    /// the user asked for an artefact we could not produce).
-    fn write(&self, obs: &fsa::obs::Obs) -> Result<(), ExitCode> {
-        if !self.requested() {
-            return Ok(());
-        }
-        let snapshot = obs.snapshot();
-        if let Some(path) = &self.stats_json {
-            write_artefact(path, &snapshot.to_stats_json())?;
-        }
-        if let Some(path) = &self.trace_json {
-            write_artefact(path, &snapshot.to_trace_json())?;
-        }
-        Ok(())
-    }
-}
-
-fn write_artefact(path: &str, contents: &str) -> Result<(), ExitCode> {
-    std::fs::write(path, contents).map_err(|e| {
-        eprintln!("cannot write {path}: {e}");
-        ExitCode::FAILURE
-    })
-}
-
-/// `fsa explore` — enumerate the vehicular instance space (§4.2) and
-/// union the elicited requirements (§4.4) with the streaming
-/// certificate engine.
-fn explore_command(rest: &[String]) -> ExitCode {
-    use fsa::core::explore::{
-        union_requirements_loop_free_supervised, union_requirements_loop_free_threaded,
-        BudgetPolicy, CheckpointSpec, ExecOptions, ExploreOptions,
-    };
-
-    if wants_help(rest) {
-        println!("{EXPLORE_USAGE}");
-        return ExitCode::SUCCESS;
-    }
-    let mut max_vehicles = 2usize;
-    let mut threads = 1usize;
-    let mut budget: Option<usize> = None;
-    let mut truncate = false;
-    let mut all = false;
-    let mut stats = false;
-    let mut deadline_ms: Option<u64> = None;
-    let mut retries: Option<u32> = None;
-    let mut checkpoint: Option<String> = None;
-    let mut checkpoint_every = 256usize;
-    let mut resume: Option<String> = None;
-    let mut outputs = ObsOutputs::default();
-
-    let mut flags = Flags::new(rest, EXPLORE_USAGE);
-    while let Some(flag) = flags.next_flag() {
-        let (name, inline) = match flag {
-            Flag::Named(n, v) => (n, v),
-            Flag::Positional(p) => return flags.positional(&p),
-        };
-        match name.as_str() {
-            "max-vehicles" => match flags.positive("max-vehicles", inline) {
-                Ok(n) => max_vehicles = n,
-                Err(code) => return code,
-            },
-            "threads" => match flags.positive("threads", inline) {
-                Ok(n) => threads = n,
-                Err(code) => return code,
-            },
-            "budget" => match flags.positive("budget", inline) {
-                Ok(n) => budget = Some(n),
-                Err(code) => return code,
-            },
-            "truncate" => truncate = true,
-            "all" => all = true,
-            "stats" => stats = true,
-            "deadline-ms" => match flags.seed("deadline-ms", inline) {
-                Ok(n) => deadline_ms = Some(n),
-                Err(code) => return code,
-            },
-            "retries" => match flags.small("retries", inline) {
-                Ok(n) => retries = Some(n),
-                Err(code) => return code,
-            },
-            "checkpoint" => match flags.value("checkpoint", inline) {
-                Ok(p) => checkpoint = Some(p),
-                Err(code) => return code,
-            },
-            "checkpoint-every" => match flags.positive("checkpoint-every", inline) {
-                Ok(n) => checkpoint_every = n,
-                Err(code) => return code,
-            },
-            "resume" => match flags.value("resume", inline) {
-                Ok(p) => resume = Some(p),
-                Err(code) => return code,
-            },
-            "stats-json" => match flags.value("stats-json", inline) {
-                Ok(p) => outputs.stats_json = Some(p),
-                Err(code) => return code,
-            },
-            "trace-json" => match flags.value("trace-json", inline) {
-                Ok(p) => outputs.trace_json = Some(p),
-                Err(code) => return code,
-            },
-            other => return flags.unknown(other),
-        }
-    }
-
-    let obs = outputs.obs();
-    let options = ExploreOptions {
-        require_connected: !all,
-        max_candidates: budget.unwrap_or(ExploreOptions::default().max_candidates),
-        on_budget: if truncate {
-            BudgetPolicy::Truncate
-        } else {
-            BudgetPolicy::Error
-        },
-        threads,
-        obs: obs.clone(),
-    };
-    let supervised =
-        deadline_ms.is_some() || retries.is_some() || checkpoint.is_some() || resume.is_some();
-    let supervisor = build_supervisor(deadline_ms, retries).with_obs(obs.clone());
-    let exploration = if supervised {
-        let exec = ExecOptions {
-            supervisor: supervisor.clone(),
-            checkpoint: checkpoint.map(|p| CheckpointSpec {
-                path: p.into(),
-                every: checkpoint_every,
-            }),
-            resume: resume.map(Into::into),
-            ..ExecOptions::default()
-        };
-        fsa::vanet::exploration::explore_scenario_supervised(max_vehicles, &options, &exec)
-    } else {
-        fsa::vanet::exploration::explore_scenario(max_vehicles, &options)
-    };
-    let exploration = match exploration {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("exploration failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    println!(
-        "universe with 1 RSU and up to {max_vehicles} vehicle(s): {} structurally \
-         different {}instance(s){}",
-        exploration.instances.len(),
-        if all { "" } else { "connected " },
-        if exploration.stats.truncated {
-            " (truncated at budget)"
-        } else {
-            ""
-        }
-    );
-    for inst in &exploration.instances {
-        println!(
-            "  {:32} {} action(s), {} flow(s)",
-            inst.name(),
-            inst.action_count(),
-            inst.graph().edge_count()
-        );
-    }
-    let mut partial = exploration.stats.cancelled;
-    if supervised && exploration.stats.vectors_total > 0 {
-        if exploration.stats.vectors_completed < exploration.stats.vectors_total {
-            println!(
-                "partial universe: vector coverage {}/{} (deadline or quarantined chunks)",
-                exploration.stats.vectors_completed, exploration.stats.vectors_total
-            );
-            partial = true;
-        }
-        if exploration.stats.failures > 0 {
-            println!(
-                "quarantined worker chunks: {} (after {} retried panic(s))",
-                exploration.stats.failures, exploration.stats.retries
-            );
-            partial = true;
-        }
-    }
-    if supervised {
-        match union_requirements_loop_free_supervised(&exploration.instances, threads, &supervisor)
-        {
-            Ok(union) => {
-                println!(
-                    "union over the universe: {} requirement(s) ({} cyclic composition(s) \
-                     skipped)",
-                    union.requirements.len(),
-                    union.loop_skipped
-                );
-                for r in union.requirements.iter() {
-                    println!("  {r}");
-                }
-                if !union.is_complete() {
-                    println!(
-                        "partial union: elicited {}/{} instance(s){}",
-                        union.elicited,
-                        union.total,
-                        if union.cancelled { " (cancelled)" } else { "" }
-                    );
-                    partial = true;
-                }
-            }
-            Err(e) => {
-                eprintln!("union elicitation failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        match union_requirements_loop_free_threaded(&exploration.instances, threads) {
-            Ok((union, skipped)) => {
-                println!(
-                    "union over the universe: {} requirement(s) ({skipped} cyclic composition(s) \
-                     skipped)",
-                    union.len()
-                );
-                for r in union.iter() {
-                    println!("  {r}");
-                }
-            }
-            Err(e) => {
-                eprintln!("union elicitation failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    if stats {
-        print!("{}", exploration.stats);
-    }
-    if let Err(code) = outputs.write(&obs) {
-        return code;
-    }
-    if partial {
-        ExitCode::from(EXIT_PARTIAL)
-    } else {
-        ExitCode::SUCCESS
-    }
-}
-
-/// Builds the APA of a named simulation scenario.
-fn scenario_apa(name: &str) -> Result<fsa::apa::Apa, String> {
-    use fsa::vanet::forwarding::{forwarding_chain_apa, forwarding_chain_apa_with, RangeConfig};
-    match name {
-        "two" => fsa::vanet::apa_model::two_vehicle_apa(fsa::vanet::semantics::ApaSemantics::PAPER)
-            .map_err(|e| e.to_string()),
-        "chain" => forwarding_chain_apa().map_err(|e| e.to_string()),
-        "attacked" => {
-            forwarding_chain_apa_with(RangeConfig::default(), true).map_err(|e| e.to_string())
-        }
-        "six" => fsa::vanet::apa_model::n_pair_apa(3, fsa::vanet::semantics::ApaSemantics::PAPER)
-            .map_err(|e| e.to_string()),
-        other => Err(format!("unknown scenario `{other}`")),
-    }
-}
-
-/// `fsa simulate` — one seeded simulator run with a trace printout.
-fn simulate_command(rest: &[String]) -> ExitCode {
-    if wants_help(rest) {
-        println!("{SIMULATE_USAGE}");
-        return ExitCode::SUCCESS;
-    }
-    let mut scenario = "two".to_owned();
-    let mut seed = 1u64;
-    let mut max_steps = 100usize;
-    let mut fault: Option<fsa::apa::Fault> = None;
-    let mut outputs = ObsOutputs::default();
-
-    let mut flags = Flags::new(rest, SIMULATE_USAGE);
-    while let Some(flag) = flags.next_flag() {
-        let (name, inline) = match flag {
-            Flag::Named(n, v) => (n, v),
-            Flag::Positional(p) => return flags.positional(&p),
-        };
-        match name.as_str() {
-            "scenario" => match flags.value("scenario", inline) {
-                Ok(s) => scenario = s,
-                Err(code) => return code,
-            },
-            "seed" => match flags.seed("seed", inline) {
-                Ok(n) => seed = n,
-                Err(code) => return code,
-            },
-            "max-steps" => match flags.positive("max-steps", inline) {
-                Ok(n) => max_steps = n,
-                Err(code) => return code,
-            },
-            "inject" => match flags.fault(inline) {
-                Ok(f) => fault = Some(f),
-                Err(code) => return code,
-            },
-            "stats-json" => match flags.value("stats-json", inline) {
-                Ok(p) => outputs.stats_json = Some(p),
-                Err(code) => return code,
-            },
-            "trace-json" => match flags.value("trace-json", inline) {
-                Ok(p) => outputs.trace_json = Some(p),
-                Err(code) => return code,
-            },
-            other => return flags.unknown(other),
-        }
-    }
-
-    let apa = match scenario_apa(&scenario) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e} (expected two, chain or attacked)");
-            return ExitCode::from(2);
-        }
-    };
-    let obs = outputs.obs();
-    let span = obs.span("simulate");
-    let mut sim = fsa::apa::sim::Simulator::new(&apa, seed);
-    let steps = match sim.run(max_steps) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("simulation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    drop(span);
-    obs.counter_add("simulate.steps", steps as u64);
-    if let Some(fault) = &fault {
-        sim.inject(fault);
-        println!("scenario {scenario}, seed {seed}: {steps} step(s), fault {fault}");
-    } else {
-        println!("scenario {scenario}, seed {seed}: {steps} step(s)");
-    }
-    println!("trace: {}", sim.trace_names().join(" → "));
-    obs.counter_add("simulate.trace_events", sim.trace_names().len() as u64);
-    if let Err(code) = outputs.write(&obs) {
-        return code;
-    }
-    ExitCode::SUCCESS
-}
-
-/// `fsa monitor` — elicit, compile the monitor bank, check a fleet.
-fn monitor_command(rest: &[String]) -> ExitCode {
-    if wants_help(rest) {
-        println!("{MONITOR_USAGE}");
-        return ExitCode::SUCCESS;
-    }
-    let mut scenario = "chain".to_owned();
-    let mut streams = 8usize;
-    let mut events = 8192usize;
-    let mut threads = 1usize;
-    let mut seed = 0xF5Au64;
-    let mut fault: Option<fsa::apa::Fault> = None;
-    let mut stats = false;
-    let mut deadline_ms: Option<u64> = None;
-    let mut retries: Option<u32> = None;
-    let mut outputs = ObsOutputs::default();
-
-    let mut flags = Flags::new(rest, MONITOR_USAGE);
-    while let Some(flag) = flags.next_flag() {
-        let (name, inline) = match flag {
-            Flag::Named(n, v) => (n, v),
-            Flag::Positional(p) => return flags.positional(&p),
-        };
-        match name.as_str() {
-            "scenario" => match flags.value("scenario", inline) {
-                Ok(s) => scenario = s,
-                Err(code) => return code,
-            },
-            "streams" => match flags.positive("streams", inline) {
-                Ok(n) => streams = n,
-                Err(code) => return code,
-            },
-            "events" => match flags.positive("events", inline) {
-                Ok(n) => events = n,
-                Err(code) => return code,
-            },
-            "threads" => match flags.positive("threads", inline) {
-                Ok(n) => threads = n,
-                Err(code) => return code,
-            },
-            "seed" => match flags.seed("seed", inline) {
-                Ok(n) => seed = n,
-                Err(code) => return code,
-            },
-            "inject" => match flags.fault(inline) {
-                Ok(f) => fault = Some(f),
-                Err(code) => return code,
-            },
-            "stats" => stats = true,
-            "deadline-ms" => match flags.seed("deadline-ms", inline) {
-                Ok(n) => deadline_ms = Some(n),
-                Err(code) => return code,
-            },
-            "retries" => match flags.small("retries", inline) {
-                Ok(n) => retries = Some(n),
-                Err(code) => return code,
-            },
-            "stats-json" => match flags.value("stats-json", inline) {
-                Ok(p) => outputs.stats_json = Some(p),
-                Err(code) => return code,
-            },
-            "trace-json" => match flags.value("trace-json", inline) {
-                Ok(p) => outputs.trace_json = Some(p),
-                Err(code) => return code,
-            },
-            other => return flags.unknown(other),
-        }
-    }
-    if !matches!(scenario.as_str(), "chain" | "six") {
-        eprintln!("unknown scenario `{scenario}` (expected chain or six)");
-        return ExitCode::from(2);
-    }
-
-    let apa = match scenario_apa(&scenario) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    // Elicit the scenario's requirements from its honest behaviour
-    // (§5 tool-assisted pipeline), then compile and stream.
-    let graph = match apa.reachability(&fsa::apa::ReachOptions::default()) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("reachability failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let elicited = fsa::core::assisted::elicit_from_graph(
-        &graph,
-        fsa::core::assisted::DependenceMethod::Precedence,
-        fsa::vanet::apa_model::stakeholder_of,
-    );
-    let obs = outputs.obs();
-    let cfg = fsa::runtime::FleetConfig {
-        streams,
-        events_per_stream: events.div_ceil(streams),
-        seed,
-        threads,
-        fault,
-        obs: obs.clone(),
-        ..fsa::runtime::FleetConfig::default()
-    };
-    let supervised = deadline_ms.is_some() || retries.is_some();
-    let run = if supervised {
-        let supervisor = build_supervisor(deadline_ms, retries).with_obs(obs.clone());
-        fsa::runtime::monitor_apa_supervised(&apa, &elicited.requirements, &cfg, &supervisor)
-    } else {
-        fsa::runtime::monitor_apa(&apa, &elicited.requirements, &cfg)
-    };
-    match run {
-        Ok((bank, report)) => {
-            println!(
-                "scenario {scenario}: {} requirement(s) compiled into a fused bank \
-                 ({} event symbols)",
-                bank.len(),
-                bank.alphabet_len()
-            );
-            print!("{}", report.render());
-            if stats {
-                print!("{}", report.stats);
-            }
-            if let Err(code) = outputs.write(&obs) {
-                return code;
-            }
-            if !report.is_clean() {
-                // A found violation always dominates a missed deadline.
-                ExitCode::FAILURE
-            } else if !report.is_complete() {
-                ExitCode::from(EXIT_PARTIAL)
-            } else {
-                ExitCode::SUCCESS
-            }
-        }
-        Err(e) => {
-            eprintln!("monitoring failed: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn usage() -> ExitCode {
-    eprintln!("{GLOBAL_USAGE}");
-    ExitCode::from(2)
+    ExitCode::from(fsa::serve::cli::main(&args))
 }

@@ -13,6 +13,8 @@
 //! * [`core`] — the elicitation method itself (manual + tool-assisted)
 //! * [`runtime`] — compiled monitor banks over streaming APA traces
 //! * [`obs`] — zero-dependency observability (spans, counters, exports)
+//! * [`serve`] — the resident multi-session analysis service (and the
+//!   shared CLI command runners)
 //! * [`vanet`] — the vehicular-communication example system
 //!
 //! # Quickstart
@@ -40,5 +42,6 @@ pub use fsa_exec as exec;
 pub use fsa_graph as graph;
 pub use fsa_obs as obs;
 pub use fsa_runtime as runtime;
+pub use fsa_serve as serve;
 pub use speclang;
 pub use vanet;

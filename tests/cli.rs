@@ -128,7 +128,7 @@ fn unknown_flag_and_usage() {
 /// Every subcommand answers `--help` on stdout with exit code 0.
 #[test]
 fn every_subcommand_prints_help() {
-    for sub in ["elicit", "check", "explore", "simulate", "monitor"] {
+    for sub in ["elicit", "check", "explore", "simulate", "monitor", "serve"] {
         let out = fsa(&[sub, "--help"]);
         assert!(out.status.success(), "{sub} --help: {out:?}");
         let stdout = String::from_utf8_lossy(&out.stdout);
@@ -140,7 +140,7 @@ fn every_subcommand_prints_help() {
     let out = fsa(&["--help"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for sub in ["elicit", "check", "explore", "simulate", "monitor"] {
+    for sub in ["elicit", "check", "explore", "simulate", "monitor", "serve"] {
         assert!(stdout.contains(sub), "global help lists {sub}");
     }
 }
@@ -428,4 +428,87 @@ fn monitor_violation_dominates_deadline_exit_code() {
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("VIOLATED"), "{stdout}");
+}
+
+/// Every flag is single-occurrence unless documented repeatable: the
+/// second occurrence — spaced or inline — is a usage error, not a
+/// silent last-one-wins.
+#[test]
+fn duplicate_flag_occurrences_are_usage_errors() {
+    let cases: Vec<Vec<&str>> = vec![
+        vec!["explore", "--threads", "2", "--threads", "4"],
+        vec!["explore", "--stats", "--stats"],
+        vec!["simulate", "--seed=1", "--seed", "2"],
+        vec!["monitor", "--seed", "3", "--seed=4"],
+        vec!["elicit", "specs/fig3.fsa", "--param", "--param"],
+        vec!["serve", "--addr", "127.0.0.1:0", "--addr=127.0.0.1:0"],
+    ];
+    for case in cases {
+        let out = fsa(&case);
+        assert_eq!(out.status.code(), Some(2), "{case:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("duplicate flag --"), "{case:?}: {stderr}");
+        assert!(stderr.contains("usage"), "{case:?}: {stderr}");
+    }
+}
+
+/// An empty action name in a fault spec (`drop:`) is a typed parse
+/// error, not an injection that can never fire.
+#[test]
+fn empty_fault_action_name_is_rejected() {
+    for sub in ["simulate", "monitor"] {
+        for fault in ["drop:", "spoof:"] {
+            let out = fsa(&[sub, "--inject", fault]);
+            assert_eq!(out.status.code(), Some(2), "{sub} {fault}: {out:?}");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains("expects a non-empty action name"),
+                "{sub} {fault}: {stderr}"
+            );
+        }
+    }
+}
+
+/// A fault naming an automaton absent from the scenario is legal but
+/// inert; the CLI now says so on stderr instead of silently running an
+/// injection-free simulation.
+#[test]
+fn unmatched_fault_target_warns_but_still_runs() {
+    let out = fsa(&[
+        "simulate",
+        "--inject",
+        "drop:NoSuchAutomaton",
+        "--max-steps",
+        "5",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no automaton named `NoSuchAutomaton` in scenario `two`"),
+        "{stderr}"
+    );
+
+    let out = fsa(&[
+        "monitor",
+        "--streams",
+        "2",
+        "--events",
+        "16",
+        "--inject",
+        "spoof:Ghost",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no automaton named `Ghost` in scenario `chain`"),
+        "{stderr}"
+    );
+
+    // A fault that does match stays warning-free.
+    let out = fsa(&["simulate", "--inject", "drop:V1_sense", "--max-steps", "5"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("warning"),
+        "{out:?}"
+    );
 }

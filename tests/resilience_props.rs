@@ -223,3 +223,92 @@ mod chaos {
         assert!(report.render().contains("quarantined"));
     }
 }
+
+/// Resuming under a *changed* configuration must fail closed: every
+/// flag that feeds the checkpoint fingerprint (budget, budget policy,
+/// connectivity filter, universe size) rejects the checkpoint with a
+/// clean `CorruptCheckpoint`, while fingerprint-neutral flags (thread
+/// count) resume bit-identically.
+#[test]
+fn resume_under_changed_flags_fails_closed_per_fingerprint_field() {
+    use fsa::core::explore::BudgetPolicy;
+    use fsa::core::FsaError;
+
+    let golden = explore_scenario(2, &ExploreOptions::default()).unwrap();
+    let golden_fp = fingerprint(&golden);
+    let dir = std::env::temp_dir().join(format!("fsa-resume-flags-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("changed-flags.fsas");
+
+    // Interrupt a default-configured run early so the checkpoint holds
+    // a genuine mid-enumeration frontier.
+    let exec = ExecOptions {
+        supervisor: Supervisor::new().with_cancel(CancelToken::countdown(3)),
+        batch: 1,
+        checkpoint: Some(CheckpointSpec {
+            path: path.clone(),
+            every: 1,
+        }),
+        resume: None,
+    };
+    let partial = explore_scenario_supervised(2, &ExploreOptions::default(), &exec).unwrap();
+    assert!(partial.stats.cancelled, "countdown(3) must interrupt");
+
+    let resume_exec = || ExecOptions {
+        resume: Some(path.clone()),
+        ..ExecOptions::default()
+    };
+
+    // Fingerprinted flags: each change alone must reject the resume.
+    let changed: Vec<(&str, usize, ExploreOptions)> = vec![
+        (
+            "budget",
+            2,
+            ExploreOptions {
+                max_candidates: 99_999,
+                ..ExploreOptions::default()
+            },
+        ),
+        (
+            "budget policy",
+            2,
+            ExploreOptions {
+                on_budget: BudgetPolicy::Truncate,
+                ..ExploreOptions::default()
+            },
+        ),
+        (
+            "connectivity filter",
+            2,
+            ExploreOptions {
+                require_connected: false,
+                ..ExploreOptions::default()
+            },
+        ),
+        ("universe size", 3, ExploreOptions::default()),
+    ];
+    for (what, n, options) in changed {
+        let err = explore_scenario_supervised(n, &options, &resume_exec()).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                FsaError::CorruptCheckpoint { reason }
+                    if reason.contains("different model/rule/option configuration")
+            ),
+            "changed {what}: expected a fingerprint rejection, got {err}"
+        );
+    }
+
+    // Thread count is deliberately outside the fingerprint: the resumed
+    // run completes and is bit-identical to an uninterrupted one.
+    for threads in [1usize, 4] {
+        let options = ExploreOptions {
+            threads,
+            ..ExploreOptions::default()
+        };
+        let resumed = explore_scenario_supervised(2, &options, &resume_exec()).unwrap();
+        assert!(resumed.stats.resumed);
+        assert_eq!(fingerprint(&resumed), golden_fp, "threads {threads}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,397 @@
+//! End-to-end tests for the resident `fsa serve` service: in-process
+//! servers on ephemeral ports, real TCP clients, and byte-for-byte
+//! comparison against the one-shot CLI binary.
+//!
+//! Note: tests drain servers through their per-instance
+//! [`Server::drain_handle`] (or a client `drain` frame), never through
+//! the process-global SIGTERM flag, which would drain every server in
+//! this test binary at once.
+
+use fsa::obs::Obs;
+use fsa::serve::proto::{ClientFrame, ServerFrame, SpecPayload};
+use fsa::serve::wire::{self, PROTOCOL};
+use fsa::serve::{Client, ServeConfig, ServeSummary, Server};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Binds a server on an ephemeral port and runs it on its own thread.
+fn start(config: ServeConfig) -> (String, Arc<AtomicBool>, JoinHandle<ServeSummary>) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let drain = server.drain_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, drain, join)
+}
+
+fn stop(drain: &AtomicBool, join: JoinHandle<ServeSummary>) -> ServeSummary {
+    drain.store(true, Ordering::SeqCst);
+    join.join().expect("server thread")
+}
+
+fn one_shot(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fsa"))
+        .args(args)
+        .output()
+        .expect("run one-shot fsa")
+}
+
+fn fig3_payload() -> SpecPayload {
+    SpecPayload {
+        name: "specs/fig3.fsa".to_owned(),
+        source: std::fs::read_to_string("specs/fig3.fsa").expect("read specs/fig3.fsa"),
+    }
+}
+
+fn owned(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| (*s).to_owned()).collect()
+}
+
+/// Reads one server frame off a raw socket.
+fn read_server_frame(stream: &mut TcpStream) -> Option<ServerFrame> {
+    wire::read_frame(stream, wire::DEFAULT_MAX_FRAME)
+        .expect("framing")
+        .map(|payload| ServerFrame::decode(&payload).expect("decode server frame"))
+}
+
+#[test]
+fn served_responses_are_byte_identical_to_one_shot_runs() {
+    let (addr, drain, join) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let session = client
+        .open(Some(fig3_payload()), Some("chain".to_owned()))
+        .expect("open spec+scenario session");
+
+    // (served command, served args, equivalent one-shot argv). The
+    // session fixes the spec and scenario at open; the one-shot run
+    // names them explicitly.
+    let cases: [(&str, &[&str], &[&str]); 5] = [
+        ("check", &[], &["check", "specs/fig3.fsa"]),
+        (
+            "elicit",
+            &["--param"],
+            &["elicit", "specs/fig3.fsa", "--param"],
+        ),
+        ("explore", &[], &["explore"]),
+        (
+            "simulate",
+            &["--max-steps", "5"],
+            &["simulate", "--scenario", "chain", "--max-steps", "5"],
+        ),
+        (
+            "monitor",
+            &["--streams", "2", "--events", "64"],
+            &["monitor", "--streams", "2", "--events", "64"],
+        ),
+    ];
+    for (i, (command, args, one_shot_argv)) in cases.iter().enumerate() {
+        let reply = client
+            .request(session, i as u64 + 1, command, &owned(args), None)
+            .expect("request");
+        let ServerFrame::Response {
+            exit,
+            stdout,
+            stderr,
+            ..
+        } = reply
+        else {
+            panic!("{command}: expected response, got {reply:?}");
+        };
+        let expected = one_shot(one_shot_argv);
+        assert_eq!(
+            stdout,
+            String::from_utf8_lossy(&expected.stdout),
+            "{command}: served stdout differs from one-shot"
+        );
+        assert_eq!(
+            stderr,
+            String::from_utf8_lossy(&expected.stderr),
+            "{command}: served stderr differs from one-shot"
+        );
+        assert_eq!(
+            Some(i32::from(exit)),
+            expected.status.code(),
+            "{command}: served exit differs from one-shot"
+        );
+    }
+    client.bye().expect("bye");
+    let summary = stop(&drain, join);
+    assert_eq!(summary.connections, 1);
+    assert_eq!(summary.sessions, 1);
+    assert_eq!(summary.requests, 5);
+}
+
+#[test]
+fn repeated_identical_elicit_queries_replay_from_the_cache_an_order_faster() {
+    let obs = Obs::enabled();
+    let (addr, drain, join) = start(ServeConfig {
+        obs: obs.clone(),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let session = client
+        .open(Some(fig3_payload()), None)
+        .expect("open spec session");
+    let args = owned(&["--param", "--refine", "--verify-dataflow"]);
+    let first = client
+        .request(session, 1, "elicit", &args, None)
+        .expect("first elicit");
+    let second = client
+        .request(session, 2, "elicit", &args, None)
+        .expect("second elicit");
+    let ServerFrame::Response {
+        cached: c1,
+        micros: m1,
+        stdout: s1,
+        exit: e1,
+        ..
+    } = first
+    else {
+        panic!("expected response, got {first:?}");
+    };
+    let ServerFrame::Response {
+        cached: c2,
+        micros: m2,
+        stdout: s2,
+        exit: e2,
+        ..
+    } = second
+    else {
+        panic!("expected response, got {second:?}");
+    };
+    assert!(!c1, "first run must execute the engines");
+    assert!(c2, "second identical query must replay from the cache");
+    assert_eq!(s1, s2, "cached replay must be byte-identical");
+    assert_eq!((e1, e2), (0, 0));
+    assert!(
+        m1 >= 10 * m2.max(1),
+        "cached replay must be >=10x faster: fresh {m1}us vs cached {m2}us"
+    );
+    client.bye().expect("bye");
+    stop(&drain, join);
+
+    // The `serve.*` series make the skipped work visible: one model
+    // load at open, one cache hit, one engine execution reusing the
+    // resident model.
+    let snapshot = obs.snapshot();
+    assert_eq!(snapshot.counter("serve.connections"), Some(1));
+    assert_eq!(snapshot.counter("serve.sessions"), Some(1));
+    assert_eq!(snapshot.counter("serve.requests"), Some(2));
+    assert_eq!(snapshot.counter("serve.cache.hits"), Some(1));
+    assert_eq!(snapshot.counter("serve.model.loads"), Some(1));
+    assert_eq!(snapshot.counter("serve.model.reuse"), Some(1));
+}
+
+#[test]
+fn concurrent_connections_serve_independent_sessions_with_identical_bytes() {
+    let (addr, drain, join) = start(ServeConfig::default());
+    let expected = one_shot(&["elicit", "specs/fig3.fsa", "--param"]);
+    assert_eq!(expected.status.code(), Some(0));
+    let expected_stdout = String::from_utf8_lossy(&expected.stdout).into_owned();
+
+    let workers: Vec<JoinHandle<()>> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            let expected_stdout = expected_stdout.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let session = client
+                    .open(Some(fig3_payload()), None)
+                    .expect("open session");
+                // Session ids are per-connection: every client gets 1.
+                assert_eq!(session, 1);
+                let reply = client
+                    .request(session, 1, "elicit", &owned(&["--param"]), None)
+                    .expect("request");
+                let ServerFrame::Response { exit, stdout, .. } = reply else {
+                    panic!("expected response, got {reply:?}");
+                };
+                assert_eq!(exit, 0);
+                assert_eq!(stdout, expected_stdout, "served stdout differs");
+                client.bye().expect("bye");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let summary = stop(&drain, join);
+    assert_eq!(summary.connections, 3);
+    assert_eq!(summary.sessions, 3);
+    assert_eq!(summary.requests, 3);
+}
+
+#[test]
+fn drain_flushes_in_flight_responses_rejects_pipelined_work_and_closes_with_bye() {
+    let (addr, _drain, join) = start(ServeConfig::default());
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    wire::write_frame(
+        &mut stream,
+        &ClientFrame::Hello {
+            protocol: PROTOCOL.to_owned(),
+        }
+        .encode(),
+    )
+    .expect("hello");
+    assert!(matches!(
+        read_server_frame(&mut stream),
+        Some(ServerFrame::Hello { .. })
+    ));
+    wire::write_frame(
+        &mut stream,
+        &ClientFrame::Open {
+            spec: None,
+            scenario: Some("two".to_owned()),
+        }
+        .encode(),
+    )
+    .expect("open");
+    let Some(ServerFrame::Opened { session }) = read_server_frame(&mut stream) else {
+        panic!("expected opened");
+    };
+
+    // One batch, one TCP write: a request already in flight, a drain,
+    // and a pipelined request arriving after the drain.
+    let request = |id: u64, steps: &str| ClientFrame::Request {
+        session,
+        id,
+        command: "simulate".to_owned(),
+        args: owned(&["--max-steps", steps]),
+        deadline_ms: None,
+    };
+    let mut batch = Vec::new();
+    wire::write_frame(&mut batch, &request(1, "5").encode()).expect("encode");
+    wire::write_frame(&mut batch, &ClientFrame::Drain.encode()).expect("encode");
+    wire::write_frame(&mut batch, &request(2, "6").encode()).expect("encode");
+    stream.write_all(&batch).expect("send batch");
+
+    let mut frames = Vec::new();
+    while let Some(frame) = read_server_frame(&mut stream) {
+        let done = matches!(frame, ServerFrame::Bye);
+        frames.push(frame);
+        if done {
+            break;
+        }
+    }
+    assert!(
+        matches!(frames.last(), Some(ServerFrame::Bye)),
+        "bye must be the last frame: {frames:?}"
+    );
+    let responses: Vec<_> = frames
+        .iter()
+        .filter_map(|f| match f {
+            ServerFrame::Response { id, exit, .. } => Some((*id, *exit)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        responses,
+        [(1, 0)],
+        "the in-flight request must flush its response: {frames:?}"
+    );
+    let errors: Vec<_> = frames
+        .iter()
+        .filter_map(|f| match f {
+            ServerFrame::Error { id, code, .. } => Some((*id, code.as_str())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        errors,
+        [(Some(2), "draining")],
+        "the post-drain request must be rejected with a typed error: {frames:?}"
+    );
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.requests, 2);
+}
+
+#[test]
+fn a_full_session_queue_surfaces_overloaded_errors_over_the_wire() {
+    let (addr, drain, join) = start(ServeConfig {
+        queue: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let session = client.open(None, None).expect("open bare session");
+
+    // Pipeline a burst without reading: with a queue of one, the worker
+    // holds the first job while later submits bounce with backpressure.
+    const BURST: u64 = 32;
+    for id in 1..=BURST {
+        client
+            .send(&ClientFrame::Request {
+                session,
+                id,
+                command: "explore".to_owned(),
+                args: Vec::new(),
+                deadline_ms: None,
+            })
+            .expect("pipeline request");
+    }
+    let mut responses = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..BURST {
+        match client.recv().expect("reply").expect("open connection") {
+            ServerFrame::Response { .. } => responses += 1,
+            ServerFrame::Error { code, message, .. } => {
+                assert_eq!(code, "overloaded", "{message}");
+                assert!(message.contains("queue is full"), "{message}");
+                overloaded += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(responses + overloaded, BURST);
+    assert!(responses >= 1, "the held job must still answer");
+    assert!(
+        overloaded >= 1,
+        "a burst of {BURST} against a queue of 1 must bounce at least once"
+    );
+    client.bye().expect("bye");
+    stop(&drain, join);
+}
+
+#[test]
+fn oversize_frames_get_a_typed_error_before_the_connection_closes() {
+    let (addr, drain, join) = start(ServeConfig {
+        max_frame: 256,
+        ..ServeConfig::default()
+    });
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    wire::write_frame(
+        &mut stream,
+        &ClientFrame::Hello {
+            protocol: PROTOCOL.to_owned(),
+        }
+        .encode(),
+    )
+    .expect("hello");
+    assert!(matches!(
+        read_server_frame(&mut stream),
+        Some(ServerFrame::Hello { .. })
+    ));
+    // 1000 payload bytes against a 256-byte limit: rejected on the
+    // length prefix, before the payload is even parsed.
+    wire::write_frame(&mut stream, &"x".repeat(1000)).expect("oversize frame");
+    let Some(ServerFrame::Error { code, message, .. }) = read_server_frame(&mut stream) else {
+        panic!("expected oversize error");
+    };
+    assert_eq!(code, "oversize-frame");
+    assert!(message.contains("exceeds the 256-byte limit"), "{message}");
+    // The stream cannot be resynchronised; the server closes it. The
+    // close may surface as a clean `bye`+EOF or as a reset (the unread
+    // oversize payload makes the OS discard the connection) — either
+    // way, no further responses arrive.
+    while let Ok(Some(payload)) = wire::read_frame(&mut stream, wire::DEFAULT_MAX_FRAME) {
+        let frame = ServerFrame::decode(&payload).expect("decode");
+        assert!(
+            matches!(frame, ServerFrame::Bye),
+            "only a closing bye may follow the oversize error, got {frame:?}"
+        );
+    }
+    stop(&drain, join);
+}
