@@ -1,0 +1,106 @@
+//! Pricing incremental elicitation (PR 7).
+//!
+//! The incremental engine memoises reachability fragments and
+//! dependence verdicts under content-hash keys, so a model edit only
+//! recomputes what the edit touches. These groups pin the headline
+//! claim: on the six-vehicle scenario, a single-component edit followed
+//! by re-elicitation is at least an order of magnitude cheaper than
+//! eliciting the edited model from scratch.
+//!
+//! * `incremental_edit/single_component_edit` — warm engine, apply
+//!   `set-initial gps5 20010`, re-elicit, undo (so every iteration
+//!   starts from the same memo state).
+//! * `incremental_edit/from_scratch` — compile + reachability +
+//!   `elicit_with_options` on the same edited model, no memo.
+//! * `incremental_edit/warm_replay` — repeat elicitation with no edit:
+//!   the pure memo-lookup floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsa_core::assisted::{elicit_with_options, DependenceMethod, ElicitOptions};
+use fsa_core::delta::{EditModel, ModelDelta};
+use fsa_core::incremental::IncrementalElicitor;
+use fsa_obs::Obs;
+use std::hint::black_box;
+
+const MEMO_CAPACITY: usize = 256;
+
+fn six_vehicle_model() -> EditModel {
+    vanet::apa_model::n_pair_model(3)
+}
+
+fn edit_and_undo() -> (ModelDelta, ModelDelta) {
+    (
+        ModelDelta::parse("set-initial gps5 20010").expect("edit parses"),
+        ModelDelta::parse("set-initial gps5 20000").expect("undo parses"),
+    )
+}
+
+fn from_scratch(model: &EditModel) {
+    let graph = model
+        .compile()
+        .expect("model compiles")
+        .reachability(&apa::ReachOptions::default())
+        .expect("reachability");
+    black_box(elicit_with_options(
+        &graph,
+        &ElicitOptions {
+            method: DependenceMethod::Precedence,
+            threads: 1,
+            prune: false,
+        },
+        |max| model.stakeholder(max),
+    ));
+}
+
+fn bench_incremental_edit(c: &mut Criterion) {
+    let obs = Obs::disabled();
+    let (edit, undo) = edit_and_undo();
+
+    let mut group = c.benchmark_group("incremental_edit");
+    group.sample_size(20);
+
+    // Warm engine: the base model and both edit states are memoised
+    // once up front, then every iteration pays only the edit path
+    // (invalidation + fragment re-analysis for the touched vehicle).
+    let mut model = six_vehicle_model();
+    let mut engine = IncrementalElicitor::new(MEMO_CAPACITY).method(DependenceMethod::Precedence);
+    engine.elicit(&model, &obs).expect("warm base");
+    group.bench_function("single_component_edit", |b| {
+        b.iter(|| {
+            engine.apply(&mut model, &edit, &obs).expect("edit");
+            black_box(engine.elicit(&model, &obs).expect("re-elicit"));
+            engine.apply(&mut model, &undo, &obs).expect("undo");
+            black_box(engine.elicit(&model, &obs).expect("re-elicit undone"));
+        })
+    });
+
+    // The comparison point: the same pair of model states, each
+    // elicited from scratch (what a non-incremental tool pays).
+    let mut edited = six_vehicle_model();
+    edited.apply(&edit).expect("edit applies");
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| {
+            from_scratch(black_box(&edited));
+            from_scratch(black_box(&six_vehicle_model()));
+        })
+    });
+
+    // Floor: no edit at all — a repeated elicit is pure memo lookups.
+    let replay_model = six_vehicle_model();
+    let mut replay = IncrementalElicitor::new(MEMO_CAPACITY).method(DependenceMethod::Precedence);
+    replay.elicit(&replay_model, &obs).expect("warm replay");
+    group.bench_function("warm_replay", |b| {
+        b.iter(|| {
+            black_box(
+                replay
+                    .elicit(black_box(&replay_model), &obs)
+                    .expect("replay"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_edit);
+criterion_main!(benches);

@@ -172,6 +172,30 @@ pub fn dependence_by_precedence(behaviour: &Nfa, minimum: &str, maximum: &str) -
     temporal::precedes(behaviour, minimum, maximum)
 }
 
+/// Builds the requirement set from a verdict vector: one authenticity
+/// requirement per *dependent* pair, with the responsible agent
+/// assigned by `stakeholder` from the maximum's action name.
+///
+/// Shared between [`elicit_observed`] and the incremental engine
+/// ([`crate::incremental::IncrementalElicitor`]), so both derive
+/// requirements from verdicts in exactly the same way.
+pub fn requirements_from_verdicts(
+    verdicts: &[PairVerdict],
+    stakeholder: impl Fn(&str) -> Agent,
+) -> RequirementSet {
+    let mut requirements = RequirementSet::new();
+    for v in verdicts {
+        if v.dependent {
+            requirements.insert(AuthRequirement::new(
+                Action::parse(&v.minimum),
+                Action::parse(&v.maximum),
+                stakeholder(&v.maximum),
+            ));
+        }
+    }
+    requirements
+}
+
 /// Runs the tool-assisted pipeline on a reachability graph with the
 /// default engine options (sequential, no pruning) — byte-identical to
 /// the original per-pair loop.
@@ -415,16 +439,7 @@ pub fn elicit_observed(
     }
     drop(run);
 
-    let mut requirements = RequirementSet::new();
-    for v in &verdicts {
-        if v.dependent {
-            requirements.insert(AuthRequirement::new(
-                Action::parse(&v.minimum),
-                Action::parse(&v.maximum),
-                stakeholder(&v.maximum),
-            ));
-        }
-    }
+    let requirements = requirements_from_verdicts(&verdicts, stakeholder);
 
     AssistedReport {
         state_count: graph.state_count(),

@@ -64,11 +64,14 @@ pub mod classify;
 pub mod component_model;
 pub mod confidential;
 pub mod dataflow;
+pub mod delta;
 pub mod error;
 pub mod explore;
 pub mod family;
+pub mod incremental;
 pub mod instance;
 pub mod manual;
+pub mod memo;
 pub mod param;
 pub mod prioritise;
 pub mod refine;

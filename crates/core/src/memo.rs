@@ -1,0 +1,340 @@
+//! A bounded, invalidation-aware memo store for incremental analysis.
+//!
+//! Entries are keyed by a *namespace* plus a canonical payload string
+//! (the content hash is FNV-1a over both). The 64-bit hash only selects
+//! a bucket: a lookup verifies the exact `(namespace, payload)` pair —
+//! and, when the caller supplies one, an extra `accept` predicate (the
+//! certificate namespaces verify graph isomorphism this way, exactly as
+//! [`fsa_graph::iso::CertifiedClasses`] does) — so a hash collision
+//! degrades to a memo miss, never to a wrong analysis result.
+//!
+//! Invalidation is explicit: every entry carries the set of model
+//! element names it depends on, and [`MemoStore::invalidate_touching`]
+//! drops the entries whose dependencies intersect an edit's touched
+//! set. Entries with an empty dependency set survive every edit (the
+//! certificate entries use this to answer edit–undo sequences).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// FNV-1a over the namespace, a `0xFF` separator (never a UTF-8 byte),
+/// and the payload.
+#[must_use]
+pub fn fnv1a_64(namespace: &str, payload: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in namespace
+        .as_bytes()
+        .iter()
+        .chain(&[0xFFu8])
+        .chain(payload.as_bytes())
+    {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Cumulative work counters of a [`MemoStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoCounters {
+    /// Lookups answered from the store (exact key match + accepted).
+    pub hits: u64,
+    /// Lookups that found nothing usable (including hash collisions
+    /// and entries rejected by the caller's `accept` predicate).
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries dropped by [`MemoStore::invalidate_touching`].
+    pub invalidated: u64,
+}
+
+struct Entry<V> {
+    namespace: &'static str,
+    payload: String,
+    deps: BTreeSet<String>,
+    seq: u64,
+    value: Arc<V>,
+}
+
+/// A bounded memo store: hash-bucketed entries, FIFO eviction at
+/// capacity, explicit dependency-driven invalidation.
+///
+/// The hash function is injectable so tests can force every key into
+/// one bucket and prove that collisions are harmless.
+pub struct MemoStore<V> {
+    buckets: BTreeMap<u64, Vec<Entry<V>>>,
+    /// Insertion order as `(hash, seq)`; stale pairs (already
+    /// invalidated or replaced) are skipped at eviction time.
+    order: VecDeque<(u64, u64)>,
+    next_seq: u64,
+    len: usize,
+    capacity: usize,
+    hasher: fn(&str, &str) -> u64,
+    counters: MemoCounters,
+}
+
+impl<V> MemoStore<V> {
+    /// An empty store holding at most `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        MemoStore::with_hasher(capacity, fnv1a_64)
+    }
+
+    /// An empty store with an explicit key hasher (tests inject a
+    /// constant hasher to force collisions).
+    #[must_use]
+    pub fn with_hasher(capacity: usize, hasher: fn(&str, &str) -> u64) -> Self {
+        MemoStore {
+            buckets: BTreeMap::new(),
+            order: VecDeque::new(),
+            next_seq: 0,
+            len: 0,
+            capacity: capacity.max(1),
+            hasher,
+            counters: MemoCounters::default(),
+        }
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entry is held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cumulative counters.
+    #[must_use]
+    pub fn counters(&self) -> MemoCounters {
+        self.counters
+    }
+
+    /// Looks up `(namespace, payload)`. The bucket selected by the
+    /// 64-bit hash is scanned for an *exact* key match, and `accept`
+    /// must confirm the stored value before it is returned — a
+    /// collision (or a rejected value) counts as a miss.
+    pub fn lookup(
+        &mut self,
+        namespace: &'static str,
+        payload: &str,
+        mut accept: impl FnMut(&V) -> bool,
+    ) -> Option<Arc<V>> {
+        let hash = (self.hasher)(namespace, payload);
+        let found = self.buckets.get(&hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|e| e.namespace == namespace && e.payload == payload && accept(&e.value))
+                .map(|e| Arc::clone(&e.value))
+        });
+        match found {
+            Some(v) => {
+                self.counters.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the entry for `(namespace, payload)`.
+    /// `deps` names the model elements whose edits invalidate it; an
+    /// empty set makes the entry immune to invalidation. The oldest
+    /// entry is evicted when the store is full.
+    pub fn insert(
+        &mut self,
+        namespace: &'static str,
+        payload: String,
+        deps: BTreeSet<String>,
+        value: Arc<V>,
+    ) {
+        let hash = (self.hasher)(namespace, &payload);
+        let bucket = self.buckets.entry(hash).or_default();
+        if let Some(e) = bucket
+            .iter_mut()
+            .find(|e| e.namespace == namespace && e.payload == payload)
+        {
+            e.deps = deps;
+            e.value = value;
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        bucket.push(Entry {
+            namespace,
+            payload,
+            deps,
+            seq,
+            value,
+        });
+        self.order.push_back((hash, seq));
+        self.len += 1;
+        while self.len > self.capacity {
+            self.evict_oldest();
+        }
+    }
+
+    fn evict_oldest(&mut self) {
+        while let Some((hash, seq)) = self.order.pop_front() {
+            if let Some(bucket) = self.buckets.get_mut(&hash) {
+                if let Some(i) = bucket.iter().position(|e| e.seq == seq) {
+                    bucket.swap_remove(i);
+                    if bucket.is_empty() {
+                        self.buckets.remove(&hash);
+                    }
+                    self.len -= 1;
+                    self.counters.evictions += 1;
+                    return;
+                }
+            }
+            // Stale order record (entry already invalidated): keep
+            // scanning for a live one.
+        }
+    }
+
+    /// Drops every entry whose dependency set intersects `touched`;
+    /// returns how many were dropped. Entries with empty dependencies
+    /// are never invalidated.
+    pub fn invalidate_touching(&mut self, touched: &BTreeSet<String>) -> usize {
+        if touched.is_empty() {
+            return 0;
+        }
+        let mut dropped = 0usize;
+        self.buckets.retain(|_, bucket| {
+            bucket.retain(|e| {
+                let hit = e.deps.iter().any(|d| touched.contains(d));
+                if hit {
+                    dropped += 1;
+                }
+                !hit
+            });
+            !bucket.is_empty()
+        });
+        self.len -= dropped;
+        self.counters.invalidated += dropped as u64;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deps(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn lookup_requires_exact_key_match() {
+        let mut store: MemoStore<u32> = MemoStore::new(8);
+        store.insert("ns", "alpha".to_owned(), deps(&["a"]), Arc::new(1));
+        assert_eq!(store.lookup("ns", "alpha", |_| true).as_deref(), Some(&1));
+        assert_eq!(store.lookup("ns", "beta", |_| true), None);
+        assert_eq!(store.lookup("other", "alpha", |_| true), None);
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses), (1, 2));
+    }
+
+    #[test]
+    fn forced_hash_collisions_degrade_to_misses_not_wrong_values() {
+        // Every key lands in bucket 42: distinct payloads collide by
+        // construction. The exact payload comparison must still resolve
+        // each lookup to its own value (or a miss), never to the
+        // colliding neighbour's value.
+        let mut store: MemoStore<&'static str> = MemoStore::with_hasher(8, |_, _| 42);
+        store.insert("frag", "model-A".to_owned(), deps(&["A"]), Arc::new("A"));
+        store.insert("frag", "model-B".to_owned(), deps(&["B"]), Arc::new("B"));
+        assert_eq!(
+            store.lookup("frag", "model-A", |_| true).as_deref(),
+            Some(&"A")
+        );
+        assert_eq!(
+            store.lookup("frag", "model-B", |_| true).as_deref(),
+            Some(&"B")
+        );
+        assert_eq!(
+            store.lookup("frag", "model-C", |_| true),
+            None,
+            "a colliding but unknown payload is a miss"
+        );
+        // The accept predicate can also veto an exact match (the
+        // certificate namespace rejects non-isomorphic graphs).
+        assert_eq!(store.lookup("frag", "model-A", |_| false), None);
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses), (2, 2));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let mut store: MemoStore<u32> = MemoStore::new(2);
+        store.insert("ns", "one".to_owned(), deps(&[]), Arc::new(1));
+        store.insert("ns", "two".to_owned(), deps(&[]), Arc::new(2));
+        store.insert("ns", "three".to_owned(), deps(&[]), Arc::new(3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.counters().evictions, 1);
+        assert_eq!(store.lookup("ns", "one", |_| true), None, "oldest evicted");
+        assert_eq!(store.lookup("ns", "two", |_| true).as_deref(), Some(&2));
+        assert_eq!(store.lookup("ns", "three", |_| true).as_deref(), Some(&3));
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_grow_the_store() {
+        let mut store: MemoStore<u32> = MemoStore::new(2);
+        store.insert("ns", "k".to_owned(), deps(&["a"]), Arc::new(1));
+        store.insert("ns", "k".to_owned(), deps(&["b"]), Arc::new(2));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lookup("ns", "k", |_| true).as_deref(), Some(&2));
+        // The replacement refreshed the deps: invalidating `a` is a
+        // no-op, invalidating `b` drops it.
+        assert_eq!(store.invalidate_touching(&deps(&["a"])), 0);
+        assert_eq!(store.invalidate_touching(&deps(&["b"])), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn invalidation_only_drops_dependent_entries() {
+        let mut store: MemoStore<u32> = MemoStore::new(8);
+        store.insert(
+            "frag",
+            "f1".to_owned(),
+            deps(&["esp1", "V1_send"]),
+            Arc::new(1),
+        );
+        store.insert("frag", "f2".to_owned(), deps(&["esp3"]), Arc::new(2));
+        store.insert("cert", "c1".to_owned(), deps(&[]), Arc::new(3));
+        assert_eq!(store.invalidate_touching(&deps(&["V1_send", "gps9"])), 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.lookup("frag", "f1", |_| true), None);
+        assert_eq!(store.lookup("frag", "f2", |_| true).as_deref(), Some(&2));
+        assert_eq!(
+            store.lookup("cert", "c1", |_| true).as_deref(),
+            Some(&3),
+            "dependency-free entries survive every edit"
+        );
+        assert_eq!(store.counters().invalidated, 1);
+    }
+
+    #[test]
+    fn eviction_skips_stale_order_records_after_invalidation() {
+        let mut store: MemoStore<u32> = MemoStore::new(2);
+        store.insert("ns", "a".to_owned(), deps(&["x"]), Arc::new(1));
+        store.insert("ns", "b".to_owned(), deps(&[]), Arc::new(2));
+        // `a` is invalidated, leaving a stale record at the head of the
+        // FIFO order. The next overflow must evict `b`, not panic or
+        // miscount on the stale record.
+        assert_eq!(store.invalidate_touching(&deps(&["x"])), 1);
+        store.insert("ns", "c".to_owned(), deps(&[]), Arc::new(3));
+        store.insert("ns", "d".to_owned(), deps(&[]), Arc::new(4));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.lookup("ns", "b", |_| true), None, "b evicted");
+        assert_eq!(store.lookup("ns", "c", |_| true).as_deref(), Some(&3));
+        assert_eq!(store.lookup("ns", "d", |_| true).as_deref(), Some(&4));
+    }
+}

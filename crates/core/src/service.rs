@@ -172,6 +172,10 @@ pub mod codes {
     /// The `open` frame could not be satisfied (parse error, unknown
     /// scenario, …).
     pub const OPEN_FAILED: &str = "open-failed";
+    /// An `edit` request was sent to a session whose model does not
+    /// support incremental edits (no scenario, or a scenario without an
+    /// editable component model).
+    pub const NOT_EDITABLE: &str = "not-editable";
 }
 
 /// A session-scoped analysis engine: answers [`Query`]s against state

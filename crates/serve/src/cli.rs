@@ -25,6 +25,7 @@ use std::fmt::Write as _;
 
 pub(crate) const GLOBAL_USAGE: &str = "usage:
   fsa elicit <spec-file> [--param] [--refine] [--prioritise] [--dot] [--markdown] [--verify-dataflow] [--stats] [--threads=N]
+  fsa elicit --scenario two|chain|attacked|six [--edit-script F] [--threads N]
   fsa check <spec-file>
   fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
               [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
@@ -115,14 +116,40 @@ Run the §4 manual elicitation pipeline on every instance of the spec.
   --stats-json F     write span/counter statistics (fsa-obs/v1 JSON) to F
   --trace-json F     write a chrome://tracing view of the run to F";
 
+pub(crate) const ELICIT_SCENARIO_USAGE: &str = "usage:
+  fsa elicit --scenario two|chain|attacked|six [--edit-script F] [--threads N]
+
+Run the §5 tool-assisted elicitation pipeline on a named scenario APA.
+The `two` and `six` scenarios are *editable*: their component models
+support typed deltas, and the incremental engine re-elicits after each
+edit reusing every untouched fragment's memoised analysis.
+  --scenario S     two | chain | attacked | six
+  --edit-script F  apply an edit script (one delta or `elicit` per
+                   line; # comments); every `elicit` step appends one
+                   report, and a missing final `elicit` is implied.
+                   Requires an editable scenario (two or six).
+                   Delta vocabulary:
+                     add-component NAME [VALUE...]
+                     remove-component NAME
+                     set-initial NAME [VALUE...]
+                     add-flow NAME KIND FROM TO
+                     remove-flow NAME
+                     rewire-flow NAME FROM TO
+                     retag-stakeholder AUTOMATON AGENT
+  --threads N      worker threads for the dependence grids (the report
+                   is bit-identical for any value; default 1)
+  --stats-json F   write span/counter statistics (fsa-obs/v1 JSON) to F
+                   (includes the elicit.memo.* incremental counters)
+  --trace-json F   write a chrome://tracing view of the run to F";
+
 pub(crate) const CHECK_USAGE: &str = "usage:
   fsa check <spec-file>
 
 Parse and validate a specification (exit code 1 on errors).";
 
 pub(crate) const SERVE_USAGE: &str = "usage:
-  fsa serve [--addr HOST:PORT] [--queue N] [--max-frame BYTES] [--stats-json F] [--trace-json F]
-  fsa serve --connect ADDR [--spec F] [--scenario S] [--request \"CMD ARGS\"]... [--deadline-ms N] [--drain]
+  fsa serve [--addr HOST:PORT] [--queue N] [--max-frame BYTES] [--cache-cap N] [--stats-json F] [--trace-json F]
+  fsa serve --connect ADDR [--spec F] [--scenario S] [--request \"CMD ARGS\"]... [--edit \"DELTA\"]... [--deadline-ms N] [--drain]
 
 Run (or talk to) the resident analysis service speaking fsa-wire/v1
 (4-byte big-endian length-prefixed JSON frames over TCP).
@@ -134,6 +161,8 @@ skip specification parsing and APA reachability:
   --queue N         bounded per-session request queue (default 8);
                     a full queue answers `overloaded` (backpressure)
   --max-frame N     per-frame payload limit in bytes (default 1048576)
+  --cache-cap N     bounded per-session response cache (default 64
+                    entries, FIFO eviction; edits clear it)
   --stats-json F    write serve.* span/counter statistics on shutdown
   --trace-json F    write a chrome://tracing view on shutdown
 The server drains gracefully on SIGTERM or a client `drain` frame:
@@ -147,6 +176,9 @@ Client mode:
                     attacked|six)
   --request \"C A\"   queue command C with arguments A (repeatable);
                     responses print to stdout/stderr verbatim
+  --edit \"DELTA\"    apply one model delta to the session's editable
+                    scenario (repeatable; interleaves with --request
+                    in flag order), e.g. --edit \"set-initial gps1 50\"
   --deadline-ms N   per-request deadline, measured from receipt
   --drain           ask the server to drain after the last response";
 
@@ -400,6 +432,16 @@ pub fn dispatch(args: &[String]) -> Rendered {
         "explore" => run_explore(rest, &ctx),
         "simulate" => run_simulate(rest, None, &ctx),
         "monitor" => run_monitor(rest, None, &ctx),
+        // `elicit --scenario` analyses a named scenario APA (optionally
+        // through an edit script); `elicit <spec-file>` stays the §4
+        // manual pipeline.
+        "elicit"
+            if rest
+                .iter()
+                .any(|a| a == "--scenario" || a.starts_with("--scenario=")) =>
+        {
+            run_elicit_scenario(rest, None, &ctx)
+        }
         "check" | "elicit" => run_spec(command, rest, None, &ctx),
         "serve" if wants_help(rest) => help(SERVE_USAGE),
         other => Rendered::usage_error(&format!("unknown command `{other}`"), GLOBAL_USAGE),
@@ -681,6 +723,152 @@ fn cross_check(
             assisted.requirements.len()
         ))
     }
+}
+
+/// `fsa elicit --scenario` — the §5 tool-assisted pipeline over a named
+/// scenario APA, optionally driven through an `--edit-script` of typed
+/// model deltas (editable scenarios only). With a session model the
+/// scenario is fixed at open and edits arrive as `edit` frames instead;
+/// the rendered blocks are byte-identical either way, so a session
+/// transcript diffs cleanly against the equivalent one-shot runs.
+pub fn run_elicit_scenario(
+    rest: &[String],
+    model: Option<&mut ScenarioModel>,
+    ctx: &ServiceCtx,
+) -> Rendered {
+    use crate::engines::render_elicited;
+    use fsa_core::delta::{parse_script, ScriptStep};
+
+    if wants_help(rest) {
+        return help(ELICIT_SCENARIO_USAGE);
+    }
+    let mut scenario: Option<String> = None;
+    let mut edit_script: Option<String> = None;
+    let mut threads = 1usize;
+    let mut outputs = ObsOutputs::default();
+    let mut flags = Flags::new(rest, ELICIT_SCENARIO_USAGE);
+    while let Some(flag) = flags.next_flag() {
+        let flag = match flag {
+            Ok(f) => f,
+            Err(r) => return r,
+        };
+        let (name, inline) = match flag {
+            Flag::Named(n, v) => (n, v),
+            Flag::Positional(p) => return flags.positional(&p),
+        };
+        match name.as_str() {
+            "scenario" => match flags.value("scenario", inline) {
+                Ok(s) => {
+                    if model.is_some() {
+                        return Rendered::usage_error(
+                            "--scenario is fixed at session open",
+                            ELICIT_SCENARIO_USAGE,
+                        );
+                    }
+                    scenario = Some(s);
+                }
+                Err(r) => return r,
+            },
+            "edit-script" => match flags.value("edit-script", inline) {
+                Ok(p) => {
+                    if model.is_some() {
+                        return Rendered::usage_error(
+                            "--edit-script is a one-shot flag (sessions apply edits through \
+                             `edit` frames)",
+                            ELICIT_SCENARIO_USAGE,
+                        );
+                    }
+                    edit_script = Some(p);
+                }
+                Err(r) => return r,
+            },
+            "threads" => match flags.positive("threads", inline) {
+                Ok(n) => threads = n,
+                Err(r) => return r,
+            },
+            "stats-json" => match flags.value("stats-json", inline) {
+                Ok(p) => outputs.stats_json = Some(p),
+                Err(r) => return r,
+            },
+            "trace-json" => match flags.value("trace-json", inline) {
+                Ok(p) => outputs.trace_json = Some(p),
+                Err(r) => return r,
+            },
+            other => return flags.unknown(other),
+        }
+    }
+
+    let mut built;
+    let model_ref: &mut ScenarioModel = match model {
+        Some(m) => m,
+        None => {
+            let Some(name) = scenario else {
+                return Rendered::usage_error(
+                    "--scenario expects a value (two|chain|attacked|six)",
+                    ELICIT_SCENARIO_USAGE,
+                );
+            };
+            match ScenarioModel::load(&name) {
+                Ok(m) => built = m,
+                Err(e) => {
+                    return Rendered {
+                        stderr: format!("{e} (expected two, chain, attacked or six)\n"),
+                        exit: 2,
+                        ..Rendered::default()
+                    }
+                }
+            }
+            &mut built
+        }
+    };
+
+    let obs = outputs.obs(ctx);
+    let mut r = Rendered::success();
+    match edit_script {
+        None => match model_ref.elicit_report(threads, &obs) {
+            Ok(report) => r
+                .stdout
+                .push_str(&render_elicited(model_ref.name(), &report)),
+            Err(e) => return Rendered::failure(&e),
+        },
+        Some(path) => {
+            if !model_ref.is_editable() {
+                return Rendered::usage_error(
+                    &format!(
+                        "--edit-script requires an editable scenario (two or six), not `{}`",
+                        model_ref.name()
+                    ),
+                    ELICIT_SCENARIO_USAGE,
+                );
+            }
+            let source = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => return Rendered::failure(&format!("cannot read {path}: {e}")),
+            };
+            let steps = match parse_script(&source) {
+                Ok(s) => s,
+                Err(e) => return Rendered::failure(&format!("{path}: {e}")),
+            };
+            for step in steps {
+                match step {
+                    ScriptStep::Delta(d) => {
+                        if let Err(e) = model_ref.apply_deltas(std::slice::from_ref(&d), &obs) {
+                            return Rendered::failure(&format!("edit failed: {e}"));
+                        }
+                    }
+                    ScriptStep::Elicit => match model_ref.elicit_report(threads, &obs) {
+                        Ok(report) => {
+                            r.stdout
+                                .push_str(&render_elicited(model_ref.name(), &report));
+                        }
+                        Err(e) => return Rendered::failure(&e),
+                    },
+                }
+            }
+        }
+    }
+    outputs.collect(&obs, &mut r);
+    r
 }
 
 /// `fsa explore` — enumerate the vehicular instance space (§4.2) and
@@ -1278,6 +1466,74 @@ mod tests {
             ok.stderr.is_empty(),
             "reorder names no automaton: {}",
             ok.stderr
+        );
+    }
+
+    #[test]
+    fn elicit_scenario_renders_the_assisted_report() {
+        let r = dispatch(&argv(&["elicit", "--scenario", "two"]));
+        assert_eq!(r.exit, 0, "{}", r.stderr);
+        assert!(r.stdout.starts_with("scenario two: "), "{}", r.stdout);
+        assert!(r.stdout.contains("requirements ("), "{}", r.stdout);
+        let unknown = dispatch(&argv(&["elicit", "--scenario", "warp"]));
+        assert_eq!(unknown.exit, 2);
+        assert!(unknown
+            .stderr
+            .contains("unknown scenario `warp` (expected two, chain, attacked or six)"));
+    }
+
+    #[test]
+    fn elicit_scenario_edit_scripts_require_an_editable_scenario() {
+        let script = std::env::temp_dir().join("fsa-cli-edit-script-chain.txt");
+        std::fs::write(&script, "set-initial gps1 0\n").expect("write script");
+        let r = dispatch(&argv(&[
+            "elicit",
+            "--scenario",
+            "chain",
+            "--edit-script",
+            script.to_str().expect("utf8 path"),
+        ]));
+        assert_eq!(r.exit, 2);
+        assert!(
+            r.stderr
+                .contains("--edit-script requires an editable scenario (two or six)"),
+            "{}",
+            r.stderr
+        );
+        let _ = std::fs::remove_file(&script);
+    }
+
+    #[test]
+    fn an_edit_script_run_matches_the_equivalent_manual_sequence() {
+        // One report per `elicit` step; the trailing elicit is implied.
+        let script = std::env::temp_dir().join("fsa-cli-edit-script-two.txt");
+        std::fs::write(
+            &script,
+            "# move V1's GPS out of V2's range\nelicit\nset-initial gps1 20000\n",
+        )
+        .expect("write script");
+        let r = dispatch(&argv(&[
+            "elicit",
+            "--scenario",
+            "two",
+            "--edit-script",
+            script.to_str().expect("utf8 path"),
+        ]));
+        let _ = std::fs::remove_file(&script);
+        assert_eq!(r.exit, 0, "{}", r.stderr);
+        let plain = dispatch(&argv(&["elicit", "--scenario", "two"]));
+        assert!(
+            r.stdout.starts_with(&plain.stdout),
+            "the pre-edit report must match the scriptless run"
+        );
+        assert!(
+            r.stdout.len() > plain.stdout.len(),
+            "the post-edit report must follow"
+        );
+        assert_ne!(
+            &r.stdout[plain.stdout.len()..],
+            plain.stdout,
+            "the edit must change the second report"
         );
     }
 

@@ -114,6 +114,31 @@ impl Client {
         }
     }
 
+    /// Lockstep edit: applies delta lines to the session's editable
+    /// scenario model and waits for the response (success is exit 0
+    /// with empty stdout) or typed error frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, display-ready (typed server errors are
+    /// returned as frames, not `Err`).
+    pub fn edit(
+        &mut self,
+        session: u64,
+        id: u64,
+        deltas: &[String],
+    ) -> Result<ServerFrame, String> {
+        self.send(&ClientFrame::Edit {
+            session,
+            id,
+            deltas: deltas.to_vec(),
+        })?;
+        match self.recv()? {
+            Some(frame) => Ok(frame),
+            None => Err("server closed the connection before responding".to_owned()),
+        }
+    }
+
     /// Requests a server-wide drain and reads until the closing `bye`.
     /// Returns every frame received on the way (pipelined responses,
     /// `draining` errors).
@@ -150,19 +175,29 @@ impl Client {
     }
 }
 
+/// One scripted client operation, kept in flag order so edits
+/// interleave with requests exactly as written on the command line.
+enum Op {
+    /// `--request "CMD ARGS"`.
+    Request(String),
+    /// `--edit "DELTA"` — one model delta line.
+    Edit(String),
+}
+
 /// `fsa serve --connect` — scripts a session against a running server:
-/// open (spec and/or scenario), run each `--request`, optionally drain.
-/// Response stdout/stderr print verbatim; the exit code is the first
-/// non-zero response exit (typed error frames exit 1).
+/// open (spec and/or scenario), run each `--request` / `--edit` in flag
+/// order, optionally drain. Response stdout/stderr print verbatim; the
+/// exit code is the first non-zero response exit (typed error frames
+/// exit 1).
 pub fn connect_command(rest: &[String]) -> u8 {
     let mut connect: Option<String> = None;
     let mut spec: Option<String> = None;
     let mut scenario: Option<String> = None;
-    let mut requests: Vec<String> = Vec::new();
+    let mut ops: Vec<Op> = Vec::new();
     let mut deadline_ms: Option<u64> = None;
     let mut drain = false;
 
-    let mut flags = Flags::new_repeatable(rest, SERVE_USAGE, &["request"]);
+    let mut flags = Flags::new_repeatable(rest, SERVE_USAGE, &["request", "edit"]);
     while let Some(flag) = flags.next_flag() {
         let flag = match flag {
             Ok(f) => f,
@@ -186,7 +221,11 @@ pub fn connect_command(rest: &[String]) -> u8 {
                 Err(r) => return cli::emit(&r),
             },
             "request" => match flags.value("request", inline) {
-                Ok(rq) => requests.push(rq),
+                Ok(rq) => ops.push(Op::Request(rq)),
+                Err(r) => return cli::emit(&r),
+            },
+            "edit" => match flags.value("edit", inline) {
+                Ok(d) => ops.push(Op::Edit(d)),
                 Err(r) => return cli::emit(&r),
             },
             "deadline-ms" => match flags.seed("deadline-ms", inline) {
@@ -227,14 +266,27 @@ pub fn connect_command(rest: &[String]) -> u8 {
         }
     };
     let mut exit = 0u8;
-    for (i, line) in requests.iter().enumerate() {
-        let mut words = line.split_whitespace().map(str::to_owned);
-        let Some(command) = words.next() else {
-            eprintln!("--request expects `COMMAND [ARGS...]`, got an empty string");
-            return 2;
+    for (i, op) in ops.iter().enumerate() {
+        let id = i as u64 + 1;
+        let reply = match op {
+            Op::Request(line) => {
+                let mut words = line.split_whitespace().map(str::to_owned);
+                let Some(command) = words.next() else {
+                    eprintln!("--request expects `COMMAND [ARGS...]`, got an empty string");
+                    return 2;
+                };
+                let args: Vec<String> = words.collect();
+                client.request(session, id, &command, &args, deadline_ms)
+            }
+            Op::Edit(delta) => {
+                if delta.trim().is_empty() {
+                    eprintln!("--edit expects a model delta line, got an empty string");
+                    return 2;
+                }
+                client.edit(session, id, std::slice::from_ref(delta))
+            }
         };
-        let args: Vec<String> = words.collect();
-        match client.request(session, i as u64 + 1, &command, &args, deadline_ms) {
+        match reply {
             Ok(ServerFrame::Response {
                 exit: e,
                 stdout,

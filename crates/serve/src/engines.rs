@@ -8,9 +8,20 @@
 //! byte-identical to the one-shot CLI.
 
 use crate::cli;
+use fsa_core::assisted::{AssistedReport, DependenceMethod};
+use fsa_core::delta::{EditModel, ModelDelta};
+use fsa_core::incremental::IncrementalElicitor;
 use fsa_core::service::{codes, LoadedModel, Query, Rendered, Service, ServiceCtx, ServiceError};
 use fsa_core::RequirementSet;
+use fsa_obs::Obs;
+use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// Memo-store capacity of a session's incremental elicitation engine:
+/// generous against the handful of fragments a scenario splits into,
+/// but bounded so a pathological edit sequence cannot grow it without
+/// limit.
+const MEMO_CAPACITY: usize = 256;
 
 /// Builds the APA of a named simulation scenario.
 pub(crate) fn scenario_apa(name: &str) -> Result<apa::Apa, String> {
@@ -28,14 +39,26 @@ pub(crate) fn scenario_apa(name: &str) -> Result<apa::Apa, String> {
     }
 }
 
+/// The editable face of a scenario: the typed component model the
+/// session mutates through `edit` requests, plus the incremental
+/// elicitation engine whose memo store survives across requests.
+struct Editable {
+    model: EditModel,
+    elicitor: IncrementalElicitor,
+}
+
 /// A resident scenario: the APA built once at open, plus the §5
 /// elicitation memoised on first `monitor` request. The second monitor
 /// query against the same session skips reachability and elicitation
-/// entirely.
+/// entirely. The `two` and `six` scenarios additionally carry an
+/// editable component model: `edit` requests apply typed deltas
+/// atomically and `elicit` re-derives the requirement set
+/// incrementally, reusing every fragment the edit left untouched.
 pub struct ScenarioModel {
     name: String,
     apa: apa::Apa,
     elicited: Option<RequirementSet>,
+    editable: Option<Editable>,
 }
 
 impl ScenarioModel {
@@ -46,11 +69,109 @@ impl ScenarioModel {
     ///
     /// The scenario-construction error, already formatted for display.
     pub fn load(name: &str) -> Result<ScenarioModel, String> {
+        let editable = match name {
+            "two" => Some(vanet::apa_model::n_pair_model(1)),
+            "six" => Some(vanet::apa_model::n_pair_model(3)),
+            _ => None,
+        }
+        .map(|model| Editable {
+            model,
+            elicitor: IncrementalElicitor::new(MEMO_CAPACITY).method(DependenceMethod::Precedence),
+        });
         Ok(ScenarioModel {
             name: name.to_owned(),
             apa: scenario_apa(name)?,
             elicited: None,
+            editable,
         })
+    }
+
+    /// Whether this scenario carries an editable component model
+    /// (`two`/`six`).
+    #[must_use]
+    pub fn is_editable(&self) -> bool {
+        self.editable.is_some()
+    }
+
+    /// Applies a batch of delta lines atomically: every line must parse
+    /// and apply cleanly or the resident model (and its APA) is left
+    /// untouched. On success the APA is recompiled from the edited
+    /// model and the memoised requirement set is dropped, so later
+    /// `simulate`/`monitor`/`elicit` requests answer against the edited
+    /// scenario.
+    ///
+    /// # Errors
+    ///
+    /// A display-ready message: the scenario is not editable, a delta
+    /// line failed to parse, or a delta failed validation.
+    pub fn apply_edit_lines(&mut self, lines: &[String], obs: &Obs) -> Result<(), String> {
+        let deltas = lines
+            .iter()
+            .map(|l| ModelDelta::parse(l))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?;
+        self.apply_deltas(&deltas, obs)
+    }
+
+    /// [`Self::apply_edit_lines`] for already-parsed deltas (the
+    /// one-shot `--edit-script` runner applies script steps directly).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::apply_edit_lines`], minus the parse stage.
+    pub fn apply_deltas(&mut self, deltas: &[ModelDelta], obs: &Obs) -> Result<(), String> {
+        let Some(ed) = self.editable.as_mut() else {
+            return Err(format!(
+                "scenario `{}` is not editable (expected two or six)",
+                self.name
+            ));
+        };
+        let mut next = ed.model.clone();
+        for d in deltas {
+            ed.elicitor
+                .apply(&mut next, d, obs)
+                .map_err(|e| e.to_string())?;
+        }
+        let apa = next
+            .compile()
+            .map_err(|e| format!("recompilation failed: {e}"))?;
+        ed.model = next;
+        self.apa = apa;
+        self.elicited = None;
+        Ok(())
+    }
+
+    /// Elicits the scenario's requirement set as a full
+    /// [`AssistedReport`]: incrementally (memoised fragments) for
+    /// editable scenarios, from scratch for the rest. Both paths use
+    /// the precedence method with pruning disabled, so the report is
+    /// bit-identical whichever path answered.
+    ///
+    /// # Errors
+    ///
+    /// The reachability (or recomposition) failure, display-ready.
+    pub fn elicit_report(&mut self, threads: usize, obs: &Obs) -> Result<AssistedReport, String> {
+        if let Some(ed) = self.editable.as_mut() {
+            ed.elicitor.set_threads(threads);
+            return ed
+                .elicitor
+                .elicit(&ed.model, obs)
+                .map_err(|e| e.to_string());
+        }
+        let graph = self
+            .apa
+            .reachability(&apa::ReachOptions::default())
+            .map_err(|e| format!("reachability failed: {e}"))?;
+        Ok(fsa_core::assisted::elicit_observed(
+            &graph,
+            &fsa_core::assisted::ElicitOptions {
+                method: DependenceMethod::Precedence,
+                threads,
+                prune: false,
+            },
+            obs,
+            vanet::apa_model::stakeholder_of,
+        ))
     }
 
     /// The scenario name this session was opened over.
@@ -97,6 +218,40 @@ impl ScenarioModel {
             self.elicited.as_ref().expect("memoised just above"),
         ))
     }
+}
+
+/// Renders one elicitation report, deterministically and without any
+/// run-level header: the one-shot `fsa elicit --scenario` command and a
+/// serve session's `elicit` responses both concatenate exactly these
+/// blocks, so a session transcript diffs byte-for-byte against the
+/// equivalent one-shot runs.
+pub(crate) fn render_elicited(scenario: &str, report: &AssistedReport) -> String {
+    let list = |items: &[String]| -> String {
+        if items.is_empty() {
+            "(none)".to_owned()
+        } else {
+            items.join(" ")
+        }
+    };
+    let dependent = report.verdicts.iter().filter(|v| v.dependent).count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scenario {scenario}: {} state(s), {} edge(s)",
+        report.state_count, report.edge_count
+    );
+    let _ = writeln!(out, "minima: {}", list(&report.minima));
+    let _ = writeln!(out, "maxima: {}", list(&report.maxima));
+    let _ = writeln!(
+        out,
+        "dependent pairs: {dependent} of {} analysed",
+        report.verdicts.len()
+    );
+    let _ = writeln!(out, "requirements ({}):", report.requirements.len());
+    for req in report.requirements.iter() {
+        let _ = writeln!(out, "  {req}");
+    }
+    out
 }
 
 /// Rejects per-request use of server-level artefact flags. In a session
@@ -209,7 +364,7 @@ impl Service for ScenarioService {
     }
 
     fn commands(&self) -> &'static [&'static str] {
-        &["simulate", "monitor"]
+        &["simulate", "monitor", "elicit", "edit"]
     }
 
     fn respond(&mut self, query: &Query, ctx: &ServiceCtx) -> Result<Rendered, ServiceError> {
@@ -217,6 +372,31 @@ impl Service for ScenarioService {
         match query.command.as_str() {
             "simulate" => Ok(cli::run_simulate(&query.args, Some(&self.model), ctx)),
             "monitor" => Ok(cli::run_monitor(&query.args, Some(&mut self.model), ctx)),
+            "elicit" => Ok(cli::run_elicit_scenario(
+                &query.args,
+                Some(&mut self.model),
+                ctx,
+            )),
+            "edit" => {
+                if !self.model.is_editable() {
+                    return Err(ServiceError::new(
+                        codes::NOT_EDITABLE,
+                        format!(
+                            "scenario `{}` is not editable (expected two or six)",
+                            self.model.name()
+                        ),
+                    ));
+                }
+                if query.args.is_empty() {
+                    return Ok(Rendered::failure("edit expects at least one delta line"));
+                }
+                match self.model.apply_edit_lines(&query.args, &ctx.obs) {
+                    // Success is silent — a session transcript stays a
+                    // clean concatenation of elicitation reports.
+                    Ok(()) => Ok(Rendered::success()),
+                    Err(e) => Ok(Rendered::failure(&format!("edit failed: {e}"))),
+                }
+            }
             _ => Err(unknown_command(self.engine(), query)),
         }
     }
@@ -270,6 +450,95 @@ mod tests {
         let err = svc.respond(&query("simulate", &[]), &ctx).unwrap_err();
         assert_eq!(err.code, codes::UNKNOWN_COMMAND);
         assert_eq!(svc.commands(), ["explore"]);
+    }
+
+    #[test]
+    fn editable_scenarios_answer_elicit_and_edit() {
+        let mut svc = ScenarioService::new(ScenarioModel::load("two").expect("two builds"));
+        assert!(svc.model().is_editable());
+        let ctx = ServiceCtx::one_shot();
+        let before = svc.respond(&query("elicit", &[]), &ctx).expect("elicit");
+        assert_eq!(before.exit, 0);
+        assert!(
+            before.stdout.starts_with("scenario two: "),
+            "{}",
+            before.stdout
+        );
+        let edited = svc
+            .respond(&query("edit", &["set-initial gps1 20000"]), &ctx)
+            .expect("edit");
+        assert_eq!(edited.exit, 0);
+        assert!(edited.stdout.is_empty(), "edit success is silent");
+        let after = svc.respond(&query("elicit", &[]), &ctx).expect("re-elicit");
+        assert_eq!(after.exit, 0);
+        assert_ne!(
+            after.stdout, before.stdout,
+            "the edit must change the answer"
+        );
+    }
+
+    #[test]
+    fn edits_on_non_editable_scenarios_are_typed_errors() {
+        let mut svc = ScenarioService::new(ScenarioModel::load("chain").expect("chain builds"));
+        assert!(!svc.model().is_editable());
+        let ctx = ServiceCtx::one_shot();
+        let err = svc
+            .respond(&query("edit", &["set-initial gps1 0"]), &ctx)
+            .unwrap_err();
+        assert_eq!(err.code, codes::NOT_EDITABLE);
+        assert!(err.message.contains("`chain` is not editable"), "{err}");
+        // `elicit` still answers (from scratch) on non-editable ones.
+        let r = svc.respond(&query("elicit", &[]), &ctx).expect("elicit");
+        assert_eq!(r.exit, 0);
+        assert!(r.stdout.starts_with("scenario chain: "), "{}", r.stdout);
+    }
+
+    #[test]
+    fn a_failed_edit_leaves_the_model_and_its_apa_untouched() {
+        let mut model = ScenarioModel::load("two").expect("two builds");
+        let obs = Obs::disabled();
+        let before =
+            crate::engines::render_elicited("two", &model.elicit_report(1, &obs).expect("elicit"));
+        // Second line is invalid: the whole batch must roll back.
+        let err = model
+            .apply_edit_lines(
+                &[
+                    "set-initial gps1 20000".to_owned(),
+                    "remove-component no_such_component".to_owned(),
+                ],
+                &obs,
+            )
+            .unwrap_err();
+        assert!(err.contains("no_such_component"), "{err}");
+        let after =
+            crate::engines::render_elicited("two", &model.elicit_report(1, &obs).expect("elicit"));
+        assert_eq!(before, after, "a failed batch must not change the answer");
+    }
+
+    #[test]
+    fn edits_reach_simulate_and_monitor_through_the_recompiled_apa() {
+        let mut model = ScenarioModel::load("six").expect("six builds");
+        let states_before = model
+            .apa()
+            .reachability(&apa::ReachOptions::default())
+            .expect("reach")
+            .state_count();
+        // V2 actually receives V1's CAM, so its `show` flow is live and
+        // removing it prunes reachable states.
+        model
+            .apply_edit_lines(&["remove-flow V2_show".to_owned()], &Obs::disabled())
+            .expect("edit applies");
+        assert!(!model.is_elicited(), "edits drop the memoised requirements");
+        let states_after = model
+            .apa()
+            .reachability(&apa::ReachOptions::default())
+            .expect("reach")
+            .state_count();
+        assert!(
+            states_after < states_before,
+            "removing a flow must shrink the recompiled APA \
+             ({states_after} !< {states_before})"
+        );
     }
 
     #[test]

@@ -304,33 +304,54 @@ impl Parser<'_> {
         }
     }
 
+    /// Consumes a run of digits, erroring if there is none. Returns
+    /// whether the run was exactly the single digit `0`.
+    fn digits(&mut self, what: &str) -> Result<bool, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err(what));
+        }
+        Ok(self.pos - start == 1 && self.bytes[start] == b'0')
+    }
+
     fn number(&mut self) -> Result<Value, ParseError> {
+        // Strict JSON grammar, enforced fail-closed: hostile frames
+        // must not smuggle values through lenient `f64` parsing
+        // ("01", "1.", "-", ".5", "1e" are all rejected here even
+        // though `str::parse::<f64>` accepts some of them).
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
+        let int_start = self.pos;
+        let lone_zero = self.digits("a number needs at least one digit")?;
+        if !lone_zero && self.bytes[int_start] == b'0' {
+            // Rewind to point the error at the redundant zero.
+            self.pos = int_start;
+            return Err(self.err("leading zeros are not allowed"));
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
+            self.digits("a fraction needs at least one digit")?;
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
+            self.digits("an exponent needs at least one digit")?;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number run");
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err("invalid number"))
+        let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !n.is_finite() {
+            // "1e999" parses to +inf; inf/NaN never round-trip and
+            // would poison downstream arithmetic, so refuse them.
+            return Err(self.err("number overflows the finite range"));
+        }
+        Ok(Value::Num(n))
     }
 }
 
@@ -388,6 +409,37 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn numbers_follow_the_strict_json_grammar() {
+        // Accepted: the shapes the protocol (and RFC 8259) allows.
+        for (good, want) in [
+            ("0", 0.0),
+            ("-0", 0.0),
+            ("10", 10.0),
+            ("0.5", 0.5),
+            ("-3.25", -3.25),
+            ("1e3", 1000.0),
+            ("2E+2", 200.0),
+            ("25e-2", 0.25),
+        ] {
+            let v = parse(good).unwrap_or_else(|e| panic!("{good:?} must parse: {e}"));
+            assert_eq!(v, Value::Num(want), "{good:?}");
+        }
+        // Rejected fail-closed: lenient f64 parsing accepts several of
+        // these, a hostile frame must not get them past the lexer.
+        for bad in [
+            "01", "-01", "00", "1.", "-", "-.5", "1e", "1e+", "1.e3", "1E-", "+1",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        // Overflow to infinity is refused, not silently accepted.
+        let err = parse("1e999").unwrap_err();
+        assert!(err.message.contains("finite"), "{err}");
+        assert!(parse("-1e999").is_err());
+        // The largest finite doubles still parse.
+        assert!(parse("1e308").is_ok());
     }
 
     #[test]

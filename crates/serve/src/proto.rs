@@ -53,6 +53,18 @@ pub enum ClientFrame {
         /// receipt (queue wait counts).
         deadline_ms: Option<u64>,
     },
+    /// Applies model deltas to an open session's editable scenario
+    /// model, atomically, then invalidates derived caches so later
+    /// requests answer against the edited model.
+    Edit {
+        /// Session id from `opened`.
+        session: u64,
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Delta lines in [`fsa_core::delta::ModelDelta`] syntax,
+        /// applied in order as one atomic batch.
+        deltas: Vec<String>,
+    },
     /// Initiates a graceful server-wide drain.
     Drain,
     /// Closes the connection.
@@ -171,6 +183,27 @@ impl ClientFrame {
                     push_u64_field(&mut s, "deadline_ms", *ms);
                 }
             }
+            ClientFrame::Edit {
+                session,
+                id,
+                deltas,
+            } => {
+                push_str_field(&mut s, "type", "edit");
+                s.push(',');
+                push_u64_field(&mut s, "session", *session);
+                s.push(',');
+                push_u64_field(&mut s, "id", *id);
+                s.push(',');
+                write_key(&mut s, "deltas");
+                s.push('[');
+                for (i, d) in deltas.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    write_str(&mut s, d);
+                }
+                s.push(']');
+            }
             ClientFrame::Drain => push_str_field(&mut s, "type", "drain"),
             ClientFrame::Bye => push_str_field(&mut s, "type", "bye"),
         }
@@ -262,6 +295,33 @@ impl ClientFrame {
                         .to_owned(),
                     args,
                     deadline_ms,
+                })
+            }
+            "edit" => {
+                let deltas = v
+                    .get("deltas")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| bad("edit has no `deltas` array"))?
+                    .iter()
+                    .map(|d| {
+                        d.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| bad("edit.deltas items must be strings"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if deltas.is_empty() {
+                    return Err(bad("edit.deltas must not be empty"));
+                }
+                Ok(ClientFrame::Edit {
+                    session: v
+                        .get("session")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| bad("edit has no integer `session`"))?,
+                    id: v
+                        .get("id")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| bad("edit has no integer `id`"))?,
+                    deltas,
                 })
             }
             "drain" => Ok(ClientFrame::Drain),
@@ -453,6 +513,14 @@ mod tests {
             args: vec!["--param".to_owned(), "--refine".to_owned()],
             deadline_ms: Some(250),
         });
+        round_trip_client(ClientFrame::Edit {
+            session: 1,
+            id: 7,
+            deltas: vec![
+                "set-initial gps1 20000".to_owned(),
+                "retag-stakeholder V2_rec D_V2".to_owned(),
+            ],
+        });
         round_trip_client(ClientFrame::Drain);
         round_trip_client(ClientFrame::Bye);
     }
@@ -504,6 +572,15 @@ mod tests {
             r#"{"type":"request","session":1,"id":2,"command":"check","args":[]}"#
         );
         assert_eq!(
+            ClientFrame::Edit {
+                session: 1,
+                id: 3,
+                deltas: vec!["set-initial gps1 50".to_owned()],
+            }
+            .encode(),
+            r#"{"type":"edit","session":1,"id":3,"deltas":["set-initial gps1 50"]}"#
+        );
+        assert_eq!(
             ServerFrame::Error {
                 session: None,
                 id: Some(9),
@@ -526,6 +603,10 @@ mod tests {
             r#"{"type":"request","session":1,"id":2,"command":"x","args":[3]}"#,
             r#"{"type":"request","session":1,"id":2,"command":"x","deadline_ms":-5}"#,
             r#"{"type":"open","spec":{"name":"x"}}"#,
+            r#"{"type":"edit","session":1,"id":2}"#,
+            r#"{"type":"edit","session":1,"id":2,"deltas":[]}"#,
+            r#"{"type":"edit","session":1,"id":2,"deltas":[7]}"#,
+            r#"{"type":"edit","id":2,"deltas":["add-component c"]}"#,
         ] {
             let err = ClientFrame::decode(bad).unwrap_err();
             assert_eq!(err.code, codes::BAD_FRAME, "{bad}: {err}");

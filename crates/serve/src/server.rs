@@ -15,7 +15,7 @@
 
 use crate::cli::{self, Flag, Flags, SERVE_USAGE};
 use crate::proto::{ClientFrame, ServerFrame};
-use crate::session::{FrameSink, SessionHandle};
+use crate::session::{FrameSink, SessionHandle, DEFAULT_CACHE_CAP};
 use crate::wire::{self, WireError, DEFAULT_MAX_FRAME, PROTOCOL};
 use fsa_core::service::{codes, Query, ServiceError};
 use fsa_obs::Obs;
@@ -36,6 +36,8 @@ pub struct ServeConfig {
     pub queue: usize,
     /// Per-frame payload limit in bytes.
     pub max_frame: usize,
+    /// Bounded per-session response-cache capacity (entries).
+    pub cache_cap: usize,
     /// Observability registry threaded through every connection,
     /// session and engine (`serve.*` series).
     pub obs: Obs,
@@ -47,6 +49,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             queue: 8,
             max_frame: DEFAULT_MAX_FRAME,
+            cache_cap: DEFAULT_CACHE_CAP,
             obs: Obs::disabled(),
         }
     }
@@ -244,6 +247,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
                     spec.as_ref(),
                     scenario.as_deref(),
                     ctx.config.queue,
+                    ctx.config.cache_cap,
                     Arc::clone(&sink),
                     ctx.config.obs.clone(),
                 ) {
@@ -283,6 +287,34 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
                 };
                 let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
                 if let Err(e) = handle.submit(id, Query::new(command, args), deadline) {
+                    let _ = sink(&error_frame(Some(session), Some(id), &e));
+                }
+            }
+            ClientFrame::Edit {
+                session,
+                id,
+                deltas,
+            } => {
+                ctx.totals.requests.fetch_add(1, Ordering::Relaxed);
+                if stop() {
+                    let _ = sink(&draining_error(Some(session), Some(id)));
+                    continue;
+                }
+                let Some(handle) = sessions.get(&session) else {
+                    let _ = sink(&error_frame(
+                        Some(session),
+                        Some(id),
+                        &ServiceError::new(
+                            codes::UNKNOWN_SESSION,
+                            format!("session {session} is not open on this connection"),
+                        ),
+                    ));
+                    continue;
+                };
+                // An edit is an ordinary job on the session queue: it
+                // runs after every request already queued, so responses
+                // computed before it still describe the pre-edit model.
+                if let Err(e) = handle.submit(id, Query::new("edit", deltas), None) {
                     let _ = sink(&error_frame(Some(session), Some(id), &e));
                 }
             }
@@ -385,6 +417,7 @@ pub fn serve_command(rest: &[String]) -> u8 {
     let mut addr = "127.0.0.1:0".to_owned();
     let mut queue = 8usize;
     let mut max_frame = DEFAULT_MAX_FRAME;
+    let mut cache_cap = DEFAULT_CACHE_CAP;
     let mut stats_json: Option<String> = None;
     let mut trace_json: Option<String> = None;
     let mut flags = Flags::new(rest, SERVE_USAGE);
@@ -410,6 +443,10 @@ pub fn serve_command(rest: &[String]) -> u8 {
                 Ok(n) => max_frame = n,
                 Err(r) => return cli::emit(&r),
             },
+            "cache-cap" => match flags.positive("cache-cap", inline) {
+                Ok(n) => cache_cap = n,
+                Err(r) => return cli::emit(&r),
+            },
             "stats-json" => match flags.value("stats-json", inline) {
                 Ok(p) => stats_json = Some(p),
                 Err(r) => return cli::emit(&r),
@@ -431,6 +468,7 @@ pub fn serve_command(rest: &[String]) -> u8 {
         addr,
         queue,
         max_frame,
+        cache_cap,
         obs: obs.clone(),
     }) {
         Ok(s) => s,

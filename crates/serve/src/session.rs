@@ -1,12 +1,15 @@
 //! Session lifecycle: one worker thread per open session, a bounded
-//! request queue in front of it, a response cache behind it.
+//! request queue in front of it, a bounded response cache behind it.
 //!
 //! A session is opened over optional preloaded state (a parsed spec
 //! and/or a scenario APA). Its worker drains the queue in order; each
 //! job runs under the request's deadline token and its rendered outcome
 //! is pushed through the connection's shared frame sink. Identical
 //! `(command, args)` queries replay from the cache (`serve.cache.hits`)
-//! without touching the engines at all.
+//! without touching the engines at all. The cache holds at most
+//! `cache_cap` entries (FIFO eviction, `serve.cache.evictions`) and is
+//! cleared whenever an `edit` mutates the session model — a replayed
+//! answer must never describe a model the session no longer holds.
 
 use crate::engines::{ExploreService, ScenarioModel, ScenarioService, SpecService};
 use crate::proto::{ServerFrame, SpecPayload};
@@ -14,16 +17,71 @@ use crate::wire::WireError;
 use fsa_core::service::{codes, LoadedModel, Query, Rendered, Service, ServiceCtx, ServiceError};
 use fsa_exec::CancelToken;
 use fsa_obs::Obs;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Default per-session response-cache capacity (entries).
+pub const DEFAULT_CACHE_CAP: usize = 64;
+
 /// Where a session worker pushes its frames: the connection's shared,
 /// lock-protected writer (frame writes are atomic — one buffered
 /// `write_all` under the lock).
 pub type FrameSink = Arc<dyn Fn(&ServerFrame) -> Result<(), WireError> + Send + Sync>;
+
+/// The bounded per-session response cache: identical `(command, args)`
+/// queries replay without touching the engines. Insertion beyond the
+/// capacity evicts the oldest entry first (FIFO — replays do not
+/// refresh recency), so a long-lived session holds at most `cap`
+/// rendered outcomes however many distinct queries it answers.
+struct ResponseCache {
+    map: BTreeMap<(String, Vec<String>), Rendered>,
+    order: VecDeque<(String, Vec<String>)>,
+    cap: usize,
+}
+
+impl ResponseCache {
+    fn new(cap: usize) -> ResponseCache {
+        ResponseCache {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&self, key: &(String, Vec<String>)) -> Option<&Rendered> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: (String, Vec<String>), value: Rendered, obs: &Obs) {
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.cap {
+            // Skip order entries whose key was re-inserted (replaced in
+            // place): they stay live under their original position.
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.map.remove(&oldest).is_some() {
+                obs.counter_add("serve.cache.evictions", 1);
+            }
+        }
+    }
+
+    /// Drops every entry (the session model changed under an `edit`).
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
 
 /// One unit of work for a session worker.
 pub(crate) struct Job {
@@ -54,6 +112,7 @@ impl SessionHandle {
         spec: Option<&SpecPayload>,
         scenario: Option<&str>,
         queue: usize,
+        cache_cap: usize,
         sink: FrameSink,
         obs: Obs,
     ) -> Result<SessionHandle, ServiceError> {
@@ -78,7 +137,7 @@ impl SessionHandle {
         let worker_obs = obs.clone();
         let worker = std::thread::Builder::new()
             .name(format!("fsa-session-{id}"))
-            .spawn(move || worker_loop(id, services, rx, &sink, &worker_obs))
+            .spawn(move || worker_loop(id, services, rx, cache_cap, &sink, &worker_obs))
             .map_err(|e| {
                 ServiceError::new(codes::OPEN_FAILED, format!("cannot spawn worker: {e}"))
             })?;
@@ -155,10 +214,11 @@ fn worker_loop(
     session: u64,
     mut services: Vec<Box<dyn Service>>,
     rx: Receiver<Job>,
+    cache_cap: usize,
     sink: &FrameSink,
     obs: &Obs,
 ) {
-    let mut cache: BTreeMap<(String, Vec<String>), Rendered> = BTreeMap::new();
+    let mut cache = ResponseCache::new(cache_cap);
     while let Ok(job) = rx.recv() {
         obs.counter_add("serve.requests", 1);
         let started = Instant::now();
@@ -196,7 +256,7 @@ fn worker_loop(
 
 fn answer(
     services: &mut [Box<dyn Service>],
-    cache: &mut BTreeMap<(String, Vec<String>), Rendered>,
+    cache: &mut ResponseCache,
     job: Job,
     obs: &Obs,
 ) -> Result<(Rendered, bool), ServiceError> {
@@ -211,10 +271,16 @@ fn answer(
             ));
         }
     }
+    // An `edit` mutates the session model: it must always reach the
+    // engine (never replayed), and every cached answer derived from the
+    // pre-edit model becomes stale the moment it succeeds.
+    let is_edit = job.query.command == "edit";
     let key = (job.query.command.clone(), job.query.args.clone());
-    if let Some(hit) = cache.get(&key) {
-        obs.counter_add("serve.cache.hits", 1);
-        return Ok((hit.clone(), true));
+    if !is_edit {
+        if let Some(hit) = cache.get(&key) {
+            obs.counter_add("serve.cache.hits", 1);
+            return Ok((hit.clone(), true));
+        }
     }
     let service = services
         .iter_mut()
@@ -241,11 +307,16 @@ fn answer(
     let span = obs.span("serve.execute");
     let rendered = service.respond(&job.query, &ctx)?;
     drop(span);
-    // Deterministic, artefact-free, successful outcomes are replayable;
-    // anything cut by a deadline (exit 3) or failing may differ between
-    // runs and is answered fresh each time.
-    if rendered.exit == 0 && rendered.artefacts.is_empty() {
-        cache.insert(key, rendered.clone());
+    if is_edit {
+        if rendered.exit == 0 {
+            cache.clear();
+        }
+    } else if rendered.exit == 0 && rendered.artefacts.is_empty() {
+        // Deterministic, artefact-free, successful outcomes are
+        // replayable; anything cut by a deadline (exit 3) or failing may
+        // differ between runs and is answered fresh each time. Edits are
+        // never cached: applying the same delta twice is two mutations.
+        cache.insert(key, rendered.clone(), obs);
     }
     Ok((rendered, false))
 }
@@ -273,8 +344,16 @@ mod tests {
     fn repeated_identical_queries_replay_from_the_cache() {
         let (sink, frames) = collecting_sink();
         let obs = Obs::enabled();
-        let session = SessionHandle::open(1, None, Some("two"), 8, sink, obs.clone())
-            .expect("open scenario session");
+        let session = SessionHandle::open(
+            1,
+            None,
+            Some("two"),
+            8,
+            DEFAULT_CACHE_CAP,
+            sink,
+            obs.clone(),
+        )
+        .expect("open scenario session");
         session
             .submit(1, query("simulate", &["--max-steps", "5"]), None)
             .expect("first submit");
@@ -314,10 +393,91 @@ mod tests {
     }
 
     #[test]
+    fn the_response_cache_is_bounded_with_fifo_eviction() {
+        let obs = Obs::enabled();
+        let mut cache = ResponseCache::new(2);
+        let key = |n: usize| (format!("cmd{n}"), Vec::new());
+        for n in 0..4 {
+            cache.insert(key(n), Rendered::success(), &obs);
+        }
+        assert_eq!(cache.len(), 2, "capacity must bound the cache");
+        assert!(cache.get(&key(0)).is_none(), "oldest entries evict first");
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(obs.snapshot().counter("serve.cache.evictions"), Some(2));
+        // Replacing a live key must not grow the order queue or evict.
+        cache.insert(key(3), Rendered::failure("new"), &obs);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(obs.snapshot().counter("serve.cache.evictions"), Some(2));
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn an_edit_invalidates_cached_answers_and_is_never_replayed() {
+        // Regression: pre-fix, the cache keyed only on (command, args),
+        // so `elicit` → `edit` → `elicit` replayed the *pre-edit* answer
+        // with `cached: true`.
+        let (sink, frames) = collecting_sink();
+        let obs = Obs::enabled();
+        let session = SessionHandle::open(
+            5,
+            None,
+            Some("two"),
+            8,
+            DEFAULT_CACHE_CAP,
+            sink,
+            obs.clone(),
+        )
+        .expect("open scenario session");
+        // Moving V1's GPS out of V2's reception range reshapes the
+        // reachable behaviour, so the re-elicited answer must differ.
+        let edit = || query("edit", &["set-initial gps1 20000"]);
+        session.submit(1, query("elicit", &[]), None).expect("ask");
+        session
+            .submit(2, query("elicit", &[]), None)
+            .expect("re-ask");
+        session.submit(3, edit(), None).expect("edit");
+        session
+            .submit(4, query("elicit", &[]), None)
+            .expect("ask after edit");
+        session.submit(5, edit(), None).expect("repeat edit");
+        session.close();
+        let frames = frames.lock().expect("frames");
+        let response = |i: usize| -> (bool, u8, String) {
+            match &frames[i] {
+                ServerFrame::Response {
+                    cached,
+                    exit,
+                    stdout,
+                    ..
+                } => (*cached, *exit, stdout.clone()),
+                other => panic!("expected response #{i}, got {other:?}"),
+            }
+        };
+        assert_eq!(frames.len(), 5);
+        let (c1, e1, s1) = response(0);
+        let (c2, e2, s2) = response(1);
+        let (c3, e3, s3) = response(2);
+        let (c4, e4, s4) = response(3);
+        let (c5, e5, _) = response(4);
+        assert_eq!((e1, e2, e3, e4, e5), (0, 0, 0, 0, 0));
+        assert!(!c1 && c2, "identical pre-edit asks replay from cache");
+        assert_eq!(s1, s2);
+        assert!(!c3 && s3.is_empty(), "edit answers fresh, empty stdout");
+        assert!(!c4, "a post-edit ask must not replay a stale answer");
+        assert_ne!(s4, s1, "the edit moved gps1: the answer must change");
+        assert!(!c5, "a repeated edit is a second mutation, never cached");
+        assert_eq!(obs.snapshot().counter("serve.cache.hits"), Some(1));
+    }
+
+    #[test]
     fn unknown_commands_and_expired_deadlines_yield_typed_errors() {
         let (sink, frames) = collecting_sink();
         let session =
-            SessionHandle::open(3, None, None, 8, sink, Obs::disabled()).expect("bare session");
+            SessionHandle::open(3, None, None, 8, DEFAULT_CACHE_CAP, sink, Obs::disabled())
+                .expect("bare session");
         session
             .submit(1, query("elicit", &[]), None)
             .expect("submit unknown");
@@ -350,6 +510,7 @@ mod tests {
             }),
             None,
             8,
+            DEFAULT_CACHE_CAP,
             sink,
             Obs::disabled(),
         )
@@ -365,7 +526,8 @@ mod tests {
         // already holds a second: the third submit must bounce.
         let (sink, _) = collecting_sink();
         let session =
-            SessionHandle::open(4, None, None, 1, sink, Obs::disabled()).expect("bare session");
+            SessionHandle::open(4, None, None, 1, DEFAULT_CACHE_CAP, sink, Obs::disabled())
+                .expect("bare session");
         let slow = || query("explore", &[]);
         let mut overloaded = false;
         for id in 0..64 {

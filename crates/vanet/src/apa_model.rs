@@ -89,62 +89,26 @@ pub fn add_vehicle(
         apa::rule::move_any(0, 1),
     );
     // Δ_{Vi_send}: consume measurement + position from the bus, put a
-    // cam message on the net.
-    let vehicle_id = format!("V{tag}");
+    // cam message on the net. The rule is shared with the editable
+    // model (`fsa_core::delta`), so hand-built scenarios and
+    // edit-script sessions cannot drift apart.
     builder.automaton(
         &format!("V{tag}_send"),
         [bus, net],
-        Box::new(FnRule::new(move |local: &LocalState| {
-            let sw = Value::atom("sW");
-            if !local[0].contains(&sw) {
-                return vec![];
-            }
-            local[0]
-                .iter()
-                .filter_map(Value::as_int)
-                .map(|coord| {
-                    let mut next = local.clone();
-                    next[0].remove(&sw);
-                    next[0].remove(&Value::int(coord));
-                    let msg = Value::tuple([
-                        Value::atom("cam"),
-                        Value::atom(&vehicle_id),
-                        Value::int(coord),
-                    ]);
-                    next[1].insert(msg.clone());
-                    (msg.to_string(), next)
-                })
-                .collect()
-        })),
+        fsa_core::delta::send_cam_rule(format!("V{tag}")),
     );
     // Δ_{Vi_rec}: a cam message within range of the own position puts a
-    // warning on the bus; consumption per `semantics`.
+    // warning on the bus; consumption per `semantics`. Shared with
+    // `fsa_core::delta` like the send rule; the strict `< range`
+    // distance guard is `Range::within`'s.
     builder.automaton(
         &format!("V{tag}_rec"),
         [net, bus],
-        Box::new(FnRule::new(move |local: &LocalState| {
-            let mut firings = Vec::new();
-            for msg in local[0].iter().filter(|m| m.has_tag("cam")) {
-                let Some(msg_coord) = msg.field(2).and_then(Value::as_int) else {
-                    continue;
-                };
-                for own_coord in local[1].iter().filter_map(Value::as_int) {
-                    if !range.within(Position(msg_coord), Position(own_coord)) {
-                        continue;
-                    }
-                    let mut next = local.clone();
-                    if semantics.message == Consumption::Consume {
-                        next[0].remove(msg);
-                    }
-                    if semantics.gps == Consumption::Consume {
-                        next[1].remove(&Value::int(own_coord));
-                    }
-                    next[1].insert(Value::atom("warn"));
-                    firings.push((msg.to_string(), next));
-                }
-            }
-            firings
-        })),
+        fsa_core::delta::recv_cam_rule(
+            range.0,
+            semantics.message == Consumption::Consume,
+            semantics.gps == Consumption::Consume,
+        ),
     );
     // Δ_{Vi_show}: move a warning from the bus to the HMI.
     builder.automaton(
@@ -266,13 +230,98 @@ pub fn n_pair_apa(pairs: usize, semantics: ApaSemantics) -> Result<Apa, ApaError
 
 /// The stakeholder of an automaton-named action: `V2_show ↦ D_2` (the
 /// driver of the vehicle whose HMI shows the warning); other actions
-/// belong to their vehicle's driver as well.
+/// belong to their vehicle's driver as well. Delegates to the editable
+/// model's [`fsa_core::delta::default_stakeholder`] convention.
 pub fn stakeholder_of(automaton: &str) -> Agent {
-    let tag = automaton
-        .strip_prefix('V')
-        .and_then(|rest| rest.split('_').next())
-        .unwrap_or("?");
-    Agent::new(&format!("D_{tag}"))
+    fsa_core::delta::default_stakeholder(automaton)
+}
+
+/// The editable-model counterpart of [`n_pair_apa`] with the paper's
+/// Δ-semantics: the same components, flows, and declaration order, so
+/// it compiles to an identical APA (pinned by test). This is what
+/// `fsa serve`'s editable scenario sessions and `fsa elicit
+/// --edit-script` start from.
+pub fn n_pair_model(pairs: usize) -> fsa_core::delta::EditModel {
+    use fsa_core::delta::{Flow, FlowKind, ModelDelta};
+    let mut model = fsa_core::delta::EditModel::new();
+    let mut apply = |delta: ModelDelta| {
+        model
+            .apply(&delta)
+            .expect("n_pair_model deltas are well-formed");
+    };
+    let component = |name: String, initial: Vec<i64>, atoms: Vec<&str>| ModelDelta::AddComponent {
+        name,
+        initial: initial
+            .into_iter()
+            .map(fsa_core::delta::ValueLit::Int)
+            .chain(
+                atoms
+                    .into_iter()
+                    .map(|a| fsa_core::delta::ValueLit::Atom(a.to_owned())),
+            )
+            .collect(),
+    };
+    let flow = |name: String, kind: FlowKind, from: String, to: String| ModelDelta::AddFlow {
+        flow: Flow {
+            name,
+            from,
+            to,
+            kind,
+        },
+    };
+    for k in 0..pairs {
+        let base = (k as i64) * 10_000;
+        for (tag, position, senses) in [(2 * k + 1, base, true), (2 * k + 2, base + 50, false)] {
+            apply(component(
+                format!("esp{tag}"),
+                vec![],
+                if senses { vec!["sW"] } else { vec![] },
+            ));
+            apply(component(format!("gps{tag}"), vec![position], vec![]));
+            apply(component(format!("bus{tag}"), vec![], vec![]));
+            apply(component(format!("hmi{tag}"), vec![], vec![]));
+            if k == 0 && tag == 1 {
+                apply(component("net".to_owned(), vec![], vec![]));
+            }
+            apply(flow(
+                format!("V{tag}_sense"),
+                FlowKind::Move,
+                format!("esp{tag}"),
+                format!("bus{tag}"),
+            ));
+            apply(flow(
+                format!("V{tag}_pos"),
+                FlowKind::Move,
+                format!("gps{tag}"),
+                format!("bus{tag}"),
+            ));
+            apply(flow(
+                format!("V{tag}_send"),
+                FlowKind::SendCam {
+                    vehicle: format!("V{tag}"),
+                },
+                format!("bus{tag}"),
+                "net".to_owned(),
+            ));
+            apply(flow(
+                format!("V{tag}_rec"),
+                FlowKind::RecvCam {
+                    range: Range::DEFAULT.0,
+                    consume_msg: true,
+                    consume_gps: true,
+                },
+                "net".to_owned(),
+                format!("bus{tag}"),
+            ));
+            apply(flow(
+                format!("V{tag}_show"),
+                FlowKind::MoveAtom("warn".to_owned()),
+                format!("bus{tag}"),
+                format!("hmi{tag}"),
+            ));
+        }
+    }
+    model
 }
 
 #[cfg(test)]
@@ -386,6 +435,29 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn editable_model_compiles_to_the_legacy_apa() {
+        for pairs in 1..=2 {
+            let legacy = n_pair_apa(pairs, ApaSemantics::PAPER).unwrap();
+            let edited = n_pair_model(pairs).compile().unwrap();
+            assert_eq!(
+                edited.component_count(),
+                legacy.component_count(),
+                "{pairs} pair(s)"
+            );
+            assert_eq!(
+                edited.automaton_names().collect::<Vec<_>>(),
+                legacy.automaton_names().collect::<Vec<_>>()
+            );
+            let (gl, ge) = (reach(&legacy), reach(&edited));
+            assert_eq!(ge.state_count(), gl.state_count());
+            assert_eq!(ge.edge_count(), gl.edge_count());
+            assert_eq!(ge.minima(), gl.minima());
+            assert_eq!(ge.maxima(), gl.maxima());
+            assert_eq!(elicit_prec(&ge), elicit_prec(&gl));
+        }
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Property tests for the incremental elicitation engine: after *any*
+//! sequence of model edits, [`IncrementalElicitor::elicit`] must be
+//! bit-identical (every report field except timings) to a from-scratch
+//! `elicit_with_options` run on the final model, for every thread
+//! count. Memoisation and delta invalidation are an implementation
+//! detail, never a semantics.
+
+use fsa::apa::ReachOptions;
+use fsa::core::assisted::{elicit_with_options, AssistedReport, DependenceMethod, ElicitOptions};
+use fsa::core::delta::{EditModel, ModelDelta};
+use fsa::core::incremental::IncrementalElicitor;
+use fsa::obs::Obs;
+use proptest::prelude::*;
+
+/// A deterministic inline LCG so each proptest case draws its whole
+/// wiring from one `u64` seed (same idiom as `parallel_props.rs`).
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    }
+}
+
+const ATOMS: [&str; 3] = ["x", "y", "sW"];
+const INTS: [u64; 4] = [0, 30, 120, 10000];
+
+/// A random initial-value clause: a space-joined subset of the small
+/// atom/int vocabulary (possibly empty).
+fn random_values(next: &mut impl FnMut() -> u64) -> String {
+    let mut vals = Vec::new();
+    for a in ATOMS {
+        if next().is_multiple_of(3) {
+            vals.push(a.to_owned());
+        }
+    }
+    for i in INTS {
+        if next().is_multiple_of(4) {
+            vals.push(i.to_string());
+        }
+    }
+    vals.join(" ")
+}
+
+/// A random flow-kind token. Send/recv CAM flows exercise the tuple
+/// machinery; movers keep fragments connected.
+fn random_kind(next: &mut impl FnMut() -> u64) -> String {
+    match next() % 5 {
+        0 => "move-atom:x".to_owned(),
+        1 => format!("send-cam:V{}", 1 + next() % 2),
+        2 => format!("recv-cam:{}", [50, 100, 200][(next() % 3) as usize]),
+        _ => "move".to_owned(),
+    }
+}
+
+/// Builds a random base model: `n` components with random initial
+/// values and a forward chain of random flows (every value-moving rule
+/// conserves or shrinks the token multiset, so reachability is finite).
+fn random_model(n: usize, next: &mut impl FnMut() -> u64) -> EditModel {
+    let mut model = EditModel::new();
+    let mut lines = Vec::new();
+    for i in 0..n {
+        lines.push(
+            format!("add-component c{i} {}", random_values(next))
+                .trim_end()
+                .to_owned(),
+        );
+    }
+    for i in 0..n - 1 {
+        lines.push(format!(
+            "add-flow f{i} {} c{i} c{}",
+            random_kind(next),
+            i + 1
+        ));
+    }
+    for line in lines {
+        let delta = ModelDelta::parse(&line).expect("generator emits valid lines");
+        model
+            .apply(&delta)
+            .expect("generator emits applicable deltas");
+    }
+    model
+}
+
+/// Draws one candidate edit against the current model. May be
+/// inapplicable (e.g. removing a component with attached flows) — the
+/// caller filters by trial application, which is itself part of the
+/// property: rejected deltas must leave both paths untouched.
+fn random_delta(
+    model: &EditModel,
+    fresh: &mut usize,
+    next: &mut impl FnMut() -> u64,
+) -> ModelDelta {
+    let comps = model.components();
+    let flows = model.flows();
+    let comp = |next: &mut dyn FnMut() -> u64| -> String {
+        comps[(next() as usize) % comps.len()].name.clone()
+    };
+    let line = match next() % 8 {
+        0 => {
+            *fresh += 1;
+            format!("add-component n{fresh} {}", random_values(next))
+                .trim_end()
+                .to_owned()
+        }
+        1 => format!("remove-component {}", comp(next)),
+        2 | 3 => format!("set-initial {} {}", comp(next), random_values(next))
+            .trim_end()
+            .to_owned(),
+        4 => {
+            *fresh += 1;
+            format!(
+                "add-flow g{fresh} {} {} {}",
+                random_kind(next),
+                comp(next),
+                comp(next)
+            )
+        }
+        5 if !flows.is_empty() => format!(
+            "remove-flow {}",
+            flows[(next() as usize) % flows.len()].name
+        ),
+        6 if !flows.is_empty() => format!(
+            "rewire-flow {} {} {}",
+            flows[(next() as usize) % flows.len()].name,
+            comp(next),
+            comp(next)
+        ),
+        _ => {
+            let auto = if flows.is_empty() {
+                "f0".to_owned()
+            } else {
+                flows[(next() as usize) % flows.len()].name.clone()
+            };
+            format!("retag-stakeholder {auto} D_{}", next() % 3)
+        }
+    };
+    ModelDelta::parse(&line).expect("generator emits parseable lines")
+}
+
+/// From-scratch reference run on the final model; `None` when the
+/// model has no behaviour worth comparing (compile/reachability
+/// failure — the incremental path must then fail too).
+fn from_scratch(model: &EditModel, threads: usize) -> Option<AssistedReport> {
+    let apa = model.compile().ok()?;
+    let graph = apa.reachability(&ReachOptions::default()).ok()?;
+    Some(elicit_with_options(
+        &graph,
+        &ElicitOptions {
+            method: DependenceMethod::Precedence,
+            threads,
+            prune: false,
+        },
+        |max| model.stakeholder(max),
+    ))
+}
+
+/// Every field except `stats` (timings differ run to run by design).
+fn assert_bit_identical(incremental: &AssistedReport, scratch: &AssistedReport, when: &str) {
+    assert_eq!(
+        incremental.state_count, scratch.state_count,
+        "states {when}"
+    );
+    assert_eq!(incremental.edge_count, scratch.edge_count, "edges {when}");
+    assert_eq!(incremental.minima, scratch.minima, "minima {when}");
+    assert_eq!(incremental.maxima, scratch.maxima, "maxima {when}");
+    assert_eq!(incremental.verdicts, scratch.verdicts, "verdicts {when}");
+    assert_eq!(
+        incremental.requirements, scratch.requirements,
+        "requirements {when}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random model, random edit sequence (including rejected edits,
+    /// no-op edits, and explicit edit/undo pairs): the memoised engine
+    /// stays bit-identical to from-scratch after every single edit and
+    /// for every thread count on the final model.
+    #[test]
+    fn incremental_elicitation_matches_from_scratch(
+        n in 2usize..5,
+        seed in any::<u64>(),
+        edits in 1usize..7,
+    ) {
+        let mut next = lcg(seed);
+        let obs = Obs::disabled();
+        let mut model = random_model(n, &mut next);
+        let mut engine = IncrementalElicitor::new(64).method(DependenceMethod::Precedence);
+        let mut fresh = 0usize;
+
+        // Warm the memo on the base model (when it has behaviour).
+        if let Some(scratch) = from_scratch(&model, 1) {
+            let report = engine.elicit(&model, &obs).expect("incremental base");
+            assert_bit_identical(&report, &scratch, "on the base model");
+        }
+
+        let mut applied = 0usize;
+        let mut attempts = 0usize;
+        while applied < edits && attempts < edits * 4 {
+            attempts += 1;
+            let delta = random_delta(&model, &mut fresh, &mut next);
+            // Trial-apply on a clone: generators may draw inapplicable
+            // deltas (dangling names, attached components) and those
+            // must reject without corrupting either path.
+            let mut trial = model.clone();
+            if trial.apply(&delta).is_err() {
+                prop_assert!(
+                    engine.apply(&mut model, &delta, &obs).is_err(),
+                    "engine must reject what the model rejects: {}",
+                    delta
+                );
+                continue;
+            }
+            // Occasionally turn a `set-initial` into an edit/undo pair:
+            // apply it, then immediately restore the previous values.
+            let undo = if let ModelDelta::SetInitial { name, .. } = &delta {
+                let before = model
+                    .components()
+                    .iter()
+                    .find(|c| &c.name == name)
+                    .map(|c| c.initial.clone());
+                before.filter(|_| next().is_multiple_of(3)).map(|initial| ModelDelta::SetInitial {
+                    name: name.clone(),
+                    initial,
+                })
+            } else {
+                None
+            };
+            engine.apply(&mut model, &delta, &obs).expect("trial-checked delta");
+            applied += 1;
+            if let Some(undo) = undo {
+                engine.apply(&mut model, &undo, &obs).expect("undo of a set-initial");
+            }
+            if let Some(scratch) = from_scratch(&model, 1) {
+                let report = engine.elicit(&model, &obs).expect("incremental after edit");
+                assert_bit_identical(&report, &scratch, &format!("after edit {delta}"));
+            }
+        }
+
+        // Thread sweep on the final model: parallel pair evaluation is
+        // deterministic, so every thread count matches from-scratch.
+        if let Some(scratch) = from_scratch(&model, 1) {
+            for threads in [1usize, 2, 4, 8] {
+                engine.set_threads(threads);
+                let report = engine.elicit(&model, &obs).expect("incremental final");
+                assert_bit_identical(&report, &scratch, &format!("at {threads} threads"));
+            }
+        }
+    }
+
+    /// A no-op edit (re-asserting the current initial values) must not
+    /// change the report, and repeating the same elicit must hit the
+    /// memo rather than recompute.
+    #[test]
+    fn noop_edits_and_repeats_are_stable(n in 2usize..4, seed in any::<u64>()) {
+        let mut next = lcg(seed);
+        let obs = Obs::disabled();
+        let mut model = random_model(n, &mut next);
+        if from_scratch(&model, 1).is_none() {
+            return; // degenerate model with no behaviour: nothing to compare
+        }
+        let mut engine = IncrementalElicitor::new(64).method(DependenceMethod::Precedence);
+        let first = engine.elicit(&model, &obs).expect("first run");
+        let noop = ModelDelta::SetInitial {
+            name: model.components()[0].name.clone(),
+            initial: model.components()[0].initial.clone(),
+        };
+        engine.apply(&mut model, &noop, &obs).expect("no-op edit");
+        let again = engine.elicit(&model, &obs).expect("after no-op");
+        assert_bit_identical(&again, &first, "after a no-op edit");
+        let before = engine.memo_counters().misses;
+        let third = engine.elicit(&model, &obs).expect("repeat");
+        assert_bit_identical(&third, &first, "on repeat");
+        prop_assert_eq!(
+            engine.memo_counters().misses, before,
+            "a repeated elicit must be pure memo hits"
+        );
+    }
+}

@@ -395,3 +395,65 @@ fn oversize_frames_get_a_typed_error_before_the_connection_closes() {
     }
     stop(&drain, join);
 }
+
+#[test]
+fn an_edit_session_matches_the_one_shot_and_edit_script_runs_byte_for_byte() {
+    let (addr, drain, join) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let session = client
+        .open(None, Some("two".to_owned()))
+        .expect("open editable scenario session");
+
+    let elicit = |client: &mut Client, id: u64| -> String {
+        let reply = client
+            .request(session, id, "elicit", &[], None)
+            .expect("elicit request");
+        let ServerFrame::Response { exit, stdout, .. } = reply else {
+            panic!("expected response, got {reply:?}");
+        };
+        assert_eq!(exit, 0, "served elicit failed");
+        stdout
+    };
+
+    let before = elicit(&mut client, 1);
+    let reply = client
+        .edit(session, 2, &["set-initial gps1 20000".to_owned()])
+        .expect("edit request");
+    let ServerFrame::Response { exit, stdout, .. } = reply else {
+        panic!("expected edit response, got {reply:?}");
+    };
+    assert_eq!(exit, 0, "edit failed");
+    assert!(stdout.is_empty(), "edits succeed silently, got {stdout:?}");
+    let after = elicit(&mut client, 3);
+    client.bye().expect("bye");
+    stop(&drain, join);
+
+    // The pre-edit block must equal the plain one-shot run…
+    let scriptless = one_shot(&["elicit", "--scenario", "two"]);
+    assert!(scriptless.status.success());
+    assert_eq!(
+        before,
+        String::from_utf8_lossy(&scriptless.stdout),
+        "served pre-edit elicit differs from one-shot"
+    );
+    assert_ne!(before, after, "the edit must reshape the report");
+
+    // …and the post-edit block must equal a one-shot run driven by the
+    // equivalent edit script (the trailing elicit is implicit).
+    let script = std::env::temp_dir().join(format!("fsa-edit-script-{}.txt", std::process::id()));
+    std::fs::write(&script, "set-initial gps1 20000\n").expect("write edit script");
+    let scripted = one_shot(&[
+        "elicit",
+        "--scenario",
+        "two",
+        "--edit-script",
+        script.to_str().expect("utf-8 temp path"),
+    ]);
+    let _ = std::fs::remove_file(&script);
+    assert!(scripted.status.success());
+    assert_eq!(
+        after,
+        String::from_utf8_lossy(&scripted.stdout),
+        "served post-edit elicit differs from the one-shot edit-script run"
+    );
+}
