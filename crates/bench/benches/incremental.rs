@@ -63,7 +63,9 @@ fn bench_incremental_edit(c: &mut Criterion) {
     // once up front, then every iteration pays only the edit path
     // (invalidation + fragment re-analysis for the touched vehicle).
     let mut model = six_vehicle_model();
-    let mut engine = IncrementalElicitor::new(MEMO_CAPACITY).method(DependenceMethod::Precedence);
+    let mut engine = IncrementalElicitor::new(MEMO_CAPACITY)
+        .unwrap()
+        .method(DependenceMethod::Precedence);
     engine.elicit(&model, &obs).expect("warm base");
     group.bench_function("single_component_edit", |b| {
         b.iter(|| {
@@ -87,7 +89,9 @@ fn bench_incremental_edit(c: &mut Criterion) {
 
     // Floor: no edit at all — a repeated elicit is pure memo lookups.
     let replay_model = six_vehicle_model();
-    let mut replay = IncrementalElicitor::new(MEMO_CAPACITY).method(DependenceMethod::Precedence);
+    let mut replay = IncrementalElicitor::new(MEMO_CAPACITY)
+        .unwrap()
+        .method(DependenceMethod::Precedence);
     replay.elicit(&replay_model, &obs).expect("warm replay");
     group.bench_function("warm_replay", |b| {
         b.iter(|| {

@@ -203,7 +203,7 @@ impl Fnv {
 /// Domain-separation tag hashed into every configuration fingerprint.
 /// Bump when the fingerprint's field coverage changes so checkpoints
 /// written under the old coverage can never alias the new one.
-const FINGERPRINT_DOMAIN: &str = "fsa-explore-config/v2";
+const FINGERPRINT_DOMAIN: &str = "fsa-explore-config/v3";
 
 /// Fingerprint of the enumeration configuration: component models
 /// (name, stakeholder template, multiplicity bound, template actions,
@@ -219,7 +219,12 @@ const FINGERPRINT_DOMAIN: &str = "fsa-explore-config/v2";
 /// * **budget** (`--budget`) — [`ExploreOptions::max_candidates`];
 /// * **truncation policy** (`--truncate`) — [`ExploreOptions::on_budget`];
 /// * **connectivity filter** (`--all`) —
-///   [`ExploreOptions::require_connected`].
+///   [`ExploreOptions::require_connected`];
+/// * **shard range** — [`ExploreOptions::shard`]; a checkpoint written
+///   while exploring one shard of the multiplicity space must fail
+///   closed when resumed against another shard (or against the whole
+///   universe), because its frontier and accepted log only cover that
+///   range.
 ///
 /// Deliberately excluded: `threads` (a laptop run may finish on a
 /// bigger box, bit-identically) and the observability handle (exports
@@ -261,6 +266,14 @@ pub fn config_fingerprint(
         BudgetPolicy::Error => 0,
         BudgetPolicy::Truncate => 1,
     });
+    match options.shard {
+        None => h.u64(0),
+        Some(shard) => {
+            h.u64(1);
+            h.u64(shard.start);
+            h.u64(shard.end);
+        }
+    }
     h.0
 }
 
@@ -368,5 +381,26 @@ mod tests {
             ..options
         };
         assert_eq!(base, config_fingerprint(&models, &rules, &threaded));
+    }
+
+    #[test]
+    fn fingerprint_separates_shard_ranges() {
+        use crate::explore::ShardRange;
+        let mut model = ComponentModel::new("S", "Op");
+        model.action("emit(SNS_i,val)");
+        let models = vec![(model, 2usize)];
+        let rules: Vec<ConnectionRule> = Vec::new();
+        let unsharded = config_fingerprint(&models, &rules, &ExploreOptions::default());
+        let shard = |start, end| ExploreOptions {
+            shard: Some(ShardRange::new(start, end)),
+            ..Default::default()
+        };
+        let first = config_fingerprint(&models, &rules, &shard(0, 1));
+        let second = config_fingerprint(&models, &rules, &shard(1, 2));
+        // A shard checkpoint can be resumed neither against the whole
+        // universe nor against a different shard.
+        assert_ne!(unsharded, first);
+        assert_ne!(first, second);
+        assert_eq!(first, config_fingerprint(&models, &rules, &shard(0, 1)));
     }
 }

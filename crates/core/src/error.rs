@@ -61,6 +61,21 @@ pub enum FsaError {
         /// Explanation.
         reason: String,
     },
+    /// A shard range restriction was malformed or used with an engine
+    /// that cannot honour it (see
+    /// [`crate::explore::ExploreOptions::shard`]).
+    InvalidShard {
+        /// Explanation.
+        reason: String,
+    },
+    /// A bounded store was constructed with capacity 0. Capacity-0
+    /// stores used to be silently clamped to 1; they are rejected with
+    /// this typed error instead, so a misconfigured cache surfaces at
+    /// construction, not as surprising evict-on-insert behaviour.
+    InvalidCapacity {
+        /// Which store rejected the construction (e.g. `MemoStore`).
+        what: &'static str,
+    },
     /// The underlying APA analysis failed.
     Apa(apa::ApaError),
 }
@@ -88,6 +103,15 @@ impl fmt::Display for FsaError {
             ),
             FsaError::CorruptCheckpoint { reason } => {
                 write!(f, "corrupt checkpoint: {reason}")
+            }
+            FsaError::InvalidShard { reason } => {
+                write!(f, "invalid shard range: {reason}")
+            }
+            FsaError::InvalidCapacity { what } => {
+                write!(
+                    f,
+                    "invalid capacity: {what} requires a capacity of at least 1"
+                )
             }
             FsaError::Apa(e) => write!(f, "APA analysis failed: {e}"),
         }
@@ -137,6 +161,12 @@ mod tests {
         };
         assert!(e.to_string().contains("corrupt checkpoint"));
         assert!(e.to_string().contains("checksum"));
+        let e = FsaError::InvalidShard {
+            reason: "start beyond end".into(),
+        };
+        assert!(e.to_string().contains("invalid shard range"));
+        let e = FsaError::InvalidCapacity { what: "MemoStore" };
+        assert!(e.to_string().contains("MemoStore") && e.to_string().contains("at least 1"));
     }
 
     #[test]

@@ -102,6 +102,66 @@ pub enum BudgetPolicy {
     Truncate,
 }
 
+/// A contiguous, half-open range `start..end` of multiplicity-vector
+/// ordinals (the canonical odometer order of [`crate::checkpoint`]),
+/// restricting the supervised engine to one *shard* of the
+/// `(ordinal, mask)` lattice. Every flow-subset mask belongs to exactly
+/// one ordinal, so contiguous ordinal ranges partition the whole
+/// lattice: a family of ranges produced by [`ShardRange::partition`]
+/// covers every pair exactly once, with no gap and no overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardRange {
+    /// First vector ordinal of the shard (inclusive).
+    pub start: u64,
+    /// One past the last vector ordinal of the shard (exclusive).
+    pub end: u64,
+}
+
+impl ShardRange {
+    /// Creates the range `start..end`.
+    #[must_use]
+    pub fn new(start: u64, end: u64) -> Self {
+        ShardRange { start, end }
+    }
+
+    /// Number of vector ordinals in the shard (0 when malformed).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` when the shard covers no ordinal.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Partitions the ordinal space `0..total` into `shards` contiguous
+    /// ranges whose lengths differ by at most one, in ascending order.
+    /// Covers every ordinal exactly once; when `shards > total` the
+    /// trailing ranges are empty (still no gap, no overlap).
+    #[must_use]
+    pub fn partition(total: u64, shards: usize) -> Vec<ShardRange> {
+        let n = shards.max(1) as u64;
+        let base = total / n;
+        let rem = total % n;
+        let mut ranges = Vec::with_capacity(shards.max(1));
+        let mut start = 0u64;
+        for i in 0..n {
+            let len = base + u64::from(i < rem);
+            ranges.push(ShardRange::new(start, start + len));
+            start += len;
+        }
+        ranges
+    }
+}
+
+impl std::fmt::Display for ShardRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 /// Bounds for the enumeration.
 #[derive(Debug, Clone)]
 pub struct ExploreOptions {
@@ -122,6 +182,15 @@ pub struct ExploreOptions {
     /// default ([`Obs::disabled`]) records nothing; enabling it never
     /// changes the enumerated instances or the stats values.
     pub obs: Obs,
+    /// Restrict the **supervised** engine to one shard of the
+    /// multiplicity space (`None` = the whole universe). Sharded runs
+    /// enumerate exactly the `(ordinal, mask)` pairs whose ordinal lies
+    /// in the range; per-shard `accepted` logs merged in canonical
+    /// order by [`merge_accepted`] reproduce the unsharded result
+    /// bit-identically. The legacy engine and
+    /// [`BudgetPolicy::Truncate`] reject sharded options
+    /// ([`FsaError::InvalidShard`]).
+    pub shard: Option<ShardRange>,
 }
 
 impl Default for ExploreOptions {
@@ -132,6 +201,7 @@ impl Default for ExploreOptions {
             on_budget: BudgetPolicy::Error,
             threads: 1,
             obs: Obs::disabled(),
+            shard: None,
         }
     }
 }
@@ -331,8 +401,11 @@ impl ExploreStats {
 
     /// Mirrors every counter-valued field into `explore.*` counters of
     /// `obs` (phase durations are already present as `explore.*` spans).
-    /// No-op when `obs` is disabled.
-    fn mirror_counters(&self, obs: &Obs) {
+    /// No-op when `obs` is disabled. Both engines call this internally;
+    /// it is public so hosts that *assemble* an [`ExploreStats`] (the
+    /// distributed coordinator's shard merge) can export the same
+    /// counters.
+    pub fn mirror_counters(&self, obs: &Obs) {
         if !obs.is_enabled() {
             return;
         }
@@ -382,6 +455,12 @@ pub struct Exploration {
     pub instances: Vec<SosInstance>,
     /// Per-stage statistics.
     pub stats: ExploreStats,
+    /// The accepted `(vector ordinal, flow-subset mask)` decision log
+    /// in discovery order — one entry per instance (**supervised
+    /// engine only**; the legacy engine leaves it empty). This is the
+    /// same log the checkpoint format persists; a distributed
+    /// coordinator merges per-shard logs with [`merge_accepted`].
+    pub accepted: Vec<(u64, u64)>,
 }
 
 /// Enumerates the structurally different SoS instances built from
@@ -422,6 +501,14 @@ pub fn enumerate_instances_with_stats(
     rules: &[ConnectionRule],
     options: &ExploreOptions,
 ) -> Result<Exploration, FsaError> {
+    if let Some(shard) = options.shard {
+        return Err(FsaError::InvalidShard {
+            reason: format!(
+                "shard {shard} requires the supervised engine \
+                 (enumerate_instances_supervised)"
+            ),
+        });
+    }
     for (m, _) in models {
         m.validate()?;
     }
@@ -477,7 +564,11 @@ pub fn enumerate_instances_with_stats(
     stats.exact_iso_fallbacks = classes.exact_fallbacks();
     drop(run);
     stats.mirror_counters(&options.obs);
-    Ok(Exploration { instances, stats })
+    Ok(Exploration {
+        instances,
+        stats,
+        accepted: Vec::new(),
+    })
 }
 
 /// Odometer over the non-empty multiplicity vectors (`0..=max` per
@@ -532,6 +623,15 @@ fn vector_count(maxes: &[usize]) -> usize {
         .iter()
         .try_fold(1usize, |acc, &m| acc.checked_mul(m + 1))
         .map_or(usize::MAX, |p| p.saturating_sub(1))
+}
+
+/// Number of non-empty multiplicity vectors of a universe — the
+/// ordinal space that [`ShardRange`]s partition. A coordinator calls
+/// this once to size [`ShardRange::partition`].
+#[must_use]
+pub fn vector_space(models: &[(ComponentModel, usize)]) -> u64 {
+    let maxes: Vec<usize> = models.iter().map(|(_, max)| *max).collect();
+    vector_count(&maxes) as u64
 }
 
 /// Re-instantiates the accepted class representatives of one vector
@@ -686,7 +786,32 @@ pub fn enumerate_instances_supervised(
     let batch = exec.batch.max(1);
     let maxes: Vec<usize> = models.iter().map(|(_, max)| *max).collect();
     let fingerprint = config_fingerprint(models, rules, options);
-    let vectors_total = vector_count(&maxes);
+    let universe_total = vector_count(&maxes) as u64;
+    let shard = options
+        .shard
+        .unwrap_or_else(|| ShardRange::new(0, universe_total));
+    if shard.start > shard.end {
+        return Err(FsaError::InvalidShard {
+            reason: format!("shard {shard} has its start beyond its end"),
+        });
+    }
+    if shard.end > universe_total {
+        return Err(FsaError::InvalidShard {
+            reason: format!(
+                "shard {shard} lies beyond the {universe_total}-vector multiplicity space"
+            ),
+        });
+    }
+    if options.shard.is_some() && options.on_budget == BudgetPolicy::Truncate {
+        // A truncation point depends on global enumeration order, which
+        // no single shard can observe; a sharded truncated run could
+        // never merge bit-identically.
+        return Err(FsaError::InvalidShard {
+            reason: "budget truncation is not shard-deterministic; use BudgetPolicy::Error"
+                .to_owned(),
+        });
+    }
+    let vectors_total = shard.len() as usize;
 
     let mut stats = ExploreStats {
         threads,
@@ -697,8 +822,10 @@ pub fn enumerate_instances_supervised(
     let mut instances: Vec<SosInstance> = Vec::new();
 
     // Frontier state: the vector being processed and, mid-vector, the
-    // canonical masks not yet built.
-    let mut next_ordinal = 0u64;
+    // canonical masks not yet built. Ordinals are *global* (sharded
+    // runs carry the same ordinal space as unsharded ones, offset into
+    // their range), so accepted logs concatenate across shards.
+    let mut next_ordinal = shard.start;
     let mut pending: Vec<usize> = Vec::new();
     let mut accepted: Vec<(u64, u64)> = Vec::new();
     let mut cp_hits = 0usize;
@@ -715,11 +842,14 @@ pub fn enumerate_instances_supervised(
                     .to_owned(),
             });
         }
-        if cp.next_ordinal > vectors_total as u64
-            || (cp.next_ordinal == vectors_total as u64 && !cp.pending_masks.is_empty())
+        if cp.next_ordinal < shard.start
+            || cp.next_ordinal > shard.end
+            || (cp.next_ordinal == shard.end && !cp.pending_masks.is_empty())
         {
             return Err(FsaError::CorruptCheckpoint {
-                reason: "checkpoint frontier lies beyond the multiplicity space".to_owned(),
+                reason: "checkpoint frontier lies outside the run's shard of the multiplicity \
+                         space"
+                    .to_owned(),
             });
         }
         if !cp.accepted.windows(2).all(|w| w[0].0 <= w[1].0) {
@@ -768,6 +898,12 @@ pub fn enumerate_instances_supervised(
 
     'vectors: for (ordinal, counts) in VectorIter::new(&maxes).enumerate() {
         let ordinal64 = ordinal as u64;
+        if ordinal64 < shard.start {
+            continue;
+        }
+        if ordinal64 >= shard.end {
+            break 'vectors;
+        }
         if ordinal64 < next_ordinal {
             // Resume rebuild: replay the accepted decisions of an
             // already-completed vector.
@@ -1064,7 +1200,109 @@ pub fn enumerate_instances_supervised(
     )?;
     drop(run);
     stats.mirror_counters(&obs);
-    Ok(Exploration { instances, stats })
+    Ok(Exploration {
+        instances,
+        stats,
+        accepted,
+    })
+}
+
+/// Outcome of [`merge_accepted`]: the global instance list rebuilt from
+/// merged per-shard decision logs.
+#[derive(Debug, Clone)]
+pub struct MergedExploration {
+    /// One representative per isomorphism class, in canonical
+    /// `(ordinal, mask)` order — bit-identical to the instance list of
+    /// an unsharded run.
+    pub instances: Vec<SosInstance>,
+    /// The deduplicated accepted log (one entry per instance).
+    pub accepted: Vec<(u64, u64)>,
+    /// Cross-shard duplicate classes dropped during the merge: a class
+    /// first discovered in one shard and independently rediscovered in
+    /// another (each shard deduplicates only within its own range).
+    pub duplicates: usize,
+}
+
+/// Rebuilds the global exploration result from per-shard accepted
+/// `(ordinal, mask)` logs, merged in ascending canonical order (shards
+/// are contiguous and disjoint, so concatenating their logs in range
+/// order *is* ascending order). Classes rediscovered by later shards
+/// are dropped, keeping the first representative — because every
+/// globally-accepted pair is also accepted by its own shard, the kept
+/// list and instance stream are bit-identical to an unsharded
+/// supervised run over the whole universe.
+///
+/// # Errors
+///
+/// * [`FsaError::InvalidComponentModel`] if a model or rule fails
+///   validation.
+/// * [`FsaError::CorruptCheckpoint`] if the merged log is not strictly
+///   ascending or references ordinals/masks outside the universe —
+///   shard results that cannot have come from this configuration.
+pub fn merge_accepted(
+    models: &[(ComponentModel, usize)],
+    rules: &[ConnectionRule],
+    accepted: &[(u64, u64)],
+) -> Result<MergedExploration, FsaError> {
+    for (m, _) in models {
+        m.validate()?;
+    }
+    let resolved = resolve_rules(models, rules)?;
+    if !accepted.windows(2).all(|w| w[0] < w[1]) {
+        return Err(FsaError::CorruptCheckpoint {
+            reason: "merged accepted list is not strictly ascending in (ordinal, mask)".to_owned(),
+        });
+    }
+    let maxes: Vec<usize> = models.iter().map(|(_, max)| *max).collect();
+    let total = vector_count(&maxes) as u64;
+    if accepted.last().is_some_and(|&(o, _)| o >= total) {
+        return Err(FsaError::CorruptCheckpoint {
+            reason: "merged accepted entries lie beyond the multiplicity space".to_owned(),
+        });
+    }
+    let mut classes: CertifiedClasses<String> = CertifiedClasses::new();
+    let mut instances: Vec<SosInstance> = Vec::new();
+    let mut kept: Vec<(u64, u64)> = Vec::new();
+    let mut duplicates = 0usize;
+    let mut cursor = 0usize;
+    for (ordinal, counts) in VectorIter::new(&maxes).enumerate() {
+        if cursor == accepted.len() {
+            break;
+        }
+        let ordinal64 = ordinal as u64;
+        if accepted[cursor].0 != ordinal64 {
+            continue;
+        }
+        let flows = flow_candidates(&resolved, &counts);
+        while let Some(&(o, mask)) = accepted.get(cursor) {
+            if o != ordinal64 {
+                break;
+            }
+            if mask >> flows.len() != 0 {
+                return Err(FsaError::CorruptCheckpoint {
+                    reason: format!("merged accepted mask {mask} out of range for vector {o}"),
+                });
+            }
+            let instance = build_composition(models, &resolved, &counts, &flows, mask as usize)?;
+            let shape = instance.shape_graph();
+            let certificate = canonical_certificate(&shape);
+            if classes
+                .insert_with_certificate(shape, certificate)
+                .is_some()
+            {
+                kept.push((o, mask));
+                instances.push(instance);
+            } else {
+                duplicates += 1;
+            }
+            cursor += 1;
+        }
+    }
+    Ok(MergedExploration {
+        instances,
+        accepted: kept,
+        duplicates,
+    })
 }
 
 /// A connection rule with its model positions resolved.
@@ -2524,5 +2762,148 @@ mod tests {
         for needle in ["candidates", "classes", "orbit-skipped", "certificate hits"] {
             assert!(rendered.contains(needle), "missing {needle}: {rendered}");
         }
+    }
+
+    #[test]
+    fn shard_partition_is_exact_and_ordered() {
+        for total in [0u64, 1, 2, 5, 7, 26, 100] {
+            for shards in [1usize, 2, 3, 4, 7, 150] {
+                let parts = ShardRange::partition(total, shards);
+                assert_eq!(parts.len(), shards, "total {total} shards {shards}");
+                // Contiguous, in order, no gap, no overlap, full cover.
+                let mut cursor = 0u64;
+                for part in &parts {
+                    assert_eq!(part.start, cursor, "total {total} shards {shards}");
+                    assert!(part.end >= part.start);
+                    cursor = part.end;
+                }
+                assert_eq!(cursor, total, "total {total} shards {shards}");
+                // Balanced: sizes differ by at most one.
+                let sizes: Vec<u64> = parts.iter().map(ShardRange::len).collect();
+                let min = sizes.iter().min().copied().unwrap();
+                let max = sizes.iter().max().copied().unwrap();
+                assert!(max - min <= 1, "total {total} shards {shards}: {sizes:?}");
+            }
+        }
+        // Zero shards is clamped to one covering shard.
+        assert_eq!(ShardRange::partition(9, 0), vec![ShardRange::new(0, 9)]);
+    }
+
+    #[test]
+    fn shard_rejected_by_legacy_engine_and_bad_ranges() {
+        let models = sensor_and_display();
+        let shard = Some(ShardRange::new(0, 1));
+        let err = enumerate_instances_with_stats(
+            &models,
+            &rules(),
+            &ExploreOptions {
+                shard,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsaError::InvalidShard { .. }), "{err}");
+
+        let exec = ExecOptions::default();
+        // start beyond end.
+        let err = enumerate_instances_supervised(
+            &models,
+            &rules(),
+            &ExploreOptions {
+                shard: Some(ShardRange { start: 3, end: 2 }),
+                ..Default::default()
+            },
+            &exec,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsaError::InvalidShard { .. }), "{err}");
+        // end beyond the universe.
+        let total = vector_space(&models);
+        let err = enumerate_instances_supervised(
+            &models,
+            &rules(),
+            &ExploreOptions {
+                shard: Some(ShardRange::new(0, total + 1)),
+                ..Default::default()
+            },
+            &exec,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsaError::InvalidShard { .. }), "{err}");
+        // Budget truncation is not shard-deterministic.
+        let err = enumerate_instances_supervised(
+            &models,
+            &rules(),
+            &ExploreOptions {
+                shard: Some(ShardRange::new(0, 1)),
+                on_budget: BudgetPolicy::Truncate,
+                max_candidates: 1,
+                ..Default::default()
+            },
+            &exec,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsaError::InvalidShard { .. }), "{err}");
+    }
+
+    #[test]
+    fn sharded_runs_merge_bit_identically() {
+        let models = sensor_and_display();
+        let rules = rules();
+        for require_connected in [true, false] {
+            let options = ExploreOptions {
+                require_connected,
+                ..Default::default()
+            };
+            let exec = ExecOptions::default();
+            let golden = enumerate_instances_supervised(&models, &rules, &options, &exec).unwrap();
+            let total = vector_space(&models);
+            for shards in [1usize, 2, 3, 5, 11] {
+                let mut log: Vec<(u64, u64)> = Vec::new();
+                let mut candidates = 0usize;
+                for range in ShardRange::partition(total, shards) {
+                    let part = enumerate_instances_supervised(
+                        &models,
+                        &rules,
+                        &ExploreOptions {
+                            shard: Some(range),
+                            ..options.clone()
+                        },
+                        &exec,
+                    )
+                    .unwrap();
+                    assert!(!part.stats.cancelled);
+                    candidates += part.stats.candidates;
+                    log.extend_from_slice(&part.accepted);
+                }
+                let merged = merge_accepted(&models, &rules, &log).unwrap();
+                assert_eq!(
+                    merged.instances.len(),
+                    golden.instances.len(),
+                    "shards {shards} connected {require_connected}"
+                );
+                for (a, b) in golden.instances.iter().zip(&merged.instances) {
+                    assert_eq!(a.name(), b.name());
+                    assert_eq!(a.graph(), b.graph());
+                }
+                assert_eq!(merged.accepted, golden.accepted);
+                // Every shard scans its own slice of the lattice, so the
+                // summed candidate count matches the unsharded run.
+                assert_eq!(candidates, golden.stats.candidates, "shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_unsorted_and_out_of_range_logs() {
+        let models = sensor_and_display();
+        let rules = rules();
+        let err = merge_accepted(&models, &rules, &[(1, 0), (0, 0)]).unwrap_err();
+        assert!(matches!(err, FsaError::CorruptCheckpoint { .. }), "{err}");
+        let total = vector_space(&models);
+        let err = merge_accepted(&models, &rules, &[(total, 0)]).unwrap_err();
+        assert!(matches!(err, FsaError::CorruptCheckpoint { .. }), "{err}");
+        let err = merge_accepted(&models, &rules, &[(0, u64::MAX)]).unwrap_err();
+        assert!(matches!(err, FsaError::CorruptCheckpoint { .. }), "{err}");
     }
 }

@@ -127,16 +127,22 @@ pub struct IncrementalElicitor {
 impl IncrementalElicitor {
     /// An engine whose memo store holds at most `capacity` entries
     /// (abstraction method, sequential).
-    pub fn new(capacity: usize) -> IncrementalElicitor {
-        IncrementalElicitor {
-            store: MemoStore::new(capacity),
+    ///
+    /// # Errors
+    ///
+    /// [`FsaError::InvalidCapacity`] when `capacity` is 0 (a zero-entry
+    /// memo store would evict on every insert — see
+    /// [`MemoStore::new`]).
+    pub fn new(capacity: usize) -> Result<IncrementalElicitor, FsaError> {
+        Ok(IncrementalElicitor {
+            store: MemoStore::new(capacity)?,
             cross_cache: BTreeMap::new(),
             method: DependenceMethod::Abstraction,
             threads: 1,
             hits: 0,
             misses: 0,
             invalidated: 0,
-        }
+        })
     }
 
     /// Selects the dependence method (default
@@ -563,7 +569,7 @@ mod tests {
     fn matches_from_scratch_on_the_multi_fragment_model() {
         let model = two_zone_model();
         for method in [DependenceMethod::Abstraction, DependenceMethod::Precedence] {
-            let mut engine = IncrementalElicitor::new(64).method(method);
+            let mut engine = IncrementalElicitor::new(64).unwrap().method(method);
             let report = engine.elicit(&model, &Obs::disabled()).unwrap();
             assert_report_eq(&report, &from_scratch(&model, method));
             assert!(report.state_count > 100, "product recomposition expected");
@@ -574,10 +580,12 @@ mod tests {
     fn thread_count_does_not_change_the_report() {
         let model = two_zone_model();
         let baseline = IncrementalElicitor::new(64)
+            .unwrap()
             .elicit(&model, &Obs::disabled())
             .unwrap();
         for threads in [2, 4, 8] {
             let report = IncrementalElicitor::new(64)
+                .unwrap()
                 .threads(threads)
                 .elicit(&model, &Obs::disabled())
                 .unwrap();
@@ -588,7 +596,7 @@ mod tests {
     #[test]
     fn edits_invalidate_only_the_touched_fragment() {
         let mut model = two_zone_model();
-        let mut engine = IncrementalElicitor::new(64);
+        let mut engine = IncrementalElicitor::new(64).unwrap();
         let obs = Obs::disabled();
         engine.elicit(&model, &obs).unwrap();
         let first = engine.memo_counters();
@@ -623,7 +631,7 @@ mod tests {
     #[test]
     fn edit_undo_reuses_the_certificate_namespace() {
         let mut model = two_zone_model();
-        let mut engine = IncrementalElicitor::new(64);
+        let mut engine = IncrementalElicitor::new(64).unwrap();
         let obs = Obs::disabled();
         engine.elicit(&model, &obs).unwrap();
         engine
@@ -663,6 +671,7 @@ mod tests {
         // interest crosses fragments.
         let model = two_zone_model();
         let report = IncrementalElicitor::new(64)
+            .unwrap()
             .elicit(&model, &Obs::disabled())
             .unwrap();
         let scratch = from_scratch(&model, DependenceMethod::Abstraction);

@@ -14,6 +14,7 @@
 //! set. Entries with an empty dependency set survive every edit (the
 //! certificate entries use this to answer edit–undo sequences).
 
+use crate::error::FsaError;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -50,6 +51,7 @@ pub struct MemoCounters {
     pub invalidated: u64,
 }
 
+#[derive(Debug)]
 struct Entry<V> {
     namespace: &'static str,
     payload: String,
@@ -63,6 +65,7 @@ struct Entry<V> {
 ///
 /// The hash function is injectable so tests can force every key into
 /// one bucket and prove that collisions are harmless.
+#[derive(Debug)]
 pub struct MemoStore<V> {
     buckets: BTreeMap<u64, Vec<Entry<V>>>,
     /// Insertion order as `(hash, seq)`; stale pairs (already
@@ -77,24 +80,37 @@ pub struct MemoStore<V> {
 
 impl<V> MemoStore<V> {
     /// An empty store holding at most `capacity` entries.
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`FsaError::InvalidCapacity`] when `capacity` is 0. A zero
+    /// capacity used to be silently clamped to 1, turning a
+    /// misconfigured cache into surprising evict-on-every-insert
+    /// behaviour; it is now rejected at construction.
+    pub fn new(capacity: usize) -> Result<Self, FsaError> {
         MemoStore::with_hasher(capacity, fnv1a_64)
     }
 
     /// An empty store with an explicit key hasher (tests inject a
     /// constant hasher to force collisions).
-    #[must_use]
-    pub fn with_hasher(capacity: usize, hasher: fn(&str, &str) -> u64) -> Self {
-        MemoStore {
+    ///
+    /// # Errors
+    ///
+    /// [`FsaError::InvalidCapacity`] when `capacity` is 0 (see
+    /// [`MemoStore::new`]).
+    pub fn with_hasher(capacity: usize, hasher: fn(&str, &str) -> u64) -> Result<Self, FsaError> {
+        if capacity == 0 {
+            return Err(FsaError::InvalidCapacity { what: "MemoStore" });
+        }
+        Ok(MemoStore {
             buckets: BTreeMap::new(),
             order: VecDeque::new(),
             next_seq: 0,
             len: 0,
-            capacity: capacity.max(1),
+            capacity,
             hasher,
             counters: MemoCounters::default(),
-        }
+        })
     }
 
     /// Live entries.
@@ -232,8 +248,25 @@ mod tests {
     }
 
     #[test]
+    fn capacity_zero_is_rejected_with_a_typed_error() {
+        // Regression: capacity 0 used to be silently clamped to 1.
+        let err = MemoStore::<u32>::new(0).unwrap_err();
+        assert!(matches!(
+            err,
+            FsaError::InvalidCapacity { what: "MemoStore" }
+        ));
+        assert!(err.to_string().contains("MemoStore"), "{err}");
+        let err = MemoStore::<u32>::with_hasher(0, |_, _| 42).unwrap_err();
+        assert!(matches!(err, FsaError::InvalidCapacity { .. }));
+        // Capacity 1 is the smallest valid store and must keep working.
+        let mut store = MemoStore::<u32>::new(1).unwrap();
+        store.insert("ns", "k".to_owned(), deps(&[]), Arc::new(1));
+        assert_eq!(store.lookup("ns", "k", |_| true).as_deref(), Some(&1));
+    }
+
+    #[test]
     fn lookup_requires_exact_key_match() {
-        let mut store: MemoStore<u32> = MemoStore::new(8);
+        let mut store: MemoStore<u32> = MemoStore::new(8).unwrap();
         store.insert("ns", "alpha".to_owned(), deps(&["a"]), Arc::new(1));
         assert_eq!(store.lookup("ns", "alpha", |_| true).as_deref(), Some(&1));
         assert_eq!(store.lookup("ns", "beta", |_| true), None);
@@ -248,7 +281,7 @@ mod tests {
         // construction. The exact payload comparison must still resolve
         // each lookup to its own value (or a miss), never to the
         // colliding neighbour's value.
-        let mut store: MemoStore<&'static str> = MemoStore::with_hasher(8, |_, _| 42);
+        let mut store: MemoStore<&'static str> = MemoStore::with_hasher(8, |_, _| 42).unwrap();
         store.insert("frag", "model-A".to_owned(), deps(&["A"]), Arc::new("A"));
         store.insert("frag", "model-B".to_owned(), deps(&["B"]), Arc::new("B"));
         assert_eq!(
@@ -273,7 +306,7 @@ mod tests {
 
     #[test]
     fn capacity_bound_evicts_fifo() {
-        let mut store: MemoStore<u32> = MemoStore::new(2);
+        let mut store: MemoStore<u32> = MemoStore::new(2).unwrap();
         store.insert("ns", "one".to_owned(), deps(&[]), Arc::new(1));
         store.insert("ns", "two".to_owned(), deps(&[]), Arc::new(2));
         store.insert("ns", "three".to_owned(), deps(&[]), Arc::new(3));
@@ -286,7 +319,7 @@ mod tests {
 
     #[test]
     fn replacing_an_entry_does_not_grow_the_store() {
-        let mut store: MemoStore<u32> = MemoStore::new(2);
+        let mut store: MemoStore<u32> = MemoStore::new(2).unwrap();
         store.insert("ns", "k".to_owned(), deps(&["a"]), Arc::new(1));
         store.insert("ns", "k".to_owned(), deps(&["b"]), Arc::new(2));
         assert_eq!(store.len(), 1);
@@ -300,7 +333,7 @@ mod tests {
 
     #[test]
     fn invalidation_only_drops_dependent_entries() {
-        let mut store: MemoStore<u32> = MemoStore::new(8);
+        let mut store: MemoStore<u32> = MemoStore::new(8).unwrap();
         store.insert(
             "frag",
             "f1".to_owned(),
@@ -323,7 +356,7 @@ mod tests {
 
     #[test]
     fn eviction_skips_stale_order_records_after_invalidation() {
-        let mut store: MemoStore<u32> = MemoStore::new(2);
+        let mut store: MemoStore<u32> = MemoStore::new(2).unwrap();
         store.insert("ns", "a".to_owned(), deps(&["x"]), Arc::new(1));
         store.insert("ns", "b".to_owned(), deps(&[]), Arc::new(2));
         // `a` is invalidated, leaving a stale record at the head of the

@@ -1,0 +1,272 @@
+//! Single-machine driver: `fsa explore --distributed --workers N`.
+//!
+//! Runs a coordinator on an ephemeral loopback port plus N workers —
+//! as child processes re-invoking the `fsa` binary (`fsa work`), or
+//! as in-process threads (tests, library use) — and returns the
+//! merged exploration. The result is bit-identical to the
+//! single-process engine; only the execution is distributed.
+
+use crate::coord::{CoordConfig, Coordinator};
+use crate::error::DistError;
+use crate::worker::{run_worker, WorkerConfig};
+use fsa_core::explore::{Exploration, ExploreOptions};
+use fsa_obs::Obs;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How the driver runs its workers.
+#[derive(Debug, Clone)]
+pub enum WorkerMode {
+    /// Spawn `exe work --connect ...` child processes (the production
+    /// path: crash isolation, separate address spaces).
+    Processes {
+        /// The binary to re-invoke (normally `std::env::current_exe`).
+        exe: PathBuf,
+    },
+    /// Run workers as in-process threads (tests, benches).
+    Threads,
+}
+
+/// Configuration of a local distributed run.
+#[derive(Debug, Clone)]
+pub struct LocalConfig {
+    /// Universe size: one RSU plus up to this many vehicles.
+    pub max_vehicles: usize,
+    /// Worker count.
+    pub workers: usize,
+    /// Shard count; defaults to `4 × workers` so slow shards
+    /// rebalance across workers.
+    pub shards: Option<usize>,
+    /// Lease validity in milliseconds.
+    pub lease_ms: u64,
+    /// Checkpoint/state directory; an ephemeral one is created (and
+    /// removed on success) when unset.
+    pub state_dir: Option<PathBuf>,
+    /// Global candidate budget.
+    pub max_candidates: usize,
+    /// Whether disconnected candidates are skipped.
+    pub require_connected: bool,
+    /// Threads per worker.
+    pub threads: usize,
+    /// Observability handle (owned by the coordinator side).
+    pub obs: Obs,
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        let explore = ExploreOptions::default();
+        LocalConfig {
+            max_vehicles: 3,
+            workers: 2,
+            shards: None,
+            lease_ms: 2000,
+            state_dir: None,
+            max_candidates: explore.max_candidates,
+            require_connected: explore.require_connected,
+            threads: 1,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Distinguishes concurrently created ephemeral state directories
+/// within one process.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+enum Workers {
+    Children(Vec<Child>),
+    Handles(Vec<std::thread::JoinHandle<Result<(), DistError>>>),
+}
+
+impl Workers {
+    /// How many workers are still running.
+    fn alive(&mut self) -> usize {
+        match self {
+            Workers::Children(children) => {
+                let mut running = 0;
+                for child in children.iter_mut() {
+                    if matches!(child.try_wait(), Ok(None)) {
+                        running += 1;
+                    }
+                }
+                running
+            }
+            Workers::Handles(handles) => handles.iter().filter(|h| !h.is_finished()).count(),
+        }
+    }
+
+    /// Reaps every worker, draining the pool. Returns how many exited
+    /// cleanly and the first failure found.
+    fn reap(&mut self) -> (usize, Option<String>) {
+        let mut ok = 0usize;
+        let mut first = None;
+        match self {
+            Workers::Children(children) => {
+                for mut child in children.drain(..) {
+                    match child.wait() {
+                        Ok(status) if !status.success() => {
+                            first.get_or_insert(format!("worker exited with {status}"));
+                        }
+                        Err(e) => {
+                            first.get_or_insert(format!("worker not reapable: {e}"));
+                        }
+                        Ok(_) => ok += 1,
+                    }
+                }
+            }
+            Workers::Handles(handles) => {
+                for handle in handles.drain(..) {
+                    match handle.join() {
+                        Ok(Err(e)) => {
+                            first.get_or_insert(e.to_string());
+                        }
+                        Err(_) => {
+                            first.get_or_insert("worker thread panicked".to_owned());
+                        }
+                        Ok(Ok(())) => ok += 1,
+                    }
+                }
+            }
+        }
+        (ok, first)
+    }
+
+    fn kill(&mut self) {
+        if let Workers::Children(children) = self {
+            for child in children {
+                let _ = child.kill();
+            }
+        }
+    }
+}
+
+/// Runs a full distributed exploration on this machine and returns
+/// the merged result.
+///
+/// # Errors
+///
+/// [`DistError::Io`] when workers cannot be spawned,
+/// [`DistError::Worker`] when every worker died before the universe
+/// completed, plus everything [`Coordinator::run`] can return.
+pub fn explore_distributed(
+    config: &LocalConfig,
+    mode: &WorkerMode,
+) -> Result<Exploration, DistError> {
+    let workers = config.workers.max(1);
+    let shards = config.shards.unwrap_or(4 * workers).max(1);
+    let (state_dir, ephemeral) = match &config.state_dir {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let dir = std::env::temp_dir().join(format!(
+                "fsa-dist-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            (dir, true)
+        }
+    };
+    std::fs::create_dir_all(&state_dir)
+        .map_err(|e| DistError::Io(format!("state dir {}: {e}", state_dir.display())))?;
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordConfig {
+            max_vehicles: config.max_vehicles,
+            shards,
+            lease_ms: config.lease_ms,
+            max_candidates: config.max_candidates,
+            require_connected: config.require_connected,
+            state_path: Some(state_dir.join("coordinator.fsas")),
+            obs: config.obs.clone(),
+        },
+    )?;
+    let addr = coordinator.addr()?.to_string();
+    let coord_handle = std::thread::spawn(move || coordinator.run());
+    let mut pool = match mode {
+        WorkerMode::Processes { exe } => {
+            let mut children = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let child = Command::new(exe)
+                    .args([
+                        "work",
+                        "--connect",
+                        &addr,
+                        "--state-dir",
+                        &state_dir.display().to_string(),
+                        "--threads",
+                        &config.threads.max(1).to_string(),
+                    ])
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .spawn()
+                    .map_err(|e| DistError::Io(format!("spawn {}: {e}", exe.display())))?;
+                children.push(child);
+            }
+            Workers::Children(children)
+        }
+        WorkerMode::Threads => {
+            let handles = (0..workers)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let worker = WorkerConfig {
+                        state_dir: state_dir.clone(),
+                        threads: config.threads.max(1),
+                        obs: Obs::disabled(),
+                    };
+                    std::thread::spawn(move || run_worker(&addr, &worker))
+                })
+                .collect();
+            Workers::Handles(handles)
+        }
+    };
+    // Supervise: the coordinator finishes when every shard is merged.
+    // A worker that received its `done` grant exits cleanly *before*
+    // the coordinator finishes merging, so an empty pool is only fatal
+    // when every worker actually failed — otherwise the coordinator
+    // already holds every result and just needs time. If no worker
+    // exited cleanly, the run can never finish; abort rather than wait
+    // forever. (The coordinator thread is left parked on its listener;
+    // the process is about to exit anyway.)
+    let mut drained: Option<(usize, Option<String>)> = None;
+    let mut grace = Duration::ZERO;
+    while !coord_handle.is_finished() {
+        if drained.is_none() && pool.alive() == 0 {
+            drained = Some(pool.reap());
+        }
+        if let Some((ok, failure)) = &drained {
+            if *ok == 0 {
+                let detail = failure
+                    .clone()
+                    .unwrap_or_else(|| "workers exited silently".to_owned());
+                return Err(DistError::Worker(format!(
+                    "all {workers} workers exited before the universe completed: {detail}"
+                )));
+            }
+            // Some workers believe the universe is done; bound the
+            // wait in case a clean exit raced a lost shard.
+            grace += Duration::from_millis(5);
+            if grace > Duration::from_secs(60) {
+                return Err(DistError::Worker(format!(
+                    "coordinator did not finish within 60s of all {workers} workers draining"
+                )));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let result = coord_handle
+        .join()
+        .unwrap_or_else(|_| Err(DistError::Worker("coordinator panicked".to_owned())));
+    match &result {
+        Ok(_) => {
+            // Workers drain on their own `done` grants; reap them.
+            let _ = pool.reap();
+            if ephemeral {
+                let _ = std::fs::remove_dir_all(&state_dir);
+            }
+        }
+        Err(_) => pool.kill(),
+    }
+    result
+}

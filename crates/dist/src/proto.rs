@@ -1,0 +1,584 @@
+//! The `fsa-dist/v1` protocol: JSON frames over `fsa-wire/v1` framing.
+//!
+//! The distributed layer reuses the serve subsystem's transport
+//! ([`fsa_serve::wire`]: 4-byte big-endian length prefix + UTF-8 JSON)
+//! and its inbound parser ([`fsa_serve::json`]); this module only
+//! defines the frame vocabulary spoken between a coordinator and its
+//! workers and the exact encode/decode for each frame.
+//!
+//! Worker → coordinator:
+//!
+//! | frame          | fields                                        |
+//! |----------------|-----------------------------------------------|
+//! | `hello`        | `protocol`                                    |
+//! | `lease`        | —                                             |
+//! | `shard-result` | `start`, `end`, `accepted`, `counters`        |
+//! | `bye`          | —                                             |
+//!
+//! Coordinator → worker:
+//!
+//! | frame         | fields                                              |
+//! |---------------|-----------------------------------------------------|
+//! | `hello`       | `protocol`, `max_vehicles`, `max_candidates`, `require_connected` |
+//! | `lease-grant` | `grant` (`"shard"` / `"retry"` / `"done"`) + fields |
+//! | `shard-done`  | `start`, `end`                                      |
+//! | `error`       | `message`                                           |
+//!
+//! Frames are encoded with [`fsa_obs::json`] (stable key order, exact
+//! escaping) so the protocol stays byte-deterministic, which the
+//! store-and-forward state file relies on for replay equality.
+
+use crate::error::DistError;
+use fsa_core::checkpoint::CheckpointCounters;
+use fsa_obs::json::{write_key, write_str};
+use fsa_serve::json::{self, Value};
+
+/// Protocol identifier exchanged in both `hello` frames.
+pub const PROTOCOL: &str = "fsa-dist/v1";
+
+/// Maximum accepted frame size. Shard results carry the full accepted
+/// `(ordinal, mask)` log of a shard, which can far exceed the serve
+/// default of 1 MiB on large universes.
+pub const MAX_FRAME: usize = 8 << 20;
+
+/// The universe configuration the coordinator pushes to every worker
+/// in its `hello` frame, so all workers explore the same space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloConfig {
+    /// `--max-vehicles` of the distributed run.
+    pub max_vehicles: u64,
+    /// Candidate budget per worker (workers fail closed on excess;
+    /// the coordinator re-checks the global sum at merge time).
+    pub max_candidates: u64,
+    /// Whether disconnected candidates are skipped.
+    pub require_connected: bool,
+}
+
+/// Frames a worker sends to the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToCoordinator {
+    /// Protocol handshake; must be the first frame on a connection.
+    Hello,
+    /// Request a shard lease (also used to renew the current lease).
+    Lease,
+    /// A completed shard: its range, accepted `(ordinal, mask)` log
+    /// (strictly ascending by ordinal) and engine counters.
+    ShardResult {
+        /// First vector ordinal of the shard (inclusive).
+        start: u64,
+        /// One past the last vector ordinal of the shard.
+        end: u64,
+        /// Accepted `(ordinal, mask)` pairs in ascending ordinal order.
+        accepted: Vec<(u64, u64)>,
+        /// The shard run's engine counters.
+        counters: CheckpointCounters,
+    },
+    /// Clean goodbye before closing the connection.
+    Bye,
+}
+
+/// Frames the coordinator sends to a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToWorker {
+    /// Handshake reply carrying the universe configuration.
+    Hello(HelloConfig),
+    /// Lease grant: explore `[start, end)`; report back or renew
+    /// within `lease_ms` or the lease expires and is re-issued.
+    Grant {
+        /// First vector ordinal of the leased shard (inclusive).
+        start: u64,
+        /// One past the last vector ordinal of the leased shard.
+        end: u64,
+        /// Lease validity in milliseconds.
+        lease_ms: u64,
+    },
+    /// No shard is available right now (all leased); ask again after
+    /// `retry_ms`.
+    Retry {
+        /// Suggested back-off in milliseconds.
+        retry_ms: u64,
+    },
+    /// The universe is fully explored; the worker should say `bye`.
+    Done,
+    /// Acknowledges a `shard-result`: the shard is durably recorded
+    /// and the worker may delete its checkpoint for the range.
+    ShardDone {
+        /// Acknowledged shard start.
+        start: u64,
+        /// Acknowledged shard end.
+        end: u64,
+    },
+    /// A fatal protocol-level rejection.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Counter keys in [`CheckpointCounters`] declaration order — the same
+/// order `fsa_core::checkpoint` serialises them in.
+const COUNTER_KEYS: [&str; 12] = [
+    "multiplicity_vectors",
+    "subsets_total",
+    "orbits_skipped",
+    "candidates",
+    "candidates_built",
+    "disconnected_skipped",
+    "certificate_hits",
+    "exact_iso_fallbacks",
+    "truncated",
+    "vectors_completed",
+    "failures",
+    "retries",
+];
+
+fn write_u64_field(out: &mut String, key: &str, v: u64) {
+    write_key(out, key);
+    out.push_str(&v.to_string());
+}
+
+fn write_bool_field(out: &mut String, key: &str, v: bool) {
+    write_key(out, key);
+    out.push_str(if v { "true" } else { "false" });
+}
+
+fn write_counters(out: &mut String, c: &CheckpointCounters) {
+    write_key(out, "counters");
+    out.push('{');
+    let values: [u64; 12] = [
+        c.multiplicity_vectors as u64,
+        c.subsets_total as u64,
+        c.orbits_skipped as u64,
+        c.candidates as u64,
+        c.candidates_built as u64,
+        c.disconnected_skipped as u64,
+        c.certificate_hits as u64,
+        c.exact_iso_fallbacks as u64,
+        u64::from(c.truncated),
+        c.vectors_completed as u64,
+        c.failures as u64,
+        c.retries,
+    ];
+    for (i, (key, v)) in COUNTER_KEYS.iter().zip(values).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if *key == "truncated" {
+            write_bool_field(out, key, v != 0);
+        } else {
+            write_u64_field(out, key, v);
+        }
+    }
+    out.push('}');
+}
+
+/// Encodes a worker → coordinator frame as one JSON payload.
+#[must_use]
+pub fn encode_to_coordinator(frame: &ToCoordinator) -> String {
+    let mut out = String::from("{");
+    match frame {
+        ToCoordinator::Hello => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "hello");
+            out.push(',');
+            write_key(&mut out, "protocol");
+            write_str(&mut out, PROTOCOL);
+        }
+        ToCoordinator::Lease => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "lease");
+        }
+        ToCoordinator::ShardResult {
+            start,
+            end,
+            accepted,
+            counters,
+        } => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "shard-result");
+            out.push(',');
+            write_u64_field(&mut out, "start", *start);
+            out.push(',');
+            write_u64_field(&mut out, "end", *end);
+            out.push(',');
+            write_key(&mut out, "accepted");
+            out.push('[');
+            for (i, (ordinal, mask)) in accepted.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&ordinal.to_string());
+                out.push(',');
+                out.push_str(&mask.to_string());
+                out.push(']');
+            }
+            out.push(']');
+            out.push(',');
+            write_counters(&mut out, counters);
+        }
+        ToCoordinator::Bye => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "bye");
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Encodes a coordinator → worker frame as one JSON payload.
+#[must_use]
+pub fn encode_to_worker(frame: &ToWorker) -> String {
+    let mut out = String::from("{");
+    match frame {
+        ToWorker::Hello(cfg) => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "hello");
+            out.push(',');
+            write_key(&mut out, "protocol");
+            write_str(&mut out, PROTOCOL);
+            out.push(',');
+            write_u64_field(&mut out, "max_vehicles", cfg.max_vehicles);
+            out.push(',');
+            write_u64_field(&mut out, "max_candidates", cfg.max_candidates);
+            out.push(',');
+            write_bool_field(&mut out, "require_connected", cfg.require_connected);
+        }
+        ToWorker::Grant {
+            start,
+            end,
+            lease_ms,
+        } => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "lease-grant");
+            out.push(',');
+            write_key(&mut out, "grant");
+            write_str(&mut out, "shard");
+            out.push(',');
+            write_u64_field(&mut out, "start", *start);
+            out.push(',');
+            write_u64_field(&mut out, "end", *end);
+            out.push(',');
+            write_u64_field(&mut out, "lease_ms", *lease_ms);
+        }
+        ToWorker::Retry { retry_ms } => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "lease-grant");
+            out.push(',');
+            write_key(&mut out, "grant");
+            write_str(&mut out, "retry");
+            out.push(',');
+            write_u64_field(&mut out, "retry_ms", *retry_ms);
+        }
+        ToWorker::Done => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "lease-grant");
+            out.push(',');
+            write_key(&mut out, "grant");
+            write_str(&mut out, "done");
+        }
+        ToWorker::ShardDone { start, end } => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "shard-done");
+            out.push(',');
+            write_u64_field(&mut out, "start", *start);
+            out.push(',');
+            write_u64_field(&mut out, "end", *end);
+        }
+        ToWorker::Error { message } => {
+            write_key(&mut out, "type");
+            write_str(&mut out, "error");
+            out.push(',');
+            write_key(&mut out, "message");
+            write_str(&mut out, message);
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn proto_err(what: &str) -> DistError {
+    DistError::Proto(what.to_owned())
+}
+
+fn field_u64(v: &Value, key: &str, frame: &str) -> Result<u64, DistError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| proto_err(&format!("`{frame}` frame lacks a numeric `{key}`")))
+}
+
+fn field_bool(v: &Value, key: &str, frame: &str) -> Result<bool, DistError> {
+    match v.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(proto_err(&format!(
+            "`{frame}` frame lacks a boolean `{key}`"
+        ))),
+    }
+}
+
+fn frame_type(v: &Value) -> Result<&str, DistError> {
+    v.get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| proto_err("frame lacks a string `type`"))
+}
+
+fn check_protocol(v: &Value) -> Result<(), DistError> {
+    let got = v
+        .get("protocol")
+        .and_then(Value::as_str)
+        .ok_or_else(|| proto_err("`hello` frame lacks a string `protocol`"))?;
+    if got != PROTOCOL {
+        return Err(proto_err(&format!(
+            "protocol skew: peer speaks `{got}`, this build speaks `{PROTOCOL}`"
+        )));
+    }
+    Ok(())
+}
+
+fn parse_counters(v: &Value) -> Result<CheckpointCounters, DistError> {
+    let obj = v
+        .get("counters")
+        .ok_or_else(|| proto_err("`shard-result` frame lacks a `counters` object"))?;
+    let num = |key: &str| field_u64(obj, key, "counters");
+    let as_usize = |v: u64, key: &str| {
+        usize::try_from(v).map_err(|_| proto_err(&format!("counter `{key}` overflows usize")))
+    };
+    Ok(CheckpointCounters {
+        multiplicity_vectors: as_usize(num("multiplicity_vectors")?, "multiplicity_vectors")?,
+        subsets_total: as_usize(num("subsets_total")?, "subsets_total")?,
+        orbits_skipped: as_usize(num("orbits_skipped")?, "orbits_skipped")?,
+        candidates: as_usize(num("candidates")?, "candidates")?,
+        candidates_built: as_usize(num("candidates_built")?, "candidates_built")?,
+        disconnected_skipped: as_usize(num("disconnected_skipped")?, "disconnected_skipped")?,
+        certificate_hits: as_usize(num("certificate_hits")?, "certificate_hits")?,
+        exact_iso_fallbacks: as_usize(num("exact_iso_fallbacks")?, "exact_iso_fallbacks")?,
+        truncated: field_bool(obj, "truncated", "counters")?,
+        vectors_completed: as_usize(num("vectors_completed")?, "vectors_completed")?,
+        failures: as_usize(num("failures")?, "failures")?,
+        retries: num("retries")?,
+    })
+}
+
+fn parse_accepted(v: &Value) -> Result<Vec<(u64, u64)>, DistError> {
+    let arr = v
+        .get("accepted")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| proto_err("`shard-result` frame lacks an `accepted` array"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for pair in arr {
+        let pair = pair
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| proto_err("`accepted` entries must be `[ordinal, mask]` pairs"))?;
+        let ordinal = pair[0]
+            .as_u64()
+            .ok_or_else(|| proto_err("`accepted` ordinal must be a non-negative integer"))?;
+        let mask = pair[1]
+            .as_u64()
+            .ok_or_else(|| proto_err("`accepted` mask must be a non-negative integer"))?;
+        out.push((ordinal, mask));
+    }
+    Ok(out)
+}
+
+/// Decodes a worker → coordinator frame.
+///
+/// # Errors
+///
+/// [`DistError::Proto`] on malformed JSON, unknown frame types,
+/// missing fields, or protocol skew in `hello`.
+pub fn decode_to_coordinator(payload: &str) -> Result<ToCoordinator, DistError> {
+    let v = json::parse(payload).map_err(|e| proto_err(&e.to_string()))?;
+    match frame_type(&v)? {
+        "hello" => {
+            check_protocol(&v)?;
+            Ok(ToCoordinator::Hello)
+        }
+        "lease" => Ok(ToCoordinator::Lease),
+        "shard-result" => Ok(ToCoordinator::ShardResult {
+            start: field_u64(&v, "start", "shard-result")?,
+            end: field_u64(&v, "end", "shard-result")?,
+            accepted: parse_accepted(&v)?,
+            counters: parse_counters(&v)?,
+        }),
+        "bye" => Ok(ToCoordinator::Bye),
+        other => Err(proto_err(&format!("unknown worker frame type `{other}`"))),
+    }
+}
+
+/// Decodes a coordinator → worker frame.
+///
+/// # Errors
+///
+/// [`DistError::Proto`] on malformed JSON, unknown frame types or
+/// grant kinds, missing fields, or protocol skew in `hello`.
+pub fn decode_to_worker(payload: &str) -> Result<ToWorker, DistError> {
+    let v = json::parse(payload).map_err(|e| proto_err(&e.to_string()))?;
+    match frame_type(&v)? {
+        "hello" => {
+            check_protocol(&v)?;
+            Ok(ToWorker::Hello(HelloConfig {
+                max_vehicles: field_u64(&v, "max_vehicles", "hello")?,
+                max_candidates: field_u64(&v, "max_candidates", "hello")?,
+                require_connected: field_bool(&v, "require_connected", "hello")?,
+            }))
+        }
+        "lease-grant" => {
+            let grant = v
+                .get("grant")
+                .and_then(Value::as_str)
+                .ok_or_else(|| proto_err("`lease-grant` frame lacks a string `grant`"))?;
+            match grant {
+                "shard" => Ok(ToWorker::Grant {
+                    start: field_u64(&v, "start", "lease-grant")?,
+                    end: field_u64(&v, "end", "lease-grant")?,
+                    lease_ms: field_u64(&v, "lease_ms", "lease-grant")?,
+                }),
+                "retry" => Ok(ToWorker::Retry {
+                    retry_ms: field_u64(&v, "retry_ms", "lease-grant")?,
+                }),
+                "done" => Ok(ToWorker::Done),
+                other => Err(proto_err(&format!("unknown grant kind `{other}`"))),
+            }
+        }
+        "shard-done" => Ok(ToWorker::ShardDone {
+            start: field_u64(&v, "start", "shard-done")?,
+            end: field_u64(&v, "end", "shard-done")?,
+        }),
+        "error" => Ok(ToWorker::Error {
+            message: v
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified")
+                .to_owned(),
+        }),
+        other => Err(proto_err(&format!(
+            "unknown coordinator frame type `{other}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> CheckpointCounters {
+        CheckpointCounters {
+            multiplicity_vectors: 3,
+            subsets_total: 24,
+            orbits_skipped: 10,
+            candidates: 14,
+            candidates_built: 13,
+            disconnected_skipped: 1,
+            certificate_hits: 5,
+            exact_iso_fallbacks: 2,
+            truncated: false,
+            vectors_completed: 3,
+            failures: 0,
+            retries: 1,
+        }
+    }
+
+    #[test]
+    fn worker_frames_round_trip() {
+        let frames = [
+            ToCoordinator::Hello,
+            ToCoordinator::Lease,
+            ToCoordinator::ShardResult {
+                start: 4,
+                end: 9,
+                accepted: vec![(4, 0), (5, 3), (8, 17)],
+                counters: counters(),
+            },
+            ToCoordinator::Bye,
+        ];
+        for frame in frames {
+            let payload = encode_to_coordinator(&frame);
+            assert_eq!(decode_to_coordinator(&payload).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn coordinator_frames_round_trip() {
+        let frames = [
+            ToWorker::Hello(HelloConfig {
+                max_vehicles: 4,
+                max_candidates: 100_000,
+                require_connected: true,
+            }),
+            ToWorker::Grant {
+                start: 0,
+                end: 7,
+                lease_ms: 2000,
+            },
+            ToWorker::Retry { retry_ms: 250 },
+            ToWorker::Done,
+            ToWorker::ShardDone { start: 0, end: 7 },
+            ToWorker::Error {
+                message: "protocol skew".to_owned(),
+            },
+        ];
+        for frame in frames {
+            let payload = encode_to_worker(&frame);
+            assert_eq!(decode_to_worker(&payload).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn golden_encodings_are_stable() {
+        // The store-and-forward layer relies on byte-deterministic
+        // encoding; pin the exact bytes of representative frames.
+        assert_eq!(
+            encode_to_coordinator(&ToCoordinator::Hello),
+            r#"{"type":"hello","protocol":"fsa-dist/v1"}"#
+        );
+        assert_eq!(
+            encode_to_worker(&ToWorker::Grant {
+                start: 2,
+                end: 5,
+                lease_ms: 100
+            }),
+            r#"{"type":"lease-grant","grant":"shard","start":2,"end":5,"lease_ms":100}"#
+        );
+        let result = encode_to_coordinator(&ToCoordinator::ShardResult {
+            start: 1,
+            end: 2,
+            accepted: vec![(1, 3)],
+            counters: counters(),
+        });
+        assert!(result.starts_with(r#"{"type":"shard-result","start":1,"end":2,"accepted":[[1,3]],"counters":{"multiplicity_vectors":3,"#));
+        assert!(result.contains(r#""truncated":false"#));
+        assert!(result.ends_with(r#""retries":1}}"#));
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        for payload in [
+            "not json",
+            r#"{"no_type":1}"#,
+            r#"{"type":"warp"}"#,
+            r#"{"type":"hello"}"#,
+            r#"{"type":"hello","protocol":"fsa-dist/v2"}"#,
+            r#"{"type":"shard-result","start":1}"#,
+            r#"{"type":"shard-result","start":1,"end":2,"accepted":[[1]],"counters":{}}"#,
+            r#"{"type":"shard-result","start":1,"end":2,"accepted":[[1,-3]],"counters":{}}"#,
+        ] {
+            assert!(
+                matches!(decode_to_coordinator(payload), Err(DistError::Proto(_))),
+                "accepted: {payload}"
+            );
+        }
+        for payload in [
+            r#"{"type":"hello","protocol":"fsa-dist/v1"}"#, // missing config
+            r#"{"type":"lease-grant"}"#,
+            r#"{"type":"lease-grant","grant":"maybe"}"#,
+            r#"{"type":"lease-grant","grant":"shard","start":0}"#,
+            r#"{"type":"shard-done","start":0}"#,
+        ] {
+            assert!(
+                matches!(decode_to_worker(payload), Err(DistError::Proto(_))),
+                "accepted: {payload}"
+            );
+        }
+    }
+}

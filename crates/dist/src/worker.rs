@@ -1,0 +1,288 @@
+//! The worker: lease → explore → report, with durable checkpoints.
+//!
+//! A worker connects to a coordinator, handshakes, and then loops
+//! requesting shard leases. Each leased shard runs through the
+//! supervised explore engine restricted to the shard's
+//! [`ShardRange`], with its own [`ExploreCheckpoint`] file under the
+//! worker's state directory — so a `SIGKILL`ed worker (or its
+//! replacement picking up the re-issued lease) resumes the shard
+//! from the last checkpoint instead of from scratch. Checkpoint
+//! files are pid-suffixed (`shard-<start>-<end>.<pid>.fsas`):
+//! [`fsa_exec::Snapshot::write_atomic`] stages through a fixed
+//! `<path>.tmp`, so two workers sharing one file name could race on
+//! the staging file; distinct names keep every writer exclusive
+//! while resume still finds a predecessor's newest file by prefix.
+//!
+//! The exploration deadline is set to ¾ of the lease: the engine
+//! parks at a batch boundary before the lease expires, the worker
+//! renews (the coordinator re-grants the same shard to the holder),
+//! and the run resumes from its own checkpoint. Only a worker that
+//! stops renewing — dead, wedged, partitioned — loses its lease.
+//!
+//! [`ExploreCheckpoint`]: fsa_core::checkpoint::ExploreCheckpoint
+
+use crate::error::DistError;
+use crate::proto::{
+    decode_to_worker, encode_to_coordinator, HelloConfig, ToCoordinator, ToWorker, MAX_FRAME,
+};
+use fsa_core::checkpoint::CheckpointCounters;
+use fsa_core::explore::{
+    enumerate_instances_supervised, CheckpointSpec, ExecOptions, ExploreOptions, ShardRange,
+};
+use fsa_core::FsaError;
+use fsa_exec::{CancelToken, Supervisor};
+use fsa_obs::Obs;
+use fsa_serve::wire::{self, WireError};
+use std::fs;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Configuration of one worker process (or thread).
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Directory for the worker's shard checkpoint files.
+    pub state_dir: PathBuf,
+    /// Worker threads for candidate building inside a shard.
+    pub threads: usize,
+    /// Observability handle (workers run with it disabled by default;
+    /// the coordinator owns the run's `dist.*` counters).
+    pub obs: Obs,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            state_dir: PathBuf::from("."),
+            threads: 1,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// One protocol round-trip, with connection loss folded into a
+/// dedicated outcome: a coordinator that goes away between frames is
+/// not an error for the worker — its checkpoints are durable and the
+/// driver (or operator) decides what the overall run did.
+enum Step {
+    Frame(ToWorker),
+    Gone,
+}
+
+fn roundtrip(
+    reader: &mut TcpStream,
+    writer: &mut TcpStream,
+    frame: &ToCoordinator,
+) -> Result<Step, DistError> {
+    match wire::write_frame(writer, &encode_to_coordinator(frame)) {
+        Ok(()) => {}
+        Err(WireError::Io(_) | WireError::Truncated) => return Ok(Step::Gone),
+        Err(e) => return Err(e.into()),
+    }
+    match wire::read_frame(reader, MAX_FRAME) {
+        Ok(Some(payload)) => Ok(Step::Frame(decode_to_worker(&payload)?)),
+        Ok(None) => Ok(Step::Gone),
+        Err(WireError::Io(_) | WireError::Truncated) => Ok(Step::Gone),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// The worker's own checkpoint file for a shard.
+fn own_checkpoint(state_dir: &Path, shard: ShardRange) -> PathBuf {
+    state_dir.join(format!(
+        "shard-{}-{}.{}.fsas",
+        shard.start,
+        shard.end,
+        std::process::id()
+    ))
+}
+
+/// The newest checkpoint file any worker left for this shard, by
+/// modification time.
+fn newest_checkpoint(state_dir: &Path, shard: ShardRange) -> Option<PathBuf> {
+    let prefix = format!("shard-{}-{}.", shard.start, shard.end);
+    let mut best: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in fs::read_dir(state_dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with(&prefix) || !name.ends_with(".fsas") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let Ok(mtime) = meta.modified() else { continue };
+        if best.as_ref().is_none_or(|(t, _)| mtime >= *t) {
+            best = Some((mtime, entry.path()));
+        }
+    }
+    best.map(|(_, path)| path)
+}
+
+/// A fully explored shard: the accepted `(ordinal, mask)` log plus
+/// the engine counters to ship in the `shard-result` frame.
+type ShardOutcome = (Vec<(u64, u64)>, CheckpointCounters);
+
+/// Runs one leased shard to completion or to the lease-renewal
+/// deadline. Returns `None` when the run parked at the deadline (the
+/// caller renews the lease and calls again) and `Some(result)` when
+/// the shard is fully explored.
+fn run_shard(
+    cfg: &HelloConfig,
+    worker: &WorkerConfig,
+    shard: ShardRange,
+    lease_ms: u64,
+) -> Result<Option<ShardOutcome>, DistError> {
+    let (models, rules) = vanet::exploration::scenario_universe(cfg.max_vehicles as usize);
+    let max_candidates = usize::try_from(cfg.max_candidates).unwrap_or(usize::MAX);
+    let options = ExploreOptions {
+        require_connected: cfg.require_connected,
+        max_candidates,
+        threads: worker.threads.max(1),
+        shard: Some(shard),
+        ..ExploreOptions::default()
+    };
+    let own = own_checkpoint(&worker.state_dir, shard);
+    let mut resume = newest_checkpoint(&worker.state_dir, shard);
+    loop {
+        let deadline = Duration::from_millis((lease_ms.saturating_mul(3) / 4).max(50));
+        let exec = ExecOptions {
+            supervisor: Supervisor::new().with_cancel(CancelToken::with_deadline(deadline)),
+            batch: 32,
+            checkpoint: Some(CheckpointSpec {
+                path: own.clone(),
+                every: 8,
+            }),
+            resume: resume.clone(),
+        };
+        match enumerate_instances_supervised(&models, &rules, &options, &exec) {
+            Ok(expl) if expl.stats.cancelled => return Ok(None),
+            Ok(expl) => {
+                let counters = CheckpointCounters {
+                    multiplicity_vectors: expl.stats.multiplicity_vectors,
+                    subsets_total: expl.stats.subsets_total,
+                    orbits_skipped: expl.stats.orbits_skipped,
+                    candidates: expl.stats.candidates,
+                    candidates_built: expl.stats.candidates_built,
+                    disconnected_skipped: expl.stats.disconnected_skipped,
+                    certificate_hits: expl.stats.certificate_hits,
+                    exact_iso_fallbacks: expl.stats.exact_iso_fallbacks,
+                    truncated: expl.stats.truncated,
+                    vectors_completed: expl.stats.vectors_completed,
+                    failures: expl.stats.failures,
+                    retries: expl.stats.retries,
+                };
+                return Ok(Some((expl.accepted, counters)));
+            }
+            // A stale or foreign checkpoint (e.g. written under a
+            // different configuration) fails closed; drop it and run
+            // the shard from scratch once.
+            Err(FsaError::CorruptCheckpoint { .. }) if resume.is_some() => {
+                if let Some(path) = resume.take() {
+                    let _ = fs::remove_file(path);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Connects to a coordinator and works shards until the coordinator
+/// reports the universe done (or goes away).
+///
+/// # Errors
+///
+/// [`DistError::Io`] when the coordinator cannot be reached at all,
+/// [`DistError::Proto`] on protocol violations,
+/// [`DistError::Worker`] when the coordinator rejects this worker,
+/// and [`DistError::Fsa`] when a shard fails analytically (e.g. the
+/// per-worker candidate budget).
+pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<(), DistError> {
+    fs::create_dir_all(&config.state_dir)
+        .map_err(|e| DistError::Io(format!("state dir {}: {e}", config.state_dir.display())))?;
+    let stream =
+        TcpStream::connect(addr).map_err(|e| DistError::Io(format!("connect {addr}: {e}")))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = stream
+        .try_clone()
+        .map_err(|e| DistError::Io(e.to_string()))?;
+    let mut writer = stream;
+    let cfg = match roundtrip(&mut reader, &mut writer, &ToCoordinator::Hello)? {
+        Step::Frame(ToWorker::Hello(cfg)) => cfg,
+        Step::Frame(ToWorker::Error { message }) => return Err(DistError::Worker(message)),
+        Step::Frame(other) => {
+            return Err(DistError::Proto(format!(
+                "expected `hello` reply, got {other:?}"
+            )))
+        }
+        Step::Gone => {
+            return Err(DistError::Io(format!(
+                "coordinator at {addr} closed during the handshake"
+            )))
+        }
+    };
+    loop {
+        let grant = match roundtrip(&mut reader, &mut writer, &ToCoordinator::Lease)? {
+            Step::Frame(frame) => frame,
+            Step::Gone => return Ok(()),
+        };
+        match grant {
+            ToWorker::Grant {
+                start,
+                end,
+                lease_ms,
+            } => {
+                let shard = ShardRange { start, end };
+                let span = config.obs.span("dist.shard");
+                let outcome = run_shard(&cfg, config, shard, lease_ms)?;
+                span.finish();
+                let Some((accepted, counters)) = outcome else {
+                    // Parked at the lease deadline: renew (the
+                    // coordinator re-grants the holder's shard) and
+                    // resume from our checkpoint.
+                    continue;
+                };
+                let ack = roundtrip(
+                    &mut reader,
+                    &mut writer,
+                    &ToCoordinator::ShardResult {
+                        start,
+                        end,
+                        accepted,
+                        counters,
+                    },
+                )?;
+                match ack {
+                    Step::Frame(ToWorker::ShardDone { .. }) => {
+                        config.obs.counter_add("dist.worker_shards", 1);
+                        // Acknowledged and durable coordinator-side:
+                        // our checkpoint for the range is garbage now.
+                        let _ = fs::remove_file(own_checkpoint(&config.state_dir, shard));
+                    }
+                    Step::Frame(ToWorker::Error { message }) => {
+                        return Err(DistError::Worker(message))
+                    }
+                    Step::Frame(other) => {
+                        return Err(DistError::Proto(format!(
+                            "expected `shard-done`, got {other:?}"
+                        )))
+                    }
+                    // The result may or may not have landed; the
+                    // checkpoint stays so a successor can resume.
+                    Step::Gone => return Ok(()),
+                }
+            }
+            ToWorker::Retry { retry_ms } => {
+                std::thread::sleep(Duration::from_millis(retry_ms.clamp(1, 2000)));
+            }
+            ToWorker::Done => {
+                let _ = wire::write_frame(&mut writer, &encode_to_coordinator(&ToCoordinator::Bye));
+                return Ok(());
+            }
+            ToWorker::Error { message } => return Err(DistError::Worker(message)),
+            other => {
+                return Err(DistError::Proto(format!(
+                    "expected a lease grant, got {other:?}"
+                )))
+            }
+        }
+    }
+}

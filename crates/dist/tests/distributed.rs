@@ -1,0 +1,209 @@
+//! End-to-end distributed exploration over real TCP on loopback:
+//! bit-identity against the single-process engine, lease expiry and
+//! re-issue, and coordinator restart from the store-and-forward
+//! state file.
+
+use fsa_core::explore::{ExecOptions, Exploration, ExploreOptions};
+use fsa_dist::coord::{CoordConfig, Coordinator};
+use fsa_dist::error::DistError;
+use fsa_dist::local::{explore_distributed, LocalConfig, WorkerMode};
+use fsa_dist::proto::{
+    decode_to_worker, encode_to_coordinator, ToCoordinator, ToWorker, MAX_FRAME,
+};
+use fsa_dist::state::CoordState;
+use fsa_dist::worker::{run_worker, WorkerConfig};
+use fsa_obs::Obs;
+use fsa_serve::wire;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn golden(max_vehicles: usize) -> Exploration {
+    vanet::exploration::explore_scenario_supervised(
+        max_vehicles,
+        &ExploreOptions::default(),
+        &ExecOptions::default(),
+    )
+    .unwrap()
+}
+
+fn assert_same_universe(a: &Exploration, b: &Exploration) {
+    assert_eq!(a.instances.len(), b.instances.len());
+    for (x, y) in a.instances.iter().zip(&b.instances) {
+        assert_eq!(x.name(), y.name());
+        assert_eq!(x.graph(), y.graph());
+    }
+    assert_eq!(a.accepted, b.accepted);
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsa-dist-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn three_vehicle_distributed_is_bit_identical() {
+    let obs = Obs::enabled();
+    let config = LocalConfig {
+        max_vehicles: 3,
+        workers: 3,
+        shards: Some(5),
+        obs: obs.clone(),
+        ..LocalConfig::default()
+    };
+    let dist = explore_distributed(&config, &WorkerMode::Threads).unwrap();
+    let single = golden(3);
+    assert_same_universe(&single, &dist);
+    assert_eq!(dist.stats.candidates, single.stats.candidates);
+    // The cross-shard identity: Σ shard hits + merge duplicates.
+    assert_eq!(dist.stats.certificate_hits, single.stats.certificate_hits);
+    assert_eq!(dist.stats.classes, single.stats.classes);
+    let snapshot = obs.snapshot();
+    assert_eq!(snapshot.counter("dist.shards_completed"), Some(5));
+    assert!(snapshot.counter("dist.leases_granted").unwrap_or(0) >= 5);
+    assert!(snapshot.counter("dist.merge_micros").is_some());
+    // The rendered CLI report is byte-identical by construction.
+    let a = fsa_serve::cli::render_exploration(&single, 3, false, false, 1);
+    let b = fsa_serve::cli::render_exploration(&dist, 3, false, false, 1);
+    assert_eq!(a.stdout, b.stdout);
+}
+
+#[test]
+fn expired_lease_is_reissued_and_the_result_still_matches() {
+    let obs = Obs::enabled();
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordConfig {
+            max_vehicles: 2,
+            shards: 3,
+            lease_ms: 100,
+            obs: obs.clone(),
+            ..CoordConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = coordinator.addr().unwrap().to_string();
+    let coord = std::thread::spawn(move || coordinator.run());
+
+    // A "dead" worker: takes a lease, then goes silent without
+    // disconnecting — exactly what a SIGSTOPped or wedged process
+    // looks like. Its lease must expire and be re-issued.
+    let dead_addr = addr.clone();
+    std::thread::spawn(move || {
+        let stream = TcpStream::connect(&dead_addr).unwrap();
+        let mut reader = stream.try_clone().unwrap();
+        let mut writer = stream;
+        wire::write_frame(&mut writer, &encode_to_coordinator(&ToCoordinator::Hello)).unwrap();
+        let hello = wire::read_frame(&mut reader, MAX_FRAME).unwrap().unwrap();
+        assert!(matches!(
+            decode_to_worker(&hello).unwrap(),
+            ToWorker::Hello(_)
+        ));
+        wire::write_frame(&mut writer, &encode_to_coordinator(&ToCoordinator::Lease)).unwrap();
+        let grant = wire::read_frame(&mut reader, MAX_FRAME).unwrap().unwrap();
+        assert!(matches!(
+            decode_to_worker(&grant).unwrap(),
+            ToWorker::Grant { .. }
+        ));
+        // Hold the lease (and the socket) far past its deadline.
+        std::thread::sleep(Duration::from_secs(30));
+    });
+
+    // Give the dead worker a head start so it owns a lease first.
+    std::thread::sleep(Duration::from_millis(150));
+    let dir = temp_dir("expiry");
+    let worker = WorkerConfig {
+        state_dir: dir.clone(),
+        ..WorkerConfig::default()
+    };
+    run_worker(&addr, &worker).unwrap();
+    let dist = coord.join().unwrap().unwrap();
+    assert_same_universe(&golden(2), &dist);
+    let snapshot = obs.snapshot();
+    assert!(snapshot.counter("dist.leases_expired").unwrap_or(0) >= 1);
+    assert!(snapshot.counter("dist.leases_reissued").unwrap_or(0) >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn coordinator_resumes_from_its_state_file() {
+    let dir = temp_dir("resume");
+    let state_path = dir.join("coordinator.fsas");
+    let obs = Obs::enabled();
+    let config = LocalConfig {
+        max_vehicles: 2,
+        workers: 1,
+        shards: Some(4),
+        state_dir: Some(dir.clone()),
+        ..LocalConfig::default()
+    };
+    let first = explore_distributed(&config, &WorkerMode::Threads).unwrap();
+    let single = golden(2);
+    assert_same_universe(&single, &first);
+
+    // The state file recorded every shard result before the workers
+    // were allowed to drop their checkpoints.
+    let state = CoordState::load(&state_path).unwrap();
+    assert_eq!(state.completed(), 4);
+
+    // Simulate a coordinator killed before the last shard completed:
+    // forget one shard, restart. Only the forgotten range is
+    // re-explored, and the merged result is unchanged.
+    let mut partial = state.clone();
+    partial.shards[2].done = None;
+    partial.save(&state_path).unwrap();
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordConfig {
+            max_vehicles: 2,
+            shards: 4,
+            state_path: Some(state_path.clone()),
+            obs: obs.clone(),
+            ..CoordConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = coordinator.addr().unwrap().to_string();
+    let coord = std::thread::spawn(move || coordinator.run());
+    let worker = WorkerConfig {
+        state_dir: dir.clone(),
+        ..WorkerConfig::default()
+    };
+    run_worker(&addr, &worker).unwrap();
+    let resumed = coord.join().unwrap().unwrap();
+    assert_same_universe(&single, &resumed);
+    assert!(resumed.stats.resumed);
+    let snapshot = obs.snapshot();
+    assert_eq!(snapshot.counter("dist.shards_resumed"), Some(3));
+    assert_eq!(snapshot.counter("dist.shards_completed"), Some(1));
+
+    // A state file from a different configuration fails closed.
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordConfig {
+            max_vehicles: 3,
+            shards: 4,
+            state_path: Some(state_path),
+            ..CoordConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(matches!(coordinator.run(), Err(DistError::State(_))));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_workers_abort_the_run() {
+    // A candidate budget of 1 kills every worker on its first shard;
+    // the driver must abort instead of waiting forever.
+    let config = LocalConfig {
+        max_vehicles: 2,
+        workers: 1,
+        max_candidates: 1,
+        ..LocalConfig::default()
+    };
+    let err = explore_distributed(&config, &WorkerMode::Threads).unwrap_err();
+    assert!(matches!(err, DistError::Worker(_)), "{err}");
+}

@@ -29,6 +29,9 @@ pub(crate) const GLOBAL_USAGE: &str = "usage:
   fsa check <spec-file>
   fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
               [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
+  fsa explore --distributed [--workers N] [--shards N] [--lease-ms N] [--state-dir D] [--max-vehicles N] ...
+  fsa coordinate --listen HOST:PORT [--max-vehicles N] [--shards N] [--lease-ms N] [--state F]
+  fsa work --connect ADDR [--state-dir D] [--threads N]
   fsa simulate [--scenario two|chain|attacked] [--seed N] [--max-steps N] [--inject <fault>]
   fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N] [--inject <fault>] [--seed N] [--stats]
               [--deadline-ms N] [--retries N]
@@ -43,6 +46,8 @@ Every subcommand additionally accepts observability exports:
 pub(crate) const EXPLORE_USAGE: &str = "usage:
   fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
               [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
+  fsa explore --distributed [--workers N] [--shards N] [--lease-ms N] [--state-dir D]
+              [--max-vehicles N] [--threads N] [--budget N] [--all] [--stats]
 
 Enumerate the structurally different SoS instances of the vehicular
 scenario (§4.2) and union their elicited requirements (§4.4).
@@ -60,6 +65,16 @@ output stays bit-identical to the plain engine when nothing is cut):
   --checkpoint F         write crash-safe (atomic) checkpoints to F
   --checkpoint-every N   candidates built between checkpoints (default 256)
   --resume F             continue a previous run from checkpoint F
+Distributed execution (coordinator + local worker processes; the class
+output is byte-identical to the single-process engine):
+  --distributed          shard the universe across worker processes
+  --workers N            local worker processes to spawn (default 2)
+  --shards N             shard count (default: 4 x workers)
+  --lease-ms N           shard lease before a dead worker's shard is
+                         re-issued (default 2000)
+  --state-dir D          directory for the coordinator state file and
+                         per-worker shard checkpoints (default: a
+                         temporary directory, removed on success)
 Observability (never changes the printed report):
   --stats-json F         write span/counter/histogram statistics (fsa-obs/v1) to F
   --trace-json F         write a chrome://tracing view of the run to F";
@@ -213,14 +228,15 @@ fn usage() -> Rendered {
 /// `--flag=value` and `--flag value`, and rejects duplicate occurrences
 /// of the same flag (`--threads 2 --threads 4` is a usage error, not a
 /// silent last-one-wins).
-pub(crate) struct Flags<'a> {
+pub struct Flags<'a> {
     iter: std::slice::Iter<'a, String>,
     usage: &'static str,
     seen: std::collections::BTreeSet<String>,
     repeatable: &'static [&'static str],
 }
 
-pub(crate) enum Flag {
+/// One parsed argument from a [`Flags`] cursor.
+pub enum Flag {
     /// A parsed `--name` with an optional inline `=value`.
     Named(String, Option<String>),
     /// A positional argument (only `check`/`elicit` accept these, as
@@ -229,13 +245,15 @@ pub(crate) enum Flag {
 }
 
 impl<'a> Flags<'a> {
-    pub(crate) fn new(rest: &'a [String], usage: &'static str) -> Self {
+    /// A cursor over `rest` that renders parse errors against `usage`.
+    #[must_use]
+    pub fn new(rest: &'a [String], usage: &'static str) -> Self {
         Flags::new_repeatable(rest, usage, &[])
     }
 
     /// A cursor that exempts the named flags from duplicate rejection
     /// (`fsa serve --connect` accepts `--request` many times).
-    pub(crate) fn new_repeatable(
+    pub fn new_repeatable(
         rest: &'a [String],
         usage: &'static str,
         repeatable: &'static [&'static str],
@@ -250,7 +268,7 @@ impl<'a> Flags<'a> {
 
     /// The next argument; `Err` is the rendered duplicate-flag usage
     /// error.
-    pub(crate) fn next_flag(&mut self) -> Option<Result<Flag, Rendered>> {
+    pub fn next_flag(&mut self) -> Option<Result<Flag, Rendered>> {
         let a = self.iter.next()?;
         Some(match a.strip_prefix("--") {
             Some(flag) => {
@@ -277,7 +295,7 @@ impl<'a> Flags<'a> {
     /// forgot the value, not that the value is `--resume` (an explicit
     /// inline `--flag=--weird` still passes through verbatim).
     /// Missing values render `--NAME expects a value` + usage, exit 2.
-    pub(crate) fn value(&mut self, name: &str, inline: Option<String>) -> Result<String, Rendered> {
+    pub fn value(&mut self, name: &str, inline: Option<String>) -> Result<String, Rendered> {
         if let Some(v) = inline {
             return Ok(v);
         }
@@ -291,11 +309,7 @@ impl<'a> Flags<'a> {
     }
 
     /// Parses a positive integer value for `name`.
-    pub(crate) fn positive(
-        &mut self,
-        name: &str,
-        inline: Option<String>,
-    ) -> Result<usize, Rendered> {
+    pub fn positive(&mut self, name: &str, inline: Option<String>) -> Result<usize, Rendered> {
         match self.value(name, inline)?.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
             _ => Err(self.fail(&format!("--{name} expects a positive integer"))),
@@ -303,7 +317,7 @@ impl<'a> Flags<'a> {
     }
 
     /// Parses a `u64` value for `name` (seeds may be zero).
-    pub(crate) fn seed(&mut self, name: &str, inline: Option<String>) -> Result<u64, Rendered> {
+    pub fn seed(&mut self, name: &str, inline: Option<String>) -> Result<u64, Rendered> {
         match self.value(name, inline)?.parse::<u64>() {
             Ok(n) => Ok(n),
             Err(_) => Err(self.fail(&format!("--{name} expects an unsigned integer"))),
@@ -313,7 +327,7 @@ impl<'a> Flags<'a> {
     /// Parses a `u32` value for `name`. Out-of-range input (e.g.
     /// `--retries 4294967296`) is rejected with a usage error rather
     /// than silently clamped to `u32::MAX`.
-    pub(crate) fn small(&mut self, name: &str, inline: Option<String>) -> Result<u32, Rendered> {
+    pub fn small(&mut self, name: &str, inline: Option<String>) -> Result<u32, Rendered> {
         match self.value(name, inline)?.parse::<u32>() {
             Ok(n) => Ok(n),
             Err(_) => Err(self.fail(&format!("--{name} expects an integer in 0..=4294967295"))),
@@ -321,16 +335,20 @@ impl<'a> Flags<'a> {
     }
 
     /// Parses a fault spec for `--inject`.
-    pub(crate) fn fault(&mut self, inline: Option<String>) -> Result<apa::Fault, Rendered> {
+    pub fn fault(&mut self, inline: Option<String>) -> Result<apa::Fault, Rendered> {
         let raw = self.value("inject", inline)?;
         apa::Fault::parse(&raw).map_err(|e| self.fail(&format!("--inject: {e}")))
     }
 
-    pub(crate) fn unknown(&self, what: &str) -> Rendered {
+    /// The rendered `unknown flag` usage error for `--what`.
+    #[must_use]
+    pub fn unknown(&self, what: &str) -> Rendered {
         self.fail(&format!("unknown flag --{what}"))
     }
 
-    pub(crate) fn positional(&self, what: &str) -> Rendered {
+    /// The rendered `unexpected argument` usage error for `what`.
+    #[must_use]
+    pub fn positional(&self, what: &str) -> Rendered {
         self.fail(&format!("unexpected argument `{what}`"))
     }
 
@@ -369,20 +387,25 @@ fn build_supervisor(
 /// branch per probe, no allocation, no locking — and the printed output
 /// is byte-identical to builds that predate the observability layer.
 #[derive(Default)]
-pub(crate) struct ObsOutputs {
-    pub(crate) stats_json: Option<String>,
-    pub(crate) trace_json: Option<String>,
+pub struct ObsOutputs {
+    /// `--stats-json F`: write fsa-obs/v1 statistics to F.
+    pub stats_json: Option<String>,
+    /// `--trace-json F`: write a chrome://tracing view to F.
+    pub trace_json: Option<String>,
 }
 
 impl ObsOutputs {
-    fn requested(&self) -> bool {
+    /// `true` when at least one export path was requested.
+    #[must_use]
+    pub fn requested(&self) -> bool {
         self.stats_json.is_some() || self.trace_json.is_some()
     }
 
     /// The recording handle for this run: the host's (server registry)
     /// when it is enabled, else an enabled handle iff an export was
     /// requested.
-    fn obs(&self, ctx: &ServiceCtx) -> fsa_obs::Obs {
+    #[must_use]
+    pub fn obs(&self, ctx: &ServiceCtx) -> fsa_obs::Obs {
         if ctx.obs.is_enabled() {
             ctx.obs.clone()
         } else if self.requested() {
@@ -394,7 +417,7 @@ impl ObsOutputs {
 
     /// Collects the requested exports from a snapshot of `obs` as
     /// rendered artefacts (the host materialises them; see [`emit`]).
-    fn collect(&self, obs: &fsa_obs::Obs, r: &mut Rendered) {
+    pub fn collect(&self, obs: &fsa_obs::Obs, r: &mut Rendered) {
         if !self.requested() {
             return;
         }
@@ -444,6 +467,12 @@ pub fn dispatch(args: &[String]) -> Rendered {
         }
         "check" | "elicit" => run_spec(command, rest, None, &ctx),
         "serve" if wants_help(rest) => help(SERVE_USAGE),
+        // The one-shot binary intercepts these before dispatch (they are
+        // live, long-running commands); reaching here means the context
+        // has no distributed runtime (e.g. a resident server session).
+        "coordinate" | "work" => Rendered::failure(&format!(
+            "`{command}` is only available from the one-shot `fsa` binary"
+        )),
         other => Rendered::usage_error(&format!("unknown command `{other}`"), GLOBAL_USAGE),
     }
 }
@@ -871,13 +900,123 @@ pub fn run_elicit_scenario(
     r
 }
 
+/// One `fsa explore --distributed` invocation, handed to the engine
+/// registered with [`register_distributed_engine`].
+pub struct DistributedRequest {
+    /// Universe bound (`--max-vehicles`).
+    pub max_vehicles: usize,
+    /// Local worker processes to spawn (`--workers`).
+    pub workers: usize,
+    /// Shard count (`--shards`; `None` selects the engine default).
+    pub shards: Option<usize>,
+    /// Shard lease duration in milliseconds (`--lease-ms`).
+    pub lease_ms: u64,
+    /// Directory for coordinator state and worker shard checkpoints
+    /// (`--state-dir`; `None` selects a temporary directory).
+    pub state_dir: Option<String>,
+    /// Worker threads per worker process (`--threads`).
+    pub threads: usize,
+    /// Candidate budget (`--budget`; `None` selects the engine
+    /// default).
+    pub budget: Option<usize>,
+    /// Drop disconnected compositions (absence of `--all`).
+    pub require_connected: bool,
+    /// The recording handle: the engine adds its `dist.*` counters and
+    /// mirrors the merged explore counters here.
+    pub obs: fsa_obs::Obs,
+}
+
+/// The engine behind `fsa explore --distributed`: spawns a local
+/// coordinator plus worker processes and returns the merged
+/// exploration, or a display-ready error.
+pub type DistributedEngine =
+    fn(&DistributedRequest) -> Result<fsa_core::explore::Exploration, String>;
+
+static DISTRIBUTED: std::sync::OnceLock<DistributedEngine> = std::sync::OnceLock::new();
+
+/// Registers the distributed-exploration engine. The `fsa` binary
+/// registers `fsa_dist`'s local driver at startup; contexts without one
+/// (e.g. resident server sessions) leave it unset and `--distributed`
+/// fails with a typed message. The first registration wins; later calls
+/// are ignored.
+pub fn register_distributed_engine(engine: DistributedEngine) {
+    let _ = DISTRIBUTED.set(engine);
+}
+
+/// Renders a completed exploration exactly as the single-process
+/// `fsa explore` does: universe header, instance lines, the threaded
+/// requirement union, and (optionally) the stats block. The distributed
+/// coordinator funnels its merged result through this same function, so
+/// distributed output is byte-identical to single-process output by
+/// construction.
+#[must_use]
+pub fn render_exploration(
+    exploration: &fsa_core::explore::Exploration,
+    max_vehicles: usize,
+    all: bool,
+    stats: bool,
+    threads: usize,
+) -> Rendered {
+    use fsa_core::explore::union_requirements_loop_free_threaded;
+    let mut r = Rendered::success();
+    write_universe_header(&mut r, exploration, max_vehicles, all);
+    match union_requirements_loop_free_threaded(&exploration.instances, threads) {
+        Ok((union, skipped)) => {
+            let _ = writeln!(
+                r.stdout,
+                "union over the universe: {} requirement(s) ({skipped} cyclic composition(s) \
+                 skipped)",
+                union.len()
+            );
+            for req in union.iter() {
+                let _ = writeln!(r.stdout, "  {req}");
+            }
+        }
+        Err(e) => return Rendered::failure(&format!("union elicitation failed: {e}")),
+    }
+    if stats {
+        let _ = write!(r.stdout, "{}", exploration.stats);
+    }
+    r
+}
+
+/// The shared `universe with ...` header plus one line per instance.
+fn write_universe_header(
+    r: &mut Rendered,
+    exploration: &fsa_core::explore::Exploration,
+    max_vehicles: usize,
+    all: bool,
+) {
+    let _ = writeln!(
+        r.stdout,
+        "universe with 1 RSU and up to {max_vehicles} vehicle(s): {} structurally \
+         different {}instance(s){}",
+        exploration.instances.len(),
+        if all { "" } else { "connected " },
+        if exploration.stats.truncated {
+            " (truncated at budget)"
+        } else {
+            ""
+        }
+    );
+    for inst in &exploration.instances {
+        let _ = writeln!(
+            r.stdout,
+            "  {:32} {} action(s), {} flow(s)",
+            inst.name(),
+            inst.action_count(),
+            inst.graph().edge_count()
+        );
+    }
+}
+
 /// `fsa explore` — enumerate the vehicular instance space (§4.2) and
 /// union the elicited requirements (§4.4) with the streaming
 /// certificate engine.
 pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
     use fsa_core::explore::{
-        union_requirements_loop_free_supervised, union_requirements_loop_free_threaded,
-        BudgetPolicy, CheckpointSpec, ExecOptions, ExploreOptions,
+        union_requirements_loop_free_supervised, BudgetPolicy, CheckpointSpec, ExecOptions,
+        ExploreOptions,
     };
 
     if wants_help(rest) {
@@ -894,6 +1033,11 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
     let mut checkpoint: Option<String> = None;
     let mut checkpoint_every = 256usize;
     let mut resume: Option<String> = None;
+    let mut distributed = false;
+    let mut workers: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut lease_ms: Option<u64> = None;
+    let mut state_dir: Option<String> = None;
     let mut outputs = ObsOutputs::default();
 
     let mut flags = Flags::new(rest, EXPLORE_USAGE);
@@ -942,6 +1086,23 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
                 Ok(p) => resume = Some(p),
                 Err(r) => return r,
             },
+            "distributed" => distributed = true,
+            "workers" => match flags.positive("workers", inline) {
+                Ok(n) => workers = Some(n),
+                Err(r) => return r,
+            },
+            "shards" => match flags.positive("shards", inline) {
+                Ok(n) => shards = Some(n),
+                Err(r) => return r,
+            },
+            "lease-ms" => match flags.positive("lease-ms", inline) {
+                Ok(n) => lease_ms = Some(n as u64),
+                Err(r) => return r,
+            },
+            "state-dir" => match flags.value("state-dir", inline) {
+                Ok(p) => state_dir = Some(p),
+                Err(r) => return r,
+            },
             "stats-json" => match flags.value("stats-json", inline) {
                 Ok(p) => outputs.stats_json = Some(p),
                 Err(r) => return r,
@@ -954,7 +1115,52 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
         }
     }
 
+    if !distributed
+        && (workers.is_some() || shards.is_some() || lease_ms.is_some() || state_dir.is_some())
+    {
+        return Rendered::usage_error(
+            "--workers/--shards/--lease-ms/--state-dir require --distributed",
+            EXPLORE_USAGE,
+        );
+    }
     let obs = outputs.obs(ctx);
+    if distributed {
+        if truncate
+            || deadline_ms.is_some()
+            || retries.is_some()
+            || checkpoint.is_some()
+            || resume.is_some()
+        {
+            return Rendered::usage_error(
+                "--distributed cannot be combined with --truncate, --deadline-ms, --retries, \
+                 --checkpoint, or --resume (workers checkpoint their own shards)",
+                EXPLORE_USAGE,
+            );
+        }
+        let Some(engine) = DISTRIBUTED.get() else {
+            return Rendered::failure(
+                "distributed exploration is only available from the one-shot `fsa` binary",
+            );
+        };
+        let request = DistributedRequest {
+            max_vehicles,
+            workers: workers.unwrap_or(2),
+            shards,
+            lease_ms: lease_ms.unwrap_or(2000),
+            state_dir,
+            threads,
+            budget,
+            require_connected: !all,
+            obs: obs.clone(),
+        };
+        let exploration = match engine(&request) {
+            Ok(e) => e,
+            Err(e) => return Rendered::failure(&format!("distributed exploration failed: {e}")),
+        };
+        let mut r = render_exploration(&exploration, max_vehicles, all, stats, threads);
+        outputs.collect(&obs, &mut r);
+        return r;
+    }
     let options = ExploreOptions {
         require_connected: !all,
         max_candidates: budget.unwrap_or(ExploreOptions::default().max_candidates),
@@ -965,6 +1171,7 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
         },
         threads,
         obs: obs.clone(),
+        ..ExploreOptions::default()
     };
     let supervised = deadline_ms.is_some()
         || retries.is_some()
@@ -972,48 +1179,33 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
         || resume.is_some()
         || ctx.cancel.is_some();
     let supervisor = build_supervisor(deadline_ms, retries, ctx).with_obs(obs.clone());
-    let exploration = if supervised {
-        let exec = ExecOptions {
-            supervisor: supervisor.clone(),
-            checkpoint: checkpoint.map(|p| CheckpointSpec {
-                path: p.into(),
-                every: checkpoint_every,
-            }),
-            resume: resume.map(Into::into),
-            ..ExecOptions::default()
+    if !supervised {
+        let exploration = match vanet::exploration::explore_scenario(max_vehicles, &options) {
+            Ok(e) => e,
+            Err(e) => return Rendered::failure(&format!("exploration failed: {e}")),
         };
-        vanet::exploration::explore_scenario_supervised(max_vehicles, &options, &exec)
-    } else {
-        vanet::exploration::explore_scenario(max_vehicles, &options)
-    };
-    let exploration = match exploration {
-        Ok(e) => e,
-        Err(e) => return Rendered::failure(&format!("exploration failed: {e}")),
-    };
-    let mut r = Rendered::success();
-    let _ = writeln!(
-        r.stdout,
-        "universe with 1 RSU and up to {max_vehicles} vehicle(s): {} structurally \
-         different {}instance(s){}",
-        exploration.instances.len(),
-        if all { "" } else { "connected " },
-        if exploration.stats.truncated {
-            " (truncated at budget)"
-        } else {
-            ""
-        }
-    );
-    for inst in &exploration.instances {
-        let _ = writeln!(
-            r.stdout,
-            "  {:32} {} action(s), {} flow(s)",
-            inst.name(),
-            inst.action_count(),
-            inst.graph().edge_count()
-        );
+        let mut r = render_exploration(&exploration, max_vehicles, all, stats, threads);
+        outputs.collect(&obs, &mut r);
+        return r;
     }
+    let exec = ExecOptions {
+        supervisor: supervisor.clone(),
+        checkpoint: checkpoint.map(|p| CheckpointSpec {
+            path: p.into(),
+            every: checkpoint_every,
+        }),
+        resume: resume.map(Into::into),
+        ..ExecOptions::default()
+    };
+    let exploration =
+        match vanet::exploration::explore_scenario_supervised(max_vehicles, &options, &exec) {
+            Ok(e) => e,
+            Err(e) => return Rendered::failure(&format!("exploration failed: {e}")),
+        };
+    let mut r = Rendered::success();
+    write_universe_header(&mut r, &exploration, max_vehicles, all);
     let mut partial = exploration.stats.cancelled;
-    if supervised && exploration.stats.vectors_total > 0 {
+    if exploration.stats.vectors_total > 0 {
         if exploration.stats.vectors_completed < exploration.stats.vectors_total {
             let _ = writeln!(
                 r.stdout,
@@ -1031,48 +1223,30 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
             partial = true;
         }
     }
-    if supervised {
-        match union_requirements_loop_free_supervised(&exploration.instances, threads, &supervisor)
-        {
-            Ok(union) => {
+    match union_requirements_loop_free_supervised(&exploration.instances, threads, &supervisor) {
+        Ok(union) => {
+            let _ = writeln!(
+                r.stdout,
+                "union over the universe: {} requirement(s) ({} cyclic composition(s) \
+                 skipped)",
+                union.requirements.len(),
+                union.loop_skipped
+            );
+            for req in union.requirements.iter() {
+                let _ = writeln!(r.stdout, "  {req}");
+            }
+            if !union.is_complete() {
                 let _ = writeln!(
                     r.stdout,
-                    "union over the universe: {} requirement(s) ({} cyclic composition(s) \
-                     skipped)",
-                    union.requirements.len(),
-                    union.loop_skipped
+                    "partial union: elicited {}/{} instance(s){}",
+                    union.elicited,
+                    union.total,
+                    if union.cancelled { " (cancelled)" } else { "" }
                 );
-                for req in union.requirements.iter() {
-                    let _ = writeln!(r.stdout, "  {req}");
-                }
-                if !union.is_complete() {
-                    let _ = writeln!(
-                        r.stdout,
-                        "partial union: elicited {}/{} instance(s){}",
-                        union.elicited,
-                        union.total,
-                        if union.cancelled { " (cancelled)" } else { "" }
-                    );
-                    partial = true;
-                }
+                partial = true;
             }
-            Err(e) => return Rendered::failure(&format!("union elicitation failed: {e}")),
         }
-    } else {
-        match union_requirements_loop_free_threaded(&exploration.instances, threads) {
-            Ok((union, skipped)) => {
-                let _ = writeln!(
-                    r.stdout,
-                    "union over the universe: {} requirement(s) ({skipped} cyclic composition(s) \
-                     skipped)",
-                    union.len()
-                );
-                for req in union.iter() {
-                    let _ = writeln!(r.stdout, "  {req}");
-                }
-            }
-            Err(e) => return Rendered::failure(&format!("union elicitation failed: {e}")),
-        }
+        Err(e) => return Rendered::failure(&format!("union elicitation failed: {e}")),
     }
     if stats {
         let _ = write!(r.stdout, "{}", exploration.stats);

@@ -74,9 +74,11 @@ impl ScenarioModel {
             "six" => Some(vanet::apa_model::n_pair_model(3)),
             _ => None,
         }
-        .map(|model| Editable {
-            model,
-            elicitor: IncrementalElicitor::new(MEMO_CAPACITY).method(DependenceMethod::Precedence),
+        .map(|model| {
+            let elicitor = IncrementalElicitor::new(MEMO_CAPACITY)
+                .expect("MEMO_CAPACITY is non-zero")
+                .method(DependenceMethod::Precedence);
+            Editable { model, elicitor }
         });
         Ok(ScenarioModel {
             name: name.to_owned(),

@@ -43,12 +43,21 @@ struct ResponseCache {
 }
 
 impl ResponseCache {
-    fn new(cap: usize) -> ResponseCache {
-        ResponseCache {
+    /// A cache of at most `cap` entries. Capacity 0 is rejected (it
+    /// used to be silently clamped to 1): a zero-entry cache is a
+    /// misconfiguration, not a request to evict on every insert.
+    fn new(cap: usize) -> Result<ResponseCache, ServiceError> {
+        if cap == 0 {
+            return Err(ServiceError::new(
+                codes::OPEN_FAILED,
+                "response cache capacity must be at least 1",
+            ));
+        }
+        Ok(ResponseCache {
             map: BTreeMap::new(),
             order: VecDeque::new(),
-            cap: cap.max(1),
-        }
+            cap,
+        })
     }
 
     fn get(&self, key: &(String, Vec<String>)) -> Option<&Rendered> {
@@ -105,8 +114,8 @@ impl SessionHandle {
     ///
     /// # Errors
     ///
-    /// [`codes::OPEN_FAILED`] when the spec does not parse or the
-    /// scenario is unknown.
+    /// [`codes::OPEN_FAILED`] when the spec does not parse, the
+    /// scenario is unknown, or `cache_cap` is 0.
     pub fn open(
         id: u64,
         spec: Option<&SpecPayload>,
@@ -133,11 +142,14 @@ impl SessionHandle {
             obs.counter_add("serve.model.loads", 1);
         }
         services.push(Box::<ExploreService>::default());
+        // Build the cache before spawning: a bad capacity must fail the
+        // open with a typed error, not kill the worker thread.
+        let cache = ResponseCache::new(cache_cap)?;
         let (tx, rx) = sync_channel(queue.max(1));
         let worker_obs = obs.clone();
         let worker = std::thread::Builder::new()
             .name(format!("fsa-session-{id}"))
-            .spawn(move || worker_loop(id, services, rx, cache_cap, &sink, &worker_obs))
+            .spawn(move || worker_loop(id, services, rx, cache, &sink, &worker_obs))
             .map_err(|e| {
                 ServiceError::new(codes::OPEN_FAILED, format!("cannot spawn worker: {e}"))
             })?;
@@ -214,11 +226,10 @@ fn worker_loop(
     session: u64,
     mut services: Vec<Box<dyn Service>>,
     rx: Receiver<Job>,
-    cache_cap: usize,
+    mut cache: ResponseCache,
     sink: &FrameSink,
     obs: &Obs,
 ) {
-    let mut cache = ResponseCache::new(cache_cap);
     while let Ok(job) = rx.recv() {
         obs.counter_add("serve.requests", 1);
         let started = Instant::now();
@@ -393,9 +404,25 @@ mod tests {
     }
 
     #[test]
+    fn cache_capacity_zero_is_rejected_at_open() {
+        // Regression: cap 0 used to be silently clamped to 1. It now
+        // fails the open with a typed error — before the worker thread
+        // is spawned.
+        let err = ResponseCache::new(0).err().expect("cap 0 must be rejected");
+        assert_eq!(err.code, codes::OPEN_FAILED);
+        assert!(err.message.contains("at least 1"), "{}", err.message);
+        let (sink, _) = collecting_sink();
+        let err = SessionHandle::open(7, None, None, 8, 0, sink, Obs::disabled())
+            .err()
+            .expect("open with cache cap 0 must fail");
+        assert_eq!(err.code, codes::OPEN_FAILED);
+        assert!(err.message.contains("cache"), "{}", err.message);
+    }
+
+    #[test]
     fn the_response_cache_is_bounded_with_fifo_eviction() {
         let obs = Obs::enabled();
-        let mut cache = ResponseCache::new(2);
+        let mut cache = ResponseCache::new(2).unwrap();
         let key = |n: usize| (format!("cmd{n}"), Vec::new());
         for n in 0..4 {
             cache.insert(key(n), Rendered::success(), &obs);

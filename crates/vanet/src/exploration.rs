@@ -19,7 +19,8 @@ use fsa_core::{FsaError, SosInstance};
 /// The scenario's connection rules: one RSU and `V` vehicles (reduced
 /// model, i.e. without `fwd` — the §5 setting), connected by
 /// `send → rec` message flows.
-fn scenario_universe(
+#[must_use]
+pub fn scenario_universe(
     max_vehicles: usize,
 ) -> (
     Vec<(fsa_core::component_model::ComponentModel, usize)>,

@@ -9,6 +9,8 @@
 //! fsa monitor [--scenario chain|six] [--streams N] [--events N] [--threads N]
 //!             [--inject <fault>] [--seed N] [--stats] [--deadline-ms N] [--retries N]
 //! fsa serve [--addr HOST:PORT] | fsa serve --connect ADDR [--request "CMD ARGS"]...
+//! fsa coordinate --listen HOST:PORT [--max-vehicles N] [--shards N] [--lease-ms N] [--state F]
+//! fsa work --connect HOST:PORT [--state-dir D] [--threads N]
 //! ```
 //!
 //! The command implementations live in [`fsa::serve::cli`] as buffered
@@ -25,5 +27,16 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    ExitCode::from(fsa::serve::cli::main(&args))
+    // Make `fsa explore --distributed` able to spawn this binary's
+    // own `fsa work` workers.
+    fsa::dist::cli::register();
+    // The distributed commands are long-running networked processes;
+    // intercept them before the request/response dispatcher.
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "coordinate" => {
+            ExitCode::from(fsa::dist::cli::coordinate_command(rest))
+        }
+        Some((cmd, rest)) if cmd == "work" => ExitCode::from(fsa::dist::cli::work_command(rest)),
+        _ => ExitCode::from(fsa::serve::cli::main(&args)),
+    }
 }

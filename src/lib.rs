@@ -15,6 +15,8 @@
 //! * [`obs`] — zero-dependency observability (spans, counters, exports)
 //! * [`serve`] — the resident multi-session analysis service (and the
 //!   shared CLI command runners)
+//! * [`dist`] — distributed exploration: coordinator/worker sharding
+//!   with store-and-forward checkpoints
 //! * [`vanet`] — the vehicular-communication example system
 //!
 //! # Quickstart
@@ -38,6 +40,7 @@ pub use apa;
 pub use automata;
 pub use baselines;
 pub use fsa_core as core;
+pub use fsa_dist as dist;
 pub use fsa_exec as exec;
 pub use fsa_graph as graph;
 pub use fsa_obs as obs;

@@ -189,7 +189,7 @@ proptest! {
         let mut next = lcg(seed);
         let obs = Obs::disabled();
         let mut model = random_model(n, &mut next);
-        let mut engine = IncrementalElicitor::new(64).method(DependenceMethod::Precedence);
+        let mut engine = IncrementalElicitor::new(64).unwrap().method(DependenceMethod::Precedence);
         let mut fresh = 0usize;
 
         // Warm the memo on the base model (when it has behaviour).
@@ -263,7 +263,7 @@ proptest! {
         if from_scratch(&model, 1).is_none() {
             return; // degenerate model with no behaviour: nothing to compare
         }
-        let mut engine = IncrementalElicitor::new(64).method(DependenceMethod::Precedence);
+        let mut engine = IncrementalElicitor::new(64).unwrap().method(DependenceMethod::Precedence);
         let first = engine.elicit(&model, &obs).expect("first run");
         let noop = ModelDelta::SetInitial {
             name: model.components()[0].name.clone(),

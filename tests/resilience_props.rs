@@ -286,6 +286,14 @@ fn resume_under_changed_flags_fails_closed_per_fingerprint_field() {
             },
         ),
         ("universe size", 3, ExploreOptions::default()),
+        (
+            "shard range",
+            2,
+            ExploreOptions {
+                shard: Some(fsa::core::explore::ShardRange { start: 0, end: 1 }),
+                ..ExploreOptions::default()
+            },
+        ),
     ];
     for (what, n, options) in changed {
         let err = explore_scenario_supervised(n, &options, &resume_exec()).unwrap_err();
@@ -310,5 +318,56 @@ fn resume_under_changed_flags_fails_closed_per_fingerprint_field() {
         assert!(resumed.stats.resumed);
         assert_eq!(fingerprint(&resumed), golden_fp, "threads {threads}");
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cross_shard_resume_fails_closed() {
+    use fsa::core::explore::ShardRange;
+    use fsa::core::FsaError;
+
+    let dir = std::env::temp_dir().join(format!("fsa-resume-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("shard-0-3.fsas");
+    let shard = ShardRange { start: 0, end: 3 };
+    let sharded = |shard| ExploreOptions {
+        shard,
+        ..ExploreOptions::default()
+    };
+
+    // A completed sharded run leaves a boundary checkpoint for its
+    // own shard.
+    let exec = ExecOptions {
+        checkpoint: Some(CheckpointSpec {
+            path: path.clone(),
+            every: 1,
+        }),
+        ..ExecOptions::default()
+    };
+    let own = explore_scenario_supervised(3, &sharded(Some(shard)), &exec).unwrap();
+
+    // Resuming the checkpoint under a different shard — or none — is
+    // a config-fingerprint mismatch: another worker must never adopt
+    // a foreign shard's frontier.
+    let resume_exec = || ExecOptions {
+        resume: Some(path.clone()),
+        ..ExecOptions::default()
+    };
+    for other in [None, Some(ShardRange { start: 3, end: 7 })] {
+        let err = explore_scenario_supervised(3, &sharded(other), &resume_exec()).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                FsaError::CorruptCheckpoint { reason }
+                    if reason.contains("different model/rule/option configuration")
+            ),
+            "shard {other:?}: expected a fingerprint rejection, got {err}"
+        );
+    }
+
+    // The matching shard resumes as an idempotent no-op.
+    let resumed = explore_scenario_supervised(3, &sharded(Some(shard)), &resume_exec()).unwrap();
+    assert!(resumed.stats.resumed);
+    assert_eq!(fingerprint(&resumed), fingerprint(&own));
     let _ = std::fs::remove_dir_all(&dir);
 }
