@@ -13,10 +13,17 @@
 //! * `lease_protocol_tax` — the per-lease frame cost in isolation:
 //!   encode/decode of one `lease` round-trip and one `shard-result`
 //!   carrying a realistic accepted log.
+//! * `retry_backoff` — lease contention under oversubscription: 16
+//!   workers fighting over 4 shards, with the old fixed `retry_ms`
+//!   sleep versus the seeded decorrelated jitter. Fixed wakes the
+//!   whole losing fleet in lockstep half a second later; jitter
+//!   re-probes within tens of milliseconds and desynchronises, so
+//!   freed shards are picked up almost immediately.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fsa_core::checkpoint::CheckpointCounters;
 use fsa_core::explore::{ExecOptions, ExploreOptions};
+use fsa_dist::backoff::BackoffKind;
 use fsa_dist::local::{explore_distributed, LocalConfig, WorkerMode};
 use fsa_dist::proto::{
     decode_to_coordinator, decode_to_worker, encode_to_coordinator, encode_to_worker,
@@ -98,5 +105,35 @@ fn bench_lease_tax(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_distributed, bench_lease_tax);
+fn bench_retry_backoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retry_backoff");
+    group.sample_size(10);
+    // 16 workers over 4 shards: at any moment 12 workers hold no
+    // lease and are pacing themselves on `retry` frames, so the retry
+    // policy dominates how fast freed shards change hands.
+    for kind in [BackoffKind::Fixed, BackoffKind::Decorrelated] {
+        let name = match kind {
+            BackoffKind::Fixed => "fixed_retry_ms",
+            BackoffKind::Decorrelated => "decorrelated_jitter",
+        };
+        group.bench_function(name, |b| {
+            let config = LocalConfig {
+                max_vehicles: 2,
+                workers: 16,
+                shards: Some(4),
+                backoff: kind,
+                ..LocalConfig::default()
+            };
+            b.iter(|| black_box(explore_distributed(&config, &WorkerMode::Threads).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distributed,
+    bench_lease_tax,
+    bench_retry_backoff
+);
 criterion_main!(benches);

@@ -176,6 +176,12 @@ pub mod codes {
     /// support incremental edits (no scenario, or a scenario without an
     /// editable component model).
     pub const NOT_EDITABLE: &str = "not-editable";
+    /// The session sat idle past the server's idle limit and was
+    /// reaped; re-`open` to continue.
+    pub const SESSION_EXPIRED: &str = "session-expired";
+    /// The peer started a frame and then stalled past the per-frame
+    /// deadline (slow-loris); the connection is closed after this.
+    pub const SLOW_PEER: &str = "slow-peer";
 }
 
 /// A session-scoped analysis engine: answers [`Query`]s against state

@@ -29,8 +29,11 @@ to the single-process `fsa explore`. The first stdout line is
   --lease-ms N         shard lease before a silent worker's shard is
                        re-issued (default 2000)
   --state F            store-and-forward state file: completed shards
-                       are persisted to F (atomic, checksummed) and a
-                       compatible existing F is resumed from
+                       are persisted to F (atomic, checksummed,
+                       fsynced before each shard is acknowledged) and
+                       a compatible existing F is resumed from
+  --max-conns N        accept-side connection cap (default 256);
+                       excess workers are told to retry and closed
   --budget N           global candidate budget across all shards
   --all                keep disconnected compositions too
   --stats              print merged engine statistics
@@ -40,14 +43,23 @@ to the single-process `fsa explore`. The first stdout line is
 
 const WORK_USAGE: &str = "usage:
   fsa work --connect HOST:PORT [--state-dir D] [--threads N]
+           [--seed N] [--reconnect N]
 
 Connect to an `fsa coordinate` process and work shard leases until the
 universe is done. Each shard checkpoints to its own file under the
 state directory, so a killed worker's successor resumes the shard
-instead of restarting it.
+instead of restarting it. A lost coordinator connection is retried
+with jittered backoff and a fresh handshake (the lease is re-acquired
+and the shard resumes from its checkpoint), so a coordinator restart
+costs a pause, not the run.
   --connect HOST:PORT  coordinator address
   --state-dir D        directory for shard checkpoint files (default .)
-  --threads N          worker threads for candidate building (default 1)";
+  --threads N          worker threads for candidate building (default 1)
+  --seed N             backoff jitter seed (default: derived from the
+                       process id; give fleet members distinct seeds)
+  --reconnect N        consecutive failed connection attempts before
+                       the worker gives up (default 8); any successful
+                       handshake refills the budget";
 
 fn wants_help(args: &[String]) -> bool {
     args.iter()
@@ -78,6 +90,7 @@ fn process_engine(req: &fsa_serve::cli::DistributedRequest) -> Result<Exploratio
         require_connected: req.require_connected,
         threads: req.threads,
         obs: req.obs.clone(),
+        ..LocalConfig::default()
     };
     explore_distributed(&config, &WorkerMode::Processes { exe }).map_err(|e| e.to_string())
 }
@@ -100,6 +113,7 @@ pub fn coordinate_command(args: &[String]) -> u8 {
     let mut shards = 8usize;
     let mut lease_ms = 2000u64;
     let mut state: Option<String> = None;
+    let mut max_conns = 256usize;
     let mut budget: Option<usize> = None;
     let mut all = false;
     let mut stats = false;
@@ -135,6 +149,10 @@ pub fn coordinate_command(args: &[String]) -> u8 {
                 Ok(v) => state = Some(v),
                 Err(r) => return emit(&r),
             },
+            "max-conns" => match flags.positive("max-conns", inline) {
+                Ok(n) => max_conns = n,
+                Err(r) => return emit(&r),
+            },
             "budget" => match flags.positive("budget", inline) {
                 Ok(n) => budget = Some(n),
                 Err(r) => return emit(&r),
@@ -166,6 +184,7 @@ pub fn coordinate_command(args: &[String]) -> u8 {
         max_candidates: budget.unwrap_or(ExploreOptions::default().max_candidates),
         require_connected: !all,
         state_path: state.map(PathBuf::from),
+        max_conns,
         obs: obs.clone(),
     };
     let coordinator = match Coordinator::bind(&listen, config) {
@@ -203,6 +222,10 @@ pub fn work_command(args: &[String]) -> u8 {
     let mut connect: Option<String> = None;
     let mut state_dir = String::from(".");
     let mut threads = 1usize;
+    // Distinct default jitter seeds per process keep an un-configured
+    // fleet from re-synchronising its backoff sleeps.
+    let mut seed = u64::from(std::process::id());
+    let mut reconnect = 8usize;
     let mut flags = Flags::new(args, WORK_USAGE);
     while let Some(flag) = flags.next_flag() {
         let flag = match flag {
@@ -226,6 +249,14 @@ pub fn work_command(args: &[String]) -> u8 {
                 Ok(n) => threads = n,
                 Err(r) => return emit(&r),
             },
+            "seed" => match flags.seed("seed", inline) {
+                Ok(n) => seed = n,
+                Err(r) => return emit(&r),
+            },
+            "reconnect" => match flags.positive("reconnect", inline) {
+                Ok(n) => reconnect = n,
+                Err(r) => return emit(&r),
+            },
             other => return emit(&flags.unknown(other)),
         }
     }
@@ -235,7 +266,9 @@ pub fn work_command(args: &[String]) -> u8 {
     let config = WorkerConfig {
         state_dir: PathBuf::from(state_dir),
         threads,
-        obs: fsa_obs::Obs::disabled(),
+        seed,
+        reconnect,
+        ..WorkerConfig::default()
     };
     match run_worker(&connect, &config) {
         Ok(()) => 0,

@@ -34,7 +34,7 @@ use fsa_serve::wire;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -56,6 +56,11 @@ pub struct CoordConfig {
     /// shards are persisted there and an existing compatible file is
     /// resumed from.
     pub state_path: Option<PathBuf>,
+    /// Accept-side connection cap: a worker connecting beyond it is
+    /// answered with a `retry` frame and closed instead of getting a
+    /// handler thread, so a reconnect stampede degrades into paced
+    /// retries rather than unbounded threads.
+    pub max_conns: usize,
     /// Observability handle for the `dist.*` counters and spans.
     pub obs: Obs,
 }
@@ -70,6 +75,7 @@ impl Default for CoordConfig {
             max_candidates: explore.max_candidates,
             require_connected: explore.require_connected,
             state_path: None,
+            max_conns: 256,
             obs: Obs::disabled(),
         }
     }
@@ -199,6 +205,10 @@ impl Shared {
         inner.remaining -= 1;
         // Store-and-forward: the result must be durable before the
         // acknowledgement that lets the worker delete its checkpoint.
+        // `save` goes through `Snapshot::write_atomic`, which fsyncs
+        // the temp file *and* its directory before this call returns,
+        // so the `shard-done` ack below is never observable while the
+        // state that justifies it sits only in the page cache.
         if let Some(path) = &self.state_path {
             inner.state.save(path)?;
         }
@@ -226,14 +236,32 @@ impl Shared {
     }
 }
 
+/// Answers an over-cap connection with a `retry` frame — under a
+/// write timeout and deadline, so a peer that connects and then never
+/// reads cannot block the accept loop — and closes it.
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    let frame = encode_to_worker(&ToWorker::Retry { retry_ms: 100 });
+    let _ = wire::write_frame_deadline(&mut stream, &frame, Some(Duration::from_millis(200)));
+}
+
 fn handle_conn(stream: TcpStream, conn: u64, shared: &Shared) -> Result<(), DistError> {
     stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+    // The write timeout plus the per-frame write deadline below bound
+    // how long a worker that stops draining its socket can pin this
+    // handler thread (its lease simply expires and is re-issued).
+    stream.set_write_timeout(Some(Duration::from_millis(25)))?;
     stream.set_nodelay(true).ok();
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
     let stop = || shared.shutdown.load(Ordering::Relaxed);
     let mut reply = |frame: &ToWorker| -> Result<(), DistError> {
-        wire::write_frame(&mut writer, &encode_to_worker(frame)).map_err(DistError::from)
+        wire::write_frame_deadline(
+            &mut writer,
+            &encode_to_worker(frame),
+            Some(Duration::from_millis(2_000)),
+        )
+        .map_err(DistError::from)
     };
     let Some(first) = wire::read_frame_with_stop(&mut reader, MAX_FRAME, &stop)? else {
         return Ok(());
@@ -265,12 +293,10 @@ fn handle_conn(stream: TcpStream, conn: u64, shared: &Shared) -> Result<(), Dist
                 }
             }
             ToCoordinator::Bye => return Ok(()),
-            ToCoordinator::Hello => {
-                reply(&ToWorker::Error {
-                    message: "duplicate hello".to_owned(),
-                })?;
-                return Err(DistError::Proto("duplicate hello".to_owned()));
-            }
+            // Idempotent re-handshake (mirrors the serve layer): a
+            // transport that replays or duplicates frames must not be
+            // able to turn a healthy session into a protocol error.
+            ToCoordinator::Hello => reply(&ToWorker::Hello(shared.hello))?,
         }
     }
     Ok(())
@@ -321,6 +347,7 @@ impl Coordinator {
             max_candidates,
             require_connected,
             state_path,
+            max_conns,
             obs,
         } = self.config;
         let (models, rules) = vanet::exploration::scenario_universe(max_vehicles);
@@ -378,18 +405,30 @@ impl Coordinator {
         self.listener.set_nonblocking(true)?;
         let mut handles = Vec::new();
         let mut conn_id = 0u64;
+        let active = Arc::new(AtomicUsize::new(0));
         while shared.remaining() > 0 {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    if active.load(Ordering::Relaxed) >= max_conns.max(1) {
+                        // Over the cap: a paced `retry` instead of a
+                        // handler thread. The worker treats it like
+                        // lease contention and comes back jittered.
+                        obs.counter_add("dist.conn_rejected", 1);
+                        reject_busy(stream);
+                        continue;
+                    }
                     conn_id += 1;
                     let conn = conn_id;
                     let shared = Arc::clone(&shared);
+                    active.fetch_add(1, Ordering::Relaxed);
+                    let conn_active = Arc::clone(&active);
                     handles.push(std::thread::spawn(move || {
                         let outcome = handle_conn(stream, conn, &shared);
                         shared.release_conn(conn);
                         if outcome.is_err() {
                             shared.obs.counter_add("dist.conn_errors", 1);
                         }
+                        conn_active.fetch_sub(1, Ordering::Relaxed);
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -400,8 +439,15 @@ impl Coordinator {
             }
         }
         // Drain: connected workers get `done` grants on their next
-        // lease request; the stop flag bounds how long a silent
-        // connection can hold its handler.
+        // lease request and say `bye`; give them one lease interval
+        // of grace so they exit on a clean frame instead of a cut
+        // connection (which would send them into reconnect purgatory
+        // against a closed listener). The stop flag then bounds how
+        // long a genuinely silent connection can hold its handler.
+        let grace = Instant::now() + Duration::from_millis(shared.lease_ms + 500);
+        while active.load(Ordering::Relaxed) > 0 && Instant::now() < grace {
+            std::thread::sleep(Duration::from_millis(5));
+        }
         shared.shutdown.store(true, Ordering::Relaxed);
         for handle in handles {
             let _ = handle.join();

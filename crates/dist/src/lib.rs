@@ -33,6 +33,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cli;
 pub mod coord;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod proto;
 pub mod state;
 pub mod worker;
 
+pub use backoff::{Backoff, BackoffKind};
 pub use coord::{CoordConfig, Coordinator};
 pub use error::DistError;
 pub use local::{explore_distributed, LocalConfig, WorkerMode};

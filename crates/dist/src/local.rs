@@ -6,6 +6,7 @@
 //! merged exploration. The result is bit-identical to the
 //! single-process engine; only the execution is distributed.
 
+use crate::backoff::BackoffKind;
 use crate::coord::{CoordConfig, Coordinator};
 use crate::error::DistError;
 use crate::worker::{run_worker, WorkerConfig};
@@ -50,6 +51,12 @@ pub struct LocalConfig {
     pub require_connected: bool,
     /// Threads per worker.
     pub threads: usize,
+    /// Base seed for the workers' jittered backoff; each worker gets
+    /// a distinct stream derived from it and its index.
+    pub seed: u64,
+    /// Backoff policy handed to every worker
+    /// ([`BackoffKind::Fixed`] exists for the before/after bench).
+    pub backoff: BackoffKind,
     /// Observability handle (owned by the coordinator side).
     pub obs: Obs,
 }
@@ -66,9 +73,18 @@ impl Default for LocalConfig {
             max_candidates: explore.max_candidates,
             require_connected: explore.require_connected,
             threads: 1,
+            seed: 0x5EED_0F5A,
+            backoff: BackoffKind::Decorrelated,
             obs: Obs::disabled(),
         }
     }
+}
+
+/// The per-worker backoff seed: the run's base seed spread across
+/// worker indices through the splitmix64 increment so neighbouring
+/// workers draw unrelated jitter streams.
+fn worker_seed(base: u64, index: usize) -> u64 {
+    base ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 /// Distinguishes concurrently created ephemeral state directories
@@ -179,6 +195,7 @@ pub fn explore_distributed(
             require_connected: config.require_connected,
             state_path: Some(state_dir.join("coordinator.fsas")),
             obs: config.obs.clone(),
+            ..CoordConfig::default()
         },
     )?;
     let addr = coordinator.addr()?.to_string();
@@ -186,7 +203,7 @@ pub fn explore_distributed(
     let mut pool = match mode {
         WorkerMode::Processes { exe } => {
             let mut children = Vec::with_capacity(workers);
-            for _ in 0..workers {
+            for i in 0..workers {
                 let child = Command::new(exe)
                     .args([
                         "work",
@@ -196,6 +213,8 @@ pub fn explore_distributed(
                         &state_dir.display().to_string(),
                         "--threads",
                         &config.threads.max(1).to_string(),
+                        "--seed",
+                        &worker_seed(config.seed, i).to_string(),
                     ])
                     .stdin(Stdio::null())
                     .stdout(Stdio::null())
@@ -208,12 +227,14 @@ pub fn explore_distributed(
         }
         WorkerMode::Threads => {
             let handles = (0..workers)
-                .map(|_| {
+                .map(|i| {
                     let addr = addr.clone();
                     let worker = WorkerConfig {
                         state_dir: state_dir.clone(),
                         threads: config.threads.max(1),
-                        obs: Obs::disabled(),
+                        seed: worker_seed(config.seed, i),
+                        backoff: config.backoff,
+                        ..WorkerConfig::default()
                     };
                     std::thread::spawn(move || run_worker(&addr, &worker))
                 })

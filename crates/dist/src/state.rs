@@ -57,7 +57,13 @@ impl CoordState {
     }
 
     /// Serialises the state into a checksummed snapshot and writes it
-    /// atomically (tmp + rename) to `path`.
+    /// atomically (tmp + fsync + rename + directory fsync) to `path`.
+    ///
+    /// Durability, not just atomicity, is load-bearing here: the
+    /// coordinator acknowledges a `shard-result` only after this
+    /// returns, and the worker deletes its own checkpoint on that
+    /// ack. If the ack could outrun the disk, a machine crash would
+    /// leave *neither* side holding the shard's result.
     ///
     /// # Errors
     ///

@@ -1,4 +1,5 @@
-//! The worker: lease → explore → report, with durable checkpoints.
+//! The worker: lease → explore → report, with durable checkpoints
+//! and a reconnecting transport.
 //!
 //! A worker connects to a coordinator, handshakes, and then loops
 //! requesting shard leases. Each leased shard runs through the
@@ -19,8 +20,22 @@
 //! and the run resumes from its own checkpoint. Only a worker that
 //! stops renewing — dead, wedged, partitioned — loses its lease.
 //!
+//! **Connection loss is not the end of the run.** A dropped, stalled,
+//! or corrupted coordinator connection ends the *session*, not the
+//! worker: the worker sleeps a seeded decorrelated-jitter backoff
+//! ([`crate::backoff`]), reconnects, re-handshakes, and asks for a
+//! lease again — the coordinator re-grants an interrupted shard to
+//! whoever asks (the durable checkpoint makes resumption cheap), so a
+//! restarted coordinator or a flaky link costs one backoff, not the
+//! shard. Only after [`WorkerConfig::reconnect`] consecutive failed
+//! *connection attempts* does the worker give up — cleanly when it
+//! ever worked a session (its checkpoints are safe on disk and the
+//! coordinator is simply gone, presumably finished), with an error
+//! when the coordinator was never reachable at all.
+//!
 //! [`ExploreCheckpoint`]: fsa_core::checkpoint::ExploreCheckpoint
 
+use crate::backoff::{Backoff, BackoffKind};
 use crate::error::DistError;
 use crate::proto::{
     decode_to_worker, encode_to_coordinator, HelloConfig, ToCoordinator, ToWorker, MAX_FRAME,
@@ -32,11 +47,34 @@ use fsa_core::explore::{
 use fsa_core::FsaError;
 use fsa_exec::{CancelToken, Supervisor};
 use fsa_obs::Obs;
-use fsa_serve::wire::{self, WireError};
+use fsa_serve::wire::{self, FrameEvent, ReadLimits, WireError};
 use std::fs;
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How long the worker waits for the coordinator's reply to any
+/// single request before declaring the session lost. Replies are
+/// cheap (the most expensive is a shard-result ack, which fsyncs the
+/// coordinator state file), so this is generous.
+const REPLY_DEADLINE_MS: u64 = 5_000;
+
+/// Socket-level read/write timeout; the polling granularity under
+/// the frame deadlines, not a protocol timeout of its own.
+const SOCKET_TIMEOUT_MS: u64 = 100;
+
+/// First delay of a reconnect streak.
+const RECONNECT_BASE_MS: u64 = 25;
+
+/// Ceiling of a reconnect streak.
+const RECONNECT_CAP_MS: u64 = 1_000;
+
+/// First delay of a lease-contention streak (the coordinator's
+/// `retry` hint can only raise individual draws, never the floor).
+const RETRY_BASE_MS: u64 = 10;
+
+/// Ceiling of a lease-contention streak.
+const RETRY_CAP_MS: u64 = 2_000;
 
 /// Configuration of one worker process (or thread).
 #[derive(Debug, Clone)]
@@ -45,6 +83,16 @@ pub struct WorkerConfig {
     pub state_dir: PathBuf,
     /// Worker threads for candidate building inside a shard.
     pub threads: usize,
+    /// Seed for this worker's jittered backoff streams. Give each
+    /// worker of a fleet a distinct seed or they re-synchronise.
+    pub seed: u64,
+    /// How many *consecutive* failed connection attempts end the
+    /// worker. Any session that reaches a handshake refills the
+    /// budget, so a long run tolerates any number of transient drops.
+    pub reconnect: usize,
+    /// Delay policy for the retry and reconnect sleeps
+    /// ([`BackoffKind::Fixed`] exists for the before/after bench).
+    pub backoff: BackoffKind,
     /// Observability handle (workers run with it disabled by default;
     /// the coordinator owns the run's `dist.*` counters).
     pub obs: Obs,
@@ -55,15 +103,19 @@ impl Default for WorkerConfig {
         WorkerConfig {
             state_dir: PathBuf::from("."),
             threads: 1,
+            seed: 0,
+            reconnect: 8,
+            backoff: BackoffKind::Decorrelated,
             obs: Obs::disabled(),
         }
     }
 }
 
-/// One protocol round-trip, with connection loss folded into a
-/// dedicated outcome: a coordinator that goes away between frames is
-/// not an error for the worker — its checkpoints are durable and the
-/// driver (or operator) decides what the overall run did.
+/// One protocol round-trip, with transport trouble folded into a
+/// dedicated outcome: a coordinator that goes away, stalls past the
+/// reply deadline, or ships a frame that no longer decodes is not an
+/// error for the worker — its checkpoints are durable and the
+/// reconnect loop decides what happens next.
 enum Step {
     Frame(ToWorker),
     Gone,
@@ -74,16 +126,31 @@ fn roundtrip(
     writer: &mut TcpStream,
     frame: &ToCoordinator,
 ) -> Result<Step, DistError> {
-    match wire::write_frame(writer, &encode_to_coordinator(frame)) {
+    let deadline = Duration::from_millis(REPLY_DEADLINE_MS);
+    match wire::write_frame_deadline(writer, &encode_to_coordinator(frame), Some(deadline)) {
         Ok(()) => {}
-        Err(WireError::Io(_) | WireError::Truncated) => return Ok(Step::Gone),
-        Err(e) => return Err(e.into()),
+        // Our own frame exceeding the cap is a bug, not weather.
+        Err(e @ WireError::Oversize { .. }) => return Err(e.into()),
+        Err(_) => return Ok(Step::Gone),
     }
-    match wire::read_frame(reader, MAX_FRAME) {
-        Ok(Some(payload)) => Ok(Step::Frame(decode_to_worker(&payload)?)),
-        Ok(None) => Ok(Step::Gone),
-        Err(WireError::Io(_) | WireError::Truncated) => Ok(Step::Gone),
-        Err(e) => Err(e.into()),
+    let limits = ReadLimits {
+        max_frame: MAX_FRAME,
+        frame_deadline: Some(deadline),
+        idle_deadline: Some(Instant::now() + deadline),
+    };
+    match wire::read_frame_event(reader, &limits, &|| false) {
+        Ok(FrameEvent::Frame(payload)) => match decode_to_worker(&payload) {
+            Ok(frame) => Ok(Step::Frame(frame)),
+            // A frame that does not decode means the stream is
+            // corrupt; nothing after it can be trusted either.
+            Err(_) => Ok(Step::Gone),
+        },
+        // Eof: closed between frames. Idle: reply never started.
+        Ok(FrameEvent::Eof | FrameEvent::Idle) => Ok(Step::Gone),
+        // Truncated/Stalled mid-frame, a garbled length prefix
+        // (Oversize), invalid UTF-8, socket errors: all transport
+        // damage, all survivable.
+        Err(_) => Ok(Step::Gone),
     }
 }
 
@@ -185,44 +252,66 @@ fn run_shard(
     }
 }
 
-/// Connects to a coordinator and works shards until the coordinator
-/// reports the universe done (or goes away).
-///
-/// # Errors
-///
-/// [`DistError::Io`] when the coordinator cannot be reached at all,
-/// [`DistError::Proto`] on protocol violations,
-/// [`DistError::Worker`] when the coordinator rejects this worker,
-/// and [`DistError::Fsa`] when a shard fails analytically (e.g. the
-/// per-worker candidate budget).
-pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<(), DistError> {
-    fs::create_dir_all(&config.state_dir)
-        .map_err(|e| DistError::Io(format!("state dir {}: {e}", config.state_dir.display())))?;
-    let stream =
-        TcpStream::connect(addr).map_err(|e| DistError::Io(format!("connect {addr}: {e}")))?;
+/// How one connected session ended.
+enum SessionEnd {
+    /// The coordinator reported the universe complete.
+    Done,
+    /// The connection was lost (or corrupted) *after* a successful
+    /// handshake; reconnect with a refreshed attempt budget.
+    Lost,
+    /// No session was established: connect failed, the coordinator
+    /// closed or stalled during the handshake, or it answered the
+    /// handshake with `retry` (connection cap). Counts against the
+    /// consecutive-attempt budget.
+    Unreachable,
+}
+
+/// Runs one connection's worth of work: connect, handshake, then
+/// lease → explore → report until the universe is done or the
+/// connection dies.
+fn work_session(
+    addr: &str,
+    config: &WorkerConfig,
+    contention: &mut Backoff,
+) -> Result<SessionEnd, DistError> {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return Ok(SessionEnd::Unreachable);
+    };
     stream.set_nodelay(true).ok();
+    let timeout = Some(Duration::from_millis(SOCKET_TIMEOUT_MS));
+    stream
+        .set_read_timeout(timeout)
+        .map_err(|e| DistError::Io(e.to_string()))?;
+    stream
+        .set_write_timeout(timeout)
+        .map_err(|e| DistError::Io(e.to_string()))?;
     let mut reader = stream
         .try_clone()
         .map_err(|e| DistError::Io(e.to_string()))?;
     let mut writer = stream;
     let cfg = match roundtrip(&mut reader, &mut writer, &ToCoordinator::Hello)? {
         Step::Frame(ToWorker::Hello(cfg)) => cfg,
+        // The coordinator is at its connection cap: back off like any
+        // other contention and try again (without refilling the
+        // attempt budget — a permanently saturated coordinator must
+        // not pin the worker forever).
+        Step::Frame(ToWorker::Retry { retry_ms }) => {
+            std::thread::sleep(contention.next_delay(retry_ms));
+            return Ok(SessionEnd::Unreachable);
+        }
         Step::Frame(ToWorker::Error { message }) => return Err(DistError::Worker(message)),
         Step::Frame(other) => {
             return Err(DistError::Proto(format!(
                 "expected `hello` reply, got {other:?}"
             )))
         }
-        Step::Gone => {
-            return Err(DistError::Io(format!(
-                "coordinator at {addr} closed during the handshake"
-            )))
-        }
+        Step::Gone => return Ok(SessionEnd::Unreachable),
     };
+    config.obs.counter_add("dist.worker_sessions", 1);
     loop {
         let grant = match roundtrip(&mut reader, &mut writer, &ToCoordinator::Lease)? {
             Step::Frame(frame) => frame,
-            Step::Gone => return Ok(()),
+            Step::Gone => return Ok(SessionEnd::Lost),
         };
         match grant {
             ToWorker::Grant {
@@ -230,6 +319,7 @@ pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<(), DistError> {
                 end,
                 lease_ms,
             } => {
+                contention.reset();
                 let shard = ShardRange { start, end };
                 let span = config.obs.span("dist.shard");
                 let outcome = run_shard(&cfg, config, shard, lease_ms)?;
@@ -253,36 +343,120 @@ pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<(), DistError> {
                 match ack {
                     Step::Frame(ToWorker::ShardDone { .. }) => {
                         config.obs.counter_add("dist.worker_shards", 1);
-                        // Acknowledged and durable coordinator-side:
-                        // our checkpoint for the range is garbage now.
+                        // Acknowledged — and the ack is only sent
+                        // after the coordinator fsynced the result
+                        // into its state file — so our checkpoint for
+                        // the range is garbage now.
                         let _ = fs::remove_file(own_checkpoint(&config.state_dir, shard));
                     }
                     Step::Frame(ToWorker::Error { message }) => {
                         return Err(DistError::Worker(message))
                     }
-                    Step::Frame(other) => {
-                        return Err(DistError::Proto(format!(
-                            "expected `shard-done`, got {other:?}"
-                        )))
+                    // Desynchronised pairing (a duplicated reply):
+                    // reconnect and resubmit — the checkpoint is
+                    // still on disk and the ack path is idempotent.
+                    Step::Frame(_) => {
+                        config.obs.counter_add("dist.worker_desync", 1);
+                        return Ok(SessionEnd::Lost);
                     }
                     // The result may or may not have landed; the
-                    // checkpoint stays so a successor can resume.
-                    Step::Gone => return Ok(()),
+                    // checkpoint stays so this worker (after its
+                    // reconnect) or a successor can resume cheaply.
+                    Step::Gone => return Ok(SessionEnd::Lost),
                 }
             }
             ToWorker::Retry { retry_ms } => {
-                std::thread::sleep(Duration::from_millis(retry_ms.clamp(1, 2000)));
+                std::thread::sleep(contention.next_delay(retry_ms));
             }
             ToWorker::Done => {
-                let _ = wire::write_frame(&mut writer, &encode_to_coordinator(&ToCoordinator::Bye));
-                return Ok(());
+                let _ = wire::write_frame_deadline(
+                    &mut writer,
+                    &encode_to_coordinator(&ToCoordinator::Bye),
+                    Some(Duration::from_millis(REPLY_DEADLINE_MS)),
+                );
+                return Ok(SessionEnd::Done);
             }
             ToWorker::Error { message } => return Err(DistError::Worker(message)),
-            other => {
-                return Err(DistError::Proto(format!(
-                    "expected a lease grant, got {other:?}"
-                )))
+            // A frame that decodes but does not answer our request —
+            // a duplicated or replayed reply on a damaged transport.
+            // The pairing is unrecoverable mid-stream, but a fresh
+            // session re-pairs from the handshake; the coordinator's
+            // handshake, grant and ack paths are all idempotent.
+            _ => {
+                config.obs.counter_add("dist.worker_desync", 1);
+                return Ok(SessionEnd::Lost);
             }
         }
+    }
+}
+
+/// Connects to a coordinator and works shards until the coordinator
+/// reports the universe done, reconnecting through transient drops.
+///
+/// A lost connection (including a coordinator restart — its state
+/// file preserves completed shards, and re-leasing the interrupted
+/// one is cheap thanks to the worker's checkpoint) costs a jittered
+/// backoff and a new handshake. The worker only stops on
+/// [`WorkerConfig::reconnect`] *consecutive* failed attempts: that is
+/// a clean exit when some session was worked before (the coordinator
+/// has presumably finished and gone away), and an error when the
+/// coordinator was never reachable.
+///
+/// # Errors
+///
+/// [`DistError::Io`] when the coordinator was never reachable,
+/// [`DistError::Proto`] on protocol violations,
+/// [`DistError::Worker`] when the coordinator rejects this worker,
+/// and [`DistError::Fsa`] when a shard fails analytically (e.g. the
+/// per-worker candidate budget).
+pub fn run_worker(addr: &str, config: &WorkerConfig) -> Result<(), DistError> {
+    fs::create_dir_all(&config.state_dir)
+        .map_err(|e| DistError::Io(format!("state dir {}: {e}", config.state_dir.display())))?;
+    let budget = config.reconnect.max(1);
+    let mut attempts = budget;
+    let mut connected_once = false;
+    // Independent seeded streams: reconnect pacing and lease
+    // contention are separate streaks (losing a connection should not
+    // inherit a grown lease-contention delay, and vice versa).
+    let mut reconnect = Backoff::new(
+        config.backoff,
+        RECONNECT_BASE_MS,
+        RECONNECT_CAP_MS,
+        config.seed ^ 0xA076_1D64_78BD_642F,
+    );
+    let mut contention = Backoff::new(
+        config.backoff,
+        RETRY_BASE_MS,
+        RETRY_CAP_MS,
+        config.seed ^ 0xE703_7ED1_A0B4_28DB,
+    );
+    loop {
+        match work_session(addr, config, &mut contention)? {
+            SessionEnd::Done => return Ok(()),
+            SessionEnd::Lost => {
+                connected_once = true;
+                attempts = budget;
+                reconnect.reset();
+                config.obs.counter_add("dist.worker_reconnects", 1);
+            }
+            SessionEnd::Unreachable => {}
+        }
+        attempts -= 1;
+        if attempts == 0 {
+            if connected_once {
+                // We worked at least one session and now the
+                // coordinator is gone for good — it finished (our
+                // `done` grant was lost with the connection) or an
+                // operator took it down. Every result we hold is
+                // either acked or durable in a checkpoint; this is a
+                // clean exit, mirroring the pre-reconnect contract
+                // that a vanished coordinator is not a worker error.
+                return Ok(());
+            }
+            return Err(DistError::Io(format!(
+                "coordinator at {addr} unreachable after {budget} attempts"
+            )));
+        }
+        std::thread::sleep(reconnect.next_delay(RECONNECT_BASE_MS));
     }
 }

@@ -207,3 +207,166 @@ fn exhausted_workers_abort_the_run() {
     let err = explore_distributed(&config, &WorkerMode::Threads).unwrap_err();
     assert!(matches!(err, DistError::Worker(_)), "{err}");
 }
+
+#[test]
+fn a_worker_survives_a_dropped_coordinator_connection_and_reacquires_its_lease() {
+    use fsa_dist::proto::HelloConfig;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    // A scripted coordinator: the first connection is dropped right
+    // after the worker asks for a lease (a coordinator crash from the
+    // worker's point of view); the second is served normally and told
+    // the universe is done. The pre-reconnect worker treated the drop
+    // as a clean exit and never came back.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let accepts = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&accepts);
+    let fake = std::thread::spawn(move || {
+        for conn in 0..2 {
+            let (stream, _) = listener.accept().unwrap();
+            seen.fetch_add(1, Ordering::SeqCst);
+            let mut reader = stream.try_clone().unwrap();
+            let mut writer = stream;
+            let hello = wire::read_frame(&mut reader, MAX_FRAME).unwrap().unwrap();
+            assert!(matches!(
+                fsa_dist::proto::decode_to_coordinator(&hello).unwrap(),
+                ToCoordinator::Hello
+            ));
+            wire::write_frame(
+                &mut writer,
+                &fsa_dist::proto::encode_to_worker(&ToWorker::Hello(HelloConfig {
+                    max_vehicles: 1,
+                    max_candidates: 1_000_000,
+                    require_connected: true,
+                })),
+            )
+            .unwrap();
+            let lease = wire::read_frame(&mut reader, MAX_FRAME).unwrap().unwrap();
+            assert!(matches!(
+                fsa_dist::proto::decode_to_coordinator(&lease).unwrap(),
+                ToCoordinator::Lease
+            ));
+            if conn == 0 {
+                drop(reader);
+                drop(writer); // mid-protocol cut, no reply
+                continue;
+            }
+            wire::write_frame(
+                &mut writer,
+                &fsa_dist::proto::encode_to_worker(&ToWorker::Done),
+            )
+            .unwrap();
+            // The worker says `bye` on its way out.
+            let _ = wire::read_frame(&mut reader, MAX_FRAME);
+        }
+    });
+    let dir = temp_dir("reconnect");
+    let obs = Obs::enabled();
+    let worker = WorkerConfig {
+        state_dir: dir.clone(),
+        obs: obs.clone(),
+        ..WorkerConfig::default()
+    };
+    run_worker(&addr, &worker).unwrap();
+    fake.join().unwrap();
+    assert_eq!(
+        accepts.load(std::sync::atomic::Ordering::SeqCst),
+        2,
+        "the worker must reconnect after the drop"
+    );
+    let snapshot = obs.snapshot();
+    assert_eq!(snapshot.counter("dist.worker_sessions"), Some(2));
+    assert_eq!(snapshot.counter("dist.worker_reconnects"), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_worker_that_never_reaches_a_coordinator_reports_an_error() {
+    // A port nothing listens on: every attempt is refused, the budget
+    // drains, and the failure is typed — not a hang, not a panic.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    let dir = temp_dir("unreachable");
+    let worker = WorkerConfig {
+        state_dir: dir.clone(),
+        reconnect: 3,
+        ..WorkerConfig::default()
+    };
+    let err = run_worker(&addr, &worker).unwrap_err();
+    assert!(matches!(err, DistError::Io(_)), "{err}");
+    assert!(err.to_string().contains("3 attempts"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn connections_beyond_the_coordinator_cap_are_paced_with_retry_not_threads() {
+    use fsa_dist::proto::{decode_to_worker as dec, encode_to_coordinator as enc};
+
+    let obs = Obs::enabled();
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordConfig {
+            max_vehicles: 1,
+            shards: 2,
+            max_conns: 1,
+            obs: obs.clone(),
+            ..CoordConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = coordinator.addr().unwrap().to_string();
+    let coord = std::thread::spawn(move || coordinator.run());
+
+    // Occupy the only slot with a raw handshaked connection.
+    let squatter = TcpStream::connect(&addr).unwrap();
+    let mut sq_reader = squatter.try_clone().unwrap();
+    let mut sq_writer = squatter;
+    wire::write_frame(&mut sq_writer, &enc(&ToCoordinator::Hello)).unwrap();
+    let hello = wire::read_frame(&mut sq_reader, MAX_FRAME)
+        .unwrap()
+        .unwrap();
+    assert!(matches!(dec(&hello).unwrap(), ToWorker::Hello(_)));
+
+    // A second raw connection is bounced with `retry` and closed —
+    // no handler thread, no handshake.
+    let mut bounced = TcpStream::connect(&addr).unwrap();
+    bounced
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let frame = wire::read_frame(&mut bounced, MAX_FRAME).unwrap().unwrap();
+    assert!(
+        matches!(dec(&frame).unwrap(), ToWorker::Retry { .. }),
+        "expected retry, got {frame}"
+    );
+    assert_eq!(wire::read_frame(&mut bounced, MAX_FRAME).unwrap(), None);
+    drop(bounced);
+
+    // A real worker started while the slot is taken keeps retrying
+    // (retry-at-handshake is contention, not failure) and completes
+    // the universe once the squatter leaves.
+    let dir = temp_dir("cap");
+    let w_addr = addr.clone();
+    let w_dir = dir.clone();
+    let worker = std::thread::spawn(move || {
+        run_worker(
+            &w_addr,
+            &WorkerConfig {
+                state_dir: w_dir,
+                reconnect: 50,
+                ..WorkerConfig::default()
+            },
+        )
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    drop(sq_reader);
+    drop(sq_writer);
+    worker.join().unwrap().unwrap();
+    let dist = coord.join().unwrap().unwrap();
+    assert_same_universe(&golden(1), &dist);
+    assert!(obs.snapshot().counter("dist.conn_rejected").unwrap_or(0) >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,12 +24,18 @@
 //! * [`FaultPlan`] *(feature `chaos`)* — deterministic injected worker
 //!   panics and delays, mirroring `apa::sim::Fault`'s design, so the
 //!   property tests can prove the supervisor's guarantees.
+//! * [`net`] *(feature `chaos`)* — the transport-level counterpart:
+//!   seeded network fault injection ([`net::ChaosStream`]) and a
+//!   frame-aware chaos proxy ([`net::ChaosProxy`]) for hardening the
+//!   serving and distributed wire protocols.
 
 #![forbid(unsafe_code)]
 
 pub mod cancel;
 #[cfg(feature = "chaos")]
 pub mod chaos;
+#[cfg(feature = "chaos")]
+pub mod net;
 pub mod snapshot;
 pub mod supervisor;
 

@@ -1,0 +1,718 @@
+//! Deterministic network fault injection (feature `chaos`).
+//!
+//! The transport-level sibling of [`crate::chaos::FaultPlan`]: a
+//! seeded, splitmix-derived schedule of network misbehaviour applied
+//! to an otherwise honest byte stream, so every chaos property test
+//! over the wire protocols is reproducible. Two injection points:
+//!
+//! * [`ChaosStream`] wraps any `Read + Write` transport and decides,
+//!   per I/O operation, whether to stall, trickle (1-byte writes),
+//!   short-read, cut the connection mid-stream, inject garbage bytes
+//!   into the read path, or duplicate a write. The benign subset
+//!   (stall/trickle/short-read) must *heal*: a peer hardened with
+//!   per-frame deadlines sees bit-identical traffic, only slower.
+//!   The cutting/corrupting faults must surface as *typed* errors —
+//!   never a hang, panic, or silently wrong payload.
+//! * [`ChaosProxy`] is a frame-aware TCP man-in-the-middle for
+//!   protocols built on `fsa-wire/v1` 4-byte big-endian length
+//!   prefixes: it forwards whole frames and decides per frame whether
+//!   to stall, trickle, truncate-and-cut, duplicate, corrupt a
+//!   payload byte, or drop the connection. It sits between real
+//!   peers (serve client⇄server, dist worker⇄coordinator) without
+//!   either side cooperating.
+//!
+//! Determinism caveat: decisions are a pure function of `(seed, op
+//! index)` (or `(seed, connection, direction, frame index)` for the
+//! proxy), so a run is reproducible exactly when the peer issues the
+//! same operation sequence — true for the in-memory streams used by
+//! the unit tests, and true in distribution (same fault mix) for
+//! timeout-polling TCP peers.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// splitmix64 finaliser (same derivation as [`crate::chaos`]).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-operation fault probabilities (percent) for a [`ChaosStream`].
+///
+/// Reads and writes draw from the same seeded sequence, one decision
+/// per operation. Presets: [`ChaosConfig::benign`] only slows traffic
+/// down (a hardened peer heals bit-identically), [`ChaosConfig::lossy`]
+/// adds mid-stream cuts (typed transport errors), and
+/// [`ChaosConfig::hostile`] adds garbage injection and frame
+/// duplication (typed protocol errors).
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for the decision sequence.
+    pub seed: u64,
+    /// Probability of sleeping [`ChaosConfig::stall_ms`] before an op.
+    pub stall_pct: u64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Probability a write forwards only its first byte.
+    pub trickle_pct: u64,
+    /// Probability a read returns at most one byte.
+    pub short_read_pct: u64,
+    /// Probability the connection is cut at this op (and stays cut).
+    pub cut_pct: u64,
+    /// Probability a read is replaced by 1–4 garbage bytes.
+    pub garbage_pct: u64,
+    /// Probability a write is duplicated wholesale.
+    pub dup_pct: u64,
+}
+
+impl ChaosConfig {
+    /// Slow-but-honest traffic: stalls, trickles, short reads.
+    #[must_use]
+    pub fn benign(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            stall_pct: 20,
+            stall_ms: 2,
+            trickle_pct: 30,
+            short_read_pct: 30,
+            cut_pct: 0,
+            garbage_pct: 0,
+            dup_pct: 0,
+        }
+    }
+
+    /// Benign faults plus mid-stream disconnects.
+    #[must_use]
+    pub fn lossy(seed: u64) -> Self {
+        ChaosConfig {
+            cut_pct: 3,
+            ..ChaosConfig::benign(seed)
+        }
+    }
+
+    /// Lossy faults plus garbage injection and duplicated writes.
+    #[must_use]
+    pub fn hostile(seed: u64) -> Self {
+        ChaosConfig {
+            garbage_pct: 4,
+            dup_pct: 4,
+            ..ChaosConfig::lossy(seed)
+        }
+    }
+}
+
+/// How many times each fault kind actually fired on a stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FiredCounts {
+    /// Read/write stalls.
+    pub stalls: u64,
+    /// 1-byte trickled writes.
+    pub trickles: u64,
+    /// Short (≤ 1 byte) reads.
+    pub short_reads: u64,
+    /// Mid-stream cuts (at most 1).
+    pub cuts: u64,
+    /// Garbage-byte injections.
+    pub garbage: u64,
+    /// Duplicated writes.
+    pub dups: u64,
+}
+
+/// A `Read + Write` wrapper applying a seeded fault schedule.
+#[derive(Debug)]
+pub struct ChaosStream<S> {
+    inner: S,
+    cfg: ChaosConfig,
+    ops: u64,
+    cut: bool,
+    fired: FiredCounts,
+}
+
+enum Fault {
+    None,
+    Stall,
+    Trickle,
+    ShortRead,
+    Cut,
+    Garbage,
+    Dup,
+}
+
+impl<S> ChaosStream<S> {
+    /// Wraps `inner` under `cfg`'s fault schedule.
+    pub fn new(inner: S, cfg: ChaosConfig) -> Self {
+        ChaosStream {
+            inner,
+            cfg,
+            ops: 0,
+            cut: false,
+            fired: FiredCounts::default(),
+        }
+    }
+
+    /// Which faults fired so far.
+    #[must_use]
+    pub fn fired(&self) -> FiredCounts {
+        self.fired
+    }
+
+    /// Whether a cut fault severed the stream.
+    #[must_use]
+    pub fn was_cut(&self) -> bool {
+        self.cut
+    }
+
+    /// Whether a *corrupting* fault (garbage, duplication) fired —
+    /// after which byte-identity with the fault-free run is off the
+    /// table and only "typed error" remains a valid outcome.
+    #[must_use]
+    pub fn corrupted(&self) -> bool {
+        self.fired.garbage > 0 || self.fired.dups > 0
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Draws the next fault decision. Fault categories are checked in
+    /// a fixed order against disjoint slices of the roll, so at most
+    /// one fault fires per operation.
+    fn roll(&mut self, read_side: bool) -> Fault {
+        self.ops += 1;
+        let roll = splitmix(self.cfg.seed ^ self.ops.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 100;
+        let mut lo = 0u64;
+        let mut hit = |pct: u64| {
+            let yes = pct > 0 && roll >= lo && roll < lo + pct;
+            lo += pct;
+            yes
+        };
+        if hit(self.cfg.stall_pct) {
+            return Fault::Stall;
+        }
+        if hit(self.cfg.cut_pct) {
+            return Fault::Cut;
+        }
+        if read_side {
+            if hit(self.cfg.short_read_pct) {
+                return Fault::ShortRead;
+            }
+            if hit(self.cfg.garbage_pct) {
+                return Fault::Garbage;
+            }
+        } else {
+            if hit(self.cfg.trickle_pct) {
+                return Fault::Trickle;
+            }
+            if hit(self.cfg.dup_pct) {
+                return Fault::Dup;
+            }
+        }
+        Fault::None
+    }
+
+    fn cut_error(&mut self) -> io::Error {
+        self.cut = true;
+        self.fired.cuts += 1;
+        io::Error::new(io::ErrorKind::ConnectionReset, "chaos: injected cut")
+    }
+}
+
+impl<S: Read> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.cut {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: stream was cut",
+            ));
+        }
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        match self.roll(true) {
+            Fault::Stall => {
+                self.fired.stalls += 1;
+                thread::sleep(Duration::from_millis(self.cfg.stall_ms));
+                self.inner.read(buf)
+            }
+            Fault::Cut => Err(self.cut_error()),
+            Fault::ShortRead => {
+                self.fired.short_reads += 1;
+                self.inner.read(&mut buf[..1])
+            }
+            Fault::Garbage => {
+                self.fired.garbage += 1;
+                let n = (1 + (splitmix(self.cfg.seed ^ self.ops) % 4) as usize).min(buf.len());
+                for (i, slot) in buf[..n].iter_mut().enumerate() {
+                    *slot = (splitmix(self.cfg.seed ^ self.ops ^ (i as u64) << 32) & 0xFF) as u8;
+                }
+                Ok(n)
+            }
+            _ => self.inner.read(buf),
+        }
+    }
+}
+
+impl<S: Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.cut {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: stream was cut",
+            ));
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        match self.roll(false) {
+            Fault::Stall => {
+                self.fired.stalls += 1;
+                thread::sleep(Duration::from_millis(self.cfg.stall_ms));
+                self.inner.write(buf)
+            }
+            Fault::Cut => Err(self.cut_error()),
+            Fault::Trickle => {
+                self.fired.trickles += 1;
+                self.inner.write(&buf[..1])
+            }
+            Fault::Dup => {
+                self.fired.dups += 1;
+                self.inner.write_all(buf)?;
+                self.inner.write_all(buf)?;
+                Ok(buf.len())
+            }
+            _ => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Per-frame fault probabilities (percent) for a [`ChaosProxy`].
+#[derive(Debug, Clone)]
+pub struct ProxyFaults {
+    /// Seed; each (connection, direction) derives its own sequence.
+    pub seed: u64,
+    /// Probability a frame is delayed by [`ProxyFaults::stall_ms`].
+    pub stall_pct: u64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Probability a frame is forwarded one byte at a time.
+    pub trickle_pct: u64,
+    /// Probability a frame is truncated mid-payload and the
+    /// connection cut.
+    pub truncate_pct: u64,
+    /// Probability a frame is forwarded twice.
+    pub dup_pct: u64,
+    /// Probability one payload byte is flipped.
+    pub corrupt_pct: u64,
+    /// Probability the connection is cut instead of forwarding.
+    pub cut_pct: u64,
+    /// Frame-size cap; larger prefixes cut the connection.
+    pub max_frame: usize,
+}
+
+impl ProxyFaults {
+    /// Frames are delayed and trickled but always delivered intact.
+    #[must_use]
+    pub fn benign(seed: u64) -> Self {
+        ProxyFaults {
+            seed,
+            stall_pct: 20,
+            stall_ms: 2,
+            trickle_pct: 25,
+            truncate_pct: 0,
+            dup_pct: 0,
+            corrupt_pct: 0,
+            cut_pct: 0,
+            max_frame: 16 << 20,
+        }
+    }
+
+    /// Benign plus connection cuts and truncated frames.
+    #[must_use]
+    pub fn lossy(seed: u64) -> Self {
+        ProxyFaults {
+            truncate_pct: 3,
+            cut_pct: 3,
+            ..ProxyFaults::benign(seed)
+        }
+    }
+
+    /// Lossy plus duplicated and corrupted frames.
+    #[must_use]
+    pub fn hostile(seed: u64) -> Self {
+        ProxyFaults {
+            dup_pct: 3,
+            corrupt_pct: 3,
+            ..ProxyFaults::lossy(seed)
+        }
+    }
+}
+
+/// A frame-aware chaos TCP proxy for `fsa-wire/v1` traffic.
+///
+/// Listens on an ephemeral local port; every accepted connection is
+/// paired with a fresh upstream connection and pumped in both
+/// directions, one whole length-prefixed frame at a time, through the
+/// per-frame fault schedule. Dropping the proxy stops the accept
+/// loop and severs the connections it created.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy forwarding to `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when the local listener cannot be bound.
+    pub fn start(upstream: SocketAddr, faults: ProxyFaults) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept = thread::spawn(move || {
+            let mut conn_id = 0u64;
+            while !stop_accept.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        conn_id += 1;
+                        let faults = faults.clone();
+                        let stop = Arc::clone(&stop_accept);
+                        let id = conn_id;
+                        thread::spawn(move || {
+                            pump_connection(client, upstream, id, &faults, &stop)
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listening address (point clients/workers here).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn pump_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    conn_id: u64,
+    faults: &ProxyFaults,
+    stop: &Arc<AtomicBool>,
+) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    client.set_nodelay(true).ok();
+    server.set_nodelay(true).ok();
+    let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let fwd_faults = faults.clone();
+    let fwd_stop = Arc::clone(stop);
+    let fwd = thread::spawn(move || {
+        pump_frames(client, server, conn_id, 0, &fwd_faults, &fwd_stop);
+    });
+    pump_frames(s2, c2, conn_id, 1, faults, stop);
+    let _ = fwd.join();
+}
+
+/// Pumps whole frames `from` → `to` until EOF, error, stop, or an
+/// injected cut. Cuts sever both directions by shutting the sockets.
+fn pump_frames(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    conn_id: u64,
+    direction: u64,
+    faults: &ProxyFaults,
+    stop: &Arc<AtomicBool>,
+) {
+    from.set_read_timeout(Some(Duration::from_millis(50))).ok();
+    let seed =
+        splitmix(faults.seed ^ (conn_id << 1 | direction).wrapping_mul(0xA076_1D64_78BD_642F));
+    let cut_both = |from: &TcpStream, to: &TcpStream| {
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    };
+    let mut frame_id = 0u64;
+    loop {
+        let mut prefix = [0u8; 4];
+        if !read_exact_polling(&mut from, &mut prefix, stop) {
+            cut_both(&from, &to);
+            return;
+        }
+        let len = u32::from_be_bytes(prefix) as usize;
+        if len > faults.max_frame {
+            cut_both(&from, &to);
+            return;
+        }
+        let mut payload = vec![0u8; len];
+        if !read_exact_polling(&mut from, &mut payload, stop) {
+            cut_both(&from, &to);
+            return;
+        }
+        frame_id += 1;
+        let roll = splitmix(seed ^ frame_id) % 100;
+        let mut lo = 0u64;
+        let mut hit = |pct: u64| {
+            let yes = pct > 0 && roll >= lo && roll < lo + pct;
+            lo += pct;
+            yes
+        };
+        let forward = |to: &mut TcpStream, prefix: &[u8], payload: &[u8]| -> bool {
+            to.write_all(prefix).is_ok() && to.write_all(payload).is_ok() && to.flush().is_ok()
+        };
+        let ok = if hit(faults.cut_pct) {
+            cut_both(&from, &to);
+            return;
+        } else if hit(faults.truncate_pct) {
+            let _ = to.write_all(&prefix);
+            let _ = to.write_all(&payload[..len / 2]);
+            let _ = to.flush();
+            cut_both(&from, &to);
+            return;
+        } else if hit(faults.stall_pct) {
+            thread::sleep(Duration::from_millis(faults.stall_ms));
+            forward(&mut to, &prefix, &payload)
+        } else if hit(faults.trickle_pct) {
+            let mut whole: VecDeque<u8> = prefix.iter().chain(payload.iter()).copied().collect();
+            let mut ok = true;
+            while let Some(byte) = whole.pop_front() {
+                if to.write_all(&[byte]).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            ok && to.flush().is_ok()
+        } else if hit(faults.dup_pct) {
+            forward(&mut to, &prefix, &payload) && forward(&mut to, &prefix, &payload)
+        } else if hit(faults.corrupt_pct) {
+            if !payload.is_empty() {
+                let at = (splitmix(seed ^ frame_id ^ 0xC0FF) as usize) % payload.len();
+                payload[at] ^= 0x55;
+            }
+            forward(&mut to, &prefix, &payload)
+        } else {
+            forward(&mut to, &prefix, &payload)
+        };
+        if !ok {
+            cut_both(&from, &to);
+            return;
+        }
+    }
+}
+
+/// Blocking-with-timeout exact read; `false` on EOF, error, or stop.
+fn read_exact_polling(from: &mut TcpStream, buf: &mut [u8], stop: &Arc<AtomicBool>) -> bool {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match from.read(&mut buf[filled..]) {
+            Ok(0) => return false,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory full-duplex stand-in: reads drain a script,
+    /// writes accumulate.
+    struct Scripted {
+        incoming: VecDeque<u8>,
+        outgoing: Vec<u8>,
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.incoming.len());
+            for slot in &mut buf[..n] {
+                *slot = self.incoming.pop_front().unwrap();
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for Scripted {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.outgoing.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn drive(cfg: ChaosConfig) -> (Result<Vec<u8>, io::ErrorKind>, Vec<u8>, FiredCounts) {
+        let inner = Scripted {
+            incoming: (0u8..64).collect(),
+            outgoing: Vec::new(),
+        };
+        let mut stream = ChaosStream::new(inner, cfg);
+        let run = (|| {
+            stream.write_all(b"hello fault plan")?;
+            let mut got = vec![0u8; 64];
+            stream.read_exact(&mut got)?;
+            Ok(got)
+        })();
+        let fired = stream.fired();
+        (
+            run.map_err(|e: io::Error| e.kind()),
+            stream.inner.outgoing,
+            fired,
+        )
+    }
+
+    #[test]
+    fn benign_chaos_heals_bit_identically() {
+        let mut fired_anything = false;
+        for seed in 0..32 {
+            let (read_back, written, fired) = drive(ChaosConfig::benign(seed));
+            assert_eq!(read_back.unwrap(), (0u8..64).collect::<Vec<u8>>());
+            assert_eq!(written, b"hello fault plan");
+            assert_eq!(fired.cuts + fired.garbage + fired.dups, 0);
+            fired_anything |= fired.stalls + fired.trickles + fired.short_reads > 0;
+        }
+        assert!(fired_anything, "the benign spray hit something");
+    }
+
+    #[test]
+    fn cut_streams_error_and_stay_cut() {
+        let mut cut_seen = false;
+        for seed in 0..64 {
+            let cfg = ChaosConfig {
+                cut_pct: 30,
+                ..ChaosConfig::benign(seed)
+            };
+            let inner = Scripted {
+                incoming: (0u8..32).collect(),
+                outgoing: Vec::new(),
+            };
+            let mut stream = ChaosStream::new(inner, cfg);
+            let mut buf = [0u8; 32];
+            let outcome = stream
+                .write_all(b"x".repeat(40).as_slice())
+                .and_then(|()| stream.read_exact(&mut buf));
+            if stream.was_cut() {
+                cut_seen = true;
+                assert_eq!(outcome.unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+                let mut again = [0u8; 1];
+                assert!(stream.read(&mut again).is_err(), "cuts are permanent");
+            }
+        }
+        assert!(cut_seen, "30% over 64 seeds must cut at least once");
+    }
+
+    #[test]
+    fn same_seed_fires_the_same_faults() {
+        for seed in [0u64, 7, 0xC0FFEE] {
+            let (out_a, wrote_a, fired_a) = drive(ChaosConfig::hostile(seed));
+            let (out_b, wrote_b, fired_b) = drive(ChaosConfig::hostile(seed));
+            assert_eq!(fired_a, fired_b);
+            assert_eq!(wrote_a, wrote_b);
+            assert_eq!(out_a.is_ok(), out_b.is_ok());
+        }
+    }
+
+    #[test]
+    fn hostile_corruption_is_flagged() {
+        let mut corrupted_seen = false;
+        for seed in 0..64 {
+            let cfg = ChaosConfig {
+                garbage_pct: 25,
+                dup_pct: 25,
+                cut_pct: 0,
+                ..ChaosConfig::benign(seed)
+            };
+            let inner = Scripted {
+                incoming: (0u8..32).collect(),
+                outgoing: Vec::new(),
+            };
+            let mut stream = ChaosStream::new(inner, cfg);
+            let _ = stream.write_all(b"abcdef");
+            let mut buf = [0u8; 8];
+            let _ = stream.read_exact(&mut buf);
+            corrupted_seen |= stream.corrupted();
+        }
+        assert!(corrupted_seen);
+    }
+
+    #[test]
+    fn proxy_forwards_frames_bidirectionally() {
+        // Echo server speaking raw fsa-wire framing.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream = listener.local_addr().unwrap();
+        let echo = thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut prefix = [0u8; 4];
+            conn.read_exact(&mut prefix).unwrap();
+            let mut payload = vec![0u8; u32::from_be_bytes(prefix) as usize];
+            conn.read_exact(&mut payload).unwrap();
+            conn.write_all(&prefix).unwrap();
+            conn.write_all(&payload).unwrap();
+        });
+        let proxy = ChaosProxy::start(upstream, ProxyFaults::benign(11)).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let body = b"{\"kind\":\"ping\"}";
+        let prefix = (body.len() as u32).to_be_bytes();
+        conn.write_all(&prefix).unwrap();
+        conn.write_all(body).unwrap();
+        let mut got_prefix = [0u8; 4];
+        conn.read_exact(&mut got_prefix).unwrap();
+        assert_eq!(got_prefix, prefix);
+        let mut got = vec![0u8; body.len()];
+        conn.read_exact(&mut got).unwrap();
+        assert_eq!(got, body);
+        echo.join().unwrap();
+    }
+}

@@ -118,9 +118,17 @@ impl Snapshot {
         out
     }
 
-    /// Writes the snapshot atomically: a sibling tmp file is written
-    /// and `rename`d over `path`, so readers (and resumed runs after a
-    /// `SIGKILL`) only ever observe a complete snapshot.
+    /// Writes the snapshot atomically *and durably*: a sibling tmp
+    /// file is written, `sync_all`ed, `rename`d over `path`, and the
+    /// parent directory is fsynced, so readers (and resumed runs
+    /// after a `SIGKILL`) only ever observe a complete snapshot — and
+    /// the rename itself survives power loss, not just process death.
+    ///
+    /// Callers that acknowledge receipt over a network (the
+    /// coordinator's `shard-done` ack, after which the worker deletes
+    /// its own checkpoint) rely on this ordering: the ack must never
+    /// be observable while the state that justifies it is still only
+    /// in the page cache.
     ///
     /// # Errors
     ///
@@ -130,8 +138,27 @@ impl Snapshot {
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, self.to_bytes()).map_err(io)?;
-        std::fs::rename(&tmp, path).map_err(io)
+        {
+            let mut file = std::fs::File::create(&tmp).map_err(io)?;
+            std::io::Write::write_all(&mut file, &self.to_bytes()).map_err(io)?;
+            // Data durable before the rename makes it visible.
+            file.sync_all().map_err(io)?;
+        }
+        std::fs::rename(&tmp, path).map_err(io)?;
+        // Make the rename itself durable. Directory fsync is
+        // best-effort: some platforms cannot open a directory as a
+        // file, and a failure here never un-does the atomic rename.
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            if let Ok(handle) = std::fs::File::open(dir) {
+                let _ = handle.sync_all();
+            }
+        }
+        Ok(())
     }
 }
 

@@ -163,8 +163,8 @@ pub(crate) const CHECK_USAGE: &str = "usage:
 Parse and validate a specification (exit code 1 on errors).";
 
 pub(crate) const SERVE_USAGE: &str = "usage:
-  fsa serve [--addr HOST:PORT] [--queue N] [--max-frame BYTES] [--cache-cap N] [--stats-json F] [--trace-json F]
-  fsa serve --connect ADDR [--spec F] [--scenario S] [--request \"CMD ARGS\"]... [--edit \"DELTA\"]... [--deadline-ms N] [--drain]
+  fsa serve [--addr HOST:PORT] [--queue N] [--max-frame BYTES] [--cache-cap N] [--frame-deadline-ms N] [--idle-ms N] [--max-conns N] [--stats-json F] [--trace-json F]
+  fsa serve --connect ADDR [--spec F] [--scenario S] [--request \"CMD ARGS\"]... [--edit \"DELTA\"]... [--deadline-ms N] [--chaos-seed N] [--drain]
 
 Run (or talk to) the resident analysis service speaking fsa-wire/v1
 (4-byte big-endian length-prefixed JSON frames over TCP).
@@ -178,6 +178,13 @@ skip specification parsing and APA reachability:
   --max-frame N     per-frame payload limit in bytes (default 1048576)
   --cache-cap N     bounded per-session response cache (default 64
                     entries, FIFO eviction; edits clear it)
+  --frame-deadline-ms N  per-frame read/write budget (default 10000);
+                    a peer that starts a frame and stalls past it is
+                    answered `slow-peer` and disconnected
+  --idle-ms N       idle-session limit (default 300000); reaped
+                    sessions answer later requests `session-expired`
+  --max-conns N     accept-side connection cap (default 256); excess
+                    connections get a typed `overloaded` and close
   --stats-json F    write serve.* span/counter statistics on shutdown
   --trace-json F    write a chrome://tracing view on shutdown
 The server drains gracefully on SIGTERM or a client `drain` frame:
@@ -195,6 +202,9 @@ Client mode:
                     scenario (repeatable; interleaves with --request
                     in flag order), e.g. --edit \"set-initial gps1 50\"
   --deadline-ms N   per-request deadline, measured from receipt
+  --chaos-seed N    (chaos builds only) inject seeded benign network
+                    faults on this client's socket; the session must
+                    heal to the same bytes as a clean run
   --drain           ask the server to drain after the last response";
 
 /// Exit code 3: the deadline expired and the run degraded to a clean

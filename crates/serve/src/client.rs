@@ -4,15 +4,18 @@
 use crate::cli::{self, Flag, Flags, SERVE_USAGE};
 use crate::proto::{ClientFrame, ServerFrame, SpecPayload};
 use crate::wire::{self, DEFAULT_MAX_FRAME, PROTOCOL};
+use std::io::{Read, Write};
 use std::net::TcpStream;
 
-/// A connected, handshaken client.
-pub struct Client {
-    stream: TcpStream,
+/// A connected, handshaken client, generic over its transport so
+/// tests (and the chaos harness) can wrap the socket in a
+/// fault-injecting stream.
+pub struct Client<S: Read + Write = TcpStream> {
+    stream: S,
     max_frame: usize,
 }
 
-impl Client {
+impl Client<TcpStream> {
     /// Connects and performs the `hello` handshake.
     ///
     /// # Errors
@@ -23,6 +26,18 @@ impl Client {
         let stream =
             TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
         let _ = stream.set_nodelay(true);
+        Client::handshake(stream)
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Performs the `hello` handshake over an already-established
+    /// transport (a plain socket, or a chaos-wrapped one).
+    ///
+    /// # Errors
+    ///
+    /// A display-ready message (protocol mismatch, transport failure).
+    pub fn handshake(stream: S) -> Result<Client<S>, String> {
         let mut client = Client {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
@@ -196,6 +211,7 @@ pub fn connect_command(rest: &[String]) -> u8 {
     let mut ops: Vec<Op> = Vec::new();
     let mut deadline_ms: Option<u64> = None;
     let mut drain = false;
+    let mut chaos_seed: Option<u64> = None;
 
     let mut flags = Flags::new_repeatable(rest, SERVE_USAGE, &["request", "edit"]);
     while let Some(flag) = flags.next_flag() {
@@ -232,6 +248,10 @@ pub fn connect_command(rest: &[String]) -> u8 {
                 Ok(n) => deadline_ms = Some(n),
                 Err(r) => return cli::emit(&r),
             },
+            "chaos-seed" => match flags.seed("chaos-seed", inline) {
+                Ok(n) => chaos_seed = Some(n),
+                Err(r) => return cli::emit(&r),
+            },
             "drain" => drain = true,
             other => return cli::emit(&flags.unknown(other)),
         }
@@ -251,13 +271,57 @@ pub fn connect_command(rest: &[String]) -> u8 {
             }
         },
     };
-    let mut client = match Client::connect(&addr) {
+    #[cfg(feature = "chaos")]
+    if let Some(seed) = chaos_seed {
+        // A chaos-flagged session injects *benign* faults (stalls,
+        // trickles, short reads) on the client's own socket: the
+        // hardened peers ride them out and the session heals to the
+        // same bytes a clean run produces.
+        let stream = match TcpStream::connect(&addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                return 1;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let wrapped =
+            fsa_exec::net::ChaosStream::new(stream, fsa_exec::net::ChaosConfig::benign(seed));
+        let client = match Client::handshake(wrapped) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        return drive_session(client, payload, scenario, &ops, deadline_ms, drain);
+    }
+    #[cfg(not(feature = "chaos"))]
+    if chaos_seed.is_some() {
+        eprintln!(
+            "--chaos-seed needs a build with the `chaos` feature (cargo build --features chaos)"
+        );
+        return 2;
+    }
+    let client = match Client::connect(&addr) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return 1;
         }
     };
+    drive_session(client, payload, scenario, &ops, deadline_ms, drain)
+}
+
+/// Opens a session and runs the scripted ops over any transport.
+fn drive_session<S: Read + Write>(
+    mut client: Client<S>,
+    payload: Option<SpecPayload>,
+    scenario: Option<String>,
+    ops: &[Op],
+    deadline_ms: Option<u64>,
+    drain: bool,
+) -> u8 {
     let session = match client.open(payload, scenario) {
         Ok(s) => s,
         Err(e) => {

@@ -16,15 +16,25 @@
 use crate::cli::{self, Flag, Flags, SERVE_USAGE};
 use crate::proto::{ClientFrame, ServerFrame};
 use crate::session::{FrameSink, SessionHandle, DEFAULT_CACHE_CAP};
-use crate::wire::{self, WireError, DEFAULT_MAX_FRAME, PROTOCOL};
+use crate::wire::{self, FrameEvent, ReadLimits, WireError, DEFAULT_MAX_FRAME, PROTOCOL};
 use fsa_core::service::{codes, Query, ServiceError};
 use fsa_obs::Obs;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Default per-frame read/write deadline (milliseconds): generous for
+/// honest peers, fatal for slow-loris ones.
+pub const DEFAULT_FRAME_DEADLINE_MS: u64 = 10_000;
+
+/// Default idle-session limit (milliseconds) before a reap.
+pub const DEFAULT_SESSION_IDLE_MS: u64 = 300_000;
+
+/// Default accept-side connection cap.
+pub const DEFAULT_MAX_CONNS: usize = 256;
 
 /// Server tunables.
 #[derive(Clone)]
@@ -38,6 +48,16 @@ pub struct ServeConfig {
     pub max_frame: usize,
     /// Bounded per-session response-cache capacity (entries).
     pub cache_cap: usize,
+    /// Per-frame read/write deadline: a peer that starts a frame (or
+    /// stops draining responses) and stalls past this is answered
+    /// with a typed `slow-peer` error and disconnected.
+    pub frame_deadline: Duration,
+    /// Sessions idle past this are reaped; later requests on the
+    /// reaped id get a typed `session-expired` error.
+    pub session_idle: Duration,
+    /// Accept-side connection cap: connections beyond it are answered
+    /// with a typed `overloaded` error and closed without a thread.
+    pub max_conns: usize,
     /// Observability registry threaded through every connection,
     /// session and engine (`serve.*` series).
     pub obs: Obs,
@@ -50,6 +70,9 @@ impl Default for ServeConfig {
             queue: 8,
             max_frame: DEFAULT_MAX_FRAME,
             cache_cap: DEFAULT_CACHE_CAP,
+            frame_deadline: Duration::from_millis(DEFAULT_FRAME_DEADLINE_MS),
+            session_idle: Duration::from_millis(DEFAULT_SESSION_IDLE_MS),
+            max_conns: DEFAULT_MAX_CONNS,
             obs: Obs::disabled(),
         }
     }
@@ -120,26 +143,39 @@ impl Server {
     #[must_use]
     pub fn run(self) -> ServeSummary {
         let mut handles = Vec::new();
+        let active = Arc::new(AtomicUsize::new(0));
         loop {
             if self.drain.load(Ordering::SeqCst) || crate::signal::drain_requested() {
                 break;
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    if active.load(Ordering::SeqCst) >= self.config.max_conns {
+                        self.config.obs.counter_add("serve.conn_rejected", 1);
+                        reject_overloaded(stream, self.config.max_conns);
+                        continue;
+                    }
                     let accept = self.config.obs.span("serve.accept");
                     self.config.obs.counter_add("serve.connections", 1);
                     self.totals.connections.fetch_add(1, Ordering::Relaxed);
+                    active.fetch_add(1, Ordering::SeqCst);
                     let ctx = ConnCtx {
                         config: self.config.clone(),
                         drain: Arc::clone(&self.drain),
                         totals: Arc::clone(&self.totals),
                     };
+                    let conn_active = Arc::clone(&active);
                     drop(accept);
-                    handles.push(
-                        std::thread::Builder::new()
-                            .name("fsa-serve-conn".to_owned())
-                            .spawn(move || handle_connection(stream, &ctx)),
-                    );
+                    let spawned = std::thread::Builder::new()
+                        .name("fsa-serve-conn".to_owned())
+                        .spawn(move || {
+                            handle_connection(stream, &ctx);
+                            conn_active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    handles.push(spawned);
                 }
                 Err(e)
                     if matches!(
@@ -169,14 +205,67 @@ struct ConnCtx {
     totals: Arc<Totals>,
 }
 
+/// Answers an over-cap connection with a typed `overloaded` error and
+/// closes it, without spending a thread. The write is bounded by a
+/// short socket timeout — a peer that connects and never reads cannot
+/// block the accept loop.
+fn reject_overloaded(mut stream: TcpStream, max_conns: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let frame = ServerFrame::Error {
+        session: None,
+        id: None,
+        code: codes::OVERLOADED.to_owned(),
+        message: format!("server is at its {max_conns}-connection capacity; retry later"),
+    };
+    let _ = wire::write_frame_deadline(
+        &mut stream,
+        &frame.encode(),
+        Some(Duration::from_millis(200)),
+    );
+}
+
+/// A session plus the instant it last accepted work (for idle reaps).
+struct SessionEntry {
+    handle: SessionHandle,
+    last_used: Instant,
+}
+
+/// Reaps sessions idle past the limit: the handle is closed (its
+/// worker finishes queued work first) and the id is remembered so a
+/// late request gets `session-expired` rather than `unknown-session`.
+fn reap_idle(
+    sessions: &mut BTreeMap<u64, SessionEntry>,
+    expired: &mut BTreeSet<u64>,
+    idle: Duration,
+    obs: &Obs,
+) {
+    let now = Instant::now();
+    let due: Vec<u64> = sessions
+        .iter()
+        .filter(|(_, e)| now.duration_since(e.last_used) >= idle)
+        .map(|(id, _)| *id)
+        .collect();
+    for id in due {
+        if let Some(entry) = sessions.remove(&id) {
+            entry.handle.close();
+            expired.insert(id);
+            obs.counter_add("serve.sessions_expired", 1);
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
     let _ = stream.set_nodelay(true);
     let Ok(mut reader) = stream.try_clone() else {
         return;
     };
-    // Short read timeouts let idle connections poll the drain flag at
-    // frame boundaries without busy-waiting.
+    // Short read/write timeouts let idle connections poll the drain
+    // flag at frame boundaries without busy-waiting, and surface
+    // `WouldBlock` to the per-frame deadline logic instead of letting
+    // a stalled peer pin the thread.
     let _ = reader.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    let frame_deadline = ctx.config.frame_deadline;
     let writer = Arc::new(Mutex::new(stream));
     let sink: FrameSink = {
         let writer = Arc::clone(&writer);
@@ -184,20 +273,20 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
             let mut guard = writer
                 .lock()
                 .map_err(|_| WireError::Io("writer lock poisoned".to_owned()))?;
-            wire::write_frame(&mut *guard, &frame.encode())
+            wire::write_frame_deadline(&mut *guard, &frame.encode(), Some(frame_deadline))
         })
     };
     let drain = Arc::clone(&ctx.drain);
     let stop = move || drain.load(Ordering::SeqCst) || crate::signal::drain_requested();
 
     // Handshake: the first frame must be a matching `hello`.
-    match read_client_frame(&mut reader, ctx.config.max_frame, &sink, &stop) {
-        Some(Ok(ClientFrame::Hello { protocol })) if protocol == PROTOCOL => {
+    match read_client_frame(&mut reader, &ctx.config, &sink, &stop, None) {
+        Inbound::Frame(Ok(ClientFrame::Hello { protocol })) if protocol == PROTOCOL => {
             let _ = sink(&ServerFrame::Hello {
                 protocol: PROTOCOL.to_owned(),
             });
         }
-        Some(Ok(ClientFrame::Hello { protocol })) => {
+        Inbound::Frame(Ok(ClientFrame::Hello { protocol })) => {
             let _ = sink(&ServerFrame::Error {
                 session: None,
                 id: None,
@@ -206,7 +295,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
             });
             return;
         }
-        Some(Ok(_)) => {
+        Inbound::Frame(Ok(_)) => {
             let _ = sink(&ServerFrame::Error {
                 session: None,
                 id: None,
@@ -215,19 +304,36 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
             });
             return;
         }
-        Some(Err(())) | None => return,
+        Inbound::Frame(Err(())) | Inbound::Closed | Inbound::Tick => return,
     }
 
-    let mut sessions: BTreeMap<u64, SessionHandle> = BTreeMap::new();
+    let mut sessions: BTreeMap<u64, SessionEntry> = BTreeMap::new();
+    let mut expired: BTreeSet<u64> = BTreeSet::new();
     let mut next_session = 1u64;
-    while let Some(frame) = read_client_frame(&mut reader, ctx.config.max_frame, &sink, &stop) {
-        let frame = match frame {
-            Ok(f) => f,
-            Err(()) => {
+    loop {
+        // Wake at the earliest idle expiry so quiet sessions are
+        // reaped even while the connection itself stays open.
+        let idle_deadline = sessions
+            .values()
+            .map(|e| e.last_used + ctx.config.session_idle)
+            .min();
+        let frame = match read_client_frame(&mut reader, &ctx.config, &sink, &stop, idle_deadline) {
+            Inbound::Closed => break,
+            Inbound::Tick => {
+                reap_idle(
+                    &mut sessions,
+                    &mut expired,
+                    ctx.config.session_idle,
+                    &ctx.config.obs,
+                );
+                continue;
+            }
+            Inbound::Frame(Err(())) => {
                 // Framing is intact (the payload was a complete UTF-8
                 // frame); a decode failure poisons only that frame.
                 continue;
             }
+            Inbound::Frame(Ok(frame)) => frame,
         };
         match frame {
             ClientFrame::Hello { .. } => {
@@ -254,7 +360,13 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
                     Ok(handle) => {
                         next_session += 1;
                         ctx.totals.sessions.fetch_add(1, Ordering::Relaxed);
-                        sessions.insert(id, handle);
+                        sessions.insert(
+                            id,
+                            SessionEntry {
+                                handle,
+                                last_used: Instant::now(),
+                            },
+                        );
                         let _ = sink(&ServerFrame::Opened { session: id });
                     }
                     Err(e) => {
@@ -274,19 +386,17 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
                     let _ = sink(&draining_error(Some(session), Some(id)));
                     continue;
                 }
-                let Some(handle) = sessions.get(&session) else {
+                let Some(entry) = sessions.get_mut(&session) else {
                     let _ = sink(&error_frame(
                         Some(session),
                         Some(id),
-                        &ServiceError::new(
-                            codes::UNKNOWN_SESSION,
-                            format!("session {session} is not open on this connection"),
-                        ),
+                        &session_gone(session, &expired),
                     ));
                     continue;
                 };
+                entry.last_used = Instant::now();
                 let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-                if let Err(e) = handle.submit(id, Query::new(command, args), deadline) {
+                if let Err(e) = entry.handle.submit(id, Query::new(command, args), deadline) {
                     let _ = sink(&error_frame(Some(session), Some(id), &e));
                 }
             }
@@ -300,21 +410,19 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
                     let _ = sink(&draining_error(Some(session), Some(id)));
                     continue;
                 }
-                let Some(handle) = sessions.get(&session) else {
+                let Some(entry) = sessions.get_mut(&session) else {
                     let _ = sink(&error_frame(
                         Some(session),
                         Some(id),
-                        &ServiceError::new(
-                            codes::UNKNOWN_SESSION,
-                            format!("session {session} is not open on this connection"),
-                        ),
+                        &session_gone(session, &expired),
                     ));
                     continue;
                 };
+                entry.last_used = Instant::now();
                 // An edit is an ordinary job on the session queue: it
                 // runs after every request already queued, so responses
                 // computed before it still describe the pre-edit model.
-                if let Err(e) = handle.submit(id, Query::new("edit", deltas), None) {
+                if let Err(e) = entry.handle.submit(id, Query::new("edit", deltas), None) {
                     let _ = sink(&error_frame(Some(session), Some(id), &e));
                 }
             }
@@ -332,32 +440,62 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
 
     // Graceful teardown: closing a session joins its worker, which
     // finishes every queued request and flushes the responses first.
-    for (_, handle) in std::mem::take(&mut sessions) {
-        handle.close();
+    for (_, entry) in std::mem::take(&mut sessions) {
+        entry.handle.close();
     }
     let _ = sink(&ServerFrame::Bye);
 }
 
-/// Reads and decodes one client frame. `None` ends the connection
-/// (clean EOF, drain-idle, or an unrecoverable transport/framing
-/// failure — oversize frames are answered with a typed error first).
-/// `Some(Err(()))` is a decode failure already answered with a typed
-/// `bad-frame` error; the connection survives.
+/// Why a session id has no live entry.
+fn session_gone(session: u64, expired: &BTreeSet<u64>) -> ServiceError {
+    if expired.contains(&session) {
+        ServiceError::new(
+            codes::SESSION_EXPIRED,
+            format!("session {session} expired after sitting idle; re-open to continue"),
+        )
+    } else {
+        ServiceError::new(
+            codes::UNKNOWN_SESSION,
+            format!("session {session} is not open on this connection"),
+        )
+    }
+}
+
+/// What one read produced for the connection loop.
+enum Inbound {
+    /// A decoded frame, or a decode failure already answered with a
+    /// typed `bad-frame` error (the connection survives).
+    Frame(Result<ClientFrame, ()>),
+    /// The idle deadline fired: do housekeeping and read again.
+    Tick,
+    /// The connection is over (clean EOF, drain-idle, or an
+    /// unrecoverable transport/framing failure — oversize frames and
+    /// mid-frame stalls are answered with a typed error first).
+    Closed,
+}
+
 fn read_client_frame(
     reader: &mut TcpStream,
-    max_frame: usize,
+    config: &ServeConfig,
     sink: &FrameSink,
     stop: &(dyn Fn() -> bool + Send + Sync),
-) -> Option<Result<ClientFrame, ()>> {
-    match wire::read_frame_with_stop(reader, max_frame, &|| stop()) {
-        Ok(Some(payload)) => match ClientFrame::decode(&payload) {
-            Ok(frame) => Some(Ok(frame)),
+    idle_deadline: Option<Instant>,
+) -> Inbound {
+    let limits = ReadLimits {
+        max_frame: config.max_frame,
+        frame_deadline: Some(config.frame_deadline),
+        idle_deadline,
+    };
+    match wire::read_frame_event(reader, &limits, &|| stop()) {
+        Ok(FrameEvent::Frame(payload)) => match ClientFrame::decode(&payload) {
+            Ok(frame) => Inbound::Frame(Ok(frame)),
             Err(e) => {
                 let _ = sink(&error_frame(None, None, &e));
-                Some(Err(()))
+                Inbound::Frame(Err(()))
             }
         },
-        Ok(None) => None,
+        Ok(FrameEvent::Eof) => Inbound::Closed,
+        Ok(FrameEvent::Idle) => Inbound::Tick,
         Err(WireError::Oversize { len, max }) => {
             // The peer's next bytes are the oversize payload itself —
             // the stream cannot be resynchronised, so answer and close.
@@ -367,7 +505,7 @@ fn read_client_frame(
                 code: codes::OVERSIZE_FRAME.to_owned(),
                 message: format!("frame of {len} bytes exceeds the {max}-byte limit"),
             });
-            None
+            Inbound::Closed
         }
         Err(WireError::Utf8) => {
             let _ = sink(&ServerFrame::Error {
@@ -376,9 +514,22 @@ fn read_client_frame(
                 code: codes::BAD_FRAME.to_owned(),
                 message: "frame payload is not valid UTF-8".to_owned(),
             });
-            None
+            Inbound::Closed
         }
-        Err(WireError::Truncated | WireError::Io(_)) => None,
+        Err(WireError::Stalled { ms }) => {
+            // Slow-loris: the frame never finished inside its budget.
+            // The stream cannot be resynchronised mid-frame; answer
+            // typed and close.
+            config.obs.counter_add("serve.conn_stalled", 1);
+            let _ = sink(&ServerFrame::Error {
+                session: None,
+                id: None,
+                code: codes::SLOW_PEER.to_owned(),
+                message: format!("frame not completed within the {ms}ms frame deadline"),
+            });
+            Inbound::Closed
+        }
+        Err(WireError::Truncated | WireError::Io(_)) => Inbound::Closed,
     }
 }
 
@@ -418,6 +569,9 @@ pub fn serve_command(rest: &[String]) -> u8 {
     let mut queue = 8usize;
     let mut max_frame = DEFAULT_MAX_FRAME;
     let mut cache_cap = DEFAULT_CACHE_CAP;
+    let mut frame_deadline_ms = DEFAULT_FRAME_DEADLINE_MS;
+    let mut idle_ms = DEFAULT_SESSION_IDLE_MS;
+    let mut max_conns = DEFAULT_MAX_CONNS;
     let mut stats_json: Option<String> = None;
     let mut trace_json: Option<String> = None;
     let mut flags = Flags::new(rest, SERVE_USAGE);
@@ -447,6 +601,18 @@ pub fn serve_command(rest: &[String]) -> u8 {
                 Ok(n) => cache_cap = n,
                 Err(r) => return cli::emit(&r),
             },
+            "frame-deadline-ms" => match flags.positive("frame-deadline-ms", inline) {
+                Ok(n) => frame_deadline_ms = n as u64,
+                Err(r) => return cli::emit(&r),
+            },
+            "idle-ms" => match flags.positive("idle-ms", inline) {
+                Ok(n) => idle_ms = n as u64,
+                Err(r) => return cli::emit(&r),
+            },
+            "max-conns" => match flags.positive("max-conns", inline) {
+                Ok(n) => max_conns = n,
+                Err(r) => return cli::emit(&r),
+            },
             "stats-json" => match flags.value("stats-json", inline) {
                 Ok(p) => stats_json = Some(p),
                 Err(r) => return cli::emit(&r),
@@ -469,6 +635,9 @@ pub fn serve_command(rest: &[String]) -> u8 {
         queue,
         max_frame,
         cache_cap,
+        frame_deadline: Duration::from_millis(frame_deadline_ms),
+        session_idle: Duration::from_millis(idle_ms),
+        max_conns,
         obs: obs.clone(),
     }) {
         Ok(s) => s,

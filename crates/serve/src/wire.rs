@@ -4,9 +4,27 @@
 //! UTF-8 JSON. The length covers the payload only. Frames above the
 //! configured limit are rejected *before* allocation — a hostile
 //! 4 GiB prefix costs nothing.
+//!
+//! Two timing hazards are typed here rather than left to hang:
+//!
+//! * A peer that sends a length prefix and then trickles (or stops
+//!   sending) would pin the reading thread forever. The event reader
+//!   ([`read_frame_event`]) starts a *per-frame* deadline at the first
+//!   prefix byte; exceeding it is [`WireError::Stalled`] — distinct
+//!   from [`WireError::Truncated`] (peer closed mid-frame) and from a
+//!   corrupt frame, because the bytes seen so far were fine.
+//! * A peer that stops *reading* would eventually block the writer
+//!   once the socket buffer fills. [`write_frame_deadline`] retries
+//!   short/timed-out writes until its deadline, then reports
+//!   [`WireError::Stalled`].
+//!
+//! Both deadlines rely on the caller arming a short socket
+//! read/write timeout so the OS surfaces `WouldBlock`/`TimedOut`
+//! instead of blocking indefinitely.
 
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// The protocol identifier exchanged in `hello` frames.
 pub const PROTOCOL: &str = "fsa-wire/v1";
@@ -29,6 +47,12 @@ pub enum WireError {
     },
     /// The payload is not valid UTF-8.
     Utf8,
+    /// The peer started a frame (or stopped draining ours) and then
+    /// made no progress for the configured per-frame deadline.
+    Stalled {
+        /// The deadline that was exceeded, in milliseconds.
+        ms: u64,
+    },
     /// An underlying I/O failure.
     Io(String),
 }
@@ -41,6 +65,9 @@ impl fmt::Display for WireError {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
             }
             WireError::Utf8 => write!(f, "frame payload is not valid UTF-8"),
+            WireError::Stalled { ms } => {
+                write!(f, "peer stalled mid-frame beyond the {ms}ms frame deadline")
+            }
             WireError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -102,51 +129,138 @@ pub fn read_frame_with_stop(
     max_frame: usize,
     stop: &dyn Fn() -> bool,
 ) -> Result<Option<String>, WireError> {
-    let mut prefix = [0u8; 4];
-    match read_exact_with_stop(r, &mut prefix, true, stop)? {
-        ReadOutcome::CleanEof => return Ok(None),
-        ReadOutcome::Done => {}
+    let limits = ReadLimits {
+        max_frame,
+        ..ReadLimits::default()
+    };
+    match read_frame_event(r, &limits, stop)? {
+        FrameEvent::Frame(payload) => Ok(Some(payload)),
+        FrameEvent::Eof | FrameEvent::Idle => Ok(None),
     }
-    let len = u32::from_be_bytes(prefix) as usize;
-    if len > max_frame {
-        return Err(WireError::Oversize {
-            len,
-            max: max_frame,
-        });
-    }
-    let mut payload = vec![0u8; len];
-    match read_exact_with_stop(r, &mut payload, false, stop)? {
-        ReadOutcome::CleanEof => return Err(WireError::Truncated),
-        ReadOutcome::Done => {}
-    }
-    String::from_utf8(payload)
-        .map(Some)
-        .map_err(|_| WireError::Utf8)
 }
 
-enum ReadOutcome {
-    Done,
-    CleanEof,
+/// What an event-driven frame read produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(String),
+    /// Clean EOF (or `stop`) at a frame boundary.
+    Eof,
+    /// The idle deadline passed before any prefix byte arrived. The
+    /// stream is untouched; the caller may do housekeeping (reap idle
+    /// sessions, renew leases) and read again.
+    Idle,
 }
 
-/// `read_exact` that tolerates `WouldBlock`/`TimedOut` (poll-style
-/// readers) and reports EOF-before-first-byte as clean when
-/// `eof_ok_at_start` is set.
-fn read_exact_with_stop(
+/// Limits for [`read_frame_event`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Per-frame payload size cap.
+    pub max_frame: usize,
+    /// Budget from the first prefix byte to the last payload byte;
+    /// `None` waits forever (the pre-hardening behaviour).
+    pub frame_deadline: Option<Duration>,
+    /// Absolute instant at which a *quiet* stream reports
+    /// [`FrameEvent::Idle`] instead of blocking on; `None` blocks
+    /// until a frame, EOF, or `stop`.
+    pub idle_deadline: Option<Instant>,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        ReadLimits {
+            max_frame: DEFAULT_MAX_FRAME,
+            frame_deadline: None,
+            idle_deadline: None,
+        }
+    }
+}
+
+fn check_frame_deadline(started: Instant, deadline: Option<Duration>) -> Result<(), WireError> {
+    match deadline {
+        Some(d) if started.elapsed() >= d => Err(WireError::Stalled {
+            ms: d.as_millis() as u64,
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Event-style frame read with per-frame and idle deadlines.
+///
+/// The idle deadline applies only while no prefix byte has arrived —
+/// a quiet connection wakes the caller with [`FrameEvent::Idle`]. The
+/// frame deadline starts at the first prefix byte and covers the
+/// whole frame, so a slow-loris peer (header then a trickle) is
+/// evicted with [`WireError::Stalled`] instead of pinning the thread.
+/// Both deadlines need the caller to have armed a short socket read
+/// timeout; without one the underlying `read` never yields.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`WireError::Stalled`] when the frame
+/// deadline is exceeded mid-frame.
+pub fn read_frame_event(
     r: &mut impl Read,
-    buf: &mut [u8],
-    eof_ok_at_start: bool,
+    limits: &ReadLimits,
     stop: &dyn Fn() -> bool,
-) -> Result<ReadOutcome, WireError> {
+) -> Result<FrameEvent, WireError> {
+    let mut prefix = [0u8; 4];
     let mut filled = 0usize;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+    let mut frame_started: Option<Instant> = None;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
             Ok(0) => {
-                if filled == 0 && eof_ok_at_start {
-                    return Ok(ReadOutcome::CleanEof);
+                if filled == 0 {
+                    return Ok(FrameEvent::Eof);
                 }
                 return Err(WireError::Truncated);
             }
+            Ok(n) => {
+                if frame_started.is_none() {
+                    frame_started = Some(Instant::now());
+                }
+                filled += n;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                match frame_started {
+                    // Stop and idle are only honoured before the first
+                    // byte: after that the peer is mid-send and only
+                    // the frame deadline may end the read early.
+                    None => {
+                        if stop() {
+                            return Ok(FrameEvent::Eof);
+                        }
+                        if limits.idle_deadline.is_some_and(|d| Instant::now() >= d) {
+                            return Ok(FrameEvent::Idle);
+                        }
+                    }
+                    Some(started) => check_frame_deadline(started, limits.frame_deadline)?,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > limits.max_frame {
+        return Err(WireError::Oversize {
+            len,
+            max: limits.max_frame,
+        });
+    }
+    let started = frame_started.unwrap_or_else(Instant::now);
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            // EOF inside the payload is a close mid-frame, never a
+            // clean boundary and never a checksum/corruption verdict.
+            Ok(0) => return Err(WireError::Truncated),
             Ok(n) => filled += n,
             Err(e)
                 if matches!(
@@ -154,17 +268,72 @@ fn read_exact_with_stop(
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                // Stop only honoured before the first byte of a read
-                // that may cleanly end (the length prefix).
-                if filled == 0 && eof_ok_at_start && stop() {
-                    return Ok(ReadOutcome::CleanEof);
-                }
+                check_frame_deadline(started, limits.frame_deadline)?;
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e.into()),
         }
     }
-    Ok(ReadOutcome::Done)
+    String::from_utf8(payload)
+        .map(FrameEvent::Frame)
+        .map_err(|_| WireError::Utf8)
+}
+
+/// Writes one frame, retrying short and timed-out writes until
+/// `deadline`; `None` degrades to [`write_frame`]'s blocking
+/// behaviour. With a short socket write timeout armed, a peer that
+/// stops draining its receive buffer surfaces as
+/// [`WireError::Stalled`] here instead of blocking the writer thread
+/// (and whoever holds the write lock) indefinitely.
+///
+/// # Errors
+///
+/// As [`write_frame`], plus [`WireError::Stalled`] on deadline.
+pub fn write_frame_deadline(
+    w: &mut impl Write,
+    payload: &str,
+    deadline: Option<Duration>,
+) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversize {
+        len: payload.len(),
+        max: u32::MAX as usize,
+    })?;
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(payload.as_bytes());
+    let started = Instant::now();
+    let mut sent = 0usize;
+    while sent < buf.len() {
+        match w.write(&buf[sent..]) {
+            Ok(0) => return Err(WireError::Io("write returned zero bytes".to_owned())),
+            Ok(n) => sent += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                check_frame_deadline(started, deadline)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    loop {
+        match w.flush() {
+            Ok(()) => return Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                check_frame_deadline(started, deadline)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +402,141 @@ mod tests {
             read_frame(&mut Cursor::new(buf), 16).unwrap().as_deref(),
             Some("")
         );
+    }
+
+    /// Yields scripted bytes one at a time, then `WouldBlock` forever
+    /// — the shape of a slow-loris peer behind a socket timeout.
+    struct Loris {
+        bytes: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Loris {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos < self.bytes.len() && !buf.is_empty() {
+                buf[0] = self.bytes[self.pos];
+                self.pos += 1;
+                Ok(1)
+            } else {
+                Err(io::ErrorKind::WouldBlock.into())
+            }
+        }
+    }
+
+    #[test]
+    fn a_header_then_silence_is_stalled_not_truncated_or_eof() {
+        // Prefix announcing 8 payload bytes, then nothing.
+        let mut loris = Loris {
+            bytes: 8u32.to_be_bytes().to_vec(),
+            pos: 0,
+        };
+        let limits = ReadLimits {
+            max_frame: 1024,
+            frame_deadline: Some(Duration::from_millis(20)),
+            idle_deadline: None,
+        };
+        let err = read_frame_event(&mut loris, &limits, &|| false).unwrap_err();
+        assert_eq!(err, WireError::Stalled { ms: 20 });
+    }
+
+    #[test]
+    fn a_partial_body_then_eof_is_truncated_not_stalled() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let limits = ReadLimits {
+            max_frame: 1024,
+            frame_deadline: Some(Duration::from_secs(5)),
+            idle_deadline: None,
+        };
+        let err = read_frame_event(&mut Cursor::new(buf), &limits, &|| false).unwrap_err();
+        assert_eq!(err, WireError::Truncated);
+    }
+
+    #[test]
+    fn a_quiet_stream_wakes_with_idle_and_stays_readable() {
+        let mut loris = Loris {
+            bytes: Vec::new(),
+            pos: 0,
+        };
+        let limits = ReadLimits {
+            max_frame: 1024,
+            frame_deadline: None,
+            idle_deadline: Some(Instant::now() + Duration::from_millis(10)),
+        };
+        assert_eq!(
+            read_frame_event(&mut loris, &limits, &|| false).unwrap(),
+            FrameEvent::Idle
+        );
+        // A later frame still parses: idle did not consume anything.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "later").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame_event(&mut r, &limits, &|| false).unwrap(),
+            FrameEvent::Frame("later".to_owned())
+        );
+    }
+
+    #[test]
+    fn a_trickled_frame_completes_within_its_deadline() {
+        let mut body = Vec::new();
+        write_frame(&mut body, r#"{"ok":true}"#).unwrap();
+        let mut loris = Loris {
+            bytes: body,
+            pos: 0,
+        };
+        let limits = ReadLimits {
+            max_frame: 1024,
+            frame_deadline: Some(Duration::from_secs(5)),
+            idle_deadline: None,
+        };
+        assert_eq!(
+            read_frame_event(&mut loris, &limits, &|| false).unwrap(),
+            FrameEvent::Frame(r#"{"ok":true}"#.to_owned())
+        );
+    }
+
+    /// Accepts one byte per call, then `WouldBlock`s `stall` times.
+    struct SlowSink {
+        out: Vec<u8>,
+        stall: usize,
+    }
+
+    impl Write for SlowSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.stall > 0 {
+                self.stall -= 1;
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            self.out.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn deadline_writes_ride_out_wouldblock_and_short_writes() {
+        let mut sink = SlowSink {
+            out: Vec::new(),
+            stall: 3,
+        };
+        write_frame_deadline(&mut sink, "payload", Some(Duration::from_secs(5))).unwrap();
+        let mut expect = Vec::new();
+        write_frame(&mut expect, "payload").unwrap();
+        assert_eq!(sink.out, expect);
+    }
+
+    #[test]
+    fn a_never_draining_peer_is_a_stalled_write() {
+        let mut sink = SlowSink {
+            out: Vec::new(),
+            stall: usize::MAX,
+        };
+        let err = write_frame_deadline(&mut sink, "payload", Some(Duration::from_millis(15)))
+            .unwrap_err();
+        assert_eq!(err, WireError::Stalled { ms: 15 });
     }
 }

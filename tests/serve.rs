@@ -457,3 +457,245 @@ fn an_edit_session_matches_the_one_shot_and_edit_script_runs_byte_for_byte() {
         "served post-edit elicit differs from the one-shot edit-script run"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Transport robustness: partial frames, stalls, caps, idle reaping.
+// ---------------------------------------------------------------------------
+
+use std::time::Duration;
+
+/// Ceiling for any single read in the robustness tests: a server that
+/// stops answering turns into a test failure, never a hang.
+const GUARD: Duration = Duration::from_secs(10);
+
+fn connect_guarded(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(GUARD)).expect("read timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+fn handshake_raw(stream: &mut TcpStream) {
+    wire::write_frame(
+        stream,
+        &ClientFrame::Hello {
+            protocol: PROTOCOL.to_owned(),
+        }
+        .encode(),
+    )
+    .expect("hello");
+    assert!(matches!(
+        read_server_frame(stream),
+        Some(ServerFrame::Hello { .. })
+    ));
+}
+
+#[test]
+fn a_frame_delivered_one_byte_at_a_time_still_gets_its_response() {
+    let (addr, drain, join) = start(ServeConfig::default());
+    let mut stream = connect_guarded(&addr);
+    // The hello frame, trickled: 4-byte length prefix and payload all
+    // written byte by byte. Slow is not broken — the per-frame
+    // deadline (10s default) is nowhere near 1ms/byte.
+    let payload = ClientFrame::Hello {
+        protocol: PROTOCOL.to_owned(),
+    }
+    .encode();
+    let mut framed = Vec::new();
+    wire::write_frame(&mut framed, &payload).expect("encode");
+    for byte in framed {
+        stream.write_all(&[byte]).expect("trickle byte");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        matches!(
+            read_server_frame(&mut stream),
+            Some(ServerFrame::Hello { .. })
+        ),
+        "a trickled hello must be answered like a normal one"
+    );
+    drop(stream);
+    stop(&drain, join);
+}
+
+#[test]
+fn a_length_header_with_no_body_is_evicted_with_a_typed_slow_peer_error() {
+    let (addr, drain, join) = start(ServeConfig {
+        frame_deadline: Duration::from_millis(100),
+        ..ServeConfig::default()
+    });
+    let mut stream = connect_guarded(&addr);
+    handshake_raw(&mut stream);
+    // Half-open frame: announce 16 payload bytes, send none. The old
+    // server would block in read_exact forever; the hardened one
+    // answers with a typed error once the frame deadline lapses.
+    stream
+        .write_all(&16u32.to_be_bytes())
+        .expect("bare length header");
+    stream.flush().expect("flush");
+    let Some(ServerFrame::Error { code, message, .. }) = read_server_frame(&mut stream) else {
+        panic!("expected slow-peer error");
+    };
+    assert_eq!(code, "slow-peer");
+    assert!(message.contains("frame deadline"), "{message}");
+    // Nothing but a closing bye may follow; then EOF.
+    while let Ok(Some(payload)) = wire::read_frame(&mut stream, wire::DEFAULT_MAX_FRAME) {
+        let frame = ServerFrame::decode(&payload).expect("decode");
+        assert!(matches!(frame, ServerFrame::Bye), "unexpected {frame:?}");
+    }
+    stop(&drain, join);
+}
+
+#[test]
+fn the_frame_size_cap_cuts_exactly_at_the_boundary() {
+    let (addr, drain, join) = start(ServeConfig {
+        max_frame: 256,
+        ..ServeConfig::default()
+    });
+    let mut stream = connect_guarded(&addr);
+    handshake_raw(&mut stream);
+    // Exactly at the cap: admitted by the framing layer (the payload
+    // is garbage JSON, so it draws a typed bad-frame error), and the
+    // connection survives to serve the next frame.
+    wire::write_frame(&mut stream, &"y".repeat(256)).expect("boundary frame");
+    let Some(ServerFrame::Error { code, .. }) = read_server_frame(&mut stream) else {
+        panic!("expected bad-frame error for garbage payload");
+    };
+    assert_eq!(code, "bad-frame");
+    handshake_raw(&mut stream); // still alive
+                                // One byte over: rejected on the length prefix before allocation,
+                                // and the stream (unsynchronisable) is closed.
+    wire::write_frame(&mut stream, &"y".repeat(257)).expect("oversize frame");
+    let Some(ServerFrame::Error { code, message, .. }) = read_server_frame(&mut stream) else {
+        panic!("expected oversize error");
+    };
+    assert_eq!(code, "oversize-frame");
+    assert!(message.contains("256"), "{message}");
+    while let Ok(Some(payload)) = wire::read_frame(&mut stream, wire::DEFAULT_MAX_FRAME) {
+        let frame = ServerFrame::decode(&payload).expect("decode");
+        assert!(matches!(frame, ServerFrame::Bye), "unexpected {frame:?}");
+    }
+    stop(&drain, join);
+}
+
+#[test]
+fn an_idle_session_is_reaped_and_later_requests_say_session_expired() {
+    let obs = Obs::enabled();
+    let (addr, drain, join) = start(ServeConfig {
+        session_idle: Duration::from_millis(150),
+        obs: obs.clone(),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let session = client.open(None, Some("two".to_owned())).expect("open");
+    // Sit idle past the limit; the server reaps the session on its
+    // own clock, without any client traffic.
+    std::thread::sleep(Duration::from_millis(600));
+    let reply = client
+        .request(session, 1, "elicit", &[], None)
+        .expect("request on expired session");
+    let ServerFrame::Error { code, message, .. } = reply else {
+        panic!("expected session-expired, got {reply:?}");
+    };
+    assert_eq!(code, "session-expired");
+    assert!(message.contains("re-open"), "{message}");
+    // A session that never existed still reads `unknown-session` —
+    // the two failure modes stay distinguishable.
+    let reply = client
+        .request(999, 2, "elicit", &[], None)
+        .expect("request on unknown session");
+    let ServerFrame::Error { code, .. } = reply else {
+        panic!("expected unknown-session");
+    };
+    assert_eq!(code, "unknown-session");
+    // The connection is healthy: a fresh open works.
+    let fresh = client.open(None, Some("two".to_owned())).expect("re-open");
+    let reply = client
+        .request(fresh, 3, "elicit", &[], None)
+        .expect("request on fresh session");
+    assert!(matches!(reply, ServerFrame::Response { exit: 0, .. }));
+    client.bye().expect("bye");
+    stop(&drain, join);
+    assert!(
+        obs.snapshot()
+            .counter("serve.sessions_expired")
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
+#[test]
+fn connections_beyond_the_cap_get_a_typed_overloaded_error() {
+    let obs = Obs::enabled();
+    let (addr, drain, join) = start(ServeConfig {
+        max_conns: 1,
+        obs: obs.clone(),
+        ..ServeConfig::default()
+    });
+    let mut first = connect_guarded(&addr);
+    handshake_raw(&mut first); // the slot is provably occupied
+    let mut second = connect_guarded(&addr);
+    let Some(ServerFrame::Error { code, message, .. }) = read_server_frame(&mut second) else {
+        panic!("expected overloaded error");
+    };
+    assert_eq!(code, "overloaded");
+    assert!(message.contains("capacity"), "{message}");
+    assert_eq!(
+        wire::read_frame(&mut second, wire::DEFAULT_MAX_FRAME).ok(),
+        Some(None)
+    );
+    // The admitted connection is unaffected.
+    handshake_raw(&mut first);
+    drop(first);
+    drop(second);
+    let summary = stop(&drain, join);
+    assert_eq!(
+        summary.connections, 1,
+        "rejected connections are not served"
+    );
+    assert!(obs.snapshot().counter("serve.conn_rejected").unwrap_or(0) >= 1);
+}
+
+#[test]
+fn a_slow_loris_client_is_evicted_without_harming_its_neighbour() {
+    let obs = Obs::enabled();
+    let (addr, drain, join) = start(ServeConfig {
+        frame_deadline: Duration::from_millis(200),
+        obs: obs.clone(),
+        ..ServeConfig::default()
+    });
+    // The loris: starts a frame and feeds it one byte per 80ms — too
+    // slow to ever finish 64 bytes inside the 200ms deadline.
+    let mut loris = connect_guarded(&addr);
+    handshake_raw(&mut loris);
+    loris.write_all(&64u32.to_be_bytes()).expect("loris header");
+    let loris_drip = std::thread::spawn(move || {
+        for _ in 0..8 {
+            if loris.write_all(b"x").and_then(|()| loris.flush()).is_err() {
+                break; // evicted: the server closed on us
+            }
+            std::thread::sleep(Duration::from_millis(80));
+        }
+        loris
+    });
+    // Meanwhile a well-behaved neighbour gets full service.
+    let mut client = Client::connect(&addr).expect("neighbour connect");
+    let session = client.open(None, Some("two".to_owned())).expect("open");
+    let reply = client
+        .request(session, 1, "elicit", &[], None)
+        .expect("neighbour request");
+    assert!(
+        matches!(reply, ServerFrame::Response { exit: 0, .. }),
+        "the loris must not starve its neighbour: {reply:?}"
+    );
+    client.bye().expect("bye");
+    // The loris was answered with a typed error and disconnected.
+    let mut loris = loris_drip.join().expect("loris thread");
+    let Some(ServerFrame::Error { code, .. }) = read_server_frame(&mut loris) else {
+        panic!("expected slow-peer eviction");
+    };
+    assert_eq!(code, "slow-peer");
+    stop(&drain, join);
+    assert!(obs.snapshot().counter("serve.conn_stalled").unwrap_or(0) >= 1);
+}
