@@ -4,9 +4,35 @@
 //! the elementary automaton `t` and interpretation `i`. The SH tool
 //! prints states as `M-1`, `M-2`, …; [`ReachGraph::state_label`] follows
 //! that convention so reproduced outputs match the paper's listings.
+//!
+//! ### Arena layout
+//!
+//! The graph does not store one `Vec<BTreeSet<Value>>` per state.
+//! Component-local value sets are deduplicated into a *cell pool*
+//! (`cells`), and every state is a fixed-width row of `u32` cell ids
+//! packed into one contiguous bump arena (`rows`). Discovering a state
+//! hashes its row words (FNV-1a + avalanche) into an open-addressing
+//! table — no per-state heap graph, no `GlobalState` clones on the hot
+//! path. Successor computation is memoised per `(automaton, local cell
+//! row)`: a transition rule fires at most once per distinct local
+//! state, and replays are `u32` row copies. (Rules are required to be
+//! pure functions of the local state — the same assumption the
+//! layer-parallel engine and checkpoint/resume bit-identity already
+//! make.)
+//!
+//! Outgoing edges use a CSR encoding: `edges` is sorted by source (BFS
+//! emits it that way), and `out_off[i]..out_off[i + 1]` delimits state
+//! `i`'s slice — one flat offsets array instead of a `Vec<Vec<usize>>`.
+//!
+//! [`Apa::reachability_reference`] keeps the original
+//! `HashMap<GlobalState, usize>` engine; the differential property
+//! suite proves the arena kernel bit-identical to it (states in
+//! discovery order, edges, labels, symbol numbering).
 
 use crate::error::ApaError;
 use crate::model::{Apa, GlobalState};
+use crate::rule::LocalState;
+use crate::value::Value;
 use automata::{Symbol, SymbolTable};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt::Write as _;
@@ -41,44 +67,263 @@ pub struct TransitionLabel {
     pub interpretation: Symbol,
 }
 
-/// The reachability graph of an APA.
+/// The reachability graph of an APA (arena-backed: see the module docs).
 #[derive(Debug, Clone)]
 pub struct ReachGraph {
-    states: Vec<GlobalState>,
-    /// Edges `(from, label, to)`, in discovery order.
+    /// Distinct component-local value sets (the cell pool).
+    cells: Vec<BTreeSet<Value>>,
+    /// Packed state arena: state `i` is `rows[i * width..][..width]`,
+    /// one cell id per component.
+    rows: Vec<u32>,
+    /// Row width = number of state components.
+    width: usize,
+    /// Number of states (tracked separately so zero-component models
+    /// keep a meaningful count despite an empty arena).
+    n_states: usize,
+    /// Edges `(from, label, to)`, in discovery order (sorted by `from`).
     edges: Vec<(usize, TransitionLabel, usize)>,
-    /// Outgoing edge indices per state.
-    out: Vec<Vec<usize>>,
+    /// CSR offsets: state `i`'s outgoing edges are
+    /// `edges[out_off[i] as usize..out_off[i + 1] as usize]`.
+    out_off: Vec<u32>,
     component_names: Vec<String>,
     /// Interner shared by every edge label of this graph.
     symbols: SymbolTable,
 }
 
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over the row's `u32` cells, then a splitmix64-style avalanche
+/// so the low bits (used for power-of-two masking) depend on every cell.
+fn row_hash(row: &[u32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &w in row {
+        h ^= u64::from(w);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+/// Interner of component-local value sets: each distinct `BTreeSet<Value>`
+/// gets one `u32` id and lives once in the pool.
+#[derive(Default)]
+struct CellInterner {
+    index: HashMap<BTreeSet<Value>, u32>,
+    pool: Vec<BTreeSet<Value>>,
+}
+
+impl CellInterner {
+    fn intern(&mut self, set: &BTreeSet<Value>) -> u32 {
+        if let Some(&id) = self.index.get(set) {
+            return id;
+        }
+        let id = u32::try_from(self.pool.len()).expect("cell pool exceeds u32 ids");
+        self.index.insert(set.clone(), id);
+        self.pool.push(set.clone());
+        id
+    }
+}
+
+/// Arena-backed state interner: rows live contiguously in `rows`; the
+/// open-addressing `slots` table maps row hashes to state indices
+/// (stored as `index + 1`, `0` = empty) with linear probing.
+struct StateInterner {
+    width: usize,
+    rows: Vec<u32>,
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl StateInterner {
+    fn new(width: usize) -> Self {
+        StateInterner {
+            width,
+            rows: Vec::new(),
+            slots: vec![0; 1024],
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn row(&self, i: usize) -> &[u32] {
+        &self.rows[i * self.width..][..self.width]
+    }
+
+    /// Interns `row`, returning `(state index, freshly discovered)`.
+    fn intern(&mut self, row: &[u32]) -> (usize, bool) {
+        debug_assert_eq!(row.len(), self.width);
+        if self.width == 0 {
+            // Every state is the empty row; there is exactly one.
+            let fresh = self.len == 0;
+            self.len = 1;
+            return (0, fresh);
+        }
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut at = (row_hash(row) as usize) & mask;
+        loop {
+            let slot = self.slots[at];
+            if slot == 0 {
+                let i = self.len;
+                self.slots[at] = u32::try_from(i + 1).expect("state count exceeds u32 ids");
+                self.rows.extend_from_slice(row);
+                self.len += 1;
+                return (i, true);
+            }
+            let i = (slot - 1) as usize;
+            if self.row(i) == row {
+                return (i, false);
+            }
+            at = (at + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let mask = self.slots.len() * 2 - 1;
+        let mut slots = vec![0u32; self.slots.len() * 2];
+        for i in 0..self.len {
+            let mut at = (row_hash(self.row(i)) as usize) & mask;
+            while slots[at] != 0 {
+                at = (at + 1) & mask;
+            }
+            slots[at] = u32::try_from(i + 1).expect("state count exceeds u32 ids");
+        }
+        self.slots = slots;
+    }
+}
+
+/// Per-automaton successor memo: local cell row → the rule's firings as
+/// `(interpretation symbol, successor local cell row)`. Filling an
+/// entry is the only place a rule fires or a `BTreeSet` is touched;
+/// every replay is integer work.
+type FireMemo = Vec<HashMap<Vec<u32>, Vec<(Symbol, Vec<u32>)>>>;
+
 impl Apa {
     /// Computes the reachability graph by breadth-first exploration from
-    /// the initial state.
+    /// the initial state, on the arena kernel (see the module docs).
     ///
     /// # Errors
     ///
     /// * [`ApaError::StateLimitExceeded`] if more than
-    ///   `options.max_states` states are reachable.
+    ///   `options.max_states` states are reachable (a model with
+    ///   *exactly* `max_states` reachable states succeeds).
     /// * [`ApaError::MalformedSuccessor`] if a transition rule
     ///   misbehaves.
     pub fn reachability(&self, options: &ReachOptions) -> Result<ReachGraph, ApaError> {
+        let width = self.component_count();
+        let mut cells = CellInterner::default();
+        let mut interner = StateInterner::new(width);
+        let mut symbols = SymbolTable::new();
+        let aut_syms: Vec<Symbol> = self.automaton_names().map(|n| symbols.intern(n)).collect();
+        let mut memo: FireMemo = self.automata.iter().map(|_| HashMap::new()).collect();
+        let mut edges: Vec<(usize, TransitionLabel, usize)> = Vec::new();
+
+        let init_row: Vec<u32> = self.initial.iter().map(|set| cells.intern(set)).collect();
+        interner.intern(&init_row);
+
+        let mut current = vec![0u32; width];
+        let mut next_row = vec![0u32; width];
+        let mut local: Vec<u32> = Vec::new();
+
+        // States indexed in discovery order *are* the BFS queue.
+        let mut s = 0usize;
+        while s < interner.len() {
+            current.copy_from_slice(interner.row(s));
+            for (aut_idx, aut) in self.automata.iter().enumerate() {
+                local.clear();
+                local.extend(aut.neighbourhood.iter().map(|c| current[c.index()]));
+                if !memo[aut_idx].contains_key(local.as_slice()) {
+                    let decoded: LocalState = local
+                        .iter()
+                        .map(|&cid| cells.pool[cid as usize].clone())
+                        .collect();
+                    let mut fires = Vec::new();
+                    for (interp, next_local) in aut.rule.fire(&decoded) {
+                        if next_local.len() != aut.neighbourhood.len() {
+                            return Err(ApaError::MalformedSuccessor {
+                                automaton: aut.name.clone(),
+                                expected: aut.neighbourhood.len(),
+                                got: next_local.len(),
+                            });
+                        }
+                        // Interp symbols are interned at first firing,
+                        // which is this local state's first edge — the
+                        // same point the reference engine interns them,
+                        // so symbol numbering matches bit-for-bit.
+                        let interp_sym = symbols.intern(&interp);
+                        let next_cells: Vec<u32> =
+                            next_local.iter().map(|set| cells.intern(set)).collect();
+                        fires.push((interp_sym, next_cells));
+                    }
+                    memo[aut_idx].insert(local.clone(), fires);
+                }
+                let entry = memo[aut_idx]
+                    .get(local.as_slice())
+                    .expect("memo entry just ensured");
+                for &(interp_sym, ref next_cells) in entry {
+                    next_row.copy_from_slice(&current);
+                    for (slot, c) in aut.neighbourhood.iter().enumerate() {
+                        next_row[c.index()] = next_cells[slot];
+                    }
+                    let (t, fresh) = interner.intern(&next_row);
+                    if fresh && interner.len() > options.max_states {
+                        return Err(ApaError::StateLimitExceeded {
+                            limit: options.max_states,
+                        });
+                    }
+                    edges.push((
+                        s,
+                        TransitionLabel {
+                            automaton: aut_syms[aut_idx],
+                            interpretation: interp_sym,
+                        },
+                        t,
+                    ));
+                }
+            }
+            s += 1;
+        }
+        Ok(ReachGraph::assemble(
+            cells.pool,
+            interner.rows,
+            width,
+            interner.len,
+            edges,
+            self.component_names.clone(),
+            symbols,
+        ))
+    }
+
+    /// Reference implementation: the original `HashMap<GlobalState,
+    /// usize>` BFS with per-state clones. Kept (and exercised by the
+    /// differential property suite and `crates/bench`) as the oracle the
+    /// arena kernel must match bit-for-bit — states in discovery order,
+    /// edges, labels and symbol numbering.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Apa::reachability`], with identical boundary semantics
+    /// for `max_states`.
+    pub fn reachability_reference(&self, options: &ReachOptions) -> Result<ReachGraph, ApaError> {
         let mut index: HashMap<GlobalState, usize> = HashMap::new();
         let mut states: Vec<GlobalState> = Vec::new();
         let mut edges: Vec<(usize, TransitionLabel, usize)> = Vec::new();
-        let mut out: Vec<Vec<usize>> = Vec::new();
         let mut queue = VecDeque::new();
-        // Intern every automaton name up front: labelling an edge is then
-        // an index into `aut_syms` instead of a String allocation.
         let mut symbols = SymbolTable::new();
         let aut_syms: Vec<Symbol> = self.automaton_names().map(|n| symbols.intern(n)).collect();
 
         let q0 = self.initial_state().clone();
         index.insert(q0.clone(), 0);
         states.push(q0);
-        out.push(Vec::new());
         queue.push_back(0usize);
 
         while let Some(s) = queue.pop_front() {
@@ -95,7 +340,6 @@ impl Apa {
                         let t = states.len();
                         index.insert(next.clone(), t);
                         states.push(next);
-                        out.push(Vec::new());
                         queue.push_back(t);
                         t
                     }
@@ -104,17 +348,15 @@ impl Apa {
                     automaton: aut_syms[aut.index()],
                     interpretation: symbols.intern(&interp),
                 };
-                out[s].push(edges.len());
                 edges.push((s, label, t));
             }
         }
-        Ok(ReachGraph {
+        Ok(ReachGraph::from_decoded(
             states,
             edges,
-            out,
-            component_names: self.component_names.clone(),
+            self.component_names.clone(),
             symbols,
-        })
+        ))
     }
 }
 
@@ -124,8 +366,9 @@ impl Apa {
     ///
     /// Produces a graph identical to [`Apa::reachability`] (same state
     /// numbering, same edge order): each BFS layer's successor sets are
-    /// computed in parallel, then merged in deterministic state order.
-    /// `threads == 0` or `1` falls back to the sequential algorithm.
+    /// computed in parallel, then merged in deterministic state order
+    /// through the same arena interner. `threads == 0` or `1` falls
+    /// back to the sequential kernel.
     ///
     /// # Errors
     ///
@@ -138,17 +381,19 @@ impl Apa {
         if threads <= 1 {
             return self.reachability(options);
         }
-        let mut index: HashMap<GlobalState, usize> = HashMap::new();
-        let mut states: Vec<GlobalState> = Vec::new();
+        let width = self.component_count();
+        let mut cells = CellInterner::default();
+        let mut interner = StateInterner::new(width);
         let mut edges: Vec<(usize, TransitionLabel, usize)> = Vec::new();
-        let mut out: Vec<Vec<usize>> = Vec::new();
         let mut symbols = SymbolTable::new();
         let aut_syms: Vec<Symbol> = self.automaton_names().map(|n| symbols.intern(n)).collect();
 
-        let q0 = self.initial_state().clone();
-        index.insert(q0.clone(), 0);
-        states.push(q0);
-        out.push(Vec::new());
+        // Workers need decoded states to fire rules on; keep a side
+        // vector of decoded states alongside the arena rows.
+        let mut decoded: Vec<GlobalState> = vec![self.initial_state().clone()];
+        let init_row: Vec<u32> = self.initial.iter().map(|set| cells.intern(set)).collect();
+        interner.intern(&init_row);
+        let mut next_row = vec![0u32; width];
         let mut layer: Vec<usize> = vec![0];
 
         while !layer.is_empty() {
@@ -156,7 +401,7 @@ impl Apa {
             let chunk = layer.len().div_ceil(threads);
             let mut results: Vec<Result<Vec<_>, ApaError>> = Vec::with_capacity(layer.len());
             {
-                let states_ref = &states;
+                let states_ref = &decoded;
                 let layer_ref = &layer;
                 let mut collected: Vec<(usize, Result<Vec<_>, ApaError>)> =
                     std::thread::scope(|scope| {
@@ -192,46 +437,113 @@ impl Apa {
             for (pos, result) in results.into_iter().enumerate() {
                 let s = layer[pos];
                 for (aut, interp, next) in result? {
-                    let t = match index.get(&next) {
-                        Some(&t) => t,
-                        None => {
-                            if states.len() >= options.max_states {
-                                return Err(ApaError::StateLimitExceeded {
-                                    limit: options.max_states,
-                                });
-                            }
-                            let t = states.len();
-                            index.insert(next.clone(), t);
-                            states.push(next);
-                            out.push(Vec::new());
-                            next_layer.push(t);
-                            t
+                    for (c, set) in next.iter().enumerate() {
+                        next_row[c] = cells.intern(set);
+                    }
+                    let (t, fresh) = interner.intern(&next_row);
+                    if fresh {
+                        if interner.len() > options.max_states {
+                            return Err(ApaError::StateLimitExceeded {
+                                limit: options.max_states,
+                            });
                         }
-                    };
+                        decoded.push(next);
+                        next_layer.push(t);
+                    }
                     let label = TransitionLabel {
                         automaton: aut_syms[aut.index()],
                         interpretation: symbols.intern(&interp),
                     };
-                    out[s].push(edges.len());
                     edges.push((s, label, t));
                 }
             }
             layer = next_layer;
         }
-        Ok(ReachGraph {
-            states,
+        Ok(ReachGraph::assemble(
+            cells.pool,
+            interner.rows,
+            width,
+            interner.len,
             edges,
-            out,
-            component_names: self.component_names.clone(),
+            self.component_names.clone(),
             symbols,
-        })
+        ))
     }
 }
 
 impl ReachGraph {
+    /// Builds the final graph from arena parts, deriving the CSR
+    /// offsets. `edges` must be sorted by source — BFS discovery order
+    /// guarantees it; the counting pass below does not reorder.
+    fn assemble(
+        cells: Vec<BTreeSet<Value>>,
+        rows: Vec<u32>,
+        width: usize,
+        n_states: usize,
+        edges: Vec<(usize, TransitionLabel, usize)>,
+        component_names: Vec<String>,
+        symbols: SymbolTable,
+    ) -> Self {
+        debug_assert!(
+            edges.windows(2).all(|w| w[0].0 <= w[1].0),
+            "edges by source"
+        );
+        u32::try_from(edges.len()).expect("edge count exceeds u32 CSR offsets");
+        let mut out_off = vec![0u32; n_states + 1];
+        for &(f, _, _) in &edges {
+            out_off[f + 1] += 1;
+        }
+        for i in 1..out_off.len() {
+            out_off[i] += out_off[i - 1];
+        }
+        ReachGraph {
+            cells,
+            rows,
+            width,
+            n_states,
+            edges,
+            out_off,
+            component_names,
+            symbols,
+        }
+    }
+
+    /// Encodes fully decoded states into the arena representation (used
+    /// by [`Apa::reachability_reference`]).
+    fn from_decoded(
+        states: Vec<GlobalState>,
+        edges: Vec<(usize, TransitionLabel, usize)>,
+        component_names: Vec<String>,
+        symbols: SymbolTable,
+    ) -> Self {
+        let width = component_names.len();
+        let n_states = states.len();
+        let mut cells = CellInterner::default();
+        let mut rows = Vec::with_capacity(n_states * width);
+        for state in &states {
+            for set in state {
+                rows.push(cells.intern(set));
+            }
+        }
+        ReachGraph::assemble(
+            cells.pool,
+            rows,
+            width,
+            n_states,
+            edges,
+            component_names,
+            symbols,
+        )
+    }
+
+    /// The packed cell-id row of state `i`.
+    fn row(&self, i: usize) -> &[u32] {
+        &self.rows[i * self.width..][..self.width]
+    }
+
     /// Number of reachable states.
     pub fn state_count(&self) -> usize {
-        self.states.len()
+        self.n_states
     }
 
     /// Number of transitions.
@@ -239,13 +551,18 @@ impl ReachGraph {
         self.edges.len()
     }
 
-    /// The global state with index `i` (0 is the initial state).
+    /// The global state with index `i` (0 is the initial state), decoded
+    /// from the arena into an owned value.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn state(&self, i: usize) -> &GlobalState {
-        &self.states[i]
+    pub fn state(&self, i: usize) -> GlobalState {
+        assert!(i < self.n_states, "state out of range");
+        self.row(i)
+            .iter()
+            .map(|&cid| self.cells[cid as usize].clone())
+            .collect()
     }
 
     /// The SH-tool style name of state `i`: `M-1` for the initial state,
@@ -273,18 +590,31 @@ impl ReachGraph {
         self.edges.iter().map(|(f, l, t)| (*f, *l, *t))
     }
 
-    /// Outgoing edges of state `i`.
+    /// Outgoing edges of state `i` — one contiguous CSR slice, no
+    /// indirection through per-state index vectors.
     pub fn outgoing(&self, i: usize) -> impl Iterator<Item = (usize, TransitionLabel, usize)> + '_ {
-        self.out[i].iter().map(move |&e| {
-            let (f, l, t) = self.edges[e];
-            (f, l, t)
-        })
+        self.edges[self.out_off[i] as usize..self.out_off[i + 1] as usize]
+            .iter()
+            .map(|(f, l, t)| (*f, *l, *t))
+    }
+
+    /// The CSR successor layout: `(offsets, targets)` with state `i`'s
+    /// successor states at `targets[offsets[i] as usize..offsets[i + 1]
+    /// as usize]` (one entry per edge, parallel to edge order). The
+    /// offsets borrow; the targets are materialised on demand.
+    pub fn csr_successors(&self) -> (&[u32], Vec<u32>) {
+        let targets = self
+            .edges
+            .iter()
+            .map(|&(_, _, t)| u32::try_from(t).expect("state count exceeds u32 ids"))
+            .collect();
+        (&self.out_off, targets)
     }
 
     /// States without outgoing transitions — the SH tool's *dead* states.
     pub fn dead_states(&self) -> Vec<usize> {
-        (0..self.states.len())
-            .filter(|&i| self.out[i].is_empty())
+        (0..self.n_states)
+            .filter(|&i| self.out_off[i] == self.out_off[i + 1])
             .collect()
     }
 
@@ -336,7 +666,9 @@ impl ReachGraph {
 
     /// `mask[i]` is `true` iff state `i` has no outgoing transition.
     fn dead_state_mask(&self) -> Vec<bool> {
-        self.out.iter().map(Vec::is_empty).collect()
+        (0..self.n_states)
+            .map(|i| self.out_off[i] == self.out_off[i + 1])
+            .collect()
     }
 
     /// Renders the minima/maxima listing in the style of the paper's
@@ -453,7 +785,7 @@ impl ReachGraph {
         &self,
         invariant: impl Fn(&GlobalState) -> bool,
     ) -> Option<(usize, Vec<TransitionLabel>)> {
-        let violating = (0..self.state_count()).find(|&i| !invariant(&self.states[i]))?;
+        let violating = (0..self.state_count()).find(|&i| !invariant(&self.state(i)))?;
         Some((violating, self.trace_to(violating)))
     }
 
@@ -475,7 +807,7 @@ impl ReachGraph {
             if s == target {
                 break;
             }
-            for &e in &self.out[s] {
+            for e in self.out_off[s] as usize..self.out_off[s + 1] as usize {
                 let (_, _, t) = &self.edges[e];
                 if !seen[*t] {
                     seen[*t] = true;
@@ -507,7 +839,8 @@ impl ReachGraph {
     pub fn format_state(&self, i: usize) -> String {
         let mut s = String::new();
         let _ = write!(s, "{}:", self.state_label(i));
-        for (c, set) in self.states[i].iter().enumerate() {
+        for (c, &cid) in self.row(i).iter().enumerate() {
+            let set = &self.cells[cid as usize];
             if set.is_empty() {
                 continue;
             }
@@ -535,6 +868,44 @@ mod tests {
         b.automaton("move_a", [a_src, a_dst], rule::move_any(0, 1));
         b.automaton("move_b", [b_src, b_dst], rule::move_any(0, 1));
         b.build().unwrap()
+    }
+
+    /// Asserts two graphs are bit-identical observationally: states in
+    /// discovery order, edges with resolved label names, listings.
+    fn assert_graphs_identical(a: &ReachGraph, b: &ReachGraph) {
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for i in 0..a.state_count() {
+            assert_eq!(a.state(i), b.state(i), "state {i}");
+        }
+        let ae: Vec<_> = a
+            .edges()
+            .map(|(f, l, t)| {
+                (
+                    f,
+                    a.name(l.automaton).to_owned(),
+                    a.name(l.interpretation).to_owned(),
+                    t,
+                )
+            })
+            .collect();
+        let be: Vec<_> = b
+            .edges()
+            .map(|(f, l, t)| {
+                (
+                    f,
+                    b.name(l.automaton).to_owned(),
+                    b.name(l.interpretation).to_owned(),
+                    t,
+                )
+            })
+            .collect();
+        assert_eq!(ae, be);
+        // Raw symbol ids must match too (labels are compared as ints
+        // downstream), not just resolved names.
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        assert_eq!(a.min_max_listing(), b.min_max_listing());
+        assert_eq!(a.dead_states(), b.dead_states());
     }
 
     #[test]
@@ -570,12 +941,83 @@ mod tests {
     }
 
     #[test]
+    fn arena_kernel_matches_reference() {
+        let apa = diamond_apa();
+        let arena = apa.reachability(&ReachOptions::default()).unwrap();
+        let reference = apa
+            .reachability_reference(&ReachOptions::default())
+            .unwrap();
+        assert_graphs_identical(&arena, &reference);
+    }
+
+    #[test]
+    fn arena_kernel_matches_reference_on_cycles() {
+        let mut b = ApaBuilder::new();
+        let ping = b.component("ping", [Value::atom("t")]);
+        let pong = b.component("pong", []);
+        b.automaton("serve", [ping, pong], rule::move_any(0, 1));
+        b.automaton("return", [pong, ping], rule::move_any(0, 1));
+        let apa = b.build().unwrap();
+        let arena = apa.reachability(&ReachOptions::default()).unwrap();
+        let reference = apa
+            .reachability_reference(&ReachOptions::default())
+            .unwrap();
+        assert_graphs_identical(&arena, &reference);
+    }
+
+    #[test]
     fn state_limit_enforced() {
         let apa = diamond_apa();
         let err = apa
             .reachability(&ReachOptions { max_states: 2 })
             .unwrap_err();
         assert_eq!(err, ApaError::StateLimitExceeded { limit: 2 });
+    }
+
+    #[test]
+    fn state_limit_boundary_is_exact() {
+        // The diamond has exactly 4 reachable states: a limit of 4 must
+        // succeed and a limit of 3 must fail, identically on the arena
+        // kernel, the reference engine and the parallel engine.
+        let apa = diamond_apa();
+        for (limit, ok) in [(4usize, true), (3, false)] {
+            let opts = ReachOptions { max_states: limit };
+            let outcomes = [
+                apa.reachability(&opts).map(|g| g.state_count()),
+                apa.reachability_reference(&opts).map(|g| g.state_count()),
+                apa.reachability_parallel(&opts, 4).map(|g| g.state_count()),
+            ];
+            for (i, got) in outcomes.into_iter().enumerate() {
+                if ok {
+                    assert_eq!(got, Ok(4), "engine {i} at limit {limit}");
+                } else {
+                    assert_eq!(
+                        got,
+                        Err(ApaError::StateLimitExceeded { limit }),
+                        "engine {i} at limit {limit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_rule_reported_by_arena_kernel() {
+        use crate::rule::{LocalState, TransitionRule};
+        struct Bad;
+        impl TransitionRule for Bad {
+            fn fire(&self, _local: &LocalState) -> Vec<(String, LocalState)> {
+                vec![("bad".into(), vec![])]
+            }
+        }
+        let mut b = ApaBuilder::new();
+        let c = b.component("c", [Value::atom("x")]);
+        b.automaton("t", [c], Box::new(Bad));
+        let apa = b.build().unwrap();
+        assert!(matches!(
+            apa.reachability(&ReachOptions::default()),
+            Err(ApaError::MalformedSuccessor { .. })
+        ));
     }
 
     #[test]
@@ -693,6 +1135,24 @@ mod tests {
     }
 
     #[test]
+    fn csr_successors_parallel_to_edges() {
+        let g = diamond_apa()
+            .reachability(&ReachOptions::default())
+            .unwrap();
+        let (offsets, targets) = g.csr_successors();
+        assert_eq!(offsets.len(), g.state_count() + 1);
+        assert_eq!(targets.len(), g.edge_count());
+        for i in 0..g.state_count() {
+            let via_csr: Vec<usize> = targets[offsets[i] as usize..offsets[i + 1] as usize]
+                .iter()
+                .map(|&t| t as usize)
+                .collect();
+            let via_iter: Vec<usize> = g.outgoing(i).map(|(_, _, t)| t).collect();
+            assert_eq!(via_csr, via_iter, "state {i}");
+        }
+    }
+
+    #[test]
     fn parallel_reachability_identical_to_sequential() {
         // A wider model: 4 independent movers → 16 states.
         let mut b = ApaBuilder::new();
@@ -703,18 +1163,15 @@ mod tests {
         }
         let apa = b.build().unwrap();
         let seq = apa.reachability(&ReachOptions::default()).unwrap();
+        let reference = apa
+            .reachability_reference(&ReachOptions::default())
+            .unwrap();
+        assert_graphs_identical(&seq, &reference);
         for threads in [2, 3, 8] {
             let par = apa
                 .reachability_parallel(&ReachOptions::default(), threads)
                 .unwrap();
-            assert_eq!(par.state_count(), seq.state_count());
-            assert_eq!(par.edge_count(), seq.edge_count());
-            let seq_edges: Vec<_> = seq.edges().collect();
-            let par_edges: Vec<_> = par.edges().collect();
-            assert_eq!(par_edges, seq_edges, "threads = {threads}");
-            for i in 0..seq.state_count() {
-                assert_eq!(par.state(i), seq.state(i), "state {i}");
-            }
+            assert_graphs_identical(&par, &seq);
         }
     }
 

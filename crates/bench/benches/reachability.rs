@@ -89,10 +89,37 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_arena_vs_reference(c: &mut Criterion) {
+    // The arena/CSR kernel against the retained HashMap-of-GlobalState
+    // oracle, both single-threaded on the six-vehicle (3-pair, 1728
+    // state) instance. The kernel is the default `reachability`; the
+    // oracle is what every release before the arena rewrite shipped.
+    let apa = n_pair_apa(3, ApaSemantics::PAPER).expect("valid model");
+    let mut group = c.benchmark_group("reachability_kernel");
+    group.bench_function("arena_csr", |b| {
+        b.iter(|| {
+            black_box(
+                apa.reachability(black_box(&apa::ReachOptions::default()))
+                    .expect("bounded"),
+            )
+        })
+    });
+    group.bench_function("reference_hashmap", |b| {
+        b.iter(|| {
+            black_box(
+                apa.reachability_reference(black_box(&apa::ReachOptions::default()))
+                    .expect("bounded"),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_reachability,
     bench_semantics_variants,
-    bench_parallel
+    bench_parallel,
+    bench_arena_vs_reference
 );
 criterion_main!(benches);

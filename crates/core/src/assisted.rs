@@ -96,6 +96,25 @@ impl Default for ElicitOptions {
     }
 }
 
+impl ElicitOptions {
+    /// The one options constructor every serving surface uses — the
+    /// resident service's `elicit` frames and the one-shot CLI
+    /// cross-check build *these* options, so served and one-shot runs
+    /// are the same engine configuration by construction (they used to
+    /// diverge on `prune`, which preserves verdicts and rendered output
+    /// but skews the `pairs_pruned`/`prune_pass` stats between paths).
+    ///
+    /// Precedence method, co-reachability pruning on.
+    #[must_use]
+    pub fn service(threads: usize) -> Self {
+        ElicitOptions {
+            method: DependenceMethod::Precedence,
+            threads,
+            prune: true,
+        }
+    }
+}
+
 /// Per-stage timings and work counters of one elicitation run
 /// (§5.5 pipeline: behaviour → minima/maxima → pair grid).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -219,17 +238,28 @@ pub fn elicit_from_graph(
 
 /// The per-maximum backward-reachability pruning index.
 ///
-/// Shared work across the pair grid: the reversed graph and the edge
-/// occurrence sets are built once; for each *maximum* `m` the set of
-/// states that can still reach an `m`-firing state is computed once and
-/// reused for every minimum paired with `m`.
+/// Shared work across the pair grid: the reversed graph (as one flat
+/// CSR) and the per-symbol edge occurrence sets are built once; for
+/// each *maximum* `m` the set of states that can still reach an
+/// `m`-firing state is computed once — by the word-parallel
+/// [`fsa_graph::bitset::bfs_reachable`] frontier kernel over the
+/// reversed CSR — and the resulting [`BitSet`] is reused for every
+/// minimum paired with `m`.
 struct PruneIndex {
-    /// Predecessor states per state (reversed edges, deduplicated).
-    rev: Vec<Vec<u32>>,
-    /// For each symbol, the states with an outgoing edge so labelled.
-    fire_sources: Vec<Vec<u32>>,
-    /// For each symbol, the target states of its edges.
-    edge_targets: Vec<Vec<u32>>,
+    /// State count (bitset capacity of every co-reachability sweep).
+    n: usize,
+    /// Reversed CSR: the predecessors of state `s` are
+    /// `rev_pred[rev_off[s] as usize..rev_off[s + 1] as usize]`
+    /// (deduplicated).
+    rev_off: Vec<u32>,
+    rev_pred: Vec<u32>,
+    /// Per-symbol CSR: states with an outgoing edge labelled `y` are
+    /// `fire_src[fire_off[y]..fire_off[y + 1]]` (as `usize` ranges).
+    fire_off: Vec<u32>,
+    fire_src: Vec<u32>,
+    /// Per-symbol CSR of edge *target* states, same shape.
+    tgt_off: Vec<u32>,
+    tgt_state: Vec<u32>,
 }
 
 impl PruneIndex {
@@ -248,31 +278,40 @@ impl PruneIndex {
             preds.sort_unstable();
             preds.dedup();
         }
+        let flatten = |lists: Vec<Vec<u32>>| -> (Vec<u32>, Vec<u32>) {
+            let mut off = Vec::with_capacity(lists.len() + 1);
+            off.push(0u32);
+            let mut flat = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+            for list in lists {
+                flat.extend_from_slice(&list);
+                off.push(u32::try_from(flat.len()).expect("CSR offset exceeds u32"));
+            }
+            (off, flat)
+        };
+        let (rev_off, rev_pred) = flatten(rev);
+        let (fire_off, fire_src) = flatten(fire_sources);
+        let (tgt_off, tgt_state) = flatten(edge_targets);
         PruneIndex {
-            rev,
-            fire_sources,
-            edge_targets,
+            n,
+            rev_off,
+            rev_pred,
+            fire_off,
+            fire_src,
+            tgt_off,
+            tgt_state,
         }
     }
 
-    /// `mask[s]` = state `s` can reach (in ≥ 0 steps) a state with an
-    /// outgoing `max`-labelled edge.
-    fn coreach(&self, max: Symbol) -> Vec<bool> {
-        let mut mask = vec![false; self.rev.len()];
-        let mut stack: Vec<u32> = Vec::new();
-        for &s in &self.fire_sources[max.index()] {
-            if !std::mem::replace(&mut mask[s as usize], true) {
-                stack.push(s);
-            }
+    /// The states that can reach (in ≥ 0 steps) a state with an
+    /// outgoing `max`-labelled edge — one bitset frontier sweep over
+    /// the reversed CSR.
+    fn coreach(&self, max: Symbol) -> fsa_graph::BitSet {
+        let mut seeds = fsa_graph::BitSet::new(self.n);
+        let y = max.index();
+        for &s in &self.fire_src[self.fire_off[y] as usize..self.fire_off[y + 1] as usize] {
+            seeds.insert(s as usize);
         }
-        while let Some(s) = stack.pop() {
-            for &p in &self.rev[s as usize] {
-                if !std::mem::replace(&mut mask[p as usize], true) {
-                    stack.push(p);
-                }
-            }
-        }
-        mask
+        fsa_graph::bitset::bfs_reachable(&self.rev_off, &self.rev_pred, &seeds)
     }
 
     /// `true` iff `min` can occur strictly before some later (or
@@ -280,10 +319,11 @@ impl PruneIndex {
     /// the pair is independent without running a decision procedure:
     /// every firing of the maximum happens on a run with no earlier
     /// minimum, so the precedence property is violated.
-    fn min_before_max_possible(&self, min: Symbol, max_coreach: &[bool]) -> bool {
-        self.edge_targets[min.index()]
+    fn min_before_max_possible(&self, min: Symbol, max_coreach: &fsa_graph::BitSet) -> bool {
+        let y = min.index();
+        self.tgt_state[self.tgt_off[y] as usize..self.tgt_off[y + 1] as usize]
             .iter()
-            .any(|&v| max_coreach[v as usize])
+            .any(|&v| max_coreach.contains(v as usize))
     }
 }
 
@@ -353,7 +393,7 @@ pub fn elicit_observed(
     let span = obs.span("elicit.prune_pass");
     let pruned: Vec<bool> = if options.prune {
         let index = PruneIndex::new(graph);
-        let mut coreach_cache: Vec<Option<Vec<bool>>> = vec![None; maxima_syms.len()];
+        let mut coreach_cache: Vec<Option<fsa_graph::BitSet>> = vec![None; maxima_syms.len()];
         pairs
             .iter()
             .map(|&(ma, mi)| {

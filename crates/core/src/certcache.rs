@@ -1,0 +1,370 @@
+//! Cross-run certificate cache: a persistent record of the certificate
+//! buckets a **completed** enumeration observed, so a later run of the
+//! same configuration can discharge duplicate candidates on the
+//! cache's word instead of re-running exact isomorphism.
+//!
+//! # Soundness
+//!
+//! The enumeration is deterministic for a fixed configuration
+//! fingerprint ([`crate::checkpoint::config_fingerprint`]): the same
+//! candidate stream hits the same certificate buckets in the same
+//! order. Each bucket's census records both its final **class** count
+//! and its total **candidate** count, which makes two bucket shapes
+//! trustable:
+//!
+//! * **one class** — every candidate of the current run that lands in
+//!   the bucket is isomorphic to its single representative, so
+//!   [`fsa_graph::iso::CertifiedClasses::insert_trusting_unique_bucket`]
+//!   records the duplicate without the exact check;
+//! * **candidates == classes** (an all-founders collision bucket —
+//!   distinct classes that happen to share a certificate) — every
+//!   arrival of the identical replayed stream founds its own class, so
+//!   [`fsa_graph::iso::CertifiedClasses::insert_trusting_new_class`]
+//!   appends it without exact checks, until the bucket reaches the
+//!   recorded class count.
+//!
+//! Mixed buckets (two or more classes *and* extra duplicate
+//! candidates) are deliberately *not* trusted: the census cannot say
+//! which arrival was a founder, so candidates landing there always
+//! take the exact-isomorphism path. Partial runs (cancelled, or with
+//! quarantined chunks) never save a section — their bucket counts are
+//! lower bounds, not facts.
+//!
+//! # On-disk format
+//!
+//! The cache file is an [`fsa_exec::Snapshot`] envelope (magic,
+//! version, length, FNV-1a checksum — exactly the checkpoint
+//! discipline) with version [`CERT_CACHE_VERSION`] and payload:
+//!
+//! ```text
+//! section count        u64
+//! per section:
+//!   config fingerprint u64
+//!   entry count        u64
+//!   per entry:         certificate u64 ‖ class count u64 ‖ candidate count u64
+//!                      (certificates strictly ascending,
+//!                       candidates ≥ classes ≥ 1)
+//! ```
+//!
+//! Sections are keyed by configuration fingerprint, so one cache file
+//! serves many configurations; saving a run replaces only its own
+//! section and preserves every foreign one. Truncated, bit-flipped and
+//! version-skewed files fail closed with [`FsaError::CertCache`] —
+//! never a panic, never a silent partial load. A *missing* file is an
+//! empty (cold) cache, not an error.
+
+use crate::error::FsaError;
+use fsa_exec::{Snapshot, SnapshotError, SnapshotReader};
+use fsa_graph::iso::Certificate;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Schema version of the certificate-cache payload.
+pub const CERT_CACHE_VERSION: u32 = 1;
+
+/// Maps `FsaError::CertCache` out of a snapshot-layer failure.
+fn corrupt(path: &Path, e: &SnapshotError) -> FsaError {
+    FsaError::CertCache {
+        reason: format!("{}: {e}", path.display()),
+    }
+}
+
+/// One bucket's census: how many isomorphism classes the completed run
+/// ended with under a certificate, and how many candidates landed in
+/// the bucket overall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCensus {
+    /// Final class count of the bucket (≥ 1).
+    pub classes: u64,
+    /// Total candidates that hit the bucket (≥ `classes`).
+    pub candidates: u64,
+}
+
+/// One configuration's view of the cache: certificate → bucket census,
+/// as observed by the last completed run with that fingerprint.
+pub type CertSection = BTreeMap<Certificate, BucketCensus>;
+
+/// The whole cache file: sections keyed by configuration fingerprint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CertCache {
+    sections: BTreeMap<u64, CertSection>,
+}
+
+impl CertCache {
+    /// An empty (cold) cache.
+    #[must_use]
+    pub fn new() -> Self {
+        CertCache::default()
+    }
+
+    /// Loads the cache at `path`. A missing file is a cold cache.
+    ///
+    /// # Errors
+    ///
+    /// [`FsaError::CertCache`] on any unreadable, truncated,
+    /// bit-flipped, version-skewed or structurally malformed file —
+    /// fail closed, never trust a partial load.
+    pub fn load(path: &Path) -> Result<CertCache, FsaError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(CertCache::new());
+            }
+            Err(e) => {
+                return Err(FsaError::CertCache {
+                    reason: format!("{}: {e}", path.display()),
+                })
+            }
+        };
+        let mut r = SnapshotReader::from_bytes(&bytes, CERT_CACHE_VERSION)
+            .map_err(|e| corrupt(path, &e))?;
+        let mut sections = BTreeMap::new();
+        let section_count = r.u64().map_err(|e| corrupt(path, &e))?;
+        for _ in 0..section_count {
+            let fingerprint = r.u64().map_err(|e| corrupt(path, &e))?;
+            let entry_count = r.u64().map_err(|e| corrupt(path, &e))?;
+            let mut section = CertSection::new();
+            let mut previous: Option<Certificate> = None;
+            for _ in 0..entry_count {
+                let certificate = r.u64().map_err(|e| corrupt(path, &e))?;
+                let classes = r.u64().map_err(|e| corrupt(path, &e))?;
+                let candidates = r.u64().map_err(|e| corrupt(path, &e))?;
+                if previous.is_some_and(|p| p >= certificate) {
+                    return Err(FsaError::CertCache {
+                        reason: format!(
+                            "{}: certificates not strictly ascending in section {fingerprint:#018x}",
+                            path.display()
+                        ),
+                    });
+                }
+                if classes == 0 {
+                    return Err(FsaError::CertCache {
+                        reason: format!(
+                            "{}: certificate {certificate:#018x} records zero classes",
+                            path.display()
+                        ),
+                    });
+                }
+                if candidates < classes {
+                    return Err(FsaError::CertCache {
+                        reason: format!(
+                            "{}: certificate {certificate:#018x} records fewer candidates than classes",
+                            path.display()
+                        ),
+                    });
+                }
+                previous = Some(certificate);
+                section.insert(
+                    certificate,
+                    BucketCensus {
+                        classes,
+                        candidates,
+                    },
+                );
+            }
+            if sections.insert(fingerprint, section).is_some() {
+                return Err(FsaError::CertCache {
+                    reason: format!(
+                        "{}: duplicate section for fingerprint {fingerprint:#018x}",
+                        path.display()
+                    ),
+                });
+            }
+        }
+        r.finish().map_err(|e| corrupt(path, &e))?;
+        Ok(CertCache { sections })
+    }
+
+    /// The section recorded for `fingerprint`, if any.
+    #[must_use]
+    pub fn section(&self, fingerprint: u64) -> Option<&CertSection> {
+        self.sections.get(&fingerprint)
+    }
+
+    /// Replaces the section for `fingerprint` with the bucket census of
+    /// a completed run (the exact payload of
+    /// [`fsa_graph::iso::CertifiedClasses::bucket_census`]). Foreign
+    /// sections are untouched.
+    pub fn record(&mut self, fingerprint: u64, buckets: &[(Certificate, usize, usize)]) {
+        let section: CertSection = buckets
+            .iter()
+            .map(|&(cert, classes, candidates)| {
+                (
+                    cert,
+                    BucketCensus {
+                        classes: classes as u64,
+                        candidates: candidates as u64,
+                    },
+                )
+            })
+            .collect();
+        self.sections.insert(fingerprint, section);
+    }
+
+    /// Writes the cache atomically (tmp file + rename, fsynced).
+    ///
+    /// # Errors
+    ///
+    /// [`FsaError::CertCache`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), FsaError> {
+        let mut s = Snapshot::new(CERT_CACHE_VERSION);
+        s.put_u64(self.sections.len() as u64);
+        for (&fingerprint, section) in &self.sections {
+            s.put_u64(fingerprint);
+            s.put_u64(section.len() as u64);
+            for (&cert, census) in section {
+                s.put_u64(cert);
+                s.put_u64(census.classes);
+                s.put_u64(census.candidates);
+            }
+        }
+        s.write_atomic(path).map_err(|e| corrupt(path, &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fsa-certcache-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_cache() {
+        let cache = CertCache::load(Path::new("/nonexistent/certcache.fsas")).unwrap();
+        assert_eq!(cache, CertCache::new());
+        assert!(cache.section(7).is_none());
+    }
+
+    #[test]
+    fn round_trips_sections_and_preserves_foreign_ones() {
+        let path = tmp("roundtrip");
+        let mut cache = CertCache::new();
+        cache.record(0xAAAA, &[(3, 1, 4), (9, 2, 2), (1, 1, 1)]);
+        cache.record(0xBBBB, &[(5, 1, 2)]);
+        cache.save(&path).unwrap();
+
+        // A later run with fingerprint 0xAAAA re-records its own
+        // section; 0xBBBB survives untouched.
+        let mut loaded = CertCache::load(&path).unwrap();
+        assert_eq!(loaded, cache);
+        loaded.record(0xAAAA, &[(2, 1, 1)]);
+        loaded.save(&path).unwrap();
+        let reloaded = CertCache::load(&path).unwrap();
+        assert_eq!(
+            reloaded.section(0xBBBB),
+            Some(&CertSection::from([(
+                5u64,
+                BucketCensus {
+                    classes: 1,
+                    candidates: 2
+                }
+            )]))
+        );
+        assert_eq!(
+            reloaded.section(0xAAAA),
+            Some(&CertSection::from([(
+                2u64,
+                BucketCensus {
+                    classes: 1,
+                    candidates: 1
+                }
+            )]))
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_bitflipped_files_fail_closed() {
+        let path = tmp("corrupt");
+        let mut cache = CertCache::new();
+        cache.record(1, &[(10, 1, 3), (20, 2, 2)]);
+        cache.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Truncation.
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let err = CertCache::load(&path).unwrap_err();
+        assert!(matches!(err, FsaError::CertCache { .. }), "{err}");
+
+        // A single flipped payload bit trips the checksum.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = CertCache::load(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Not a snapshot at all.
+        std::fs::write(&path, b"not a cache").unwrap();
+        let err = CertCache::load(&path).unwrap_err();
+        assert!(matches!(err, FsaError::CertCache { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let path = tmp("version");
+        let mut s = Snapshot::new(CERT_CACHE_VERSION + 1);
+        s.put_u64(0);
+        s.write_atomic(&path).unwrap();
+        let err = CertCache::load(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn structural_lies_are_rejected() {
+        let path = tmp("structure");
+        // Zero class count.
+        let mut s = Snapshot::new(CERT_CACHE_VERSION);
+        s.put_u64(1);
+        s.put_u64(0xF00);
+        s.put_u64(1);
+        s.put_u64(42);
+        s.put_u64(0);
+        s.put_u64(0);
+        s.write_atomic(&path).unwrap();
+        let err = CertCache::load(&path).unwrap_err();
+        assert!(err.to_string().contains("zero classes"), "{err}");
+
+        // Fewer candidates than classes.
+        let mut s = Snapshot::new(CERT_CACHE_VERSION);
+        s.put_u64(1);
+        s.put_u64(0xF00);
+        s.put_u64(1);
+        s.put_u64(42);
+        s.put_u64(3);
+        s.put_u64(2);
+        s.write_atomic(&path).unwrap();
+        let err = CertCache::load(&path).unwrap_err();
+        assert!(err.to_string().contains("fewer candidates"), "{err}");
+
+        // Descending certificates.
+        let mut s = Snapshot::new(CERT_CACHE_VERSION);
+        s.put_u64(1);
+        s.put_u64(0xF00);
+        s.put_u64(2);
+        s.put_u64(9);
+        s.put_u64(1);
+        s.put_u64(1);
+        s.put_u64(3);
+        s.put_u64(1);
+        s.put_u64(1);
+        s.write_atomic(&path).unwrap();
+        let err = CertCache::load(&path).unwrap_err();
+        assert!(err.to_string().contains("ascending"), "{err}");
+
+        // Trailing bytes.
+        let mut s = Snapshot::new(CERT_CACHE_VERSION);
+        s.put_u64(0);
+        s.put_u64(99);
+        s.write_atomic(&path).unwrap();
+        let err = CertCache::load(&path).unwrap_err();
+        assert!(matches!(err, FsaError::CertCache { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -61,6 +61,15 @@ pub enum FsaError {
         /// Explanation.
         reason: String,
     },
+    /// The cross-run certificate cache failed: the file is unreadable,
+    /// truncated, bit-flipped (checksum mismatch), version-skewed or
+    /// structurally malformed, or the cache was combined with an
+    /// execution mode it cannot honour (checkpoint/resume). Fail
+    /// closed — a suspect cache is never consulted.
+    CertCache {
+        /// Explanation.
+        reason: String,
+    },
     /// A shard range restriction was malformed or used with an engine
     /// that cannot honour it (see
     /// [`crate::explore::ExploreOptions::shard`]).
@@ -103,6 +112,9 @@ impl fmt::Display for FsaError {
             ),
             FsaError::CorruptCheckpoint { reason } => {
                 write!(f, "corrupt checkpoint: {reason}")
+            }
+            FsaError::CertCache { reason } => {
+                write!(f, "certificate cache: {reason}")
             }
             FsaError::InvalidShard { reason } => {
                 write!(f, "invalid shard range: {reason}")

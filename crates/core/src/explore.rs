@@ -46,6 +46,7 @@
 //! resumed, the supervised engine's instances are bit-identical to
 //! [`enumerate_instances_with_stats`].
 
+use crate::certcache::{CertCache, CertSection};
 use crate::checkpoint::{config_fingerprint, CheckpointCounters, ExploreCheckpoint};
 use crate::component_model::{ComponentModel, TemplateActionId};
 use crate::error::FsaError;
@@ -53,10 +54,10 @@ use crate::instance::{SosInstance, SosInstanceBuilder};
 use crate::manual::{elicit, ElicitationReport};
 use crate::requirements::RequirementSet;
 use fsa_exec::{CancelToken, ChunkFailure, Supervisor};
-use fsa_graph::iso::{canonical_certificate, CertifiedClasses};
+use fsa_graph::iso::{canonical_certificate, Certificate, CertifiedClasses};
 use fsa_graph::{DiGraph, NodeId};
 use fsa_obs::Obs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// An allowed external flow: an output action of one component model
@@ -191,6 +192,18 @@ pub struct ExploreOptions {
     /// [`BudgetPolicy::Truncate`] reject sharded options
     /// ([`FsaError::InvalidShard`]).
     pub shard: Option<ShardRange>,
+    /// Cross-run certificate cache file (see [`crate::certcache`]).
+    /// When set, candidates landing in buckets whose recorded census
+    /// is conclusive — exactly one class, or every candidate its own
+    /// class — bypass the exact-isomorphism fallback, and a completed
+    /// run saves its own bucket census back (replacing only its
+    /// configuration's section). Results are bit-identical with or
+    /// without the cache; only [`ExploreStats::exact_iso_fallbacks`]
+    /// drops. Excluded from the configuration fingerprint (the cache
+    /// path never changes the enumeration). Cannot be combined with
+    /// checkpoint/resume ([`FsaError::CertCache`]): the resume replay
+    /// is cacheless and its fallback counters would not re-base.
+    pub cert_cache: Option<PathBuf>,
 }
 
 impl Default for ExploreOptions {
@@ -202,6 +215,7 @@ impl Default for ExploreOptions {
             threads: 1,
             obs: Obs::disabled(),
             shard: None,
+            cert_cache: None,
         }
     }
 }
@@ -267,6 +281,12 @@ pub struct ExploreStats {
     pub certificate_hits: usize,
     /// Exact isomorphism checks run inside certificate buckets.
     pub exact_iso_fallbacks: usize,
+    /// Certificate-cache entries loaded for this configuration's
+    /// section (`0` on a cacheless or cold run).
+    pub cert_cache_entries: usize,
+    /// Duplicates discharged on the certificate cache's word, skipping
+    /// the exact isomorphism fallback.
+    pub cert_cache_skips: usize,
     /// Structurally different instances (equivalence classes) found.
     pub classes: usize,
     /// `true` if the run stopped early under [`BudgetPolicy::Truncate`].
@@ -319,6 +339,10 @@ impl std::fmt::Display for ExploreStats {
         writeln!(f, "  disconnected          {}", self.disconnected_skipped)?;
         writeln!(f, "  certificate hits      {}", self.certificate_hits)?;
         writeln!(f, "  exact iso fallbacks   {}", self.exact_iso_fallbacks)?;
+        if self.cert_cache_entries > 0 || self.cert_cache_skips > 0 {
+            writeln!(f, "  cert cache entries    {}", self.cert_cache_entries)?;
+            writeln!(f, "  cert cache skips      {}", self.cert_cache_skips)?;
+        }
         writeln!(f, "  classes               {}", self.classes)?;
         writeln!(f, "  truncated             {}", self.truncated)?;
         writeln!(f, "  threads               {}", self.threads)?;
@@ -382,6 +406,8 @@ impl ExploreStats {
             disconnected_skipped: count("explore.disconnected_skipped")?,
             certificate_hits: count("explore.certificate_hits")?,
             exact_iso_fallbacks: count("explore.exact_iso_fallbacks")?,
+            cert_cache_entries: count("explore.cert_cache_entries")?,
+            cert_cache_skips: count("explore.cert_cache_skips")?,
             classes: count("explore.classes")?,
             truncated: count("explore.truncated")? != 0,
             threads: count("explore.threads")?,
@@ -444,6 +470,14 @@ impl ExploreStats {
             "explore.checkpoints_written",
             self.checkpoints_written as u64,
         );
+        // Cache counters are only materialised when a cache was in
+        // play, so cacheless observed runs export the exact counter
+        // set they always did (snapshot views read missing counters
+        // as zero).
+        if self.cert_cache_entries > 0 || self.cert_cache_skips > 0 {
+            obs.counter_add("explore.cert_cache_entries", self.cert_cache_entries as u64);
+            obs.counter_add("explore.cert_cache_skips", self.cert_cache_skips as u64);
+        }
     }
 }
 
@@ -491,6 +525,64 @@ const SUBSET_SCAN_CAP: usize = 1 << 26;
 /// collapses the orbits, just later).
 const ORBIT_GROUP_CAP: usize = 720;
 
+/// Loads the cross-run certificate cache of `options`, returning the
+/// whole cache (foreign sections are preserved on save) and this
+/// configuration's trusted section, cloned out so the class map can be
+/// mutated while it is consulted.
+fn load_cert_cache(
+    options: &ExploreOptions,
+    fingerprint: u64,
+) -> Result<Option<(PathBuf, CertCache, Option<CertSection>)>, FsaError> {
+    let Some(path) = &options.cert_cache else {
+        return Ok(None);
+    };
+    let cache = CertCache::load(path)?;
+    let trusted = cache.section(fingerprint).cloned();
+    Ok(Some((path.clone(), cache, trusted)))
+}
+
+/// Streams one candidate into the class map, trusting the certificate
+/// cache's census where it is conclusive (see [`crate::certcache`] for
+/// the soundness argument): single-class buckets discharge duplicates
+/// without exact isomorphism, all-founders collision buckets
+/// (candidates == classes) append new classes without exact
+/// isomorphism. Mixed buckets and unknown certificates take the
+/// ordinary exact path.
+fn insert_candidate(
+    classes: &mut CertifiedClasses<String>,
+    trusted: Option<&CertSection>,
+    shape: DiGraph<String>,
+    certificate: Certificate,
+) -> Option<usize> {
+    match trusted.and_then(|section| section.get(&certificate)) {
+        Some(census) if census.classes == 1 => {
+            classes.insert_trusting_unique_bucket(shape, certificate)
+        }
+        Some(census) if census.candidates == census.classes => classes.insert_trusting_new_class(
+            shape,
+            certificate,
+            usize::try_from(census.classes).unwrap_or(usize::MAX),
+        ),
+        _ => classes.insert_with_certificate(shape, certificate),
+    }
+}
+
+/// Persists a completed run's bucket census into its cache section.
+/// Partial coverage (cancellation or quarantined chunks) must never be
+/// recorded — its bucket counts are lower bounds, not facts — so
+/// callers gate on completeness; deterministic budget truncation is
+/// fine (the fingerprint pins the budget, so the truncated candidate
+/// stream is reproducible).
+fn save_cert_cache(
+    path: &Path,
+    mut cache: CertCache,
+    fingerprint: u64,
+    classes: &CertifiedClasses<String>,
+) -> Result<(), FsaError> {
+    cache.record(fingerprint, &classes.bucket_census());
+    cache.save(path)
+}
+
 /// Like [`enumerate_instances`], but also returns [`ExploreStats`].
 ///
 /// # Errors
@@ -522,6 +614,10 @@ pub fn enumerate_instances_with_stats(
     };
     let mut classes: CertifiedClasses<String> = CertifiedClasses::new();
     let mut instances: Vec<SosInstance> = Vec::new();
+    let fingerprint = config_fingerprint(models, rules, options);
+    let cert_cache = load_cert_cache(options, fingerprint)?;
+    let trusted = cert_cache.as_ref().and_then(|(_, _, t)| t.as_ref());
+    stats.cert_cache_entries = trusted.map_or(0, CertSection::len);
 
     // Enumerate multiplicities: the cartesian product of 0..=max per
     // model, skipping the empty composition.
@@ -535,6 +631,7 @@ pub fn enumerate_instances_with_stats(
                 &counts,
                 options,
                 threads,
+                trusted,
                 &mut stats,
                 &mut classes,
                 &mut instances,
@@ -562,6 +659,12 @@ pub fn enumerate_instances_with_stats(
     stats.classes = instances.len();
     stats.certificate_hits = classes.certificate_hits();
     stats.exact_iso_fallbacks = classes.exact_fallbacks();
+    stats.cert_cache_skips = classes.trusted_skips();
+    if let Some((path, cache, _)) = cert_cache {
+        // The legacy engine only reaches this point with full (or
+        // deterministically truncated) coverage — errors bailed above.
+        save_cert_cache(&path, cache, fingerprint, &classes)?;
+    }
     drop(run);
     stats.mirror_counters(&options.obs);
     Ok(Exploration {
@@ -820,6 +923,16 @@ pub fn enumerate_instances_supervised(
     };
     let mut classes: CertifiedClasses<String> = CertifiedClasses::new();
     let mut instances: Vec<SosInstance> = Vec::new();
+    if options.cert_cache.is_some() && (exec.checkpoint.is_some() || exec.resume.is_some()) {
+        // The resume replay is cacheless: its exact-fallback counters
+        // would not re-base against a cached live run's checkpoint.
+        return Err(FsaError::CertCache {
+            reason: "the certificate cache cannot be combined with checkpoint/resume".to_owned(),
+        });
+    }
+    let cert_cache = load_cert_cache(options, fingerprint)?;
+    let trusted = cert_cache.as_ref().and_then(|(_, _, t)| t.as_ref());
+    stats.cert_cache_entries = trusted.map_or(0, CertSection::len);
 
     // Frontier state: the vector being processed and, mid-vector, the
     // canonical masks not yet built. Ordinals are *global* (sharded
@@ -1098,10 +1211,7 @@ pub fn enumerate_instances_supervised(
                 match item {
                     None => stats.disconnected_skipped += 1,
                     Some((instance, shape, certificate)) => {
-                        if classes
-                            .insert_with_certificate(shape, certificate)
-                            .is_some()
-                        {
+                        if insert_candidate(&mut classes, trusted, shape, certificate).is_some() {
                             accepted.push((ordinal64, slice[chunk] as u64));
                             instances.push(instance);
                         }
@@ -1198,6 +1308,12 @@ pub fn enumerate_instances_supervised(
         classes.exact_fallbacks(),
         "exact-isomorphism-fallback",
     )?;
+    stats.cert_cache_skips = classes.trusted_skips();
+    if let Some((path, cache, _)) = cert_cache {
+        if !stats.cancelled && stats.failures == 0 {
+            save_cert_cache(&path, cache, fingerprint, &classes)?;
+        }
+    }
     drop(run);
     stats.mirror_counters(&obs);
     Ok(Exploration {
@@ -1579,6 +1695,7 @@ fn explore_vector(
     counts: &[usize],
     options: &ExploreOptions,
     threads: usize,
+    trusted: Option<&CertSection>,
     stats: &mut ExploreStats,
     classes: &mut CertifiedClasses<String>,
     instances: &mut Vec<SosInstance>,
@@ -1661,10 +1778,7 @@ fn explore_vector(
             stats.disconnected_skipped += 1;
             continue;
         };
-        if classes
-            .insert_with_certificate(shape, certificate)
-            .is_some()
-        {
+        if insert_candidate(classes, trusted, shape, certificate).is_some() {
             instances.push(instance);
         }
     }
@@ -2083,6 +2197,113 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn cache_tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fsa-explore-cache-{name}-{}", std::process::id()));
+        p
+    }
+
+    /// Two structurally identical models under different names: the
+    /// vectors (1,0) and (0,1) instantiate isomorphic compositions,
+    /// which only the certificate dedup (not the within-vector orbit
+    /// pruning) collapses — guaranteeing certificate hits.
+    fn twin_models() -> Vec<(ComponentModel, usize)> {
+        let mut a = ComponentModel::new("A", "Op");
+        a.action("emit(SNS_i,val)");
+        let mut b = ComponentModel::new("B", "Op");
+        b.action("emit(SNS_i,val)");
+        vec![(a, 2), (b, 2)]
+    }
+
+    #[test]
+    fn cert_cache_warm_run_is_bit_identical_and_skips_exact_iso() {
+        let path = cache_tmp("warm");
+        let _ = std::fs::remove_file(&path);
+        let options = ExploreOptions {
+            require_connected: false,
+            cert_cache: Some(path.clone()),
+            ..ExploreOptions::default()
+        };
+
+        // Cold run: nothing to trust, census saved at the end.
+        let cold = enumerate_instances_with_stats(&twin_models(), &[], &options).unwrap();
+        assert_eq!(cold.stats.cert_cache_entries, 0);
+        assert_eq!(cold.stats.cert_cache_skips, 0);
+        assert!(path.exists(), "completed run persists its census");
+        assert!(cold.stats.certificate_hits > 0, "universe has duplicates");
+
+        // Warm run: every duplicate is discharged on the cache's word —
+        // zero exact-isomorphism fallbacks — and the instance stream is
+        // bit-identical to the cold run.
+        let warm = enumerate_instances_with_stats(&twin_models(), &[], &options).unwrap();
+        assert!(warm.stats.cert_cache_entries > 0);
+        assert_eq!(warm.stats.cert_cache_skips, warm.stats.certificate_hits);
+        assert_eq!(warm.stats.exact_iso_fallbacks, 0);
+        assert_eq!(warm.stats.classes, cold.stats.classes);
+        assert_eq!(
+            warm.instances
+                .iter()
+                .map(SosInstance::name)
+                .collect::<Vec<_>>(),
+            cold.instances
+                .iter()
+                .map(SosInstance::name)
+                .collect::<Vec<_>>()
+        );
+
+        // The supervised engine shares the fingerprint and candidate
+        // stream, so it consumes the same cache section.
+        let sup =
+            enumerate_instances_supervised(&twin_models(), &[], &options, &ExecOptions::default())
+                .unwrap();
+        assert_eq!(sup.stats.exact_iso_fallbacks, 0);
+        assert_eq!(sup.stats.cert_cache_skips, sup.stats.certificate_hits);
+        assert_eq!(sup.stats.classes, cold.stats.classes);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cert_cache_rejects_checkpoint_and_resume() {
+        let path = cache_tmp("ckpt-combo");
+        let options = ExploreOptions {
+            cert_cache: Some(path.clone()),
+            ..ExploreOptions::default()
+        };
+        let exec = ExecOptions {
+            checkpoint: Some(CheckpointSpec {
+                path: cache_tmp("ckpt-combo-cp"),
+                every: 1,
+            }),
+            ..ExecOptions::default()
+        };
+        let err = enumerate_instances_supervised(&sensor_and_display(), &rules(), &options, &exec)
+            .unwrap_err();
+        assert!(matches!(err, FsaError::CertCache { .. }), "{err}");
+        assert!(!path.exists(), "rejected run must not touch the cache");
+    }
+
+    #[test]
+    fn corrupt_cert_cache_fails_closed_in_both_engines() {
+        let path = cache_tmp("corrupt");
+        std::fs::write(&path, b"garbage, not a snapshot").unwrap();
+        let options = ExploreOptions {
+            cert_cache: Some(path.clone()),
+            ..ExploreOptions::default()
+        };
+        let err =
+            enumerate_instances_with_stats(&sensor_and_display(), &rules(), &options).unwrap_err();
+        assert!(matches!(err, FsaError::CertCache { .. }), "{err}");
+        let err = enumerate_instances_supervised(
+            &sensor_and_display(),
+            &rules(),
+            &options,
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsaError::CertCache { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -234,8 +234,21 @@ impl<V> MemoStore<V> {
             !bucket.is_empty()
         });
         self.len -= dropped;
-        self.counters.invalidated += dropped as u64;
+        // Checked counter discipline (PR 5): a `usize` drop count on a
+        // 128-bit-usize target could exceed `u64` — saturate rather
+        // than silently wrap.
+        self.counters.invalidated = self
+            .counters
+            .invalidated
+            .saturating_add(u64::try_from(dropped).unwrap_or(u64::MAX));
         dropped
+    }
+
+    /// Preloads the invalidation counter — test hook for the
+    /// saturation discipline.
+    #[cfg(test)]
+    fn set_invalidated(&mut self, value: u64) {
+        self.counters.invalidated = value;
     }
 }
 
@@ -352,6 +365,18 @@ mod tests {
             "dependency-free entries survive every edit"
         );
         assert_eq!(store.counters().invalidated, 1);
+    }
+
+    #[test]
+    fn invalidation_counter_saturates_instead_of_wrapping() {
+        // Regression: `invalidated += dropped as u64` would wrap the
+        // counter on overflow. The checked discipline saturates.
+        let mut store: MemoStore<u32> = MemoStore::new(8).unwrap();
+        store.insert("ns", "a".to_owned(), deps(&["x"]), Arc::new(1));
+        store.insert("ns", "b".to_owned(), deps(&["x"]), Arc::new(2));
+        store.set_invalidated(u64::MAX - 1);
+        assert_eq!(store.invalidate_touching(&deps(&["x"])), 2);
+        assert_eq!(store.counters().invalidated, u64::MAX, "saturated");
     }
 
     #[test]

@@ -114,6 +114,51 @@ impl BitSet {
         }
     }
 
+    /// In-place union that also reports the resulting population count,
+    /// so frontier sweeps can test convergence without a second pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with_count(&mut self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut count = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+            count += a.count_ones() as usize;
+        }
+        count
+    }
+
+    /// In-place intersection that also reports the resulting population
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersect_with_count(&mut self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut count = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+            count += a.count_ones() as usize;
+        }
+        count
+    }
+
+    /// The backing words, least-significant index first. Bits past
+    /// `capacity` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Clears every bit without reallocating.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
     /// Returns `true` if no index is set.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|w| *w == 0)
@@ -140,6 +185,43 @@ impl BitSet {
             current: self.words.first().copied().unwrap_or(0),
         }
     }
+}
+
+/// Word-parallel frontier BFS over a CSR adjacency (`offsets` of length
+/// `n + 1`, `targets` holding node `i`'s successors at
+/// `targets[offsets[i]..offsets[i + 1]]`). Returns the set of nodes
+/// reachable from `seeds` (including the seeds themselves).
+///
+/// The frontier is itself a [`BitSet`], so each round scans only the
+/// words that gained bits and the membership test is one AND — no
+/// per-node hash sets or worklists.
+///
+/// # Panics
+///
+/// Panics if `offsets` is empty, if `seeds.capacity() != offsets.len() - 1`,
+/// or if a target index is out of range.
+pub fn bfs_reachable(offsets: &[u32], targets: &[u32], seeds: &BitSet) -> BitSet {
+    let n = offsets
+        .len()
+        .checked_sub(1)
+        .expect("CSR offsets must have length n + 1");
+    assert_eq!(seeds.capacity(), n, "seed capacity must match node count");
+    let mut visited = seeds.clone();
+    let mut frontier = seeds.clone();
+    let mut next = BitSet::new(n);
+    while !frontier.is_empty() {
+        next.clear();
+        for s in frontier.iter() {
+            let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
+            for &t in &targets[lo..hi] {
+                if visited.insert(t as usize) {
+                    next.insert(t as usize);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    visited
 }
 
 impl fmt::Debug for BitSet {
@@ -270,5 +352,55 @@ mod tests {
     fn debug_is_never_empty() {
         let s = BitSet::new(0);
         assert_eq!(format!("{s:?}"), "{}");
+    }
+
+    #[test]
+    fn union_and_intersect_with_count() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        a.insert(0);
+        a.insert(64);
+        b.insert(64);
+        b.insert(129);
+        assert_eq!(a.union_with_count(&b), 3);
+        assert_eq!(a.len(), 3);
+        let mut c = a.clone();
+        assert_eq!(c.intersect_with_count(&b), 2);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![64, 129]);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.capacity(), 130);
+    }
+
+    #[test]
+    fn words_expose_backing_storage() {
+        let mut s = BitSet::new(70);
+        s.insert(0);
+        s.insert(65);
+        assert_eq!(s.words(), &[1, 2]);
+    }
+
+    #[test]
+    fn bfs_reachable_follows_csr_edges() {
+        // 0 → 1 → 2, 3 isolated, 4 → 0 (unreached from seed {0}).
+        let offsets = [0u32, 1, 2, 2, 2, 3];
+        let targets = [1u32, 2, 0];
+        let mut seeds = BitSet::new(5);
+        seeds.insert(0);
+        let reach = bfs_reachable(&offsets, &targets, &seeds);
+        assert_eq!(reach.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Seeding the back-edge node pulls in the whole cycle side.
+        let mut seeds = BitSet::new(5);
+        seeds.insert(4);
+        let reach = bfs_reachable(&offsets, &targets, &seeds);
+        assert_eq!(reach.iter().collect::<Vec<_>>(), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn bfs_reachable_empty_seed_is_empty() {
+        let offsets = [0u32, 1, 1];
+        let targets = [1u32];
+        let reach = bfs_reachable(&offsets, &targets, &BitSet::new(2));
+        assert!(reach.is_empty());
     }
 }

@@ -28,6 +28,7 @@ pub(crate) const GLOBAL_USAGE: &str = "usage:
   fsa elicit --scenario two|chain|attacked|six [--edit-script F] [--threads N]
   fsa check <spec-file>
   fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
+              [--cert-cache F]
               [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
   fsa explore --distributed [--workers N] [--shards N] [--lease-ms N] [--state-dir D] [--max-vehicles N] ...
   fsa coordinate --listen HOST:PORT [--max-vehicles N] [--shards N] [--lease-ms N] [--state F]
@@ -45,6 +46,7 @@ Every subcommand additionally accepts observability exports:
 
 pub(crate) const EXPLORE_USAGE: &str = "usage:
   fsa explore [--max-vehicles N] [--threads N] [--stats] [--budget N] [--truncate] [--all]
+              [--cert-cache F]
               [--deadline-ms N] [--retries N] [--checkpoint F [--checkpoint-every N]] [--resume F]
   fsa explore --distributed [--workers N] [--shards N] [--lease-ms N] [--state-dir D]
               [--max-vehicles N] [--threads N] [--budget N] [--all] [--stats]
@@ -57,6 +59,12 @@ scenario (§4.2) and union their elicited requirements (§4.4).
   --truncate        return the deduped partial universe at budget
   --all             keep disconnected compositions
   --stats           print engine counters and per-stage timings
+  --cert-cache F    cross-run certificate cache: trust F's record of
+                    single-class certificate buckets (skipping exact
+                    isomorphism on duplicates) and save the completed
+                    run's census back; the instance output is
+                    bit-identical to a cacheless run (not combinable
+                    with --checkpoint/--resume/--distributed)
 Supervised execution (any of these selects the supervised engine; the
 output stays bit-identical to the plain engine when nothing is cut):
   --deadline-ms N        stop at the next batch boundary after N ms and
@@ -739,11 +747,7 @@ fn cross_check(
         .map_err(|e| e.to_string())?;
     let assisted = fsa_core::assisted::elicit_observed(
         &graph,
-        &fsa_core::assisted::ElicitOptions {
-            method: fsa_core::assisted::DependenceMethod::Precedence,
-            threads,
-            prune: true,
-        },
+        &fsa_core::assisted::ElicitOptions::service(threads),
         obs,
         |name| {
             let action = fsa_core::Action::parse(name);
@@ -1043,6 +1047,7 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
     let mut checkpoint: Option<String> = None;
     let mut checkpoint_every = 256usize;
     let mut resume: Option<String> = None;
+    let mut cert_cache: Option<String> = None;
     let mut distributed = false;
     let mut workers: Option<usize> = None;
     let mut shards: Option<usize> = None;
@@ -1096,6 +1101,10 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
                 Ok(p) => resume = Some(p),
                 Err(r) => return r,
             },
+            "cert-cache" => match flags.value("cert-cache", inline) {
+                Ok(p) => cert_cache = Some(p),
+                Err(r) => return r,
+            },
             "distributed" => distributed = true,
             "workers" => match flags.positive("workers", inline) {
                 Ok(n) => workers = Some(n),
@@ -1140,10 +1149,11 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
             || retries.is_some()
             || checkpoint.is_some()
             || resume.is_some()
+            || cert_cache.is_some()
         {
             return Rendered::usage_error(
                 "--distributed cannot be combined with --truncate, --deadline-ms, --retries, \
-                 --checkpoint, or --resume (workers checkpoint their own shards)",
+                 --checkpoint, --resume, or --cert-cache (workers checkpoint their own shards)",
                 EXPLORE_USAGE,
             );
         }
@@ -1181,6 +1191,7 @@ pub fn run_explore(rest: &[String], ctx: &ServiceCtx) -> Rendered {
         },
         threads,
         obs: obs.clone(),
+        cert_cache: cert_cache.map(Into::into),
         ..ExploreOptions::default()
     };
     let supervised = deadline_ms.is_some()
@@ -1608,6 +1619,78 @@ mod tests {
             }
         }
         assert_eq!(values, ["a", "b"]);
+    }
+
+    #[test]
+    fn cert_cache_warm_explore_output_is_bit_identical() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fsa-cli-certcache-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cache = path.to_string_lossy().into_owned();
+        let baseline = dispatch(&argv(&["explore", "--max-vehicles", "2"]));
+        assert_eq!(baseline.exit, 0, "{}", baseline.stderr);
+        let cold = dispatch(&argv(&[
+            "explore",
+            "--max-vehicles",
+            "2",
+            "--cert-cache",
+            &cache,
+        ]));
+        let warm = dispatch(&argv(&[
+            "explore",
+            "--max-vehicles",
+            "2",
+            "--cert-cache",
+            &cache,
+        ]));
+        assert_eq!(cold.exit, 0, "{}", cold.stderr);
+        assert_eq!(cold.stdout, baseline.stdout, "cache never changes output");
+        assert_eq!(warm.stdout, cold.stdout, "warm run is bit-identical");
+        // The warm run's stats expose the cache at work.
+        let stats = dispatch(&argv(&[
+            "explore",
+            "--max-vehicles",
+            "2",
+            "--cert-cache",
+            &cache,
+            "--stats",
+        ]));
+        assert_eq!(stats.exit, 0, "{}", stats.stderr);
+        assert!(
+            stats.stdout.contains("exact iso fallbacks   0"),
+            "{}",
+            stats.stdout
+        );
+        assert!(
+            stats.stdout.contains("cert cache skips"),
+            "{}",
+            stats.stdout
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cert_cache_rejects_distributed() {
+        let r = dispatch(&argv(&[
+            "explore",
+            "--distributed",
+            "--cert-cache",
+            "/tmp/x",
+        ]));
+        assert_eq!(r.exit, 2);
+        assert!(r.stderr.contains("--cert-cache"), "{}", r.stderr);
+    }
+
+    #[test]
+    fn corrupt_cert_cache_fails_the_run() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fsa-cli-certcache-corrupt-{}", std::process::id()));
+        std::fs::write(&path, b"not a cache").unwrap();
+        let cache = path.to_string_lossy().into_owned();
+        let r = dispatch(&argv(&["explore", "--cert-cache", &cache]));
+        assert_eq!(r.exit, 1);
+        assert!(r.stderr.contains("certificate cache"), "{}", r.stderr);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -145,9 +145,12 @@ impl ScenarioModel {
 
     /// Elicits the scenario's requirement set as a full
     /// [`AssistedReport`]: incrementally (memoised fragments) for
-    /// editable scenarios, from scratch for the rest. Both paths use
-    /// the precedence method with pruning disabled, so the report is
-    /// bit-identical whichever path answered.
+    /// editable scenarios, from scratch for the rest. The from-scratch
+    /// path runs the shared service configuration
+    /// ([`fsa_core::assisted::ElicitOptions::service`] — precedence
+    /// method, co-reachability pruning on), the same options the
+    /// one-shot `fsa elicit` cross-check uses, so the report is
+    /// bit-identical whichever entry point answered.
     ///
     /// # Errors
     ///
@@ -166,11 +169,7 @@ impl ScenarioModel {
             .map_err(|e| format!("reachability failed: {e}"))?;
         Ok(fsa_core::assisted::elicit_observed(
             &graph,
-            &fsa_core::assisted::ElicitOptions {
-                method: DependenceMethod::Precedence,
-                threads,
-                prune: false,
-            },
+            &fsa_core::assisted::ElicitOptions::service(threads),
             obs,
             vanet::apa_model::stakeholder_of,
         ))
@@ -423,6 +422,50 @@ mod tests {
         assert!(m.is_elicited());
         let (_, reqs) = m.split_elicited().expect("memoised");
         assert_eq!(reqs.len(), first_len);
+    }
+
+    #[test]
+    fn served_and_one_shot_paths_share_the_service_options() {
+        // Regression: the resident service used to run with pruning
+        // disabled while the one-shot cross-check pruned, leaving two
+        // silently diverging configurations. Both now construct
+        // `ElicitOptions::service`, and pruning is verdict-preserving:
+        // the rendered report is byte-identical either way.
+        let service = fsa_core::assisted::ElicitOptions::service(3);
+        assert_eq!(
+            service.method,
+            fsa_core::assisted::DependenceMethod::Precedence
+        );
+        assert_eq!(service.threads, 3);
+        assert!(service.prune);
+
+        let graph = vanet::apa_model::two_vehicle_apa(vanet::semantics::ApaSemantics::PAPER)
+            .expect("two-vehicle APA builds")
+            .reachability(&apa::ReachOptions::default())
+            .expect("reachability");
+        let obs = Obs::disabled();
+        let pruned = fsa_core::assisted::elicit_observed(
+            &graph,
+            &fsa_core::assisted::ElicitOptions::service(1),
+            &obs,
+            vanet::apa_model::stakeholder_of,
+        );
+        let unpruned = fsa_core::assisted::elicit_observed(
+            &graph,
+            &fsa_core::assisted::ElicitOptions {
+                prune: false,
+                ..fsa_core::assisted::ElicitOptions::service(1)
+            },
+            &obs,
+            vanet::apa_model::stakeholder_of,
+        );
+        assert_eq!(pruned.requirements, unpruned.requirements);
+        assert_eq!(
+            render_elicited("two", &pruned),
+            render_elicited("two", &unpruned)
+        );
+        assert_eq!(pruned.stats.pairs_total, unpruned.stats.pairs_total);
+        assert!(pruned.stats.pairs_pruned <= pruned.stats.pairs_total);
     }
 
     #[test]
